@@ -1,0 +1,43 @@
+"""Ablation 2 (DESIGN.md §5): inner (nuclide) vs outer (particle) loop
+vectorization of the banked XS kernel.
+
+The paper found forcing ``#pragma simd`` on the outer (particle) loop
+*slower* than vectorizing the inner nuclide loop, "likely because the
+bounds of the inner loop vary with the different materials".  The Python
+analogue: NumPy across particles per nuclide (inner) vs NumPy across
+nuclides per particle (outer) — and the same ordering must hold.
+"""
+
+import pytest
+
+from repro.proxy.xsbench import XSBench
+
+N = 1_200
+
+
+@pytest.fixture(scope="module")
+def setup(tiny_large, union_large):
+    xs = XSBench(tiny_large, union_large, use_sab=False, use_urr=False)
+    return xs, xs.generate_lookups(N)
+
+
+def test_inner_loop_vectorization(benchmark, setup):
+    xs, sample = setup
+    t, c = benchmark(xs.run_banked, sample)
+    assert c.lookups == N
+
+
+def test_outer_loop_vectorization(benchmark, setup):
+    xs, sample = setup
+    t, c = benchmark.pedantic(
+        xs.run_banked_outer, args=(sample,), rounds=2, iterations=1
+    )
+    assert c.lookups == N
+
+
+def test_inner_beats_outer(setup):
+    """The paper's loop-order finding, measured."""
+    xs, sample = setup
+    t_inner, _ = xs.run_banked(sample)
+    t_outer, _ = xs.run_banked_outer(sample)
+    assert t_inner < t_outer

@@ -1,0 +1,78 @@
+"""Ablation 5 (DESIGN.md §5): S(alpha, beta) / URR enabled vs removed.
+
+The paper removed both treatments to vectorize its micro-benchmarks.  This
+ablation measures what they cost in the banked kernel — the masked
+sub-bank work and extra RNG traffic — and what the divergence does to the
+lane machine's efficiency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.proxy.xsbench import XSBench
+from repro.rng.lcg import particle_seeds
+from repro.simd.analysis import divergence_loss
+
+N = 2_500
+
+
+def _run(bench, sample):
+    counters_total = None
+    for mid in np.unique(sample.material_ids):
+        mask = sample.material_ids == mid
+        states = particle_seeds(1, np.nonzero(mask)[0].astype(np.uint64)).copy()
+        bench.calculator.banked(
+            bench.materials[int(mid)],
+            sample.energies[mask],
+            rng_states=states,
+        )
+
+
+@pytest.fixture(scope="module")
+def samples(tiny_large, union_large):
+    full = XSBench(tiny_large, union_large, use_sab=True, use_urr=True)
+    stripped = XSBench(tiny_large, union_large, use_sab=False, use_urr=False)
+    return full, stripped, full.generate_lookups(N)
+
+
+def test_full_physics_banked(benchmark, samples):
+    full, _, sample = samples
+    benchmark(_run, full, sample)
+
+
+def test_stripped_physics_banked(benchmark, samples):
+    _, stripped, sample = samples
+    benchmark(_run, stripped, sample)
+
+
+def test_branchy_physics_costs(samples):
+    """Full physics is measurably slower and consumes URR/S(a,b) samples."""
+    import time
+
+    full, stripped, sample = samples
+    t0 = time.perf_counter()
+    _run(full, sample)
+    t_full = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _run(stripped, sample)
+    t_stripped = time.perf_counter() - t0
+    assert t_full > t_stripped
+
+    from repro.work import WorkCounters
+
+    c = WorkCounters()
+    for mid in np.unique(sample.material_ids):
+        mask = sample.material_ids == mid
+        states = particle_seeds(1, np.nonzero(mask)[0].astype(np.uint64)).copy()
+        full.calculator.banked(
+            full.materials[int(mid)], sample.energies[mask],
+            rng_states=states, counters=c,
+        )
+    assert c.urr_samples > 0
+    assert c.sab_samples > 0
+
+
+def test_masked_divergence_model():
+    """Under masked execution, the three scatter branches (S(a,b),
+    free-gas, target-at-rest) cost ~3x in lane efficiency."""
+    assert divergence_loss([0.2, 0.3, 0.5]) == pytest.approx(1 / 3)

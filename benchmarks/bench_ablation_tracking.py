@@ -1,0 +1,85 @@
+"""Ablation 7: surface tracking vs Woodcock delta-tracking.
+
+Delta tracking removes the per-flight geometry search entirely (one
+majorant gather instead), at the cost of virtual collisions — the trade
+that makes it the preferred scheme for SIMD/GPU transport (the paper's
+related work [6]).  Both event-style loops are timed on the same workload
+and their k estimates must agree statistically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.transport.context import TransportContext
+from repro.transport.delta import MajorantXS, run_generation_delta
+from repro.transport.events import run_generation_event
+from repro.transport.tally import GlobalTallies
+
+N = 250
+
+
+@pytest.fixture(scope="module")
+def setup(tiny_small, union_small):
+    ctx = TransportContext.create(
+        tiny_small, pincell=True, union=union_small, master_seed=3
+    )
+    majorant = MajorantXS(ctx)
+    rng = np.random.default_rng(1)
+    pos = np.column_stack(
+        [rng.uniform(-0.3, 0.3, N), rng.uniform(-0.3, 0.3, N),
+         rng.uniform(-150, 150, N)]
+    )
+    return ctx, majorant, pos, np.full(N, 2.0)
+
+
+def test_surface_tracking(benchmark, setup):
+    ctx, _, pos, en = setup
+
+    def run():
+        t = GlobalTallies()
+        run_generation_event(ctx, pos, en, t, 1.0, 0)
+        return t
+
+    t = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert t.n_collisions > 0
+
+
+def test_delta_tracking(benchmark, setup):
+    ctx, majorant, pos, en = setup
+
+    def run():
+        t = GlobalTallies()
+        run_generation_delta(ctx, pos, en, t, 1.0, 0, majorant=majorant)
+        return t
+
+    t = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert t.n_collisions > 0
+
+
+def test_majorant_build(benchmark, setup):
+    ctx, _, _, _ = setup
+    maj = benchmark(MajorantXS, ctx)
+    assert np.all(maj.sigma > 0)
+
+
+def test_same_physics(setup):
+    """The two trackers estimate the same k (loose statistical band for a
+    single generation)."""
+    ctx, majorant, pos, en = setup
+    ts, td = GlobalTallies(), GlobalTallies()
+    run_generation_event(ctx, pos, en, ts, 1.0, 0)
+    run_generation_delta(ctx, pos, en, td, 1.0, 10_000, majorant=majorant)
+    assert td.k_collision() == pytest.approx(ts.k_collision(), rel=0.2)
+
+
+def test_virtual_collision_overhead(setup):
+    """Delta tracking's flights exceed its real collisions — the rejection
+    overhead that large banks amortize."""
+    ctx, majorant, pos, en = setup
+    before_f, before_c = ctx.counters.flights, ctx.counters.collisions
+    run_generation_delta(
+        ctx, pos, en, GlobalTallies(), 1.0, 20_000, majorant=majorant
+    )
+    flights = ctx.counters.flights - before_f
+    collisions = ctx.counters.collisions - before_c
+    assert flights > 1.2 * collisions

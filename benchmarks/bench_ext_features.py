@@ -1,0 +1,70 @@
+"""Benchmarks for the extension features: distributed runs, multigroup
+condensation, power/spectrum tallies, and survival biasing overhead."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.distributed import DistributedSimulation
+from repro.data.multigroup import GroupStructure, condense
+from repro.geometry.materials import make_fuel, make_water
+from repro.transport import Settings, Simulation
+
+SETTINGS = Settings(
+    n_particles=80, n_inactive=0, n_active=2, pincell=True,
+    mode="event", seed=17,
+)
+
+
+def test_distributed_4_ranks(benchmark, tiny_small):
+    def run():
+        return DistributedSimulation(tiny_small, SETTINGS, 4).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.n_ranks == 4
+
+
+def test_condense_two_group_fuel(benchmark, tiny_small):
+    fuel = make_fuel("hm-small")
+    mg = benchmark(condense, tiny_small, fuel, GroupStructure.two_group())
+    assert mg.k_infinity() > 0
+
+
+def test_condense_water_8_groups(benchmark, tiny_small):
+    water = make_water()
+    mg = benchmark(
+        condense, tiny_small, water, GroupStructure.equal_lethargy(8)
+    )
+    assert mg.scatter.sum() > 0
+
+
+@pytest.mark.parametrize("survival", [False, True])
+def test_event_simulation(benchmark, tiny_small, survival):
+    """Survival biasing's measured overhead per batch (longer histories)."""
+
+    def run():
+        return Simulation(
+            tiny_small,
+            Settings(
+                n_particles=100, n_inactive=0, n_active=1, pincell=True,
+                mode="event", seed=5, survival_biasing=survival,
+            ),
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.counters.collisions > 0
+
+
+def test_power_tally_overhead(benchmark, tiny_small):
+    """Scoring the 17x17 power map must cost little on top of transport."""
+
+    def run():
+        return Simulation(
+            tiny_small,
+            Settings(
+                n_particles=80, n_inactive=0, n_active=1, pincell=False,
+                mode="event", seed=5, tally_power=True,
+            ),
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.power is not None

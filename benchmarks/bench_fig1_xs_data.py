@@ -1,0 +1,27 @@
+"""Fig. 1 bench: regenerating U-238's cross-section data.
+
+Times the resonance-reconstruction pipeline (ladder -> Doppler-broadened
+pointwise tables) that produces the paper's Fig. 1 curve, and asserts the
+curve's structural regimes.
+"""
+
+import numpy as np
+
+from repro.data.library import LibraryConfig, build_nuclide
+from repro.experiments import run_experiment
+from repro.types import Reaction
+
+
+def test_build_u238(benchmark):
+    config = LibraryConfig.tiny()
+    nuclide, _, _ = benchmark(build_nuclide, "U238", config)
+    total = nuclide.xs[Reaction.TOTAL]
+    assert total.max() > 100 * total.min()
+
+
+def test_fig1_experiment(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig1", "quick"), rounds=1, iterations=1
+    )
+    by_regime = {r["regime"]: r["sigma_t [b]"] for r in result.rows}
+    assert by_regime["resolved resonance peak"] > by_regime["fast (2 MeV)"]

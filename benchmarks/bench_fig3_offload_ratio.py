@@ -1,0 +1,31 @@
+"""Fig. 3 bench: offload-ratio sweep and profitability crossover."""
+
+import pytest
+
+from repro.execution.offload import OffloadCostModel
+from repro.machine.presets import JLSE_HOST, MIC_7120A, PCIE_GEN2_X16
+
+
+@pytest.fixture(scope="module")
+def offload():
+    return OffloadCostModel(JLSE_HOST, MIC_7120A, PCIE_GEN2_X16, "hm-small")
+
+
+def test_ratio_sweep(benchmark, offload):
+    def sweep():
+        return [
+            offload.normalized_ratios(n)
+            for n in (100, 1_000, 10_000, 100_000, 1_000_000)
+        ]
+
+    ratios = benchmark(sweep)
+    # Fig. 3's trends.
+    assert ratios[-1]["transfer"] < ratios[0]["transfer"]
+    assert ratios[-1]["host_xs_compute"] > ratios[0]["host_xs_compute"]
+    assert ratios[-1]["mic_compute"] < ratios[0]["mic_compute"]
+
+
+def test_crossover_search(benchmark, offload):
+    crossover = benchmark(offload.crossover_particles)
+    # Paper: "above 10,000" particles.
+    assert 3_000 < crossover < 30_000

@@ -1,0 +1,53 @@
+"""Fig. 4 bench: instrumented history generation + modelled profile.
+
+Times one TAU-instrumented history-mode generation (the measurement the
+paper's Fig. 4 profile comes from) and asserts the modelled CPU/MIC total
+ratio against the paper's 96/65 minutes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+from repro.transport.context import TransportContext
+from repro.transport.history import run_generation_history
+from repro.transport.tally import GlobalTallies
+
+N = 60
+
+
+@pytest.fixture(scope="module")
+def ctx(tiny_small, union_small):
+    return TransportContext.create(
+        tiny_small, pincell=True, union=union_small, master_seed=5
+    )
+
+
+@pytest.fixture(scope="module")
+def source():
+    rng = np.random.default_rng(5)
+    pos = np.column_stack(
+        [rng.uniform(-0.3, 0.3, N), rng.uniform(-0.3, 0.3, N),
+         rng.uniform(-100, 100, N)]
+    )
+    return pos, np.full(N, 1.0)
+
+
+def test_history_generation(benchmark, ctx, source):
+    pos, en = source
+
+    def run():
+        t = GlobalTallies()
+        return run_generation_history(ctx, pos, en, t, 1.0, 0)
+
+    bank = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(bank) > 0
+
+
+def test_fig4_model_ratio(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig4", "quick"), rounds=1, iterations=1
+    )
+    total = next(r for r in result.rows if r["routine"] == "TOTAL")
+    # Paper: 96 min vs 65 min = 1.48x.
+    assert total["CPU/MIC"] == pytest.approx(1.48, abs=0.25)

@@ -1,0 +1,64 @@
+"""Fig. 5 bench: calculation rates vs batch size (measured + modelled).
+
+Times event-mode generations at two batch sizes — the measured rate must
+rise with batch size (bank amortization) — and asserts the modelled alpha
+band of the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.execution.native import alpha
+from repro.machine.presets import JLSE_HOST, MIC_7120A
+from repro.transport.context import TransportContext
+from repro.transport.events import run_generation_event
+from repro.transport.tally import GlobalTallies
+
+
+@pytest.fixture(scope="module")
+def ctx(tiny_small, union_small):
+    return TransportContext.create(
+        tiny_small, pincell=True, union=union_small, master_seed=13
+    )
+
+
+def _source(n, seed=13):
+    rng = np.random.default_rng(seed)
+    pos = np.column_stack(
+        [rng.uniform(-0.3, 0.3, n), rng.uniform(-0.3, 0.3, n),
+         rng.uniform(-100, 100, n)]
+    )
+    return pos, np.full(n, 1.0)
+
+
+@pytest.mark.parametrize("n", [50, 400])
+def test_event_generation_rate(benchmark, ctx, n):
+    pos, en = _source(n)
+
+    def run():
+        t = GlobalTallies()
+        run_generation_event(ctx, pos, en, t, 1.0, 0)
+        return t
+
+    tallies = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert tallies.n_collisions > 0
+
+
+def test_rate_increases_with_batch(ctx):
+    import time
+
+    rates = {}
+    for n in (50, 800):
+        pos, en = _source(n)
+        t0 = time.perf_counter()
+        run_generation_event(ctx, pos, en, GlobalTallies(), 1.0, 0)
+        rates[n] = n / (time.perf_counter() - t0)
+    assert rates[800] > rates[50]
+
+
+def test_modelled_alpha_band():
+    values = [
+        alpha(JLSE_HOST, MIC_7120A, "hm-large", n)
+        for n in (10_000, 100_000, 1_000_000)
+    ]
+    assert all(0.58 < v < 0.68 for v in values)

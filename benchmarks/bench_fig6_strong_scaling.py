@@ -1,0 +1,31 @@
+"""Fig. 6 bench: strong scaling sweep on the simulated Stampede cluster."""
+
+import pytest
+
+from repro.cluster.scaling import strong_scaling
+from repro.cluster.topology import STAMPEDE
+
+NODES = [4, 8, 16, 32, 64, 128, 256, 512, 1024]
+
+
+def test_strong_scaling_sweep(benchmark):
+    points = benchmark(
+        strong_scaling, STAMPEDE, NODES, 10_000_000, 1, "hm-large", 0.42
+    )
+    eff = {pt.nodes: pt.efficiency for pt in points}
+    assert eff[128] >= 0.95
+    assert eff[1024] < 0.87
+
+
+def test_all_three_curves(benchmark):
+    def sweep():
+        return {
+            m: strong_scaling(STAMPEDE, NODES, 10_000_000, m, alpha=0.42)
+            for m in (0, 1, 2)
+        }
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # 2-MIC inventory cap.
+    assert max(pt.nodes for pt in curves[2]) <= 384
+    # CPU-only immune to the tail.
+    assert curves[0][-1].efficiency > curves[1][-1].efficiency

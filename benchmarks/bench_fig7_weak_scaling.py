@@ -1,0 +1,23 @@
+"""Fig. 7 bench: weak scaling sweep on the simulated Stampede cluster."""
+
+from repro.cluster.scaling import weak_scaling
+from repro.cluster.topology import STAMPEDE
+
+NODES = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+
+
+def test_weak_scaling_sweep(benchmark):
+    points = benchmark(
+        weak_scaling, STAMPEDE, NODES, 1_000_000, 1, "hm-large", 0.42
+    )
+    # Paper: > 94% to 128 nodes, predicted flat to 2^10 (footnote).
+    assert all(pt.efficiency > 0.94 for pt in points)
+
+
+def test_rate_linearity(benchmark):
+    points = benchmark.pedantic(
+        weak_scaling,
+        args=(STAMPEDE, [1, 256], 1_000_000, 1, "hm-large", 0.42),
+        rounds=1, iterations=1,
+    )
+    assert points[1].rate > 250 * points[0].rate

@@ -1,0 +1,36 @@
+"""Fig. 8 bench: RSBench original vs vectorized multipole lookups."""
+
+import pytest
+
+from repro.proxy.rsbench import RSBench, RSBenchConfig
+
+N_LOOKUPS = 1_500
+
+
+@pytest.fixture(scope="module")
+def setup():
+    bench = RSBench(RSBenchConfig(n_nuclides=4, resonances_per_nuclide=20))
+    which, energies = bench.generate_lookups(N_LOOKUPS)
+    return bench, which, energies
+
+
+def test_original(benchmark, setup):
+    bench, which, energies = setup
+    t, out = benchmark.pedantic(
+        bench.run_original, args=(which, energies), rounds=2, iterations=1
+    )
+    assert out.shape == (N_LOOKUPS,)
+
+
+def test_vectorized(benchmark, setup):
+    bench, which, energies = setup
+    t, out = benchmark(bench.run_vectorized, which, energies)
+    assert out.shape == (N_LOOKUPS,)
+
+
+def test_vectorized_wins(setup):
+    bench, which, energies = setup
+    t_orig, a = bench.run_original(which, energies)
+    t_vec, b = bench.run_vectorized(which, energies)
+    assert t_vec < t_orig / 3
+    assert bench.verify(100) < 1e-10

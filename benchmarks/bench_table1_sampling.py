@@ -1,0 +1,64 @@
+"""Table I bench: the three distance-sampling implementations.
+
+Times Naive / Optimized-1 / Optimized-2 at a scaled workload; the paper's
+ordering (Naive slowest by far; Optimized-2 fastest or tied) must hold in
+the measured Python implementations as well.
+"""
+
+import numpy as np
+import pytest
+
+from repro.physics.distance import (
+    sample_distance_naive,
+    sample_distance_optimized1,
+    sample_distance_optimized2,
+)
+
+N = 4_096
+ITERS = 4
+
+
+@pytest.fixture(scope="module")
+def sigma():
+    return np.random.default_rng(0).uniform(0.2, 3.0, N)
+
+
+def test_naive(benchmark, sigma):
+    # One iteration (the naive Python loop is the slow column by design).
+    d = benchmark.pedantic(
+        sample_distance_naive, args=(sigma, 1), kwargs={"seed": 1},
+        rounds=2, iterations=1,
+    )
+    assert np.all(d > 0)
+
+
+def test_optimized1(benchmark, sigma):
+    d = benchmark(sample_distance_optimized1, sigma, ITERS, nstreams=4, seed=1)
+    assert np.all(d > 0)
+
+
+def test_optimized2(benchmark, sigma):
+    d = benchmark(sample_distance_optimized2, sigma, ITERS, nstreams=4, seed=1)
+    assert np.all(d > 0)
+
+
+def test_optimized2_f32(benchmark, sigma):
+    """The single-precision variant (Algorithm 4's _ps intrinsics)."""
+    d = benchmark(
+        sample_distance_optimized2, sigma, ITERS, nstreams=4, seed=1,
+        use_f32=True,
+    )
+    assert np.all(d > 0)
+
+
+def test_table_ordering(sigma):
+    """Naive >> optimized, per sample."""
+    import time
+
+    t0 = time.perf_counter()
+    sample_distance_naive(sigma, 1, seed=1)
+    t_naive = (time.perf_counter() - t0) / 1
+    t0 = time.perf_counter()
+    sample_distance_optimized1(sigma, ITERS, nstreams=4, seed=1)
+    t_opt = (time.perf_counter() - t0) / ITERS
+    assert t_naive > 5 * t_opt

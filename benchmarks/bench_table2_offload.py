@@ -1,0 +1,68 @@
+"""Table II bench: banking and offload volumes.
+
+Times the real AoS->SoA banking conversion (the operation Table II's
+"banking" rows measure) and a simulated PCIe-style buffer shipment, and
+asserts the modelled Table II entries against the paper's numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.execution.offload import OffloadCostModel
+from repro.machine.memory import bank_bytes, energy_grid_bytes
+from repro.machine.presets import JLSE_HOST, MIC_7120A, PCIE_GEN2_X16
+from repro.transport.particle import Particle, ParticleBank
+
+N_PARTICLES = 2_000
+
+
+@pytest.fixture(scope="module")
+def particles():
+    rng = np.random.default_rng(1)
+    return [
+        Particle.from_source(i, rng.uniform(-1, 1, 3), 1.0)
+        for i in range(N_PARTICLES)
+    ]
+
+
+def test_banking_aos_to_soa(benchmark, particles):
+    """The banking operation: scatter AoS particle objects into SoA arrays."""
+    bank = benchmark(ParticleBank.from_particles, particles)
+    assert bank.n == N_PARTICLES
+
+
+def test_unbanking_soa_to_aos(benchmark, particles):
+    bank = ParticleBank.from_particles(particles)
+    out = benchmark(bank.to_particles)
+    assert len(out) == N_PARTICLES
+
+
+def test_simulated_transfer(benchmark, particles):
+    """Shipping the bank: a contiguous buffer copy (the PCIe payload)."""
+    bank = ParticleBank.from_particles(particles)
+    payload = np.concatenate(
+        [bank.position.ravel(), bank.direction.ravel(), bank.energy]
+    )
+
+    def ship():
+        return payload.copy()
+
+    out = benchmark(ship)
+    assert out.nbytes == payload.nbytes
+
+
+class TestModelledTableII:
+    def test_bank_sizes(self):
+        assert bank_bytes(100_000, "hm-small") == pytest.approx(496e6, rel=0.02)
+        assert bank_bytes(100_000, "hm-large") == pytest.approx(2.84e9, rel=0.02)
+
+    def test_grid_sizes(self):
+        assert energy_grid_bytes("hm-small") == pytest.approx(1.31e9, rel=0.10)
+        assert energy_grid_bytes("hm-large") == pytest.approx(8.37e9, rel=0.10)
+
+    def test_component_times(self):
+        off = OffloadCostModel(JLSE_HOST, MIC_7120A, PCIE_GEN2_X16, "hm-large")
+        assert off.banking_time_host(100_000) == pytest.approx(0.004, rel=0.05)
+        assert off.banking_time_mic(100_000) == pytest.approx(0.034, rel=0.05)
+        assert off.transfer_time(100_000) == pytest.approx(2.21, rel=0.05)
+        assert off.mic_compute_time(100_000) == pytest.approx(0.101, rel=0.05)

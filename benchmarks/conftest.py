@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark suite (tiny-fidelity libraries)."""
+
+import numpy as np
+import pytest
+
+from repro.data import LibraryConfig, UnionizedGrid, build_library
+
+
+@pytest.fixture(scope="session")
+def tiny_small():
+    return build_library("hm-small", LibraryConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def tiny_large():
+    return build_library("hm-large", LibraryConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def union_small(tiny_small):
+    return UnionizedGrid(tiny_small)
+
+
+@pytest.fixture(scope="session")
+def union_large(tiny_large):
+    return UnionizedGrid(tiny_large)

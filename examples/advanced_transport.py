@@ -1,0 +1,87 @@
+"""Advanced transport features: survival biasing, delta tracking, spectra.
+
+Three capabilities beyond the paper's baseline, each compared against the
+analog/surface-tracking reference on the same pin cell:
+
+1. **survival biasing** — implicit capture + Russian roulette: longer
+   histories, same eigenvalue, reduced variance;
+2. **Woodcock delta tracking** — geometry-free flights against a majorant
+   cross section (the SIMD-friendliest tracking scheme);
+3. **flux spectrum** — the track-length energy spectrum with its thermal
+   Maxwellian, 1/E slowing-down region, and Watt fission bump.
+
+Run:  python examples/advanced_transport.py
+"""
+
+import numpy as np
+
+from repro import LibraryConfig, Settings, Simulation, build_library
+from repro.data.unionized import UnionizedGrid
+from repro.transport.context import TransportContext
+from repro.transport.events import run_generation_event
+from repro.transport.spectrum import SpectrumTally
+from repro.transport.tally import GlobalTallies
+
+
+def main() -> None:
+    library = build_library("hm-small", LibraryConfig.tiny())
+
+    print("=== 1. Analog vs survival biasing vs delta tracking ===")
+    print(f"  {'mode':28s} {'k-effective':>24s} {'collisions':>11s} "
+          f"{'rate n/s':>9s}")
+    for label, mode, survival in (
+        ("event (analog)", "event", False),
+        ("event + survival biasing", "event", True),
+        ("delta tracking", "delta", False),
+        ("delta + survival biasing", "delta", True),
+    ):
+        r = Simulation(
+            library,
+            Settings(
+                n_particles=300, n_inactive=2, n_active=4, pincell=True,
+                mode=mode, seed=2015, survival_biasing=survival,
+            ),
+        ).run()
+        k = r.k_effective
+        print(f"  {label:28s} {k.mean:10.5f} +/- {k.std_err:.5f} "
+              f"{r.counters.collisions:>11,} {r.calculation_rate:>9,.0f}")
+    print("  (same eigenvalue from every algorithm; survival biasing "
+          "lengthens histories, delta pays virtual collisions)")
+
+    print("\n=== 2. The flux spectrum (end-to-end physics check) ===")
+    union = UnionizedGrid(library)
+    ctx = TransportContext.create(
+        library, pincell=True, union=union, master_seed=4,
+        survival_biasing=True,
+    )
+    spec = SpectrumTally(n_bins=48)
+    rng = np.random.default_rng(4)
+    pos = np.column_stack(
+        [rng.uniform(-0.3, 0.3, 400), rng.uniform(-0.3, 0.3, 400),
+         rng.uniform(-150, 150, 400)]
+    )
+    en = np.full(400, 2.0)
+    for g in range(3):
+        bank = run_generation_event(
+            ctx, pos, en, GlobalTallies(), 1.0, g * 400, spectrum=spec
+        )
+        pos, en = bank.sample_source(400, rng)
+
+    phi = spec.per_lethargy()
+    peak = phi.max()
+    print("  flux per lethargy (log-energy axis, '#' bars):")
+    marks = {
+        spec.bin_of(2.5e-8): "<- kT (thermal)",
+        spec.bin_of(1e-3): "<- 1/E slowing-down",
+        spec.bin_of(2.0): "<- Watt fission source",
+    }
+    for b in range(0, spec.n_bins, 2):
+        bar = "#" * int(40 * phi[b] / peak)
+        note = marks.get(b, marks.get(b + 1, ""))
+        print(f"  {spec.centers[b]:9.2e} MeV |{bar:40s}| {note}")
+    print(f"\n  thermal (<4 eV) flux fraction: "
+          f"{spec.fraction_below(4e-6):.1%}")
+
+
+if __name__ == "__main__":
+    main()

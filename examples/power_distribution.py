@@ -1,0 +1,66 @@
+"""Assembly power distribution — what the H.M. benchmark is actually for.
+
+The Hoogenboom-Martin benchmark was specified for "detailed power density
+calculation in a full size reactor core".  This example runs the full-core
+model with the event-based loop and survival biasing (implicit capture —
+longer histories, lower variance) and prints the 17x17 assembly power map
+as ASCII art, with per-assembly relative errors.
+
+Run:  python examples/power_distribution.py
+"""
+
+import numpy as np
+
+from repro import LibraryConfig, Settings, Simulation, build_library
+from repro.geometry.hoogenboom import hm_core_pattern
+
+
+def main() -> None:
+    library = build_library("hm-small", LibraryConfig.tiny())
+    sim = Simulation(
+        library,
+        Settings(
+            n_particles=600,
+            n_inactive=2,
+            n_active=6,
+            pincell=False,
+            mode="event",
+            seed=42,
+            survival_biasing=True,
+            tally_power=True,
+        ),
+    )
+    print("Transporting 8 batches x 600 particles through the full core "
+          "(event mode, survival biasing)...")
+    result = sim.run()
+    print(f"k-effective = {result.k_effective}")
+    print(f"rate        = {result.calculation_rate:,.0f} neutrons/s\n")
+
+    power = result.power.normalized_power()
+    pattern = hm_core_pattern()
+    print("Normalized assembly power (x100, '..' = no assembly):")
+    for iy in range(16, -1, -1):  # print north at top
+        row = []
+        for ix in range(17):
+            if not pattern[iy, ix]:
+                row.append("  ..")
+            else:
+                row.append(f"{power[iy, ix] * 100:4.0f}")
+        print(" ".join(row))
+
+    fueled = power[pattern]
+    print(f"\npeaking factor (max/avg): {fueled.max():.2f}")
+    print(f"edge/center power tilt:   "
+          f"{power[8, 1] / max(power[8, 8], 1e-9):.2f}")
+    err = result.power.rel_err[pattern & (result.power.mean > 0)]
+    print(f"median assembly rel. err: {np.median(err):.1%} "
+          f"({result.power.n_batches} active batches)")
+    print(
+        "\nAt this demo scale the map is statistics-dominated (note the "
+        "relative errors); increase n_particles/n_active for a converged "
+        "center-peaked distribution."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: a pin-cell eigenvalue calculation, both transport algorithms.
+
+Builds a synthetic H.M. Small nuclide library, runs a reflected PWR pin
+cell with the history-based (OpenMC-style) and event-based (banked,
+vectorized) transport loops, and shows that the two algorithms produce
+*identical* results — the core correctness claim of the banking method —
+while the banked loop runs substantially faster in Python (NumPy
+vectorization standing in for SIMD).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import LibraryConfig, Settings, Simulation, build_library
+
+
+def main() -> None:
+    print("Building H.M. Small synthetic library (tiny fidelity)...")
+    library = build_library("hm-small", LibraryConfig.tiny())
+    print(f"  {len(library)} nuclides, {library.nbytes / 1e6:.1f} MB pointwise data")
+
+    common = dict(
+        n_particles=300, n_inactive=2, n_active=4, pincell=True, seed=2015
+    )
+
+    results = {}
+    for mode in ("history", "event"):
+        print(f"\nRunning {mode}-based transport...")
+        sim = Simulation(library, Settings(mode=mode, **common))
+        results[mode] = sim.run()
+        r = results[mode]
+        print(f"  k-effective          = {r.k_effective}")
+        print(f"  calculation rate     = {r.calculation_rate:,.0f} neutrons/s")
+        print(f"  collisions processed = {r.counters.collisions:,}")
+        print(f"  XS lookups           = {r.counters.lookups:,}")
+
+    kh = results["history"].statistics.k_collision
+    ke = results["event"].statistics.k_collision
+    identical = np.allclose(kh, ke, rtol=1e-12)
+    print("\nPer-batch collision-estimator k values:")
+    for b, (a, c) in enumerate(zip(kh, ke)):
+        print(f"  batch {b}: history {a:.9f}   event {c:.9f}")
+    print(f"\nHistory and event runs bit-identical: {identical}")
+    speedup = (
+        results["history"].wall_time / results["event"].wall_time
+    )
+    print(f"Event-based (vectorized) speedup over history: {speedup:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

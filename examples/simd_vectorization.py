@@ -1,0 +1,92 @@
+"""SIMD anatomy: lane machines, layouts, and the two proxy kernels.
+
+Demonstrates the mechanics behind the paper's performance arguments:
+
+1. the counting lane machine executes Algorithm 4's intrinsics pipeline
+   and shows the vector-vs-scalar instruction gap;
+2. masked branchy physics (URR) wastes lanes — the measured lane
+   efficiency quantifies why the paper stripped those blocks;
+3. AoS vs SoA data layout changes the banked lookup kernel's speed;
+4. XSBench and RSBench: measured vectorized-vs-scalar wall-clock ratios.
+
+Run:  python examples/simd_vectorization.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.data import LibraryConfig, build_library
+from repro.proxy.rsbench import RSBench, RSBenchConfig
+from repro.proxy.xsbench import XSBench
+from repro.simd.analysis import queue_lane_efficiency
+from repro.simd.kernels import instruction_ratio, masked_lookup_kernel
+from repro.simd.lanes import VectorUnit
+
+
+def main() -> None:
+    print("=== 1. Instruction counts: Algorithm 4 on a 16-lane machine ===")
+    stats = instruction_ratio(16 * 1000, width=16)
+    print(f"  vector instructions: {stats['vector_instructions']:8,.0f}")
+    print(f"  scalar instructions: {stats['scalar_instructions']:8,.0f}")
+    print(f"  scalar/vector ratio: {stats['ratio']:.1f}x "
+          "(3 vector ops per 16 elements vs 1 scalar op each)")
+
+    print("\n=== 2. Branchy physics under masking (why URR blocks SIMD) ===")
+    for frac in (1.0, 0.25, 0.05):
+        vu = VectorUnit(width=16)
+        n = 1600
+        mask = np.zeros(n, dtype=bool)
+        mask[: int(frac * n)] = True
+        masked_lookup_kernel(vu, np.ones(n), mask, np.full(n, 1.1))
+        print(f"  URR branch taken by {frac:5.0%} of lanes -> "
+              f"lane efficiency {vu.counters.lane_efficiency:.0%}")
+
+    print("\n=== 3. Event-queue drain: lane efficiency over a generation ===")
+    draining = [2000, 1400, 900, 500, 260, 120, 50, 18, 6, 2, 1]
+    print(f"  queue sizes {draining}")
+    print(f"  aggregate 16-lane efficiency: "
+          f"{queue_lane_efficiency(draining, 16):.1%} "
+          "(why banking wants LARGE banks)")
+
+    library = build_library("hm-large", LibraryConfig.tiny())
+    print("\n=== 4. AoS vs SoA layout (the paper's key data transformation) ===")
+    sample_n = 4000
+    times = {}
+    for layout in ("soa", "aos"):
+        bench = XSBench(library, layout=layout)
+        sample = bench.generate_lookups(sample_n)
+        bench.run_banked(sample)  # warm
+        t, _ = bench.run_banked(sample)
+        times[layout] = t
+        print(f"  banked lookups, {layout.upper()} layout: {t * 1e3:7.1f} ms")
+    print(f"  SoA/AoS time ratio: {times['soa'] / times['aos']:.2f}")
+    print(
+        "  NOTE: NumPy fancy indexing is a *gather* either way, so AoS's\n"
+        "  per-record cache locality can even win here.  The paper's SoA\n"
+        "  advantage comes from unit-stride vector loads across lanes,\n"
+        "  which only real SIMD hardware expresses — see the machine model\n"
+        "  and EXPERIMENTS.md for the modelled effect."
+    )
+
+    print("\n=== 5. Proxy kernels: measured vectorization wins ===")
+    bench = XSBench(library)
+    small = bench.generate_lookups(600)
+    t_hist, _ = bench.run_history(small)
+    big = bench.generate_lookups(sample_n)
+    t_bank, _ = bench.run_banked(big)
+    print(f"  XSBench: history {600 / t_hist:9,.0f} lookups/s  "
+          f"banked {sample_n / t_bank:11,.0f} lookups/s  "
+          f"({(sample_n / t_bank) / (600 / t_hist):.0f}x)")
+
+    rs = RSBench(RSBenchConfig(n_nuclides=6, resonances_per_nuclide=30))
+    which, energies = rs.generate_lookups(3000)
+    t_orig, _ = rs.run_original(which, energies)
+    t_vec, _ = rs.run_vectorized(which, energies)
+    print(f"  RSBench: original {3000 / t_orig:9,.0f} lookups/s  "
+          f"vectorized {3000 / t_vec:8,.0f} lookups/s  "
+          f"({t_orig / t_vec:.0f}x); data footprint {rs.nbytes / 1e3:.0f} KB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of "A Performance Analysis of SIMD Algorithms for
+Monte Carlo Simulations of Nuclear Reactor Cores" (Ozog, Malony & Siegel,
+IPDPS Workshops 2015).
+
+The package is layered (see DESIGN.md):
+
+* :mod:`repro.rng`, :mod:`repro.data`, :mod:`repro.geometry` — substrates
+  (random numbers, synthetic nuclear data, CSG + Hoogenboom-Martin models);
+* :mod:`repro.physics`, :mod:`repro.transport` — the Monte Carlo neutron
+  transport core, with bit-equivalent history-based and event-based
+  (banked) algorithms;
+* :mod:`repro.simd`, :mod:`repro.machine` — the SIMD lane machine and the
+  calibrated Xeon Phi / host / PCIe performance models;
+* :mod:`repro.execution`, :mod:`repro.cluster` — the offload / native /
+  symmetric execution models and distributed scaling;
+* :mod:`repro.proxy`, :mod:`repro.experiments` — XSBench/RSBench proxies
+  and the per-table/figure experiment harness.
+
+Quickstart::
+
+    from repro import build_library, LibraryConfig, Simulation, Settings
+    library = build_library("hm-small", LibraryConfig.tiny())
+    result = Simulation(library, Settings(n_particles=500, pincell=True,
+                                          mode="event")).run()
+    print(result.k_effective)
+"""
+
+from .data import LibraryConfig, NuclideLibrary, UnionizedGrid, build_library
+from .geometry import build_hm_geometry, build_pincell_geometry
+from .transport import Settings, Simulation, SimulationResult, TransportContext
+from .work import WorkCounters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LibraryConfig",
+    "NuclideLibrary",
+    "UnionizedGrid",
+    "build_library",
+    "build_hm_geometry",
+    "build_pincell_geometry",
+    "Settings",
+    "Simulation",
+    "SimulationResult",
+    "TransportContext",
+    "WorkCounters",
+    "__version__",
+]

@@ -1,0 +1,118 @@
+"""``repro-sim``: run eigenvalue simulations from the command line.
+
+Examples::
+
+    repro-sim --pincell --particles 500 --mode event
+    repro-sim --model hm-large --particles 200 --batches 3 --inactive 1 \
+              --survival-biasing --tally-power
+    repro-sim --pincell --save-library lib.npz
+    repro-sim --pincell --library lib.npz     # reuse a saved library
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .data import LibraryConfig, build_library
+from .data.io import load_library, save_library
+from .transport import Settings, Simulation
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Monte Carlo eigenvalue simulation (history or "
+        "event/banked transport) on the Hoogenboom-Martin models.",
+    )
+    p.add_argument("--model", default="hm-small",
+                   choices=["hm-small", "hm-large"])
+    p.add_argument("--pincell", action="store_true",
+                   help="reflected pin cell instead of the full core")
+    p.add_argument("--mode", default="event",
+                   choices=["history", "event", "delta"],
+                   help="transport algorithm: scalar history loop, "
+                   "vectorized event loop, or Woodcock delta tracking")
+    p.add_argument("--particles", type=int, default=500)
+    p.add_argument("--batches", type=int, default=5,
+                   help="active batches")
+    p.add_argument("--inactive", type=int, default=2)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--fidelity", default="tiny", choices=["tiny", "default"],
+                   help="synthetic library fidelity")
+    p.add_argument("--survival-biasing", action="store_true")
+    p.add_argument("--tally-power", action="store_true",
+                   help="accumulate the 17x17 assembly power map")
+    p.add_argument("--no-sab", action="store_true",
+                   help="strip S(alpha,beta) (paper's vectorized config)")
+    p.add_argument("--no-urr", action="store_true",
+                   help="strip URR probability tables")
+    p.add_argument("--library", metavar="NPZ",
+                   help="load a saved library instead of building one")
+    p.add_argument("--save-library", metavar="NPZ",
+                   help="save the built library and exit")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.library:
+        library = load_library(args.library)
+        print(f"loaded library: {library.model}, {len(library)} nuclides")
+    else:
+        config = (
+            LibraryConfig.tiny()
+            if args.fidelity == "tiny"
+            else LibraryConfig()
+        )
+        library = build_library(args.model, config)
+        print(
+            f"built library: {library.model}, {len(library)} nuclides, "
+            f"{library.nbytes / 1e6:.1f} MB"
+        )
+    if args.save_library:
+        save_library(library, args.save_library)
+        print(f"saved to {args.save_library}")
+        return 0
+
+    settings = Settings(
+        n_particles=args.particles,
+        n_inactive=args.inactive,
+        n_active=args.batches,
+        seed=args.seed,
+        mode=args.mode,
+        pincell=args.pincell,
+        use_sab=not args.no_sab,
+        use_urr=not args.no_urr,
+        survival_biasing=args.survival_biasing,
+        tally_power=args.tally_power,
+    )
+    sim = Simulation(library, settings)
+    result = sim.run()
+
+    print(f"\nmode: {result.mode}  "
+          f"({'pin cell' if args.pincell else 'full core'}, "
+          f"{result.n_batches} batches x {result.n_particles} particles)")
+    print(f"k-effective (combined)  = {result.k_effective}")
+    print(f"k (collision)           = {result.statistics.result_collision()}")
+    print(f"k (absorption)          = {result.statistics.result_absorption()}")
+    print(f"k (track-length)        = {result.statistics.result_track()}")
+    print(f"calculation rate        = {result.calculation_rate:,.0f} n/s")
+    print(f"entropy trace           = "
+          + " ".join(f"{e:.3f}" for e in result.entropy_trace))
+    c = result.counters
+    print(f"work: {c.lookups:,} lookups, {c.collisions:,} collisions, "
+          f"{c.fissions:,} fissions, {c.urr_samples:,} URR samples, "
+          f"{c.sab_samples:,} S(a,b) samples")
+    if result.power is not None:
+        norm = result.power.normalized_power()
+        print(f"assembly power peaking factor = {norm.max():.2f} "
+              f"({result.power.n_batches} active batches)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Distributed substrate: simulated MPI, cluster topologies, scaling."""
+
+from .distributed import DistributedResult, DistributedSimulation
+from .scaling import ScalePoint, strong_scaling, weak_scaling
+from .simcomm import FabricModel, SimulatedComm
+from .topology import JLSE, STAMPEDE, ClusterTopology, NodeConfig
+
+__all__ = [
+    "DistributedResult",
+    "DistributedSimulation",
+    "ScalePoint",
+    "strong_scaling",
+    "weak_scaling",
+    "FabricModel",
+    "SimulatedComm",
+    "JLSE",
+    "STAMPEDE",
+    "ClusterTopology",
+    "NodeConfig",
+]

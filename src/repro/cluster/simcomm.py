@@ -1,0 +1,118 @@
+"""A simulated MPI communicator: executable collectives with a cost model.
+
+We have no multi-node machine (repro band 2), so the distributed runs of
+Figs. 6-7 execute their communication *logically* — the same reductions a
+real MPI build performs, over real NumPy buffers — while charging modelled
+time for each collective: a binomial-tree ``ceil(log2 p)`` rounds of
+(latency + bytes/bandwidth), the standard small-message collective model for
+the FDR InfiniBand fabric Stampede used.
+
+The important property (and a test target): per-batch communication is tiny
+compared to compute at the paper's scales, so scaling losses come from
+*occupancy*, not the network — exactly the paper's reading of its own 95%
+figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ClusterError
+
+__all__ = ["FabricModel", "SimulatedComm"]
+
+
+@dataclass(frozen=True)
+class FabricModel:
+    """Point-to-point fabric parameters (FDR InfiniBand defaults)."""
+
+    latency_s: float = 2.5e-6
+    bandwidth_gbps: float = 6.0
+
+    def message_time(self, nbytes: float) -> float:
+        return self.latency_s + nbytes / (self.bandwidth_gbps * 1.0e9)
+
+    def tree_collective_time(self, n_ranks: int, nbytes: float) -> float:
+        """Binomial-tree collective: ``ceil(log2 p)`` message rounds."""
+        if n_ranks < 1:
+            raise ClusterError("need at least one rank")
+        if n_ranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(n_ranks))
+        return rounds * self.message_time(nbytes)
+
+
+class SimulatedComm:
+    """An executable communicator over in-process rank buffers.
+
+    Collectives *really compute* their results (so tally reduction code
+    paths run end-to-end) and return the modelled wall time alongside.
+    """
+
+    def __init__(self, n_ranks: int, fabric: FabricModel | None = None) -> None:
+        if n_ranks < 1:
+            raise ClusterError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.fabric = fabric or FabricModel()
+        #: Accumulated modelled communication time [s].
+        self.comm_time = 0.0
+
+    def _check(self, per_rank: list[np.ndarray]) -> list[np.ndarray]:
+        if len(per_rank) != self.n_ranks:
+            raise ClusterError(
+                f"expected {self.n_ranks} rank buffers, got {len(per_rank)}"
+            )
+        arrays = [np.asarray(a, dtype=np.float64) for a in per_rank]
+        shape = arrays[0].shape
+        if any(a.shape != shape for a in arrays):
+            raise ClusterError("rank buffers must share a shape")
+        return arrays
+
+    def allreduce_sum(self, per_rank: list[np.ndarray]) -> tuple[np.ndarray, float]:
+        """Sum across ranks; every rank receives the result.
+
+        Time: reduce + broadcast trees (2 x log2 p rounds).
+        """
+        arrays = self._check(per_rank)
+        result = np.sum(arrays, axis=0)
+        t = 2.0 * self.fabric.tree_collective_time(
+            self.n_ranks, result.nbytes
+        )
+        self.comm_time += t
+        return result, t
+
+    def reduce_sum(self, per_rank: list[np.ndarray]) -> tuple[np.ndarray, float]:
+        """Sum across ranks to the root."""
+        arrays = self._check(per_rank)
+        result = np.sum(arrays, axis=0)
+        t = self.fabric.tree_collective_time(self.n_ranks, result.nbytes)
+        self.comm_time += t
+        return result, t
+
+    def bcast(self, value: np.ndarray) -> tuple[np.ndarray, float]:
+        """Broadcast from the root."""
+        value = np.asarray(value, dtype=np.float64)
+        t = self.fabric.tree_collective_time(self.n_ranks, value.nbytes)
+        self.comm_time += t
+        return value, t
+
+    def exchange_bank(
+        self, site_counts: list[int], site_bytes: float = 200.0
+    ) -> float:
+        """Fission-bank rebalancing between batches.
+
+        OpenMC redistributes sites so every rank starts the next generation
+        with its quota; the traffic is the imbalance (sites above/below the
+        mean), sent point-to-point.  Returns (and accrues) the modelled
+        time.
+        """
+        if len(site_counts) != self.n_ranks:
+            raise ClusterError("site_counts must have one entry per rank")
+        mean = sum(site_counts) / self.n_ranks
+        moved = sum(max(0.0, c - mean) for c in site_counts)
+        t = self.fabric.message_time(moved * site_bytes)
+        self.comm_time += t
+        return t

@@ -1,0 +1,82 @@
+"""Cluster topologies: Stampede (TACC) and JLSE as the paper used them.
+
+Stampede: 2 x E5-2680 hosts with FDR InfiniBand; 1,024 nodes carry one
+SE10P Xeon Phi and 384 nodes carry two (the reason Fig. 6's 2-MIC curve
+stops short of 2^10 nodes, which the paper asks the reader to note).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ClusterError
+from ..machine.presets import JLSE_HOST, MIC_7120A, MIC_SE10P, STAMPEDE_HOST
+from ..machine.spec import DeviceSpec
+from .simcomm import FabricModel
+
+__all__ = ["NodeConfig", "ClusterTopology", "STAMPEDE", "JLSE"]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Hardware of one node class."""
+
+    host: DeviceSpec
+    mics_per_node: int
+    mic: DeviceSpec | None
+
+    def __post_init__(self) -> None:
+        if self.mics_per_node < 0:
+            raise ClusterError("negative MIC count")
+        if self.mics_per_node > 0 and self.mic is None:
+            raise ClusterError("MIC count set but no MIC device")
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Named cluster: node classes with availability limits."""
+
+    name: str
+    host: DeviceSpec
+    mic: DeviceSpec
+    fabric: FabricModel
+    #: Maximum node counts by MICs-per-node (0 = CPU-only runs allowed
+    #: anywhere).
+    max_nodes_1mic: int
+    max_nodes_2mic: int
+
+    def node(self, mics_per_node: int) -> NodeConfig:
+        if mics_per_node not in (0, 1, 2):
+            raise ClusterError("nodes carry 0, 1, or 2 MICs")
+        return NodeConfig(
+            host=self.host,
+            mics_per_node=mics_per_node,
+            mic=self.mic if mics_per_node else None,
+        )
+
+    def max_nodes(self, mics_per_node: int) -> int:
+        """Largest job size for a node class (Fig. 6's curve extents)."""
+        if mics_per_node == 2:
+            return self.max_nodes_2mic
+        return self.max_nodes_1mic
+
+
+#: The TACC Stampede system as described in paper §III.
+STAMPEDE = ClusterTopology(
+    name="stampede",
+    host=STAMPEDE_HOST,
+    mic=MIC_SE10P,
+    fabric=FabricModel(latency_s=2.5e-6, bandwidth_gbps=6.0),
+    max_nodes_1mic=1024,
+    max_nodes_2mic=384,
+)
+
+#: The JLSE testbed (3 nodes with 2 MICs each).
+JLSE = ClusterTopology(
+    name="jlse",
+    host=JLSE_HOST,
+    mic=MIC_7120A,
+    fabric=FabricModel(latency_s=1.5e-6, bandwidth_gbps=7.0),
+    max_nodes_1mic=3,
+    max_nodes_2mic=3,
+)

@@ -1,0 +1,66 @@
+"""Physical constants and shared numeric conventions.
+
+All energies are in MeV, lengths in cm, times in seconds, cross sections in
+barns (microscopic) or 1/cm (macroscopic), and temperatures in Kelvin, matching
+the conventions of continuous-energy Monte Carlo neutron transport codes such
+as OpenMC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# --- Fundamental constants -------------------------------------------------
+
+#: Boltzmann constant [MeV / K].
+K_BOLTZMANN = 8.617333262e-11
+
+#: Neutron mass [amu].
+NEUTRON_MASS_AMU = 1.00866491588
+
+#: Neutron rest-mass energy [MeV].
+NEUTRON_MASS_MEV = 939.56542052
+
+#: Speed of light [cm / s].
+SPEED_OF_LIGHT = 2.99792458e10
+
+#: Avogadro's number [1 / mol], scaled so that
+#: ``atom_density [atom/b-cm] = density [g/cm^3] * N_AVOGADRO / A [g/mol]``.
+N_AVOGADRO = 0.602214076
+
+# --- Energy-domain conventions ----------------------------------------------
+
+#: Lowest tabulated neutron energy [MeV] (1e-11 MeV = 1e-5 eV).
+ENERGY_MIN = 1.0e-11
+
+#: Highest tabulated neutron energy [MeV].
+ENERGY_MAX = 20.0
+
+#: Thermal cutoff below which S(alpha, beta) / free-gas treatments apply [MeV].
+#: 4 eV, the usual ACE thermal cutoff.
+THERMAL_CUTOFF = 4.0e-6
+
+#: Room temperature [K] used as the default material temperature.
+ROOM_TEMPERATURE = 293.6
+
+#: kT at room temperature [MeV].
+KT_ROOM = K_BOLTZMANN * ROOM_TEMPERATURE
+
+# --- Numeric conventions ----------------------------------------------------
+
+#: Default floating dtype for cross-section and particle data.
+F64 = np.float64
+
+#: Single-precision dtype used by the SIMD lane machine (16 lanes x 4 bytes
+#: mirrors the Xeon Phi's 512-bit vector registers).
+F32 = np.float32
+
+#: Default integer dtype for indices.
+I64 = np.int64
+
+#: Geometry tolerance [cm]: particles are nudged by this amount across
+#: surfaces to avoid re-detecting the surface just crossed.
+SURFACE_NUDGE = 1.0e-8
+
+#: A distance treated as infinite by the tracking routines [cm].
+INFINITY = 1.0e30

@@ -1,0 +1,113 @@
+r"""Doppler broadening of Breit-Wigner resonances via the |psi|-|chi| method.
+
+At temperature :math:`T`, a single-level Breit-Wigner resonance line shape is
+broadened by the thermal motion of the target nucleus.  With the dimensionless
+offset :math:`x = 2 (E - E_0) / \Gamma` and Doppler parameter
+:math:`\zeta = \Gamma \sqrt{A / (4 k T E_0)}`, the symmetric and antisymmetric
+broadened profiles are
+
+.. math::
+
+    \psi(\zeta, x) = \frac{\zeta \sqrt{\pi}}{2}
+        \,\mathrm{Re}\, w\!\left(\frac{\zeta x}{2} + i \frac{\zeta}{2}\right),
+    \qquad
+    \chi(\zeta, x) = \zeta \sqrt{\pi}
+        \,\mathrm{Im}\, w\!\left(\frac{\zeta x}{2} + i \frac{\zeta}{2}\right),
+
+where :math:`w` is the Faddeeva function (``scipy.special.wofz``).  In the
+zero-temperature limit (:math:`\zeta \to \infty`) these reduce to the natural
+line shapes :math:`1/(1+x^2)` and :math:`2x/(1+x^2)`.
+
+This module is shared by the pointwise data generator
+(:mod:`repro.data.resonance`) and by the multipole representation
+(:mod:`repro.data.multipole`), which evaluates the same Faddeeva function per
+pole — the compute kernel of RSBench (paper Fig. 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import wofz
+
+from ..constants import K_BOLTZMANN
+
+__all__ = ["doppler_zeta", "psi_chi", "psi", "chi", "faddeeva"]
+
+
+def faddeeva(z: np.ndarray) -> np.ndarray:
+    """The Faddeeva function ``w(z) = exp(-z^2) erfc(-iz)``.
+
+    Thin wrapper over :func:`scipy.special.wofz`, named for parity with the
+    paper's multipole discussion.  Accepts real or complex array input.
+    """
+    return wofz(z)
+
+
+def doppler_zeta(
+    gamma: np.ndarray | float,
+    e0: np.ndarray | float,
+    awr: float,
+    temperature: float,
+) -> np.ndarray | float:
+    r"""Dimensionless Doppler parameter :math:`\zeta` for a resonance.
+
+    Parameters
+    ----------
+    gamma:
+        Total resonance width :math:`\Gamma` [MeV].
+    e0:
+        Resonance energy :math:`E_0` [MeV].
+    awr:
+        Atomic weight ratio of the target (mass / neutron mass).
+    temperature:
+        Material temperature [K].  ``temperature=0`` returns ``inf``
+        (natural, unbroadened line shape).
+    """
+    if temperature <= 0.0:
+        return np.inf * np.ones_like(np.asarray(gamma, dtype=float)) if np.ndim(
+            gamma
+        ) else np.inf
+    kt = K_BOLTZMANN * temperature
+    return np.asarray(gamma) * np.sqrt(awr / (4.0 * kt * np.asarray(e0)))
+
+
+def psi_chi(
+    zeta: np.ndarray | float, x: np.ndarray | float
+) -> tuple[np.ndarray, np.ndarray]:
+    r"""Evaluate :math:`\psi(\zeta, x)` and :math:`\chi(\zeta, x)` together.
+
+    Both profiles share one Faddeeva evaluation, so computing them jointly
+    halves the work — the same economy the multipole method exploits.
+    Handles the :math:`\zeta = \infty` (0 K) limit exactly.
+    """
+    zeta = np.asarray(zeta, dtype=float)
+    x = np.asarray(x, dtype=float)
+    zeta_b, x_b = np.broadcast_arrays(zeta, x)
+    psi_out = np.empty(zeta_b.shape, dtype=float)
+    chi_out = np.empty(zeta_b.shape, dtype=float)
+
+    cold = ~np.isfinite(zeta_b)
+    if cold.any():
+        denom = 1.0 + x_b[cold] ** 2
+        psi_out[cold] = 1.0 / denom
+        chi_out[cold] = 2.0 * x_b[cold] / denom
+    warm = ~cold
+    if warm.any():
+        z = 0.5 * zeta_b[warm] * (x_b[warm] + 1j)
+        w = wofz(z)
+        root_pi = np.sqrt(np.pi)
+        psi_out[warm] = 0.5 * zeta_b[warm] * root_pi * w.real
+        chi_out[warm] = zeta_b[warm] * root_pi * w.imag
+    if psi_out.ndim == 0:
+        return float(psi_out), float(chi_out)
+    return psi_out, chi_out
+
+
+def psi(zeta: np.ndarray | float, x: np.ndarray | float) -> np.ndarray:
+    r"""Symmetric broadened profile :math:`\psi` (capture/fission shape)."""
+    return psi_chi(zeta, x)[0]
+
+
+def chi(zeta: np.ndarray | float, x: np.ndarray | float) -> np.ndarray:
+    r"""Antisymmetric broadened profile :math:`\chi` (interference shape)."""
+    return psi_chi(zeta, x)[1]

@@ -1,0 +1,126 @@
+"""Library serialization: save/load synthetic libraries as ``.npz`` files.
+
+Building a paper-fidelity H.M. Large library takes seconds; repeated
+benchmark sessions (and downstream users who want a *fixed* data file
+rather than a generator) benefit from caching the built arrays.  The format
+is a single compressed ``.npz`` holding every nuclide's grid/XS plus the
+URR and S(alpha, beta) attachments, with a schema version for forward
+compatibility.  Loaded libraries compare exactly equal to the originals.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DataError
+from .library import LibraryConfig, NuclideLibrary
+from .nuclide import Nuclide
+from .sab import SabTable
+from .urr import URRTable
+
+__all__ = ["save_library", "load_library"]
+
+_SCHEMA_VERSION = 1
+
+
+def save_library(library: NuclideLibrary, path: str | Path) -> None:
+    """Write a library to a compressed ``.npz`` file."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {
+        "schema": _SCHEMA_VERSION,
+        "model": library.model,
+        "config": asdict(library.config),
+        "nuclides": [],
+        "urr": sorted(library.urr),
+        "sab": sorted(library.sab),
+    }
+    for nuc in library:
+        meta["nuclides"].append(
+            {
+                "name": nuc.name,
+                "awr": nuc.awr,
+                "fissionable": nuc.fissionable,
+                "nu0": nuc.nu0,
+                "watt_a": nuc.watt_a,
+                "watt_b": nuc.watt_b,
+                "has_urr": nuc.has_urr,
+                "urr_emin": nuc.urr_emin,
+                "urr_emax": nuc.urr_emax,
+                "has_sab": nuc.has_sab,
+            }
+        )
+        arrays[f"nuc/{nuc.name}/energy"] = nuc.energy
+        arrays[f"nuc/{nuc.name}/xs"] = nuc.xs
+    for name, table in library.urr.items():
+        arrays[f"urr/{name}/band_edges"] = table.band_edges
+        arrays[f"urr/{name}/cdf"] = table.cdf
+        arrays[f"urr/{name}/factors"] = table.factors
+    for name, table in library.sab.items():
+        arrays[f"sab/{name}/e_in"] = table.e_in
+        arrays[f"sab/{name}/xs"] = table.xs
+        arrays[f"sab/{name}/e_out"] = table.e_out
+        arrays[f"sab/{name}/mu"] = table.mu
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_library(path: str | Path) -> NuclideLibrary:
+    """Read a library written by :func:`save_library`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"no library file at {path}")
+    with np.load(path) as data:
+        try:
+            meta = json.loads(bytes(data["__meta__"]).decode())
+        except KeyError:
+            raise DataError(f"{path} is not a repro library file") from None
+        if meta.get("schema") != _SCHEMA_VERSION:
+            raise DataError(
+                f"{path}: unsupported schema {meta.get('schema')!r} "
+                f"(expected {_SCHEMA_VERSION})"
+            )
+        nuclides = []
+        for info in meta["nuclides"]:
+            name = info["name"]
+            nuclides.append(
+                Nuclide(
+                    name=name,
+                    awr=info["awr"],
+                    energy=data[f"nuc/{name}/energy"],
+                    xs=data[f"nuc/{name}/xs"],
+                    fissionable=info["fissionable"],
+                    nu0=info["nu0"],
+                    watt_a=info["watt_a"],
+                    watt_b=info["watt_b"],
+                    has_urr=info["has_urr"],
+                    urr_emin=info["urr_emin"],
+                    urr_emax=info["urr_emax"],
+                    has_sab=info["has_sab"],
+                )
+            )
+        urr = {
+            name: URRTable(
+                band_edges=data[f"urr/{name}/band_edges"],
+                cdf=data[f"urr/{name}/cdf"],
+                factors=data[f"urr/{name}/factors"],
+            )
+            for name in meta["urr"]
+        }
+        sab = {
+            name: SabTable(
+                e_in=data[f"sab/{name}/e_in"],
+                xs=data[f"sab/{name}/xs"],
+                e_out=data[f"sab/{name}/e_out"],
+                mu=data[f"sab/{name}/mu"],
+            )
+            for name in meta["sab"]
+        }
+    config = LibraryConfig(**meta["config"])
+    return NuclideLibrary(nuclides, urr, sab, config, meta["model"])

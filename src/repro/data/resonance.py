@@ -1,0 +1,269 @@
+r"""Synthetic resonance ladders and pointwise cross-section reconstruction.
+
+The paper evaluates on ENDF-derived ACE libraries, which we do not have
+offline.  The performance-relevant properties of that data are structural —
+thousands of energy points per nuclide, sharp resonances that force fine local
+grids, per-nuclide grids that force repeated grid searches — so we generate
+statistically realistic ladders instead:
+
+* resonance energies follow the **Wigner surmise** for level spacings,
+* neutron widths follow a **Porter-Thomas** (chi-squared, 1 dof) distribution,
+* line shapes are **single-level Breit-Wigner**, Doppler-broadened with the
+  :math:`\psi`-:math:`\chi` profiles of :mod:`repro.data.doppler`,
+* thermal capture follows the usual :math:`1/v` law, and elastic scattering
+  tends to the potential-scattering cross section between resonances.
+
+Every ladder is produced deterministically from the nuclide's name and a
+library seed, so libraries are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import ENERGY_MAX, ENERGY_MIN
+from ..errors import DataError
+from .doppler import doppler_zeta, psi_chi
+
+__all__ = ["ResonanceLadder", "sample_ladder", "reconstruct_xs", "build_energy_grid"]
+
+#: Peak-cross-section prefactor :math:`4\pi\lambda\!\!\bar{}^2 = 2.608\times
+#: 10^6 / E[\mathrm{eV}]` barns, i.e. ``2.608 barn-MeV`` with energies in MeV
+#: (the textbook SLBW constant; statistical factor g folded into the widths).
+SIGMA0_CONST_BARN_MEV = 2.608
+
+#: Gaussian taper half-width (in line half-widths x) applied to the
+#: interference term so its 1/x tails do not swamp potential scattering far
+#: from resonance — multi-level evaluations cancel those tails physically.
+_INTERFERENCE_TAPER = 30.0
+
+
+@dataclass
+class ResonanceLadder:
+    """Resonance parameters for one nuclide.
+
+    Arrays are aligned: entry ``j`` describes resonance ``j``.
+    All widths and energies are in MeV.
+    """
+
+    #: Resonance energies :math:`E_0` [MeV], strictly increasing.
+    e0: np.ndarray
+    #: Neutron (elastic) widths :math:`\Gamma_n` [MeV].
+    gamma_n: np.ndarray
+    #: Radiative capture widths :math:`\Gamma_\gamma` [MeV].
+    gamma_g: np.ndarray
+    #: Fission widths :math:`\Gamma_f` [MeV] (zeros for non-fissionable).
+    gamma_f: np.ndarray
+    #: Potential-scattering cross section [barns].
+    sigma_pot: float
+    #: Thermal (2200 m/s) capture cross section [barns] for the 1/v component.
+    sigma_thermal_capture: float
+    #: Thermal fission cross section [barns] for the 1/v component.
+    sigma_thermal_fission: float = 0.0
+
+    def __post_init__(self) -> None:
+        n = self.e0.shape[0]
+        for name in ("gamma_n", "gamma_g", "gamma_f"):
+            if getattr(self, name).shape[0] != n:
+                raise DataError(f"ladder array {name!r} length mismatch")
+        if n and np.any(np.diff(self.e0) <= 0):
+            raise DataError("resonance energies must be strictly increasing")
+
+    @property
+    def n_resonances(self) -> int:
+        return int(self.e0.shape[0])
+
+    @property
+    def gamma_total(self) -> np.ndarray:
+        """Total widths :math:`\\Gamma = \\Gamma_n+\\Gamma_\\gamma+\\Gamma_f`."""
+        return self.gamma_n + self.gamma_g + self.gamma_f
+
+
+def sample_ladder(
+    rng: np.random.Generator,
+    *,
+    fissionable: bool,
+    n_resonances: int,
+    e_first: float = 5.0e-6,
+    mean_spacing: float = 20.0e-6,
+    mean_gamma_n: float = 2.0e-9,
+    mean_gamma_g: float = 23.0e-9,
+    mean_gamma_f: float = 50.0e-9,
+    sigma_pot: float = 11.3,
+    sigma_thermal_capture: float = 2.7,
+    sigma_thermal_fission: float = 0.0,
+) -> ResonanceLadder:
+    """Draw a statistically realistic resonance ladder.
+
+    Defaults are loosely modelled on U-238's resolved range (first resonance
+    near 6.7 eV, ~20 eV mean spacing, meV-scale widths).
+
+    Parameters
+    ----------
+    rng:
+        NumPy generator; pass a seeded generator for reproducibility.
+    fissionable:
+        If true, fission widths are drawn (Porter-Thomas); otherwise zero.
+    n_resonances:
+        Number of resonances in the resolved range.
+    e_first, mean_spacing:
+        Energy of the first resonance and the mean level spacing [MeV].
+    mean_gamma_n, mean_gamma_g, mean_gamma_f:
+        Mean partial widths [MeV].
+    """
+    if n_resonances < 0:
+        raise DataError("n_resonances must be non-negative")
+    # Wigner surmise: P(s) ~ (pi s / 2 D^2) exp(-pi s^2 / 4 D^2);
+    # inverse-CDF sampling gives s = D * sqrt(-(4/pi) ln(1 - xi)).
+    xi = rng.random(n_resonances)
+    spacings = mean_spacing * np.sqrt(-(4.0 / np.pi) * np.log1p(-xi))
+    if n_resonances:
+        e0 = e_first + np.concatenate([[0.0], np.cumsum(spacings[:-1])])
+    else:
+        e0 = np.empty(0)
+    # Porter-Thomas (chi^2, 1 dof): width = mean * z^2 with z ~ N(0,1).
+    gamma_n = mean_gamma_n * rng.standard_normal(n_resonances) ** 2
+    # Capture widths have many exit channels -> nearly constant.
+    gamma_g = mean_gamma_g * (0.8 + 0.4 * rng.random(n_resonances))
+    if fissionable:
+        gamma_f = mean_gamma_f * rng.standard_normal(n_resonances) ** 2
+    else:
+        gamma_f = np.zeros(n_resonances)
+    # Floor the neutron width so no resonance degenerates to zero strength.
+    gamma_n = np.maximum(gamma_n, 1e-3 * mean_gamma_n)
+    return ResonanceLadder(
+        e0=e0,
+        gamma_n=gamma_n,
+        gamma_g=gamma_g,
+        gamma_f=gamma_f,
+        sigma_pot=sigma_pot,
+        sigma_thermal_capture=sigma_thermal_capture,
+        sigma_thermal_fission=sigma_thermal_fission,
+    )
+
+
+def build_energy_grid(
+    ladder: ResonanceLadder,
+    *,
+    n_base: int = 600,
+    points_per_resonance: int = 12,
+    e_min: float = ENERGY_MIN,
+    e_max: float = ENERGY_MAX,
+) -> np.ndarray:
+    """Union energy grid: a log-spaced backbone plus clusters at resonances.
+
+    Real evaluated data concentrates grid points where the cross section
+    varies fastest; we mirror that by inserting ``points_per_resonance``
+    points across ±12 total widths of every resonance, spaced by ``tanh`` so
+    density peaks at the line center.
+    """
+    base = np.geomspace(e_min, e_max, n_base)
+    if ladder.n_resonances == 0 or points_per_resonance <= 0:
+        return base
+    gamma = ladder.gamma_total
+    # tanh spacing in [-1, 1] concentrates points near 0 (the peak).
+    t = np.linspace(-1.0, 1.0, points_per_resonance)
+    offsets = np.tanh(2.0 * t) / np.tanh(2.0)  # still in [-1, 1]
+    local = ladder.e0[:, None] + 12.0 * gamma[:, None] * offsets[None, :]
+    # Always tabulate the exact peak energies.
+    grid = np.unique(np.concatenate([base, local.ravel(), ladder.e0]))
+    return grid[(grid >= e_min) & (grid <= e_max)]
+
+
+def reconstruct_xs(
+    ladder: ResonanceLadder,
+    energies: np.ndarray,
+    *,
+    awr: float,
+    temperature: float,
+    wofz_window: float = 50.0,
+) -> dict[str, np.ndarray]:
+    r"""Evaluate SLBW pointwise cross sections on an energy grid.
+
+    Returns a dict with keys ``"elastic"``, ``"capture"``, ``"fission"`` and
+    ``"total"`` (barns).  Components:
+
+    * capture/fission: :math:`\sigma_0 (\Gamma_x/\Gamma) \sqrt{E_0/E}\,
+      \psi(\zeta, x)` summed over resonances, plus a :math:`1/v` thermal tail;
+    * elastic: potential scattering plus the resonance term
+      :math:`\sigma_0 [ (\Gamma_n/\Gamma) \psi + (R/\lambda\!\!\bar{})
+      \chi ]` (interference approximated with a fixed ratio);
+    * total: the sum.
+
+    The evaluation cost is O(n_resonances × n_energies) — batched over
+    energies with NumPy, which is itself an instance of the paper's theme
+    (vectorize the inner loop).  The Faddeeva function is only evaluated
+    within ``wofz_window`` half-widths of each line center; beyond that,
+    Doppler broadening is negligible and the cheap natural (0 K) Lorentzian
+    shape is used, keeping library construction fast for 320-nuclide models.
+    """
+    energies = np.asarray(energies, dtype=float)
+    if np.any(energies <= 0):
+        raise DataError("energies must be positive")
+    n_e = energies.shape[0]
+    elastic = np.full(n_e, ladder.sigma_pot, dtype=float)
+    capture = np.zeros(n_e, dtype=float)
+    fission = np.zeros(n_e, dtype=float)
+
+    # 1/v thermal components, normalized at 0.0253 eV.
+    e_thermal = 2.53e-8  # MeV
+    inv_v = np.sqrt(e_thermal / energies)
+    capture += ladder.sigma_thermal_capture * inv_v
+    fission += ladder.sigma_thermal_fission * inv_v
+
+    if ladder.n_resonances:
+        gamma = ladder.gamma_total
+        # Peak cross section sigma_0 = 4 pi lambda-bar^2 Gamma_n / Gamma.
+        sigma0 = SIGMA0_CONST_BARN_MEV / ladder.e0 * (ladder.gamma_n / gamma)
+        zeta = doppler_zeta(gamma, ladder.e0, awr, temperature)
+        # Resonance-potential interference amplitude: sqrt(sigma0 * sigma_pot).
+        interference = np.sqrt(sigma0 * ladder.sigma_pot)
+
+        # Chunk over resonances to bound the temporary (n_res, n_e) arrays.
+        chunk = max(1, int(4.0e6 // max(n_e, 1)))
+        zeta_arr = np.atleast_1d(np.asarray(zeta, dtype=float))
+        for start in range(0, ladder.n_resonances, chunk):
+            sl = slice(start, start + chunk)
+            x = 2.0 * (energies[None, :] - ladder.e0[sl, None]) / gamma[sl, None]
+            # Far wings: natural Lorentzian shapes (Doppler negligible there).
+            denom = 1.0 + x * x
+            psi_v = 1.0 / denom
+            chi_v = 2.0 * x / denom
+            near = np.abs(x) <= wofz_window
+            if near.any():
+                zeta_b = np.broadcast_to(zeta_arr[sl, None], x.shape)
+                psi_n, chi_n = psi_chi(zeta_b[near], x[near])
+                psi_v[near] = psi_n
+                chi_v[near] = chi_n
+            sqrt_ratio = np.sqrt(ladder.e0[sl, None] / energies[None, :])
+            strength = sigma0[sl, None] * sqrt_ratio
+            capture += np.sum(
+                strength * (ladder.gamma_g[sl, None] / gamma[sl, None]) * psi_v,
+                axis=0,
+            )
+            fission += np.sum(
+                strength * (ladder.gamma_f[sl, None] / gamma[sl, None]) * psi_v,
+                axis=0,
+            )
+            taper = np.exp(-((x / _INTERFERENCE_TAPER) ** 2))
+            elastic += np.sum(
+                strength * (ladder.gamma_n[sl, None] / gamma[sl, None]) * psi_v
+                + interference[sl, None]
+                * np.sqrt(ladder.e0[sl, None] / energies[None, :])
+                * chi_v
+                * taper,
+                axis=0,
+            )
+
+    # Interference can drive SLBW elastic slightly negative between
+    # resonances; clamp as evaluated libraries do.
+    np.clip(elastic, 0.0, None, out=elastic)
+    total = elastic + capture + fission
+    return {
+        "elastic": elastic,
+        "capture": capture,
+        "fission": fission,
+        "total": total,
+    }

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GeometryError(ReproError):
+    """A particle could not be located, or a model is inconsistent."""
+
+
+class DataError(ReproError):
+    """Nuclear-data construction or lookup failed."""
+
+
+class PhysicsError(ReproError):
+    """A physics routine received an unphysical state."""
+
+
+class MachineModelError(ReproError):
+    """The device/cost model was configured or queried inconsistently."""
+
+
+class ExecutionError(ReproError):
+    """An execution model (offload/native/symmetric) was misconfigured."""
+
+
+class ClusterError(ReproError):
+    """The simulated cluster/communicator was used incorrectly."""

@@ -1,0 +1,22 @@
+"""Execution models: offload, native, and symmetric (paper §II-B)."""
+
+from .loadbalance import AdaptiveAlphaController, alpha_split, equal_split
+from .native import ACTIVE_TALLY_SURCHARGE, NativeModel, alpha
+from .offload import OFFLOAD_FIXED_S, OffloadCostModel
+from .symmetric import NODE_SYNC_S, SymmetricNode
+from .trace import OffloadTrace, trace_offload
+
+__all__ = [
+    "AdaptiveAlphaController",
+    "alpha_split",
+    "equal_split",
+    "ACTIVE_TALLY_SURCHARGE",
+    "NativeModel",
+    "alpha",
+    "OFFLOAD_FIXED_S",
+    "OffloadCostModel",
+    "NODE_SYNC_S",
+    "SymmetricNode",
+    "OffloadTrace",
+    "trace_offload",
+]

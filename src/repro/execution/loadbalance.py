@@ -1,0 +1,101 @@
+r"""Static and adaptive load balancing for symmetric mode (paper §III-B3, §V).
+
+With host and MIC ranks running the same binary, OpenMC's default static
+split (equal particles per rank) leaves the faster device idle at the batch
+barrier.  The paper's fix solves
+
+.. math::
+
+    p_{mic} n_{mic} + p_{cpu} n_{cpu} = n_{total}, \qquad
+    n_{cpu} / n_{mic} = \alpha
+
+for the per-rank particle counts (Eq. 3):
+
+.. math::
+
+    n_{mic} = \frac{n_{total}}{p_{mic} + p_{cpu}\alpha}, \qquad
+    n_{cpu} = \frac{\alpha\, n_{total}}{p_{mic} + p_{cpu}\alpha}.
+
+§V sketches the runtime-adaptive variant — start at :math:`\alpha = 1/p`
+equivalently an equal split, measure each rank's rate on the first batch,
+and rebalance — implemented here as :class:`AdaptiveAlphaController`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExecutionError
+
+__all__ = ["alpha_split", "equal_split", "AdaptiveAlphaController"]
+
+
+def equal_split(n_total: int, p: int) -> list[int]:
+    """OpenMC's default static assignment: ``n_total / p`` each (remainder
+    to the first ranks)."""
+    if p < 1:
+        raise ExecutionError("need at least one rank")
+    base = n_total // p
+    rem = n_total % p
+    return [base + (1 if r < rem else 0) for r in range(p)]
+
+
+def alpha_split(
+    n_total: int, p_mic: int, p_cpu: int, alpha: float
+) -> tuple[int, int]:
+    """Eq. (3): particles per MIC rank and per CPU rank.
+
+    Counts are rounded; the MIC ranks absorb the rounding remainder so the
+    total is exact.  For the paper's example (1e7 particles, 1 MIC + 1 CPU,
+    alpha = 0.62) this returns (6,172,840, 3,827,160).
+    """
+    if p_mic < 0 or p_cpu < 0 or p_mic + p_cpu == 0:
+        raise ExecutionError("invalid rank counts")
+    if alpha <= 0:
+        raise ExecutionError("alpha must be positive")
+    if p_mic == 0:
+        return 0, n_total // p_cpu
+    denom = p_mic + p_cpu * alpha
+    n_cpu = int(round(n_total * alpha / denom))
+    if p_cpu == 0:
+        n_cpu = 0
+    # MIC ranks take exactly the rest (integer-exact total).
+    n_mic = (n_total - p_cpu * n_cpu) // p_mic
+    return n_mic, n_cpu
+
+
+@dataclass
+class AdaptiveAlphaController:
+    """Runtime alpha estimation from measured batch rates (paper §V).
+
+    Start with an equal split; after each batch, update alpha from the
+    measured CPU and MIC calculation rates (exponentially smoothed, since
+    the paper observes the rate "varies little between batches").
+    """
+
+    p_mic: int
+    p_cpu: int
+    smoothing: float = 0.5
+    alpha: float | None = None
+    history: list[float] = field(default_factory=list)
+
+    def split(self, n_total: int) -> tuple[int, int]:
+        """Current per-rank assignment (equal until a measurement lands)."""
+        if self.alpha is None:
+            per = equal_split(n_total, self.p_mic + self.p_cpu)
+            return per[0], per[-1]
+        return alpha_split(n_total, self.p_mic, self.p_cpu, self.alpha)
+
+    def observe(self, cpu_rate: float, mic_rate: float) -> float:
+        """Feed one batch's measured rates; returns the updated alpha."""
+        if cpu_rate <= 0 or mic_rate <= 0:
+            raise ExecutionError("rates must be positive")
+        measured = cpu_rate / mic_rate
+        if self.alpha is None:
+            self.alpha = measured
+        else:
+            self.alpha = (
+                self.smoothing * measured + (1.0 - self.smoothing) * self.alpha
+            )
+        self.history.append(self.alpha)
+        return self.alpha

@@ -1,0 +1,112 @@
+"""The symmetric execution model: host + MIC ranks under MPI.
+
+One binary per architecture, launched together; work is split statically.
+The batch barrier means the node's batch time is the *maximum* over its
+ranks — the load-imbalance mechanism behind Table III's "Original" column —
+plus a per-batch synchronization/reduction cost.
+
+This model produces Table III directly and is the per-node building block
+of the cluster-scaling experiments (Figs. 6-7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExecutionError
+from ..machine.kernels import TransportCostModel, WorkPerParticle
+from ..machine.memory import library_nuclides
+from ..machine.spec import DeviceSpec
+from .loadbalance import alpha_split, equal_split
+
+__all__ = ["SymmetricNode"]
+
+#: Per-batch synchronization + tally-reduction cost within a node [s].
+NODE_SYNC_S = 0.1
+
+
+@dataclass
+class SymmetricNode:
+    """One compute node running symmetric mode.
+
+    ``mics`` may be empty (CPU-only node), hold one MIC (most Stampede
+    nodes) or two (JLSE and 384 Stampede nodes).
+    """
+
+    host: DeviceSpec
+    mics: list[DeviceSpec]
+    model: str
+    work: WorkPerParticle | None = None
+
+    def __post_init__(self) -> None:
+        if self.work is None:
+            self.work = WorkPerParticle.hm_reference()
+        n_nuc = library_nuclides(self.model)
+        self._host_cost = TransportCostModel(self.host, n_nuc, self.work)
+        self._mic_costs = [
+            TransportCostModel(m, n_nuc, self.work) for m in self.mics
+        ]
+
+    @property
+    def n_ranks(self) -> int:
+        return 1 + len(self.mics)
+
+    # -- Assignments ----------------------------------------------------------------
+
+    def split(
+        self, n_particles: int, strategy: str, alpha: float | None = None
+    ) -> tuple[list[int], int]:
+        """Per-MIC and host particle assignments.
+
+        ``strategy`` is ``"equal"`` (OpenMC default) or ``"alpha"``
+        (Eq. 3 static balancing, requires ``alpha``).
+        Returns ``(per_mic_counts, host_count)``.
+        """
+        if strategy == "equal":
+            parts = equal_split(n_particles, self.n_ranks)
+            return parts[: len(self.mics)], parts[-1]
+        if strategy == "alpha":
+            if alpha is None:
+                raise ExecutionError("alpha strategy requires alpha")
+            n_mic, n_cpu = alpha_split(
+                n_particles, len(self.mics), 1, alpha
+            )
+            return [n_mic] * len(self.mics), n_cpu
+        raise ExecutionError(f"unknown split strategy {strategy!r}")
+
+    # -- Timing ---------------------------------------------------------------------
+
+    def batch_time(
+        self,
+        n_particles: int,
+        strategy: str = "equal",
+        alpha: float | None = None,
+    ) -> float:
+        """Node batch time: barrier max over ranks, plus node sync."""
+        if not self.mics:
+            return self._host_cost.batch_time(n_particles) + NODE_SYNC_S
+        mic_counts, host_count = self.split(n_particles, strategy, alpha)
+        times = [self._host_cost.batch_time(host_count)]
+        times += [
+            cost.batch_time(n)
+            for cost, n in zip(self._mic_costs, mic_counts)
+        ]
+        return max(times) + NODE_SYNC_S
+
+    def calculation_rate(
+        self,
+        n_particles: int,
+        strategy: str = "equal",
+        alpha: float | None = None,
+    ) -> float:
+        """Node calculation rate [n/s] (Table III's entries)."""
+        t = self.batch_time(n_particles, strategy, alpha)
+        return n_particles / t if t > 0 else 0.0
+
+    def ideal_rate(self, n_particles: int) -> float:
+        """Sum of isolated device rates — the paper's 'ideal' reference."""
+        per = n_particles // self.n_ranks
+        rate = self._host_cost.calculation_rate(per)
+        for cost in self._mic_costs:
+            rate += cost.calculation_rate(per)
+        return rate

@@ -1,0 +1,93 @@
+"""Offload pipeline traces: measured bank structure x modelled device costs.
+
+The analytic offload model (:mod:`repro.execution.offload`) prices a bank of
+N particles; the *executable* event loop tells us what N actually is on
+every iteration of a real generation (banks shrink as histories die — the
+:class:`repro.transport.events.EventLoopStats` queue trace).  This module
+joins the two: replaying a measured queue trace through the offload cost
+model yields the per-iteration and total offload costs a real
+bank-and-offload implementation of that generation would have paid,
+including the fixed-overhead amplification caused by shrinking banks — the
+effect behind Fig. 3's "bank at least 10,000 particles" advice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExecutionError
+from ..transport.events import EventLoopStats
+from .offload import OFFLOAD_FIXED_S, OffloadCostModel
+
+__all__ = ["OffloadTrace", "trace_offload"]
+
+
+@dataclass
+class OffloadTrace:
+    """Per-iteration offload costs for one generation's queue trace."""
+
+    bank_sizes: list[int]
+    banking_s: list[float]
+    transfer_s: list[float]
+    compute_s: list[float]
+    fixed_s: list[float]
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.bank_sizes)
+
+    @property
+    def total_s(self) -> float:
+        return (
+            sum(self.banking_s)
+            + sum(self.transfer_s)
+            + sum(self.compute_s)
+            + sum(self.fixed_s)
+        )
+
+    @property
+    def fixed_fraction(self) -> float:
+        """Share of total cost that is per-offload fixed overhead — rises
+        as banks shrink (the late-generation tail)."""
+        total = self.total_s
+        return sum(self.fixed_s) / total if total else 0.0
+
+    def per_particle_cost(self) -> list[float]:
+        """Offload seconds per banked particle, per iteration.
+
+        Monotone-increasing toward the generation's tail: the measured form
+        of Fig. 3's amortization argument.
+        """
+        out = []
+        for i, n in enumerate(self.bank_sizes):
+            cost = (
+                self.banking_s[i]
+                + self.transfer_s[i]
+                + self.compute_s[i]
+                + self.fixed_s[i]
+            )
+            out.append(cost / n if n else float("inf"))
+        return out
+
+
+def trace_offload(
+    stats: EventLoopStats, model: OffloadCostModel
+) -> OffloadTrace:
+    """Price a measured event-loop queue trace through the offload model.
+
+    Each event-loop iteration's lookup queue is one offload: the bank is
+    written on the host, shipped over PCIe, and computed on the MIC, plus
+    the fixed per-offload runtime overhead.
+    """
+    if stats.iterations == 0:
+        raise ExecutionError("empty queue trace — run a generation first")
+    trace = OffloadTrace(
+        bank_sizes=list(stats.lookup_counts),
+        banking_s=[], transfer_s=[], compute_s=[], fixed_s=[],
+    )
+    for n in stats.lookup_counts:
+        trace.banking_s.append(model.banking_time_host(n))
+        trace.transfer_s.append(model.transfer_time(n))
+        trace.compute_s.append(model.mic_compute_time(n))
+        trace.fixed_s.append(OFFLOAD_FIXED_S + model.mic_launch_overhead())
+    return trace

@@ -1,0 +1,36 @@
+"""Experiment harness: one module per paper table/figure (DESIGN.md §4).
+
+Importing this package registers every experiment; run them via
+``repro-experiments`` or :func:`repro.experiments.run_experiment`.
+"""
+
+from . import (  # noqa: F401  (registration side effects)
+    ext_doppler,
+    ext_future_work,
+    fig1_u238_xs,
+    fig2_lookup_rates,
+    fig3_offload_ratio,
+    fig4_profile,
+    fig5_calc_rates,
+    fig6_strong_scaling,
+    fig7_weak_scaling,
+    fig8_rsbench,
+    table1_sampling,
+    table2_offload,
+    table3_loadbalance,
+)
+from .common import ExperimentResult, Scale, all_experiments, get_experiment
+
+
+def run_experiment(exp_id: str, scale: str = "quick") -> ExperimentResult:
+    """Run one registered experiment at the named scale."""
+    return get_experiment(exp_id)(Scale.of(scale))
+
+
+__all__ = [
+    "ExperimentResult",
+    "Scale",
+    "all_experiments",
+    "get_experiment",
+    "run_experiment",
+]

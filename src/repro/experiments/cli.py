@@ -1,0 +1,84 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run fig2 [--scale quick|paper]
+    repro-experiments all [--scale quick|paper]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .common import Scale, all_experiments, get_experiment
+
+# Importing the modules registers the experiments.
+from . import (  # noqa: F401  (registration side effects)
+    ext_doppler,
+    ext_future_work,
+    fig1_u238_xs,
+    fig2_lookup_rates,
+    fig3_offload_ratio,
+    fig4_profile,
+    fig5_calc_rates,
+    fig6_strong_scaling,
+    fig7_weak_scaling,
+    fig8_rsbench,
+    table1_sampling,
+    table2_offload,
+    table3_loadbalance,
+)
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of Ozog, Malony & "
+        "Siegel (IPDPS-W 2015).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("exp_id")
+    run_p.add_argument("--scale", default="quick", choices=["quick", "paper"])
+    run_p.add_argument("--csv", metavar="DIR",
+                       help="also write the rows to DIR/<exp_id>.csv")
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--scale", default="quick", choices=["quick", "paper"])
+    all_p.add_argument("--csv", metavar="DIR",
+                       help="also write each experiment's rows to DIR/")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for exp_id in sorted(all_experiments()):
+            print(exp_id)
+        return 0
+    scale = Scale.of(args.scale)
+
+    def emit(result):
+        print(result.format())
+        if getattr(args, "csv", None):
+            from pathlib import Path
+
+            out_dir = Path(args.csv)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / f"{result.exp_id}.csv"
+            path.write_text(result.to_csv())
+            print(f"[csv written to {path}]")
+
+    if args.command == "run":
+        emit(get_experiment(args.exp_id)(scale))
+        return 0
+    # all
+    for exp_id in sorted(all_experiments()):
+        emit(get_experiment(exp_id)(scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

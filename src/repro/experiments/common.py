@@ -1,0 +1,144 @@
+"""Shared experiment scaffolding: results, scales, registry.
+
+Every experiment module exposes ``run(scale) -> ExperimentResult``; the
+result carries the regenerated rows/series, the paper's reported values for
+side-by-side comparison, and free-form notes.  ``scale`` controls the
+executable parts: ``"quick"`` shrinks the measured workloads to seconds
+(for CI), ``"paper"`` runs the full-shape workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ReproError
+
+__all__ = ["Scale", "ExperimentResult", "register", "get_experiment", "all_experiments"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload scale for the executable (measured) parts of experiments."""
+
+    name: str
+    #: Lookups / samples for micro-benchmarks.
+    micro_n: int
+    #: Iterations for the distance kernel.
+    micro_iters: int
+    #: Particles per batch in transport measurements.
+    particles: int
+    #: Batches in transport measurements.
+    batches: int
+    #: Library fidelity: "tiny" or "default".
+    library: str
+
+    @classmethod
+    def quick(cls) -> "Scale":
+        return cls(
+            name="quick", micro_n=2_000, micro_iters=3, particles=150,
+            batches=2, library="tiny",
+        )
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        return cls(
+            name="paper", micro_n=100_000, micro_iters=10, particles=2_000,
+            batches=4, library="default",
+        )
+
+    @classmethod
+    def of(cls, name: str) -> "Scale":
+        if name == "quick":
+            return cls.quick()
+        if name == "paper":
+            return cls.paper()
+        raise ReproError(f"unknown scale {name!r}")
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated content of one paper table/figure."""
+
+    exp_id: str
+    title: str
+    #: Regenerated rows: list of dicts with homogeneous keys.
+    rows: list[dict] = field(default_factory=list)
+    #: The paper's reported values for the same quantities, where stated.
+    paper: dict[str, float | str] = field(default_factory=dict)
+    #: Free-form observations (deviations, substitutions, caveats).
+    notes: list[str] = field(default_factory=list)
+
+    def to_csv(self) -> str:
+        """Rows as CSV text (header from the first row's keys)."""
+        import csv
+        import io
+
+        if not self.rows:
+            return ""
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=list(self.rows[0].keys()))
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        return buf.getvalue()
+
+    def format(self) -> str:
+        """Plain-text rendering: header, aligned rows, notes."""
+        out = [f"=== {self.exp_id}: {self.title} ==="]
+        if self.rows:
+            keys = list(self.rows[0].keys())
+            widths = {
+                k: max(len(k), *(len(_fmt(r.get(k))) for r in self.rows))
+                for k in keys
+            }
+            out.append("  ".join(k.ljust(widths[k]) for k in keys))
+            for r in self.rows:
+                out.append(
+                    "  ".join(_fmt(r.get(k)).ljust(widths[k]) for k in keys)
+                )
+        if self.paper:
+            out.append("paper reference values:")
+            for k, v in self.paper.items():
+                out.append(f"  {k} = {v}")
+        for note in self.notes:
+            out.append(f"note: {note}")
+        return "\n".join(out)
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:,.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+_REGISTRY: dict[str, Callable[[Scale], ExperimentResult]] = {}
+
+
+def register(exp_id: str):
+    """Decorator: register an experiment's run function under its id."""
+
+    def wrap(fn: Callable[[Scale], ExperimentResult]):
+        _REGISTRY[exp_id] = fn
+        return fn
+
+    return wrap
+
+
+def get_experiment(exp_id: str) -> Callable[[Scale], ExperimentResult]:
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_experiments() -> dict[str, Callable[[Scale], ExperimentResult]]:
+    return dict(_REGISTRY)

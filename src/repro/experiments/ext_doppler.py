@@ -1,0 +1,92 @@
+"""Extension: temperature dependence via multipole (paper §IV-B motivation).
+
+The multipole representation exists because "applying temperature
+dependence with the standard table lookup approach requires an astoundingly
+large amount of data that is impractical to replicate" — each temperature
+needs its own broadened pointwise table, while the multipole form
+broadens *at evaluation time* from one temperature-independent data set.
+
+This experiment quantifies both halves of that argument on the synthetic
+U-238 data:
+
+* physics — Doppler broadening lowers resonance peaks and raises the
+  near-resonance wings with temperature (the negative-feedback mechanism
+  of fuel temperature coefficients), evaluated at 300/600/1200/2400 K from
+  the *same* multipole data, and cross-checked against pointwise
+  reconstruction at each temperature;
+* memory — pointwise-per-temperature vs single multipole footprint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.multipole import build_multipole
+from ..data.resonance import build_energy_grid, reconstruct_xs, sample_ladder
+from ..types import Reaction
+from .common import ExperimentResult, Scale, register
+
+__all__ = ["run"]
+
+TEMPERATURES = (300.0, 600.0, 1200.0, 2400.0)
+
+
+@register("ext-doppler")
+def run(scale: Scale) -> ExperimentResult:
+    n_res = 20 if scale.library == "tiny" else 80
+    rng = np.random.default_rng(20150525)
+    ladder = sample_ladder(rng, fissionable=False, n_resonances=n_res)
+    mp = build_multipole("U238x", ladder, awr=236.0)
+    grid = build_energy_grid(ladder, n_base=300, points_per_resonance=10)
+
+    # Probe the strongest resonance (Porter-Thomas widths vary wildly).
+    strongest = int(np.argmax(ladder.gamma_n / ladder.e0))
+    peak_e = float(ladder.e0[strongest])
+    gamma = float(ladder.gamma_total[strongest])
+    wing_e = peak_e + 30.0 * gamma
+
+    rows: list[dict] = []
+    pointwise_bytes_total = 0
+    for temp in TEMPERATURES:
+        mp_peak = mp.evaluate(peak_e, temp)[Reaction.CAPTURE]
+        mp_wing = mp.evaluate(wing_e, temp)[Reaction.CAPTURE]
+        truth = reconstruct_xs(
+            ladder, np.array([peak_e, wing_e]), awr=236.0, temperature=temp
+        )
+        rel = abs(mp_peak - truth["capture"][0]) / truth["capture"][0]
+        rows.append(
+            {
+                "T [K]": temp,
+                "peak capture [b] (multipole)": mp_peak,
+                "wing capture [b] (multipole)": mp_wing,
+                "vs pointwise rel err": rel,
+            }
+        )
+        # A pointwise library needs one full broadened table per temperature.
+        pointwise_bytes_total += grid.nbytes * 5
+
+    result = ExperimentResult(
+        exp_id="ext-doppler",
+        title="On-the-fly Doppler broadening via multipole (paper §IV-B)",
+        rows=rows,
+        paper={
+            "motivation": "table-lookup temperature dependence needs "
+            "'an astoundingly large amount of data'",
+            "multipole": "temperature dependence at remarkably low memory "
+            "cost; memory-bound -> compute-bound",
+        },
+    )
+    peaks = [r["peak capture [b] (multipole)"] for r in rows]
+    wings = [r["wing capture [b] (multipole)"] for r in rows]
+    result.notes.append(
+        f"peak falls {peaks[0] / peaks[-1]:.1f}x and wing rises "
+        f"{wings[-1] / wings[0]:.1f}x from 300 K to 2400 K — the Doppler "
+        "feedback mechanism"
+    )
+    result.notes.append(
+        f"memory: {len(TEMPERATURES)} pointwise tables = "
+        f"{pointwise_bytes_total / 1e6:.2f} MB (per nuclide, grows per "
+        f"temperature) vs ONE multipole set = {mp.nbytes / 1e3:.1f} KB "
+        "(any temperature)"
+    )
+    return result

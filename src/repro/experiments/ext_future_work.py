@@ -1,0 +1,137 @@
+"""Extension experiments: the paper's §V future-work items, implemented.
+
+Three of the paper's named future directions, carried out:
+
+* **full-physics banking** — "the primary component missing from our
+  banking-based implementation is the inclusion of the S(alpha, beta) and
+  URR routines": this package's event loop *includes* them (gather-based
+  vectorized samplers), so their cost is measured rather than avoided;
+* **runtime-adaptive alpha** — "alpha can be determined at runtime ... we
+  are currently implementing this feature": implemented as
+  :class:`repro.execution.loadbalance.AdaptiveAlphaController`;
+* **Knights Landing projection** — "a possible automatic ~3x single thread
+  speedup over Knights Corner": quantified by the calibrated device model;
+* **energy analysis** — "future work will include these energy
+  measurements": the RAPL-style power model compares J/neutron.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.library import LibraryConfig, build_library
+from ..data.unionized import UnionizedGrid
+from ..execution.loadbalance import AdaptiveAlphaController
+from ..machine.knl import KNL_PROJECTED, knl_projection
+from ..machine.power import energy_per_particle
+from ..machine.presets import JLSE_HOST, MIC_7120A
+from ..proxy.xsbench import XSBench
+from .common import ExperimentResult, Scale, register
+
+__all__ = ["run"]
+
+
+@register("ext-futurework")
+def run(scale: Scale) -> ExperimentResult:
+    rows: list[dict] = []
+
+    # --- 1. Full-physics banking: S(a,b)+URR in the vectorized kernel.
+    config = (
+        LibraryConfig.tiny() if scale.library == "tiny" else LibraryConfig()
+    )
+    library = build_library("hm-large", config)
+    union = UnionizedGrid(library)
+    full = XSBench(library, union, use_sab=True, use_urr=True)
+    stripped = XSBench(library, union, use_sab=False, use_urr=False)
+    sample = full.generate_lookups(scale.micro_n // 2)
+
+    import time
+
+    from ..rng.lcg import particle_seeds
+
+    def run_banked(bench):
+        t0 = time.perf_counter()
+        for mid in np.unique(sample.material_ids):
+            mask = sample.material_ids == mid
+            states = particle_seeds(
+                1, np.nonzero(mask)[0].astype(np.uint64)
+            ).copy()
+            bench.calculator.banked(
+                bench.materials[int(mid)], sample.energies[mask],
+                rng_states=states,
+            )
+        return time.perf_counter() - t0
+
+    t_full = run_banked(full)
+    t_stripped = run_banked(stripped)
+    rows.append(
+        {
+            "item": "full-physics banked lookup (S(a,b)+URR included)",
+            "value": f"{t_full / t_stripped:.2f}x the stripped kernel's time",
+            "paper §V": "named as the primary missing component",
+        }
+    )
+
+    # --- 2. Runtime-adaptive alpha.
+    ctrl = AdaptiveAlphaController(p_mic=1, p_cpu=1)
+    ctrl.observe(4050.0, 6641.0)
+    rows.append(
+        {
+            "item": "runtime-adaptive alpha after ONE observed batch",
+            "value": f"alpha = {ctrl.alpha:.3f} (static calibration: 0.62)",
+            "paper §V": "'can be estimated accurately from only a single "
+            "inactive and active batch'",
+        }
+    )
+
+    # --- 3. Knights Landing projection.
+    proj = knl_projection()
+    rows.append(
+        {
+            "item": "KNL vs KNC single-thread speedup (modelled)",
+            "value": f"{proj['single_thread_speedup']:.2f}x",
+            "paper §V": "'a possible automatic ~3x single thread speedup'",
+        }
+    )
+    rows.append(
+        {
+            "item": "KNL device rate (H.M. Large, 1e5 particles)",
+            "value": f"{proj['rate_knl']:,.0f} n/s "
+            f"({proj['knl_vs_jlse_host']:.1f}x the JLSE host)",
+            "paper §V": "out-of-order cores + on-package memory, no PCIe",
+        }
+    )
+
+    # --- 4. Energy analysis.
+    e_host = energy_per_particle(JLSE_HOST, "hm-large", 100_000)
+    e_mic = energy_per_particle(MIC_7120A, "hm-large", 100_000)
+    e_mic_small = energy_per_particle(MIC_7120A, "hm-large", 500)
+    rows.append(
+        {
+            "item": "energy per neutron at 1e5 particles",
+            "value": f"host {e_host:.3f} J vs MIC {e_mic:.3f} J "
+            f"(MIC {e_host / e_mic:.2f}x better)",
+            "paper §V": "'host-attached devices show excellent performance "
+            "per watt'",
+        }
+    )
+    rows.append(
+        {
+            "item": "energy per neutron, MIC at 500 particles",
+            "value": f"{e_mic_small:.3f} J — "
+            f"{e_mic_small / e_mic:.1f}x worse than at 1e5",
+            "paper §V": "(the occupancy flip side: idle watts without rate)",
+        }
+    )
+
+    result = ExperimentResult(
+        exp_id="ext-futurework",
+        title="Paper §V future-work items, implemented and quantified",
+        rows=rows,
+    )
+    result.notes.append(
+        f"KNL preset: {KNL_PROJECTED.cores} cores @ "
+        f"{KNL_PROJECTED.clock_ghz} GHz, AVX-512, out-of-order, "
+        f"{KNL_PROJECTED.dram_bw_gbps:.0f} GB/s MCDRAM"
+    )
+    return result

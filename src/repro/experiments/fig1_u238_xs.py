@@ -1,0 +1,89 @@
+"""Figure 1: total cross-section data for U-238.
+
+The paper's Fig. 1 plots U-238's total cross section from 1e-11 to ~20 MeV:
+a smooth 1/v-dominated thermal range, the dense resolved resonance region
+(keV-scale), the unresolved range near 1e-2 MeV, and the flat fast range.
+This experiment regenerates the curve from the synthetic library and
+verifies those four structural regimes quantitatively.
+"""
+
+from __future__ import annotations
+
+from ..data.library import LibraryConfig, build_nuclide
+from ..types import Reaction
+from .common import ExperimentResult, Scale, register
+
+__all__ = ["run"]
+
+
+@register("fig1")
+def run(scale: Scale) -> ExperimentResult:
+    config = (
+        LibraryConfig.tiny() if scale.library == "tiny" else LibraryConfig()
+    )
+    u238, urr, _ = build_nuclide("U238", config)
+    energies = u238.energy
+    total = u238.xs[Reaction.TOTAL]
+
+    # Characterize the four regimes of the curve.
+    thermal = float(u238.micro_xs(2.53e-8)[Reaction.TOTAL])
+    resolved = (energies >= 4e-6) & (energies <= u238.urr_emin)
+    peak = float(total[resolved].max()) if resolved.any() else float("nan")
+    valley = float(total[resolved].min()) if resolved.any() else float("nan")
+    fast = float(u238.micro_xs(2.0)[Reaction.TOTAL])
+
+    rows = [
+        {
+            "regime": "thermal (0.0253 eV)",
+            "sigma_t [b]": thermal,
+            "feature": "1/v capture + potential scattering",
+        },
+        {
+            "regime": "resolved resonance peak",
+            "sigma_t [b]": peak,
+            "feature": f"{config.heavy_resonances} SLBW resonances",
+        },
+        {
+            "regime": "resolved resonance valley",
+            "sigma_t [b]": valley,
+            "feature": "interference dips",
+        },
+        {
+            "regime": "URR onset [MeV]",
+            "sigma_t [b]": u238.urr_emin,
+            "feature": f"{urr.n_bands} probability-table bands",
+        },
+        {
+            "regime": "fast (2 MeV)",
+            "sigma_t [b]": fast,
+            "feature": "smooth potential scattering",
+        },
+        {
+            "regime": "grid points",
+            "sigma_t [b]": float(u238.n_points),
+            "feature": "union of backbone + per-resonance clusters",
+        },
+    ]
+    result = ExperimentResult(
+        exp_id="fig1",
+        title="U-238 total cross section vs energy (synthetic library)",
+        rows=rows,
+        paper={
+            "URR location [MeV]": "~1e-2 (paper Fig. 1 annotation)",
+            "resonance peak/valley contrast": ">100x (visual)",
+        },
+    )
+    if resolved.any() and valley > 0:
+        contrast = peak / valley
+        result.notes.append(
+            f"resonance peak/valley contrast = {contrast:,.0f}x"
+        )
+        if contrast < 10:
+            result.notes.append(
+                "WARNING: contrast below expectation — check library fidelity"
+            )
+    result.notes.append(
+        "synthetic ladder (Wigner spacings, Porter-Thomas widths) replaces "
+        "ENDF data — see DESIGN.md substitutions"
+    )
+    return result

@@ -1,0 +1,48 @@
+"""Figure 3: offload-cost : generation-time ratios vs particle count.
+
+All per-iteration offload components (host banking, MIC banking, PCIe
+transfer, MIC XS compute, host XS compute) normalized by the host
+generation time, swept over bank sizes.  The paper's reading — transfer and
+MIC-compute ratios fall, host-compute ratio rises, offload profitable above
+~10,000 particles — must emerge from the model.
+"""
+
+from __future__ import annotations
+
+from ..execution.offload import OffloadCostModel
+from ..machine.presets import JLSE_HOST, MIC_7120A, PCIE_GEN2_X16
+from .common import ExperimentResult, Scale, register
+
+__all__ = ["run"]
+
+
+@register("fig3")
+def run(scale: Scale) -> ExperimentResult:
+    off = OffloadCostModel(JLSE_HOST, MIC_7120A, PCIE_GEN2_X16, "hm-small")
+    rows: list[dict] = []
+    for n in (100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000):
+        ratios = off.normalized_ratios(n)
+        rows.append(
+            {
+                "particles": n,
+                "bank host": ratios["bank_host"],
+                "bank MIC": ratios["bank_mic"],
+                "transfer (PCIe)": ratios["transfer"],
+                "MIC XS compute": ratios["mic_compute"],
+                "host XS compute": ratios["host_xs_compute"],
+                "offload wins": off.profitable(n),
+            }
+        )
+    crossover = off.crossover_particles()
+    result = ExperimentResult(
+        exp_id="fig3",
+        title="Offload time ratios vs particles (paper Fig. 3, H.M. Small)",
+        rows=rows,
+        paper={
+            "crossover": "offload profitable above ~10,000 particles",
+            "trends": "transfer ratio falls, host XS ratio rises, MIC XS "
+            "ratio falls",
+        },
+    )
+    result.notes.append(f"modelled profitability crossover: {crossover:,} particles")
+    return result

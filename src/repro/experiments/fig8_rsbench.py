@@ -1,0 +1,108 @@
+"""Figure 8: RSBench execution time — original vs vectorized, on Stampede.
+
+The multipole method turns the memory-bound table lookup into a
+compute-bound Faddeeva-evaluation kernel; the paper's Fig. 8 compares the
+original RSBench (ragged poles-per-window loops) against a vectorized
+variant (fixed poles per window) on the Stampede host and MIC.
+
+* **measured** — both executable kernels of :class:`repro.proxy.rsbench`
+  run on the synthetic multipole library (identical results, the vectorized
+  variant strictly faster);
+* **modelled** — a compute-roofline estimate per device and variant: the
+  original kernel is effectively scalar (data-dependent inner bounds), the
+  vectorized one runs at high vector fraction — which is why the MIC only
+  wins after vectorization, mirroring the figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.presets import MIC_SE10P, STAMPEDE_HOST
+from ..machine.roofline import KernelProfile, kernel_time
+from ..proxy.rsbench import RSBench, RSBenchConfig
+from .common import ExperimentResult, Scale, register
+
+__all__ = ["run"]
+
+#: Modelled lookups of the Fig. 8 workload.
+N_LOOKUPS = 1.0e8
+
+#: FLOPs per lookup: ~poles-per-window Faddeeva evaluations (~40 flops of
+#: complex arithmetic each) plus the polynomial background.
+FLOPS_PER_LOOKUP = 12 * 40.0 + 20.0
+
+
+def _modelled(device, variant: str) -> float:
+    # The fixed-poles-per-window kernel is a tight hand-vectorized loop —
+    # ~98% of its arithmetic runs in vector pipes; the original's
+    # data-dependent bounds leave it essentially scalar.
+    profile = KernelProfile(
+        name=f"rsbench-{variant}",
+        flops_per_item=FLOPS_PER_LOOKUP,
+        bytes_per_item=64.0,  # poles/residues stream from cache
+        vector_fraction=0.98 if variant == "vectorized" else 0.05,
+        gather_fraction=0.1,
+    )
+    return kernel_time(device, profile, N_LOOKUPS)
+
+
+@register("fig8")
+def run(scale: Scale) -> ExperimentResult:
+    rows: list[dict] = []
+    for device, label in (
+        (STAMPEDE_HOST, "Stampede host"),
+        (MIC_SE10P, "Stampede MIC (SE10P)"),
+    ):
+        t_orig = _modelled(device, "original")
+        t_vec = _modelled(device, "vectorized")
+        rows.append(
+            {
+                "device": label,
+                "original [s]": t_orig,
+                "vectorized [s]": t_vec,
+                "speedup": t_orig / t_vec,
+                "kind": "modelled (1e8 lookups)",
+            }
+        )
+
+    # Measured: the executable proxy.
+    n_nuc = 4 if scale.library == "tiny" else 8
+    bench = RSBench(RSBenchConfig(n_nuclides=n_nuc, resonances_per_nuclide=24))
+    which, energies = bench.generate_lookups(scale.micro_n // 2)
+    t_orig, out_a = bench.run_original(which, energies)
+    t_vec, out_b = bench.run_vectorized(which, energies)
+    rows.append(
+        {
+            "device": f"Python measured ({which.shape[0]} lookups)",
+            "original [s]": t_orig,
+            "vectorized [s]": t_vec,
+            "speedup": t_orig / t_vec,
+            "kind": "measured",
+        }
+    )
+
+    result = ExperimentResult(
+        exp_id="fig8",
+        title="RSBench original vs vectorized (paper Fig. 8)",
+        rows=rows,
+        paper={
+            "observation": "vectorized variant faster on both devices; the "
+            "MIC benefits most (compute-bound kernel, wide vectors)",
+            "context": "multipole achieves 2x the FLOP rate of table "
+            "lookups on the host (Tramm & Siegel)",
+        },
+    )
+    agree = float(np.max(np.abs(out_a - out_b) / np.maximum(np.abs(out_a), 1e-12)))
+    result.notes.append(f"variant agreement: max rel deviation {agree:.2e}")
+    result.notes.append(
+        f"multipole data footprint: {bench.nbytes / 1e3:.1f} KB — the "
+        "'reduced data movement' vs GB-scale pointwise tables"
+    )
+    mic_vec = rows[1]["vectorized [s]"]
+    host_vec = rows[0]["vectorized [s]"]
+    result.notes.append(
+        f"modelled: vectorized MIC/host time ratio = {mic_vec / host_vec:.2f} "
+        "(<1 means the MIC wins once vectorized)"
+    )
+    return result

@@ -1,0 +1,95 @@
+"""Table I: the distance-sampling micro-benchmark.
+
+Three implementations (Naive / Optimized-1 / Optimized-2) on two devices
+(host CPU with 32 threads, MIC with 122 threads).  The modelled times
+reproduce the paper's six entries; the measured rows run the same three
+executable kernels in this Python implementation (scaled N and iterations)
+and must preserve the ordering Naive >> Optimized-1 >= Optimized-2.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..machine.kernels import distance_sampling_time
+from ..machine.presets import JLSE_HOST, MIC_7120A
+from ..physics.distance import (
+    sample_distance_naive,
+    sample_distance_optimized1,
+    sample_distance_optimized2,
+)
+from .common import ExperimentResult, Scale, register
+
+__all__ = ["run"]
+
+PAPER = {
+    ("CPU - 32 threads", "naive"): 412.0,
+    ("CPU - 32 threads", "optimized1"): 40.6,
+    ("CPU - 32 threads", "optimized2"): 36.6,
+    ("MIC - 122 threads", "naive"): 8243.0,
+    ("MIC - 122 threads", "optimized1"): 21.0,
+    ("MIC - 122 threads", "optimized2"): 18.9,
+}
+
+
+@register("table1")
+def run(scale: Scale) -> ExperimentResult:
+    rows: list[dict] = []
+
+    # -- Modelled device times at the paper's parameters.
+    for device, label in ((JLSE_HOST, "CPU - 32 threads"), (MIC_7120A, "MIC - 122 threads")):
+        row = {"implementation": label, "kind": "modelled"}
+        for impl, col in (
+            ("naive", "Naive time(s)"),
+            ("optimized1", "Optimized-1 time(s)"),
+            ("optimized2", "Optimized-2 time(s)"),
+        ):
+            row[col] = distance_sampling_time(device, impl)
+        rows.append(row)
+
+    # -- Measured: the executable kernels at a scaled workload.
+    n = max(64, (scale.micro_n // 4) * 4)
+    iters = scale.micro_iters
+    sigma = np.random.default_rng(3).uniform(0.1, 2.0, n)
+
+    t0 = time.perf_counter()
+    d_naive = sample_distance_naive(sigma, max(1, iters // 3), seed=1)
+    t_naive = (time.perf_counter() - t0) * 3  # normalize to full iters
+
+    t0 = time.perf_counter()
+    d_opt1 = sample_distance_optimized1(sigma, iters, seed=1)
+    t_opt1 = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    d_opt2 = sample_distance_optimized2(sigma, iters, seed=1)
+    t_opt2 = time.perf_counter() - t0
+
+    rows.append(
+        {
+            "implementation": f"Python measured (N={n}, iters={iters})",
+            "kind": "measured",
+            "Naive time(s)": t_naive,
+            "Optimized-1 time(s)": t_opt1,
+            "Optimized-2 time(s)": t_opt2,
+        }
+    )
+
+    result = ExperimentResult(
+        exp_id="table1",
+        title="Distance-sampling micro-benchmark (paper Table I)",
+        rows=rows,
+        paper={f"{dev} / {impl}": v for (dev, impl), v in PAPER.items()},
+    )
+    # Correctness: all three sample the same distances.
+    agree = np.allclose(d_opt1, d_opt2.astype(np.float64), rtol=1e-5)
+    result.notes.append(
+        f"optimized variants agree: {agree}; naive uses the same master "
+        "sequence (verified in tests/physics)"
+    )
+    result.notes.append(
+        "modelled rows: iters=1e4, N=1e7 as in the paper; measured rows run "
+        "the same executable kernels at reduced size"
+    )
+    return result

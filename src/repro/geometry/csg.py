@@ -1,0 +1,321 @@
+"""Constructive solid geometry: cells, universes, lattices, and tracking.
+
+This is the reference geometry engine used by the history-based transport
+loop: nested universes (pin -> assembly -> core) with rectangular lattices,
+exactly the structure OpenMC uses for the Hoogenboom-Martin benchmark.
+
+Tracking is deliberately simple and robust: :meth:`Geometry.locate` does a
+full recursive descent from the root, and
+:meth:`Geometry.distance_to_boundary` returns the nearest candidate surface
+crossing along a ray; after moving, the particle is nudged past the surface
+and relocated from scratch.  There is no surface-memory optimization — the
+performance of Python-level tracking is modelled, not measured (DESIGN.md
+§2), so clarity wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from ..constants import INFINITY, SURFACE_NUDGE
+from ..errors import GeometryError
+from .materials import Material
+from .surfaces import Surface
+
+__all__ = [
+    "Halfspace",
+    "Cell",
+    "Universe",
+    "RectLattice",
+    "BoundaryBox",
+    "Location",
+    "Geometry",
+]
+
+
+@dataclass(frozen=True)
+class Halfspace:
+    """One side of a surface: ``side=-1`` is the negative side (inside a
+    cylinder / below a plane), ``side=+1`` the positive side."""
+
+    surface: Surface
+    side: int
+
+    def contains(self, p: np.ndarray) -> bool:
+        return self.side * self.surface.evaluate(p) > 0.0
+
+
+Fill = Union[Material, "Universe", "RectLattice"]
+
+
+@dataclass
+class Cell:
+    """A region (intersection of halfspaces) filled by a material, a
+    universe, or a lattice."""
+
+    name: str
+    region: list[Halfspace]
+    fill: Fill
+
+    def contains(self, p: np.ndarray) -> bool:
+        return all(h.contains(p) for h in self.region)
+
+    def boundary_distance(self, p: np.ndarray, u: np.ndarray) -> float:
+        """Nearest crossing of any bounding surface along ``u``."""
+        best = INFINITY
+        for h in self.region:
+            d = h.surface.distance(p, u)
+            if d < best:
+                best = d
+        return best
+
+
+@dataclass
+class Universe:
+    """An unordered collection of cells tiling (part of) space."""
+
+    name: str
+    cells: list[Cell] = field(default_factory=list)
+
+    def add(self, cell: Cell) -> "Universe":
+        self.cells.append(cell)
+        return self
+
+    def find(self, p: np.ndarray) -> Cell | None:
+        for cell in self.cells:
+            if cell.contains(p):
+                return cell
+        return None
+
+
+@dataclass
+class RectLattice:
+    """A 2-D rectangular lattice of universes (infinite in z).
+
+    ``universes[iy][ix]`` fills the element whose center is
+    ``lower_left + ((ix + 0.5) px, (iy + 0.5) py)``.
+    """
+
+    name: str
+    lower_left: tuple[float, float]
+    pitch: tuple[float, float]
+    universes: list[list[Universe | None]]
+
+    def __post_init__(self) -> None:
+        self.ny = len(self.universes)
+        if self.ny == 0:
+            raise GeometryError(f"lattice {self.name!r} is empty")
+        self.nx = len(self.universes[0])
+        if any(len(row) != self.nx for row in self.universes):
+            raise GeometryError(f"lattice {self.name!r} rows have unequal length")
+        if self.pitch[0] <= 0 or self.pitch[1] <= 0:
+            raise GeometryError(f"lattice {self.name!r} needs positive pitch")
+
+    def element(self, p: np.ndarray) -> tuple[int, int]:
+        """Lattice indices (ix, iy) of the element containing ``p``."""
+        ix = int(np.floor((p[0] - self.lower_left[0]) / self.pitch[0]))
+        iy = int(np.floor((p[1] - self.lower_left[1]) / self.pitch[1]))
+        return ix, iy
+
+    def in_bounds(self, ix: int, iy: int) -> bool:
+        return 0 <= ix < self.nx and 0 <= iy < self.ny
+
+    def center(self, ix: int, iy: int) -> tuple[float, float]:
+        return (
+            self.lower_left[0] + (ix + 0.5) * self.pitch[0],
+            self.lower_left[1] + (iy + 0.5) * self.pitch[1],
+        )
+
+    def local_point(self, p: np.ndarray, ix: int, iy: int) -> np.ndarray:
+        cx, cy = self.center(ix, iy)
+        return np.array([p[0] - cx, p[1] - cy, p[2]])
+
+    def element_boundary_distance(
+        self, local: np.ndarray, u: np.ndarray
+    ) -> float:
+        """Distance from a local point to the element's four walls."""
+        best = INFINITY
+        for axis, half in ((0, 0.5 * self.pitch[0]), (1, 0.5 * self.pitch[1])):
+            du = u[axis]
+            if abs(du) < 1e-12:
+                continue
+            wall = half if du > 0 else -half
+            d = (wall - local[axis]) / du
+            if 1e-12 < d < best:
+                best = d
+        return best
+
+
+#: Face identifiers for the outer boundary box.
+_FACES = ("xmin", "xmax", "ymin", "ymax", "zmin", "zmax")
+
+
+@dataclass
+class BoundaryBox:
+    """Axis-aligned outer boundary with per-face boundary conditions.
+
+    ``bc`` maps face name ("xmin", ..., "zmax") to "vacuum" or "reflective".
+    """
+
+    xmin: float
+    xmax: float
+    ymin: float
+    ymax: float
+    zmin: float
+    zmax: float
+    bc: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (self.xmin < self.xmax and self.ymin < self.ymax and self.zmin < self.zmax):
+            raise GeometryError("degenerate boundary box")
+        for face in _FACES:
+            self.bc.setdefault(face, "vacuum")
+            if self.bc[face] not in ("vacuum", "reflective"):
+                raise GeometryError(f"unknown BC {self.bc[face]!r} on {face}")
+        self._lo = np.array([self.xmin, self.ymin, self.zmin])
+        self._hi = np.array([self.xmax, self.ymax, self.zmax])
+
+    def contains(self, p: np.ndarray) -> bool:
+        return bool(np.all(p >= self._lo) and np.all(p <= self._hi))
+
+    def distance(self, p: np.ndarray, u: np.ndarray) -> tuple[float, str]:
+        """Distance to the box boundary and the face that is hit."""
+        best, face = INFINITY, "xmax"
+        for axis in range(3):
+            du = u[axis]
+            if abs(du) < 1e-12:
+                continue
+            if du > 0:
+                d = (self._hi[axis] - p[axis]) / du
+                f = _FACES[2 * axis + 1]
+            else:
+                d = (self._lo[axis] - p[axis]) / du
+                f = _FACES[2 * axis]
+            if 1e-12 < d < best:
+                best, face = d, f
+        return best, face
+
+    def reflect(self, u: np.ndarray, face: str) -> np.ndarray:
+        """Mirror a direction off a face."""
+        axis = _FACES.index(face) // 2
+        out = u.copy()
+        out[axis] = -out[axis]
+        return out
+
+
+@dataclass(frozen=True)
+class Location:
+    """Result of :meth:`Geometry.locate`: where a point is.
+
+    ``cell_path`` is the chain of cell names and lattice indices down the
+    universe hierarchy; it uniquely keys the geometric cell instance (used
+    by tallies and the fission-site entropy mesh).
+    """
+
+    material: Material
+    cell_path: tuple[str, ...]
+    local_point: np.ndarray
+
+
+class Geometry:
+    """A root universe plus an outer boundary box."""
+
+    def __init__(self, root: Universe, boundary: BoundaryBox) -> None:
+        self.root = root
+        self.boundary = boundary
+
+    # -- Point location -----------------------------------------------------
+
+    def locate(self, p: np.ndarray) -> Location | None:
+        """Find the material cell containing ``p`` (None if lost/outside)."""
+        p = np.asarray(p, dtype=np.float64)
+        if not self.boundary.contains(p):
+            return None
+        return self._descend(self.root, p, ())
+
+    def _descend(
+        self, universe: Universe, p: np.ndarray, path: tuple[str, ...]
+    ) -> Location | None:
+        cell = universe.find(p)
+        if cell is None:
+            return None
+        fill = cell.fill
+        path = path + (cell.name,)
+        if isinstance(fill, Material):
+            return Location(material=fill, cell_path=path, local_point=p)
+        if isinstance(fill, Universe):
+            return self._descend(fill, p, path)
+        if isinstance(fill, RectLattice):
+            ix, iy = fill.element(p)
+            if not fill.in_bounds(ix, iy):
+                return None
+            inner = fill.universes[iy][ix]
+            if inner is None:
+                return None
+            local = fill.local_point(p, ix, iy)
+            return self._descend(inner, local, path + (f"[{ix},{iy}]",))
+        raise GeometryError(f"cell {cell.name!r} has unsupported fill {fill!r}")
+
+    # -- Ray tracing -------------------------------------------------------------
+
+    def distance_to_boundary(self, p: np.ndarray, u: np.ndarray) -> float:
+        """Nearest candidate surface crossing along ``u`` from ``p``.
+
+        Considers, at every level of the descent, the bounding surfaces of
+        the containing cell and the walls of any lattice element, plus the
+        outer boundary box.  Crossing any of these may change the material,
+        so the transport loop re-locates after each crossing.
+        """
+        p = np.asarray(p, dtype=np.float64)
+        u = np.asarray(u, dtype=np.float64)
+        best, _ = self.boundary.distance(p, u)
+        best = min(best, self._descend_distance(self.root, p, u))
+        return best
+
+    def _descend_distance(
+        self, universe: Universe, p: np.ndarray, u: np.ndarray
+    ) -> float:
+        cell = universe.find(p)
+        if cell is None:
+            return INFINITY
+        best = cell.boundary_distance(p, u)
+        fill = cell.fill
+        if isinstance(fill, Universe):
+            best = min(best, self._descend_distance(fill, p, u))
+        elif isinstance(fill, RectLattice):
+            ix, iy = fill.element(p)
+            if fill.in_bounds(ix, iy):
+                local = fill.local_point(p, ix, iy)
+                best = min(best, fill.element_boundary_distance(local, u))
+                inner = fill.universes[iy][ix]
+                if inner is not None:
+                    best = min(best, self._descend_distance(inner, local, u))
+        return best
+
+    # -- Boundary handling ---------------------------------------------------
+
+    def handle_boundary(
+        self, p: np.ndarray, u: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Apply the outer BC to a particle that has reached (or slightly
+        overshot) the box.
+
+        Returns ``(p, u, alive)``: for a reflective face the direction is
+        mirrored and the *position reflected across the face plane* (so a
+        nudged-past point lands back inside); for vacuum the particle leaks
+        (``alive=False``).
+        """
+        dist, face = self.boundary.distance(p - u * (2 * SURFACE_NUDGE), u)
+        if self.boundary.bc[face] == "vacuum":
+            return p, u, False
+        axis = _FACES.index(face) // 2
+        wall = (
+            self.boundary._lo[axis] if face.endswith("min") else self.boundary._hi[axis]
+        )
+        u_new = self.boundary.reflect(u, face)
+        p_new = p.copy()
+        p_new[axis] = 2.0 * wall - p_new[axis]
+        return p_new, u_new, True

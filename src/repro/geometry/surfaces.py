@@ -1,0 +1,145 @@
+"""CSG surfaces: axis-aligned planes and z-cylinders.
+
+Each surface supports a signed ``evaluate`` (negative inside / below) and a
+ray ``distance`` to the nearest positive crossing, in both scalar and
+array-vectorized forms.  The PWR geometry the paper simulates needs exactly
+these primitives: planes bound the core box and lattice elements, z-cylinders
+bound fuel pins and cladding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import INFINITY
+
+__all__ = ["Surface", "XPlane", "YPlane", "ZPlane", "ZCylinder"]
+
+_EPS = 1.0e-12
+
+
+class Surface:
+    """Abstract CSG surface."""
+
+    def evaluate(self, p: np.ndarray) -> float:
+        """Signed surface function; negative on the 'inside'/'below' side."""
+        raise NotImplementedError
+
+    def distance(self, p: np.ndarray, u: np.ndarray) -> float:
+        """Distance along unit direction ``u`` to the surface, or INFINITY."""
+        raise NotImplementedError
+
+    def evaluate_many(self, p: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`evaluate`; ``p`` has shape ``(n, 3)``."""
+        raise NotImplementedError
+
+    def distance_many(self, p: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`distance`; ``p``/``u`` have shape ``(n, 3)``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class _AxisPlane(Surface):
+    """Plane normal to a coordinate axis at ``x0`` (axis set by subclass)."""
+
+    x0: float
+
+    # Plain class attribute (NOT a dataclass field): subclasses override it,
+    # and the generated __init__ must not shadow it with an instance value.
+    _axis = 0
+
+    def evaluate(self, p: np.ndarray) -> float:
+        return float(p[self._axis] - self.x0)
+
+    def evaluate_many(self, p: np.ndarray) -> np.ndarray:
+        return p[:, self._axis] - self.x0
+
+    def distance(self, p: np.ndarray, u: np.ndarray) -> float:
+        du = u[self._axis]
+        if abs(du) < _EPS:
+            return INFINITY
+        d = (self.x0 - p[self._axis]) / du
+        return d if d > _EPS else INFINITY
+
+    def distance_many(self, p: np.ndarray, u: np.ndarray) -> np.ndarray:
+        du = u[:, self._axis]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            d = (self.x0 - p[:, self._axis]) / du
+        d = np.where((np.abs(du) < _EPS) | (d <= _EPS), INFINITY, d)
+        return d
+
+
+class XPlane(_AxisPlane):
+    """Plane ``x = x0``."""
+
+    _axis = 0
+
+
+class YPlane(_AxisPlane):
+    """Plane ``y = y0``."""
+
+    _axis = 1
+
+
+class ZPlane(_AxisPlane):
+    """Plane ``z = z0``."""
+
+    _axis = 2
+
+
+@dataclass(frozen=True)
+class ZCylinder(Surface):
+    """Infinite cylinder about an axis parallel to z: ``(x-x0)^2+(y-y0)^2=r^2``."""
+
+    r: float
+    x0: float = 0.0
+    y0: float = 0.0
+
+    def evaluate(self, p: np.ndarray) -> float:
+        dx = p[0] - self.x0
+        dy = p[1] - self.y0
+        return float(dx * dx + dy * dy - self.r * self.r)
+
+    def evaluate_many(self, p: np.ndarray) -> np.ndarray:
+        dx = p[:, 0] - self.x0
+        dy = p[:, 1] - self.y0
+        return dx * dx + dy * dy - self.r * self.r
+
+    def distance(self, p: np.ndarray, u: np.ndarray) -> float:
+        dx = p[0] - self.x0
+        dy = p[1] - self.y0
+        a = u[0] * u[0] + u[1] * u[1]
+        if a < _EPS:
+            return INFINITY
+        k = dx * u[0] + dy * u[1]
+        c = dx * dx + dy * dy - self.r * self.r
+        disc = k * k - a * c
+        if disc < 0.0:
+            return INFINITY
+        sq = np.sqrt(disc)
+        # Nearest positive root of a t^2 + 2 k t + c = 0.
+        t1 = (-k - sq) / a
+        if t1 > _EPS:
+            return float(t1)
+        t2 = (-k + sq) / a
+        return float(t2) if t2 > _EPS else INFINITY
+
+    def distance_many(self, p: np.ndarray, u: np.ndarray) -> np.ndarray:
+        dx = p[:, 0] - self.x0
+        dy = p[:, 1] - self.y0
+        a = u[:, 0] ** 2 + u[:, 1] ** 2
+        k = dx * u[:, 0] + dy * u[:, 1]
+        c = dx * dx + dy * dy - self.r * self.r
+        disc = k * k - a * c
+        out = np.full(p.shape[0], INFINITY)
+        ok = (a >= _EPS) & (disc >= 0.0)
+        if ok.any():
+            sq = np.sqrt(disc[ok])
+            a_ok = a[ok]
+            t1 = (-k[ok] - sq) / a_ok
+            t2 = (-k[ok] + sq) / a_ok
+            t = np.where(t1 > _EPS, t1, np.where(t2 > _EPS, t2, INFINITY))
+            out[ok] = t
+        return out

@@ -1,0 +1,76 @@
+"""Machine model: the simulated Xeon Phi / host / PCIe hardware.
+
+See DESIGN.md §2 — the paper's 2013-era devices are modelled analytically
+with constants calibrated once against the paper's anchor measurements
+(documented in :mod:`repro.machine.presets` and
+:mod:`repro.machine.kernels`) and then held fixed for every experiment.
+"""
+
+from .kernels import (
+    TransportCostModel,
+    WorkPerParticle,
+    distance_sampling_time,
+    history_nuclide_seconds,
+    lookup_rate,
+    lookup_time_banked,
+    lookup_time_history,
+)
+from .memory import (
+    bank_bytes,
+    energy_grid_bytes,
+    library_nuclides,
+    max_particles,
+    particle_record_bytes,
+    resident_grid_bytes,
+)
+from .knl import KNL_PROJECTED, knl_projection
+from .occupancy import batch_overhead_s, occupancy_factor, thread_utilization
+from .pcie import PCIeLink
+from .power import POWER_MODELS, PowerModel, energy_per_particle, power_model_for
+from .presets import (
+    JLSE_HOST,
+    MIC_7120A,
+    MIC_SE10P,
+    PCIE_GEN2_X16,
+    STAMPEDE_HOST,
+    device_by_name,
+)
+from .roofline import KernelProfile, compute_time, kernel_time, memory_time
+from .spec import DeviceSpec
+
+__all__ = [
+    "TransportCostModel",
+    "WorkPerParticle",
+    "distance_sampling_time",
+    "history_nuclide_seconds",
+    "lookup_rate",
+    "lookup_time_banked",
+    "lookup_time_history",
+    "bank_bytes",
+    "energy_grid_bytes",
+    "library_nuclides",
+    "max_particles",
+    "particle_record_bytes",
+    "resident_grid_bytes",
+    "KNL_PROJECTED",
+    "knl_projection",
+    "batch_overhead_s",
+    "occupancy_factor",
+    "thread_utilization",
+    "PCIeLink",
+    "POWER_MODELS",
+    "PowerModel",
+    "energy_per_particle",
+    "power_model_for",
+    "JLSE_HOST",
+    "MIC_7120A",
+    "MIC_SE10P",
+    "PCIE_GEN2_X16",
+    "STAMPEDE_HOST",
+    "device_by_name",
+    "KernelProfile",
+    "compute_time",
+    "kernel_time",
+    "memory_time",
+    "DeviceSpec",
+]

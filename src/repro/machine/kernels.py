@@ -1,0 +1,261 @@
+"""Calibrated cost models for the paper's kernels and full transport.
+
+This module turns *measured* algorithmic work (from
+:class:`repro.work.WorkCounters`) into *modelled* device time for the JLSE
+and Stampede machines.  Three kernel families cover every experiment:
+
+* **cross-section lookups** — history mode is latency-serialized (dependent
+  gathers through derived types per nuclide per particle); banked mode is
+  bandwidth-bound (SoA streams + hardware gathers over the whole bank);
+* **distance sampling** — Table I's three implementations: a scalar
+  per-call path and two stream-bound vector paths;
+* **full transport** — per-particle time assembled from lookup, tracking,
+  and collision terms, times thread occupancy.
+
+Calibration anchors (values the constants were solved against, all from the
+paper): Table III's 4,050 / 6,641 n/s (host / MIC, H.M. Large, 1e5
+particles), Fig. 2's ~10x banked-MIC vs history-CPU lookup ratio, Table I's
+six timings, and Fig. 6's Stampede alpha = 0.42.  Everything else the model
+produces (Figs. 3-7 shapes, crossovers, scaling tails) is *prediction*, not
+fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineModelError
+from ..work import WorkCounters
+from .occupancy import batch_overhead_s, occupancy_factor
+from .roofline import KernelProfile, kernel_time
+from .spec import DeviceSpec
+
+__all__ = [
+    "history_nuclide_seconds",
+    "lookup_time_history",
+    "lookup_time_banked",
+    "lookup_rate",
+    "distance_sampling_time",
+    "WorkPerParticle",
+    "TransportCostModel",
+]
+
+# ---------------------------------------------------------------------------
+# Cross-section lookups
+# ---------------------------------------------------------------------------
+
+#: Dependent cache misses per nuclide per history-mode lookup (grid-point
+#: pair + derived-type header).
+_MISSES_PER_NUCLIDE = 2.0
+
+#: DRAM access latency [s].
+_MISS_LATENCY = {"ooo": 90.0e-9, "in_order": 300.0e-9}
+
+#: Effective memory-level parallelism per thread in the history-mode nuclide
+#: loop (OoO cores overlap a little; in-order cores rely on SMT, already
+#: reflected in running 4 threads/core).  Calibrated against Fig. 2's ~10x
+#: and Table III's host rate.
+_HISTORY_MLP = {"ooo": 0.72, "in_order": 0.55}
+
+#: Banked-mode lookup profile per (particle, nuclide) iteration: ~10 flops
+#: of interpolation against ~80 gathered bytes, >90% vectorized.
+_BANKED_FLOPS_PER_NUCLIDE = 10.0
+_BANKED_BYTES_PER_NUCLIDE = 80.0
+
+
+def history_nuclide_seconds(device: DeviceSpec) -> float:
+    """Per-thread seconds per (particle, nuclide) history-mode iteration."""
+    key = "ooo" if device.out_of_order else "in_order"
+    mlp = device.history_mlp if device.history_mlp is not None else _HISTORY_MLP[key]
+    return _MISSES_PER_NUCLIDE * _MISS_LATENCY[key] / mlp
+
+
+def lookup_time_history(
+    device: DeviceSpec, n_lookups: float, n_nuclides: int
+) -> float:
+    """Device time [s] for history-mode lookups (latency-serialized per
+    thread, all hardware threads busy)."""
+    per_thread = n_lookups / device.threads
+    return per_thread * n_nuclides * history_nuclide_seconds(device)
+
+
+def lookup_time_banked(
+    device: DeviceSpec, n_lookups: float, n_nuclides: int
+) -> float:
+    """Device time [s] for banked lookups (roofline: stream+gather bound)."""
+    profile = KernelProfile(
+        name="banked-lookup",
+        flops_per_item=_BANKED_FLOPS_PER_NUCLIDE,
+        bytes_per_item=_BANKED_BYTES_PER_NUCLIDE,
+        vector_fraction=0.92,
+        gather_fraction=0.70,
+    )
+    return kernel_time(device, profile, n_lookups * n_nuclides)
+
+
+def lookup_rate(
+    device: DeviceSpec, mode: str, n_nuclides: int, n_lookups: float = 1.0e6
+) -> float:
+    """Lookups per second for Fig. 2-style comparisons."""
+    if mode == "history":
+        t = lookup_time_history(device, n_lookups, n_nuclides)
+    elif mode == "banked":
+        t = lookup_time_banked(device, n_lookups, n_nuclides)
+    else:
+        raise MachineModelError(f"unknown lookup mode {mode!r}")
+    return n_lookups / t
+
+
+# ---------------------------------------------------------------------------
+# Distance sampling (Table I)
+# ---------------------------------------------------------------------------
+
+#: Naive per-sample per-thread seconds: library RNG call + scalar log/div.
+#: Calibrated to Table I (CPU: 412 s, MIC: 8,243 s at 1e11 samples).
+_NAIVE_SAMPLE_SECONDS = {"ooo": 132.0e-9, "in_order": 10.06e-6}
+
+#: Streamed bytes per sample for the vector implementations (R read + X
+#: read + D write, float32 as in Algorithm 4).
+_STREAM_BYTES = {"optimized1": 24.0, "optimized2": 21.0}
+
+#: Fraction of STREAM bandwidth the vector loops achieve (optimized2's
+#: tuned prefetch buys the bump).
+_STREAM_EFFICIENCY = {
+    ("ooo", "optimized1"): 0.58,
+    ("ooo", "optimized2"): 0.56,
+    ("in_order", "optimized1"): 0.645,
+    ("in_order", "optimized2"): 0.625,
+}
+
+
+def distance_sampling_time(
+    device: DeviceSpec,
+    impl: str,
+    n: float = 1.0e7,
+    iters: float = 1.0e4,
+    threads: int | None = None,
+) -> float:
+    """Modelled seconds for the Table I micro-benchmark.
+
+    ``threads`` defaults to the paper's configurations (32 on the host,
+    122 on the MIC) when left unset and the device matches those classes.
+    """
+    key = "ooo" if device.out_of_order else "in_order"
+    samples = n * iters
+    if impl == "naive":
+        if threads is None:
+            threads = 32 if device.out_of_order else 122
+        return samples * _NAIVE_SAMPLE_SECONDS[key] / threads
+    if impl in ("optimized1", "optimized2"):
+        bw = device.dram_bw_gbps * 1.0e9 * _STREAM_EFFICIENCY[(key, impl)]
+        return samples * _STREAM_BYTES[impl] / bw
+    raise MachineModelError(f"unknown distance implementation {impl!r}")
+
+
+# ---------------------------------------------------------------------------
+# Full transport
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkPerParticle:
+    """Average algorithmic work per particle history.
+
+    Measured by the executable transport loops; the reference values are a
+    measurement of the full-core H.M. model with this package's own
+    simulator (vacuum-bounded core, full physics).
+    """
+
+    lookups: float
+    flights: float
+    collisions: float
+
+    @classmethod
+    def from_counters(cls, counters: WorkCounters, n_particles: int) -> "WorkPerParticle":
+        return cls(
+            lookups=counters.lookups / n_particles,
+            flights=counters.flights / n_particles,
+            collisions=counters.collisions / n_particles,
+        )
+
+    @classmethod
+    def hm_reference(cls) -> "WorkPerParticle":
+        """Reference H.M. full-core work (measured with this package:
+        ~60 segments per history, ~17 collisions)."""
+        return cls(lookups=60.0, flights=60.0, collisions=17.0)
+
+
+#: Per-flight tracking cost [cycles] per thread: geometry distance search
+#: across the nested lattice, movement, RNG, tally scoring (scalar-heavy,
+#: branchy).  Cycle counts calibrated with the lookup constants against
+#: Table III's anchor rates; converting through each device's clock also
+#: captures the Stampede host's slower cores.
+_FLIGHT_CYCLES = {"ooo": 142_800.0, "in_order": 260_000.0}
+
+#: Per-collision physics cost [cycles] per thread (channel/nuclide
+#: sampling, kinematics, S(a,b)/URR branches).
+_COLLISION_CYCLES = {"ooo": 85_000.0, "in_order": 178_000.0}
+
+
+def _flight_seconds(device: DeviceSpec) -> float:
+    key = "ooo" if device.out_of_order else "in_order"
+    return _FLIGHT_CYCLES[key] / (device.clock_ghz * 1.0e9)
+
+
+def _collision_seconds(device: DeviceSpec) -> float:
+    key = "ooo" if device.out_of_order else "in_order"
+    return _COLLISION_CYCLES[key] / (device.clock_ghz * 1.0e9)
+
+
+@dataclass(frozen=True)
+class TransportCostModel:
+    """Modelled full-transport performance of a device.
+
+    ``mode`` is ``"history"`` (the paper's native/symmetric runs) or
+    ``"banked"`` (the projected fully event-based implementation).
+    """
+
+    device: DeviceSpec
+    n_nuclides: int
+    work: WorkPerParticle
+    mode: str = "history"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("history", "banked"):
+            raise MachineModelError(f"unknown transport mode {self.mode!r}")
+
+    def _lookup_seconds(self) -> float:
+        if self.mode == "history":
+            return lookup_time_history(
+                self.device, self.work.lookups, self.n_nuclides
+            )
+        return lookup_time_banked(self.device, self.work.lookups, self.n_nuclides)
+
+    def particle_seconds(self) -> float:
+        """Device-seconds per particle at full occupancy (asymptotic)."""
+        t_lookup = self._lookup_seconds()
+        t_track = self.work.flights * _flight_seconds(self.device) / self.device.threads
+        t_coll = (
+            self.work.collisions
+            * _collision_seconds(self.device)
+            / self.device.threads
+        )
+        return t_lookup + t_track + t_coll
+
+    def lookup_fraction(self) -> float:
+        """Share of particle time spent in cross-section lookups (Fig. 4's
+        headline observation that the top routines are all XS lookups)."""
+        return self._lookup_seconds() / self.particle_seconds()
+
+    def batch_time(self, n_particles: int) -> float:
+        """Seconds to transport one batch of ``n_particles``."""
+        if n_particles <= 0:
+            return batch_overhead_s(self.device)
+        asymptotic = n_particles * self.particle_seconds()
+        occ = occupancy_factor(self.device, n_particles)
+        return asymptotic / max(occ, 1e-12) + batch_overhead_s(self.device)
+
+    def calculation_rate(self, n_particles: int) -> float:
+        """Neutrons per second at a given batch size (Fig. 5 / Table III)."""
+        t = self.batch_time(n_particles)
+        return n_particles / t if t > 0 else 0.0

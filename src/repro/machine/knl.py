@@ -1,0 +1,75 @@
+"""Knights Landing projection (paper §V).
+
+The paper closes by projecting OpenMC onto the then-announced Knights
+Landing: up to 72 cores socketed directly (no PCIe), out-of-order execution
+("a possible automatic ~3x single thread speedup over Knights Corner"), and
+16 GB of on-package memory.  This module encodes that projection as a
+device preset plus the consequence analysis:
+
+* **no PCIe** — the offload model's transfer/banking terms vanish; the
+  banked method's remaining cost is only the bank reorganization;
+* **out-of-order cores** — the history-mode latency serialization relaxes
+  toward host-like levels;
+* **self-hosted** — symmetric mode's load-balancing problem disappears
+  (one device class per node).
+
+The KNL parameters are from Intel's ISC'14 announcement (as the paper cites
+it): ~72 cores, ~1.3 GHz, AVX-512, MCDRAM ~400 GB/s.
+"""
+
+from __future__ import annotations
+
+from .kernels import TransportCostModel, WorkPerParticle
+from .memory import library_nuclides
+from .spec import DeviceSpec
+
+__all__ = ["KNL_PROJECTED", "knl_projection"]
+
+#: Projected Knights Landing, per the paper's §V description.
+KNL_PROJECTED = DeviceSpec(
+    name="knl-projected",
+    cores=72,
+    threads_per_core=4,
+    clock_ghz=1.3,
+    vector_bits=512,
+    dram_bw_gbps=400.0,  # MCDRAM
+    mem_gb=16.0,  # on-package
+    out_of_order=True,  # the headline change vs Knights Corner
+    issue_width=2.0,
+    gather_efficiency=0.45,
+    smt_latency_factor=1.6,
+)
+
+
+def knl_projection(
+    model: str = "hm-large",
+    n_particles: int = 100_000,
+    work: WorkPerParticle | None = None,
+) -> dict[str, float]:
+    """The paper's §V projection, quantified.
+
+    Returns the modelled KNC and KNL history-mode rates, their ratio, and
+    the per-thread (single-thread) speedup — to be compared against the
+    paper's "possible automatic ~3x single thread speedup".
+    """
+    from .presets import JLSE_HOST, MIC_7120A
+
+    work = work or WorkPerParticle.hm_reference()
+    n_nuc = library_nuclides(model)
+    knc = TransportCostModel(MIC_7120A, n_nuc, work)
+    knl = TransportCostModel(KNL_PROJECTED, n_nuc, work)
+    host = TransportCostModel(JLSE_HOST, n_nuc, work)
+
+    rate_knc = knc.calculation_rate(n_particles)
+    rate_knl = knl.calculation_rate(n_particles)
+    # Per-thread rate = device rate / hardware threads.
+    single_thread_speedup = (rate_knl / KNL_PROJECTED.threads) / (
+        rate_knc / MIC_7120A.threads
+    )
+    return {
+        "rate_knc": rate_knc,
+        "rate_knl": rate_knl,
+        "device_speedup": rate_knl / rate_knc,
+        "single_thread_speedup": single_thread_speedup,
+        "knl_vs_jlse_host": rate_knl / host.calculation_rate(n_particles),
+    }

@@ -1,0 +1,41 @@
+"""PCIe transfer model for the offload execution path.
+
+Offload costs in the paper (Table II, Fig. 3) are latency + bandwidth
+amortization: each offload pays a fixed launch/latency cost plus bytes over
+an effective bandwidth.  Two bandwidths are distinguished, as the paper's
+measurements imply: the per-iteration *bank* path (particle records through
+the offload runtime, ~1.3 GB/s effective) and the *bulk* initialization path
+for the persistent energy grid ("approximately 1 second for every 5 GB").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineModelError
+
+__all__ = ["PCIeLink"]
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """An offload link with latency and two effective bandwidths."""
+
+    latency_s: float
+    bank_bandwidth_gbps: float
+    bulk_bandwidth_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise MachineModelError("negative PCIe latency")
+        if self.bank_bandwidth_gbps <= 0 or self.bulk_bandwidth_gbps <= 0:
+            raise MachineModelError("non-positive PCIe bandwidth")
+
+    def bank_transfer_time(self, nbytes: float) -> float:
+        """Seconds to ship a particle bank (per offload iteration)."""
+        return self.latency_s + nbytes / (self.bank_bandwidth_gbps * 1.0e9)
+
+    def bulk_transfer_time(self, nbytes: float) -> float:
+        """Seconds to ship bulk initialization data (energy grid);
+        paid once and amortized over batches."""
+        return self.latency_s + nbytes / (self.bulk_bandwidth_gbps * 1.0e9)

@@ -1,0 +1,100 @@
+"""Energy-to-solution model (paper §V: RAPL / micsmc / micpower).
+
+The paper's final future-work item: compare host and coprocessor *energy*
+performance, trading time-to-solution against energy expenditure.  This
+module implements that analysis over the calibrated transport cost model:
+a two-term device power model (idle + utilization-scaled dynamic power,
+the structure RAPL-style measurements expose) integrated over the modelled
+batch time.
+
+Public TDP/idle figures for the paper's parts:
+
+* Xeon E5-2687W: 150 W TDP per socket (2 sockets), ~60 W idle/socket;
+* Xeon E5-2680: 130 W TDP per socket;
+* Xeon Phi 7120a: 300 W TDP, ~100 W idle;
+* Xeon Phi SE10P: 300 W TDP.
+
+The paper's expectation — "host-attached devices ... show excellent
+performance per watt" — holds at high occupancy and *inverts* at low
+particle counts, where the MIC burns near-idle power without delivering
+rate; :func:`energy_per_particle` exposes exactly that crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineModelError
+from .kernels import TransportCostModel, WorkPerParticle
+from .memory import library_nuclides
+from .occupancy import occupancy_factor
+from .spec import DeviceSpec
+
+__all__ = ["PowerModel", "POWER_MODELS", "energy_per_particle", "power_model_for"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Idle + dynamic power for one device [W]."""
+
+    device_name: str
+    idle_w: float
+    max_w: float
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0 or self.max_w <= self.idle_w:
+            raise MachineModelError(
+                f"{self.device_name}: need 0 <= idle < max power"
+            )
+
+    def draw_w(self, utilization: float) -> float:
+        """Instantaneous draw at a utilization in [0, 1]."""
+        if not 0.0 <= utilization <= 1.0 + 1e-12:
+            raise MachineModelError("utilization must be in [0, 1]")
+        return self.idle_w + (self.max_w - self.idle_w) * min(utilization, 1.0)
+
+    def energy_j(self, seconds: float, utilization: float) -> float:
+        """Joules over an interval at constant utilization."""
+        return self.draw_w(utilization) * seconds
+
+
+#: Calibrated power models keyed by device preset name.
+POWER_MODELS: dict[str, PowerModel] = {
+    "jlse-host-2xE5-2687W": PowerModel("jlse-host-2xE5-2687W", 120.0, 320.0),
+    "stampede-host-2xE5-2680": PowerModel(
+        "stampede-host-2xE5-2680", 105.0, 280.0
+    ),
+    "xeon-phi-7120a": PowerModel("xeon-phi-7120a", 100.0, 300.0),
+    "xeon-phi-SE10P": PowerModel("xeon-phi-SE10P", 95.0, 290.0),
+}
+
+
+def power_model_for(device: DeviceSpec) -> PowerModel:
+    try:
+        return POWER_MODELS[device.name]
+    except KeyError:
+        raise MachineModelError(
+            f"no power model for device {device.name!r}"
+        ) from None
+
+
+def energy_per_particle(
+    device: DeviceSpec,
+    model: str,
+    n_particles: int,
+    work: WorkPerParticle | None = None,
+) -> float:
+    """Joules per simulated neutron at a given batch size.
+
+    Batch energy = device draw (at the occupancy-implied utilization)
+    integrated over the modelled batch time, divided by the particle count.
+    """
+    if n_particles < 1:
+        raise MachineModelError("need at least one particle")
+    cost = TransportCostModel(
+        device, library_nuclides(model), work or WorkPerParticle.hm_reference()
+    )
+    t = cost.batch_time(n_particles)
+    util = occupancy_factor(device, n_particles)
+    pm = power_model_for(device)
+    return pm.energy_j(t, util) / n_particles

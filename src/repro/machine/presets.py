@@ -1,0 +1,116 @@
+"""Calibrated device presets for the paper's test systems.
+
+Parameters come from public spec sheets; the *efficiency* constants
+(gather efficiency, SMT factors) are calibrated once so that the transport
+cost model (:mod:`repro.machine.kernels`) reproduces the paper's anchor
+measurements, and are then held fixed across every experiment:
+
+* Table III: H.M. Large active-batch rates of **4,050 n/s** (JLSE host) and
+  **6,641 n/s** (one Xeon Phi 7120a), i.e. alpha = 0.61;
+* Fig. 5: alpha stabilizes near 0.62 above ~1e4 particles, and rates sag at
+  low particle counts (thread starvation);
+* Fig. 6: alpha = 0.42 on Stampede (slower host, slower SE10P MIC);
+* Table I: MIC beats host ~1.9x on the fully vectorized distance kernel but
+  loses by >10x on the naive scalar kernel.
+
+JLSE nodes: 2 x Xeon E5-2687W (8 cores each, 3.4 GHz, AVX) + 2 x Xeon Phi
+7120a (61 cores, 1.238 GHz, 512-bit).  Stampede nodes: 2 x Xeon E5-2680
+(2.7 GHz) + Xeon Phi SE10P (61 cores, 1.1 GHz, 8 GB).
+"""
+
+from __future__ import annotations
+
+from .pcie import PCIeLink
+from .spec import DeviceSpec
+
+__all__ = [
+    "JLSE_HOST",
+    "MIC_7120A",
+    "STAMPEDE_HOST",
+    "MIC_SE10P",
+    "PCIE_GEN2_X16",
+    "device_by_name",
+]
+
+#: JLSE host: dual-socket E5-2687W — 16 cores / 32 threads, AVX-256,
+#: ~102 GB/s aggregate STREAM bandwidth, 64 GB DDR3.
+JLSE_HOST = DeviceSpec(
+    name="jlse-host-2xE5-2687W",
+    cores=16,
+    threads_per_core=2,
+    clock_ghz=3.4,
+    vector_bits=256,
+    dram_bw_gbps=102.0,
+    mem_gb=64.0,
+    out_of_order=True,
+    issue_width=2.0,
+    gather_efficiency=0.55,
+    smt_latency_factor=1.25,
+)
+
+#: Xeon Phi 7120a: 61 in-order cores, 4-way SMT, 512-bit vectors, GDDR5.
+MIC_7120A = DeviceSpec(
+    name="xeon-phi-7120a",
+    cores=61,
+    threads_per_core=4,
+    clock_ghz=1.238,
+    vector_bits=512,
+    dram_bw_gbps=177.0,
+    mem_gb=16.0,
+    out_of_order=False,
+    issue_width=2.0,
+    gather_efficiency=0.38,
+    smt_latency_factor=3.2,
+)
+
+#: Stampede host: dual-socket E5-2680 at 2.7 GHz, 32 GB.
+STAMPEDE_HOST = DeviceSpec(
+    name="stampede-host-2xE5-2680",
+    cores=16,
+    threads_per_core=2,
+    clock_ghz=2.7,
+    vector_bits=256,
+    dram_bw_gbps=76.0,
+    mem_gb=32.0,
+    out_of_order=True,
+    issue_width=2.0,
+    gather_efficiency=0.55,
+    smt_latency_factor=1.25,
+    # Calibrated to the paper's Stampede observation alpha = 0.42: the
+    # E5-2680's slower uncore/DDR3-1600 sustains less lookup-chain
+    # parallelism than the JLSE host.
+    history_mlp=0.42,
+)
+
+#: Stampede's Xeon Phi SE10P: 61 cores at 1.1 GHz, 8 GB.
+MIC_SE10P = DeviceSpec(
+    name="xeon-phi-SE10P",
+    cores=61,
+    threads_per_core=4,
+    clock_ghz=1.1,
+    vector_bits=512,
+    dram_bw_gbps=160.0,
+    mem_gb=8.0,
+    out_of_order=False,
+    issue_width=2.0,
+    gather_efficiency=0.38,
+    smt_latency_factor=3.2,
+)
+
+#: PCIe 2.0 x16 as the offload path sees it.  The *effective* bank-transfer
+#: bandwidth is calibrated to Table II (496 MB in 460 ms, 2.84 GB in
+#: 2,210 ms -> ~1.3 GB/s including offload runtime overheads); the
+#: persistent energy-grid path streams at the paper's quoted "1 second per
+#: 5 GB".
+PCIE_GEN2_X16 = PCIeLink(
+    latency_s=50.0e-6,
+    bank_bandwidth_gbps=1.3,
+    bulk_bandwidth_gbps=5.0,
+)
+
+_ALL = {d.name: d for d in (JLSE_HOST, MIC_7120A, STAMPEDE_HOST, MIC_SE10P)}
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look up a preset device by its full name."""
+    return _ALL[name]

@@ -1,0 +1,62 @@
+"""Generic roofline helpers: kernel profiles and time estimates.
+
+A kernel is characterized by its per-item arithmetic, memory traffic, how
+much of it vectorizes, and how gather-heavy its memory access is.  Time on a
+device is the max of the compute estimate (Amdahl split between vector and
+scalar pipes) and the memory estimate (effective bandwidth degraded by
+gathers) — the standard roofline argument the paper's kernels live on:
+cross-section lookups sit on the memory/latency side, distance sampling on
+the vector-compute/stream side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineModelError
+from .spec import DeviceSpec
+
+__all__ = ["KernelProfile", "compute_time", "memory_time", "kernel_time"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Per-item cost characterization of a kernel."""
+
+    name: str
+    flops_per_item: float
+    bytes_per_item: float
+    vector_fraction: float
+    gather_fraction: float = 0.0
+    precision: str = "f64"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.vector_fraction <= 1.0:
+            raise MachineModelError("vector_fraction must be in [0, 1]")
+        if not 0.0 <= self.gather_fraction <= 1.0:
+            raise MachineModelError("gather_fraction must be in [0, 1]")
+        if self.flops_per_item < 0 or self.bytes_per_item < 0:
+            raise MachineModelError("negative work per item")
+
+
+def compute_time(device: DeviceSpec, profile: KernelProfile, n_items: float) -> float:
+    """Arithmetic-pipe time [s]: Amdahl split between vector and scalar."""
+    flops = n_items * profile.flops_per_item
+    vec = profile.vector_fraction
+    t_vec = flops * vec / device.peak_vector_flops(profile.precision)
+    t_scalar = flops * (1.0 - vec) / device.peak_scalar_ops()
+    return t_vec + t_scalar
+
+
+def memory_time(device: DeviceSpec, profile: KernelProfile, n_items: float) -> float:
+    """Memory-pipe time [s] at gather-degraded effective bandwidth."""
+    bytes_total = n_items * profile.bytes_per_item
+    return bytes_total / device.effective_bandwidth(profile.gather_fraction)
+
+
+def kernel_time(device: DeviceSpec, profile: KernelProfile, n_items: float) -> float:
+    """Roofline estimate: the slower of the two pipes wins."""
+    return max(
+        compute_time(device, profile, n_items),
+        memory_time(device, profile, n_items),
+    )

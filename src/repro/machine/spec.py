@@ -1,0 +1,122 @@
+"""Device specifications for the modelled hardware.
+
+The paper's devices are 2013-era parts we cannot run (repro band 2); per the
+substitution rule they are modelled analytically.  A :class:`DeviceSpec`
+captures exactly the architectural parameters the paper's performance
+arguments rest on: core/thread counts, clock, vector width, memory bandwidth
+and capacity, and whether the core is out-of-order (the MIC's in-order
+pipeline is why its *scalar* performance is poor and why Knights Landing's
+OoO cores are projected to give ~3x in §V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineModelError
+
+__all__ = ["DeviceSpec"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of one compute device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    cores, threads_per_core:
+        Physical cores and hardware threads per core.
+    clock_ghz:
+        Core clock [GHz].
+    vector_bits:
+        SIMD register width [bits] (512 for the MIC, 256 for AVX hosts).
+    dram_bw_gbps:
+        Achievable (STREAM-like) memory bandwidth [GB/s].
+    mem_gb:
+        Device memory capacity [GB].
+    out_of_order:
+        Whether cores execute out of order.  In-order cores (Knights
+        Corner) stall on every cache miss unless another hardware thread
+        can issue — the root of the MIC's poor scalar/latency behaviour.
+    issue_width:
+        Sustained instructions per cycle per core for vectorizable code.
+    gather_efficiency:
+        Fraction of peak DRAM bandwidth achieved by gather-dominated
+        access (cross-section table lookups), vs unit-stride streams.
+    smt_latency_factor:
+        Throughput multiplier from filling hardware threads on latency-
+        bound code (the MIC *needs* its 4 threads/core; hosts gain ~25%
+        from 2-way HT).
+    """
+
+    name: str
+    cores: int
+    threads_per_core: int
+    clock_ghz: float
+    vector_bits: int
+    dram_bw_gbps: float
+    mem_gb: float
+    out_of_order: bool
+    issue_width: float = 2.0
+    gather_efficiency: float = 0.5
+    smt_latency_factor: float = 1.25
+    #: Effective per-thread memory-level parallelism in latency-serialized
+    #: (history-mode) lookup chains; None selects the class default
+    #: (0.72 OoO / 0.55 in-order) in the kernel model.
+    history_mlp: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.threads_per_core < 1:
+            raise MachineModelError(f"{self.name}: invalid core/thread counts")
+        if self.clock_ghz <= 0 or self.dram_bw_gbps <= 0 or self.mem_gb <= 0:
+            raise MachineModelError(f"{self.name}: invalid rates/capacities")
+        if self.vector_bits not in (128, 256, 512):
+            raise MachineModelError(f"{self.name}: unsupported vector width")
+
+    # -- Derived quantities -------------------------------------------------------
+
+    @property
+    def threads(self) -> int:
+        """Total hardware threads."""
+        return self.cores * self.threads_per_core
+
+    def vector_lanes(self, precision: str = "f64") -> int:
+        """SIMD lanes for the given precision ('f32' or 'f64')."""
+        if precision == "f32":
+            return self.vector_bits // 32
+        if precision == "f64":
+            return self.vector_bits // 64
+        raise MachineModelError(f"unknown precision {precision!r}")
+
+    def peak_vector_flops(self, precision: str = "f64") -> float:
+        """Peak vector FLOP rate [FLOP/s] (FMA counted as 2)."""
+        return (
+            self.cores
+            * self.clock_ghz
+            * 1.0e9
+            * self.vector_lanes(precision)
+            * self.issue_width
+        )
+
+    def peak_scalar_ops(self) -> float:
+        """Sustained scalar operation rate [op/s] across all cores.
+
+        Out-of-order cores sustain ~issue_width scalar ops/cycle; in-order
+        cores sustain well under 1 (dependences and misses stall the
+        pipeline; SMT recovers some throughput via smt_latency_factor
+        applied at the kernel level)."""
+        per_core = self.issue_width if self.out_of_order else 0.4
+        return self.cores * self.clock_ghz * 1.0e9 * per_core
+
+    @property
+    def mem_bytes(self) -> float:
+        return self.mem_gb * 1.0e9
+
+    def effective_bandwidth(self, gather_fraction: float = 0.0) -> float:
+        """Achievable bandwidth [B/s] for a mix of streaming and gathers."""
+        if not 0.0 <= gather_fraction <= 1.0:
+            raise MachineModelError("gather_fraction must be in [0, 1]")
+        eff = 1.0 - gather_fraction * (1.0 - self.gather_efficiency)
+        return self.dram_bw_gbps * 1.0e9 * eff

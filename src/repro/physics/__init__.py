@@ -1,0 +1,50 @@
+"""Collision physics: cross-section kernels, sampling, kinematics."""
+
+from .collision import (
+    sample_nuclide,
+    sample_nuclide_many,
+    select_channel,
+    select_channel_many,
+)
+from .distance import (
+    sample_distance_from_uniforms,
+    sample_distance_naive,
+    sample_distance_optimized1,
+    sample_distance_optimized2,
+)
+from .fission import sample_nu, sample_nu_many, watt_spectrum, watt_spectrum_many
+from .macroxs import MacroXS, XSCalculator
+from .scattering import (
+    elastic_scatter,
+    elastic_scatter_many,
+    isotropic_direction,
+    isotropic_direction_many,
+    rotate_direction,
+    rotate_direction_many,
+)
+from .thermal import free_gas_scatter, free_gas_scatter_many
+
+__all__ = [
+    "sample_nuclide",
+    "sample_nuclide_many",
+    "select_channel",
+    "select_channel_many",
+    "sample_distance_from_uniforms",
+    "sample_distance_naive",
+    "sample_distance_optimized1",
+    "sample_distance_optimized2",
+    "sample_nu",
+    "sample_nu_many",
+    "watt_spectrum",
+    "watt_spectrum_many",
+    "MacroXS",
+    "XSCalculator",
+    "elastic_scatter",
+    "elastic_scatter_many",
+    "isotropic_direction",
+    "isotropic_direction_many",
+    "rotate_direction",
+    "rotate_direction_many",
+    "free_gas_scatter",
+    "free_gas_scatter_many",
+]

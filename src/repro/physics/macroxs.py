@@ -1,0 +1,381 @@
+"""Macroscopic cross-section calculation — the paper's bottleneck kernel.
+
+Implements Algorithm 1 (``calculate_xs``) in the three structural variants
+the paper compares:
+
+* :meth:`XSCalculator.scalar` — the history-based path: one particle, a
+  scalar loop over the material's nuclides (with optional unionized-grid
+  indexing, URR probability-table sampling, and S(alpha, beta) substitution);
+* :meth:`XSCalculator.banked` — the event-based path: a whole bank of
+  particles at once, Python-looping over nuclides while NumPy vectorizes the
+  particle dimension (the analogue of ``#pragma simd`` on Algorithm 2's
+  inner loop, transposed to NumPy's strength);
+* :meth:`XSCalculator.banked_outer` — the alternative the paper tried and
+  found slower: vectorizing across the *nuclide* dimension per particle
+  (ragged bounds per material are why it loses on real hardware).
+
+Both banked variants reproduce the scalar path's results — and its random-
+number stream — exactly, so history and event transport are bit-comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.library import NuclideLibrary
+from ..data.soa import AoSLibrary, SoALibrary
+from ..data.unionized import UnionizedGrid
+from ..errors import PhysicsError
+from ..geometry.materials import Material
+from ..rng.lcg import RandomStream, prn_array
+from ..types import N_REACTIONS, Reaction
+from ..work import WorkCounters
+
+__all__ = ["MacroXS", "XSCalculator"]
+
+#: Bytes touched per nuclide per lookup: two grid points x (energy + four
+#: cross sections) x 8 bytes.  Feeds the memory-bound roofline estimate.
+BYTES_PER_NUCLIDE_LOOKUP = 2 * (1 + N_REACTIONS) * 8
+
+
+@dataclass
+class MacroXS:
+    """Macroscopic cross sections [1/cm] of a material at one energy.
+
+    ``nu_fission`` is :math:`\\nu\\Sigma_f` — fission production — used by
+    all three k-effective estimators.
+    """
+
+    total: float
+    elastic: float
+    capture: float
+    fission: float
+    nu_fission: float = 0.0
+
+    @property
+    def absorption(self) -> float:
+        return self.capture + self.fission
+
+
+class XSCalculator:
+    """Cross-section engine bound to a library (and optionally a union grid).
+
+    Parameters
+    ----------
+    library:
+        The nuclide library.
+    union:
+        Optional unionized grid; when present, per-nuclide binary searches
+        are replaced by one union search plus index gathers (Leppänen).
+    use_sab, use_urr:
+        Physics toggles.  The paper *removed* the S(alpha, beta) and URR
+        blocks to vectorize its micro-benchmarks; switching these off
+        reproduces that stripped configuration.
+    layout:
+        ``"soa"`` (default) or ``"aos"`` — which data layout the banked
+        kernels read from (ablation #1 in DESIGN.md).
+    """
+
+    def __init__(
+        self,
+        library: NuclideLibrary,
+        union: UnionizedGrid | None = None,
+        *,
+        use_sab: bool = True,
+        use_urr: bool = True,
+        layout: str = "soa",
+    ) -> None:
+        self.library = library
+        self.union = union
+        self.use_sab = use_sab
+        self.use_urr = use_urr
+        if layout not in ("soa", "aos"):
+            raise PhysicsError(f"unknown layout {layout!r}")
+        self.layout = layout
+        self.soa = SoALibrary(library)
+        self.aos = AoSLibrary(library) if layout == "aos" else None
+
+    # ------------------------------------------------------------------
+    # Scalar (history-based) path
+    # ------------------------------------------------------------------
+
+    def scalar(
+        self,
+        material: Material,
+        energy: float,
+        stream: RandomStream,
+        counters: WorkCounters | None = None,
+        per_nuclide_total: np.ndarray | None = None,
+    ) -> MacroXS:
+        """Algorithm 1 for a single particle.
+
+        ``per_nuclide_total``, if given (length >= material.n_nuclides), is
+        filled with each nuclide's contribution to the total macroscopic
+        cross section — the weights for collision-nuclide sampling.
+        """
+        ids, rho = material.resolve(self.library)
+        n = ids.shape[0]
+        if self.union is not None:
+            u = self.union.search(energy)
+        total = elastic = capture = fission = nu_fission = 0.0
+        for k in range(n):
+            nid = int(ids[k])
+            nuc = self.library[nid]
+            if self.union is not None:
+                idx = int(self.union.indices[nid, u])
+            else:
+                idx = nuc.find_index(energy)
+            micro = nuc.micro_xs(energy, index=idx)
+            m_el = micro[Reaction.ELASTIC]
+            m_cap = micro[Reaction.CAPTURE]
+            m_fis = micro[Reaction.FISSION]
+            if self.use_sab and nuc.has_sab:
+                sab = self.library.sab[nuc.name]
+                if energy < sab.cutoff:
+                    m_el = float(sab.thermal_xs(energy))
+                    if counters:
+                        counters.sab_samples += 1
+            if self.use_urr and nuc.has_urr:
+                table = self.library.urr[nuc.name]
+                if table.contains(energy):
+                    factors = table.sample_factors(energy, stream.prn())
+                    m_el *= factors[Reaction.ELASTIC]
+                    m_cap *= factors[Reaction.CAPTURE]
+                    m_fis *= factors[Reaction.FISSION]
+                    if counters:
+                        counters.urr_samples += 1
+                        counters.rn_draws += 1
+            m_tot = m_el + m_cap + m_fis
+            contrib = rho[k] * m_tot
+            total += contrib
+            elastic += rho[k] * m_el
+            capture += rho[k] * m_cap
+            fission += rho[k] * m_fis
+            if nuc.fissionable:
+                nu_fission += rho[k] * m_fis * float(nuc.nu(energy))
+            if per_nuclide_total is not None:
+                per_nuclide_total[k] = contrib
+        if counters:
+            counters.lookups += 1
+            counters.nuclide_iterations += n
+            counters.grid_searches += 1 if self.union is not None else n
+            counters.bytes_read += n * BYTES_PER_NUCLIDE_LOOKUP
+        return MacroXS(
+            total=total,
+            elastic=elastic,
+            capture=capture,
+            fission=fission,
+            nu_fission=nu_fission,
+        )
+
+    # ------------------------------------------------------------------
+    # Banked (event-based) path: inner nuclide loop, vectorized particles
+    # ------------------------------------------------------------------
+
+    def banked(
+        self,
+        material: Material,
+        energies: np.ndarray,
+        rng_states: np.ndarray | None = None,
+        counters: WorkCounters | None = None,
+        per_nuclide_total: np.ndarray | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Vectorized Algorithm 1 over a bank of particles.
+
+        Parameters
+        ----------
+        energies:
+            Particle energies, shape ``(N,)``.
+        rng_states:
+            Per-particle LCG states (uint64), advanced **in place** exactly
+            as the scalar path would advance each particle's stream (URR
+            draws happen only for particles inside a table's range, in the
+            same material order) — required when ``use_urr`` is on.
+        per_nuclide_total:
+            Optional ``(n_nuclides_in_material, N)`` output of per-nuclide
+            contributions (collision-nuclide sampling weights).
+
+        Returns a dict of ``(N,)`` arrays: ``total``, ``elastic``,
+        ``capture``, ``fission``.
+        """
+        energies = np.asarray(energies, dtype=np.float64)
+        ids, rho = material.resolve(self.library)
+        n_nuc = ids.shape[0]
+        n = energies.shape[0]
+        if self.union is not None:
+            u = self.union.search_many(energies)
+        total = np.zeros(n)
+        elastic = np.zeros(n)
+        capture = np.zeros(n)
+        fission = np.zeros(n)
+        nu_fission = np.zeros(n)
+        gather = (
+            self.soa.micro_xs_gather
+            if self.layout == "soa"
+            else self.aos.micro_xs_gather
+        )
+        for k in range(n_nuc):
+            nid = int(ids[k])
+            nuc = self.library[nid]
+            if self.union is not None:
+                idx = self.union.indices[nid, u]
+            else:
+                idx = nuc.find_index_many(energies)
+            micro = gather(nid, energies, idx)  # (N_REACTIONS, N)
+            m_el = micro[Reaction.ELASTIC]
+            m_cap = micro[Reaction.CAPTURE]
+            m_fis = micro[Reaction.FISSION]
+            if self.use_sab and nuc.has_sab:
+                sab = self.library.sab[nuc.name]
+                mask = energies < sab.cutoff
+                if mask.any():
+                    m_el = m_el.copy()
+                    m_el[mask] = sab.thermal_xs(energies[mask])
+                    if counters:
+                        counters.sab_samples += int(mask.sum())
+            if self.use_urr and nuc.has_urr:
+                table = self.library.urr[nuc.name]
+                mask = np.asarray(table.contains(energies))
+                if mask.any():
+                    if rng_states is None:
+                        raise PhysicsError(
+                            "banked URR sampling requires rng_states"
+                        )
+                    new_states, xi = prn_array(rng_states[mask])
+                    rng_states[mask] = new_states
+                    factors = table.sample_factors_many(energies[mask], xi)
+                    m_el = m_el.copy()
+                    m_cap = m_cap.copy()
+                    m_fis = m_fis.copy()
+                    m_el[mask] *= factors[Reaction.ELASTIC]
+                    m_cap[mask] *= factors[Reaction.CAPTURE]
+                    m_fis[mask] *= factors[Reaction.FISSION]
+                    if counters:
+                        counters.urr_samples += int(mask.sum())
+                        counters.rn_draws += int(mask.sum())
+            m_tot = m_el + m_cap + m_fis
+            contrib = rho[k] * m_tot
+            total += contrib
+            elastic += rho[k] * m_el
+            capture += rho[k] * m_cap
+            fission += rho[k] * m_fis
+            if nuc.fissionable:
+                nu_fission += rho[k] * m_fis * nuc.nu(energies)
+            if per_nuclide_total is not None:
+                per_nuclide_total[k] = contrib
+        if counters:
+            counters.lookups += n
+            counters.nuclide_iterations += n * n_nuc
+            counters.grid_searches += n if self.union is not None else n * n_nuc
+            counters.bytes_read += n * n_nuc * BYTES_PER_NUCLIDE_LOOKUP
+        return {
+            "total": total,
+            "elastic": elastic,
+            "capture": capture,
+            "fission": fission,
+            "nu_fission": nu_fission,
+        }
+
+    # ------------------------------------------------------------------
+    # Banked, outer-loop variant (for the ablation)
+    # ------------------------------------------------------------------
+
+    def banked_outer(
+        self,
+        material: Material,
+        energies: np.ndarray,
+        counters: WorkCounters | None = None,
+    ) -> np.ndarray:
+        """Total macroscopic XS via per-particle vectorization over nuclides.
+
+        One Python-level iteration *per particle*, each gathering all
+        nuclides' contributions at once — the structure of putting
+        ``#pragma simd`` on the outer loop of Algorithm 2.  The paper found
+        this slower (ragged inner bounds per material); here the Python
+        per-particle overhead plays that role.  S(alpha, beta)/URR are not
+        supported in this stripped variant (as in the paper's
+        micro-benchmark).  Requires a union grid.
+        """
+        if self.union is None:
+            raise PhysicsError("banked_outer requires a unionized grid")
+        energies = np.asarray(energies, dtype=np.float64)
+        ids, rho = material.resolve(self.library)
+        n = energies.shape[0]
+        out = np.empty(n)
+        for j in range(n):
+            u = self.union.search(float(energies[j]))
+            local = self.union.indices[ids, u]
+            micro_tot = self.soa.micro_total_across_nuclides(
+                float(energies[j]), self.soa_local_indices(ids, local)
+            )
+            out[j] = float(np.dot(rho, micro_tot[ids]))
+        if counters:
+            counters.lookups += n
+            counters.nuclide_iterations += n * ids.shape[0]
+            counters.grid_searches += n
+            counters.bytes_read += n * ids.shape[0] * BYTES_PER_NUCLIDE_LOOKUP
+        return out
+
+    # ------------------------------------------------------------------
+    # Collision attribution
+    # ------------------------------------------------------------------
+
+    def attribution_weights(
+        self,
+        material: Material,
+        energies: np.ndarray,
+        reaction: Reaction,
+        counters: WorkCounters | None = None,
+    ) -> np.ndarray:
+        """Per-nuclide sampling weights for collision attribution.
+
+        Shape ``(n_nuclides_in_material, N)``: entry ``[k, j]`` is
+        :math:`N_k \\sigma_{x,k}(E_j)` for the requested channel ``x``.
+        S(alpha, beta) substitution is applied (bound hydrogen dominates
+        thermal scattering attribution); URR factors are *not* — they were
+        consumed during the lookup and re-drawing them would desynchronize
+        the particle streams.  Both transport loops use this same function,
+        so history and event runs attribute collisions identically.
+        """
+        energies = np.atleast_1d(np.asarray(energies, dtype=np.float64))
+        ids, rho = material.resolve(self.library)
+        n_nuc = ids.shape[0]
+        n = energies.shape[0]
+        if self.union is not None:
+            u = self.union.search_many(energies)
+        out = np.empty((n_nuc, n))
+        for k in range(n_nuc):
+            nid = int(ids[k])
+            nuc = self.library[nid]
+            if self.union is not None:
+                idx = self.union.indices[nid, u]
+            else:
+                idx = nuc.find_index_many(energies)
+            micro = self.soa.micro_xs_gather(nid, energies, idx)
+            row = micro[reaction].copy()
+            if (
+                reaction == Reaction.ELASTIC
+                and self.use_sab
+                and nuc.has_sab
+            ):
+                sab = self.library.sab[nuc.name]
+                mask = energies < sab.cutoff
+                if mask.any():
+                    row[mask] = sab.thermal_xs(energies[mask])
+            out[k] = rho[k] * row
+        if counters:
+            counters.nuclide_iterations += n * n_nuc
+            counters.bytes_read += n * n_nuc * BYTES_PER_NUCLIDE_LOOKUP
+        return out
+
+    def soa_local_indices(
+        self, ids: np.ndarray, local: np.ndarray
+    ) -> np.ndarray:
+        """Expand material-subset local indices to a full per-nuclide vector
+        (nuclides outside the material get index 0; they are masked out by
+        the dot product with the density vector)."""
+        full = np.zeros(self.soa.n_nuclides, dtype=np.int64)
+        full[ids] = local
+        return full

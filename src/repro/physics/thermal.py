@@ -1,0 +1,124 @@
+r"""Thermal-motion treatments: free-gas scattering and S(alpha, beta) hooks.
+
+Below a few eV, the target nucleus's thermal velocity is comparable to the
+neutron's, so target-at-rest kinematics is wrong: neutrons can *up-scatter*.
+The paper notes OpenMC handles thermal motion "on the fly"; we implement the
+free-gas model directly with explicit velocity vectors:
+
+1. draw the target velocity from a Maxwellian at temperature :math:`T`
+   (speed from a :math:`\chi^2_3` energy, direction isotropic);
+2. form the center-of-mass velocity, scatter isotropically in the CM frame
+   preserving the relative speed, and transform back.
+
+Energies and speeds use the non-relativistic proportionality
+:math:`E \propto v^2`, so all mass factors reduce to the atomic weight ratio.
+For nuclides with an S(alpha, beta) table (H in water), the bound-scattering
+sampler in :mod:`repro.data.sab` supersedes the free-gas model below the
+thermal cutoff; the dispatch happens in the collision kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import K_BOLTZMANN
+from ..rng.lcg import RandomStream
+
+__all__ = ["free_gas_scatter", "free_gas_scatter_many", "THERMAL_FREE_GAS_CUTOFF_KT"]
+
+#: Above this many kT, target motion is negligible and target-at-rest
+#: kinematics is used instead (the standard 400 kT rule).
+THERMAL_FREE_GAS_CUTOFF_KT = 400.0
+
+
+def _maxwell_speed_squared(kt_over_a: float, xi: tuple[float, float, float]) -> float:
+    """Sample v^2 (in energy units) of a Maxwellian target: chi^2 with three
+    degrees of freedom, i.e. sum of three squared Gaussians — here via the
+    Johnk/Box-Muller-free approach using -ln terms:
+    v^2/(kT/A) ~ Gamma(3/2, 1) sampled as  -ln xi1 - ln xi2 * cos^2(pi xi3 / 2).
+    """
+    x1, x2, x3 = xi
+    g = -np.log(max(x1, 1e-300)) - np.log(max(x2, 1e-300)) * np.cos(
+        0.5 * np.pi * x3
+    ) ** 2
+    return kt_over_a * g
+
+
+def free_gas_scatter(
+    energy: float,
+    direction: np.ndarray,
+    awr: float,
+    temperature: float,
+    stream: RandomStream,
+) -> tuple[float, np.ndarray]:
+    """Scalar free-gas elastic scatter: returns (E', new direction)."""
+    kt = K_BOLTZMANN * temperature
+    # Neutron velocity vector in sqrt-energy units.
+    vn = np.sqrt(energy) * np.asarray(direction, dtype=float)
+    # Target velocity: Maxwellian speed, isotropic direction.  Plain prn()
+    # draws (clipped inside the sampler), so the draw count matches the
+    # vectorized path exactly.
+    vt2 = _maxwell_speed_squared(
+        kt / awr, (stream.prn(), stream.prn(), stream.prn())
+    )
+    mu_t = 2.0 * stream.prn() - 1.0
+    phi_t = 2.0 * np.pi * stream.prn()
+    s = np.sqrt(max(0.0, 1.0 - mu_t * mu_t))
+    vt = np.sqrt(vt2) * np.array([s * np.cos(phi_t), s * np.sin(phi_t), mu_t])
+    # CM transform, isotropic CM scatter, back-transform.
+    v_cm = (vn + awr * vt) / (awr + 1.0)
+    v_rel = vn - vt
+    speed_rel = np.linalg.norm(v_rel)
+    mu_c = 2.0 * stream.prn() - 1.0
+    phi_c = 2.0 * np.pi * stream.prn()
+    sc = np.sqrt(max(0.0, 1.0 - mu_c * mu_c))
+    omega = np.array([sc * np.cos(phi_c), sc * np.sin(phi_c), mu_c])
+    vn_out = v_cm + (awr / (awr + 1.0)) * speed_rel * omega
+    e_out = float(np.dot(vn_out, vn_out))
+    norm = np.sqrt(e_out)
+    if norm < 1e-30:
+        return 1e-30, np.asarray(direction, dtype=float)
+    return e_out, vn_out / norm
+
+
+def free_gas_scatter_many(
+    energies: np.ndarray,
+    directions: np.ndarray,
+    awr: np.ndarray,
+    temperature: float,
+    xi: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized free-gas scatter over a bank.
+
+    ``xi`` must have shape ``(n, 7)`` (seven uniforms per particle, matching
+    the scalar path's draw order: three for the Maxwell speed, two for the
+    target direction, two for the CM scatter).
+    """
+    energies = np.asarray(energies, dtype=np.float64)
+    n = energies.shape[0]
+    kt = K_BOLTZMANN * temperature
+    awr = np.broadcast_to(np.asarray(awr, dtype=np.float64), (n,))
+
+    vn = np.sqrt(energies)[:, None] * np.asarray(directions, dtype=np.float64)
+    g = -np.log(np.clip(xi[:, 0], 1e-300, None)) - np.log(
+        np.clip(xi[:, 1], 1e-300, None)
+    ) * np.cos(0.5 * np.pi * xi[:, 2]) ** 2
+    vt_speed = np.sqrt(kt / awr * g)
+    mu_t = 2.0 * xi[:, 3] - 1.0
+    phi_t = 2.0 * np.pi * xi[:, 4]
+    s = np.sqrt(np.clip(1.0 - mu_t * mu_t, 0.0, None))
+    vt = vt_speed[:, None] * np.column_stack(
+        [s * np.cos(phi_t), s * np.sin(phi_t), mu_t]
+    )
+    v_cm = (vn + awr[:, None] * vt) / (awr[:, None] + 1.0)
+    v_rel = vn - vt
+    speed_rel = np.linalg.norm(v_rel, axis=1)
+    mu_c = 2.0 * xi[:, 5] - 1.0
+    phi_c = 2.0 * np.pi * xi[:, 6]
+    sc = np.sqrt(np.clip(1.0 - mu_c * mu_c, 0.0, None))
+    omega = np.column_stack([sc * np.cos(phi_c), sc * np.sin(phi_c), mu_c])
+    vn_out = v_cm + (awr / (awr + 1.0))[:, None] * speed_rel[:, None] * omega
+    e_out = np.einsum("ij,ij->i", vn_out, vn_out)
+    e_out = np.clip(e_out, 1e-30, None)
+    dir_out = vn_out / np.sqrt(e_out)[:, None]
+    return e_out, dir_out

@@ -1,0 +1,13 @@
+"""TAU-like instrumentation: static timers, profiles, comparison reports."""
+
+from .report import ComparisonRow, compare_profiles, format_comparison
+from .timers import Profile, RoutineStats, TimerRegistry
+
+__all__ = [
+    "ComparisonRow",
+    "compare_profiles",
+    "format_comparison",
+    "Profile",
+    "RoutineStats",
+    "TimerRegistry",
+]

@@ -1,0 +1,65 @@
+"""Profile comparison reports (the Fig. 4 view).
+
+Fig. 4 places two TAU profiles side by side — host CPU vs MIC native — for
+the top routines, showing that the cross-section lookup routines dominate
+both and run faster on the MIC.  :func:`compare_profiles` renders exactly
+that comparison for any two :class:`~repro.profiling.timers.Profile`
+objects (measured) or routine-time dictionaries (modelled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .timers import Profile
+
+__all__ = ["ComparisonRow", "compare_profiles", "format_comparison"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One routine's entry in a two-profile comparison."""
+
+    routine: str
+    seconds_a: float
+    seconds_b: float
+
+    @property
+    def speedup(self) -> float:
+        """Time A over time B (>1 means B is faster)."""
+        return self.seconds_a / self.seconds_b if self.seconds_b else float("inf")
+
+
+def compare_profiles(
+    a: Profile | dict[str, float],
+    b: Profile | dict[str, float],
+    top: int = 6,
+) -> list[ComparisonRow]:
+    """Rows for the union of each profile's top routines, sorted by the
+    first profile's cost."""
+    ta = _as_dict(a)
+    tb = _as_dict(b)
+    names = sorted(set(ta) | set(tb), key=lambda n: -(ta.get(n, 0.0)))[:top]
+    return [
+        ComparisonRow(routine=n, seconds_a=ta.get(n, 0.0), seconds_b=tb.get(n, 0.0))
+        for n in names
+    ]
+
+
+def _as_dict(p: Profile | dict[str, float]) -> dict[str, float]:
+    if isinstance(p, Profile):
+        return {name: st.total_seconds for name, st in p.routines.items()}
+    return dict(p)
+
+
+def format_comparison(
+    rows: list[ComparisonRow], label_a: str = "A", label_b: str = "B"
+) -> str:
+    """Human-readable comparison table."""
+    out = [f"{'routine':32s} {label_a:>12s} {label_b:>12s} {'A/B':>7s}"]
+    for r in rows:
+        out.append(
+            f"{r.routine:32s} {r.seconds_a:12.4f} {r.seconds_b:12.4f} "
+            f"{r.speedup:7.2f}"
+        )
+    return "\n".join(out)

@@ -1,0 +1,89 @@
+"""TAU-style static timers and routine profiles.
+
+The paper instruments OpenMC with the TAU parallel performance system:
+static timers around routines, aggregated into per-routine inclusive time
+and call counts, then compared across machines (Fig. 4).  This module gives
+the Python implementation the same facility: a registry of named timers
+usable as context managers or decorators, producing a :class:`Profile`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["RoutineStats", "Profile", "TimerRegistry"]
+
+
+@dataclass
+class RoutineStats:
+    """Aggregated timings of one routine."""
+
+    name: str
+    calls: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+@dataclass
+class Profile:
+    """A set of routine statistics (one TAU profile)."""
+
+    label: str
+    routines: dict[str, RoutineStats] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float) -> None:
+        stats = self.routines.setdefault(name, RoutineStats(name))
+        stats.calls += 1
+        stats.total_seconds += seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.total_seconds for r in self.routines.values())
+
+    def fraction(self, name: str) -> float:
+        """Share of profiled time spent in one routine."""
+        total = self.total_seconds
+        if total == 0.0 or name not in self.routines:
+            return 0.0
+        return self.routines[name].total_seconds / total
+
+    def top(self, n: int = 5) -> list[RoutineStats]:
+        """The n most expensive routines (Fig. 4 shows the top of this list)."""
+        return sorted(
+            self.routines.values(), key=lambda r: -r.total_seconds
+        )[:n]
+
+
+class TimerRegistry:
+    """Named static timers feeding a :class:`Profile`."""
+
+    def __init__(self, label: str) -> None:
+        self.profile = Profile(label)
+
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager: time a block under a routine name."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.profile.record(name, time.perf_counter() - t0)
+
+    def timed(self, name: str):
+        """Decorator form of :meth:`timer`."""
+
+        def wrap(fn):
+            def inner(*args, **kwargs):
+                with self.timer(name):
+                    return fn(*args, **kwargs)
+
+            inner.__name__ = getattr(fn, "__name__", name)
+            inner.__doc__ = fn.__doc__
+            return inner
+
+        return wrap

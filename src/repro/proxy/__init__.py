@@ -1,0 +1,6 @@
+"""Proxy applications: XSBench-style lookups and RSBench multipole kernels."""
+
+from .rsbench import RSBench, RSBenchConfig
+from .xsbench import LookupSample, XSBench
+
+__all__ = ["RSBench", "RSBenchConfig", "LookupSample", "XSBench"]

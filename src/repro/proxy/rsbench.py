@@ -1,0 +1,135 @@
+"""RSBench: the multipole cross-section proxy (paper §IV-B, Fig. 8).
+
+RSBench (Tramm & Siegel) times the windowed-multipole lookup kernel — the
+compute-bound alternative to pointwise tables.  The paper compares the
+*original* code (data-dependent poles-per-window loop bounds, which defeat
+vectorization) against a *vectorized* variant that fixes the number of
+poles per window.  Both variants are implemented executably here on the
+synthetic multipole library:
+
+* ``original``  — scalar window loop per lookup
+  (:meth:`repro.data.multipole.MultipoleData.evaluate`);
+* ``vectorized`` — padded rectangular windows, one batched Faddeeva call
+  per lookup bank (:meth:`~repro.data.multipole.MultipoleData.evaluate_many`).
+
+Both produce identical cross sections; Fig. 8's shape (vectorized strictly
+faster, on both architectures) comes from their wall-clock ratio plus the
+machine model for the device axes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.multipole import MultipoleData, build_multipole
+from ..data.resonance import sample_ladder
+from ..errors import ExecutionError
+
+__all__ = ["RSBenchConfig", "RSBench"]
+
+
+@dataclass(frozen=True)
+class RSBenchConfig:
+    """Workload parameters (scaled-down defaults; RSBench's 'large' uses
+    hundreds of poles per nuclide)."""
+
+    n_nuclides: int = 8
+    resonances_per_nuclide: int = 40
+    n_windows: int = 24
+    temperature: float = 293.6
+    seed: int = 20150525
+
+
+class RSBench:
+    """The multipole lookup benchmark over a synthetic nuclide set."""
+
+    def __init__(self, config: RSBenchConfig | None = None) -> None:
+        self.config = config or RSBenchConfig()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.nuclides: list[MultipoleData] = []
+        for i in range(cfg.n_nuclides):
+            ladder = sample_ladder(
+                rng,
+                fissionable=(i % 3 == 0),
+                n_resonances=cfg.resonances_per_nuclide,
+            )
+            self.nuclides.append(
+                build_multipole(
+                    f"MP{i:02d}",
+                    ladder,
+                    awr=230.0 + i,
+                    n_windows=cfg.n_windows,
+                    fit_temperature=cfg.temperature,
+                )
+            )
+        # Padded tables precomputed once, as a real implementation would.
+        self._tables = [mp.padded_tables() for mp in self.nuclides]
+
+    def generate_lookups(self, n: int, seed: int = 7) -> tuple[np.ndarray, np.ndarray]:
+        """(nuclide index, energy) pairs, log-uniform within each nuclide's
+        represented range."""
+        rng = np.random.default_rng(seed)
+        which = rng.integers(0, len(self.nuclides), size=n)
+        energies = np.empty(n)
+        for i, mp in enumerate(self.nuclides):
+            mask = which == i
+            energies[mask] = np.exp(
+                rng.uniform(
+                    np.log(mp.emin * 1.001), np.log(mp.emax * 0.999), int(mask.sum())
+                )
+            )
+        return which.astype(np.int64), energies
+
+    # -- Implementations --------------------------------------------------------
+
+    def run_original(
+        self, which: np.ndarray, energies: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Scalar, ragged-window kernel (one pole loop per lookup)."""
+        t0 = time.perf_counter()
+        out = np.empty(energies.shape[0])
+        temp = self.config.temperature
+        for j in range(energies.shape[0]):
+            mp = self.nuclides[int(which[j])]
+            out[j] = mp.evaluate(float(energies[j]), temp)[0]
+        return time.perf_counter() - t0, out
+
+    def run_vectorized(
+        self, which: np.ndarray, energies: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Fixed-poles-per-window kernel: batched Faddeeva per nuclide bank."""
+        t0 = time.perf_counter()
+        out = np.empty(energies.shape[0])
+        temp = self.config.temperature
+        for i, mp in enumerate(self.nuclides):
+            mask = which == i
+            if mask.any():
+                sig = mp.evaluate_many(
+                    energies[mask], temp, tables=self._tables[i]
+                )
+                out[mask] = sig[0]
+        return time.perf_counter() - t0, out
+
+    def run(self, impl: str, which: np.ndarray, energies: np.ndarray):
+        if impl == "original":
+            return self.run_original(which, energies)
+        if impl == "vectorized":
+            return self.run_vectorized(which, energies)
+        raise ExecutionError(f"unknown implementation {impl!r}")
+
+    def verify(self, n: int = 200) -> float:
+        """Max |vectorized - original| / original over a sample."""
+        which, energies = self.generate_lookups(n, seed=99)
+        _, a = self.run_original(which, energies)
+        _, b = self.run_vectorized(which, energies)
+        denom = np.maximum(np.abs(a), 1e-12)
+        return float(np.max(np.abs(a - b) / denom))
+
+    @property
+    def nbytes(self) -> int:
+        """Multipole data footprint — the 'reduced data movement' headline."""
+        return sum(mp.nbytes for mp in self.nuclides)

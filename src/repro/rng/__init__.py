@@ -1,0 +1,37 @@
+"""Random-number generation substrate.
+
+Scalar per-particle streams over OpenMC's 63-bit LCG (:mod:`repro.rng.lcg`)
+and vectorized multi-stream generation mirroring Intel MKL/VSL
+(:mod:`repro.rng.streams`).
+"""
+
+from .lcg import (
+    DEFAULT_SEED,
+    LCG_MASK,
+    LCG_MULT,
+    STREAM_STRIDE,
+    RandomStream,
+    lcg_next,
+    particle_seeds,
+    prn_array,
+    skip_ahead,
+    skip_ahead_array,
+)
+from .streams import Partition, ScalarRandR, VectorStreams, fill_uniform
+
+__all__ = [
+    "DEFAULT_SEED",
+    "LCG_MASK",
+    "LCG_MULT",
+    "STREAM_STRIDE",
+    "RandomStream",
+    "lcg_next",
+    "particle_seeds",
+    "prn_array",
+    "skip_ahead",
+    "skip_ahead_array",
+    "Partition",
+    "ScalarRandR",
+    "VectorStreams",
+    "fill_uniform",
+]

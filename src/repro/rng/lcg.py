@@ -1,0 +1,227 @@
+"""The 63-bit linear congruential generator used by OpenMC.
+
+The generator is ``seed' = (g * seed + c) mod 2**63`` with the L'Ecuyer
+multiplier ``g = 2806196910506780709`` and increment ``c = 1``.  Its two key
+features for Monte Carlo transport are
+
+* **O(log n) skip-ahead** — jump an arbitrary number of steps in the sequence
+  without generating intermediate values, which gives every particle history a
+  deterministic, reproducible stream regardless of how histories are scheduled
+  across threads or ranks; and
+* **vectorized state advance** — the same skip-ahead recurrence applied to an
+  *array* of step counts yields the initial states of many particle streams at
+  once, the building block of the banked (event-based) algorithm's RNG.
+
+The scalar API mirrors OpenMC (``prn``, ``set_particle_seed``); the array API
+(:func:`skip_ahead_array`, :func:`prn_array`) is the NumPy-vectorized
+equivalent used by the SoA kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LCG_MULT",
+    "LCG_INC",
+    "LCG_MOD_BITS",
+    "LCG_MASK",
+    "STREAM_STRIDE",
+    "DEFAULT_SEED",
+    "lcg_next",
+    "skip_ahead",
+    "skip_ahead_array",
+    "particle_seeds",
+    "prn_array",
+    "RandomStream",
+]
+
+#: L'Ecuyer's 63-bit LCG multiplier (the one OpenMC uses).
+LCG_MULT = 2806196910506780709
+
+#: Additive increment.
+LCG_INC = 1
+
+#: Modulus is 2**LCG_MOD_BITS.
+LCG_MOD_BITS = 63
+
+#: Bit mask implementing ``mod 2**63``.
+LCG_MASK = (1 << LCG_MOD_BITS) - 1
+
+#: Number of sequence positions reserved per particle history.  Matches
+#: OpenMC's stride so that particle ``i`` draws from positions
+#: ``[i * STREAM_STRIDE, (i + 1) * STREAM_STRIDE)`` of the master sequence.
+STREAM_STRIDE = 152_917
+
+#: Default master seed.
+DEFAULT_SEED = 1
+
+_NORM = 1.0 / float(1 << LCG_MOD_BITS)
+
+_U64_MASK = np.uint64(LCG_MASK)
+
+
+def lcg_next(seed: int) -> int:
+    """Advance a scalar LCG state by one step."""
+    return (LCG_MULT * seed + LCG_INC) & LCG_MASK
+
+
+def skip_ahead(seed: int, n: int) -> int:
+    """Return the LCG state ``n`` steps ahead of ``seed`` in O(log n) time.
+
+    Uses the standard doubling decomposition: if one step maps ``s`` to
+    ``g*s + c``, then ``n`` steps map ``s`` to ``G*s + C`` where ``G = g**n``
+    and ``C = c*(g**n - 1)/(g - 1)``, both computed mod ``2**63`` by repeated
+    squaring.  Negative ``n`` jumps backward via the period ``2**63``.
+    """
+    n = n & LCG_MASK  # period is 2**63, so reduce (handles negative n too)
+    g, c = LCG_MULT, LCG_INC
+    g_new, c_new = 1, 0
+    while n > 0:
+        if n & 1:
+            g_new = (g_new * g) & LCG_MASK
+            c_new = (c_new * g + c) & LCG_MASK
+        c = (c * (g + 1)) & LCG_MASK
+        g = (g * g) & LCG_MASK
+        n >>= 1
+    return (g_new * seed + c_new) & LCG_MASK
+
+
+def skip_ahead_array(seed: int, n: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`skip_ahead` for an array of step counts.
+
+    Computes, for every element of ``n``, the LCG state that many steps ahead
+    of the common ``seed``.  All arithmetic is uint64 with wraparound; since
+    ``2**63`` divides ``2**64``, reducing the 64-bit products with
+    ``& LCG_MASK`` yields the exact mod-``2**63`` result.
+
+    Parameters
+    ----------
+    seed:
+        Common starting state.
+    n:
+        Integer array of step counts (non-negative).
+
+    Returns
+    -------
+    np.ndarray
+        uint64 array of advanced states, same shape as ``n``.
+    """
+    n = np.asarray(n, dtype=np.uint64)
+    g = np.uint64(LCG_MULT)
+    c = np.uint64(LCG_INC)
+    one = np.uint64(1)
+    g_new = np.full(n.shape, one, dtype=np.uint64)
+    c_new = np.zeros(n.shape, dtype=np.uint64)
+    remaining = n.copy()
+    # 63 doubling rounds cover the full period; early-exit when all bits used.
+    # uint64 wraparound is the intended mod-2**64 arithmetic (then masked to
+    # mod 2**63), so overflow warnings are suppressed.
+    with np.errstate(over="ignore"):
+        for _ in range(LCG_MOD_BITS):
+            if not remaining.any():
+                break
+            odd = (remaining & one).astype(bool)
+            if odd.any():
+                g_new[odd] = (g_new[odd] * g) & _U64_MASK
+                c_new[odd] = (c_new[odd] * g + c) & _U64_MASK
+            c = (c * (g + one)) & _U64_MASK
+            g = (g * g) & _U64_MASK
+            remaining >>= one
+        return (g_new * np.uint64(seed & LCG_MASK) + c_new) & _U64_MASK
+
+
+def skip_coefficients(n: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Affine coefficients of the n-step jump: ``state_n = A*s + C mod 2^63``.
+
+    For an array of step counts, returns ``(A, C)`` (uint64) such that
+    advancing any state ``s`` by ``n[j]`` steps equals
+    ``(A[j] * s + C[j]) & LCG_MASK``.  Precomputing these turns block
+    generation into one fused multiply-add per element — the structure of
+    VSL's vectorized LCG generators.
+    """
+    n = np.asarray(n, dtype=np.uint64)
+    g = np.uint64(LCG_MULT)
+    c = np.uint64(LCG_INC)
+    one = np.uint64(1)
+    a_out = np.full(n.shape, one, dtype=np.uint64)
+    c_out = np.zeros(n.shape, dtype=np.uint64)
+    remaining = n.copy()
+    with np.errstate(over="ignore"):
+        for _ in range(LCG_MOD_BITS):
+            if not remaining.any():
+                break
+            odd = (remaining & one).astype(bool)
+            a_out = np.where(odd, (a_out * g) & _U64_MASK, a_out)
+            c_out = np.where(odd, (c_out * g + c) & _U64_MASK, c_out)
+            c = (c * (g + one)) & _U64_MASK
+            g = (g * g) & _U64_MASK
+            remaining = remaining >> one
+    return a_out, c_out
+
+
+def particle_seeds(master_seed: int, particle_ids: np.ndarray) -> np.ndarray:
+    """Return the stream state for each particle id under the stride scheme.
+
+    Particle ``i``'s stream starts ``i * STREAM_STRIDE`` positions into the
+    master sequence, exactly as OpenMC's ``set_particle_seed``.
+    """
+    ids = np.asarray(particle_ids, dtype=np.uint64)
+    return skip_ahead_array(master_seed, ids * np.uint64(STREAM_STRIDE))
+
+
+def prn_array(states: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Advance an array of LCG states one step and return uniforms in [0, 1).
+
+    Returns ``(new_states, uniforms)``; ``states`` is not modified.
+    """
+    states = np.asarray(states, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        new = (np.uint64(LCG_MULT) * states + np.uint64(LCG_INC)) & _U64_MASK
+    return new, new.astype(np.float64) * _NORM
+
+
+@dataclass
+class RandomStream:
+    """A scalar random-number stream over the shared LCG sequence.
+
+    This is the per-particle generator used by the history-based transport
+    loop.  It mirrors OpenMC's interface: ``prn()`` returns the next uniform
+    variate, and :meth:`set_particle` repositions the stream at the start of a
+    given particle history so that results are independent of scheduling.
+    """
+
+    seed: int = DEFAULT_SEED
+    #: Number of variates drawn since construction (diagnostics only).
+    draws: int = 0
+
+    def prn(self) -> float:
+        """Return the next uniform variate in [0, 1)."""
+        self.seed = lcg_next(self.seed)
+        self.draws += 1
+        return self.seed * _NORM
+
+    def prn_nonzero(self) -> float:
+        """Return a uniform variate in (0, 1), never exactly zero.
+
+        Sampling ``-log(xi)`` requires ``xi > 0``; the LCG emits 0 only for
+        state 0, but we guard anyway.
+        """
+        value = self.prn()
+        while value == 0.0:
+            value = self.prn()
+        return value
+
+    def set_particle(self, master_seed: int, particle_id: int) -> None:
+        """Position this stream at the start of ``particle_id``'s history."""
+        self.seed = skip_ahead(master_seed, particle_id * STREAM_STRIDE)
+
+    def skip(self, n: int) -> None:
+        """Jump ``n`` positions ahead in the sequence."""
+        self.seed = skip_ahead(self.seed, n)
+
+    def spawn(self, offset: int) -> "RandomStream":
+        """Return an independent stream ``offset`` strides ahead of this one."""
+        return RandomStream(seed=skip_ahead(self.seed, offset * STREAM_STRIDE))

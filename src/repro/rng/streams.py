@@ -1,0 +1,244 @@
+"""Vectorized multi-stream random-number generation (the MKL/VSL analogue).
+
+The paper's optimized distance-sampling kernel (Algorithm 4) replaces per-call
+``rand_r()`` with Intel VSL *streams*: each OpenMP thread owns an independent
+stream and fills its block of a shared output array with a vectorized
+generator.  VSL offers two stream-partitioning disciplines:
+
+* **skip-ahead (block splitting)** — stream ``k`` of ``K`` starts ``k * B``
+  positions into the master sequence and emits ``B`` consecutive values;
+* **leapfrog** — stream ``k`` emits positions ``k, k+K, k+2K, ...`` of the
+  master sequence.
+
+Both are reproduced here on top of the 63-bit LCG from :mod:`repro.rng.lcg`.
+The *fill* itself is NumPy-vectorized: all stream states advance in lockstep,
+one fused update per emitted column, which is the Python analogue of VSL's
+SIMD generator loops.  A deliberately scalar generator
+(:class:`ScalarRandR`, the ``rand_r()`` analogue) is provided so benchmarks
+can reproduce the Naive column of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from .lcg import (
+    DEFAULT_SEED,
+    LCG_INC,
+    LCG_MASK,
+    LCG_MULT,
+    lcg_next,
+    prn_array,
+    skip_ahead_array,
+    skip_coefficients,
+)
+
+__all__ = [
+    "Partition",
+    "VectorStreams",
+    "fill_uniform",
+    "ScalarRandR",
+]
+
+_NORM = 1.0 / float(1 << 63)
+
+
+class Partition(Enum):
+    """Stream-partitioning discipline, mirroring VSL's options."""
+
+    SKIP_AHEAD = "skip-ahead"
+    LEAPFROG = "leapfrog"
+
+
+@dataclass
+class VectorStreams:
+    """A set of parallel RNG streams advanced in SIMD lockstep.
+
+    Parameters
+    ----------
+    nstreams:
+        Number of independent streams (one per "thread" in the paper's
+        Algorithm 4).
+    seed:
+        Master seed shared by all streams.
+    partition:
+        How the master sequence is split among streams.
+    block:
+        For :attr:`Partition.SKIP_AHEAD`, the number of consecutive positions
+        reserved per stream (must be at least the number of values any single
+        stream will ever emit).
+    """
+
+    nstreams: int
+    seed: int = DEFAULT_SEED
+    partition: Partition = Partition.SKIP_AHEAD
+    block: int = 1 << 40
+    states: np.ndarray = field(init=False, repr=False)
+    #: Stride (in master-sequence positions) between successive draws of one
+    #: stream: 1 for skip-ahead partitioning, ``nstreams`` for leapfrog.
+    step: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.nstreams < 1:
+            raise ValueError("nstreams must be >= 1")
+        k = np.arange(self.nstreams, dtype=np.uint64)
+        if self.partition is Partition.SKIP_AHEAD:
+            offsets = k * np.uint64(self.block)
+            self.step = 1
+        else:
+            offsets = k
+            self.step = self.nstreams
+        self.states = skip_ahead_array(self.seed, offsets)
+        #: Draws already emitted per stream (identical for all streams).
+        self._drawn = 0
+        #: Cached (per, step) -> affine jump coefficients for fill().
+        self._coeff_cache: tuple = (None, None)
+
+    def uniform_block(self, count: int) -> np.ndarray:
+        """Emit ``count`` uniforms from *each* stream, advancing the streams
+        in lockstep, one vectorized LCG update per column — the SIMD
+        execution pattern of VSL's block generators.
+
+        Returns shape ``(nstreams, count)``; row ``k`` holds the next
+        ``count`` variates of stream ``k``.
+        """
+        out = np.empty((self.nstreams, count), dtype=np.float64)
+        states = self.states
+        if self.step == 1:
+            for j in range(count):
+                states, out[:, j] = prn_array(states)
+        else:
+            # Leapfrog: each draw of a stream is `nstreams` master positions
+            # later; skip the stride remainder after every draw so the
+            # streams stay ready for the next call.
+            stride = np.full(self.nstreams, self.step - 1, dtype=np.uint64)
+            for j in range(count):
+                states, out[:, j] = prn_array(states)
+                if j != count - 1:
+                    states = skip_ahead_array_states(states, stride)
+        self._finish_block(states, count)
+        return out
+
+    def fill(self, out: np.ndarray) -> None:
+        """Fill a flat float64 array with uniforms, one block per stream.
+
+        This is the exact work distribution of Algorithm 4 lines 5-8: stream
+        ``k`` initializes ``out[k * N/K : (k+1) * N/K]``; ``len(out)`` must
+        be divisible by ``nstreams``.
+
+        Unlike :meth:`uniform_block` (lockstep, one column at a time), the
+        whole block is generated in one shot by applying the O(log n)
+        skip-ahead to the matrix of master-sequence positions — the same
+        trick VSL's vectorized generators use, and the mechanism behind
+        Table I's Naive -> Optimized-1 leap.  Values and post-fill stream
+        states are identical to :meth:`uniform_block`.
+        """
+        n = out.shape[0]
+        if n % self.nstreams:
+            raise ValueError(
+                f"array length {n} not divisible by nstreams {self.nstreams}"
+            )
+        per = n // self.nstreams
+        # Affine jump coefficients for draw j relative to each stream's
+        # ready state (offset j*step + 1); identical for every stream, so
+        # they are computed once per block shape and cached.  The fill is
+        # then one fused multiply-add per element.
+        key = (per, self.step)
+        if self._coeff_cache[0] != key:
+            j = np.arange(per, dtype=np.uint64)
+            deltas = j * np.uint64(self.step) + np.uint64(1)
+            self._coeff_cache = (key, skip_coefficients(deltas))
+        a, c = self._coeff_cache[1]
+        with np.errstate(over="ignore"):
+            states = (a[None, :] * self.states[:, None] + c[None, :]) & np.uint64(
+                LCG_MASK
+            )
+        out.reshape(self.nstreams, per)[:, :] = states.astype(np.float64) * _NORM
+        self._finish_block(states[:, -1].copy(), per)
+
+    def _finish_block(self, last_states: np.ndarray, count: int) -> None:
+        """Advance bookkeeping after emitting ``count`` draws per stream.
+
+        ``last_states`` are the states of each stream's final emitted value;
+        the stored state is positioned so the next single-step advance lands
+        on the next draw (for leapfrog that means pre-skipping the stride
+        remainder)."""
+        self._drawn += count
+        if self.step == 1:
+            self.states = last_states
+        else:
+            stride = np.full(self.nstreams, self.step - 1, dtype=np.uint64)
+            self.states = skip_ahead_array_states(last_states, stride)
+
+
+def skip_ahead_array_states(states: np.ndarray, n: np.ndarray) -> np.ndarray:
+    """Advance each state in ``states`` by the matching count in ``n``.
+
+    Unlike :func:`repro.rng.lcg.skip_ahead_array`, the starting states differ
+    per element.  Used by leapfrog partitioning.
+    """
+    states = np.asarray(states, dtype=np.uint64)
+    n = np.asarray(n, dtype=np.uint64)
+    g = np.uint64(LCG_MULT)
+    c = np.uint64(LCG_INC)
+    one = np.uint64(1)
+    mask = np.uint64(LCG_MASK)
+    g_new = np.full(states.shape, one, dtype=np.uint64)
+    c_new = np.zeros(states.shape, dtype=np.uint64)
+    remaining = n.copy()
+    # Wraparound is intended (mod 2**64 arithmetic masked to mod 2**63).
+    # Branch-free per round (np.where instead of fancy indexing) keeps the
+    # doubling loop fully vectorized.
+    with np.errstate(over="ignore"):
+        for _ in range(63):
+            if not remaining.any():
+                break
+            odd = (remaining & one).astype(bool)
+            g_new = np.where(odd, (g_new * g) & mask, g_new)
+            c_new = np.where(odd, (c_new * g + c) & mask, c_new)
+            c = (c * (g + one)) & mask
+            g = (g * g) & mask
+            remaining = remaining >> one
+        return (g_new * states + c_new) & mask
+
+
+def fill_uniform(
+    n: int,
+    nstreams: int,
+    seed: int = DEFAULT_SEED,
+    partition: Partition = Partition.SKIP_AHEAD,
+) -> np.ndarray:
+    """Convenience wrapper: return ``n`` uniforms generated by ``nstreams``
+    parallel streams (``n`` must be divisible by ``nstreams``)."""
+    streams = VectorStreams(nstreams=nstreams, seed=seed, partition=partition)
+    out = np.empty(n, dtype=np.float64)
+    streams.fill(out)
+    return out
+
+
+@dataclass
+class ScalarRandR:
+    """Deliberately scalar per-call generator — the ``rand_r()`` analogue.
+
+    One Python-level LCG step per variate.  Used by the Naive implementation
+    of the distance-sampling micro-benchmark (Table I) to reproduce the cost
+    of unvectorized per-call RNG.
+    """
+
+    seed: int = DEFAULT_SEED
+
+    def next(self) -> float:
+        """Return the next uniform variate in [0, 1)."""
+        self.seed = lcg_next(self.seed)
+        return self.seed * _NORM
+
+    def fill(self, out: np.ndarray) -> None:
+        """Fill ``out`` one scalar call at a time (intentionally slow)."""
+        seed = self.seed
+        for i in range(out.shape[0]):
+            seed = (LCG_MULT * seed + LCG_INC) & LCG_MASK
+            out[i] = seed * _NORM
+        self.seed = seed

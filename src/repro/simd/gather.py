@@ -1,0 +1,79 @@
+"""Compress / expand primitives: how SIMD code replaces conditionals.
+
+The paper (§II-A3): conditional physics "is typically done by replacing the
+conditionals with appropriate gather/scatter, compress/decompress, and
+bit-controlled vector operations."  These are those primitives, built on
+the counting :class:`repro.simd.lanes.VectorUnit` so the cost of the
+transformation is measurable:
+
+* :func:`compress` packs the active lanes of a bank into a dense sub-bank
+  (``vcompress``);
+* :func:`expand` scatters a dense sub-bank's results back to their home
+  lanes (``vexpand``);
+* :func:`partition_by_key` splits a bank into per-key dense queues (the
+  event-based method's per-material / per-reaction queues).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lanes import VectorUnit
+
+__all__ = ["compress", "expand", "partition_by_key"]
+
+
+def compress(
+    unit: VectorUnit, mask: np.ndarray, *arrays: np.ndarray
+) -> tuple[np.ndarray, ...]:
+    """Pack the masked lanes of each array into dense arrays.
+
+    Returns one packed array per input; costs one vector instruction per
+    chunk per array (as ``vcompressps`` would).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    idx = np.nonzero(mask)[0]
+    outs = []
+    for a in arrays:
+        a = np.asarray(a)
+        chunks = -(-mask.shape[0] // unit.width)
+        unit.counters.vector_instructions += chunks
+        unit.counters.lane_slots_total += chunks * unit.width
+        unit.counters.lane_slots_active += idx.shape[0]
+        outs.append(a[idx])
+    return tuple(outs)
+
+
+def expand(
+    unit: VectorUnit,
+    mask: np.ndarray,
+    packed: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Scatter a packed array back to its home lanes (inverse of compress)."""
+    mask = np.asarray(mask, dtype=bool)
+    idx = np.nonzero(mask)[0]
+    if idx.shape[0] != np.asarray(packed).shape[0]:
+        raise ValueError("packed length does not match mask population")
+    chunks = -(-mask.shape[0] // unit.width)
+    unit.counters.vector_instructions += chunks
+    unit.counters.lane_slots_total += chunks * unit.width
+    unit.counters.lane_slots_active += idx.shape[0]
+    out[idx] = packed
+    return out
+
+
+def partition_by_key(
+    unit: VectorUnit, keys: np.ndarray, *arrays: np.ndarray
+) -> dict[int, tuple[np.ndarray, ...]]:
+    """Split a bank into dense per-key queues (event queues).
+
+    ``keys`` is an integer array (material id, event kind, ...); each key's
+    entry holds the compressed arrays for that key.
+    """
+    keys = np.asarray(keys)
+    out: dict[int, tuple[np.ndarray, ...]] = {}
+    for key in np.unique(keys):
+        mask = keys == key
+        out[int(key)] = compress(unit, mask, *arrays)
+    return out

@@ -1,0 +1,42 @@
+"""Transport core: particles, tallies, history & event loops, simulation."""
+
+from .context import FREE_GAS_CUTOFF, TransportContext
+from .delta import MajorantXS, fold_reflective, run_generation_delta
+from .entropy import EntropyMesh, shannon_entropy
+from .events import EventLoopStats, run_generation_event
+from .history import run_generation_history, transport_history
+from .meshtally import PowerTally
+from .particle import FissionBank, FissionSite, Particle, ParticleBank
+from .spectrum import SpectrumTally
+from .statistics import EfficiencyComparison, figure_of_merit, fom_of_result
+from .simulation import Settings, Simulation, SimulationResult
+from .tally import BatchStatistics, GlobalTallies, TallyResult
+
+__all__ = [
+    "FREE_GAS_CUTOFF",
+    "TransportContext",
+    "MajorantXS",
+    "fold_reflective",
+    "run_generation_delta",
+    "EntropyMesh",
+    "shannon_entropy",
+    "EventLoopStats",
+    "run_generation_event",
+    "run_generation_history",
+    "transport_history",
+    "PowerTally",
+    "SpectrumTally",
+    "EfficiencyComparison",
+    "figure_of_merit",
+    "fom_of_result",
+    "FissionBank",
+    "FissionSite",
+    "Particle",
+    "ParticleBank",
+    "Settings",
+    "Simulation",
+    "SimulationResult",
+    "BatchStatistics",
+    "GlobalTallies",
+    "TallyResult",
+]

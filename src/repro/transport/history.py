@@ -1,0 +1,254 @@
+r"""History-based transport: one thread of execution per particle history.
+
+This is OpenMC's algorithm and the paper's baseline: each particle is tracked
+from birth (a fission site) to death (absorption, leakage, or energy
+cutoff), with every decision driven by the particle's private random-number
+stream.
+
+**The RNG protocol.**  The event-based loop (:mod:`repro.transport.events`)
+must consume each particle's stream in *exactly* the same order so the two
+algorithms produce identical histories.  The canonical order, per particle:
+
+1. birth: 2 draws (isotropic direction);
+2. per flight segment:
+   a. XS lookup: 1 conditional draw per in-range URR nuclide, in material
+      nuclide order (inside :class:`repro.physics.macroxs.XSCalculator`);
+   b. 1 draw for the collision distance;
+   c. surface crossing: no draws;
+   d. collision (analog mode): 1 draw for the channel, then
+      - capture: no further draws (history ends);
+      - fission: 1 draw for the fissioning nuclide, 1 draw for the site
+        count, then per banked site the Watt rejection draws (variable);
+      - scatter: 1 draw for the scattering nuclide, then kinematics —
+        S(alpha, beta) (3 draws: outgoing bin, cosine bin, azimuth),
+        free-gas (7 draws), or target-at-rest elastic (2 draws);
+   e. collision (survival-biasing mode): NO channel draw — capture and
+      fission are implicit.  1 draw for the expected fission-site count,
+      per-site Watt draws, then the scatter sequence of (d), then 1
+      roulette draw only if the reduced weight fell below the cutoff.
+
+Any change here must be mirrored in the event loop (and vice versa); the
+equivalence tests in ``tests/transport/test_equivalence.py`` enforce it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..physics.collision import select_channel
+from ..physics.fission import WATT_A, WATT_B, sample_nu, watt_spectrum
+from ..physics.scattering import elastic_scatter, rotate_direction
+from ..physics.thermal import free_gas_scatter
+from ..types import CollisionChannel, Reaction
+from .context import TransportContext
+from .meshtally import PowerTally
+from .particle import FissionBank, Particle
+from .spectrum import SpectrumTally
+from .tally import GlobalTallies
+
+__all__ = ["transport_history", "run_generation_history"]
+
+_TINY = 1.0e-300
+
+
+def _sample_index(weights: np.ndarray, xi: float) -> int:
+    """CDF-sample an index from unnormalized weights."""
+    cum = np.cumsum(weights)
+    if cum[-1] <= 0.0:
+        return int(np.argmax(weights))
+    k = int(np.searchsorted(cum, xi * cum[-1], side="right"))
+    return min(k, weights.shape[0] - 1)
+
+
+def transport_history(
+    particle: Particle,
+    ctx: TransportContext,
+    tallies: GlobalTallies,
+    fission_bank: FissionBank,
+    k_norm: float = 1.0,
+    power: PowerTally | None = None,
+    spectrum: SpectrumTally | None = None,
+) -> None:
+    """Track one particle to death, scoring tallies and banking fission sites."""
+    calc = ctx.calculator
+    stream = particle.stream
+    counters = ctx.counters
+
+    while particle.alive:
+        mat_id = ctx.material_id_at(particle.position)
+        if mat_id < 0:
+            tallies.n_leaks += 1
+            particle.alive = False
+            break
+        material = ctx.material(mat_id)
+
+        # (a) Cross-section lookup (Algorithm 1) — the bottleneck kernel.
+        xs = calc.scalar(material, particle.energy, stream, counters)
+
+        # (b) Distance to collision (Eq. 1) vs distance to boundary.
+        xi_dist = stream.prn()
+        d_coll = -np.log(max(xi_dist, _TINY)) / xs.total
+        d_bound = ctx.boundary_distance(particle.position, particle.direction)
+        counters.rn_draws += 1
+        counters.flights += 1
+
+        d_move = min(d_bound, d_coll)
+        if power is not None:
+            power.score_track(
+                particle.position + 0.5 * d_move * particle.direction,
+                particle.weight,
+                d_move,
+                xs.fission,
+            )
+        if spectrum is not None:
+            spectrum.score_track(particle.energy, particle.weight, d_move)
+
+        if d_bound < d_coll:
+            # (c) Surface crossing: move past the surface and relocate.
+            tallies.score_track(particle.weight, d_bound, xs.nu_fission)
+            particle.position = ctx.nudge(
+                particle.position + d_bound * particle.direction,
+                particle.direction,
+            )
+            if ctx.material_id_at(particle.position) < 0:
+                p_new, u_new, alive = ctx.handle_escape(
+                    particle.position, particle.direction
+                )
+                if not alive:
+                    tallies.n_leaks += 1
+                    particle.alive = False
+                else:
+                    particle.position = p_new
+                    particle.direction = u_new
+            continue
+
+        # (d) Collision.
+        tallies.score_track(particle.weight, d_coll, xs.nu_fission)
+        particle.position = particle.position + d_coll * particle.direction
+        tallies.score_collision(particle.weight, xs.nu_fission, xs.total)
+        counters.collisions += 1
+
+        if ctx.survival_biasing:
+            # (e) Implicit capture: no channel draw; expected fission sites
+            # banked, weight reduced by the survival probability, always
+            # scatter, roulette below the weight cutoff.
+            w = particle.weight
+            absorbed = w * xs.absorption / xs.total
+            tallies.score_absorption(absorbed, xs.nu_fission, xs.absorption)
+            nu_bar = w * xs.nu_fission / xs.total
+            n_sites = sample_nu(nu_bar, k_norm, stream.prn())
+            counters.rn_draws += 1
+            if n_sites:
+                counters.fissions += 1
+            for s in range(n_sites):
+                e_birth = watt_spectrum(WATT_A, WATT_B, stream)
+                fission_bank.add(particle.position, e_birth, particle.id, s)
+            particle.weight = w * (1.0 - xs.absorption / xs.total)
+            _do_scatter(particle, ctx, material)
+            if particle.energy < ctx.energy_cutoff:
+                particle.energy = ctx.energy_cutoff
+            if particle.weight < ctx.weight_cutoff:
+                xi = stream.prn()
+                counters.rn_draws += 1
+                if xi < particle.weight / ctx.weight_survival:
+                    particle.weight = ctx.weight_survival
+                else:
+                    particle.alive = False
+            continue
+
+        channel = select_channel(xs, stream.prn())
+        counters.rn_draws += 1
+
+        if channel == CollisionChannel.CAPTURE:
+            tallies.score_absorption(
+                particle.weight, xs.nu_fission, xs.absorption
+            )
+            particle.alive = False
+
+        elif channel == CollisionChannel.FISSION:
+            tallies.score_absorption(
+                particle.weight, xs.nu_fission, xs.absorption
+            )
+            counters.fissions += 1
+            weights = calc.attribution_weights(
+                material, particle.energy, Reaction.FISSION, counters
+            )[:, 0]
+            k = _sample_index(weights, stream.prn())
+            ids, _ = material.resolve(ctx.library)
+            nuc = ctx.library[int(ids[k])]
+            nu_bar = float(nuc.nu(particle.energy)) * particle.weight
+            n_sites = sample_nu(nu_bar, k_norm, stream.prn())
+            counters.rn_draws += 2
+            for s in range(n_sites):
+                e_birth = watt_spectrum(nuc.watt_a, nuc.watt_b, stream)
+                fission_bank.add(particle.position, e_birth, particle.id, s)
+            particle.alive = False
+
+        else:  # SCATTER
+            _do_scatter(particle, ctx, material)
+            if particle.energy < ctx.energy_cutoff:
+                particle.energy = ctx.energy_cutoff
+
+
+def _do_scatter(particle: Particle, ctx: TransportContext, material) -> None:
+    """The shared scatter sequence: 1 draw for the nuclide, then S(a,b) /
+    free-gas / target-at-rest kinematics (see the RNG protocol above)."""
+    calc = ctx.calculator
+    stream = particle.stream
+    counters = ctx.counters
+    weights = calc.attribution_weights(
+        material, particle.energy, Reaction.ELASTIC, counters
+    )[:, 0]
+    k = _sample_index(weights, stream.prn())
+    counters.rn_draws += 1
+    ids, _ = material.resolve(ctx.library)
+    nuc = ctx.library[int(ids[k])]
+    sab = ctx.library.sab.get(nuc.name) if calc.use_sab else None
+    if sab is not None and particle.energy < sab.cutoff:
+        e_out, mu = sab.sample(particle.energy, stream.prn(), stream.prn())
+        phi = 2.0 * np.pi * stream.prn()
+        particle.direction = rotate_direction(particle.direction, mu, phi)
+        particle.energy = e_out
+        counters.rn_draws += 3
+        counters.sab_samples += 1
+    elif particle.energy < ctx.free_gas_cutoff:
+        e_out, new_dir = free_gas_scatter(
+            particle.energy, particle.direction, nuc.awr, ctx.temperature, stream
+        )
+        particle.energy = e_out
+        particle.direction = new_dir
+        counters.rn_draws += 7
+    else:
+        e_out, mu = elastic_scatter(particle.energy, nuc.awr, stream.prn())
+        phi = 2.0 * np.pi * stream.prn()
+        particle.direction = rotate_direction(particle.direction, mu, phi)
+        particle.energy = e_out
+        counters.rn_draws += 2
+
+
+def run_generation_history(
+    ctx: TransportContext,
+    positions: np.ndarray,
+    energies: np.ndarray,
+    tallies: GlobalTallies,
+    k_norm: float = 1.0,
+    first_id: int = 0,
+    power: PowerTally | None = None,
+    spectrum: SpectrumTally | None = None,
+) -> FissionBank:
+    """Transport one generation of source particles, history style.
+
+    Returns the fission bank for the next generation.  ``first_id`` offsets
+    the particle ids (and hence their RNG streams) so successive batches
+    draw from disjoint stream ranges.
+    """
+    bank = FissionBank()
+    n = positions.shape[0]
+    tallies.source_weight += float(n)
+    for i in range(n):
+        particle = Particle.from_source(
+            first_id + i, positions[i], float(energies[i]), ctx.master_seed
+        )
+        ctx.counters.rn_draws += 2
+        transport_history(particle, ctx, tallies, bank, k_norm, power, spectrum)
+    return bank

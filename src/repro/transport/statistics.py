@@ -1,0 +1,68 @@
+r"""Monte Carlo efficiency statistics: the figure of merit.
+
+The standard efficiency measure for variance-reduction techniques:
+
+.. math:: \mathrm{FOM} = \frac{1}{\sigma_{rel}^2\, T}
+
+with relative error :math:`\sigma_{rel}` and wall (or modelled) time
+:math:`T`.  FOM is invariant under running longer (error falls as
+:math:`1/\sqrt{T}`), so two methods' FOMs compare their *intrinsic*
+efficiency — the right lens for survival biasing, delta tracking, and the
+banked-vs-history comparison alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from .simulation import SimulationResult
+
+__all__ = ["figure_of_merit", "fom_of_result", "EfficiencyComparison"]
+
+
+def figure_of_merit(rel_err: float, seconds: float) -> float:
+    """FOM = 1 / (rel_err^2 * T)."""
+    if rel_err <= 0 or seconds <= 0:
+        raise ReproError("FOM needs positive error and time")
+    return 1.0 / (rel_err * rel_err * seconds)
+
+
+def fom_of_result(result: SimulationResult) -> float:
+    """FOM of a simulation's combined k estimate against its wall time."""
+    k = result.k_effective
+    if not (k.mean and k.std_err) or k.std_err != k.std_err:
+        raise ReproError("result has no usable k statistics")
+    if k.std_err in (0.0, float("inf")):
+        raise ReproError("need >= 2 active batches for a FOM")
+    return figure_of_merit(k.std_err / abs(k.mean), result.wall_time)
+
+
+@dataclass(frozen=True)
+class EfficiencyComparison:
+    """FOM comparison of two runs (e.g. analog vs survival biasing)."""
+
+    label_a: str
+    label_b: str
+    fom_a: float
+    fom_b: float
+
+    @property
+    def ratio(self) -> float:
+        """FOM_b / FOM_a: >1 means B is the more efficient method."""
+        return self.fom_b / self.fom_a
+
+    @classmethod
+    def of(
+        cls,
+        label_a: str,
+        result_a: SimulationResult,
+        label_b: str,
+        result_b: SimulationResult,
+    ) -> "EfficiencyComparison":
+        return cls(
+            label_a=label_a,
+            label_b=label_b,
+            fom_a=fom_of_result(result_a),
+            fom_b=fom_of_result(result_b),
+        )

@@ -1,0 +1,44 @@
+"""Shared enums and small value types used across subsystems."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Reaction(IntEnum):
+    """Reaction channels tabulated for every nuclide.
+
+    The integer values index the rows of each nuclide's cross-section matrix
+    (``xs[reaction, energy_index]``), so they must stay dense and start at 0.
+    """
+
+    TOTAL = 0
+    ELASTIC = 1
+    CAPTURE = 2
+    FISSION = 3
+
+
+#: Number of tabulated reaction channels (rows in a nuclide XS matrix).
+N_REACTIONS = len(Reaction)
+
+
+class EventKind(IntEnum):
+    """Event queues of the event-based (banked) transport algorithm.
+
+    Each kind corresponds to one homogeneous kernel applied across a bank of
+    particles, in the spirit of Brown & Martin's vectorized Monte Carlo.
+    """
+
+    XS_LOOKUP = 0
+    ADVANCE = 1
+    COLLISION = 2
+    SURFACE_CROSSING = 3
+    DEAD = 4
+
+
+class CollisionChannel(IntEnum):
+    """Outcome of sampling the reaction channel at a collision site."""
+
+    SCATTER = 0
+    CAPTURE = 1
+    FISSION = 2

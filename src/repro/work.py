@@ -1,0 +1,76 @@
+"""Work counters: the bridge between executed algorithms and the machine model.
+
+The transport loops and kernels *execute* real physics; the Xeon Phi / host /
+PCIe devices are *modelled* (DESIGN.md §2).  :class:`WorkCounters` is the
+interface between the two: kernels count what they did (lookups, grid
+searches, nuclide iterations, flights, collisions, bytes touched) and the
+roofline model in :mod:`repro.machine` converts those counts into device
+seconds.  Physics code never imports the machine model — the dependency runs
+one way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["WorkCounters"]
+
+
+@dataclass
+class WorkCounters:
+    """Additive counters of algorithmic work.
+
+    Attributes
+    ----------
+    lookups:
+        Macroscopic cross-section evaluations (one per particle per segment).
+    grid_searches:
+        Binary searches of an energy grid (union or per-nuclide).
+    nuclide_iterations:
+        Inner-loop trips over nuclides (``lookups x nuclides/material``) —
+        the paper's vectorization target.
+    flights:
+        Particle flight segments (moves to collision or surface).
+    collisions:
+        Collision events processed.
+    fissions:
+        Fission events processed.
+    sab_samples:
+        S(alpha, beta) thermal-scattering samples (branchy physics).
+    urr_samples:
+        URR probability-table samples (branchy physics).
+    rn_draws:
+        Random variates consumed.
+    bytes_read:
+        Estimated bytes gathered from cross-section tables (memory-bound
+        traffic for the roofline model).
+    """
+
+    lookups: int = 0
+    grid_searches: int = 0
+    nuclide_iterations: int = 0
+    flights: int = 0
+    collisions: int = 0
+    fissions: int = 0
+    sab_samples: int = 0
+    urr_samples: int = 0
+    rn_draws: int = 0
+    bytes_read: int = 0
+
+    def __iadd__(self, other: "WorkCounters") -> "WorkCounters":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def __add__(self, other: "WorkCounters") -> "WorkCounters":
+        out = WorkCounters()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return out
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,88 @@
+"""Tests for the simulated communicator and fabric model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simcomm import FabricModel, SimulatedComm
+from repro.errors import ClusterError
+
+
+class TestFabricModel:
+    def test_message_time(self):
+        f = FabricModel(latency_s=1e-6, bandwidth_gbps=10.0)
+        assert f.message_time(1e9) == pytest.approx(0.1 + 1e-6)
+
+    def test_tree_rounds(self):
+        f = FabricModel(latency_s=1e-6, bandwidth_gbps=10.0)
+        one = f.message_time(100)
+        assert f.tree_collective_time(2, 100) == pytest.approx(one)
+        assert f.tree_collective_time(8, 100) == pytest.approx(3 * one)
+        assert f.tree_collective_time(1000, 100) == pytest.approx(10 * one)
+
+    def test_single_rank_free(self):
+        f = FabricModel()
+        assert f.tree_collective_time(1, 1e6) == 0.0
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ClusterError):
+            FabricModel().tree_collective_time(0, 1)
+
+
+class TestSimulatedComm:
+    def test_allreduce_sums(self):
+        comm = SimulatedComm(4)
+        bufs = [np.full(3, float(r)) for r in range(4)]
+        result, t = comm.allreduce_sum(bufs)
+        np.testing.assert_allclose(result, [6.0, 6.0, 6.0])
+        assert t > 0
+
+    def test_reduce_vs_allreduce_cost(self):
+        """Allreduce costs twice the reduce (reduce + broadcast trees)."""
+        a = SimulatedComm(16)
+        b = SimulatedComm(16)
+        bufs = [np.ones(8) for _ in range(16)]
+        _, t_all = a.allreduce_sum(bufs)
+        _, t_red = b.reduce_sum([np.ones(8) for _ in range(16)])
+        assert t_all == pytest.approx(2 * t_red)
+
+    def test_comm_time_accumulates(self):
+        comm = SimulatedComm(4)
+        bufs = [np.ones(2)] * 4
+        comm.allreduce_sum(bufs)
+        comm.allreduce_sum(bufs)
+        assert comm.comm_time == pytest.approx(
+            2 * 2 * comm.fabric.tree_collective_time(4, 16)
+        )
+
+    def test_buffer_count_checked(self):
+        comm = SimulatedComm(4)
+        with pytest.raises(ClusterError):
+            comm.allreduce_sum([np.ones(2)] * 3)
+
+    def test_shape_checked(self):
+        comm = SimulatedComm(2)
+        with pytest.raises(ClusterError):
+            comm.allreduce_sum([np.ones(2), np.ones(3)])
+
+    def test_bcast(self):
+        comm = SimulatedComm(8)
+        v, t = comm.bcast(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(v, [1.0, 2.0])
+        assert t > 0
+
+    def test_exchange_bank_balanced_is_cheap(self):
+        comm = SimulatedComm(4)
+        t = comm.exchange_bank([100, 100, 100, 100])
+        # Only latency: nothing moves.
+        assert t == pytest.approx(comm.fabric.latency_s)
+
+    def test_exchange_bank_imbalance_costs(self):
+        comm = SimulatedComm(2)
+        t_bal = SimulatedComm(2).exchange_bank([100, 100])
+        t_imb = comm.exchange_bank([200, 0])
+        assert t_imb > t_bal
+
+    def test_single_rank_comm_free(self):
+        comm = SimulatedComm(1)
+        _, t = comm.allreduce_sum([np.ones(5)])
+        assert t == 0.0

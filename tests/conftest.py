@@ -1,0 +1,33 @@
+"""Shared fixtures: tiny libraries/grids built once per test session."""
+
+import numpy as np
+import pytest
+
+from repro.data import LibraryConfig, UnionizedGrid, build_library
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return LibraryConfig.tiny()
+
+
+@pytest.fixture(scope="session")
+def small_library(tiny_config):
+    """H.M. Small library at tiny fidelity (43 nuclides)."""
+    return build_library("hm-small", tiny_config)
+
+
+@pytest.fixture(scope="session")
+def large_library(tiny_config):
+    """H.M. Large library at tiny fidelity (329 nuclides)."""
+    return build_library("hm-large", tiny_config)
+
+
+@pytest.fixture(scope="session")
+def small_union(small_library):
+    return UnionizedGrid(small_library)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(987)

@@ -1,0 +1,101 @@
+"""Tests for the psi-chi Doppler broadening profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.doppler import chi, doppler_zeta, faddeeva, psi, psi_chi
+
+
+class TestColdLimit:
+    def test_psi_cold_is_lorentzian(self):
+        x = np.linspace(-10, 10, 41)
+        np.testing.assert_allclose(psi(np.inf, x), 1.0 / (1.0 + x**2))
+
+    def test_chi_cold_is_dispersion(self):
+        x = np.linspace(-10, 10, 41)
+        np.testing.assert_allclose(chi(np.inf, x), 2.0 * x / (1.0 + x**2))
+
+    def test_large_zeta_approaches_cold(self):
+        x = np.array([-3.0, 0.0, 0.5, 4.0])
+        warm = psi(1e4, x)
+        cold = psi(np.inf, x)
+        np.testing.assert_allclose(warm, cold, rtol=1e-4)
+
+
+class TestShapes:
+    def test_psi_peak_at_center(self):
+        x = np.linspace(-5, 5, 101)
+        p = psi(2.0, x)
+        assert np.argmax(p) == 50
+
+    def test_psi_positive(self):
+        x = np.linspace(-50, 50, 201)
+        assert np.all(psi(0.5, x) > 0)
+
+    def test_chi_antisymmetric(self):
+        x = np.linspace(0.1, 20, 50)
+        np.testing.assert_allclose(chi(1.5, x), -chi(1.5, -x), atol=1e-14)
+
+    def test_psi_symmetric(self):
+        x = np.linspace(0.1, 20, 50)
+        np.testing.assert_allclose(psi(1.5, x), psi(1.5, -x), atol=1e-14)
+
+    def test_broadening_lowers_peak(self):
+        """Doppler broadening reduces the peak height (and widens the line)."""
+        assert psi(0.5, 0.0) < psi(5.0, 0.0) < psi(np.inf, 0.0)
+
+    def test_area_preserved(self):
+        """The psi profile integrates to pi independent of zeta
+        (Doppler broadening conserves the resonance integral)."""
+        x = np.linspace(-4000, 4000, 400001)
+        for zeta in (0.3, 1.0, 3.0, np.inf):
+            area = np.trapezoid(psi(zeta, x), x)
+            assert area == pytest.approx(np.pi, rel=5e-3)
+
+
+class TestScalarAndBroadcast:
+    def test_scalar_inputs_give_floats(self):
+        p, c = psi_chi(1.0, 0.5)
+        assert isinstance(p, float) and isinstance(c, float)
+
+    def test_broadcasting(self):
+        zeta = np.array([[0.5], [2.0]])
+        x = np.array([0.0, 1.0, 2.0])
+        p, c = psi_chi(zeta, x)
+        assert p.shape == (2, 3) and c.shape == (2, 3)
+
+    @given(
+        zeta=st.floats(min_value=0.05, max_value=50.0),
+        x=st.floats(min_value=-100.0, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_psi_bounded(self, zeta, x):
+        p = psi(zeta, x)
+        assert 0.0 <= p <= 1.0 + 1e-12
+
+
+class TestZeta:
+    def test_zero_temperature_is_infinite(self):
+        assert doppler_zeta(1e-8, 1e-5, 238.0, 0.0) == np.inf
+
+    def test_scales_with_width(self):
+        z1 = doppler_zeta(1e-8, 1e-5, 238.0, 300.0)
+        z2 = doppler_zeta(2e-8, 1e-5, 238.0, 300.0)
+        assert z2 == pytest.approx(2 * z1)
+
+    def test_hotter_is_smaller(self):
+        z_cold = doppler_zeta(1e-8, 1e-5, 238.0, 300.0)
+        z_hot = doppler_zeta(1e-8, 1e-5, 238.0, 1200.0)
+        assert z_hot == pytest.approx(z_cold / 2)  # sqrt(300/1200) = 1/2
+
+
+class TestFaddeeva:
+    def test_at_origin(self):
+        assert faddeeva(0.0) == pytest.approx(1.0)
+
+    def test_known_asymptote(self):
+        """w(z) ~ i/(sqrt(pi) z) for large |z|."""
+        z = 1000.0 + 0j
+        assert faddeeva(z) == pytest.approx(1j / (np.sqrt(np.pi) * z), rel=1e-4)

@@ -1,0 +1,87 @@
+"""Tests for library serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_library
+from repro.data.io import load_library, save_library
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return tmp_path / "library.npz"
+
+
+class TestRoundTrip:
+    def test_exact_arrays(self, small_library, path):
+        save_library(small_library, path)
+        loaded = load_library(path)
+        assert loaded.names == small_library.names
+        for name in small_library.names:
+            np.testing.assert_array_equal(
+                loaded[name].energy, small_library[name].energy
+            )
+            np.testing.assert_array_equal(
+                loaded[name].xs, small_library[name].xs
+            )
+
+    def test_scalar_attributes(self, small_library, path):
+        save_library(small_library, path)
+        loaded = load_library(path)
+        for name in ("U235", "U238", "H1"):
+            a, b = small_library[name], loaded[name]
+            assert a.awr == b.awr
+            assert a.fissionable == b.fissionable
+            assert a.nu0 == b.nu0
+            assert a.has_urr == b.has_urr
+            assert a.urr_emin == b.urr_emin
+
+    def test_urr_tables(self, small_library, path):
+        save_library(small_library, path)
+        loaded = load_library(path)
+        assert set(loaded.urr) == set(small_library.urr)
+        np.testing.assert_array_equal(
+            loaded.urr["U238"].factors, small_library.urr["U238"].factors
+        )
+
+    def test_sab_tables(self, small_library, path):
+        save_library(small_library, path)
+        loaded = load_library(path)
+        np.testing.assert_array_equal(
+            loaded.sab["H1"].e_out, small_library.sab["H1"].e_out
+        )
+
+    def test_config_and_model(self, small_library, path):
+        save_library(small_library, path)
+        loaded = load_library(path)
+        assert loaded.model == small_library.model
+        assert loaded.config == small_library.config
+
+    def test_loaded_library_transports(self, small_library, path):
+        """A loaded library runs a simulation identically to the original."""
+        from repro.transport import Settings, Simulation
+
+        save_library(small_library, path)
+        loaded = load_library(path)
+        settings = Settings(
+            n_particles=50, n_inactive=0, n_active=2, pincell=True,
+            mode="event", seed=5,
+        )
+        r1 = Simulation(small_library, settings).run()
+        r2 = Simulation(loaded, settings).run()
+        np.testing.assert_allclose(
+            r1.statistics.k_collision, r2.statistics.k_collision, rtol=1e-14
+        )
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_library(tmp_path / "nope.npz")
+
+    def test_not_a_library_file(self, tmp_path):
+        bogus = tmp_path / "x.npz"
+        np.savez(bogus, a=np.ones(3))
+        with pytest.raises(DataError):
+            load_library(bogus)

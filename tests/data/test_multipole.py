@@ -1,0 +1,135 @@
+"""Tests for the windowed multipole representation."""
+
+import numpy as np
+import pytest
+
+from repro.data.multipole import build_multipole
+from repro.data.resonance import reconstruct_xs, sample_ladder
+from repro.errors import DataError
+from repro.types import N_REACTIONS, Reaction
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    rng = np.random.default_rng(42)
+    return sample_ladder(rng, fissionable=True, n_resonances=15)
+
+
+@pytest.fixture(scope="module")
+def mp(ladder):
+    return build_multipole("U235x", ladder, awr=233.0, n_windows=16)
+
+
+class TestConstruction:
+    def test_pole_count(self, mp, ladder):
+        assert mp.n_poles == ladder.n_resonances
+
+    def test_poles_in_lower_half_plane(self, mp):
+        """Physical resonance poles have negative imaginary part
+        (decaying states)."""
+        assert np.all(mp.poles.imag < 0)
+
+    def test_windows_cover_all_poles(self, mp):
+        """Every pole is evaluated by the window that owns it (windows also
+        reach into neighbours, so coverage — not partition — is the invariant)."""
+        covered = np.zeros(mp.n_poles, dtype=bool)
+        for w in range(mp.n_windows):
+            s, c = int(mp.window_start[w]), int(mp.window_count[w])
+            covered[s : s + c] = True
+        assert covered.all()
+
+    def test_residues_shape(self, mp):
+        assert mp.residues.shape == (N_REACTIONS, mp.n_poles)
+
+    def test_memory_compression(self, ladder, mp):
+        """The multipole form is far smaller than pointwise data — the
+        method's raison d'être."""
+        from repro.data.resonance import build_energy_grid
+
+        grid = build_energy_grid(ladder, n_base=600, points_per_resonance=12)
+        pointwise_bytes = grid.nbytes * (1 + N_REACTIONS)
+        assert mp.nbytes < 0.5 * pointwise_bytes
+
+    def test_invalid_range(self, ladder):
+        with pytest.raises(DataError):
+            build_multipole("x", ladder, awr=233.0, emin=1.0, emax=0.5)
+
+
+class TestAccuracy:
+    def test_matches_pointwise_at_peaks(self, ladder, mp):
+        """At resonance peaks the multipole evaluation reproduces the
+        pointwise reconstruction."""
+        peaks = ladder.e0[2:12]
+        truth = reconstruct_xs(ladder, peaks, awr=233.0, temperature=293.6)
+        for j, e in enumerate(peaks):
+            got = mp.evaluate(float(e), 293.6)
+            assert got[Reaction.TOTAL] == pytest.approx(
+                truth["total"][j], rel=0.05
+            )
+
+    def test_matches_pointwise_median(self, ladder, mp):
+        es = np.geomspace(ladder.e0[0] * 0.9, ladder.e0[-1], 300)
+        truth = reconstruct_xs(ladder, es, awr=233.0, temperature=293.6)
+        got = mp.evaluate_many(es, 293.6)
+        rel = np.abs(got[Reaction.TOTAL] - truth["total"]) / truth["total"]
+        assert np.median(rel) < 0.05
+
+    def test_temperature_effect(self, ladder, mp):
+        """Doppler broadening lowers peaks, multipole-side too."""
+        e = float(ladder.e0[5])
+        cold = mp.evaluate(e, 100.0)[Reaction.TOTAL]
+        hot = mp.evaluate(e, 2000.0)[Reaction.TOTAL]
+        assert hot < cold
+
+    def test_zero_temperature_branch(self, ladder, mp):
+        e = float(ladder.e0[5])
+        v0 = mp.evaluate(e, 0.0)
+        assert np.all(np.isfinite(v0))
+        # 0 K peak is the tallest.
+        assert v0[Reaction.TOTAL] >= mp.evaluate(e, 293.6)[Reaction.TOTAL]
+
+
+class TestVectorizedEquivalence:
+    def test_many_matches_scalar(self, ladder, mp):
+        es = np.geomspace(ladder.e0[0], ladder.e0[-1], 40)
+        vec = mp.evaluate_many(es, 293.6)
+        for j, e in enumerate(es):
+            scal = mp.evaluate(float(e), 293.6)
+            np.testing.assert_allclose(vec[:, j], scal, rtol=1e-10, atol=1e-12)
+
+    def test_many_matches_scalar_cold(self, ladder, mp):
+        es = np.geomspace(ladder.e0[0], ladder.e0[-1], 20)
+        vec = mp.evaluate_many(es, 0.0)
+        for j, e in enumerate(es):
+            np.testing.assert_allclose(
+                vec[:, j], mp.evaluate(float(e), 0.0), rtol=1e-10, atol=1e-12
+            )
+
+    def test_padded_tables_shapes(self, mp):
+        poles_rect, res_rect = mp.padded_tables()
+        p = mp.max_poles_per_window
+        assert poles_rect.shape == (mp.n_windows, p)
+        assert res_rect.shape == (mp.n_windows, N_REACTIONS, p)
+
+    def test_precomputed_tables_reused(self, ladder, mp):
+        es = np.geomspace(ladder.e0[0], ladder.e0[-1], 10)
+        tables = mp.padded_tables()
+        a = mp.evaluate_many(es, 293.6, tables=tables)
+        b = mp.evaluate_many(es, 293.6)
+        np.testing.assert_allclose(a, b)
+
+
+class TestWindows:
+    def test_window_of_clamps(self, mp):
+        assert mp.window_of(1e-12) == 0
+        assert mp.window_of(100.0) == mp.n_windows - 1
+
+    def test_window_of_vectorized(self, mp):
+        es = np.geomspace(mp.emin, mp.emax * 0.999, 30)
+        wins = mp.window_of(es)
+        for j, e in enumerate(es):
+            assert wins[j] == mp.window_of(float(e))
+
+    def test_negative_temperature_rejected(self, mp):
+        with pytest.raises(DataError):
+            mp.doppler_width(-1.0)

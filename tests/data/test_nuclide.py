@@ -1,0 +1,147 @@
+"""Tests for per-nuclide tables and lookup paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.nuclide import Nuclide
+from repro.errors import DataError
+from repro.types import N_REACTIONS, Reaction
+
+
+def make_nuclide(n_points=10):
+    energy = np.geomspace(1e-10, 10.0, n_points)
+    xs = np.ones((N_REACTIONS, n_points))
+    xs[Reaction.TOTAL] = 3.0
+    xs[Reaction.ELASTIC] = np.linspace(1.0, 2.0, n_points)
+    return Nuclide(name="X1", awr=1.0, energy=energy, xs=xs)
+
+
+class TestValidation:
+    def test_rejects_decreasing_grid(self):
+        with pytest.raises(DataError):
+            Nuclide(
+                name="bad",
+                awr=1.0,
+                energy=np.array([2.0, 1.0]),
+                xs=np.ones((N_REACTIONS, 2)),
+            )
+
+    def test_rejects_wrong_xs_shape(self):
+        with pytest.raises(DataError):
+            Nuclide(
+                name="bad",
+                awr=1.0,
+                energy=np.array([1.0, 2.0]),
+                xs=np.ones((N_REACTIONS, 3)),
+            )
+
+    def test_rejects_negative_xs(self):
+        xs = np.ones((N_REACTIONS, 2))
+        xs[0, 0] = -1.0
+        with pytest.raises(DataError):
+            Nuclide(name="bad", awr=1.0, energy=np.array([1.0, 2.0]), xs=xs)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(DataError):
+            Nuclide(
+                name="bad",
+                awr=1.0,
+                energy=np.array([1.0]),
+                xs=np.ones((N_REACTIONS, 1)),
+            )
+
+
+class TestFindIndex:
+    def test_interior(self):
+        nuc = make_nuclide()
+        e = nuc.energy[4] * 1.0001
+        assert nuc.find_index(e) == 4
+
+    def test_exact_grid_point(self):
+        nuc = make_nuclide()
+        assert nuc.find_index(nuc.energy[3]) == 3
+
+    def test_below_grid_clamps(self):
+        nuc = make_nuclide()
+        assert nuc.find_index(1e-12) == 0
+
+    def test_above_grid_clamps(self):
+        nuc = make_nuclide()
+        assert nuc.find_index(100.0) == nuc.n_points - 2
+
+    def test_vectorized_matches_scalar(self):
+        nuc = make_nuclide(50)
+        energies = np.geomspace(1e-11, 20.0, 200)
+        vec = nuc.find_index_many(energies)
+        scal = np.array([nuc.find_index(e) for e in energies])
+        np.testing.assert_array_equal(vec, scal)
+
+    @given(e=st.floats(min_value=1e-12, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_index_brackets_energy(self, e):
+        nuc = make_nuclide(30)
+        i = nuc.find_index(e)
+        assert 0 <= i <= nuc.n_points - 2
+        if nuc.energy[0] <= e <= nuc.energy[-1]:
+            assert nuc.energy[i] <= e * (1 + 1e-12)
+            assert e <= nuc.energy[i + 1] * (1 + 1e-12)
+
+
+class TestMicroXS:
+    def test_interpolates_linearly(self):
+        nuc = make_nuclide()
+        e0, e1 = nuc.energy[2], nuc.energy[3]
+        mid = 0.5 * (e0 + e1)
+        v = nuc.micro_xs(mid)[Reaction.ELASTIC]
+        expected = 0.5 * (nuc.xs[Reaction.ELASTIC, 2] + nuc.xs[Reaction.ELASTIC, 3])
+        assert v == pytest.approx(expected)
+
+    def test_at_grid_points(self):
+        nuc = make_nuclide()
+        for i in [0, 3, 9]:
+            np.testing.assert_allclose(nuc.micro_xs(nuc.energy[i]), nuc.xs[:, i])
+
+    def test_precomputed_index_used(self):
+        nuc = make_nuclide()
+        e = 0.5 * (nuc.energy[4] + nuc.energy[5])
+        np.testing.assert_allclose(nuc.micro_xs(e), nuc.micro_xs(e, index=4))
+
+    def test_vectorized_matches_scalar(self):
+        nuc = make_nuclide(40)
+        energies = np.geomspace(1e-10, 10, 64)
+        mat = nuc.micro_xs_many(energies)
+        assert mat.shape == (N_REACTIONS, 64)
+        for j, e in enumerate(energies):
+            np.testing.assert_allclose(mat[:, j], nuc.micro_xs(e))
+
+    def test_reaction_subset(self):
+        nuc = make_nuclide(40)
+        energies = np.geomspace(1e-10, 10, 16)
+        sub = nuc.micro_xs_many(energies, reactions=(Reaction.TOTAL,))
+        full = nuc.micro_xs_many(energies)
+        np.testing.assert_allclose(sub[0], full[Reaction.TOTAL])
+
+    def test_interpolation_bounded(self):
+        """Lin-lin interpolation never exceeds the bracketing values."""
+        nuc = make_nuclide(30)
+        energies = np.geomspace(1e-10, 10, 500)
+        mat = nuc.micro_xs_many(energies)
+        assert mat.min() >= nuc.xs.min() - 1e-12
+        assert mat.max() <= nuc.xs.max() + 1e-12
+
+    def test_total_xs_helper(self):
+        nuc = make_nuclide()
+        assert nuc.total_xs(nuc.energy[0]) == pytest.approx(3.0)
+
+
+class TestMisc:
+    def test_nu_linear_in_energy(self):
+        nuc = make_nuclide()
+        assert nuc.nu(0.0) == pytest.approx(nuc.nu0)
+        assert nuc.nu(2.0) > nuc.nu(0.0)
+
+    def test_nbytes_counts_grid_and_xs(self):
+        nuc = make_nuclide(10)
+        assert nuc.nbytes == nuc.energy.nbytes + nuc.xs.nbytes

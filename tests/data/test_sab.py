@@ -1,0 +1,133 @@
+"""Tests for S(alpha, beta) thermal scattering tables."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constants import K_BOLTZMANN, THERMAL_CUTOFF
+from repro.data.sab import SabTable, build_sab_table
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def table(rng):
+    return build_sab_table(rng, temperature=293.6, n_in=10, n_out=8, n_mu=4)
+
+
+class TestConstruction:
+    def test_shapes(self, table):
+        assert table.e_in.shape == (10,)
+        assert table.e_out.shape == (10, 8)
+        assert table.mu.shape == (10, 8, 4)
+
+    def test_cutoff(self, table):
+        assert table.cutoff == pytest.approx(THERMAL_CUTOFF)
+
+    def test_bound_enhancement_at_low_energy(self, table):
+        """Bound scattering exceeds the free value at thermal energies and
+        relaxes toward it at the cutoff."""
+        assert table.xs[0] > 1.5 * 20.4
+        assert table.xs[-1] < 1.5 * 20.4
+
+    def test_outgoing_energies_positive(self, table):
+        assert np.all(table.e_out > 0)
+
+    def test_cosines_in_range(self, table):
+        assert np.all(np.abs(table.mu) <= 1.0)
+
+    def test_cosines_sorted_per_cell(self, table):
+        assert np.all(np.diff(table.mu, axis=2) >= 0)
+
+    def test_validation_bad_mu(self):
+        with pytest.raises(DataError):
+            SabTable(
+                e_in=np.array([1e-9, 1e-6]),
+                xs=np.array([10.0, 10.0]),
+                e_out=np.ones((2, 3)) * 1e-8,
+                mu=np.full((2, 3, 2), 2.0),
+            )
+
+    def test_validation_negative_eout(self):
+        with pytest.raises(DataError):
+            SabTable(
+                e_in=np.array([1e-9, 1e-6]),
+                xs=np.array([10.0, 10.0]),
+                e_out=-np.ones((2, 3)),
+                mu=np.zeros((2, 3, 2)),
+            )
+
+
+class TestXS:
+    def test_thermal_xs_interpolates(self, table):
+        mid = np.sqrt(table.e_in[2] * table.e_in[3])
+        v = table.thermal_xs(mid)
+        lo, hi = sorted([table.xs[2], table.xs[3]])
+        assert lo <= v <= hi
+
+    def test_vectorized_xs(self, table):
+        e = np.geomspace(1e-10, 1e-6, 20)
+        out = table.thermal_xs(e)
+        assert out.shape == (20,)
+        assert np.all(out > 0)
+
+
+class TestSampling:
+    def test_scalar_sample_valid(self, table):
+        e_out, mu = table.sample(1e-8, 0.3, 0.7)
+        assert e_out > 0
+        assert -1 <= mu <= 1
+
+    def test_vectorized_matches_scalar(self, table, rng):
+        energies = rng.uniform(1e-10, table.cutoff, 50)
+        xi1 = rng.random(50)
+        xi2 = rng.random(50)
+        e_vec, mu_vec = table.sample_many(energies, xi1, xi2)
+        for j in range(50):
+            e_s, mu_s = table.sample(energies[j], xi1[j], xi2[j])
+            assert e_vec[j] == pytest.approx(e_s)
+            assert mu_vec[j] == pytest.approx(mu_s)
+
+    @given(
+        xi1=st.floats(min_value=0, max_value=1 - 1e-9),
+        xi2=st.floats(min_value=0, max_value=1 - 1e-9),
+    )
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_sample_always_valid(self, table, xi1, xi2):
+        e_out, mu = table.sample(5e-7, xi1, xi2)
+        assert e_out > 0 and -1 <= mu <= 1
+
+    def test_upscatter_possible_at_cold_energies(self, table, rng):
+        """A very cold neutron should gain energy on average (thermal
+        equilibrium drives it toward kT)."""
+        e_in = 1e-10
+        xi1, xi2 = rng.random(2000), rng.random(2000)
+        e_out, _ = table.sample_many(np.full(2000, e_in), xi1, xi2)
+        assert e_out.mean() > e_in
+
+    def test_hot_neutron_downscatters(self, table, rng):
+        """A neutron near the cutoff should lose energy on average."""
+        e_in = table.cutoff * 0.9
+        xi1, xi2 = rng.random(2000), rng.random(2000)
+        e_out, _ = table.sample_many(np.full(2000, e_in), xi1, xi2)
+        assert e_out.mean() < e_in
+
+    def test_equilibrium_near_kt(self, table, rng):
+        """Repeated scattering relaxes the spectrum to ~kT scale."""
+        kt = K_BOLTZMANN * 293.6
+        e = np.full(4000, 1e-9)
+        for _ in range(8):
+            xi1, xi2 = rng.random(4000), rng.random(4000)
+            e, _ = table.sample_many(e, xi1, xi2)
+        assert 0.2 * kt < np.median(e) < 8.0 * kt
+
+
+class TestTemperatureDependence:
+    def test_hotter_table_has_higher_mean_outgoing(self, rng):
+        cold = build_sab_table(np.random.default_rng(5), temperature=293.6)
+        hot = build_sab_table(np.random.default_rng(5), temperature=900.0)
+        assert hot.e_out.mean() > cold.e_out.mean()

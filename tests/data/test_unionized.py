@@ -1,0 +1,104 @@
+"""Tests for the unionized energy grid (Leppänen double indexing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import UnionizedGrid
+from repro.errors import DataError
+
+
+class TestConstruction:
+    def test_union_contains_all_nuclide_points(self, small_library, small_union):
+        union_set = small_union.energy
+        for nuc in small_library:
+            # Every nuclide grid point appears in the (unthinned) union.
+            idx = np.searchsorted(union_set, nuc.energy)
+            np.testing.assert_allclose(union_set[np.clip(idx, 0, union_set.size - 1)],
+                                       nuc.energy)
+
+    def test_union_strictly_increasing(self, small_union):
+        assert np.all(np.diff(small_union.energy) > 0)
+
+    def test_index_matrix_shape(self, small_library, small_union):
+        assert small_union.indices.shape == (
+            len(small_library),
+            small_union.n_union,
+        )
+
+    def test_thinning(self, small_library):
+        thin = UnionizedGrid(small_library, max_points=100)
+        assert thin.n_union <= 100
+        # End points survive thinning.
+        full = UnionizedGrid(small_library)
+        assert thin.energy[0] == full.energy[0]
+        assert thin.energy[-1] == full.energy[-1]
+
+    def test_thinning_validation(self, small_library):
+        with pytest.raises(DataError):
+            UnionizedGrid(small_library, max_points=1)
+
+    def test_nbytes(self, small_union):
+        assert small_union.nbytes == (
+            small_union.energy.nbytes + small_union.indices.nbytes
+        )
+
+
+class TestIndices:
+    def test_indices_bracket_union_points(self, small_library, small_union):
+        """For every nuclide and union point, the stored interval brackets
+        the union energy (the core double-indexing invariant)."""
+        for i, nuc in enumerate(small_library):
+            idx = small_union.indices[i]
+            e = small_union.energy
+            lo = nuc.energy[idx]
+            hi = nuc.energy[idx + 1]
+            inside = (e >= nuc.energy[0]) & (e <= nuc.energy[-1])
+            assert np.all(lo[inside] <= e[inside] * (1 + 1e-12))
+            assert np.all(e[inside] <= hi[inside] * (1 + 1e-12))
+
+    def test_indices_match_direct_search(self, small_library, small_union):
+        for i, nuc in enumerate(small_library):
+            direct = nuc.find_index_many(small_union.energy)
+            np.testing.assert_array_equal(small_union.indices[i], direct)
+
+    def test_nuclide_indices_gather(self, small_union):
+        u = np.array([0, 5, 10])
+        got = small_union.nuclide_indices(2, u)
+        np.testing.assert_array_equal(got, small_union.indices[2, u])
+
+
+class TestSearch:
+    def test_search_brackets(self, small_union):
+        e = small_union.energy
+        mid = 0.5 * (e[7] + e[8])
+        assert small_union.search(mid) == 7
+
+    def test_search_many_matches_scalar(self, small_union):
+        energies = np.geomspace(1e-11, 19.9, 100)
+        vec = small_union.search_many(energies)
+        scal = np.array([small_union.search(x) for x in energies])
+        np.testing.assert_array_equal(vec, scal)
+
+    @given(e=st.floats(min_value=1e-11, max_value=20.0))
+    @settings(max_examples=50, deadline=None)
+    def test_search_property(self, small_union, e):
+        u = small_union.search(e)
+        assert 0 <= u <= small_union.n_union - 2
+        assert small_union.energy[u] <= e * (1 + 1e-12)
+
+
+class TestEquivalence:
+    def test_union_lookup_equals_direct_lookup(self, small_library, small_union):
+        """Looking up micro XS via the union index matrix gives the same
+        result as each nuclide's own binary search — the whole point of
+        the unionized grid (same answer, one search)."""
+        energies = np.geomspace(1e-10, 15.0, 50)
+        u = small_union.search_many(energies)
+        for i, nuc in enumerate(small_library):
+            via_union = nuc.micro_xs_many(
+                energies, indices=small_union.indices[i, u]
+            )
+            direct = nuc.micro_xs_many(energies)
+            np.testing.assert_allclose(via_union, direct, rtol=1e-12)

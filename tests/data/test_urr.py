@@ -1,0 +1,120 @@
+"""Tests for URR probability tables."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.urr import URRTable, build_urr_table
+from repro.errors import DataError
+from repro.types import N_REACTIONS, Reaction
+
+
+@pytest.fixture()
+def table(rng):
+    return build_urr_table(rng, emin=3e-3, emax=3e-2, n_bands=6, n_cols=8)
+
+
+class TestConstruction:
+    def test_shapes(self, table):
+        assert table.n_bands == 6
+        assert table.n_cols == 8
+        assert table.factors.shape == (N_REACTIONS, 6, 8)
+
+    def test_cdf_valid(self, table):
+        assert np.allclose(table.cdf[:, -1], 1.0)
+        assert np.all(np.diff(table.cdf, axis=1) >= 0)
+
+    def test_factors_positive(self, table):
+        assert np.all(table.factors > 0)
+
+    def test_unbiased_mean(self, table):
+        """Probability-weighted mean factor is 1 in every band: URR sampling
+        must not bias the smooth cross section."""
+        pdf = np.diff(
+            np.concatenate([np.zeros((table.n_bands, 1)), table.cdf], axis=1), axis=1
+        )
+        mean = np.sum(table.factors * pdf[None], axis=2)
+        np.testing.assert_allclose(mean, 1.0, rtol=1e-10)
+
+    def test_nonfissionable_fission_factor_is_one(self, rng):
+        t = build_urr_table(rng, emin=1e-3, emax=1e-2, fissionable=False)
+        assert np.all(t.factors[Reaction.FISSION] == 1.0)
+
+    def test_invalid_range_rejected(self, rng):
+        with pytest.raises(DataError):
+            build_urr_table(rng, emin=1e-2, emax=1e-3)
+
+    def test_validation_cdf_end(self):
+        with pytest.raises(DataError):
+            URRTable(
+                band_edges=np.array([1e-3, 1e-2]),
+                cdf=np.array([[0.5, 0.9]]),  # does not end at 1
+                factors=np.ones((N_REACTIONS, 1, 2)),
+            )
+
+
+class TestRangeQueries:
+    def test_contains(self, table):
+        assert table.contains(1e-2)
+        assert not table.contains(1e-4)
+        assert not table.contains(0.5)
+
+    def test_contains_vectorized(self, table):
+        e = np.array([1e-4, 5e-3, 2e-2, 1.0])
+        np.testing.assert_array_equal(
+            table.contains(e), [False, True, True, False]
+        )
+
+    def test_band_index_clamps(self, table):
+        assert table.band_index(1e-6) == 0
+        assert table.band_index(1.0) == table.n_bands - 1
+
+    def test_band_index_interior(self, table):
+        for b in range(table.n_bands):
+            mid = np.sqrt(table.band_edges[b] * table.band_edges[b + 1])
+            assert table.band_index(mid) == b
+
+
+class TestSampling:
+    def test_scalar_returns_all_reactions(self, table):
+        f = table.sample_factors(5e-3, 0.4)
+        assert f.shape == (N_REACTIONS,)
+        assert np.all(f > 0)
+
+    def test_xi_zero_takes_first_column(self, table):
+        f = table.sample_factors(5e-3, 0.0)
+        band = table.band_index(5e-3)
+        np.testing.assert_allclose(f, table.factors[:, band, 0])
+
+    def test_xi_near_one_takes_last_column(self, table):
+        f = table.sample_factors(5e-3, 0.999999)
+        band = table.band_index(5e-3)
+        np.testing.assert_allclose(f, table.factors[:, band, -1])
+
+    def test_vectorized_matches_scalar(self, table, rng):
+        energies = rng.uniform(table.emin, table.emax, 100)
+        xis = rng.random(100)
+        vec = table.sample_factors_many(energies, xis)
+        assert vec.shape == (N_REACTIONS, 100)
+        for j in range(100):
+            np.testing.assert_allclose(
+                vec[:, j], table.sample_factors(energies[j], xis[j])
+            )
+
+    @given(xi=st.floats(min_value=0.0, max_value=1.0 - 1e-12))
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_any_xi_valid(self, table, xi):
+        f = table.sample_factors(1e-2, xi)
+        assert np.all(np.isfinite(f)) and np.all(f > 0)
+
+    def test_sampled_mean_converges_to_one(self, table, rng):
+        """Monte Carlo check of unbiasedness."""
+        xis = rng.random(20000)
+        energies = np.full(20000, 5e-3)
+        f = table.sample_factors_many(energies, xis)
+        np.testing.assert_allclose(f.mean(axis=1), 1.0, atol=0.05)

@@ -1,0 +1,96 @@
+"""Tests for Eq. 3 load balancing and the adaptive alpha controller."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.execution.loadbalance import (
+    AdaptiveAlphaController,
+    alpha_split,
+    equal_split,
+)
+
+
+class TestEqualSplit:
+    def test_even(self):
+        assert equal_split(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_to_first(self):
+        assert equal_split(10, 3) == [4, 3, 3]
+
+    def test_single_rank(self):
+        assert equal_split(7, 1) == [7]
+
+    def test_invalid(self):
+        with pytest.raises(ExecutionError):
+            equal_split(10, 0)
+
+
+class TestAlphaSplit:
+    def test_paper_example(self):
+        """Paper §III-B3: 1e7 particles, alpha=0.62 -> (6172840, 3827160)."""
+        n_mic, n_cpu = alpha_split(10_000_000, 1, 1, 0.62)
+        assert n_mic == 6_172_840
+        assert n_cpu == 3_827_160
+
+    def test_total_conserved(self):
+        for alpha in (0.3, 0.62, 1.0, 2.0):
+            for p_mic, p_cpu in [(1, 1), (2, 1), (2, 2), (4, 2)]:
+                n_mic, n_cpu = alpha_split(1_000_003, p_mic, p_cpu, alpha)
+                assert p_mic * n_mic + p_cpu * n_cpu <= 1_000_003
+                # Rounding loses at most p_mic particles.
+                assert p_mic * n_mic + p_cpu * n_cpu > 1_000_003 - p_mic
+
+    def test_alpha_one_is_nearly_equal(self):
+        n_mic, n_cpu = alpha_split(1000, 1, 1, 1.0)
+        assert abs(n_mic - n_cpu) <= 1
+
+    def test_small_alpha_gives_mic_more(self):
+        n_mic, n_cpu = alpha_split(1000, 1, 1, 0.5)
+        assert n_mic > n_cpu
+        assert n_cpu / n_mic == pytest.approx(0.5, abs=0.01)
+
+    def test_no_mics(self):
+        n_mic, n_cpu = alpha_split(1000, 0, 2, 0.62)
+        assert n_mic == 0 and n_cpu == 500
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError):
+            alpha_split(100, 0, 0, 0.5)
+        with pytest.raises(ExecutionError):
+            alpha_split(100, 1, 1, -0.1)
+
+
+class TestAdaptiveAlpha:
+    def test_starts_equal(self):
+        ctrl = AdaptiveAlphaController(p_mic=1, p_cpu=1)
+        n_mic, n_cpu = ctrl.split(1000)
+        assert n_mic == n_cpu == 500
+
+    def test_first_observation_sets_alpha(self):
+        ctrl = AdaptiveAlphaController(p_mic=1, p_cpu=1)
+        a = ctrl.observe(cpu_rate=4050.0, mic_rate=6641.0)
+        assert a == pytest.approx(0.61, abs=0.005)
+
+    def test_split_after_observation(self):
+        ctrl = AdaptiveAlphaController(p_mic=1, p_cpu=1)
+        ctrl.observe(4050.0, 6641.0)
+        n_mic, n_cpu = ctrl.split(100_000)
+        assert n_mic > n_cpu
+        assert n_cpu / n_mic == pytest.approx(0.61, abs=0.01)
+
+    def test_smoothing(self):
+        ctrl = AdaptiveAlphaController(p_mic=1, p_cpu=1, smoothing=0.5)
+        ctrl.observe(1000.0, 1000.0)  # alpha = 1
+        a = ctrl.observe(500.0, 1000.0)  # measured 0.5
+        assert a == pytest.approx(0.75)
+
+    def test_converges_to_true_alpha(self):
+        ctrl = AdaptiveAlphaController(p_mic=1, p_cpu=1, smoothing=0.5)
+        for _ in range(12):
+            ctrl.observe(4050.0, 6641.0)
+        assert ctrl.alpha == pytest.approx(4050 / 6641, rel=1e-6)
+
+    def test_rejects_bad_rates(self):
+        ctrl = AdaptiveAlphaController(p_mic=1, p_cpu=1)
+        with pytest.raises(ExecutionError):
+            ctrl.observe(0.0, 100.0)

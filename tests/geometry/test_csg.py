@@ -1,0 +1,244 @@
+"""Tests for the CSG engine (cells, universes, lattices, boundary box)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import INFINITY
+from repro.errors import GeometryError
+from repro.geometry.csg import (
+    BoundaryBox,
+    Cell,
+    Geometry,
+    Halfspace,
+    RectLattice,
+    Universe,
+)
+from repro.geometry.materials import Material
+from repro.geometry.surfaces import XPlane, ZCylinder, ZPlane
+
+A = Material("A", {"H1": 1.0})
+B = Material("B", {"O16": 1.0})
+
+
+def two_region_universe():
+    cyl = ZCylinder(r=1.0)
+    return Universe(
+        "u",
+        [
+            Cell("in", [Halfspace(cyl, -1)], A),
+            Cell("out", [Halfspace(cyl, +1)], B),
+        ],
+    )
+
+
+class TestHalfspaceAndCell:
+    def test_halfspace_sides(self):
+        cyl = ZCylinder(r=1.0)
+        inside = Halfspace(cyl, -1)
+        assert inside.contains(np.array([0.0, 0, 0]))
+        assert not inside.contains(np.array([2.0, 0, 0]))
+
+    def test_cell_intersection(self):
+        c = Cell(
+            "slab",
+            [Halfspace(XPlane(0.0), +1), Halfspace(XPlane(1.0), -1)],
+            A,
+        )
+        assert c.contains(np.array([0.5, 0, 0]))
+        assert not c.contains(np.array([1.5, 0, 0]))
+        assert not c.contains(np.array([-0.5, 0, 0]))
+
+    def test_empty_region_contains_everything(self):
+        c = Cell("all", [], A)
+        assert c.contains(np.array([1e6, -1e6, 42.0]))
+
+    def test_boundary_distance_min_over_surfaces(self):
+        c = Cell(
+            "slab",
+            [Halfspace(XPlane(0.0), +1), Halfspace(XPlane(1.0), -1)],
+            A,
+        )
+        d = c.boundary_distance(np.array([0.25, 0, 0]), np.array([1.0, 0, 0]))
+        assert d == pytest.approx(0.75)
+
+    def test_boundary_distance_empty_region(self):
+        c = Cell("all", [], A)
+        assert (
+            c.boundary_distance(np.array([0.0, 0, 0]), np.array([1.0, 0, 0]))
+            == INFINITY
+        )
+
+
+class TestUniverse:
+    def test_find_first_match(self):
+        u = two_region_universe()
+        assert u.find(np.array([0.0, 0, 0])).name == "in"
+        assert u.find(np.array([5.0, 0, 0])).name == "out"
+
+    def test_find_none_when_uncovered(self):
+        cyl = ZCylinder(r=1.0)
+        u = Universe("u", [Cell("in", [Halfspace(cyl, -1)], A)])
+        assert u.find(np.array([5.0, 0, 0])) is None
+
+
+class TestRectLattice:
+    def make(self):
+        u = two_region_universe()
+        return RectLattice(
+            "lat",
+            lower_left=(-2.0, -2.0),
+            pitch=(2.0, 2.0),
+            universes=[[u, u], [u, u]],
+        )
+
+    def test_element_indexing(self):
+        lat = self.make()
+        assert lat.element(np.array([-1.5, -1.5, 0])) == (0, 0)
+        assert lat.element(np.array([1.5, 1.5, 0])) == (1, 1)
+        assert lat.element(np.array([0.5, -0.5, 0])) == (1, 0)
+
+    def test_out_of_bounds(self):
+        lat = self.make()
+        ix, iy = lat.element(np.array([5.0, 0, 0]))
+        assert not lat.in_bounds(ix, iy)
+
+    def test_local_point_centered(self):
+        lat = self.make()
+        p = np.array([1.5, 1.5, 3.0])
+        local = lat.local_point(p, 1, 1)
+        np.testing.assert_allclose(local, [0.5, 0.5, 3.0])
+
+    def test_element_boundary_distance(self):
+        lat = self.make()
+        local = np.array([0.5, 0.0, 0.0])
+        d = lat.element_boundary_distance(local, np.array([1.0, 0, 0]))
+        assert d == pytest.approx(0.5)
+        d = lat.element_boundary_distance(local, np.array([-1.0, 0, 0]))
+        assert d == pytest.approx(1.5)
+
+    def test_axial_direction_never_hits_walls(self):
+        lat = self.make()
+        d = lat.element_boundary_distance(
+            np.array([0.0, 0.0, 0.0]), np.array([0.0, 0, 1.0])
+        )
+        assert d == INFINITY
+
+    def test_validation(self):
+        u = two_region_universe()
+        with pytest.raises(GeometryError):
+            RectLattice("bad", (0, 0), (1.0, 1.0), [])
+        with pytest.raises(GeometryError):
+            RectLattice("bad", (0, 0), (0.0, 1.0), [[u]])
+        with pytest.raises(GeometryError):
+            RectLattice("bad", (0, 0), (1.0, 1.0), [[u, u], [u]])
+
+
+class TestBoundaryBox:
+    def box(self, **bc):
+        return BoundaryBox(-1, 1, -1, 1, -1, 1, bc=bc)
+
+    def test_contains(self):
+        b = self.box()
+        assert b.contains(np.array([0.0, 0, 0]))
+        assert not b.contains(np.array([2.0, 0, 0]))
+
+    def test_distance_and_face(self):
+        b = self.box()
+        d, face = b.distance(np.array([0.0, 0, 0]), np.array([1.0, 0, 0]))
+        assert d == pytest.approx(1.0)
+        assert face == "xmax"
+        d, face = b.distance(np.array([0.0, 0, 0]), np.array([0.0, -1.0, 0]))
+        assert face == "ymin"
+
+    def test_reflect(self):
+        b = self.box()
+        u = np.array([0.6, 0.8, 0.0])
+        r = b.reflect(u, "xmax")
+        np.testing.assert_allclose(r, [-0.6, 0.8, 0.0])
+
+    def test_default_bc_vacuum(self):
+        assert self.box().bc["zmin"] == "vacuum"
+
+    def test_bad_bc_rejected(self):
+        with pytest.raises(GeometryError):
+            self.box(xmin="periodic")
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            BoundaryBox(1, -1, -1, 1, -1, 1)
+
+
+class TestGeometryTracking:
+    def make_geometry(self):
+        u = two_region_universe()
+        box = BoundaryBox(-10, 10, -10, 10, -10, 10)
+        return Geometry(u, box)
+
+    def test_locate(self):
+        g = self.make_geometry()
+        loc = g.locate(np.array([0.0, 0, 0]))
+        assert loc.material is A
+        assert loc.cell_path == ("in",)
+
+    def test_locate_outside_box(self):
+        g = self.make_geometry()
+        assert g.locate(np.array([20.0, 0, 0])) is None
+
+    def test_distance_hits_cylinder(self):
+        g = self.make_geometry()
+        d = g.distance_to_boundary(np.array([0.0, 0, 0]), np.array([1.0, 0, 0]))
+        assert d == pytest.approx(1.0)
+
+    def test_distance_caps_at_box(self):
+        g = self.make_geometry()
+        d = g.distance_to_boundary(
+            np.array([5.0, 5.0, 0]), np.array([0.0, 0, 1.0])
+        )
+        assert d == pytest.approx(10.0)
+
+    def test_nested_universe_locate(self):
+        inner = two_region_universe()
+        outer = Universe("outer", [Cell("wrap", [], inner)])
+        g = Geometry(outer, BoundaryBox(-5, 5, -5, 5, -5, 5))
+        loc = g.locate(np.array([0.0, 0, 0]))
+        assert loc.material is A
+        assert loc.cell_path == ("wrap", "in")
+
+    def test_lattice_locate_and_distance(self):
+        u = two_region_universe()
+        lat = RectLattice(
+            "lat", (-2, -2), (2.0, 2.0), [[u, u], [u, u]]
+        )
+        root = Universe("root", [Cell("core", [], lat)])
+        g = Geometry(root, BoundaryBox(-2, 2, -2, 2, -50, 50))
+        # Center of element (0,0) is (-1,-1): inside its unit cylinder.
+        loc = g.locate(np.array([-1.0, -1.0, 0.0]))
+        assert loc.material is A
+        assert "[0,0]" in loc.cell_path
+        # From element center heading +x: cylinder wall at 1.0 (before the
+        # element wall at 1.0 — tie) then water.
+        d = g.distance_to_boundary(np.array([-1.0, -1.0, 0.0]), np.array([1.0, 0, 0]))
+        assert d == pytest.approx(1.0)
+
+    def test_reflective_boundary(self):
+        u = Universe("u", [Cell("all", [], A)])
+        box = BoundaryBox(
+            -1, 1, -1, 1, -1, 1, bc={"xmax": "reflective"}
+        )
+        g = Geometry(u, box)
+        # Particle nudged slightly past the face, as the transport loop does.
+        p = np.array([1.0 + 1e-8, 0.0, 0.0])
+        udir = np.array([1.0, 0.0, 0.0])
+        p2, u2, alive = g.handle_boundary(p, udir)
+        assert alive
+        np.testing.assert_allclose(u2, [-1.0, 0.0, 0.0])
+        # Position is mirrored back across the face plane, inside the box.
+        assert p2[0] < 1.0
+        assert p2[0] == pytest.approx(1.0 - 1e-8)
+
+    def test_vacuum_boundary_kills(self):
+        g = self.make_geometry()
+        p = np.array([10.0, 0.0, 0.0])
+        udir = np.array([1.0, 0.0, 0.0])
+        _, _, alive = g.handle_boundary(p, udir)
+        assert not alive

@@ -1,0 +1,228 @@
+"""Tests for the Hoogenboom-Martin model and the fast analytic tracker."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.hoogenboom import (
+    ACTIVE_HALF_HEIGHT,
+    ASSEMBLY_PITCH,
+    CLAD_RADIUS,
+    CORE_SIZE,
+    FUEL_RADIUS,
+    GUIDE_TUBE_POSITIONS,
+    INSTRUMENT_TUBE,
+    MAT_CLAD,
+    MAT_FUEL,
+    MAT_OUTSIDE,
+    MAT_WATER,
+    N_PINS,
+    PIN_PITCH,
+    FastCoreGeometry,
+    build_hm_geometry,
+    build_pincell_geometry,
+    hm_core_pattern,
+)
+
+
+@pytest.fixture(scope="module")
+def hm():
+    return build_hm_geometry("hm-small")
+
+
+@pytest.fixture(scope="module")
+def fast():
+    return FastCoreGeometry()
+
+
+class TestBenchmarkSpec:
+    def test_241_assemblies(self):
+        assert int(hm_core_pattern().sum()) == 241
+
+    def test_pattern_symmetric(self):
+        pat = hm_core_pattern()
+        np.testing.assert_array_equal(pat, pat[::-1])
+        np.testing.assert_array_equal(pat, pat[:, ::-1])
+        np.testing.assert_array_equal(pat, pat.T)
+
+    def test_24_guide_tubes(self):
+        assert len(GUIDE_TUBE_POSITIONS) == 24
+        assert INSTRUMENT_TUBE not in GUIDE_TUBE_POSITIONS
+
+    def test_assembly_pitch_consistent(self):
+        assert N_PINS * PIN_PITCH == pytest.approx(ASSEMBLY_PITCH)
+
+    def test_active_height(self):
+        assert 2 * ACTIVE_HALF_HEIGHT == pytest.approx(366.0)
+
+
+class TestCSGModel:
+    def test_center_pin_is_guide_tube(self, hm):
+        """The exact core center is the instrumentation tube (water)."""
+        loc = hm.geometry.locate(np.array([0.0, 0.0, 0.0]))
+        assert loc.material is hm.water
+
+    def test_fuel_found_at_offcenter_pin(self, hm):
+        # One pin over from the center of the central assembly.
+        p = np.array([PIN_PITCH, 0.0, 0.0])
+        loc = hm.geometry.locate(p)
+        assert loc.material is hm.fuel
+
+    def test_clad_ring(self, hm):
+        r = 0.5 * (FUEL_RADIUS + CLAD_RADIUS)
+        p = np.array([PIN_PITCH + r, 0.0, 0.0])
+        loc = hm.geometry.locate(p)
+        assert loc.material is hm.cladding
+
+    def test_axial_reflector_is_water(self, hm):
+        p = np.array([0.0, PIN_PITCH, ACTIVE_HALF_HEIGHT + 5.0])
+        loc = hm.geometry.locate(p)
+        assert loc.material is hm.water
+
+    def test_radial_reflector_is_water(self, hm):
+        edge = 0.5 * CORE_SIZE * ASSEMBLY_PITCH - 1.0
+        loc = hm.geometry.locate(np.array([edge, 0.0, 0.0]))
+        assert loc.material is hm.water
+
+    def test_corner_assemblies_absent(self, hm):
+        """The stepped corners of the 241 pattern are water."""
+        # Assembly (0,0) of the 17x17 map is cut; its center:
+        c = -0.5 * 17 * ASSEMBLY_PITCH + 0.5 * ASSEMBLY_PITCH
+        loc = hm.geometry.locate(np.array([c, c, 0.0]))
+        assert loc.material is hm.water
+
+    def test_outside_box(self, hm):
+        assert hm.geometry.locate(np.array([500.0, 0.0, 0.0])) is None
+
+    def test_materials_tuple_order(self, hm):
+        assert hm.materials == (hm.fuel, hm.cladding, hm.water)
+
+
+class TestFastMatchesCSG:
+    N = 1500
+
+    def _ids_via_csg(self, hm, pts):
+        name_to_id = {
+            hm.fuel.name: MAT_FUEL,
+            hm.cladding.name: MAT_CLAD,
+            hm.water.name: MAT_WATER,
+        }
+        out = np.empty(pts.shape[0], dtype=np.int64)
+        for i in range(pts.shape[0]):
+            loc = hm.geometry.locate(pts[i])
+            out[i] = MAT_OUTSIDE if loc is None else name_to_id[loc.material.name]
+        return out
+
+    def test_locate_agreement(self, hm, fast):
+        rng = np.random.default_rng(11)
+        pts = np.column_stack(
+            [
+                rng.uniform(-210, 210, self.N),
+                rng.uniform(-210, 210, self.N),
+                rng.uniform(-210, 210, self.N),
+            ]
+        )
+        np.testing.assert_array_equal(
+            fast.locate_many(pts), self._ids_via_csg(hm, pts)
+        )
+
+    def test_locate_agreement_inside_fuel_assembly(self, hm, fast):
+        """Dense sampling inside the central assembly (fine structure)."""
+        rng = np.random.default_rng(13)
+        pts = np.column_stack(
+            [
+                rng.uniform(-10, 10, self.N),
+                rng.uniform(-10, 10, self.N),
+                rng.uniform(-150, 150, self.N),
+            ]
+        )
+        np.testing.assert_array_equal(
+            fast.locate_many(pts), self._ids_via_csg(hm, pts)
+        )
+
+    def test_distance_never_longer_than_csg(self, hm, fast):
+        """The fast path may add candidate crossings (harmless) but must
+        never miss one the CSG engine finds."""
+        rng = np.random.default_rng(17)
+        n = 300
+        pts = np.column_stack(
+            [
+                rng.uniform(-180, 180, n),
+                rng.uniform(-180, 180, n),
+                rng.uniform(-180, 180, n),
+            ]
+        )
+        dirs = rng.standard_normal((n, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        fd = fast.distance_many(pts, dirs)
+        for i in range(n):
+            dd = hm.geometry.distance_to_boundary(pts[i], dirs[i])
+            assert fd[i] <= dd * (1 + 1e-9) + 1e-9
+
+    def test_distance_lands_on_material_change_or_surface(self, fast):
+        """Moving the returned distance (plus a nudge) never skips a
+        material: material at midpoint of the step equals the start
+        material."""
+        rng = np.random.default_rng(19)
+        n = 500
+        pts = np.column_stack(
+            [
+                rng.uniform(-150, 150, n),
+                rng.uniform(-150, 150, n),
+                rng.uniform(-150, 150, n),
+            ]
+        )
+        dirs = rng.standard_normal((n, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        start = fast.locate_many(pts)
+        d = fast.distance_many(pts, dirs)
+        ok = np.isfinite(d) & (d < 1e25)
+        mid = pts[ok] + 0.5 * d[ok, None] * dirs[ok]
+        mid_ids = fast.locate_many(mid)
+        np.testing.assert_array_equal(mid_ids, start[ok])
+
+    def test_scalar_wrappers(self, fast):
+        p = np.array([PIN_PITCH, 0.0, 0.0])
+        assert fast.locate(p) == MAT_FUEL
+        d = fast.distance(p, np.array([1.0, 0.0, 0.0]))
+        assert d == pytest.approx(FUEL_RADIUS)
+
+
+class TestPincell:
+    def test_all_reflective(self):
+        m = build_pincell_geometry()
+        assert all(v == "reflective" for v in m.geometry.boundary.bc.values())
+
+    def test_regions(self):
+        m = build_pincell_geometry()
+        g = m.geometry
+        assert g.locate(np.array([0.0, 0.0, 0.0])).material is m.fuel
+        r = 0.5 * (FUEL_RADIUS + CLAD_RADIUS)
+        assert g.locate(np.array([r, 0.0, 0.0])).material is m.cladding
+        assert g.locate(np.array([0.6, 0.0, 0.0])).material is m.water
+
+    def test_fast_pincell_agreement(self):
+        m = build_pincell_geometry()
+        fast = FastCoreGeometry(pincell=True)
+        rng = np.random.default_rng(23)
+        half = 0.5 * PIN_PITCH
+        pts = np.column_stack(
+            [
+                rng.uniform(-half, half, 500),
+                rng.uniform(-half, half, 500),
+                rng.uniform(-150, 150, 500),
+            ]
+        )
+        name_to_id = {
+            m.fuel.name: MAT_FUEL,
+            m.cladding.name: MAT_CLAD,
+            m.water.name: MAT_WATER,
+        }
+        expected = np.array(
+            [name_to_id[m.geometry.locate(p).material.name] for p in pts]
+        )
+        np.testing.assert_array_equal(fast.locate_many(pts), expected)
+
+    def test_fast_pincell_distance(self):
+        fast = FastCoreGeometry(pincell=True)
+        d = fast.distance(np.array([0.0, 0.0, 0.0]), np.array([1.0, 0.0, 0.0]))
+        assert d == pytest.approx(FUEL_RADIUS)

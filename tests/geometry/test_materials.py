@@ -1,0 +1,77 @@
+"""Tests for material compositions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.materials import Material, make_cladding, make_fuel, make_water
+
+
+class TestMaterial:
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            Material("empty", {})
+
+    def test_rejects_nonpositive_density(self):
+        with pytest.raises(GeometryError):
+            Material("bad", {"H1": -1.0})
+
+    def test_n_nuclides(self):
+        m = Material("m", {"H1": 1.0, "O16": 0.5})
+        assert m.n_nuclides == 2
+
+    def test_resolve(self, small_library):
+        m = Material("m", {"H1": 0.066, "O16": 0.033})
+        ids, rho = m.resolve(small_library)
+        assert ids.shape == rho.shape == (2,)
+        assert small_library[int(ids[0])].name == "H1"
+        assert rho[0] == pytest.approx(0.066)
+
+    def test_resolve_cached(self, small_library):
+        m = Material("m", {"H1": 0.066})
+        a = m.resolve(small_library)
+        b = m.resolve(small_library)
+        assert a[0] is b[0]
+
+    def test_resolve_missing_nuclide(self, small_library):
+        m = Material("m", {"Unobtainium": 1.0})
+        with pytest.raises(GeometryError):
+            m.resolve(small_library)
+
+
+class TestPresets:
+    def test_fuel_small_census(self):
+        fuel = make_fuel("hm-small")
+        # 34 fuel nuclides + O16 (U235/U238 are part of the 34).
+        assert fuel.n_nuclides == 35
+        assert fuel.densities["U238"] > fuel.densities["U235"]
+
+    def test_fuel_large_census(self):
+        fuel = make_fuel("hm-large")
+        assert fuel.n_nuclides == 321
+
+    def test_fuel_resolves_against_matching_library(
+        self, small_library, large_library
+    ):
+        make_fuel("hm-small").resolve(small_library)
+        make_fuel("hm-large").resolve(large_library)
+
+    def test_water_boron_scaling(self):
+        w0 = make_water(boron_ppm=0.0)
+        w600 = make_water(boron_ppm=600.0)
+        assert "B10" not in w0.densities
+        assert w600.densities["B10"] > 0
+        # Natural abundance split.
+        ratio = w600.densities["B11"] / w600.densities["B10"]
+        assert ratio == pytest.approx(0.801 / 0.199, rel=1e-6)
+
+    def test_water_h_to_o_ratio(self):
+        w = make_water()
+        assert w.densities["H1"] / w.densities["O16"] == pytest.approx(2.0, rel=0.01)
+
+    def test_cladding_natural_zr(self):
+        c = make_cladding()
+        assert c.n_nuclides == 5
+        total = sum(c.densities.values())
+        assert total == pytest.approx(4.3e-2, rel=1e-6)
+        assert max(c.densities, key=c.densities.get) == "Zr90"

@@ -1,0 +1,125 @@
+"""Tests for CSG surface primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import INFINITY
+from repro.geometry.surfaces import XPlane, YPlane, ZPlane, ZCylinder
+
+
+class TestPlanes:
+    def test_evaluate_sides(self):
+        p = ZPlane(5.0)
+        assert p.evaluate(np.array([0.0, 0.0, 6.0])) > 0
+        assert p.evaluate(np.array([0.0, 0.0, 4.0])) < 0
+
+    def test_each_axis(self):
+        pt = np.array([1.0, 2.0, 3.0])
+        assert XPlane(0.0).evaluate(pt) == pytest.approx(1.0)
+        assert YPlane(0.0).evaluate(pt) == pytest.approx(2.0)
+        assert ZPlane(0.0).evaluate(pt) == pytest.approx(3.0)
+
+    def test_distance_toward(self):
+        p = XPlane(10.0)
+        d = p.distance(np.array([0.0, 0, 0]), np.array([1.0, 0, 0]))
+        assert d == pytest.approx(10.0)
+
+    def test_distance_away_is_infinite(self):
+        p = XPlane(10.0)
+        d = p.distance(np.array([0.0, 0, 0]), np.array([-1.0, 0, 0]))
+        assert d == INFINITY
+
+    def test_distance_parallel_is_infinite(self):
+        p = XPlane(10.0)
+        d = p.distance(np.array([0.0, 0, 0]), np.array([0.0, 1.0, 0]))
+        assert d == INFINITY
+
+    def test_distance_oblique(self):
+        p = ZPlane(1.0)
+        u = np.array([0.0, np.sqrt(0.75), 0.5])
+        d = p.distance(np.array([0.0, 0, 0]), u)
+        assert d == pytest.approx(2.0)
+
+    def test_vectorized_matches_scalar(self):
+        p = YPlane(3.0)
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(-5, 5, (50, 3))
+        dirs = rng.standard_normal((50, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        dm = p.distance_many(pts, dirs)
+        em = p.evaluate_many(pts)
+        for i in range(50):
+            assert dm[i] == pytest.approx(p.distance(pts[i], dirs[i]))
+            assert em[i] == pytest.approx(p.evaluate(pts[i]))
+
+
+class TestZCylinder:
+    def test_evaluate(self):
+        c = ZCylinder(r=2.0)
+        assert c.evaluate(np.array([1.0, 0, 0])) < 0
+        assert c.evaluate(np.array([3.0, 0, 0])) > 0
+        assert c.evaluate(np.array([2.0, 0, 0])) == pytest.approx(0.0)
+
+    def test_offset_center(self):
+        c = ZCylinder(r=1.0, x0=5.0, y0=5.0)
+        assert c.evaluate(np.array([5.0, 5.0, -9.0])) < 0
+
+    def test_distance_from_inside(self):
+        c = ZCylinder(r=2.0)
+        d = c.distance(np.array([0.0, 0, 0]), np.array([1.0, 0, 0]))
+        assert d == pytest.approx(2.0)
+
+    def test_distance_from_outside_hits_near_wall(self):
+        c = ZCylinder(r=2.0)
+        d = c.distance(np.array([-5.0, 0, 0]), np.array([1.0, 0, 0]))
+        assert d == pytest.approx(3.0)
+
+    def test_miss_is_infinite(self):
+        c = ZCylinder(r=2.0)
+        d = c.distance(np.array([-5.0, 3.0, 0]), np.array([1.0, 0, 0]))
+        assert d == INFINITY
+
+    def test_axial_ray_never_hits(self):
+        c = ZCylinder(r=2.0)
+        d = c.distance(np.array([0.0, 0, 0]), np.array([0.0, 0, 1.0]))
+        assert d == INFINITY
+
+    def test_distance_with_z_component(self):
+        """A 45-degree ray travels sqrt(2) times the radial distance."""
+        c = ZCylinder(r=1.0)
+        u = np.array([np.sqrt(0.5), 0.0, np.sqrt(0.5)])
+        d = c.distance(np.array([0.0, 0, 0]), u)
+        assert d == pytest.approx(np.sqrt(2.0))
+
+    def test_vectorized_matches_scalar(self):
+        c = ZCylinder(r=1.5, x0=0.3, y0=-0.2)
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(-3, 3, (100, 3))
+        dirs = rng.standard_normal((100, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        dm = c.distance_many(pts, dirs)
+        for i in range(100):
+            scalar = c.distance(pts[i], dirs[i])
+            if scalar == INFINITY:
+                assert dm[i] == INFINITY
+            else:
+                assert dm[i] == pytest.approx(scalar)
+
+    @given(
+        x=st.floats(-3, 3), y=st.floats(-3, 3),
+        ux=st.floats(-1, 1), uy=st.floats(-1, 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_moving_to_crossing_lands_on_surface(self, x, y, ux, uy):
+        norm = np.hypot(ux, uy)
+        if norm < 1e-6:
+            return
+        c = ZCylinder(r=2.0)
+        p = np.array([x, y, 0.0])
+        u = np.array([ux / norm, uy / norm, 0.0])
+        d = c.distance(p, u)
+        if d < INFINITY:
+            landed = p + d * u
+            assert c.evaluate(landed) == pytest.approx(0.0, abs=1e-7)

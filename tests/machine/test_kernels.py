@@ -1,0 +1,140 @@
+"""Tests for the calibrated kernel/transport cost models.
+
+These tests pin the model to the paper's anchor measurements: if a
+calibration constant drifts, the corresponding experiment (and this test)
+breaks.
+"""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.kernels import (
+    TransportCostModel,
+    WorkPerParticle,
+    distance_sampling_time,
+    lookup_rate,
+)
+from repro.machine.presets import JLSE_HOST, MIC_7120A, MIC_SE10P, STAMPEDE_HOST
+from repro.work import WorkCounters
+
+WORK = WorkPerParticle.hm_reference()
+N_NUC_LARGE = 321
+
+
+class TestTableIIIAnchors:
+    def test_host_rate(self):
+        model = TransportCostModel(JLSE_HOST, N_NUC_LARGE, WORK)
+        assert model.calculation_rate(100_000) == pytest.approx(4050, rel=0.05)
+
+    def test_mic_rate(self):
+        model = TransportCostModel(MIC_7120A, N_NUC_LARGE, WORK)
+        assert model.calculation_rate(100_000) == pytest.approx(6641, rel=0.05)
+
+    def test_alpha_jlse(self):
+        h = TransportCostModel(JLSE_HOST, N_NUC_LARGE, WORK)
+        m = TransportCostModel(MIC_7120A, N_NUC_LARGE, WORK)
+        alpha = h.calculation_rate(100_000) / m.calculation_rate(100_000)
+        assert alpha == pytest.approx(0.62, abs=0.02)
+
+    def test_alpha_stampede(self):
+        h = TransportCostModel(STAMPEDE_HOST, N_NUC_LARGE, WORK)
+        m = TransportCostModel(MIC_SE10P, N_NUC_LARGE, WORK)
+        alpha = h.calculation_rate(1_000_000) / m.calculation_rate(1_000_000)
+        assert alpha == pytest.approx(0.42, abs=0.03)
+
+
+class TestFig2Anchor:
+    def test_banked_mic_vs_history_cpu_is_order_10x(self):
+        ratio = lookup_rate(MIC_7120A, "banked", N_NUC_LARGE) / lookup_rate(
+            JLSE_HOST, "history", N_NUC_LARGE
+        )
+        assert 8.0 < ratio < 12.0
+
+    def test_banked_beats_history_on_same_device(self):
+        assert lookup_rate(MIC_7120A, "banked", N_NUC_LARGE) > lookup_rate(
+            MIC_7120A, "history", N_NUC_LARGE
+        )
+
+    def test_fewer_nuclides_faster(self):
+        assert lookup_rate(MIC_7120A, "banked", 35) > lookup_rate(
+            MIC_7120A, "banked", 321
+        )
+
+    def test_unknown_mode(self):
+        with pytest.raises(MachineModelError):
+            lookup_rate(MIC_7120A, "quantum", 35)
+
+
+class TestTableIAnchors:
+    @pytest.mark.parametrize(
+        "device,impl,expected",
+        [
+            (JLSE_HOST, "naive", 412.0),
+            (JLSE_HOST, "optimized1", 40.6),
+            (JLSE_HOST, "optimized2", 36.6),
+            (MIC_7120A, "naive", 8243.0),
+            (MIC_7120A, "optimized1", 21.0),
+            (MIC_7120A, "optimized2", 18.9),
+        ],
+    )
+    def test_table_entries(self, device, impl, expected):
+        t = distance_sampling_time(device, impl)
+        assert t == pytest.approx(expected, rel=0.05)
+
+    def test_unknown_impl(self):
+        with pytest.raises(MachineModelError):
+            distance_sampling_time(JLSE_HOST, "optimized3")
+
+    def test_naive_catastrophic_on_mic(self):
+        """The in-order MIC is >10x slower than the host on scalar code."""
+        ratio = distance_sampling_time(MIC_7120A, "naive") / distance_sampling_time(
+            JLSE_HOST, "naive"
+        )
+        assert ratio > 10
+
+    def test_mic_wins_when_vectorized(self):
+        """Vectorized, the MIC's bandwidth advantage shows."""
+        assert distance_sampling_time(MIC_7120A, "optimized2") < (
+            distance_sampling_time(JLSE_HOST, "optimized2")
+        )
+
+
+class TestTransportCostModel:
+    def test_rate_saturates_with_particles(self):
+        m = TransportCostModel(MIC_7120A, N_NUC_LARGE, WORK)
+        rates = [m.calculation_rate(n) for n in (100, 1_000, 10_000, 100_000)]
+        assert rates == sorted(rates)
+        # Low occupancy hurts badly at 100 particles on 244 threads.
+        assert rates[0] < 0.25 * rates[-1]
+
+    def test_mic_more_occupancy_sensitive_than_host(self):
+        """The 1-MIC strong-scaling tail of Fig. 6: at low particles/node
+        the MIC loses more of its rate than the host."""
+        h = TransportCostModel(JLSE_HOST, N_NUC_LARGE, WORK)
+        m = TransportCostModel(MIC_7120A, N_NUC_LARGE, WORK)
+        drop_h = h.calculation_rate(3_000) / h.calculation_rate(100_000)
+        drop_m = m.calculation_rate(3_000) / m.calculation_rate(100_000)
+        assert drop_m < drop_h
+
+    def test_lookup_fraction_dominant(self):
+        """Fig. 4: the top routines are all cross-section lookups."""
+        m = TransportCostModel(JLSE_HOST, N_NUC_LARGE, WORK)
+        assert m.lookup_fraction() > 0.5
+
+    def test_banked_mode_faster_asymptotically(self):
+        hist = TransportCostModel(MIC_7120A, N_NUC_LARGE, WORK, mode="history")
+        bank = TransportCostModel(MIC_7120A, N_NUC_LARGE, WORK, mode="banked")
+        assert bank.particle_seconds() < hist.particle_seconds()
+
+    def test_work_from_counters(self):
+        c = WorkCounters(lookups=600, flights=600, collisions=170)
+        w = WorkPerParticle.from_counters(c, 10)
+        assert w.lookups == 60.0 and w.collisions == 17.0
+
+    def test_invalid_mode(self):
+        with pytest.raises(MachineModelError):
+            TransportCostModel(JLSE_HOST, 35, WORK, mode="warp")
+
+    def test_batch_time_includes_overhead(self):
+        m = TransportCostModel(MIC_7120A, N_NUC_LARGE, WORK)
+        assert m.batch_time(0) > 0

@@ -1,0 +1,58 @@
+"""Tests for the Table II / Fig. 5 memory models."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.memory import (
+    bank_bytes,
+    energy_grid_bytes,
+    library_nuclides,
+    max_particles,
+    particle_record_bytes,
+    resident_grid_bytes,
+)
+from repro.machine.presets import JLSE_HOST, MIC_7120A, MIC_SE10P
+
+
+class TestTableIIAnchors:
+    def test_bank_small(self):
+        """Table II: 496 MB bank for 1e5 particles, H.M. Small."""
+        assert bank_bytes(100_000, "hm-small") == pytest.approx(496e6, rel=0.02)
+
+    def test_bank_large(self):
+        """Table II: 2.84 GB bank for 1e5 particles, H.M. Large."""
+        assert bank_bytes(100_000, "hm-large") == pytest.approx(2.84e9, rel=0.02)
+
+    def test_grid_small(self):
+        """Table II: 1.31 GB energy grid, H.M. Small."""
+        assert energy_grid_bytes("hm-small") == pytest.approx(1.31e9, rel=0.10)
+
+    def test_grid_large(self):
+        """Table II: 8.37 GB energy grid, H.M. Large."""
+        assert energy_grid_bytes("hm-large") == pytest.approx(8.37e9, rel=0.10)
+
+    def test_record_scales_with_nuclides(self):
+        assert particle_record_bytes("hm-large") > particle_record_bytes("hm-small")
+
+    def test_unknown_model(self):
+        with pytest.raises(MachineModelError):
+            library_nuclides("hm-medium")
+
+
+class TestFig5MemoryLimits:
+    def test_host_limit_bracket(self):
+        """Paper: host runs out between 1e7 and 1e8 particles (H.M. Large)."""
+        limit = max_particles(JLSE_HOST, "hm-large")
+        assert 1e7 < limit < 1e8
+
+    def test_mic16_limit_bracket(self):
+        limit = max_particles(MIC_7120A, "hm-large")
+        assert 1e7 < limit < 1e8
+
+    def test_se10p_limit_bracket(self):
+        """Paper: the 8 GB MIC runs out between 1e6 and 1e7."""
+        limit = max_particles(MIC_SE10P, "hm-large")
+        assert 1e6 < limit < 1e7
+
+    def test_resident_smaller_than_transferred(self):
+        assert resident_grid_bytes("hm-large") < energy_grid_bytes("hm-large")

@@ -1,0 +1,125 @@
+"""Tests for the occupancy model, PCIe link, and roofline helpers."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.occupancy import (
+    batch_overhead_s,
+    occupancy_factor,
+    thread_utilization,
+)
+from repro.machine.pcie import PCIeLink
+from repro.machine.presets import JLSE_HOST, MIC_7120A, PCIE_GEN2_X16
+from repro.machine.roofline import (
+    KernelProfile,
+    compute_time,
+    kernel_time,
+    memory_time,
+)
+
+
+class TestThreadUtilization:
+    def test_exact_multiple_is_full(self):
+        assert thread_utilization(64, 32) == 1.0
+
+    def test_one_extra_item_halves_at_worst(self):
+        # 33 items on 32 threads: two rounds, mostly idle second round.
+        assert thread_utilization(33, 32) == pytest.approx(33 / 64)
+
+    def test_fewer_items_than_threads(self):
+        assert thread_utilization(8, 32) == pytest.approx(0.25)
+
+    def test_zero_items(self):
+        assert thread_utilization(0, 32) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(MachineModelError):
+            thread_utilization(-1, 32)
+
+
+class TestOccupancyFactor:
+    def test_monotone_saturating(self):
+        f = [occupancy_factor(MIC_7120A, n) for n in (244, 2440, 24400, 244000)]
+        assert f == sorted(f)
+        assert f[-1] > 0.95
+
+    def test_mic_needs_more_particles_than_host(self):
+        n = 2_000
+        assert occupancy_factor(MIC_7120A, n) < occupancy_factor(JLSE_HOST, n)
+
+    def test_batch_overhead_larger_on_mic(self):
+        assert batch_overhead_s(MIC_7120A) > batch_overhead_s(JLSE_HOST)
+
+
+class TestPCIe:
+    def test_bank_transfer_table2_small(self):
+        """Table II: 496 MB bank in ~460 ms."""
+        t = PCIE_GEN2_X16.bank_transfer_time(496e6)
+        assert t == pytest.approx(0.46, rel=0.2)
+
+    def test_bank_transfer_table2_large(self):
+        """Table II: 2.84 GB bank in ~2,210 ms."""
+        t = PCIE_GEN2_X16.bank_transfer_time(2.84e9)
+        assert t == pytest.approx(2.21, rel=0.05)
+
+    def test_bulk_five_gb_per_second_rule(self):
+        """Paper: 'approximately 1 second for every 5 GB'."""
+        t = PCIE_GEN2_X16.bulk_transfer_time(5e9)
+        assert t == pytest.approx(1.0, rel=0.05)
+
+    def test_latency_floor(self):
+        assert PCIE_GEN2_X16.bank_transfer_time(0) == pytest.approx(
+            PCIE_GEN2_X16.latency_s
+        )
+
+    def test_validation(self):
+        with pytest.raises(MachineModelError):
+            PCIeLink(latency_s=-1, bank_bandwidth_gbps=1, bulk_bandwidth_gbps=1)
+        with pytest.raises(MachineModelError):
+            PCIeLink(latency_s=0, bank_bandwidth_gbps=0, bulk_bandwidth_gbps=1)
+
+
+class TestRoofline:
+    def make_profile(self, **kw):
+        defaults = dict(
+            name="k", flops_per_item=10.0, bytes_per_item=80.0,
+            vector_fraction=0.9, gather_fraction=0.5,
+        )
+        defaults.update(kw)
+        return KernelProfile(**defaults)
+
+    def test_kernel_time_is_max(self):
+        p = self.make_profile()
+        n = 1e6
+        t = kernel_time(MIC_7120A, p, n)
+        assert t == max(
+            compute_time(MIC_7120A, p, n), memory_time(MIC_7120A, p, n)
+        )
+
+    def test_memory_bound_kernel(self):
+        """80 B / 10 flops is far below any machine balance point."""
+        p = self.make_profile()
+        n = 1e6
+        assert memory_time(MIC_7120A, p, n) > compute_time(MIC_7120A, p, n)
+
+    def test_scalar_code_punishes_mic(self):
+        """An unvectorized compute kernel runs slower on the in-order MIC
+        than on the host despite the MIC's higher peak."""
+        p = self.make_profile(
+            flops_per_item=1000.0, bytes_per_item=8.0, vector_fraction=0.0,
+            gather_fraction=0.0,
+        )
+        assert compute_time(MIC_7120A, p, 1e6) > compute_time(JLSE_HOST, p, 1e6)
+
+    def test_vector_code_favors_mic(self):
+        p = self.make_profile(
+            flops_per_item=1000.0, bytes_per_item=8.0, vector_fraction=1.0,
+            gather_fraction=0.0,
+        )
+        assert compute_time(MIC_7120A, p, 1e6) < compute_time(JLSE_HOST, p, 1e6)
+
+    def test_profile_validation(self):
+        with pytest.raises(MachineModelError):
+            self.make_profile(vector_fraction=1.5)
+        with pytest.raises(MachineModelError):
+            self.make_profile(flops_per_item=-1.0)

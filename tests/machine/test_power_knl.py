@@ -1,0 +1,99 @@
+"""Tests for the §V extensions: energy model and Knights Landing projection."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.knl import KNL_PROJECTED, knl_projection
+from repro.machine.power import (
+    POWER_MODELS,
+    PowerModel,
+    energy_per_particle,
+    power_model_for,
+)
+from repro.machine.presets import JLSE_HOST, MIC_7120A, MIC_SE10P, STAMPEDE_HOST
+
+
+class TestPowerModel:
+    def test_draw_interpolates(self):
+        pm = PowerModel("x", idle_w=100.0, max_w=300.0)
+        assert pm.draw_w(0.0) == 100.0
+        assert pm.draw_w(1.0) == 300.0
+        assert pm.draw_w(0.5) == 200.0
+
+    def test_energy(self):
+        pm = PowerModel("x", idle_w=100.0, max_w=300.0)
+        assert pm.energy_j(10.0, 1.0) == pytest.approx(3000.0)
+
+    def test_validation(self):
+        with pytest.raises(MachineModelError):
+            PowerModel("x", idle_w=300.0, max_w=100.0)
+        pm = PowerModel("x", idle_w=1.0, max_w=2.0)
+        with pytest.raises(MachineModelError):
+            pm.draw_w(1.5)
+
+    def test_all_presets_have_models(self):
+        for dev in (JLSE_HOST, MIC_7120A, STAMPEDE_HOST, MIC_SE10P):
+            pm = power_model_for(dev)
+            assert pm.max_w > pm.idle_w > 0
+
+    def test_unknown_device(self):
+        with pytest.raises(MachineModelError):
+            power_model_for(KNL_PROJECTED)
+
+    def test_mic_tdp_spec_sheet(self):
+        assert POWER_MODELS["xeon-phi-7120a"].max_w == 300.0
+
+
+class TestEnergyPerParticle:
+    def test_mic_more_efficient_at_scale(self):
+        """Paper §V: 'host-attached devices show excellent performance per
+        watt' — true at high occupancy."""
+        e_host = energy_per_particle(JLSE_HOST, "hm-large", 100_000)
+        e_mic = energy_per_particle(MIC_7120A, "hm-large", 100_000)
+        assert e_mic < e_host
+
+    def test_mic_advantage_shrinks_at_low_occupancy(self):
+        """The flip side: at small batches the MIC burns idle watts."""
+        adv_big = energy_per_particle(
+            JLSE_HOST, "hm-large", 100_000
+        ) / energy_per_particle(MIC_7120A, "hm-large", 100_000)
+        adv_small = energy_per_particle(
+            JLSE_HOST, "hm-large", 500
+        ) / energy_per_particle(MIC_7120A, "hm-large", 500)
+        assert adv_small < adv_big
+
+    def test_positive_and_finite(self):
+        for n in (100, 10_000, 1_000_000):
+            e = energy_per_particle(MIC_7120A, "hm-large", n)
+            assert 0 < e < 100
+
+    def test_validation(self):
+        with pytest.raises(MachineModelError):
+            energy_per_particle(JLSE_HOST, "hm-large", 0)
+
+
+class TestKNL:
+    def test_spec_matches_paper_description(self):
+        """§V: up to 72 cores, OoO, 16 GB on-package."""
+        assert KNL_PROJECTED.cores == 72
+        assert KNL_PROJECTED.out_of_order
+        assert KNL_PROJECTED.mem_gb == 16.0
+        assert KNL_PROJECTED.vector_bits == 512
+
+    def test_single_thread_speedup_about_3x(self):
+        """The paper's projection: '~3x single thread speedup over
+        Knights Corner'."""
+        proj = knl_projection()
+        assert proj["single_thread_speedup"] == pytest.approx(3.0, abs=0.6)
+
+    def test_knl_beats_knc(self):
+        proj = knl_projection()
+        assert proj["rate_knl"] > 2 * proj["rate_knc"]
+
+    def test_knl_beats_host(self):
+        proj = knl_projection()
+        assert proj["knl_vs_jlse_host"] > 2.0
+
+    def test_custom_workload(self):
+        proj = knl_projection(model="hm-small", n_particles=10_000)
+        assert proj["rate_knl"] > proj["rate_knc"]

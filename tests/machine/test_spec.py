@@ -1,0 +1,71 @@
+"""Tests for device specifications."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.presets import JLSE_HOST, MIC_7120A, MIC_SE10P, STAMPEDE_HOST
+from repro.machine.spec import DeviceSpec
+
+
+class TestDeviceSpec:
+    def test_threads(self):
+        assert JLSE_HOST.threads == 32
+        assert MIC_7120A.threads == 244
+
+    def test_vector_lanes(self):
+        assert MIC_7120A.vector_lanes("f32") == 16
+        assert MIC_7120A.vector_lanes("f64") == 8
+        assert JLSE_HOST.vector_lanes("f32") == 8
+        assert JLSE_HOST.vector_lanes("f64") == 4
+
+    def test_unknown_precision(self):
+        with pytest.raises(MachineModelError):
+            MIC_7120A.vector_lanes("f16")
+
+    def test_peak_flops_mic_spec_sheet(self):
+        """Xeon Phi 7120: ~2.4 TF single, ~1.2 TF double."""
+        assert MIC_7120A.peak_vector_flops("f32") == pytest.approx(2.42e12, rel=0.01)
+        assert MIC_7120A.peak_vector_flops("f64") == pytest.approx(1.21e12, rel=0.01)
+
+    def test_in_order_scalar_penalty(self):
+        """In-order cores sustain far fewer scalar ops per cycle-core."""
+        mic_per_core = MIC_7120A.peak_scalar_ops() / (
+            MIC_7120A.cores * MIC_7120A.clock_ghz * 1e9
+        )
+        host_per_core = JLSE_HOST.peak_scalar_ops() / (
+            JLSE_HOST.cores * JLSE_HOST.clock_ghz * 1e9
+        )
+        assert mic_per_core < host_per_core
+
+    def test_effective_bandwidth_degrades_with_gathers(self):
+        full = MIC_7120A.effective_bandwidth(0.0)
+        gathered = MIC_7120A.effective_bandwidth(1.0)
+        assert gathered == pytest.approx(full * MIC_7120A.gather_efficiency)
+        assert MIC_7120A.effective_bandwidth(0.5) == pytest.approx(
+            0.5 * (full + gathered)
+        )
+
+    def test_gather_fraction_validated(self):
+        with pytest.raises(MachineModelError):
+            JLSE_HOST.effective_bandwidth(1.5)
+
+    def test_validation(self):
+        with pytest.raises(MachineModelError):
+            DeviceSpec(
+                name="bad", cores=0, threads_per_core=1, clock_ghz=1.0,
+                vector_bits=256, dram_bw_gbps=10.0, mem_gb=1.0,
+                out_of_order=True,
+            )
+        with pytest.raises(MachineModelError):
+            DeviceSpec(
+                name="bad", cores=1, threads_per_core=1, clock_ghz=1.0,
+                vector_bits=333, dram_bw_gbps=10.0, mem_gb=1.0,
+                out_of_order=True,
+            )
+
+    def test_paper_configurations(self):
+        """The presets match the paper's hardware descriptions."""
+        assert MIC_7120A.cores == 61 and MIC_7120A.clock_ghz == 1.238
+        assert MIC_SE10P.cores == 61 and MIC_SE10P.clock_ghz == 1.1
+        assert MIC_SE10P.mem_gb == 8.0 and MIC_7120A.mem_gb == 16.0
+        assert STAMPEDE_HOST.clock_ghz < JLSE_HOST.clock_ghz

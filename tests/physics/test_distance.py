@@ -1,0 +1,91 @@
+"""Tests for collision-distance sampling (Algorithms 3 and 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PhysicsError
+from repro.physics.distance import (
+    sample_distance_from_uniforms,
+    sample_distance_naive,
+    sample_distance_optimized1,
+    sample_distance_optimized2,
+)
+from repro.work import WorkCounters
+
+
+@pytest.fixture()
+def sigma():
+    return np.random.default_rng(0).uniform(0.2, 3.0, 64)
+
+
+class TestReference:
+    def test_formula(self):
+        xi = np.array([np.exp(-1.0)])
+        st_ = np.array([2.0])
+        d = sample_distance_from_uniforms(xi, st_)
+        assert d[0] == pytest.approx(0.5)
+
+    @given(xi=st.floats(min_value=1e-10, max_value=1 - 1e-12),
+           sig=st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_positive(self, xi, sig):
+        d = sample_distance_from_uniforms(np.array([xi]), np.array([sig]))
+        assert d[0] >= 0
+
+
+class TestImplementationsAgree:
+    """All three implementations draw from the same master sequence, so a
+    single iteration produces identical distances."""
+
+    def test_naive_vs_opt1_single_stream(self, sigma):
+        d_naive = sample_distance_naive(sigma, 1, seed=9)
+        d_opt1 = sample_distance_optimized1(sigma, 1, nstreams=1, seed=9)
+        np.testing.assert_allclose(d_naive, d_opt1, rtol=1e-12)
+
+    def test_opt1_vs_opt2(self, sigma):
+        d1 = sample_distance_optimized1(sigma, 4, nstreams=4, seed=9)
+        d2 = sample_distance_optimized2(sigma, 4, nstreams=4, seed=9)
+        np.testing.assert_allclose(d1, d2, rtol=1e-12)
+
+    def test_opt2_f32_close(self, sigma):
+        d1 = sample_distance_optimized1(sigma, 2, nstreams=4, seed=9)
+        d2 = sample_distance_optimized2(sigma, 2, nstreams=4, seed=9, use_f32=True)
+        np.testing.assert_allclose(d1, d2, rtol=1e-5)
+
+    def test_blocking_does_not_change_results(self, sigma):
+        a = sample_distance_optimized2(sigma, 2, nstreams=4, seed=9, block=8)
+        b = sample_distance_optimized2(sigma, 2, nstreams=4, seed=9, block=10_000)
+        np.testing.assert_allclose(a, b, rtol=1e-14)
+
+
+class TestStatistics:
+    def test_exponential_mean(self):
+        """d ~ Exp(sigma): mean = 1/sigma."""
+        sigma = np.full(20_000, 2.0)
+        d = sample_distance_optimized1(sigma, 1, nstreams=4, seed=3)
+        assert d.mean() == pytest.approx(0.5, rel=0.05)
+
+    def test_all_positive(self, sigma):
+        d = sample_distance_optimized2(sigma, 3, nstreams=4, seed=1)
+        assert np.all(d > 0)
+
+
+class TestValidationAndCounters:
+    def test_divisibility_check(self, sigma):
+        with pytest.raises(PhysicsError):
+            sample_distance_optimized1(sigma[:10], 1, nstreams=3)
+        with pytest.raises(PhysicsError):
+            sample_distance_optimized2(sigma[:10], 1, nstreams=3)
+
+    def test_counters(self, sigma):
+        c = WorkCounters()
+        sample_distance_optimized1(sigma, 5, nstreams=4, seed=1, counters=c)
+        assert c.rn_draws == sigma.size * 5
+        assert c.flights == sigma.size * 5
+
+    def test_naive_counters(self, sigma):
+        c = WorkCounters()
+        sample_distance_naive(sigma[:8], 2, counters=c)
+        assert c.rn_draws == 16

@@ -1,0 +1,201 @@
+"""Tests for fission sampling, collision channel selection, free-gas thermal."""
+
+import numpy as np
+import pytest
+
+from repro.constants import K_BOLTZMANN
+from repro.physics.collision import (
+    sample_nuclide,
+    sample_nuclide_many,
+    select_channel,
+    select_channel_many,
+)
+from repro.physics.fission import (
+    sample_nu,
+    sample_nu_many,
+    watt_spectrum,
+    watt_spectrum_many,
+)
+from repro.physics.macroxs import MacroXS
+from repro.physics.thermal import free_gas_scatter, free_gas_scatter_many
+from repro.rng.lcg import RandomStream, particle_seeds
+from repro.types import CollisionChannel
+
+
+class TestSampleNu:
+    def test_integer_part_always_banked(self):
+        assert sample_nu(2.0, 1.0, 0.999) == 2
+        assert sample_nu(2.0, 1.0, 0.0) == 2
+
+    def test_fractional_bernoulli(self):
+        assert sample_nu(2.4, 1.0, 0.3) == 3  # 0.3 < 0.4
+        assert sample_nu(2.4, 1.0, 0.5) == 2
+
+    def test_k_normalization(self):
+        # nu/k = 2.4/1.2 = 2.0
+        assert sample_nu(2.4, 1.2, 0.9) == 2
+
+    def test_expectation(self):
+        rng = np.random.default_rng(0)
+        xi = rng.random(50_000)
+        n = sample_nu_many(np.full(50_000, 2.43), 1.0, xi)
+        assert n.mean() == pytest.approx(2.43, abs=0.01)
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        nus = rng.uniform(1.5, 3.5, 100)
+        xi = rng.random(100)
+        many = sample_nu_many(nus, 1.1, xi)
+        for j in range(100):
+            assert many[j] == sample_nu(nus[j], 1.1, xi[j])
+
+
+class TestWattSpectrum:
+    def test_scalar_positive(self):
+        s = RandomStream(seed=3)
+        for _ in range(100):
+            assert watt_spectrum(0.988, 2.249, s) > 0
+
+    def test_mean_about_2mev(self):
+        """Watt(a=0.988, b=2.249) has mean a(3/2 + a b/4) ~ 2.03 MeV."""
+        s = RandomStream(seed=3)
+        samples = np.array([watt_spectrum(0.988, 2.249, s) for _ in range(20_000)])
+        expected = 0.988 * (1.5 + 0.988 * 2.249 / 4.0)
+        assert samples.mean() == pytest.approx(expected, rel=0.03)
+
+    def test_vectorized_matches_scalar_streams(self):
+        """Per-particle streams advance identically in both samplers."""
+        ids = np.arange(50, dtype=np.uint64)
+        states = particle_seeds(11, ids)
+        energies, new_states = watt_spectrum_many(0.988, 2.249, states)
+        for j in range(50):
+            s = RandomStream(seed=int(states[j]))
+            e = watt_spectrum(0.988, 2.249, s)
+            assert energies[j] == pytest.approx(e, rel=1e-12)
+            assert new_states[j] == s.seed
+
+    def test_input_states_not_modified(self):
+        states = particle_seeds(1, np.arange(5, dtype=np.uint64))
+        before = states.copy()
+        watt_spectrum_many(0.988, 2.249, states)
+        np.testing.assert_array_equal(states, before)
+
+
+class TestChannelSelection:
+    def make_xs(self):
+        return MacroXS(total=1.0, elastic=0.5, capture=0.3, fission=0.2)
+
+    def test_regions(self):
+        xs = self.make_xs()
+        assert select_channel(xs, 0.1) == CollisionChannel.FISSION
+        assert select_channel(xs, 0.3) == CollisionChannel.CAPTURE
+        assert select_channel(xs, 0.7) == CollisionChannel.SCATTER
+
+    def test_boundaries(self):
+        xs = self.make_xs()
+        assert select_channel(xs, 0.2) == CollisionChannel.CAPTURE
+        assert select_channel(xs, 0.5) == CollisionChannel.SCATTER
+
+    def test_vectorized_matches_scalar(self):
+        xs = self.make_xs()
+        xi = np.linspace(0, 0.999, 101)
+        many = select_channel_many(
+            np.full(101, xs.total),
+            np.full(101, xs.capture),
+            np.full(101, xs.fission),
+            xi,
+        )
+        for j in range(101):
+            assert many[j] == int(select_channel(xs, xi[j]))
+
+    def test_probabilities(self):
+        rng = np.random.default_rng(2)
+        xi = rng.random(100_000)
+        many = select_channel_many(
+            np.ones(100_000), np.full(100_000, 0.3), np.full(100_000, 0.2), xi
+        )
+        assert np.mean(many == int(CollisionChannel.FISSION)) == pytest.approx(
+            0.2, abs=0.01
+        )
+        assert np.mean(many == int(CollisionChannel.CAPTURE)) == pytest.approx(
+            0.3, abs=0.01
+        )
+
+
+class TestNuclideSampling:
+    def test_scalar_regions(self):
+        w = np.array([1.0, 3.0, 6.0])
+        assert sample_nuclide(w, 0.05) == 0
+        assert sample_nuclide(w, 0.2) == 1
+        assert sample_nuclide(w, 0.9) == 2
+
+    def test_vectorized_statistics(self):
+        w = np.tile(np.array([[1.0], [3.0], [6.0]]), (1, 50_000))
+        states = particle_seeds(5, np.arange(50_000, dtype=np.uint64))
+        idx, new_states = sample_nuclide_many(w, states)
+        assert np.mean(idx == 2) == pytest.approx(0.6, abs=0.01)
+        assert np.mean(idx == 0) == pytest.approx(0.1, abs=0.01)
+        assert not np.array_equal(new_states, states)
+
+
+class TestFreeGas:
+    def test_scalar_output_valid(self):
+        s = RandomStream(seed=7)
+        e, d = free_gas_scatter(1e-8, np.array([1.0, 0, 0]), 16.0, 293.6, s)
+        assert e > 0
+        assert np.linalg.norm(d) == pytest.approx(1.0)
+
+    def test_vectorized_matches_scalar_draws(self):
+        """With the same seven uniforms, both paths compute the same
+        kinematics."""
+        ids = np.arange(20, dtype=np.uint64)
+        states = particle_seeds(3, ids)
+        from repro.rng.lcg import prn_array
+
+        xi = np.empty((20, 7))
+        s = states.copy()
+        for c in range(7):
+            s, xi[:, c] = prn_array(s)
+        dirs = np.tile(np.array([0.0, 0.0, 1.0]), (20, 1))
+        e_many, d_many = free_gas_scatter_many(
+            np.full(20, 1e-8), dirs, 16.0, 293.6, xi
+        )
+        for j in range(5):
+            stream = RandomStream(seed=int(states[j]))
+            e_s, d_s = free_gas_scatter(
+                1e-8, np.array([0.0, 0.0, 1.0]), 16.0, 293.6, stream
+            )
+            assert e_many[j] == pytest.approx(e_s, rel=1e-10)
+            np.testing.assert_allclose(d_many[j], d_s, rtol=1e-8)
+
+    def test_upscatter_at_cold_energies(self):
+        """A neutron far below kT gains energy on average (detailed
+        balance drives it toward the Maxwellian)."""
+        rng = np.random.default_rng(8)
+        xi = rng.random((20_000, 7))
+        dirs = np.tile(np.array([0.0, 0.0, 1.0]), (20_000, 1))
+        kt = K_BOLTZMANN * 293.6
+        e_in = kt / 100.0
+        e_out, _ = free_gas_scatter_many(np.full(20_000, e_in), dirs, 1.0, 293.6, xi)
+        assert e_out.mean() > e_in
+
+    def test_downscatter_at_hot_energies(self):
+        rng = np.random.default_rng(9)
+        xi = rng.random((20_000, 7))
+        dirs = np.tile(np.array([0.0, 0.0, 1.0]), (20_000, 1))
+        kt = K_BOLTZMANN * 293.6
+        e_in = 100.0 * kt
+        e_out, _ = free_gas_scatter_many(np.full(20_000, e_in), dirs, 1.0, 293.6, xi)
+        assert e_out.mean() < e_in
+
+    def test_equilibrium_spectrum(self):
+        """Iterated free-gas scattering relaxes toward <E> = 3/2 kT."""
+        rng = np.random.default_rng(10)
+        kt = K_BOLTZMANN * 293.6
+        n = 5_000
+        e = np.full(n, 50 * kt)
+        dirs = np.tile(np.array([0.0, 0.0, 1.0]), (n, 1))
+        for _ in range(25):
+            xi = rng.random((n, 7))
+            e, dirs = free_gas_scatter_many(e, dirs, 1.0, 293.6, xi)
+        assert e.mean() == pytest.approx(1.5 * kt, rel=0.15)

@@ -1,0 +1,182 @@
+"""Tests for the macroscopic cross-section kernel (Algorithm 1 variants)."""
+
+import numpy as np
+import pytest
+
+from repro.data.unionized import UnionizedGrid
+from repro.errors import PhysicsError
+from repro.geometry.materials import make_fuel, make_water
+from repro.physics.macroxs import XSCalculator
+from repro.rng.lcg import RandomStream, particle_seeds
+from repro.types import Reaction
+from repro.work import WorkCounters
+
+
+@pytest.fixture(scope="module")
+def calc(small_library, small_union):
+    return XSCalculator(small_library, small_union)
+
+
+@pytest.fixture(scope="module")
+def fuel():
+    return make_fuel("hm-small")
+
+
+@pytest.fixture(scope="module")
+def water():
+    return make_water()
+
+
+class TestScalar:
+    def test_components_sum(self, calc, fuel):
+        xs = calc.scalar(fuel, 1e-3, RandomStream(seed=1))
+        assert xs.total == pytest.approx(
+            xs.elastic + xs.capture + xs.fission, rel=1e-12
+        )
+        assert xs.absorption == pytest.approx(xs.capture + xs.fission)
+
+    def test_positive(self, calc, fuel, water):
+        for mat in (fuel, water):
+            for e in (1e-9, 1e-6, 1e-3, 1.0, 10.0):
+                xs = calc.scalar(mat, e, RandomStream(seed=1))
+                assert xs.total > 0
+
+    def test_water_has_no_fission(self, calc, water):
+        xs = calc.scalar(water, 1e-6, RandomStream(seed=1))
+        assert xs.fission == 0.0
+        assert xs.nu_fission == 0.0
+
+    def test_fuel_nu_fission(self, calc, fuel):
+        xs = calc.scalar(fuel, 2.53e-8, RandomStream(seed=1))
+        assert xs.nu_fission > 2.0 * xs.fission  # nu ~ 2.4
+
+    def test_counters(self, calc, fuel):
+        c = WorkCounters()
+        calc.scalar(fuel, 1e-3, RandomStream(seed=1), c)
+        assert c.lookups == 1
+        assert c.nuclide_iterations == fuel.n_nuclides
+        assert c.grid_searches == 1  # unionized
+        assert c.bytes_read > 0
+
+    def test_counters_without_union(self, small_library, fuel):
+        calc = XSCalculator(small_library, None)
+        c = WorkCounters()
+        calc.scalar(fuel, 1e-3, RandomStream(seed=1), c)
+        assert c.grid_searches == fuel.n_nuclides  # per-nuclide searches
+
+    def test_per_nuclide_output(self, calc, fuel):
+        out = np.empty(fuel.n_nuclides)
+        xs = calc.scalar(fuel, 1e-3, RandomStream(seed=1), per_nuclide_total=out)
+        assert out.sum() == pytest.approx(xs.total, rel=1e-12)
+
+    def test_urr_sampling_randomizes(self, small_library, small_union, fuel):
+        """Inside the URR, different stream states give different totals."""
+        calc = XSCalculator(small_library, small_union, use_urr=True)
+        e_urr = 0.5 * (
+            small_library["U238"].urr_emin + small_library["U238"].urr_emax
+        )
+        a = calc.scalar(fuel, e_urr, RandomStream(seed=1)).total
+        b = calc.scalar(fuel, e_urr, RandomStream(seed=999)).total
+        assert a != b
+
+    def test_urr_off_deterministic(self, small_library, small_union, fuel):
+        calc = XSCalculator(small_library, small_union, use_urr=False)
+        e_urr = 1e-2
+        a = calc.scalar(fuel, e_urr, RandomStream(seed=1)).total
+        b = calc.scalar(fuel, e_urr, RandomStream(seed=999)).total
+        assert a == b
+
+    def test_sab_raises_thermal_scatter(self, small_library, small_union, water):
+        with_sab = XSCalculator(small_library, small_union, use_sab=True)
+        without = XSCalculator(small_library, small_union, use_sab=False)
+        e = 1e-9
+        a = with_sab.scalar(water, e, RandomStream(seed=1)).elastic
+        b = without.scalar(water, e, RandomStream(seed=1)).elastic
+        assert a > b
+
+
+class TestBanked:
+    def test_matches_scalar_with_urr_streams(self, calc, fuel):
+        n = 100
+        rng = np.random.default_rng(5)
+        energies = np.exp(rng.uniform(np.log(1e-10), np.log(15.0), n))
+        states = particle_seeds(1, np.arange(n, dtype=np.uint64)).copy()
+        res = calc.banked(fuel, energies, rng_states=states)
+        for j in range(0, n, 7):
+            st = RandomStream(
+                seed=int(particle_seeds(1, np.array([j], dtype=np.uint64))[0])
+            )
+            xs = calc.scalar(fuel, float(energies[j]), st)
+            assert res["total"][j] == pytest.approx(xs.total, rel=1e-12)
+            assert res["nu_fission"][j] == pytest.approx(xs.nu_fission, rel=1e-12)
+
+    def test_requires_states_for_urr(self, calc, fuel, small_library):
+        e_urr = np.array([1e-2])
+        with pytest.raises(PhysicsError):
+            calc.banked(fuel, e_urr, rng_states=None)
+
+    def test_no_states_needed_without_urr(self, small_library, small_union, fuel):
+        calc = XSCalculator(small_library, small_union, use_urr=False)
+        res = calc.banked(fuel, np.array([1e-2, 1e-3]))
+        assert res["total"].shape == (2,)
+
+    def test_counters_scale(self, small_library, small_union, fuel):
+        calc = XSCalculator(small_library, small_union, use_urr=False)
+        c = WorkCounters()
+        calc.banked(fuel, np.geomspace(1e-9, 1.0, 50), counters=c)
+        assert c.lookups == 50
+        assert c.nuclide_iterations == 50 * fuel.n_nuclides
+
+    def test_aos_layout_matches_soa(self, small_library, small_union, fuel):
+        soa = XSCalculator(small_library, small_union, use_urr=False)
+        aos = XSCalculator(small_library, small_union, use_urr=False, layout="aos")
+        energies = np.geomspace(1e-9, 1.0, 30)
+        np.testing.assert_allclose(
+            soa.banked(fuel, energies)["total"],
+            aos.banked(fuel, energies)["total"],
+            rtol=1e-13,
+        )
+
+    def test_invalid_layout(self, small_library):
+        with pytest.raises(PhysicsError):
+            XSCalculator(small_library, layout="csr")
+
+
+class TestBankedOuter:
+    def test_matches_inner(self, small_library, small_union, fuel):
+        calc = XSCalculator(
+            small_library, small_union, use_sab=False, use_urr=False
+        )
+        energies = np.geomspace(1e-9, 1.0, 25)
+        outer = calc.banked_outer(fuel, energies)
+        inner = calc.banked(fuel, energies)["total"]
+        np.testing.assert_allclose(outer, inner, rtol=1e-12)
+
+    def test_requires_union(self, small_library, fuel):
+        calc = XSCalculator(small_library, None)
+        with pytest.raises(PhysicsError):
+            calc.banked_outer(fuel, np.array([1e-3]))
+
+
+class TestAttribution:
+    def test_weights_shape_and_sign(self, calc, fuel):
+        energies = np.geomspace(1e-9, 1.0, 10)
+        w = calc.attribution_weights(fuel, energies, Reaction.ELASTIC)
+        assert w.shape == (fuel.n_nuclides, 10)
+        assert np.all(w >= 0)
+
+    def test_fission_weights_only_actinides(self, calc, fuel, small_library):
+        ids, _ = fuel.resolve(small_library)
+        w = calc.attribution_weights(fuel, np.array([2.53e-8]), Reaction.FISSION)
+        for k in range(len(ids)):
+            if w[k, 0] > 0:
+                assert small_library[int(ids[k])].fissionable
+
+    def test_sab_in_elastic_attribution(self, calc, water, small_library):
+        """Below the S(a,b) cutoff, hydrogen's weight uses the bound XS."""
+        ids, rho = water.resolve(small_library)
+        h_pos = [k for k in range(len(ids)) if small_library[int(ids[k])].name == "H1"][0]
+        w = calc.attribution_weights(water, np.array([1e-9]), Reaction.ELASTIC)
+        sab = small_library.sab["H1"]
+        expected = rho[h_pos] * sab.thermal_xs(1e-9)
+        assert w[h_pos, 0] == pytest.approx(float(expected), rel=1e-12)

@@ -1,0 +1,137 @@
+"""Tests for elastic kinematics and direction sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.scattering import (
+    elastic_scatter,
+    elastic_scatter_many,
+    isotropic_direction,
+    isotropic_direction_many,
+    rotate_direction,
+    rotate_direction_many,
+)
+
+
+class TestElasticScatter:
+    def test_energy_bounds(self):
+        """alpha E <= E' <= E with alpha = ((A-1)/(A+1))^2."""
+        a = 238.0
+        alpha = ((a - 1) / (a + 1)) ** 2
+        for xi in (0.0, 0.3, 0.9, 1.0):
+            e_out, _ = elastic_scatter(1.0, a, xi)
+            assert alpha - 1e-12 <= e_out <= 1.0 + 1e-12
+
+    def test_hydrogen_full_moderation(self):
+        """Off A=1, backscatter (mu_c=-1) stops the neutron."""
+        e_out, _ = elastic_scatter(1.0, 1.0, 0.0)
+        assert e_out == pytest.approx(0.0, abs=1e-12)
+
+    def test_forward_scatter_no_loss(self):
+        e_out, mu = elastic_scatter(1.0, 12.0, 1.0)  # mu_c = +1
+        assert e_out == pytest.approx(1.0)
+        assert mu == pytest.approx(1.0)
+
+    def test_heavy_target_small_loss(self):
+        e_out, _ = elastic_scatter(1.0, 238.0, 0.0)
+        assert e_out > 0.98
+
+    def test_lab_cosine_valid(self):
+        for a in (1.0, 16.0, 238.0):
+            for xi in np.linspace(0, 1, 11):
+                _, mu = elastic_scatter(1.0, a, xi)
+                assert -1.0 - 1e-12 <= mu <= 1.0 + 1e-12
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        e = rng.uniform(0.01, 10, 50)
+        awr = rng.uniform(1, 240, 50)
+        xi = rng.random(50)
+        e_v, mu_v = elastic_scatter_many(e, awr, xi)
+        for j in range(50):
+            e_s, mu_s = elastic_scatter(e[j], awr[j], xi[j])
+            assert e_v[j] == pytest.approx(e_s)
+            assert mu_v[j] == pytest.approx(mu_s)
+
+    def test_mean_energy_loss_hydrogen(self):
+        """<E'/E> = (1 + alpha)/2 = 0.5 for hydrogen."""
+        xi = np.random.default_rng(3).random(20_000)
+        e_out, _ = elastic_scatter_many(np.ones(20_000), 1.0, xi)
+        assert e_out.mean() == pytest.approx(0.5, abs=0.01)
+
+
+class TestIsotropicDirection:
+    def test_unit_norm(self):
+        u = isotropic_direction(0.3, 0.7)
+        assert np.linalg.norm(u) == pytest.approx(1.0)
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(4)
+        xi1, xi2 = rng.random(20), rng.random(20)
+        many = isotropic_direction_many(xi1, xi2)
+        for j in range(20):
+            np.testing.assert_allclose(
+                many[j], isotropic_direction(xi1[j], xi2[j]), rtol=1e-12
+            )
+
+    def test_uniform_on_sphere(self):
+        rng = np.random.default_rng(5)
+        u = isotropic_direction_many(rng.random(50_000), rng.random(50_000))
+        # Each component has zero mean and variance 1/3.
+        assert np.allclose(u.mean(axis=0), 0.0, atol=0.02)
+        assert np.allclose(u.var(axis=0), 1 / 3, atol=0.02)
+
+
+class TestRotateDirection:
+    def test_preserves_norm(self):
+        u = np.array([0.6, 0.8, 0.0])
+        v = rotate_direction(u, 0.3, 1.2)
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_achieves_requested_cosine(self):
+        u = np.array([0.0, 0.0, 1.0])
+        for mu in (-0.9, -0.2, 0.5, 0.99):
+            v = rotate_direction(u, mu, 2.0)
+            assert np.dot(u, v) == pytest.approx(mu, abs=1e-10)
+
+    @given(
+        mu=st.floats(min_value=-1.0, max_value=1.0),
+        phi=st.floats(min_value=0.0, max_value=2 * np.pi),
+        theta=st.floats(min_value=0.01, max_value=np.pi - 0.01),
+        az=st.floats(min_value=0.0, max_value=2 * np.pi),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cosine_property(self, mu, phi, theta, az):
+        u = np.array(
+            [np.sin(theta) * np.cos(az), np.sin(theta) * np.sin(az), np.cos(theta)]
+        )
+        v = rotate_direction(u, mu, phi)
+        assert np.dot(u, v) == pytest.approx(mu, abs=1e-9)
+        assert np.linalg.norm(v) == pytest.approx(1.0, abs=1e-12)
+
+    def test_polar_direction_handled(self):
+        u = np.array([0.0, 0.0, 1.0])
+        v = rotate_direction(u, 0.5, 0.3)
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+        assert v[2] == pytest.approx(0.5)
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(6)
+        dirs = rng.standard_normal((40, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        mu = rng.uniform(-1, 1, 40)
+        phi = rng.uniform(0, 2 * np.pi, 40)
+        many = rotate_direction_many(dirs, mu, phi)
+        for j in range(40):
+            np.testing.assert_allclose(
+                many[j], rotate_direction(dirs[j], mu[j], phi[j]), atol=1e-10
+            )
+
+    def test_vectorized_polar(self):
+        dirs = np.array([[0.0, 0.0, 1.0], [0.0, 0.0, -1.0]])
+        out = rotate_direction_many(dirs, np.array([0.5, 0.5]), np.array([0.1, 0.1]))
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1), 1.0)
+        assert out[0, 2] == pytest.approx(0.5)
+        assert out[1, 2] == pytest.approx(-0.5)

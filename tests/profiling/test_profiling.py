@@ -1,0 +1,101 @@
+"""Tests for the TAU-like timer registry and profile comparison."""
+
+import time
+
+import pytest
+
+from repro.profiling.report import compare_profiles, format_comparison
+from repro.profiling.timers import Profile, TimerRegistry
+
+
+class TestTimerRegistry:
+    def test_context_manager_records(self):
+        reg = TimerRegistry("test")
+        with reg.timer("calculate_xs"):
+            time.sleep(0.002)
+        stats = reg.profile.routines["calculate_xs"]
+        assert stats.calls == 1
+        assert stats.total_seconds >= 0.002
+
+    def test_multiple_calls_accumulate(self):
+        reg = TimerRegistry("test")
+        for _ in range(3):
+            with reg.timer("r"):
+                pass
+        assert reg.profile.routines["r"].calls == 3
+
+    def test_decorator(self):
+        reg = TimerRegistry("test")
+
+        @reg.timed("fn")
+        def fn(x):
+            return x + 1
+
+        assert fn(1) == 2
+        assert reg.profile.routines["fn"].calls == 1
+
+    def test_exception_still_recorded(self):
+        reg = TimerRegistry("test")
+        with pytest.raises(ValueError):
+            with reg.timer("bad"):
+                raise ValueError
+        assert reg.profile.routines["bad"].calls == 1
+
+
+class TestProfile:
+    def make(self):
+        p = Profile("x")
+        p.record("lookup", 6.0)
+        p.record("lookup", 4.0)
+        p.record("track", 3.0)
+        p.record("misc", 1.0)
+        return p
+
+    def test_totals(self):
+        p = self.make()
+        assert p.total_seconds == pytest.approx(14.0)
+        assert p.routines["lookup"].calls == 2
+        assert p.routines["lookup"].mean_seconds == pytest.approx(5.0)
+
+    def test_fraction(self):
+        p = self.make()
+        assert p.fraction("lookup") == pytest.approx(10 / 14)
+        assert p.fraction("absent") == 0.0
+
+    def test_top(self):
+        p = self.make()
+        names = [r.name for r in p.top(2)]
+        assert names == ["lookup", "track"]
+
+
+class TestComparison:
+    def test_compare_dicts(self):
+        rows = compare_profiles(
+            {"lookup": 10.0, "track": 3.0}, {"lookup": 6.0, "track": 2.5}
+        )
+        assert rows[0].routine == "lookup"
+        assert rows[0].speedup == pytest.approx(10 / 6)
+
+    def test_compare_profiles_objects(self):
+        a = Profile("cpu")
+        a.record("lookup", 8.0)
+        b = Profile("mic")
+        b.record("lookup", 5.0)
+        rows = compare_profiles(a, b)
+        assert rows[0].speedup == pytest.approx(1.6)
+
+    def test_missing_routine(self):
+        rows = compare_profiles({"only_a": 1.0}, {"only_b": 2.0})
+        by_name = {r.routine: r for r in rows}
+        assert by_name["only_a"].seconds_b == 0.0
+        assert by_name["only_b"].seconds_a == 0.0
+
+    def test_top_limit(self):
+        a = {f"r{i}": float(i) for i in range(10)}
+        rows = compare_profiles(a, a, top=3)
+        assert len(rows) == 3
+
+    def test_format(self):
+        rows = compare_profiles({"lookup": 2.0}, {"lookup": 1.0})
+        text = format_comparison(rows, "CPU", "MIC")
+        assert "lookup" in text and "CPU" in text and "2.00" in text

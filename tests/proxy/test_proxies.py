@@ -1,0 +1,122 @@
+"""Tests for the XSBench and RSBench proxy applications."""
+
+import numpy as np
+import pytest
+
+from repro.data.unionized import UnionizedGrid
+from repro.errors import ExecutionError
+from repro.proxy.rsbench import RSBench, RSBenchConfig
+from repro.proxy.xsbench import XSBench
+
+
+@pytest.fixture(scope="module")
+def xsbench(small_library):
+    return XSBench(small_library)
+
+
+@pytest.fixture(scope="module")
+def rsbench():
+    return RSBench(RSBenchConfig(n_nuclides=3, resonances_per_nuclide=12))
+
+
+class TestXSBench:
+    def test_lookup_generation_deterministic(self, xsbench):
+        a = xsbench.generate_lookups(100, seed=1)
+        b = xsbench.generate_lookups(100, seed=1)
+        np.testing.assert_allclose(a.energies, b.energies)
+        np.testing.assert_array_equal(a.material_ids, b.material_ids)
+
+    def test_fuel_weighted(self, xsbench):
+        s = xsbench.generate_lookups(5000)
+        frac_fuel = np.mean(s.material_ids == 0)
+        assert frac_fuel == pytest.approx(0.60, abs=0.05)
+
+    def test_energies_span_domain(self, xsbench):
+        s = xsbench.generate_lookups(5000)
+        assert s.energies.min() < 1e-9
+        assert s.energies.max() > 1.0
+
+    def test_implementations_agree(self, xsbench):
+        """The banked kernel computes exactly the history kernel's answer."""
+        s = xsbench.generate_lookups(300)
+        assert xsbench.verify(s) < 1e-12
+
+    def test_banked_faster_than_history(self, xsbench):
+        """The measured Python analogue of the paper's vectorization win."""
+        s = xsbench.generate_lookups(1500)
+        t_hist, _ = xsbench.run_history(s)
+        t_bank, _ = xsbench.run_banked(s)
+        assert t_bank < t_hist / 3
+
+    def test_inner_beats_outer(self, xsbench):
+        """The paper's loop-choice finding: vectorizing the inner (nuclide)
+        loop beats forcing vectorization across the outer (particle) loop."""
+        s = xsbench.generate_lookups(1500)
+        t_bank, _ = xsbench.run_banked(s)
+        t_outer, _ = xsbench.run_banked_outer(s)
+        assert t_bank < t_outer
+
+    def test_counters_equal_work(self, xsbench):
+        s = xsbench.generate_lookups(200)
+        _, c_hist = xsbench.run_history(s)
+        _, c_bank = xsbench.run_banked(s)
+        assert c_hist.lookups == c_bank.lookups == 200
+        assert c_hist.nuclide_iterations == c_bank.nuclide_iterations
+
+    def test_run_dispatch(self, xsbench):
+        s = xsbench.generate_lookups(50)
+        for impl in ("history", "banked", "banked-outer"):
+            t, _ = xsbench.run(impl, s)
+            assert t > 0
+        with pytest.raises(ExecutionError):
+            xsbench.run("gpu", s)
+
+    def test_aos_layout_runs(self, small_library):
+        bench = XSBench(small_library, layout="aos")
+        s = bench.generate_lookups(100)
+        t, c = bench.run_banked(s)
+        assert c.lookups == 100
+
+
+class TestRSBench:
+    def test_lookup_generation(self, rsbench):
+        which, e = rsbench.generate_lookups(500)
+        assert which.shape == e.shape == (500,)
+        for i, mp in enumerate(rsbench.nuclides):
+            mask = which == i
+            if mask.any():
+                assert e[mask].min() >= mp.emin
+                assert e[mask].max() <= mp.emax
+
+    def test_variants_agree(self, rsbench):
+        """Fixed-poles-per-window vectorization changes performance, not
+        physics."""
+        assert rsbench.verify(150) < 1e-10
+
+    def test_vectorized_faster(self, rsbench):
+        which, e = rsbench.generate_lookups(800)
+        t_orig, _ = rsbench.run_original(which, e)
+        t_vec, _ = rsbench.run_vectorized(which, e)
+        assert t_vec < t_orig / 3
+
+    def test_run_dispatch(self, rsbench):
+        which, e = rsbench.generate_lookups(50)
+        for impl in ("original", "vectorized"):
+            t, out = rsbench.run(impl, which, e)
+            assert out.shape == (50,)
+        with pytest.raises(ExecutionError):
+            rsbench.run("cuda", which, e)
+
+    def test_results_positive(self, rsbench):
+        which, e = rsbench.generate_lookups(200)
+        _, out = rsbench.run_vectorized(which, e)
+        assert np.all(out >= 0)
+
+    def test_memory_compression_headline(self, rsbench):
+        """The multipole data is tiny — RSBench's 'reduced data movement'."""
+        assert rsbench.nbytes < 1e6
+
+    def test_deterministic_construction(self):
+        a = RSBench(RSBenchConfig(n_nuclides=2, resonances_per_nuclide=8))
+        b = RSBench(RSBenchConfig(n_nuclides=2, resonances_per_nuclide=8))
+        np.testing.assert_allclose(a.nuclides[0].poles, b.nuclides[0].poles)

@@ -1,0 +1,139 @@
+"""Tests for the 63-bit LCG and its skip-ahead machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import lcg
+
+
+def advance_slow(seed: int, n: int) -> int:
+    for _ in range(n):
+        seed = lcg.lcg_next(seed)
+    return seed
+
+
+class TestScalarLCG:
+    def test_next_matches_recurrence(self):
+        s = 12345
+        expected = (lcg.LCG_MULT * s + 1) & lcg.LCG_MASK
+        assert lcg.lcg_next(s) == expected
+
+    def test_state_stays_in_range(self):
+        s = lcg.DEFAULT_SEED
+        for _ in range(1000):
+            s = lcg.lcg_next(s)
+            assert 0 <= s < (1 << 63)
+
+    def test_prn_in_unit_interval(self):
+        stream = lcg.RandomStream(seed=7)
+        values = [stream.prn() for _ in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_prn_nonzero_never_zero(self):
+        # State 0 would map to uniform ~0; prn_nonzero must avoid exactly 0.
+        stream = lcg.RandomStream(seed=0)
+        assert stream.prn_nonzero() > 0.0
+
+    def test_mean_approximately_half(self):
+        stream = lcg.RandomStream(seed=42)
+        values = np.array([stream.prn() for _ in range(20000)])
+        assert abs(values.mean() - 0.5) < 0.01
+        assert abs(values.var() - 1.0 / 12.0) < 0.01
+
+
+class TestSkipAhead:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 17, 100, 1023, 5000])
+    def test_matches_sequential_advance(self, n):
+        seed = 987654321
+        assert lcg.skip_ahead(seed, n) == advance_slow(seed, n)
+
+    def test_composition(self):
+        seed = 31337
+        assert lcg.skip_ahead(lcg.skip_ahead(seed, 1000), 234) == lcg.skip_ahead(
+            seed, 1234
+        )
+
+    def test_negative_jump_inverts(self):
+        seed = 555
+        ahead = lcg.skip_ahead(seed, 100)
+        assert lcg.skip_ahead(ahead, -100) == seed
+
+    @given(
+        seed=st.integers(min_value=0, max_value=lcg.LCG_MASK),
+        n=st.integers(min_value=0, max_value=2000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_skip_ahead_property(self, seed, n):
+        assert lcg.skip_ahead(seed, n) == advance_slow(seed, n)
+
+
+class TestSkipAheadArray:
+    def test_matches_scalar(self):
+        seed = 424242
+        ns = np.array([0, 1, 5, 63, 64, 1000, 152917], dtype=np.uint64)
+        got = lcg.skip_ahead_array(seed, ns)
+        expected = np.array([lcg.skip_ahead(seed, int(n)) for n in ns], dtype=np.uint64)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_large_counts(self):
+        seed = 1
+        ns = np.array([2**40, 2**55 + 12345], dtype=np.uint64)
+        got = lcg.skip_ahead_array(seed, ns)
+        expected = np.array([lcg.skip_ahead(seed, int(n)) for n in ns], dtype=np.uint64)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_empty(self):
+        out = lcg.skip_ahead_array(1, np.array([], dtype=np.uint64))
+        assert out.shape == (0,)
+
+
+class TestParticleSeeds:
+    def test_matches_set_particle(self):
+        ids = np.arange(10, dtype=np.uint64)
+        seeds = lcg.particle_seeds(lcg.DEFAULT_SEED, ids)
+        stream = lcg.RandomStream()
+        for i in range(10):
+            stream.set_particle(lcg.DEFAULT_SEED, i)
+            assert stream.seed == seeds[i]
+
+    def test_streams_distinct(self):
+        ids = np.arange(1000, dtype=np.uint64)
+        seeds = lcg.particle_seeds(99, ids)
+        assert len(np.unique(seeds)) == 1000
+
+    def test_scheduling_independence(self):
+        """Drawing particle histories in any order yields identical variates."""
+        stream = lcg.RandomStream()
+        draws_forward = {}
+        for pid in range(5):
+            stream.set_particle(7, pid)
+            draws_forward[pid] = [stream.prn() for _ in range(3)]
+        draws_backward = {}
+        for pid in reversed(range(5)):
+            stream.set_particle(7, pid)
+            draws_backward[pid] = [stream.prn() for _ in range(3)]
+        assert draws_forward == draws_backward
+
+
+class TestPrnArray:
+    def test_matches_scalar_step(self):
+        states = np.array([1, 2, 3, 12345], dtype=np.uint64)
+        new, u = lcg.prn_array(states)
+        for i, s in enumerate([1, 2, 3, 12345]):
+            expected = lcg.lcg_next(s)
+            assert new[i] == expected
+            assert u[i] == pytest.approx(expected / float(1 << 63))
+
+    def test_input_not_modified(self):
+        states = np.array([10, 20], dtype=np.uint64)
+        lcg.prn_array(states)
+        np.testing.assert_array_equal(states, [10, 20])
+
+
+class TestRandomStreamSpawn:
+    def test_spawn_is_strided(self):
+        parent = lcg.RandomStream(seed=123)
+        child = parent.spawn(2)
+        assert child.seed == lcg.skip_ahead(123, 2 * lcg.STREAM_STRIDE)

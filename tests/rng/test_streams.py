@@ -1,0 +1,134 @@
+"""Tests for vectorized multi-stream generation (the VSL analogue)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import lcg
+from repro.rng.streams import Partition, ScalarRandR, VectorStreams, fill_uniform
+
+
+def master_sequence(seed: int, n: int) -> list[float]:
+    """The first n uniforms of the master LCG sequence."""
+    out = []
+    s = seed
+    for _ in range(n):
+        s = lcg.lcg_next(s)
+        out.append(s / float(1 << 63))
+    return out
+
+
+class TestSkipAheadPartition:
+    def test_blocks_are_master_subsequences(self):
+        """Stream k emits master positions [k*B, k*B + count)."""
+        block = 100
+        streams = VectorStreams(nstreams=3, seed=5, block=block)
+        out = streams.uniform_block(4)
+        # Build master sequence long enough to cover all three blocks.
+        master = master_sequence(5, 2 * block + 4)
+        for k in range(3):
+            np.testing.assert_allclose(out[k], master[k * block : k * block + 4])
+
+    def test_successive_calls_continue_streams(self):
+        streams = VectorStreams(nstreams=2, seed=5, block=50)
+        first = streams.uniform_block(3)
+        second = streams.uniform_block(3)
+        master = master_sequence(5, 56)
+        np.testing.assert_allclose(np.concatenate([first[0], second[0]]), master[:6])
+        np.testing.assert_allclose(
+            np.concatenate([first[1], second[1]]), master[50:56]
+        )
+
+
+class TestLeapfrogPartition:
+    def test_interleaves_master_sequence(self):
+        """Stream k emits master positions k, k+K, k+2K, ..."""
+        nstreams = 4
+        streams = VectorStreams(nstreams=nstreams, seed=9, partition=Partition.LEAPFROG)
+        out = streams.uniform_block(5)
+        master = master_sequence(9, nstreams * 5)
+        for k in range(nstreams):
+            np.testing.assert_allclose(out[k], master[k :: nstreams][:5])
+
+    def test_single_stream_leapfrog_is_master(self):
+        streams = VectorStreams(nstreams=1, seed=11, partition=Partition.LEAPFROG)
+        out = streams.uniform_block(10)
+        np.testing.assert_allclose(out[0], master_sequence(11, 10))
+
+
+class TestFill:
+    def test_fill_layout(self):
+        streams = VectorStreams(nstreams=4, seed=3, block=1000)
+        out = np.empty(40)
+        streams.fill(out)
+        blocks = out.reshape(4, 10)
+        master = master_sequence(3, 3010)
+        for k in range(4):
+            np.testing.assert_allclose(blocks[k], master[k * 1000 : k * 1000 + 10])
+
+    def test_fill_requires_divisible_length(self):
+        streams = VectorStreams(nstreams=3, seed=3)
+        with pytest.raises(ValueError):
+            streams.fill(np.empty(10))
+
+    def test_fill_uniform_convenience(self):
+        out = fill_uniform(24, nstreams=4, seed=2)
+        assert out.shape == (24,)
+        assert np.all((out >= 0) & (out < 1))
+
+    def test_deterministic(self):
+        a = fill_uniform(32, nstreams=8, seed=77)
+        b = fill_uniform(32, nstreams=8, seed=77)
+        np.testing.assert_array_equal(a, b)
+
+    def test_nstreams_changes_layout_not_values_within_block(self):
+        """The set of values depends on partitioning, but every value is a
+        master-sequence value."""
+        out = fill_uniform(16, nstreams=2, seed=1, partition=Partition.LEAPFROG)
+        master = set(np.round(master_sequence(1, 16), 15))
+        assert set(np.round(out, 15)) == master
+
+
+class TestStatistics:
+    @given(seed=st.integers(min_value=1, max_value=2**40))
+    @settings(max_examples=10, deadline=None)
+    def test_uniform_moments(self, seed):
+        out = fill_uniform(4096, nstreams=4, seed=seed)
+        assert abs(out.mean() - 0.5) < 0.03
+        assert abs(out.var() - 1 / 12) < 0.02
+
+    def test_streams_uncorrelated(self):
+        streams = VectorStreams(nstreams=2, seed=13, block=1 << 20)
+        out = streams.uniform_block(4096)
+        corr = np.corrcoef(out[0], out[1])[0, 1]
+        assert abs(corr) < 0.05
+
+
+class TestScalarRandR:
+    def test_matches_master_sequence(self):
+        gen = ScalarRandR(seed=21)
+        out = np.empty(8)
+        gen.fill(out)
+        np.testing.assert_allclose(out, master_sequence(21, 8))
+
+    def test_next_and_fill_agree(self):
+        g1 = ScalarRandR(seed=4)
+        g2 = ScalarRandR(seed=4)
+        singles = [g1.next() for _ in range(6)]
+        arr = np.empty(6)
+        g2.fill(arr)
+        np.testing.assert_allclose(singles, arr)
+
+    def test_state_persists_across_fills(self):
+        g = ScalarRandR(seed=4)
+        a, b = np.empty(3), np.empty(3)
+        g.fill(a)
+        g.fill(b)
+        np.testing.assert_allclose(np.concatenate([a, b]), master_sequence(4, 6))
+
+
+class TestInvalidConfig:
+    def test_zero_streams_rejected(self):
+        with pytest.raises(ValueError):
+            VectorStreams(nstreams=0)

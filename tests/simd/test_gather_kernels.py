@@ -1,0 +1,120 @@
+"""Tests for compress/expand primitives and intrinsics-style kernels."""
+
+import numpy as np
+import pytest
+
+from repro.simd.analysis import divergence_loss, queue_lane_efficiency
+from repro.simd.gather import compress, expand, partition_by_key
+from repro.simd.kernels import (
+    distance_kernel_intrinsics,
+    distance_kernel_scalar,
+    instruction_ratio,
+    masked_lookup_kernel,
+)
+from repro.simd.lanes import VectorUnit
+
+
+class TestCompressExpand:
+    def test_compress_packs_masked(self):
+        vu = VectorUnit(width=4)
+        a = np.arange(10.0)
+        (packed,) = compress(vu, a % 2 == 0, a)
+        np.testing.assert_allclose(packed, [0, 2, 4, 6, 8])
+
+    def test_compress_multiple_arrays(self):
+        vu = VectorUnit(width=4)
+        a = np.arange(6.0)
+        b = a * 10
+        pa, pb = compress(vu, a >= 3, a, b)
+        np.testing.assert_allclose(pa, [3, 4, 5])
+        np.testing.assert_allclose(pb, [30, 40, 50])
+
+    def test_expand_inverts_compress(self):
+        vu = VectorUnit(width=4)
+        a = np.arange(10.0)
+        mask = a % 3 == 0
+        (packed,) = compress(vu, mask, a)
+        out = np.full(10, -1.0)
+        expand(vu, mask, packed * 2, out)
+        np.testing.assert_allclose(out[mask], a[mask] * 2)
+        assert np.all(out[~mask] == -1.0)
+
+    def test_expand_length_check(self):
+        vu = VectorUnit()
+        with pytest.raises(ValueError):
+            expand(vu, np.array([True, False]), np.zeros(2), np.zeros(2))
+
+    def test_partition_by_key(self):
+        vu = VectorUnit(width=4)
+        keys = np.array([0, 1, 0, 2, 1])
+        vals = np.arange(5.0)
+        parts = partition_by_key(vu, keys, vals)
+        np.testing.assert_allclose(parts[0][0], [0, 2])
+        np.testing.assert_allclose(parts[1][0], [1, 4])
+        np.testing.assert_allclose(parts[2][0], [3])
+
+
+class TestDistanceKernels:
+    def test_vector_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        r = rng.random(100) * 0.9 + 0.05
+        x = rng.random(100) + 0.5
+        d_vec = distance_kernel_intrinsics(VectorUnit(16), r, x)
+        d_scal = distance_kernel_scalar(VectorUnit(16), r, x)
+        np.testing.assert_allclose(d_vec, d_scal, rtol=1e-12)
+
+    def test_matches_reference_formula(self):
+        r = np.array([0.5, 0.25])
+        x = np.array([2.0, 1.0])
+        d = distance_kernel_intrinsics(VectorUnit(16), r, x)
+        np.testing.assert_allclose(d, -np.log(r) / x)
+
+    def test_instruction_ratio_near_width(self):
+        """For N >> width, scalar issues ~width/3 x more instructions than
+        the 3-instruction vector pipeline (1 scalar op = fused -log/div)."""
+        stats = instruction_ratio(16 * 100, width=16)
+        # vector: 3 ops x 100 chunks = 300; scalar: 1600.
+        assert stats["vector_instructions"] == 300
+        assert stats["scalar_instructions"] == 1600
+
+    def test_masked_lookup_efficiency(self):
+        vu = VectorUnit(width=8)
+        sigma = np.ones(64)
+        mask = np.zeros(64, dtype=bool)
+        mask[:8] = True  # only 1/8 of lanes take the URR branch
+        out = masked_lookup_kernel(vu, sigma, mask, np.full(64, 2.0))
+        assert np.all(out[:8] == 2.0) and np.all(out[8:] == 1.0)
+        assert vu.counters.lane_efficiency == pytest.approx(1 / 8)
+
+
+class TestAnalysis:
+    def test_full_queues_full_efficiency(self):
+        assert queue_lane_efficiency([160, 320], width=16) == 1.0
+
+    def test_tiny_queues_waste_lanes(self):
+        # Queue of 1 on a 16-lane machine: 1/16.
+        assert queue_lane_efficiency([1], width=16) == pytest.approx(1 / 16)
+
+    def test_draining_generation(self):
+        """Efficiency of a draining event loop falls between the extremes."""
+        sizes = [1000, 600, 300, 100, 30, 9, 3, 1]
+        eff = queue_lane_efficiency(sizes, width=16)
+        assert 0.5 < eff < 1.0
+
+    def test_zero_queues_skipped(self):
+        assert queue_lane_efficiency([0, 0, 16], width=16) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            queue_lane_efficiency([-1])
+
+    def test_divergence_loss_single_branch(self):
+        assert divergence_loss([1.0]) == 1.0
+
+    def test_divergence_loss_three_branches(self):
+        """Three executed branches under masking: 1/3 efficiency."""
+        assert divergence_loss([0.5, 0.3, 0.2]) == pytest.approx(1 / 3)
+
+    def test_divergence_validates(self):
+        with pytest.raises(ValueError):
+            divergence_loss([0.9, 0.9])

@@ -1,0 +1,87 @@
+"""Tests for the counting vector-lane machine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineModelError
+from repro.simd.lanes import VectorUnit
+
+
+class TestElementwise:
+    def test_result_matches_numpy(self):
+        vu = VectorUnit(width=16)
+        a = np.linspace(1.0, 2.0, 50)
+        b = np.linspace(0.5, 1.5, 50)
+        np.testing.assert_allclose(vu.elementwise(np.add, a, b), a + b)
+
+    def test_instruction_count_is_chunks(self):
+        vu = VectorUnit(width=16)
+        vu.elementwise(np.negative, np.ones(50))
+        assert vu.counters.vector_instructions == 4  # ceil(50/16)
+
+    def test_exact_multiple(self):
+        vu = VectorUnit(width=8)
+        vu.elementwise(np.negative, np.ones(64))
+        assert vu.counters.vector_instructions == 8
+        assert vu.counters.lane_efficiency == 1.0
+
+    def test_partial_tail_costs_full_chunk(self):
+        vu = VectorUnit(width=16)
+        vu.elementwise(np.negative, np.ones(17))
+        assert vu.counters.vector_instructions == 2
+        assert vu.counters.lane_slots_total == 32
+        assert vu.counters.lane_slots_active == 17
+
+    def test_masked_merge_semantics(self):
+        vu = VectorUnit(width=4)
+        a = np.arange(8.0)
+        mask = a >= 4
+        out = vu.elementwise(np.negative, a, mask=mask)
+        np.testing.assert_allclose(out[:4], a[:4])  # preserved
+        np.testing.assert_allclose(out[4:], -a[4:])  # computed
+
+    def test_masked_lane_efficiency(self):
+        vu = VectorUnit(width=4)
+        a = np.arange(8.0)
+        vu.elementwise(np.negative, a, mask=a < 2)
+        assert vu.counters.lane_efficiency == pytest.approx(2 / 8)
+
+    def test_length_mismatch(self):
+        vu = VectorUnit()
+        with pytest.raises(MachineModelError):
+            vu.elementwise(np.add, np.ones(4), np.ones(5))
+
+    def test_invalid_width(self):
+        with pytest.raises(MachineModelError):
+            VectorUnit(width=0)
+
+
+class TestScalarLoop:
+    def test_counts_per_element(self):
+        vu = VectorUnit(width=16)
+        out = vu.scalar_loop(lambda x: -x, np.arange(10.0))
+        np.testing.assert_allclose(out, -np.arange(10.0))
+        assert vu.counters.scalar_instructions == 10
+
+
+class TestGatherScatter:
+    def test_gather(self):
+        vu = VectorUnit(width=4)
+        table = np.arange(100.0)
+        idx = np.array([5, 50, 99, 0, 1])
+        np.testing.assert_allclose(vu.gather(table, idx), table[idx])
+        assert vu.counters.gather_instructions == 2
+
+    def test_scatter(self):
+        vu = VectorUnit(width=4)
+        out = np.zeros(10)
+        vu.scatter(out, np.array([1, 3]), np.array([7.0, 8.0]))
+        assert out[1] == 7.0 and out[3] == 8.0
+        assert vu.counters.gather_instructions == 1
+
+    def test_reset(self):
+        vu = VectorUnit()
+        vu.elementwise(np.negative, np.ones(5))
+        vu.reset()
+        assert vu.counters.vector_instructions == 0
+        assert vu.counters.lane_efficiency == 1.0

@@ -1,0 +1,79 @@
+"""Tests for the two command-line entry points."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main as sim_main
+from repro.experiments.cli import main as exp_main
+
+
+class TestReproSim:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.mode == "event"
+        assert args.model == "hm-small"
+
+    def test_pincell_run(self, capsys):
+        rc = sim_main(
+            ["--pincell", "--particles", "60", "--batches", "2",
+             "--inactive", "0", "--seed", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "k-effective" in out
+        assert "calculation rate" in out
+
+    def test_delta_mode(self, capsys):
+        rc = sim_main(
+            ["--pincell", "--particles", "60", "--batches", "2",
+             "--inactive", "0", "--mode", "delta"]
+        )
+        assert rc == 0
+        assert "k-effective" in capsys.readouterr().out
+
+    def test_history_with_power(self, capsys):
+        rc = sim_main(
+            ["--particles", "60", "--batches", "2", "--inactive", "0",
+             "--mode", "event", "--tally-power"]
+        )
+        assert rc == 0
+        assert "peaking factor" in capsys.readouterr().out
+
+    def test_save_and_load_library(self, tmp_path, capsys):
+        path = str(tmp_path / "lib.npz")
+        assert sim_main(["--pincell", "--save-library", path]) == 0
+        rc = sim_main(
+            ["--pincell", "--library", path, "--particles", "40",
+             "--batches", "2", "--inactive", "0"]
+        )
+        assert rc == 0
+        assert "loaded library" in capsys.readouterr().out
+
+    def test_stripped_physics_flags(self, capsys):
+        rc = sim_main(
+            ["--pincell", "--particles", "40", "--batches", "2",
+             "--inactive", "0", "--no-sab", "--no-urr"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 URR samples" in out
+        assert "0 S(a,b) samples" in out
+
+
+class TestReproExperiments:
+    def test_list(self, capsys):
+        assert exp_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("fig1", "table3", "ext-futurework"):
+            assert exp_id in out
+
+    def test_run_one(self, capsys):
+        assert exp_main(["run", "table3", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "17,098" in out or "17098" in out
+
+    def test_unknown_experiment(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            exp_main(["run", "fig99"])

@@ -1,0 +1,134 @@
+"""Failure-injection tests: bad data and dying sources fail loudly."""
+
+import numpy as np
+import pytest
+
+from repro.data.library import LibraryConfig, NuclideLibrary
+from repro.data.nuclide import Nuclide
+from repro.data.unionized import UnionizedGrid
+from repro.errors import DataError, ExecutionError, GeometryError
+from repro.geometry.hoogenboom import FastCoreGeometry, HMModel, build_pincell_geometry
+from repro.geometry.materials import Material
+from repro.physics.macroxs import XSCalculator
+from repro.transport import Settings, Simulation
+from repro.transport.context import TransportContext
+from repro.types import N_REACTIONS
+
+
+class TestBadDataRejected:
+    def test_nan_cross_section(self):
+        xs = np.ones((N_REACTIONS, 3))
+        xs[0, 1] = np.nan
+        with pytest.raises(DataError):
+            Nuclide(
+                name="bad", awr=1.0, energy=np.array([1e-10, 1e-5, 1.0]),
+                xs=xs,
+            )
+
+    def test_inf_cross_section(self):
+        xs = np.ones((N_REACTIONS, 3))
+        xs[2, 0] = np.inf
+        with pytest.raises(DataError):
+            Nuclide(
+                name="bad", awr=1.0, energy=np.array([1e-10, 1e-5, 1.0]),
+                xs=xs,
+            )
+
+    def test_nan_energy_grid(self):
+        with pytest.raises(DataError):
+            Nuclide(
+                name="bad", awr=1.0,
+                energy=np.array([1e-10, np.nan, 1.0]),
+                xs=np.ones((N_REACTIONS, 3)),
+            )
+
+    def test_nan_density(self):
+        with pytest.raises(GeometryError):
+            Material("bad", {"H1": float("nan")})
+
+    def test_inf_density(self):
+        with pytest.raises(GeometryError):
+            Material("bad", {"H1": float("inf")})
+
+
+class TestSourceExtinction:
+    def test_nonfissionable_medium_raises(self):
+        """A geometry whose every region is a pure absorber/scatterer must
+        kill the fission source and raise, not loop forever."""
+        energy = np.array([1e-11, 1e-3, 20.0])
+        xs = np.zeros((N_REACTIONS, 3))
+        xs[0] = 1.0
+        xs[1] = 0.5
+        xs[2] = 0.5  # capture only, no fission
+        nuc = Nuclide(name="DEAD", awr=50.0, energy=energy, xs=xs)
+        library = NuclideLibrary([nuc], {}, {}, LibraryConfig.tiny(), "custom")
+        material = Material("dead", {"DEAD": 1.0})
+        base = build_pincell_geometry()
+        model = HMModel(
+            geometry=base.geometry, fuel=material, cladding=material,
+            water=material, model="custom",
+        )
+        union = UnionizedGrid(library)
+        ctx = TransportContext(
+            model=model, library=library, union=union,
+            calculator=XSCalculator(library, union),
+            fast=FastCoreGeometry(pincell=True), master_seed=1,
+        )
+        sim = Simulation(
+            library,
+            Settings(
+                n_particles=30, n_inactive=0, n_active=1, pincell=True,
+                mode="event", seed=1,
+            ),
+            context=ctx,
+        )
+        with pytest.raises(ExecutionError, match="died out"):
+            sim.run()
+
+
+class TestDegenerateWorkloads:
+    @pytest.mark.parametrize("mode", ["event", "history"])
+    def test_single_particle_simulation(self, small_library, mode):
+        """n=1 either completes or dies out cleanly (a lone neutron may
+        well be captured before fissioning) — never hangs or crashes."""
+        sim = Simulation(
+            small_library,
+            Settings(
+                n_particles=1, n_inactive=0, n_active=1, pincell=True,
+                mode=mode, seed=12345,
+            ),
+        )
+        try:
+            r = sim.run()
+            assert r.n_particles == 1
+        except ExecutionError as err:
+            assert "died out" in str(err)
+
+    def test_very_cold_source_energy(self, small_library):
+        """Source at the energy floor transports without numerical blowups."""
+        from repro.transport.events import run_generation_event
+        from repro.transport.tally import GlobalTallies
+
+        ctx = TransportContext.create(
+            small_library, pincell=True,
+            union=UnionizedGrid(small_library), master_seed=2,
+        )
+        pos = np.zeros((20, 3))
+        pos[:, 2] = np.linspace(-100, 100, 20)
+        t = GlobalTallies()
+        run_generation_event(ctx, pos, np.full(20, 1e-11), t, 1.0, 0)
+        assert np.isfinite(t.collision)
+
+    def test_very_hot_source_energy(self, small_library):
+        from repro.transport.events import run_generation_event
+        from repro.transport.tally import GlobalTallies
+
+        ctx = TransportContext.create(
+            small_library, pincell=True,
+            union=UnionizedGrid(small_library), master_seed=2,
+        )
+        pos = np.zeros((20, 3))
+        pos[:, 2] = np.linspace(-100, 100, 20)
+        t = GlobalTallies()
+        run_generation_event(ctx, pos, np.full(20, 19.9), t, 1.0, 0)
+        assert np.isfinite(t.collision)

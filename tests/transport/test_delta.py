@@ -1,0 +1,189 @@
+"""Tests for Woodcock delta-tracking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.unionized import UnionizedGrid
+from repro.errors import ExecutionError, PhysicsError
+from repro.rng.lcg import RandomStream
+from repro.transport import Settings, Simulation
+from repro.transport.context import TransportContext
+from repro.transport.delta import MajorantXS, fold_reflective, run_generation_delta
+from repro.transport.tally import GlobalTallies
+
+
+@pytest.fixture(scope="module")
+def ctx(small_library):
+    return TransportContext.create(
+        small_library, pincell=True, union=UnionizedGrid(small_library),
+        master_seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def majorant(ctx):
+    return MajorantXS(ctx)
+
+
+class TestFoldReflective:
+    def test_inside_unchanged(self):
+        x, s = fold_reflective(np.array([0.3, -0.4]), 0.5)
+        np.testing.assert_allclose(x, [0.3, -0.4])
+        np.testing.assert_allclose(s, [1.0, 1.0])
+
+    def test_single_reflection(self):
+        """Crossing the +half wall by delta lands at half - delta with a
+        flipped direction."""
+        x, s = fold_reflective(np.array([0.7]), 0.5)
+        assert x[0] == pytest.approx(0.3)
+        assert s[0] == -1.0
+
+    def test_double_reflection(self):
+        """Crossing both walls returns with the original direction sign."""
+        x, s = fold_reflective(np.array([2.1]), 0.5)  # one full period
+        assert -0.5 <= x[0] <= 0.5
+        assert s[0] == 1.0
+        assert x[0] == pytest.approx(0.1)
+
+    def test_negative_side(self):
+        x, s = fold_reflective(np.array([-0.8]), 0.5)
+        assert x[0] == pytest.approx(-0.2)
+        assert s[0] == -1.0
+
+    @given(u=st.floats(min_value=-50, max_value=50))
+    @settings(max_examples=80, deadline=None)
+    def test_always_inside(self, u):
+        x, s = fold_reflective(np.array([u]), 0.63)
+        assert -0.63 - 1e-12 <= x[0] <= 0.63 + 1e-12
+        assert s[0] in (1.0, -1.0)
+
+    @given(u=st.floats(min_value=-10, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_continuous_distance_preserved(self, u):
+        """Folding is an isometry of the mirrored line: points separated by
+        epsilon stay separated by ~epsilon (up to a sign)."""
+        eps = 1e-6
+        x1, _ = fold_reflective(np.array([u]), 0.63)
+        x2, _ = fold_reflective(np.array([u + eps]), 0.63)
+        assert abs(abs(x2[0] - x1[0]) - eps) < 1e-9
+
+
+class TestMajorant:
+    def test_bounds_all_materials(self, ctx, majorant, small_library):
+        """The defining property: majorant >= Sigma_t everywhere."""
+        energies = np.exp(
+            np.random.default_rng(0).uniform(np.log(1e-10), np.log(15), 300)
+        )
+        maj = majorant(energies)
+        calc = ctx.calculator
+        saved = calc.use_urr
+        calc.use_urr = False
+        try:
+            for material in ctx.model.materials:
+                tot = calc.banked(material, energies)["total"]
+                assert np.all(tot <= maj * (1 + 1e-9))
+        finally:
+            calc.use_urr = saved
+
+    def test_requires_union(self, small_library):
+        bare = TransportContext.create(small_library, pincell=True, union=None)
+        with pytest.raises(PhysicsError):
+            MajorantXS(bare)
+
+    def test_positive_everywhere(self, majorant):
+        assert np.all(majorant.sigma > 0)
+
+
+class TestDeltaTransport:
+    def test_reflective_pincell_never_leaks(self, ctx, majorant):
+        rng = np.random.default_rng(1)
+        pos = np.column_stack(
+            [rng.uniform(-0.3, 0.3, 200), rng.uniform(-0.3, 0.3, 200),
+             rng.uniform(-150, 150, 200)]
+        )
+        t = GlobalTallies()
+        run_generation_delta(
+            ctx, pos, np.full(200, 2.0), t, 1.0, 0, majorant=majorant
+        )
+        assert t.n_leaks == 0
+
+    def test_virtual_collisions_exist(self, ctx, majorant):
+        """Delta tracking's cost: flights exceed real collisions."""
+        before_f = ctx.counters.flights
+        before_c = ctx.counters.collisions
+        rng = np.random.default_rng(2)
+        pos = np.column_stack(
+            [rng.uniform(-0.3, 0.3, 100), rng.uniform(-0.3, 0.3, 100),
+             rng.uniform(-100, 100, 100)]
+        )
+        t = GlobalTallies()
+        run_generation_delta(
+            ctx, pos, np.full(100, 2.0), t, 1.0, 5000, majorant=majorant
+        )
+        flights = ctx.counters.flights - before_f
+        collisions = ctx.counters.collisions - before_c
+        assert flights > collisions > 0
+
+    def test_statistically_unbiased_vs_surface(self, small_library):
+        """Same eigenvalue as surface tracking, within error bars."""
+        ks = {}
+        for mode in ("event", "delta"):
+            r = Simulation(
+                small_library,
+                Settings(
+                    n_particles=350, n_inactive=2, n_active=5,
+                    pincell=True, mode=mode, seed=6,
+                ),
+            ).run()
+            ks[mode] = r.statistics.result_collision()
+        diff = abs(ks["event"].mean - ks["delta"].mean)
+        band = 3 * np.hypot(ks["event"].std_err, ks["delta"].std_err) + 0.02
+        assert diff < band
+
+    def test_simulation_mode_delta(self, small_library):
+        r = Simulation(
+            small_library,
+            Settings(
+                n_particles=150, n_inactive=1, n_active=2, pincell=True,
+                mode="delta", seed=8,
+            ),
+        ).run()
+        assert 0.3 < r.k_effective.mean < 1.5
+        # No track-length estimator in delta mode.
+        assert all(k == 0.0 for k in r.statistics.k_track)
+
+    def test_delta_with_survival_biasing(self, small_library):
+        r = Simulation(
+            small_library,
+            Settings(
+                n_particles=150, n_inactive=1, n_active=2, pincell=True,
+                mode="delta", seed=8, survival_biasing=True,
+            ),
+        ).run()
+        assert 0.3 < r.k_effective.mean < 1.5
+
+    def test_power_tally_rejected(self):
+        with pytest.raises(ExecutionError):
+            Settings(mode="delta", tally_power=True)
+
+    def test_full_core_vacuum_leaks(self, small_library):
+        """On the vacuum-bounded full core, delta tracking leaks particles
+        through the boundary (outside -> dead)."""
+        ctx = TransportContext.create(
+            small_library, pincell=False,
+            union=UnionizedGrid(small_library), master_seed=3,
+        )
+        maj = MajorantXS(ctx)
+        rng = np.random.default_rng(5)
+        # Source 1-4 cm from the vacuum boundary so leakage is common.
+        pos = np.column_stack(
+            [rng.uniform(199.5, 202.5, 100), rng.uniform(-5, 5, 100),
+             rng.uniform(-50, 50, 100)]
+        )
+        t = GlobalTallies()
+        run_generation_delta(
+            ctx, pos, np.full(100, 2.0), t, 1.0, 0, majorant=maj
+        )
+        assert t.n_leaks > 0

@@ -1,0 +1,60 @@
+"""Tests for Shannon entropy of the fission source."""
+
+import numpy as np
+import pytest
+
+from repro.transport.entropy import EntropyMesh, shannon_entropy
+
+
+class TestShannonEntropy:
+    def test_uniform_distribution_maximal(self):
+        counts = np.ones(8)
+        assert shannon_entropy(counts) == pytest.approx(3.0)
+
+    def test_point_distribution_zero(self):
+        counts = np.array([0, 10, 0, 0])
+        assert shannon_entropy(counts) == 0.0
+
+    def test_empty_is_zero(self):
+        assert shannon_entropy(np.zeros(4)) == 0.0
+
+    def test_between_bounds(self):
+        counts = np.array([1, 2, 3, 4])
+        h = shannon_entropy(counts)
+        assert 0.0 < h < 2.0
+
+
+class TestEntropyMesh:
+    def make(self):
+        return EntropyMesh(lower=(-1, -1, -1), upper=(1, 1, 1), shape=(2, 2, 2))
+
+    def test_bin_indices_corners(self):
+        mesh = self.make()
+        idx = mesh.bin_indices(
+            np.array([[-0.5, -0.5, -0.5], [0.5, 0.5, 0.5]])
+        )
+        assert idx[0] == 0
+        assert idx[1] == 7
+
+    def test_out_of_mesh_clamps(self):
+        mesh = self.make()
+        idx = mesh.bin_indices(np.array([[5.0, 5.0, 5.0]]))
+        assert idx[0] == 7
+
+    def test_entropy_uniform_sites(self):
+        mesh = self.make()
+        rng = np.random.default_rng(0)
+        sites = rng.uniform(-1, 1, (20000, 3))
+        assert mesh.entropy(sites) == pytest.approx(3.0, abs=0.01)
+
+    def test_entropy_concentrated_sites(self):
+        mesh = self.make()
+        sites = np.full((100, 3), 0.5)
+        assert mesh.entropy(sites) == 0.0
+
+    def test_empty_sites(self):
+        assert self.make().entropy(np.empty((0, 3))) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EntropyMesh(lower=(0, 0, 0), upper=(0, 1, 1))

@@ -1,0 +1,121 @@
+"""Tests for the assembly power tally."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.transport import Settings, Simulation
+from repro.transport.meshtally import PowerTally
+
+
+class TestMeshIndexing:
+    def make(self):
+        return PowerTally(shape=(4, 4), half_width=2.0)
+
+    def test_corner_cells(self):
+        t = self.make()
+        iy, ix = t.cell_indices(np.array([[-1.9, -1.9, 0.0], [1.9, 1.9, 0.0]]))
+        assert (iy[0], ix[0]) == (0, 0)
+        assert (iy[1], ix[1]) == (3, 3)
+
+    def test_out_of_mesh_clamps(self):
+        t = self.make()
+        iy, ix = t.cell_indices(np.array([[10.0, -10.0, 0.0]]))
+        assert (iy[0], ix[0]) == (0, 3)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            PowerTally(shape=(0, 4))
+
+
+class TestScoring:
+    def test_scalar_and_vector_agree(self):
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(-2, 2, (50, 3))
+        w = rng.random(50)
+        d = rng.random(50)
+        sf = rng.random(50)
+        a = PowerTally(shape=(4, 4), half_width=2.0)
+        b = PowerTally(shape=(4, 4), half_width=2.0)
+        for i in range(50):
+            a.score_track(pos[i], w[i], d[i], sf[i])
+        b.score_track_many(pos, w, d, sf)
+        a.end_batch(50.0)
+        b.end_batch(50.0)
+        np.testing.assert_allclose(a.mean, b.mean, rtol=1e-12)
+
+    def test_zero_sigma_f_ignored(self):
+        t = PowerTally(shape=(2, 2), half_width=1.0)
+        t.score_track(np.zeros(3), 1.0, 1.0, 0.0)
+        t.end_batch(1.0)
+        assert t.mean.sum() == 0.0
+
+    def test_batch_statistics(self):
+        t = PowerTally(shape=(1, 1), half_width=1.0)
+        for score in (2.0, 4.0, 6.0):
+            t.score_track(np.zeros(3), score, 1.0, 1.0)
+            t.end_batch(1.0)
+        assert t.n_batches == 3
+        assert t.mean[0, 0] == pytest.approx(4.0)
+        # Relative standard error of the batch mean.
+        expected_err = np.std([2, 4, 6], ddof=1) / np.sqrt(3) / 4.0
+        assert t.rel_err[0, 0] == pytest.approx(expected_err)
+
+    def test_rel_err_inf_before_two_batches(self):
+        t = PowerTally(shape=(1, 1), half_width=1.0)
+        t.score_track(np.zeros(3), 1.0, 1.0, 1.0)
+        t.end_batch(1.0)
+        assert np.isinf(t.rel_err[0, 0])
+
+    def test_end_batch_requires_weight(self):
+        t = PowerTally(shape=(1, 1), half_width=1.0)
+        with pytest.raises(ReproError):
+            t.end_batch(0.0)
+
+    def test_normalized_power_mean_one(self):
+        t = PowerTally(shape=(2, 2), half_width=1.0)
+        t.score_track(np.array([-0.5, -0.5, 0.0]), 3.0, 1.0, 1.0)
+        t.score_track(np.array([0.5, 0.5, 0.0]), 1.0, 1.0, 1.0)
+        t.end_batch(1.0)
+        norm = t.normalized_power()
+        fueled = norm > 0
+        assert norm[fueled].mean() == pytest.approx(1.0)
+
+
+class TestFullCorePower:
+    @pytest.fixture(scope="class")
+    def result(self, small_library):
+        sim = Simulation(
+            small_library,
+            Settings(
+                n_particles=150, n_inactive=1, n_active=3, pincell=False,
+                mode="event", seed=9, tally_power=True,
+            ),
+        )
+        return sim.run()
+
+    def test_power_confined_to_core_footprint(self, result):
+        assert result.power.footprint_matches_core()
+
+    def test_active_batches_only(self, result):
+        assert result.power.n_batches == 3
+
+    def test_symmetryish(self, result):
+        """With few particles the map is noisy, but total power is
+        positive and spread over many assemblies."""
+        mean = result.power.mean
+        assert (mean > 0).sum() > 20
+
+    def test_history_and_event_power_identical(self, small_library):
+        common = dict(
+            n_particles=80, n_inactive=1, n_active=2, pincell=False,
+            seed=9, tally_power=True,
+        )
+        ph = Simulation(small_library, Settings(mode="history", **common)).run()
+        pe = Simulation(small_library, Settings(mode="event", **common)).run()
+        np.testing.assert_allclose(ph.power.mean, pe.power.mean, rtol=1e-10)
+
+    def test_footprint_check_requires_default_mesh(self):
+        t = PowerTally(shape=(4, 4), half_width=2.0)
+        with pytest.raises(ReproError):
+            t.footprint_matches_core()

@@ -1,0 +1,109 @@
+"""Tests for particle representations and banking (AoS <-> SoA)."""
+
+import numpy as np
+import pytest
+
+from repro.rng.lcg import RandomStream, particle_seeds
+from repro.transport.particle import FissionBank, Particle, ParticleBank
+
+
+class TestParticle:
+    def test_from_source_positions_stream(self):
+        p = Particle.from_source(5, np.array([1.0, 2.0, 3.0]), 2.0, master_seed=9)
+        # Stream is 2 draws past the start of history 5's stride.
+        ref = RandomStream()
+        ref.set_particle(9, 5)
+        ref.prn(), ref.prn()
+        assert p.stream.seed == ref.seed
+
+    def test_direction_is_unit(self):
+        p = Particle.from_source(0, np.zeros(3), 1.0)
+        assert np.linalg.norm(p.direction) == pytest.approx(1.0)
+
+    def test_position_copied(self):
+        pos = np.array([1.0, 1.0, 1.0])
+        p = Particle.from_source(0, pos, 1.0)
+        pos[0] = 99.0
+        assert p.position[0] == 1.0
+
+
+class TestParticleBank:
+    def test_from_source_matches_scalar_births(self):
+        """Vectorized birth draws the same direction as scalar birth."""
+        positions = np.random.default_rng(1).uniform(-1, 1, (8, 3))
+        energies = np.linspace(0.5, 2.0, 8)
+        bank = ParticleBank.from_source(positions, energies, first_id=3, master_seed=9)
+        for i in range(8):
+            p = Particle.from_source(3 + i, positions[i], energies[i], master_seed=9)
+            np.testing.assert_allclose(bank.direction[i], p.direction, rtol=1e-12)
+            assert bank.rng_state[i] == p.stream.seed
+
+    def test_roundtrip_aos_soa(self):
+        positions = np.random.default_rng(2).uniform(-1, 1, (5, 3))
+        bank = ParticleBank.from_source(positions, np.ones(5))
+        particles = bank.to_particles()
+        back = ParticleBank.from_particles(particles)
+        np.testing.assert_allclose(back.position, bank.position)
+        np.testing.assert_allclose(back.direction, bank.direction)
+        np.testing.assert_array_equal(back.rng_state, bank.rng_state)
+
+    def test_n_alive(self):
+        bank = ParticleBank(4)
+        bank.alive[2] = False
+        assert bank.n_alive == 3
+
+    def test_nbytes_positive(self):
+        assert ParticleBank(10).nbytes > 0
+
+
+class TestFissionBank:
+    def test_add_and_len(self):
+        bank = FissionBank()
+        bank.add(np.zeros(3), 1.0)
+        bank.add(np.ones(3), 2.0)
+        assert len(bank) == 2
+
+    def test_canonical_order_independent_of_insertion(self):
+        """The (parent, seq) ordering makes history- and event-style
+        insertion orders equivalent."""
+        a = FissionBank()
+        # history style: per-parent in order
+        a.add(np.array([0.0, 0, 0]), 1.0, parent=0, seq=0)
+        a.add(np.array([1.0, 0, 0]), 2.0, parent=0, seq=1)
+        a.add(np.array([2.0, 0, 0]), 3.0, parent=1, seq=0)
+        b = FissionBank()
+        # event style: site-peel order (all seq 0 first)
+        b.add(np.array([0.0, 0, 0]), 1.0, parent=0, seq=0)
+        b.add(np.array([2.0, 0, 0]), 3.0, parent=1, seq=0)
+        b.add(np.array([1.0, 0, 0]), 2.0, parent=0, seq=1)
+        np.testing.assert_allclose(a.positions, b.positions)
+        np.testing.assert_allclose(a.energies, b.energies)
+
+    def test_sample_exact_size(self):
+        bank = FissionBank()
+        for i in range(10):
+            bank.add(np.array([float(i), 0, 0]), float(i))
+        rng = np.random.default_rng(0)
+        pos, en = bank.sample_source(10, rng)
+        # Same size: identity resample, canonical order.
+        np.testing.assert_allclose(en, np.arange(10.0))
+
+    def test_sample_upsamples_with_replacement(self):
+        bank = FissionBank()
+        bank.add(np.zeros(3), 1.0)
+        rng = np.random.default_rng(0)
+        pos, en = bank.sample_source(5, rng)
+        assert pos.shape == (5, 3)
+        np.testing.assert_allclose(en, 1.0)
+
+    def test_sample_downsamples_without_replacement(self):
+        bank = FissionBank()
+        for i in range(20):
+            bank.add(np.array([float(i), 0, 0]), float(i))
+        rng = np.random.default_rng(0)
+        pos, en = bank.sample_source(5, rng)
+        assert len(set(en.tolist())) == 5
+
+    def test_empty_bank_raises(self):
+        with pytest.raises(ValueError):
+            FissionBank().sample_source(3, np.random.default_rng(0))

@@ -1,0 +1,121 @@
+"""Tests for the batched eigenvalue driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.geometry.hoogenboom import MAT_FUEL
+from repro.transport import Settings, Simulation
+
+
+@pytest.fixture(scope="module")
+def quick_result(small_library):
+    sim = Simulation(
+        small_library,
+        Settings(
+            n_particles=120, n_inactive=1, n_active=3, pincell=True,
+            mode="event", seed=11,
+        ),
+    )
+    return sim.run()
+
+
+class TestSettings:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ExecutionError):
+            Settings(mode="quantum")
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ExecutionError):
+            Settings(n_particles=0)
+
+
+class TestInitialSource:
+    def test_source_in_fuel(self, small_library):
+        sim = Simulation(
+            small_library, Settings(n_particles=50, pincell=True, seed=1)
+        )
+        pos, en = sim.initial_source(50)
+        assert np.all(sim.ctx.fast.locate_many(pos) == MAT_FUEL)
+        assert np.all(en > 0)
+
+    def test_source_in_full_core_fuel(self, small_library):
+        sim = Simulation(
+            small_library, Settings(n_particles=30, pincell=False, seed=1)
+        )
+        pos, _ = sim.initial_source(30)
+        assert np.all(sim.ctx.fast.locate_many(pos) == MAT_FUEL)
+
+    def test_watt_spectrum_shape(self, small_library):
+        sim = Simulation(small_library, Settings(n_particles=10, pincell=True))
+        _, en = sim.initial_source(2000)
+        # Watt spectrum with a=0.988, b=2.249 has mean ~2 MeV.
+        assert 1.5 < en.mean() < 2.5
+        assert en.min() > 0
+
+    def test_deterministic(self, small_library):
+        s = Settings(n_particles=20, pincell=True, seed=3)
+        p1, e1 = Simulation(small_library, s).initial_source(20)
+        p2, e2 = Simulation(small_library, s).initial_source(20)
+        np.testing.assert_allclose(p1, p2)
+        np.testing.assert_allclose(e1, e2)
+
+
+class TestRun:
+    def test_batch_count(self, quick_result):
+        assert quick_result.n_batches == 4
+        assert quick_result.statistics.n_batches == 4
+
+    def test_k_physical(self, quick_result):
+        k = quick_result.k_effective
+        assert 0.3 < k.mean < 1.5
+
+    def test_entropy_recorded(self, quick_result):
+        assert len(quick_result.entropy_trace) == 4
+        assert all(e >= 0 for e in quick_result.entropy_trace)
+
+    def test_rate_positive(self, quick_result):
+        assert quick_result.calculation_rate > 0
+
+    def test_counters_accumulated(self, quick_result):
+        c = quick_result.counters
+        assert c.lookups > 0
+        assert c.collisions > 0
+        assert c.flights >= c.collisions
+
+    def test_reproducible(self, small_library):
+        s = Settings(
+            n_particles=60, n_inactive=1, n_active=2, pincell=True,
+            mode="event", seed=21,
+        )
+        r1 = Simulation(small_library, s).run()
+        r2 = Simulation(small_library, s).run()
+        np.testing.assert_allclose(
+            r1.statistics.k_collision, r2.statistics.k_collision, rtol=1e-14
+        )
+
+    def test_seed_changes_results(self, small_library):
+        base = dict(
+            n_particles=60, n_inactive=1, n_active=2, pincell=True, mode="event"
+        )
+        r1 = Simulation(small_library, Settings(seed=1, **base)).run()
+        r2 = Simulation(small_library, Settings(seed=2, **base)).run()
+        assert not np.allclose(
+            r1.statistics.k_collision, r2.statistics.k_collision
+        )
+
+    def test_estimators_agree_statistically(self, small_library):
+        """Collision, absorption, and track-length estimators of the same
+        run agree within a loose statistical band."""
+        r = Simulation(
+            small_library,
+            Settings(
+                n_particles=250, n_inactive=1, n_active=4, pincell=True,
+                mode="event", seed=31,
+            ),
+        ).run()
+        kc = r.statistics.result_collision().mean
+        ka = r.statistics.result_absorption().mean
+        kt = r.statistics.result_track().mean
+        assert ka == pytest.approx(kc, rel=0.15)
+        assert kt == pytest.approx(kc, rel=0.15)

@@ -1,0 +1,134 @@
+"""Tests for the energy-spectrum flux tally — end-to-end physics validation."""
+
+import numpy as np
+import pytest
+
+from repro.constants import KT_ROOM
+from repro.data.unionized import UnionizedGrid
+from repro.errors import ReproError
+from repro.transport.context import TransportContext
+from repro.transport.events import run_generation_event
+from repro.transport.history import run_generation_history
+from repro.transport.spectrum import SpectrumTally
+from repro.transport.tally import GlobalTallies
+
+
+class TestBinning:
+    def test_edges_log_uniform(self):
+        t = SpectrumTally(n_bins=10, e_min=1e-10, e_max=10.0)
+        ratios = t.edges[1:] / t.edges[:-1]
+        np.testing.assert_allclose(ratios, ratios[0])
+
+    def test_bin_of_clamps(self):
+        t = SpectrumTally(n_bins=10, e_min=1e-6, e_max=1.0)
+        assert t.bin_of(1e-12) == 0
+        assert t.bin_of(100.0) == 9
+
+    def test_centers_inside_edges(self):
+        t = SpectrumTally(n_bins=5)
+        assert np.all(t.centers > t.edges[:-1])
+        assert np.all(t.centers < t.edges[1:])
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SpectrumTally(n_bins=0)
+        with pytest.raises(ReproError):
+            SpectrumTally(e_min=1.0, e_max=0.1)
+
+
+class TestScoring:
+    def test_scalar_vector_agree(self):
+        rng = np.random.default_rng(0)
+        e = np.exp(rng.uniform(np.log(1e-10), np.log(10), 100))
+        w = rng.random(100)
+        d = rng.random(100)
+        a = SpectrumTally()
+        b = SpectrumTally()
+        for i in range(100):
+            a.score_track(e[i], w[i], d[i])
+        b.score_track_many(e, w, d)
+        np.testing.assert_allclose(a.flux, b.flux, rtol=1e-12)
+        assert a.total_weight == pytest.approx(b.total_weight)
+
+    def test_per_lethargy_normalized(self):
+        t = SpectrumTally(n_bins=20)
+        rng = np.random.default_rng(1)
+        t.score_track_many(
+            np.exp(rng.uniform(np.log(1e-9), np.log(1), 500)),
+            np.ones(500),
+            np.ones(500),
+        )
+        phi = t.per_lethargy()
+        du = np.log(t.edges[1:] / t.edges[:-1])
+        assert (phi * du).sum() == pytest.approx(1.0)
+
+    def test_empty_tally(self):
+        t = SpectrumTally()
+        assert t.per_lethargy().sum() == 0.0
+        assert t.fraction_below(1.0) == 0.0
+
+    def test_fraction_below(self):
+        t = SpectrumTally(n_bins=10, e_min=1e-8, e_max=1.0)
+        t.score_track(2e-8, 1.0, 1.0)  # bin 0
+        t.score_track(0.5, 1.0, 3.0)  # top bin
+        assert t.fraction_below(1e-4) == pytest.approx(0.25)
+
+
+class TestReactorSpectrum:
+    @pytest.fixture(scope="class")
+    def spectrum(self, small_library):
+        union = UnionizedGrid(small_library)
+        ctx = TransportContext.create(
+            small_library, pincell=True, union=union, master_seed=3,
+            survival_biasing=True,
+        )
+        spec = SpectrumTally()
+        rng = np.random.default_rng(4)
+        pos = np.column_stack(
+            [rng.uniform(-0.3, 0.3, 300), rng.uniform(-0.3, 0.3, 300),
+             rng.uniform(-150, 150, 300)]
+        )
+        en = np.full(300, 2.0)
+        t = GlobalTallies()
+        for g in range(3):
+            bank = run_generation_event(
+                ctx, pos, en, t, 1.0, g * 300, spectrum=spec
+            )
+            pos, en = bank.sample_source(300, rng)
+        return spec
+
+    def test_thermal_population_exists(self, spectrum):
+        """Moderation + S(a,b) upscatter produce a thermal population."""
+        assert spectrum.fraction_below(4e-6) > 0.03
+
+    def test_fission_peak_in_mev_range(self, spectrum):
+        phi = spectrum.per_lethargy()
+        fast = phi[spectrum.bin_of(2.0)]
+        epithermal = phi[spectrum.bin_of(1e-5)]
+        assert fast > epithermal
+
+    def test_one_over_e_region_flat_in_lethargy(self, spectrum):
+        """Slowing-down flux is ~flat per lethargy between 100 eV and
+        100 keV."""
+        phi = spectrum.per_lethargy()
+        lo = phi[spectrum.bin_of(1e-4)]
+        hi = phi[spectrum.bin_of(1e-2)]
+        assert abs(np.log(hi / lo)) < 1.5
+
+    def test_history_event_spectra_identical(self, small_library):
+        union = UnionizedGrid(small_library)
+        rng = np.random.default_rng(5)
+        pos = np.column_stack(
+            [rng.uniform(-0.3, 0.3, 60), rng.uniform(-0.3, 0.3, 60),
+             rng.uniform(-100, 100, 60)]
+        )
+        en = np.full(60, 1.0)
+        results = []
+        for runner in (run_generation_history, run_generation_event):
+            ctx = TransportContext.create(
+                small_library, pincell=True, union=union, master_seed=3
+            )
+            spec = SpectrumTally()
+            runner(ctx, pos, en, GlobalTallies(), 1.0, 0, spectrum=spec)
+            results.append(spec.flux)
+        np.testing.assert_allclose(results[0], results[1], rtol=1e-10)

@@ -1,0 +1,66 @@
+"""Tests for figure-of-merit statistics."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.transport import Settings, Simulation
+from repro.transport.statistics import (
+    EfficiencyComparison,
+    figure_of_merit,
+    fom_of_result,
+)
+
+
+class TestFigureOfMerit:
+    def test_formula(self):
+        assert figure_of_merit(0.1, 10.0) == pytest.approx(10.0)
+
+    def test_invariant_under_longer_runs(self):
+        """Quadrupling the time halves the error: FOM unchanged."""
+        assert figure_of_merit(0.05, 40.0) == pytest.approx(
+            figure_of_merit(0.1, 10.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            figure_of_merit(0.0, 1.0)
+        with pytest.raises(ReproError):
+            figure_of_merit(0.1, 0.0)
+
+
+class TestFOMOfResult:
+    @pytest.fixture(scope="class")
+    def results(self, small_library):
+        out = {}
+        for label, survival in (("analog", False), ("survival", True)):
+            out[label] = Simulation(
+                small_library,
+                Settings(
+                    n_particles=200, n_inactive=1, n_active=4,
+                    pincell=True, mode="event", seed=33,
+                    survival_biasing=survival,
+                ),
+            ).run()
+        return out
+
+    def test_fom_positive(self, results):
+        for r in results.values():
+            assert fom_of_result(r) > 0
+
+    def test_comparison(self, results):
+        cmp = EfficiencyComparison.of(
+            "analog", results["analog"], "survival", results["survival"]
+        )
+        assert cmp.ratio > 0
+        assert cmp.fom_a == pytest.approx(fom_of_result(results["analog"]))
+
+    def test_single_batch_rejected(self, small_library):
+        r = Simulation(
+            small_library,
+            Settings(
+                n_particles=60, n_inactive=0, n_active=1, pincell=True,
+                mode="event", seed=3,
+            ),
+        ).run()
+        with pytest.raises(ReproError):
+            fom_of_result(r)

@@ -1,0 +1,110 @@
+"""Tests for tallies, k estimators, and batch statistics."""
+
+import numpy as np
+import pytest
+
+from repro.transport.tally import BatchStatistics, GlobalTallies
+
+
+class TestGlobalTallies:
+    def test_collision_estimator(self):
+        t = GlobalTallies()
+        t.source_weight = 2.0
+        t.score_collision(1.0, nu_sigma_f=0.5, sigma_t=1.0)
+        t.score_collision(1.0, nu_sigma_f=0.5, sigma_t=0.5)
+        assert t.k_collision() == pytest.approx((0.5 + 1.0) / 2.0)
+
+    def test_absorption_estimator(self):
+        t = GlobalTallies()
+        t.source_weight = 1.0
+        t.score_absorption(1.0, nu_sigma_f=0.3, sigma_a=0.6)
+        assert t.k_absorption() == pytest.approx(0.5)
+
+    def test_track_estimator(self):
+        t = GlobalTallies()
+        t.source_weight = 1.0
+        t.score_track(1.0, distance=2.0, nu_sigma_f=0.25)
+        assert t.k_track_length() == pytest.approx(0.5)
+
+    def test_vectorized_scores_match_scalar(self):
+        rng = np.random.default_rng(0)
+        w = rng.random(50)
+        nsf = rng.random(50)
+        st = rng.random(50) + 0.1
+        d = rng.random(50)
+        a, b = GlobalTallies(), GlobalTallies()
+        for i in range(50):
+            a.score_collision(w[i], nsf[i], st[i])
+            a.score_absorption(w[i], nsf[i], st[i])
+            a.score_track(w[i], d[i], nsf[i])
+        b.score_collision_many(w, nsf, st)
+        b.score_absorption_many(w, nsf, st)
+        b.score_track_many(w, d, nsf)
+        assert b.collision == pytest.approx(a.collision)
+        assert b.absorption == pytest.approx(a.absorption)
+        assert b.track_length == pytest.approx(a.track_length)
+
+    def test_zero_sigma_guarded(self):
+        t = GlobalTallies()
+        t.source_weight = 1.0
+        t.score_collision(1.0, 0.5, 0.0)
+        assert t.k_collision() == 0.0
+
+    def test_array_roundtrip(self):
+        t = GlobalTallies()
+        t.source_weight = 3.0
+        t.score_collision(1.0, 0.5, 1.0)
+        t.n_leaks = 2
+        back = GlobalTallies.from_array(t.as_array())
+        assert back.collision == pytest.approx(t.collision)
+        assert back.n_leaks == 2
+
+    def test_reset(self):
+        t = GlobalTallies()
+        t.score_collision(1.0, 0.5, 1.0)
+        t.reset()
+        assert t.collision == 0.0 and t.n_collisions == 0
+
+
+class TestBatchStatistics:
+    def make(self, ks, n_inactive=2):
+        stats = BatchStatistics(n_inactive=n_inactive)
+        for k in ks:
+            t = GlobalTallies()
+            t.source_weight = 1.0
+            t.collision = k
+            t.absorption = k
+            t.track_length = k
+            stats.record(t)
+        return stats
+
+    def test_inactive_excluded(self):
+        stats = self.make([10.0, 10.0, 1.0, 1.2, 0.8])
+        r = stats.result_collision()
+        assert r.mean == pytest.approx(1.0)
+        assert r.n_batches == 3
+
+    def test_std_err(self):
+        stats = self.make([0, 0, 1.0, 2.0, 3.0])
+        r = stats.result_collision()
+        expected = np.std([1, 2, 3], ddof=1) / np.sqrt(3)
+        assert r.std_err == pytest.approx(expected)
+
+    def test_single_active_batch_has_inf_err(self):
+        stats = self.make([5.0, 5.0, 1.0])
+        assert stats.result_collision().std_err == np.inf
+
+    def test_no_active_batches_nan(self):
+        stats = self.make([5.0], n_inactive=2)
+        assert np.isnan(stats.result_collision().mean)
+
+    def test_combined_k_averages_estimators(self):
+        stats = self.make([0, 0, 1.5])
+        assert stats.combined_k().mean == pytest.approx(1.5)
+
+    def test_running_k_all_batches(self):
+        stats = self.make([2.0, 1.0])
+        assert stats.running_k() == pytest.approx(1.5)
+
+    def test_running_k_before_batches(self):
+        assert BatchStatistics(n_inactive=0).running_k() == 1.0
