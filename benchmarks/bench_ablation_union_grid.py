@@ -21,7 +21,6 @@ def with_union(tiny_large, union_large):
 
 @pytest.fixture(scope="module")
 def without_union(tiny_large):
-    from repro.geometry.materials import make_cladding, make_fuel, make_water
     from repro.physics.macroxs import XSCalculator
 
     # Build an XSBench-like wrapper whose calculator has no union grid.

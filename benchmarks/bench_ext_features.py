@@ -1,7 +1,6 @@
 """Benchmarks for the extension features: distributed runs, multigroup
 condensation, power/spectrum tallies, and survival biasing overhead."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.distributed import DistributedSimulation

@@ -5,8 +5,6 @@ pointwise tables) that produces the paper's Fig. 1 curve, and asserts the
 curve's structural regimes.
 """
 
-import numpy as np
-
 from repro.data.library import LibraryConfig, build_nuclide
 from repro.experiments import run_experiment
 from repro.types import Reaction

@@ -1,7 +1,5 @@
 """Fig. 6 bench: strong scaling sweep on the simulated Stampede cluster."""
 
-import pytest
-
 from repro.cluster.scaling import strong_scaling
 from repro.cluster.topology import STAMPEDE
 

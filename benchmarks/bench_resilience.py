@@ -1,0 +1,114 @@
+"""Resilience bench: checkpoint write/restore cost vs. batch wall time.
+
+The operational requirement: at the default cadence
+(:data:`repro.resilience.checkpoint.DEFAULT_CADENCE` batches between
+writes), checkpointing must cost **< 5% of batch wall time** — resilience
+is supposed to be cheap insurance, not a second workload.  The suite times
+the raw save/load path on a production-sized state (1e4 particles) and
+then measures the end-to-end overhead inside a real checkpointed run via
+the driver's own profile.
+"""
+
+import numpy as np
+import pytest
+
+from repro.resilience.checkpoint import (
+    DEFAULT_CADENCE,
+    CheckpointState,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.transport import Settings, Simulation
+
+N_PARTICLES = 10_000
+
+
+@pytest.fixture(scope="module")
+def big_state():
+    rng = np.random.default_rng(3)
+    n_batches = 40
+    return CheckpointState(
+        batches_done=n_batches,
+        id_offset=n_batches * N_PARTICLES,
+        n_inactive=10,
+        fingerprint="b" * 64,
+        positions=rng.normal(size=(N_PARTICLES, 3)),
+        energies=rng.uniform(1e-5, 2.0, N_PARTICLES),
+        k_collision=list(rng.uniform(0.9, 1.1, n_batches)),
+        k_absorption=list(rng.uniform(0.9, 1.1, n_batches)),
+        k_track=list(rng.uniform(0.9, 1.1, n_batches)),
+        entropy=list(rng.uniform(3.0, 4.0, n_batches)),
+        source_rng_state=np.random.default_rng(3).bit_generator.state,
+        counters={"lookups": 10**9, "collisions": 10**8},
+        elapsed_seconds=3600.0,
+    )
+
+
+def test_checkpoint_write(benchmark, big_state, tmp_path):
+    """Atomic serialize + hash + fsync + rename of a 1e4-particle state."""
+    path = benchmark(save_checkpoint, big_state, tmp_path / "bench.rpk")
+    assert path.exists()
+
+
+def test_checkpoint_restore(benchmark, big_state, tmp_path):
+    """Read + verify + unpack of the same state."""
+    path = save_checkpoint(big_state, tmp_path / "bench.rpk")
+    loaded = benchmark(load_checkpoint, path)
+    assert loaded.batches_done == big_state.batches_done
+
+
+class TestOverheadBudget:
+    """End-to-end: checkpointing inside a real run stays under budget."""
+
+    def test_write_overhead_under_5pct_of_batch_time(
+        self, tiny_small, tmp_path
+    ):
+        settings = Settings(
+            n_particles=150,
+            n_inactive=1,
+            n_active=2 * DEFAULT_CADENCE - 1,
+            pincell=True,
+            mode="event",
+            seed=5,
+            checkpoint_every=DEFAULT_CADENCE,
+            checkpoint_dir=str(tmp_path),
+        )
+        result = Simulation(tiny_small, settings).run()
+        profile = result.profile
+        writes = profile.routines["checkpoint_write"]
+        transport = profile.routines["transport_generation"]
+        assert writes.calls == 2  # 10 batches at cadence 5
+        batch_seconds = transport.total_seconds / transport.calls
+        # Overhead amortized over one cadence window, per batch.
+        per_batch_overhead = writes.mean_seconds / DEFAULT_CADENCE
+        fraction = per_batch_overhead / batch_seconds
+        print(
+            f"\ncheckpoint overhead: {writes.mean_seconds * 1e3:.2f} ms/write, "
+            f"{100 * fraction:.3f}% of batch wall time at cadence "
+            f"{DEFAULT_CADENCE}"
+        )
+        assert fraction < 0.05
+
+    def test_restore_cost_bounded_by_one_batch(self, tiny_small, tmp_path):
+        settings = Settings(
+            n_particles=150,
+            n_inactive=1,
+            n_active=DEFAULT_CADENCE,
+            pincell=True,
+            mode="event",
+            seed=5,
+            checkpoint_every=DEFAULT_CADENCE,
+            checkpoint_dir=str(tmp_path),
+        )
+        Simulation(tiny_small, settings).run()
+        from repro.resilience.checkpoint import latest_checkpoint
+
+        resumed = Simulation(tiny_small, settings).run(
+            resume_from=latest_checkpoint(tmp_path)
+        )
+        profile = resumed.profile
+        restore = profile.routines["checkpoint_restore"]
+        transport = profile.routines["transport_generation"]
+        batch_seconds = transport.total_seconds / transport.calls
+        # Restoring must be far cheaper than redoing even one batch.
+        assert restore.total_seconds < batch_seconds

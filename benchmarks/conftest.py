@@ -1,6 +1,5 @@
 """Shared fixtures for the benchmark suite (tiny-fidelity libraries)."""
 
-import numpy as np
 import pytest
 
 from repro.data import LibraryConfig, UnionizedGrid, build_library

@@ -1,12 +1,23 @@
 """``repro-sim``: run eigenvalue simulations from the command line.
 
+Subcommands::
+
+    repro-sim run --pincell --particles 500 --mode event
+    repro-sim checkpoint --pincell --dir ckpts --every 2   # checkpointed run
+    repro-sim resume --pincell --dir ckpts                 # continue latest
+
+The bare legacy form (``repro-sim --pincell ...``) still works and is
+equivalent to ``repro-sim run ...``.  ``resume`` must be given the same
+physics flags as the original run — checkpoints carry a settings
+fingerprint and refuse to resume under different physics (the
+bit-identical-resume guarantee would silently break otherwise).
+
 Examples::
 
-    repro-sim --pincell --particles 500 --mode event
-    repro-sim --model hm-large --particles 200 --batches 3 --inactive 1 \
+    repro-sim run --model hm-large --particles 200 --batches 3 --inactive 1 \
               --survival-biasing --tally-power
-    repro-sim --pincell --save-library lib.npz
-    repro-sim --pincell --library lib.npz     # reuse a saved library
+    repro-sim run --pincell --save-library lib.npz
+    repro-sim run --pincell --library lib.npz     # reuse a saved library
 """
 
 from __future__ import annotations
@@ -16,17 +27,17 @@ import sys
 
 from .data import LibraryConfig, build_library
 from .data.io import load_library, save_library
+from .resilience.checkpoint import DEFAULT_CADENCE, latest_checkpoint
 from .transport import Settings, Simulation
 
 __all__ = ["main"]
 
+_SUBCOMMANDS = ("run", "checkpoint", "resume")
 
-def build_parser() -> argparse.ArgumentParser:
-    p = argparse.ArgumentParser(
-        prog="repro-sim",
-        description="Monte Carlo eigenvalue simulation (history or "
-        "event/banked transport) on the Hoogenboom-Martin models.",
-    )
+
+def _simulation_args() -> argparse.ArgumentParser:
+    """Shared simulation flags (parent parser for every subcommand)."""
+    p = argparse.ArgumentParser(add_help=False)
     p.add_argument("--model", default="hm-small",
                    choices=["hm-small", "hm-large"])
     p.add_argument("--pincell", action="store_true",
@@ -56,7 +67,58 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def build_parser() -> argparse.ArgumentParser:
+    shared = _simulation_args()
+    p = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Monte Carlo eigenvalue simulation (history or "
+        "event/banked transport) on the Hoogenboom-Martin models.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+    sub.add_parser("run", parents=[shared],
+                   help="run a simulation start to finish")
+    ck = sub.add_parser("checkpoint", parents=[shared],
+                        help="run with periodic checkpoints")
+    ck.add_argument("--dir", required=True, dest="checkpoint_dir",
+                    help="directory receiving checkpoint files")
+    ck.add_argument("--every", type=int, default=DEFAULT_CADENCE,
+                    dest="checkpoint_every", metavar="N",
+                    help=f"batches between checkpoints "
+                    f"(default {DEFAULT_CADENCE})")
+    rs = sub.add_parser("resume", parents=[shared],
+                        help="resume an interrupted run from its latest "
+                        "checkpoint (bit-identical to an uninterrupted run)")
+    rs.add_argument("--dir", required=True, dest="checkpoint_dir",
+                    help="directory holding the run's checkpoints")
+    rs.add_argument("--every", type=int, default=DEFAULT_CADENCE,
+                    dest="checkpoint_every", metavar="N",
+                    help="keep checkpointing every N batches while resumed")
+    return p
+
+
+def _build_settings(args: argparse.Namespace) -> Settings:
+    return Settings(
+        n_particles=args.particles,
+        n_inactive=args.inactive,
+        n_active=args.batches,
+        seed=args.seed,
+        mode=args.mode,
+        pincell=args.pincell,
+        use_sab=not args.no_sab,
+        use_urr=not args.no_urr,
+        survival_biasing=args.survival_biasing,
+        tally_power=args.tally_power,
+        checkpoint_every=getattr(args, "checkpoint_every", 0),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy flat form: "repro-sim --pincell ..." means "run".
+    if not argv or (argv[0] not in _SUBCOMMANDS
+                    and argv[0] not in ("-h", "--help")):
+        argv = ["run", *argv]
     args = build_parser().parse_args(argv)
 
     if args.library:
@@ -78,20 +140,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"saved to {args.save_library}")
         return 0
 
-    settings = Settings(
-        n_particles=args.particles,
-        n_inactive=args.inactive,
-        n_active=args.batches,
-        seed=args.seed,
-        mode=args.mode,
-        pincell=args.pincell,
-        use_sab=not args.no_sab,
-        use_urr=not args.no_urr,
-        survival_biasing=args.survival_biasing,
-        tally_power=args.tally_power,
-    )
+    settings = _build_settings(args)
     sim = Simulation(library, settings)
-    result = sim.run()
+
+    if args.command == "resume":
+        ckpt = latest_checkpoint(args.checkpoint_dir)
+        if ckpt is None:
+            print(f"no checkpoint found in {args.checkpoint_dir}",
+                  file=sys.stderr)
+            return 1
+        print(f"resuming from {ckpt}")
+        result = sim.run(resume_from=ckpt)
+    else:
+        result = sim.run()
 
     print(f"\nmode: {result.mode}  "
           f"({'pin cell' if args.pincell else 'full core'}, "
@@ -101,7 +162,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"k (absorption)          = {result.statistics.result_absorption()}")
     print(f"k (track-length)        = {result.statistics.result_track()}")
     print(f"calculation rate        = {result.calculation_rate:,.0f} n/s")
-    print(f"entropy trace           = "
+    print("entropy trace           = "
           + " ".join(f"{e:.3f}" for e in result.entropy_trace))
     c = result.counters
     print(f"work: {c.lookups:,} lookups, {c.collisions:,} collisions, "
@@ -111,6 +172,13 @@ def main(argv: list[str] | None = None) -> int:
         norm = result.power.normalized_power()
         print(f"assembly power peaking factor = {norm.max():.2f} "
               f"({result.power.n_batches} active batches)")
+    if args.command in ("checkpoint", "resume") and result.profile is not None:
+        ck_stats = result.profile.routines.get("checkpoint_write")
+        if ck_stats is not None:
+            print(f"checkpoints: {ck_stats.calls} written, "
+                  f"{ck_stats.total_seconds * 1e3:.1f} ms total "
+                  f"({100 * result.profile.fraction('checkpoint_write'):.2f}% "
+                  f"of profiled time)")
     return 0
 
 

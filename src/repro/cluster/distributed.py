@@ -12,16 +12,27 @@ run — the property that makes MC transport "pleasingly parallel" and the
 reason the paper's distributed results (Figs. 6-7) reduce to per-node rate
 modelling.  The communicator charges modelled time for every collective,
 so the run also yields the communication/computation split.
+
+The same global-id keying powers the **rank-failure recovery path**: when a
+:class:`~repro.resilience.faults.FaultPlan` crashes a rank mid-generation,
+the dead rank's particle slice is redistributed contiguously across the
+survivors (:func:`repro.resilience.recovery.redistribute_slice`) and
+re-run.  The recovered histories are the exact histories the dead rank
+would have produced, so even a run that loses ranks matches the serial run
+bit-for-bit; only the modelled clock shows the failure (detection timeout,
+backoff, re-shipped source sites, and a shrunken communicator).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..data.library import NuclideLibrary
 from ..errors import ClusterError
+from ..resilience.faults import FaultPlan
+from ..resilience.recovery import RetryPolicy, redistribute_slice
 from ..transport.events import run_generation_event
 from ..transport.history import run_generation_history
 from ..transport.simulation import Settings, Simulation
@@ -39,6 +50,12 @@ class DistributedResult:
     n_ranks: int
     comm_time: float
     per_rank_particles: list[int]
+    #: Modelled seconds spent detecting failures and re-running lost slices.
+    recovery_time: float = 0.0
+    #: Ranks (original ids) lost to injected crashes, in failure order.
+    failed_ranks: list[int] = field(default_factory=list)
+    #: Ranks still alive at the end of the run.
+    surviving_ranks: int = 0
 
     @property
     def k_effective(self):
@@ -52,6 +69,9 @@ class DistributedSimulation:
     wall-clock parallelism), but every data movement a real MPI build
     performs — tally reduction, bank merge, source broadcast — goes through
     the communicator and is charged modelled fabric time.
+
+    ``fault_plan`` injects deterministic rank crashes; ``retry_policy``
+    prices failure detection and backoff on the modelled clock.
     """
 
     def __init__(
@@ -60,25 +80,30 @@ class DistributedSimulation:
         settings: Settings,
         n_ranks: int,
         fabric: FabricModel | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if n_ranks < 1:
             raise ClusterError("need at least one rank")
         self.settings = settings
         self.n_ranks = n_ranks
         self.comm = SimulatedComm(n_ranks, fabric)
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy or RetryPolicy()
         # One Simulation provides source sampling and a shared context
         # (read-only nuclear data and geometry are node-replicated in the
         # paper's runs; sharing the context models that replication).
         self._driver = Simulation(library, settings)
         self.ctx = self._driver.ctx
 
-    def _rank_slices(self, n: int) -> list[slice]:
+    def _rank_slices(self, n: int, n_ranks: int | None = None) -> list[slice]:
         """Contiguous particle slices per rank (OpenMC's static split)."""
-        base = n // self.n_ranks
-        rem = n % self.n_ranks
+        k = self.n_ranks if n_ranks is None else n_ranks
+        base = n // k
+        rem = n % k
         slices = []
         start = 0
-        for r in range(self.n_ranks):
+        for r in range(k):
             count = base + (1 if r < rem else 0)
             slices.append(slice(start, start + count))
             start += count
@@ -91,14 +116,35 @@ class DistributedSimulation:
         )
         stats = BatchStatistics(n_inactive=s.n_inactive)
         positions, energies = self._driver.initial_source(s.n_particles)
-        slices = self._rank_slices(s.n_particles)
+        initial_slices = self._rank_slices(s.n_particles)
+
+        alive = list(range(self.n_ranks))
+        failed_ranks: list[int] = []
+        recovery_time = 0.0
 
         id_offset = 0
-        for _ in range(s.n_inactive + s.n_active):
+        for batch_idx in range(s.n_inactive + s.n_active):
             k_norm = stats.running_k()
-            rank_tallies: list[np.ndarray] = []
-            rank_banks = []
-            for r, sl in enumerate(slices):
+            slices = self._rank_slices(s.n_particles, len(alive))
+            crashed = (
+                self.fault_plan.crashed_rank(batch_idx)
+                if self.fault_plan is not None
+                else None
+            )
+            if crashed is not None and crashed not in alive:
+                crashed = None  # victim already dead (or out of range)
+
+            # Each executed unit is (global_start, tallies, bank, owner_rank);
+            # ascending global_start reproduces the serial bank ordering.
+            units: list[tuple[int, GlobalTallies, object, int]] = []
+            dead_slice: slice | None = None
+            for i, rank in enumerate(alive):
+                sl = slices[i]
+                if rank == crashed:
+                    # The rank dies mid-generation: its batch work is lost
+                    # before it reaches any collective.
+                    dead_slice = sl
+                    continue
                 tallies = GlobalTallies()
                 bank = run_generation(
                     self.ctx,
@@ -108,34 +154,71 @@ class DistributedSimulation:
                     k_norm=k_norm,
                     first_id=id_offset + sl.start,
                 )
-                rank_tallies.append(tallies.as_array())
-                rank_banks.append(bank)
+                units.append((sl.start, tallies, bank, rank))
+
+            if crashed is not None:
+                survivors = [r for r in alive if r != crashed]
+                if not survivors:
+                    raise ClusterError(
+                        f"rank {crashed} crashed and no survivors remain"
+                    )
+                # Failure is detected after the stall timeout; survivors
+                # re-run the lost slice, keyed by the same global ids.
+                policy = self.retry_policy
+                recovery_time += policy.stall_timeout_s + policy.delay_s(1)
+                # Re-ship the dead slice's source sites (pos + energy).
+                n_lost = dead_slice.stop - dead_slice.start
+                recovery_time += self.comm.fabric.message_time(n_lost * 32.0)
+                for host, sub in redistribute_slice(dead_slice, survivors):
+                    tallies = GlobalTallies()
+                    bank = run_generation(
+                        self.ctx,
+                        positions[sub],
+                        energies[sub],
+                        tallies,
+                        k_norm=k_norm,
+                        first_id=id_offset + sub.start,
+                    )
+                    units.append((sub.start, tallies, bank, host))
+                alive = survivors
+                failed_ranks.append(crashed)
+                self.comm = self.comm.shrink(len(alive))
             id_offset += s.n_particles
 
-            # Global tally reduction (what symmetric mode reduces per batch).
-            reduced, _ = self.comm.allreduce_sum(rank_tallies)
+            units.sort(key=lambda u: u[0])
+
+            # Global tally reduction (what symmetric mode reduces per batch):
+            # one buffer per surviving rank, recovered sub-slices folded into
+            # their host rank's contribution.
+            per_rank = {rank: GlobalTallies() for rank in alive}
+            bank_counts = {rank: 0 for rank in alive}
+            for _, tallies, bank, rank in units:
+                merged = per_rank[rank]
+                arr = merged.as_array() + tallies.as_array()
+                per_rank[rank] = GlobalTallies.from_array(arr)
+                bank_counts[rank] += len(bank)
+            reduced, _ = self.comm.allreduce_sum(
+                [per_rank[rank].as_array() for rank in alive]
+            )
             global_tallies = GlobalTallies.from_array(reduced)
+            bank_positions = [u[2].positions for u in units if len(u[2])]
             stats.record(
                 global_tallies,
                 self._driver.mesh.entropy(
-                    np.vstack(
-                        [b.positions for b in rank_banks if len(b)]
-                    )
-                    if any(len(b) for b in rank_banks)
+                    np.vstack(bank_positions)
+                    if bank_positions
                     else np.empty((0, 3))
                 ),
             )
 
             # Bank rebalancing traffic + global resample.
-            self.comm.exchange_bank([len(b) for b in rank_banks])
-            merged_pos = np.vstack(
-                [b.positions for b in rank_banks if len(b)]
-            )
-            merged_en = np.concatenate(
-                [b.energies for b in rank_banks if len(b)]
-            )
-            if merged_pos.shape[0] == 0:
+            self.comm.exchange_bank([bank_counts[rank] for rank in alive])
+            if not bank_positions:
                 raise ClusterError("fission source died out")
+            merged_pos = np.vstack(bank_positions)
+            merged_en = np.concatenate(
+                [u[2].energies for u in units if len(u[2])]
+            )
             # Resample exactly as the serial driver does (same RNG).
             from ..transport.particle import FissionBank
 
@@ -151,5 +234,10 @@ class DistributedSimulation:
             statistics=stats,
             n_ranks=self.n_ranks,
             comm_time=self.comm.comm_time,
-            per_rank_particles=[sl.stop - sl.start for sl in slices],
+            per_rank_particles=[
+                sl.stop - sl.start for sl in initial_slices
+            ],
+            recovery_time=recovery_time,
+            failed_ranks=failed_ranks,
+            surviving_ranks=len(alive),
         )

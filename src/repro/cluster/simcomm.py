@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ClusterError
+from ..errors import ClusterError, CommunicationError
 
 __all__ = ["FabricModel", "SimulatedComm"]
 
@@ -60,15 +60,46 @@ class SimulatedComm:
         #: Accumulated modelled communication time [s].
         self.comm_time = 0.0
 
+    def shrink(self, n_survivors: int) -> "SimulatedComm":
+        """A survivors-only communicator after rank failure (the ULFM
+        ``MPI_Comm_shrink`` analogue).  Accumulated communication time
+        carries over so a recovered run reports one contiguous total."""
+        if not 1 <= n_survivors <= self.n_ranks:
+            raise CommunicationError(
+                f"cannot shrink {self.n_ranks} ranks to {n_survivors}"
+            )
+        out = SimulatedComm(n_survivors, self.fabric)
+        out.comm_time = self.comm_time
+        return out
+
     def _check(self, per_rank: list[np.ndarray]) -> list[np.ndarray]:
+        """Validate collective input buffers, raising typed errors.
+
+        Malformed collectives — wrong buffer count, mismatched shapes,
+        non-finite payloads — raise :class:`CommunicationError` rather
+        than corrupting the reduction (a real MPI build would deadlock or
+        abort here; we fail loudly and typed instead).
+        """
+        if len(per_rank) == 0:
+            raise CommunicationError("collective received no rank buffers")
         if len(per_rank) != self.n_ranks:
-            raise ClusterError(
+            raise CommunicationError(
                 f"expected {self.n_ranks} rank buffers, got {len(per_rank)}"
             )
-        arrays = [np.asarray(a, dtype=np.float64) for a in per_rank]
+        try:
+            arrays = [np.asarray(a, dtype=np.float64) for a in per_rank]
+        except (TypeError, ValueError) as exc:
+            raise CommunicationError(
+                f"rank buffer is not numeric: {exc}"
+            ) from exc
         shape = arrays[0].shape
         if any(a.shape != shape for a in arrays):
-            raise ClusterError("rank buffers must share a shape")
+            raise CommunicationError("rank buffers must share a shape")
+        if any(not np.isfinite(a).all() for a in arrays):
+            raise CommunicationError(
+                "rank buffer contains non-finite values (NaN/inf); "
+                "a reduction would silently poison every rank"
+            )
         return arrays
 
     def allreduce_sum(self, per_rank: list[np.ndarray]) -> tuple[np.ndarray, float]:
@@ -110,7 +141,12 @@ class SimulatedComm:
         time.
         """
         if len(site_counts) != self.n_ranks:
-            raise ClusterError("site_counts must have one entry per rank")
+            raise CommunicationError(
+                f"site_counts must have one entry per rank "
+                f"(got {len(site_counts)}, have {self.n_ranks} ranks)"
+            )
+        if any(int(c) < 0 for c in site_counts):
+            raise CommunicationError("site_counts must be non-negative")
         mean = sum(site_counts) / self.n_ranks
         moved = sum(max(0.0, c - mean) for c in site_counts)
         t = self.fabric.message_time(moved * site_bytes)

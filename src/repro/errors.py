@@ -29,3 +29,15 @@ class ExecutionError(ReproError):
 
 class ClusterError(ReproError):
     """The simulated cluster/communicator was used incorrectly."""
+
+
+class CommunicationError(ClusterError):
+    """A collective received malformed buffers (shape/count/value)."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or validated."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection plan was configured or queried inconsistently."""

@@ -26,6 +26,7 @@ Calibration notes (all against Table II at 1e5 particles):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..errors import ExecutionError
 from ..machine.kernels import TransportCostModel, WorkPerParticle
@@ -37,6 +38,10 @@ from ..machine.memory import (
 )
 from ..machine.pcie import PCIeLink
 from ..machine.spec import DeviceSpec
+
+if TYPE_CHECKING:
+    from ..resilience.faults import FaultPlan
+    from ..resilience.recovery import RetryPolicy
 
 __all__ = ["OffloadCostModel"]
 
@@ -67,6 +72,11 @@ class OffloadCostModel:
     link: PCIeLink
     model: str
     work: WorkPerParticle | None = None
+    #: Optional deterministic fault schedule; ``TRANSFER_STALL`` events hang
+    #: the PCIe bank shipment of their iteration (see :meth:`transfer_time`).
+    fault_plan: "FaultPlan | None" = None
+    #: Retry/backoff policy pricing stalled-transfer recovery.
+    retry_policy: "RetryPolicy | None" = None
 
     def __post_init__(self) -> None:
         if self.mic.out_of_order:
@@ -87,9 +97,27 @@ class OffloadCostModel:
         slope = n_particles * self.n_nuclides * _MIC_BANK_PER_NUCLIDE_S
         return base + slope
 
-    def transfer_time(self, n_particles: int) -> float:
-        """Seconds to ship the bank over PCIe (per iteration)."""
-        return self.link.bank_transfer_time(bank_bytes(n_particles, self.model))
+    def transfer_time(self, n_particles: int, iteration: int | None = None) -> float:
+        """Seconds to ship the bank over PCIe (per iteration).
+
+        When an ``iteration`` index is given and the model carries a
+        :class:`~repro.resilience.faults.FaultPlan`, any ``TRANSFER_STALL``
+        scheduled for that iteration is charged on top of the clean
+        shipment: without a retry policy the transfer simply hangs for the
+        stall duration; with one, the runtime aborts at the policy's stall
+        timeout, backs off, and re-ships — the deterministic recovery cost.
+        """
+        clean = self.link.bank_transfer_time(bank_bytes(n_particles, self.model))
+        if iteration is None or self.fault_plan is None:
+            return clean
+        stall = self.fault_plan.stall_seconds(iteration)
+        if stall <= 0.0:
+            return clean
+        if self.retry_policy is None:
+            return clean + stall
+        policy = self.retry_policy
+        timeout = min(stall, policy.stall_timeout_s)
+        return timeout + policy.delay_s(1) + clean
 
     def grid_transfer_time(self) -> float:
         """One-time energy-grid shipment (amortized over batches)."""
@@ -128,13 +156,15 @@ class OffloadCostModel:
 
     # -- Composite ------------------------------------------------------------------
 
-    def offload_time(self, n_particles: int) -> float:
+    def offload_time(self, n_particles: int, iteration: int | None = None) -> float:
         """Total per-iteration offload cost (banking + transfer + compute +
-        fixed runtime overhead), without overlap."""
+        fixed runtime overhead), without overlap.  With ``iteration`` and a
+        fault plan, injected transfer stalls (and their retry recovery) are
+        included."""
         return (
             OFFLOAD_FIXED_S
             + self.banking_time_host(n_particles)
-            + self.transfer_time(n_particles)
+            + self.transfer_time(n_particles, iteration)
             + self.mic_compute_time(n_particles)
             + self.mic_launch_overhead()
         )

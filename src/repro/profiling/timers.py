@@ -9,9 +9,12 @@ usable as context managers or decorators, producing a :class:`Profile`.
 
 from __future__ import annotations
 
+import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from ..errors import ReproError
 
 __all__ = ["RoutineStats", "Profile", "TimerRegistry"]
 
@@ -57,6 +60,51 @@ class Profile:
         return sorted(
             self.routines.values(), key=lambda r: -r.total_seconds
         )[:n]
+
+    # -- Combination and persistence ---------------------------------------------
+
+    def merge(self, other: "Profile", label: str | None = None) -> "Profile":
+        """Combine two profiles routine-by-routine (calls and time add).
+
+        The checkpoint/restart path uses this to stitch the pre-crash
+        segment's profile onto the resumed segment's, so a recovered run
+        reports one contiguous profile.  Neither input is modified.
+        """
+        out = Profile(label if label is not None else self.label)
+        for src in (self, other):
+            for name, stats in src.routines.items():
+                merged = out.routines.setdefault(name, RoutineStats(name))
+                merged.calls += stats.calls
+                merged.total_seconds += stats.total_seconds
+        return out
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string (round-trips via :meth:`from_json`)."""
+        return json.dumps(
+            {
+                "label": self.label,
+                "routines": {
+                    name: {"calls": r.calls, "total_seconds": r.total_seconds}
+                    for name, r in sorted(self.routines.items())
+                },
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Profile":
+        """Rebuild a profile serialized by :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+            profile = cls(data["label"])
+            for name, r in data["routines"].items():
+                profile.routines[name] = RoutineStats(
+                    name, calls=int(r["calls"]),
+                    total_seconds=float(r["total_seconds"]),
+                )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed profile JSON: {exc}") from exc
+        return profile
 
 
 class TimerRegistry:

@@ -1,0 +1,142 @@
+"""Deterministic fault injection: seeded schedules of crashes and stalls.
+
+Resilience code that is only exercised by real failures is untested code.
+This module generates a **deterministic fault plan** from a seed — using the
+same 63-bit LCG as particle transport, so schedules are reproducible across
+platforms and NumPy versions — and the execution layers consult it:
+
+* ``RANK_CRASH`` — a rank dies mid-generation in
+  :class:`repro.cluster.distributed.DistributedSimulation`; its batch work
+  is lost and its particle slice must be re-run by survivors;
+* ``TRANSFER_STALL`` — a PCIe bank shipment in
+  :class:`repro.execution.offload.OffloadCostModel` hangs for ``magnitude``
+  seconds before the retry policy aborts and re-ships it;
+* ``MID_BATCH_KILL`` — the whole (serial) process dies after transporting a
+  generation but before recording it, the worst case for checkpoint/restart
+  (a full batch of work is lost).
+
+Injected faults are raised as :class:`SimulatedCrash` so tests can treat
+them exactly like a process kill: nothing downstream of the raise runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import FaultInjectionError, ReproError
+from ..rng.lcg import RandomStream
+
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan", "SimulatedCrash"]
+
+
+class SimulatedCrash(ReproError):
+    """An injected failure: treat as a process/rank death, not a bug."""
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the plan can schedule."""
+
+    RANK_CRASH = "rank_crash"
+    TRANSFER_STALL = "transfer_stall"
+    MID_BATCH_KILL = "mid_batch_kill"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled failure.
+
+    ``batch`` indexes the generation (or offload iteration for stalls);
+    ``rank`` is the victim rank for crashes (-1 for serial/global events);
+    ``magnitude`` is the stall duration in seconds for transfer stalls.
+    """
+
+    kind: FaultKind
+    batch: int
+    rank: int = -1
+    magnitude: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, queryable schedule of fault events."""
+
+    events: tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_batches: int,
+        n_ranks: int = 1,
+        p_rank_crash: float = 0.0,
+        p_transfer_stall: float = 0.0,
+        p_mid_batch_kill: float = 0.0,
+        stall_seconds: float = 0.25,
+    ) -> "FaultPlan":
+        """Sample a schedule: fixed seed, fixed schedule, any platform.
+
+        Each batch independently draws each fault type from the shared LCG
+        (so the schedule is a pure function of ``seed`` and the shape
+        arguments).  At most one rank crashes per batch, and the victim is
+        drawn uniformly from the ranks.
+        """
+        for name, p in (
+            ("p_rank_crash", p_rank_crash),
+            ("p_transfer_stall", p_transfer_stall),
+            ("p_mid_batch_kill", p_mid_batch_kill),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise FaultInjectionError(f"{name} must be in [0, 1], got {p}")
+        if n_batches < 0 or n_ranks < 1:
+            raise FaultInjectionError("need n_batches >= 0 and n_ranks >= 1")
+        stream = RandomStream(seed=seed)
+        events: list[FaultEvent] = []
+        for batch in range(n_batches):
+            if stream.prn() < p_rank_crash:
+                victim = int(stream.prn() * n_ranks)
+                events.append(
+                    FaultEvent(FaultKind.RANK_CRASH, batch, rank=victim)
+                )
+            if stream.prn() < p_transfer_stall:
+                events.append(
+                    FaultEvent(
+                        FaultKind.TRANSFER_STALL,
+                        batch,
+                        magnitude=stall_seconds * (0.5 + stream.prn()),
+                    )
+                )
+            if stream.prn() < p_mid_batch_kill:
+                events.append(FaultEvent(FaultKind.MID_BATCH_KILL, batch))
+        return cls(events=tuple(events))
+
+    @classmethod
+    def single(
+        cls, kind: FaultKind, batch: int, rank: int = -1, magnitude: float = 0.0
+    ) -> "FaultPlan":
+        """A plan with exactly one event (the common test fixture)."""
+        return cls(events=(FaultEvent(kind, batch, rank, magnitude),))
+
+    # -- Queries -----------------------------------------------------------------
+
+    def at(self, batch: int, kind: FaultKind | None = None) -> list[FaultEvent]:
+        return [
+            e
+            for e in self.events
+            if e.batch == batch and (kind is None or e.kind == kind)
+        ]
+
+    def kills_at(self, batch: int) -> bool:
+        """Does the serial process die mid-way through this batch?"""
+        return bool(self.at(batch, FaultKind.MID_BATCH_KILL))
+
+    def crashed_rank(self, batch: int) -> int | None:
+        """The rank that dies during this batch, or ``None``."""
+        crashes = self.at(batch, FaultKind.RANK_CRASH)
+        return crashes[0].rank if crashes else None
+
+    def stall_seconds(self, iteration: int) -> float:
+        """Total injected PCIe stall time for one offload iteration."""
+        return sum(
+            e.magnitude for e in self.at(iteration, FaultKind.TRANSFER_STALL)
+        )

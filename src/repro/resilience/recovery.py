@@ -1,0 +1,105 @@
+"""Recovery policies: retry/backoff and rank-failure slice redistribution.
+
+Two recovery shapes cover the injected fault modes:
+
+* **retry with exponential backoff** (:class:`RetryPolicy`,
+  :func:`with_retry`) for transient faults — a stalled PCIe shipment is
+  aborted at the policy's stall timeout and re-issued after a
+  deterministic backoff delay;
+* **slice redistribution** (:func:`redistribute_slice`) for permanent rank
+  loss — the dead rank's *global particle-id range* is split contiguously
+  across survivors and re-run.  Because every particle's RNG stream is a
+  function of its global id alone, the recovered histories are the exact
+  histories the dead rank would have produced, and the recovered run stays
+  bit-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from ..errors import ClusterError, ReproError
+
+__all__ = ["RetryPolicy", "with_retry", "redistribute_slice"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic exponential backoff (no jitter — runs must replay)."""
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    backoff_factor: float = 2.0
+    #: How long a transfer may hang before the runtime aborts and retries.
+    stall_timeout_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError("RetryPolicy needs max_attempts >= 1")
+        if self.base_delay_s < 0 or self.backoff_factor < 1.0:
+            raise ReproError(
+                "RetryPolicy needs base_delay_s >= 0 and backoff_factor >= 1"
+            )
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff delay before retry number ``attempt`` (1-based)."""
+        return self.base_delay_s * self.backoff_factor ** (attempt - 1)
+
+    def total_backoff_s(self, n_retries: int) -> float:
+        """Sum of the first ``n_retries`` backoff delays."""
+        return sum(self.delay_s(a) for a in range(1, n_retries + 1))
+
+
+def with_retry(
+    fn: Callable[[int], T],
+    policy: RetryPolicy,
+    retry_on: tuple[type[BaseException], ...] = (ReproError,),
+) -> tuple[T, int]:
+    """Call ``fn(attempt)`` until it succeeds or attempts are exhausted.
+
+    Returns ``(result, attempts_used)``.  Backoff is *accounted*, not slept
+    — callers charge :meth:`RetryPolicy.total_backoff_s` to their modelled
+    clock, keeping tests fast and replays deterministic.
+    """
+    last: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn(attempt), attempt
+        except retry_on as exc:  # noqa: PERF203 — retry loop by design
+            last = exc
+    raise ReproError(
+        f"operation failed after {policy.max_attempts} attempts: {last}"
+    ) from last
+
+
+def redistribute_slice(
+    dead: slice, survivors: list[int]
+) -> list[tuple[int, slice]]:
+    """Split a dead rank's particle slice contiguously across survivors.
+
+    Returns ``(survivor_rank, sub_slice)`` pairs in ascending particle-id
+    order, covering ``dead`` exactly once.  Survivors earlier in the list
+    receive the remainder particles (the same static split the initial
+    decomposition uses).
+    """
+    if not survivors:
+        raise ClusterError("no surviving ranks to redistribute onto")
+    n = dead.stop - dead.start
+    if n < 0:
+        raise ClusterError(f"malformed dead slice {dead}")
+    if n == 0:
+        return []
+    k = len(survivors)
+    base, rem = divmod(n, k)
+    out: list[tuple[int, slice]] = []
+    start = dead.start
+    for i, rank in enumerate(survivors):
+        count = base + (1 if i < rem else 0)
+        if count == 0:
+            continue
+        out.append((rank, slice(start, start + count)))
+        start += count
+    return out

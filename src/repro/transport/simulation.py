@@ -30,6 +30,15 @@ from ..geometry.hoogenboom import (
     MAT_FUEL,
     PIN_PITCH,
 )
+from ..profiling.timers import Profile, TimerRegistry
+from ..resilience.checkpoint import (
+    CheckpointState,
+    checkpoint_path,
+    load_checkpoint,
+    save_checkpoint,
+    settings_fingerprint,
+)
+from ..resilience.faults import FaultPlan, SimulatedCrash
 from ..work import WorkCounters
 from .context import TransportContext
 from .entropy import EntropyMesh
@@ -65,12 +74,22 @@ class Settings:
     survival_biasing: bool = False
     #: Accumulate an assembly-resolved power map over active batches.
     tally_power: bool = False
+    #: Write a checkpoint every N recorded batches (0 disables).
+    checkpoint_every: int = 0
+    #: Directory receiving checkpoint files (required when checkpointing).
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("history", "event", "delta"):
             raise ExecutionError(f"unknown transport mode {self.mode!r}")
         if self.n_particles < 1 or self.n_active < 1:
             raise ExecutionError("need n_particles >= 1 and n_active >= 1")
+        if self.checkpoint_every < 0:
+            raise ExecutionError("checkpoint_every must be >= 0")
+        if self.checkpoint_every > 0 and not self.checkpoint_dir:
+            raise ExecutionError(
+                "checkpoint_every > 0 requires checkpoint_dir"
+            )
         if self.mode == "delta":
             if self.tally_power:
                 raise ExecutionError(
@@ -94,6 +113,9 @@ class SimulationResult:
     #: Assembly power map accumulated over active batches (when
     #: ``Settings.tally_power`` was set).
     power: "PowerTally | None" = None
+    #: Routine profile (transport, checkpoint write/restore); for resumed
+    #: runs this is the merge of all segments' profiles.
+    profile: Profile | None = None
 
     @property
     def k_effective(self) -> TallyResult:
@@ -164,6 +186,8 @@ class Simulation:
             shape=(8, 8, 8) if not settings.pincell else (2, 2, 8),
         )
         self._source_rng = np.random.default_rng(settings.seed)
+        #: Static timers: transport generations plus checkpoint write/restore.
+        self.timers = TimerRegistry("simulation")
 
     # -- Source ----------------------------------------------------------------
 
@@ -212,13 +236,92 @@ class Simulation:
             filled += take
         return np.clip(out, 1e-11, ENERGY_MAX)
 
+    # -- Checkpointing -----------------------------------------------------------
+
+    def _write_checkpoint(
+        self,
+        batches_done: int,
+        id_offset: int,
+        stats: BatchStatistics,
+        positions: np.ndarray,
+        energies: np.ndarray,
+        power: "PowerTally | None",
+        elapsed_seconds: float,
+    ):
+        """Snapshot full between-batch state to the configured directory."""
+        power_state = None
+        if power is not None:
+            power_state = {
+                "shape": power.shape,
+                "half_width": power.half_width,
+                "n_batches": power.n_batches,
+                "sum": power._sum,
+                "sum_sq": power._sum_sq,
+            }
+        state = CheckpointState(
+            batches_done=batches_done,
+            id_offset=id_offset,
+            n_inactive=stats.n_inactive,
+            fingerprint=settings_fingerprint(self.settings),
+            positions=positions,
+            energies=energies,
+            k_collision=stats.k_collision,
+            k_absorption=stats.k_absorption,
+            k_track=stats.k_track,
+            entropy=stats.entropy,
+            source_rng_state=self._source_rng.bit_generator.state,
+            counters=self.ctx.counters.as_dict(),
+            elapsed_seconds=elapsed_seconds,
+            profile_json=self.timers.profile.to_json(),
+            power=power_state,
+        )
+        path = checkpoint_path(self.settings.checkpoint_dir, batches_done)
+        return save_checkpoint(state, path, timers=self.timers)
+
+    def _restore(self, resume_from, power: "PowerTally | None"):
+        """Load a checkpoint and rebuild driver state from it."""
+        state = load_checkpoint(
+            resume_from,
+            expect_fingerprint=settings_fingerprint(self.settings),
+            timers=self.timers,
+        )
+        stats = BatchStatistics(n_inactive=self.settings.n_inactive)
+        stats.k_collision = list(state.k_collision)
+        stats.k_absorption = list(state.k_absorption)
+        stats.k_track = list(state.k_track)
+        stats.entropy = list(state.entropy)
+        self._source_rng.bit_generator.state = state.source_rng_state
+        for name, value in state.counters.items():
+            setattr(self.ctx.counters, name, int(value))
+        if power is not None and state.power is not None:
+            power._sum[:] = state.power["sum"]
+            power._sum_sq[:] = state.power["sum_sq"]
+            power.n_batches = int(state.power["n_batches"])
+        if state.profile_json:
+            self.timers.profile = Profile.from_json(state.profile_json).merge(
+                self.timers.profile, label=self.timers.profile.label
+            )
+        return state, stats
+
     # -- Driver ------------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
+    def run(
+        self,
+        *,
+        resume_from=None,
+        fault_plan: FaultPlan | None = None,
+    ) -> SimulationResult:
+        """Run the power iteration, optionally resuming from a checkpoint.
+
+        ``resume_from`` names a checkpoint file written by an earlier
+        (interrupted) run under physics-identical settings; the resumed run
+        is bit-identical to an uninterrupted one.  ``fault_plan`` injects
+        deterministic failures (a scheduled ``MID_BATCH_KILL`` raises
+        :class:`~repro.resilience.faults.SimulatedCrash` after the batch's
+        transport but before any state is recorded — the worst-case loss).
+        """
         s = self.settings
         n_batches = s.n_inactive + s.n_active
-        stats = BatchStatistics(n_inactive=s.n_inactive)
-        positions, energies = self.initial_source(s.n_particles)
         if s.mode == "history":
             run_generation = run_generation_history
         elif s.mode == "event":
@@ -241,21 +344,40 @@ class Simulation:
             else:
                 power = PowerTally()
 
+        if resume_from is not None:
+            state, stats = self._restore(resume_from, power)
+            positions, energies = state.positions, state.energies
+            start_batch = state.batches_done
+            id_offset = state.id_offset
+            prior_elapsed = state.elapsed_seconds
+        else:
+            stats = BatchStatistics(n_inactive=s.n_inactive)
+            positions, energies = self.initial_source(s.n_particles)
+            start_batch = 0
+            id_offset = 0
+            prior_elapsed = 0.0
+
         t0 = time.perf_counter()
-        id_offset = 0
-        for batch in range(n_batches):
+        for batch in range(start_batch, n_batches):
             tallies = GlobalTallies()
             k_norm = stats.running_k()
             active = batch >= s.n_inactive
-            bank = run_generation(
-                self.ctx,
-                positions,
-                energies,
-                tallies,
-                k_norm=k_norm,
-                first_id=id_offset,
-                power=power if active else None,
-            )
+            with self.timers.timer("transport_generation"):
+                bank = run_generation(
+                    self.ctx,
+                    positions,
+                    energies,
+                    tallies,
+                    k_norm=k_norm,
+                    first_id=id_offset,
+                    power=power if active else None,
+                )
+            if fault_plan is not None and fault_plan.kills_at(batch):
+                # The process dies with a full generation transported but
+                # nothing recorded — the most work a checkpoint can lose.
+                raise SimulatedCrash(
+                    f"injected mid-batch kill during batch {batch}"
+                )
             id_offset += s.n_particles
             if len(bank) == 0:
                 raise ExecutionError(
@@ -268,7 +390,17 @@ class Simulation:
             positions, energies = bank.sample_source(
                 s.n_particles, self._source_rng
             )
-        wall = time.perf_counter() - t0
+            if s.checkpoint_every and (batch + 1) % s.checkpoint_every == 0:
+                self._write_checkpoint(
+                    batch + 1,
+                    id_offset,
+                    stats,
+                    positions,
+                    energies,
+                    power,
+                    prior_elapsed + time.perf_counter() - t0,
+                )
+        wall = prior_elapsed + (time.perf_counter() - t0)
 
         return SimulationResult(
             statistics=stats,
@@ -278,4 +410,5 @@ class Simulation:
             n_batches=n_batches,
             mode=s.mode,
             power=power,
+            profile=self.timers.profile,
         )

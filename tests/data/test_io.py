@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data import build_library
 from repro.data.io import load_library, save_library
 from repro.errors import DataError
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data.library import LibraryConfig, NuclideLibrary
-from repro.data.multigroup import GroupStructure, MultigroupXS, condense
+from repro.data.multigroup import GroupStructure, condense
 from repro.data.nuclide import Nuclide
 from repro.errors import DataError
 from repro.geometry.materials import Material

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data.soa import AOS_DTYPE, AoSLibrary, SoALibrary
-from repro.types import N_REACTIONS, Reaction
+from repro.types import Reaction
 
 
 @pytest.fixture(scope="module")

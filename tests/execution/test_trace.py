@@ -6,7 +6,7 @@ import pytest
 from repro.data.unionized import UnionizedGrid
 from repro.errors import ExecutionError
 from repro.execution.offload import OffloadCostModel
-from repro.execution.trace import OffloadTrace, trace_offload
+from repro.execution.trace import trace_offload
 from repro.machine.presets import JLSE_HOST, MIC_7120A, PCIE_GEN2_X16
 from repro.transport.context import TransportContext
 from repro.transport.events import EventLoopStats, run_generation_event

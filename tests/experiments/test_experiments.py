@@ -1,6 +1,5 @@
 """Integration tests: every experiment runs and reproduces its key claims."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ReproError

@@ -14,7 +14,7 @@ from repro.geometry.csg import (
     Universe,
 )
 from repro.geometry.materials import Material
-from repro.geometry.surfaces import XPlane, ZCylinder, ZPlane
+from repro.geometry.surfaces import XPlane, ZCylinder
 
 A = Material("A", {"H1": 1.0})
 B = Material("B", {"O16": 1.0})

@@ -1,6 +1,5 @@
 """Tests for material compositions."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GeometryError

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data.unionized import UnionizedGrid
 from repro.errors import PhysicsError
 from repro.geometry.materials import make_fuel, make_water
 from repro.physics.macroxs import XSCalculator

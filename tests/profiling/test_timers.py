@@ -1,0 +1,78 @@
+"""Tests for TAU-style timers: merging and JSON round trip."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.profiling.timers import Profile, RoutineStats, TimerRegistry
+
+
+def make_profile(label="seg1"):
+    p = Profile(label)
+    p.record("transport", 2.0)
+    p.record("transport", 1.0)
+    p.record("checkpoint_write", 0.25)
+    return p
+
+
+class TestMerge:
+    def test_merge_adds_calls_and_time(self):
+        merged = make_profile("pre").merge(make_profile("post"))
+        assert merged.routines["transport"].calls == 4
+        assert merged.routines["transport"].total_seconds == pytest.approx(6.0)
+        assert merged.routines["checkpoint_write"].calls == 2
+
+    def test_merge_union_of_routines(self):
+        a, b = Profile("a"), Profile("b")
+        a.record("only_a", 1.0)
+        b.record("only_b", 2.0)
+        merged = a.merge(b)
+        assert set(merged.routines) == {"only_a", "only_b"}
+
+    def test_merge_label_and_inputs_untouched(self):
+        a, b = make_profile("a"), make_profile("b")
+        merged = a.merge(b, label="joined")
+        assert merged.label == "joined"
+        assert a.merge(b).label == "a"
+        assert a.routines["transport"].calls == 2
+        assert b.routines["transport"].calls == 2
+
+    def test_merged_fractions_consistent(self):
+        merged = make_profile().merge(make_profile())
+        assert merged.fraction("transport") == pytest.approx(3.0 / 3.25)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_exact(self):
+        original = make_profile()
+        restored = Profile.from_json(original.to_json())
+        assert restored.label == original.label
+        assert set(restored.routines) == set(original.routines)
+        for name, stats in original.routines.items():
+            assert restored.routines[name].calls == stats.calls
+            assert (
+                restored.routines[name].total_seconds == stats.total_seconds
+            )
+
+    def test_round_trip_from_registry(self):
+        registry = TimerRegistry("run")
+        with registry.timer("block"):
+            pass
+        restored = Profile.from_json(registry.profile.to_json())
+        assert restored.routines["block"].calls == 1
+
+    def test_malformed_json_typed(self):
+        with pytest.raises(ReproError, match="malformed profile"):
+            Profile.from_json("{not json")
+        with pytest.raises(ReproError, match="malformed profile"):
+            Profile.from_json('{"label": "x"}')
+
+    def test_empty_profile_round_trips(self):
+        restored = Profile.from_json(Profile("empty").to_json())
+        assert restored.routines == {}
+        assert restored.total_seconds == 0.0
+
+
+class TestRoutineStats:
+    def test_mean_seconds(self):
+        stats = RoutineStats("r", calls=4, total_seconds=2.0)
+        assert stats.mean_seconds == pytest.approx(0.5)

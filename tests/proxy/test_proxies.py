@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data.unionized import UnionizedGrid
 from repro.errors import ExecutionError
 from repro.proxy.rsbench import RSBench, RSBenchConfig
 from repro.proxy.xsbench import XSBench

@@ -1,0 +1,112 @@
+"""Tests for deterministic fault-injection plans and their wiring."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.execution.offload import OffloadCostModel
+from repro.machine.presets import JLSE_HOST, MIC_7120A, PCIE_GEN2_X16
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.resilience.faults import FaultEvent, FaultKind
+
+
+class TestPlanGeneration:
+    def test_fixed_seed_fixed_schedule(self):
+        kwargs = dict(
+            n_batches=100, n_ranks=16,
+            p_rank_crash=0.1, p_transfer_stall=0.2, p_mid_batch_kill=0.05,
+        )
+        assert FaultPlan.generate(7, **kwargs) == FaultPlan.generate(7, **kwargs)
+
+    def test_different_seeds_differ(self):
+        kwargs = dict(n_batches=200, n_ranks=8, p_rank_crash=0.3)
+        assert FaultPlan.generate(1, **kwargs) != FaultPlan.generate(2, **kwargs)
+
+    def test_zero_probabilities_mean_no_events(self):
+        assert FaultPlan.generate(3, n_batches=1000).events == ()
+
+    def test_certain_crash_hits_every_batch(self):
+        plan = FaultPlan.generate(5, n_batches=20, n_ranks=4, p_rank_crash=1.0)
+        assert len(plan.events) == 20
+        assert all(e.kind is FaultKind.RANK_CRASH for e in plan.events)
+        assert all(0 <= e.rank < 4 for e in plan.events)
+
+    def test_victim_ranks_spread(self):
+        plan = FaultPlan.generate(9, n_batches=400, n_ranks=4, p_rank_crash=1.0)
+        assert {e.rank for e in plan.events} == {0, 1, 2, 3}
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.generate(1, n_batches=10, p_rank_crash=1.5)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.generate(1, n_batches=10, n_ranks=0)
+
+
+class TestPlanQueries:
+    def test_single_and_queries(self):
+        plan = FaultPlan.single(FaultKind.MID_BATCH_KILL, batch=4)
+        assert plan.kills_at(4)
+        assert not plan.kills_at(3)
+        assert plan.crashed_rank(4) is None
+
+    def test_crashed_rank(self):
+        plan = FaultPlan.single(FaultKind.RANK_CRASH, batch=2, rank=5)
+        assert plan.crashed_rank(2) == 5
+        assert plan.crashed_rank(1) is None
+
+    def test_stall_seconds_sum(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(FaultKind.TRANSFER_STALL, 3, magnitude=0.2),
+                FaultEvent(FaultKind.TRANSFER_STALL, 3, magnitude=0.3),
+                FaultEvent(FaultKind.TRANSFER_STALL, 5, magnitude=1.0),
+            )
+        )
+        assert plan.stall_seconds(3) == pytest.approx(0.5)
+        assert plan.stall_seconds(4) == 0.0
+
+
+class TestOffloadStalls:
+    """PCIe transfer stalls wired into the offload pipeline model."""
+
+    def make_model(self, plan=None, policy=None):
+        return OffloadCostModel(
+            host=JLSE_HOST, mic=MIC_7120A, link=PCIE_GEN2_X16,
+            model="hm-small", fault_plan=plan, retry_policy=policy,
+        )
+
+    def test_no_plan_is_clean(self):
+        clean = self.make_model().transfer_time(10_000)
+        assert self.make_model().transfer_time(10_000, iteration=3) == clean
+
+    def test_stall_without_retry_hangs_full_duration(self):
+        plan = FaultPlan.single(
+            FaultKind.TRANSFER_STALL, batch=3, magnitude=0.4
+        )
+        model = self.make_model(plan)
+        clean = model.transfer_time(10_000)
+        assert model.transfer_time(10_000, iteration=3) == pytest.approx(
+            clean + 0.4
+        )
+        assert model.transfer_time(10_000, iteration=2) == clean
+
+    def test_retry_policy_caps_stall_at_timeout(self):
+        plan = FaultPlan.single(
+            FaultKind.TRANSFER_STALL, batch=3, magnitude=5.0
+        )
+        policy = RetryPolicy(stall_timeout_s=0.1, base_delay_s=0.05)
+        model = self.make_model(plan, policy)
+        clean = model.transfer_time(10_000)
+        faulted = model.transfer_time(10_000, iteration=3)
+        # Abort at timeout + one backoff + clean re-ship: far below 5 s.
+        assert faulted == pytest.approx(0.1 + 0.05 + clean)
+
+    def test_offload_time_includes_stall(self):
+        plan = FaultPlan.single(
+            FaultKind.TRANSFER_STALL, batch=1, magnitude=0.25
+        )
+        model = self.make_model(plan)
+        assert model.offload_time(5_000, iteration=1) == pytest.approx(
+            model.offload_time(5_000) + 0.25
+        )

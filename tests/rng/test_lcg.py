@@ -137,3 +137,89 @@ class TestRandomStreamSpawn:
         parent = lcg.RandomStream(seed=123)
         child = parent.spawn(2)
         assert child.seed == lcg.skip_ahead(123, 2 * lcg.STREAM_STRIDE)
+
+
+class TestSkipAheadEdgeCases:
+    """Boundary behavior the checkpoint/resume path depends on."""
+
+    def test_zero_jump_is_identity(self):
+        for seed in (0, 1, 31337, lcg.LCG_MASK):
+            assert lcg.skip_ahead(seed, 0) == seed
+
+    def test_zero_jump_array_is_identity(self):
+        seed = 777
+        out = lcg.skip_ahead_array(seed, np.zeros(5, dtype=np.uint64))
+        np.testing.assert_array_equal(out, np.full(5, seed, dtype=np.uint64))
+
+    def test_huge_jump_2_to_62(self):
+        """n = 2**62 composes: two half-period jumps equal one full period."""
+        seed = 9001
+        half = lcg.skip_ahead(seed, 2**62)
+        assert 0 <= half <= lcg.LCG_MASK
+        # Doubling up to 2**63 wraps the full period back to the seed.
+        assert lcg.skip_ahead(half, 2**62 + 2**62) == half
+        assert lcg.skip_ahead(lcg.skip_ahead(half, 2**62), 2**62) == half
+
+    def test_full_period_jump_wraps_to_seed(self):
+        seed = 424242
+        assert lcg.skip_ahead(seed, 2**63) == seed
+        assert lcg.skip_ahead(seed, 2**63 + 5) == lcg.skip_ahead(seed, 5)
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [(0, 0), (1, 0), (152_917, 152_917), (2**40, 2**41),
+         (2**62, 2**62 - 1), (123_456_789, 2**55)],
+    )
+    def test_chained_jumps_equal_single_jump(self, a, b):
+        """skip_ahead(seed, a+b) == two chained jumps — THE property that
+        lets a resumed run re-derive any particle's stream position."""
+        seed = 31337
+        chained = lcg.skip_ahead(lcg.skip_ahead(seed, a), b)
+        assert chained == lcg.skip_ahead(seed, a + b)
+
+    def test_chained_jump_array_equivalence(self):
+        seed = 555
+        a = np.array([0, 3, 2**40, 2**62], dtype=np.uint64)
+        b = np.array([7, 2**62, 5, 2**62 - 1], dtype=np.uint64)
+        step1 = lcg.skip_ahead_array(seed, a)
+        chained = np.array(
+            [lcg.skip_ahead(int(s), int(n)) for s, n in zip(step1, b)],
+            dtype=np.uint64,
+        )
+        with np.errstate(over="ignore"):
+            total = (a + b) & np.uint64(lcg.LCG_MASK)
+        expected = lcg.skip_ahead_array(seed, total)
+        np.testing.assert_array_equal(chained, expected)
+
+    def test_array_accepts_small_dtypes(self):
+        """int32/int16 step counts must upcast, not overflow."""
+        seed = 1
+        small = np.array([0, 1, 1000, 2**31 - 1], dtype=np.int32)
+        wide = small.astype(np.uint64)
+        np.testing.assert_array_equal(
+            lcg.skip_ahead_array(seed, small),
+            lcg.skip_ahead_array(seed, wide),
+        )
+
+    def test_array_near_uint64_boundary(self):
+        """Counts at the period boundary reduce mod 2**63 like the scalar."""
+        seed = 12345
+        ns = np.array([2**63 - 1, 2**62, 2**63 % (2**64)], dtype=np.uint64)
+        got = lcg.skip_ahead_array(seed, ns)
+        expected = np.array(
+            [lcg.skip_ahead(seed, int(n)) for n in ns], dtype=np.uint64
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    def test_stride_overflow_in_particle_seeds(self):
+        """Global ids large enough that id * STRIDE exceeds 2**63 still give
+        each particle a well-defined (wrapped) stream."""
+        big_id = (2**63) // lcg.STREAM_STRIDE + 3
+        ids = np.array([big_id], dtype=np.uint64)
+        seeds = lcg.particle_seeds(7, ids)
+        with np.errstate(over="ignore"):
+            n_steps = int(
+                (np.uint64(big_id) * np.uint64(lcg.STREAM_STRIDE))
+                & np.uint64(lcg.LCG_MASK)
+            )
+        assert seeds[0] == lcg.skip_ahead(7, n_steps)

@@ -1,6 +1,5 @@
 """Tests for the two command-line entry points."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main as sim_main
@@ -9,9 +8,39 @@ from repro.experiments.cli import main as exp_main
 
 class TestReproSim:
     def test_parser_defaults(self):
-        args = build_parser().parse_args([])
+        args = build_parser().parse_args(["run"])
         assert args.mode == "event"
         assert args.model == "hm-small"
+
+    def test_legacy_flat_form_still_runs(self, capsys):
+        """``repro-sim --pincell ...`` (no subcommand) means ``run``."""
+        rc = sim_main(
+            ["--pincell", "--particles", "40", "--batches", "2",
+             "--inactive", "0"]
+        )
+        assert rc == 0
+        assert "k-effective" in capsys.readouterr().out
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        common = ["--pincell", "--particles", "60", "--batches", "3",
+                  "--inactive", "1", "--seed", "3", "--dir", str(tmp_path)]
+        rc = sim_main(["checkpoint", *common, "--every", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "checkpoints: 2 written" in out
+        assert (tmp_path / "ckpt-000002.rpk").exists()
+        rc = sim_main(["resume", *common])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resuming from" in out
+        assert "k-effective" in out
+
+    def test_resume_without_checkpoints_fails(self, tmp_path, capsys):
+        rc = sim_main(
+            ["resume", "--pincell", "--dir", str(tmp_path / "empty")]
+        )
+        assert rc == 1
+        assert "no checkpoint found" in capsys.readouterr().err
 
     def test_pincell_run(self, capsys):
         rc = sim_main(

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.data.unionized import UnionizedGrid
-from repro.errors import ExecutionError
 from repro.transport.context import FREE_GAS_CUTOFF, TransportContext
 from repro.transport.events import EventLoopStats, run_generation_event
 from repro.transport.tally import GlobalTallies
@@ -113,8 +112,8 @@ class TestEventLoopStats:
         # Queues drain (weakly) as the generation dies out.
         assert stats.lookup_counts[-1] <= stats.lookup_counts[0]
         assert all(
-            l == c + x
-            for l, c, x in zip(
+            look == coll + cross
+            for look, coll, cross in zip(
                 stats.lookup_counts,
                 stats.collision_counts,
                 stats.crossing_counts,

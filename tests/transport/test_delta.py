@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.data.unionized import UnionizedGrid
 from repro.errors import ExecutionError, PhysicsError
-from repro.rng.lcg import RandomStream
 from repro.transport import Settings, Simulation
 from repro.transport.context import TransportContext
 from repro.transport.delta import MajorantXS, fold_reflective, run_generation_delta

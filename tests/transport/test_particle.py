@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.rng.lcg import RandomStream, particle_seeds
+from repro.rng.lcg import RandomStream
 from repro.transport.particle import FissionBank, Particle, ParticleBank
 
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.constants import KT_ROOM
 from repro.data.unionized import UnionizedGrid
 from repro.errors import ReproError
 from repro.transport.context import TransportContext

@@ -1,7 +1,6 @@
 """Tests for survival biasing (implicit capture + Russian roulette)."""
 
 import numpy as np
-import pytest
 
 from repro.transport import Settings, Simulation
 
