@@ -5,6 +5,9 @@ Subcommands::
     repro-sim run --pincell --particles 500 --mode event
     repro-sim checkpoint --pincell --dir ckpts --every 2   # checkpointed run
     repro-sim resume --pincell --dir ckpts                 # continue latest
+    repro-sim submit --spool jobs/ --pincell --particles 500
+    repro-sim serve --spool jobs/ --workers 4 --cache xs-cache/
+    repro-sim status --spool jobs/
 
 The bare legacy form (``repro-sim --pincell ...``) still works and is
 equivalent to ``repro-sim run ...``.  ``resume`` must be given the same
@@ -12,31 +15,44 @@ physics flags as the original run — checkpoints carry a settings
 fingerprint and refuse to resume under different physics (the
 bit-identical-resume guarantee would silently break otherwise).
 
+The service trio works against a file spool: ``submit`` drops a
+:class:`~repro.serve.jobs.JobSpec` into ``SPOOL/pending``, ``serve`` drains
+pending jobs through a multi-worker :class:`~repro.serve.SimulationService`
+(results land in ``done``/``failed``, metrics in ``metrics.json``), and
+``status`` reports progress.  ``serve --jobs FILE`` (or ``-`` for stdin)
+runs a one-shot batch without a spool.
+
 Examples::
 
     repro-sim run --model hm-large --particles 200 --batches 3 --inactive 1 \
               --survival-biasing --tally-power
     repro-sim run --pincell --save-library lib.npz
     repro-sim run --pincell --library lib.npz     # reuse a saved library
+    repro-sim run --pincell --library-cache xs-cache/   # fingerprint cache
+    repro-sim run --pincell --json                # machine-readable result
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from .data import LibraryConfig, build_library
 from .data.io import load_library, save_library
+from .errors import CheckpointError, JobError, QueueFullError
 from .resilience.checkpoint import DEFAULT_CADENCE, latest_checkpoint
+from .resilience.recovery import RetryPolicy
 from .transport import Settings, Simulation
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("run", "checkpoint", "resume")
+_SUBCOMMANDS = ("run", "checkpoint", "resume", "serve", "submit", "status")
 
 
 def _simulation_args() -> argparse.ArgumentParser:
-    """Shared simulation flags (parent parser for every subcommand)."""
+    """Shared simulation flags (parent parser for every run-like command)."""
     p = argparse.ArgumentParser(add_help=False)
     p.add_argument("--model", default="hm-small",
                    choices=["hm-small", "hm-large"])
@@ -60,10 +76,6 @@ def _simulation_args() -> argparse.ArgumentParser:
                    help="strip S(alpha,beta) (paper's vectorized config)")
     p.add_argument("--no-urr", action="store_true",
                    help="strip URR probability tables")
-    p.add_argument("--library", metavar="NPZ",
-                   help="load a saved library instead of building one")
-    p.add_argument("--save-library", metavar="NPZ",
-                   help="save the built library and exit")
     return p
 
 
@@ -75,8 +87,20 @@ def build_parser() -> argparse.ArgumentParser:
         "event/banked transport) on the Hoogenboom-Martin models.",
     )
     sub = p.add_subparsers(dest="command", required=True)
-    sub.add_parser("run", parents=[shared],
-                   help="run a simulation start to finish")
+
+    run = sub.add_parser("run", parents=[shared],
+                         help="run a simulation start to finish")
+    run.add_argument("--library", metavar="NPZ",
+                     help="load a saved library instead of building one")
+    run.add_argument("--save-library", metavar="NPZ",
+                     help="save the built library and exit")
+    run.add_argument("--library-cache", metavar="DIR",
+                     help="fingerprint-keyed library cache directory: "
+                     "repeat runs with the same model/fidelity skip "
+                     "library construction")
+    run.add_argument("--json", action="store_true", dest="json_output",
+                     help="emit the result as JSON (the JobResult payload)")
+
     ck = sub.add_parser("checkpoint", parents=[shared],
                         help="run with periodic checkpoints")
     ck.add_argument("--dir", required=True, dest="checkpoint_dir",
@@ -93,66 +117,153 @@ def build_parser() -> argparse.ArgumentParser:
     rs.add_argument("--every", type=int, default=DEFAULT_CADENCE,
                     dest="checkpoint_every", metavar="N",
                     help="keep checkpointing every N batches while resumed")
+
+    sm = sub.add_parser("submit", parents=[shared],
+                        help="spool one job for a later (or running) "
+                        "'serve' to execute")
+    sm.add_argument("--spool", required=True, metavar="DIR",
+                    help="spool directory (pending/done/failed)")
+    sm.add_argument("--priority", type=int, default=0,
+                    help="higher priority dispatches first")
+    sm.add_argument("--deadline", type=float, default=None, metavar="S",
+                    help="expire the job if still queued after S seconds")
+    sm.add_argument("--job-id", default=None,
+                    help="explicit job id (default: generated)")
+
+    sv = sub.add_parser("serve",
+                        help="drain a batch of jobs through a multi-worker "
+                        "service")
+    src = sv.add_mutually_exclusive_group(required=True)
+    src.add_argument("--spool", metavar="DIR",
+                     help="process the spool's pending jobs; file results "
+                     "back into it")
+    src.add_argument("--jobs", metavar="FILE",
+                     help="JSON-lines (or JSON array) of job specs; '-' "
+                     "reads stdin")
+    sv.add_argument("--workers", type=int, default=2)
+    sv.add_argument("--cache", metavar="DIR", default=None,
+                    help="shared on-disk library cache directory")
+    sv.add_argument("--capacity", type=int, default=256,
+                    help="queue capacity (jobs beyond it are fed as the "
+                    "queue drains)")
+    sv.add_argument("--max-attempts", type=int, default=3,
+                    help="attempts per job across worker crashes")
+    sv.add_argument("--json", action="store_true", dest="json_output",
+                    help="emit all results + metrics as one JSON document")
+
+    st = sub.add_parser("status", help="report a spool's progress")
+    st.add_argument("--spool", required=True, metavar="DIR")
+    st.add_argument("--json", action="store_true", dest="json_output")
     return p
 
 
 def _build_settings(args: argparse.Namespace) -> Settings:
-    return Settings(
-        n_particles=args.particles,
-        n_inactive=args.inactive,
-        n_active=args.batches,
-        seed=args.seed,
-        mode=args.mode,
-        pincell=args.pincell,
-        use_sab=not args.no_sab,
-        use_urr=not args.no_urr,
-        survival_biasing=args.survival_biasing,
-        tally_power=args.tally_power,
-        checkpoint_every=getattr(args, "checkpoint_every", 0),
-        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+    return Settings(**_job_settings(args),
+                    checkpoint_every=getattr(args, "checkpoint_every", 0),
+                    checkpoint_dir=getattr(args, "checkpoint_dir", None))
+
+
+def _job_settings(args: argparse.Namespace) -> dict:
+    """The physics settings of a run as JobSpec-compatible kwargs."""
+    return {
+        "n_particles": args.particles,
+        "n_inactive": args.inactive,
+        "n_active": args.batches,
+        "seed": args.seed,
+        "mode": args.mode,
+        "pincell": args.pincell,
+        "use_sab": not args.no_sab,
+        "use_urr": not args.no_urr,
+        "survival_biasing": args.survival_biasing,
+        "tally_power": args.tally_power,
+    }
+
+
+def _library_config(args: argparse.Namespace) -> LibraryConfig:
+    return (
+        LibraryConfig.tiny() if args.fidelity == "tiny" else LibraryConfig()
     )
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    # Legacy flat form: "repro-sim --pincell ..." means "run".
-    if not argv or (argv[0] not in _SUBCOMMANDS
-                    and argv[0] not in ("-h", "--help")):
-        argv = ["run", *argv]
-    args = build_parser().parse_args(argv)
+# -- run / checkpoint / resume ------------------------------------------------
 
-    if args.library:
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    json_output = getattr(args, "json_output", False)
+    quiet = json_output
+
+    build_seconds = 0.0
+    if getattr(args, "library", None):
         library = load_library(args.library)
-        print(f"loaded library: {library.model}, {len(library)} nuclides")
+        library_source = "loaded"
+        if not quiet:
+            print(f"loaded library: {library.model}, "
+                  f"{len(library)} nuclides")
+    elif getattr(args, "library_cache", None):
+        from .serve.cache import LibraryCache
+
+        cache = LibraryCache(args.library_cache)
+        library, outcome = cache.get_or_build(
+            args.model, _library_config(args)
+        )
+        library_source = outcome.source
+        build_seconds = outcome.build_seconds
+        if not quiet:
+            verb = ("built and cached" if outcome.source == "built"
+                    else "cache hit")
+            print(f"{verb}: {library.model}, {len(library)} nuclides "
+                  f"({cache.path_for(outcome.fingerprint).name})")
     else:
-        config = (
-            LibraryConfig.tiny()
-            if args.fidelity == "tiny"
-            else LibraryConfig()
-        )
+        config = _library_config(args)
         library = build_library(args.model, config)
-        print(
-            f"built library: {library.model}, {len(library)} nuclides, "
-            f"{library.nbytes / 1e6:.1f} MB"
-        )
-    if args.save_library:
+        library_source = "built"
+        if not quiet:
+            print(
+                f"built library: {library.model}, {len(library)} nuclides, "
+                f"{library.nbytes / 1e6:.1f} MB"
+            )
+    if getattr(args, "save_library", None):
         save_library(library, args.save_library)
-        print(f"saved to {args.save_library}")
+        if not quiet:
+            print(f"saved to {args.save_library}")
         return 0
 
     settings = _build_settings(args)
     sim = Simulation(library, settings)
 
-    if args.command == "resume":
-        ckpt = latest_checkpoint(args.checkpoint_dir)
-        if ckpt is None:
-            print(f"no checkpoint found in {args.checkpoint_dir}",
-                  file=sys.stderr)
-            return 1
-        print(f"resuming from {ckpt}")
-        result = sim.run(resume_from=ckpt)
-    else:
-        result = sim.run()
+    try:
+        if args.command == "resume":
+            ckpt = latest_checkpoint(args.checkpoint_dir)
+            if ckpt is None:
+                print(f"no checkpoint found in {args.checkpoint_dir}",
+                      file=sys.stderr)
+                return 1
+            if not quiet:
+                print(f"resuming from {ckpt}")
+            result = sim.run(resume_from=ckpt)
+        else:
+            result = sim.run()
+    except CheckpointError as exc:
+        # Most commonly: resuming under different physics flags — the
+        # settings fingerprint refuses rather than silently diverging.
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 1
+
+    if json_output:
+        from .serve.jobs import JobResult, JobSpec
+
+        spec = JobSpec(
+            job_id=f"run-seed{args.seed}",
+            model=args.model,
+            fidelity=args.fidelity,
+            settings=_job_settings(args),
+        )
+        payload = JobResult.from_simulation(
+            spec, result,
+            build_seconds=build_seconds, library_source=library_source,
+        )
+        print(payload.to_json(indent=2))
+        return 0
 
     print(f"\nmode: {result.mode}  "
           f"({'pin cell' if args.pincell else 'full core'}, "
@@ -180,6 +291,158 @@ def main(argv: list[str] | None = None) -> int:
                   f"({100 * result.profile.fraction('checkpoint_write'):.2f}% "
                   f"of profiled time)")
     return 0
+
+
+# -- submit / serve / status --------------------------------------------------
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve.jobs import JobSpec
+    from .serve.service import submit_to_spool
+
+    kwargs = {
+        "model": args.model,
+        "fidelity": args.fidelity,
+        "settings": _job_settings(args),
+        "priority": args.priority,
+        "deadline_s": args.deadline,
+    }
+    if args.job_id:
+        kwargs["job_id"] = args.job_id
+    try:
+        spec = JobSpec(**kwargs)
+        path = submit_to_spool(args.spool, spec)
+    except JobError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"submitted {spec.job_id} -> {path}")
+    return 0
+
+
+def _read_job_specs(source: str) -> list:
+    from .serve.jobs import JobSpec
+
+    text = sys.stdin.read() if source == "-" else Path(source).read_text()
+    text = text.strip()
+    if not text:
+        return []
+    if text.startswith("["):
+        return [JobSpec.from_dict(item) for item in json.loads(text)]
+    return [
+        JobSpec.from_json(line)
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.service import (
+        SimulationService,
+        read_spool_pending,
+        write_spool_result,
+    )
+
+    if args.spool:
+        specs = read_spool_pending(args.spool)
+    else:
+        try:
+            specs = _read_job_specs(args.jobs)
+        except (OSError, json.JSONDecodeError, JobError) as exc:
+            print(f"cannot read jobs: {exc}", file=sys.stderr)
+            return 1
+    if not specs:
+        print("no jobs to serve", file=sys.stderr)
+        return 1
+
+    service = SimulationService(
+        n_workers=args.workers,
+        cache_dir=args.cache,
+        capacity=args.capacity,
+        retry_policy=RetryPolicy(max_attempts=args.max_attempts),
+    )
+    try:
+        results = service.run(specs)
+    except QueueFullError as exc:  # pragma: no cover - run() feeds politely
+        print(f"queue rejected jobs: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        service.shutdown()
+    summary = service.metrics_summary()
+
+    if args.spool:
+        for result in results:
+            write_spool_result(args.spool, result)
+        metrics_path = Path(args.spool) / "metrics.json"
+        metrics_path.write_text(json.dumps(summary, indent=2, default=str))
+
+    failed = [r for r in results if r.status != "done"]
+    if args.json_output:
+        print(json.dumps(
+            {
+                "results": [r.to_dict() for r in results],
+                "metrics": summary["metrics"],
+                "workers": summary["workers"],
+            },
+            indent=2,
+        ))
+    else:
+        for r in results:
+            line = (f"{r.job_id}: {r.status}  worker={r.worker_id} "
+                    f"attempts={r.attempts} library={r.library_source or '-'}")
+            if r.status == "done":
+                line += (f"  k-eff={r.k_effective:.5f}"
+                         f" +/- {r.k_std_err:.5f}")
+            else:
+                line += f"  error={r.error}"
+            print(line)
+        metrics = summary["metrics"]["metrics"]
+        hit_rate = metrics["cache_hit_rate"]["value"]
+        crashes = metrics["worker_crashes"]["value"]
+        print(f"\nserved {len(results)} jobs on {args.workers} workers: "
+              f"{len(results) - len(failed)} done, {len(failed)} "
+              f"failed/expired, library cache hit rate "
+              f"{100 * hit_rate:.0f}%, {crashes} worker crashes recovered")
+    return 1 if failed else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .serve.service import spool_status
+
+    status = spool_status(args.spool)
+    if args.json_output:
+        print(json.dumps(status, indent=2, default=str))
+        return 0
+    counts = status["counts"]
+    print(f"spool {status['root']}: {counts['pending']} pending, "
+          f"{counts['done']} done, {counts['failed']} failed")
+    for r in status["results"]:
+        print(f"  {r['job_id']}: k-eff={r['k_effective']:.5f} "
+              f"+/- {r['k_std_err']:.5f}  worker={r['worker_id']} "
+              f"attempts={r['attempts']} library={r['library_source']}")
+    metrics = status.get("metrics")
+    if metrics:
+        m = metrics["metrics"]["metrics"]
+        print(f"last service: {m['jobs_completed']['value']} completed, "
+              f"cache hit rate {100 * m['cache_hit_rate']['value']:.0f}%, "
+              f"{m['worker_crashes']['value']} crashes recovered")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy flat form: "repro-sim --pincell ..." means "run".
+    if not argv or (argv[0] not in _SUBCOMMANDS
+                    and argv[0] not in ("-h", "--help")):
+        argv = ["run", *argv]
+    args = build_parser().parse_args(argv)
+
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    return _cmd_run(args)
 
 
 if __name__ == "__main__":

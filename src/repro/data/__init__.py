@@ -24,6 +24,7 @@ from .library import (
     build_library,
     build_nuclide,
     fuel_nuclide_names,
+    library_fingerprint,
 )
 from .io import load_library, save_library
 from .multigroup import GroupStructure, MultigroupXS, condense
@@ -53,6 +54,7 @@ __all__ = [
     "build_library",
     "build_nuclide",
     "fuel_nuclide_names",
+    "library_fingerprint",
     "load_library",
     "save_library",
     "GroupStructure",

@@ -19,8 +19,10 @@ paper-shaped grids (thousands of points per nuclide).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import zlib
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
@@ -36,6 +38,7 @@ __all__ = [
     "build_library",
     "build_nuclide",
     "fuel_nuclide_names",
+    "library_fingerprint",
     "HM_SMALL_FUEL",
     "CLAD_NUCLIDES",
     "WATER_NUCLIDES",
@@ -126,6 +129,19 @@ class LibraryConfig:
 
     def with_seed(self, seed: int) -> "LibraryConfig":
         return replace(self, seed=seed)
+
+
+def library_fingerprint(model: str, config: LibraryConfig) -> str:
+    """SHA-256 over everything that determines a built library's content.
+
+    ``build_library`` is deterministic in ``(model, config)``, so two equal
+    fingerprints guarantee bit-identical libraries.  The service layer keys
+    its on-disk cache and its worker-affinity batching on this value.
+    """
+    blob = json.dumps(
+        {"model": model, "config": asdict(config)}, sort_keys=True
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
 
 
 def _nuclide_rng(config: LibraryConfig, name: str) -> np.random.Generator:

@@ -41,3 +41,28 @@ class CheckpointError(ReproError):
 
 class FaultInjectionError(ReproError):
     """A fault-injection plan was configured or queried inconsistently."""
+
+
+class ServeError(ReproError):
+    """The simulation service was configured or used incorrectly."""
+
+
+class JobError(ServeError):
+    """A job specification or result was malformed."""
+
+
+class QueueFullError(ServeError):
+    """The job queue is at capacity; retry after ``retry_after_s`` seconds.
+
+    Backpressure is a *typed* rejection, not a silent drop: callers receive
+    an estimate of when capacity should free up (derived from the service's
+    recent drain rate) and are expected to resubmit.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class WorkerCrashError(ServeError):
+    """A worker process died while a job was in flight."""

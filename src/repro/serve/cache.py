@@ -1,0 +1,151 @@
+"""On-disk cross-section library cache keyed by content fingerprint.
+
+Library construction is the service's dominant *fixed* cost — the job-level
+analogue of the paper's PCIe offload overhead: a price paid once that must
+be amortized over as much work as possible.  The cache turns N jobs sharing
+one :func:`~repro.data.library.library_fingerprint` into exactly one build:
+the first worker to need a library builds it and publishes the ``.npz``
+atomically (temp file + ``os.replace``); everyone else loads it.
+
+Cross-process single-build is enforced with an ``O_CREAT | O_EXCL``
+lockfile: one builder wins the lock, the rest wait for the published file
+to appear.  A stale lock (builder died mid-build) is bounded by
+``build_timeout_s`` — waiters fall back to building locally rather than
+hanging, trading one redundant build for liveness.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..data.io import load_library, save_library
+from ..data.library import (
+    LibraryConfig,
+    NuclideLibrary,
+    build_library,
+    library_fingerprint,
+)
+from ..errors import DataError, ServeError
+
+__all__ = ["CacheOutcome", "LibraryCache"]
+
+_SUFFIX = ".npz"
+
+
+@dataclass(frozen=True)
+class CacheOutcome:
+    """How one library was obtained (feeds the service's cache metrics)."""
+
+    fingerprint: str
+    #: ``built`` (cache miss), ``disk-cache`` (hit), or ``memory``
+    #: (worker-local hit; stamped by the worker, never by this module).
+    source: str
+    build_seconds: float = 0.0
+    load_seconds: float = 0.0
+
+
+class LibraryCache:
+    """Fingerprint-keyed directory of built libraries."""
+
+    def __init__(
+        self, directory: str | Path, *, build_timeout_s: float = 120.0
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if build_timeout_s <= 0:
+            raise ServeError("build_timeout_s must be positive")
+        self.build_timeout_s = build_timeout_s
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.directory / f"lib-{fingerprint[:24]}{_SUFFIX}"
+
+    def _lock_for(self, fingerprint: str) -> Path:
+        return self.directory / f"lib-{fingerprint[:24]}.lock"
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    def get_or_build(
+        self, model: str, config: LibraryConfig
+    ) -> tuple[NuclideLibrary, CacheOutcome]:
+        """Return the library for ``(model, config)``, building at most once
+        across all processes sharing this cache directory (stale-lock
+        fallback excepted)."""
+        fp = library_fingerprint(model, config)
+        path = self.path_for(fp)
+
+        hit = self._try_load(path, fp)
+        if hit is not None:
+            return hit
+
+        lock = self._lock_for(fp)
+        deadline = time.monotonic() + self.build_timeout_s
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                # Another process is building; wait for it to publish.
+                time.sleep(0.02)
+                hit = self._try_load(path, fp)
+                if hit is not None:
+                    return hit
+                if time.monotonic() > deadline:
+                    # Stale lock: the builder died.  Build locally.
+                    return self._build_and_publish(model, config, fp, path)
+                continue
+            os.close(fd)
+            try:
+                # Re-check under the lock: the previous holder may have
+                # published between our miss and our acquisition.
+                hit = self._try_load(path, fp)
+                if hit is not None:
+                    return hit
+                return self._build_and_publish(model, config, fp, path)
+            finally:
+                try:
+                    os.unlink(lock)
+                except FileNotFoundError:
+                    pass
+
+    # -- Internals -----------------------------------------------------------
+
+    def _try_load(
+        self, path: Path, fp: str
+    ) -> tuple[NuclideLibrary, CacheOutcome] | None:
+        if not path.exists():
+            return None
+        t0 = time.perf_counter()
+        try:
+            library = load_library(path)
+        except (DataError, OSError, ValueError):
+            # Corrupt or partial file (should be impossible given the atomic
+            # publish, but a cache must never be a source of failure).
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        dt = time.perf_counter() - t0
+        return library, CacheOutcome(fp, "disk-cache", load_seconds=dt)
+
+    def _build_and_publish(
+        self, model: str, config: LibraryConfig, fp: str, path: Path
+    ) -> tuple[NuclideLibrary, CacheOutcome]:
+        t0 = time.perf_counter()
+        library = build_library(model, config)
+        build_s = time.perf_counter() - t0
+        # The temp name must keep the .npz suffix or numpy appends one and
+        # the final os.replace would miss the actual file written.
+        tmp = path.with_name(f"{path.stem}.tmp-{os.getpid()}{_SUFFIX}")
+        try:
+            save_library(library, tmp)
+            os.replace(tmp, path)
+        finally:
+            try:
+                tmp.unlink()
+            except FileNotFoundError:
+                pass
+        return library, CacheOutcome(fp, "built", build_seconds=build_s)

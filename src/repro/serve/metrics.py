@@ -1,0 +1,232 @@
+"""Structured service metrics: counters, gauges, latency histograms.
+
+The registry is the service's observable surface — queue depth, wait time,
+service time, cache hit rate, worker utilization — exported as one JSON
+document (``as_dict``/``to_json``, round-tripping via ``from_json``) and
+convertible to a :class:`repro.profiling.Profile` so service-level timings
+merge into the same TAU-style reports the transport layer produces
+(``Histogram`` observations map onto routine call counts and inclusive
+seconds).
+
+All mutation goes through one registry lock: the service thread, the
+submission path, and any scraper thread may touch the same registry
+concurrently.  Histograms use fixed upper-bound buckets (Prometheus-style,
+with a ``+Inf`` overflow) so concurrent observation never reallocates.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+
+from ..errors import ServeError
+from ..profiling.timers import Profile
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_LATENCY_BUCKETS"]
+
+#: Upper bounds (seconds) spanning IPC dispatch (~ms) to multi-minute jobs.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """Monotone event count."""
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ServeError(f"counter {self.name}: negative increment {n}")
+        with self._lock:
+            self.value += n
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Point-in-time level (queue depth, workers alive, hit rate)."""
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += float(delta)
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with sum/count/min/max."""
+
+    def __init__(
+        self,
+        name: str,
+        lock: threading.Lock,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ServeError(f"histogram {name}: buckets must be ascending")
+        self.name = name
+        self._lock = lock
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # last = +Inf overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.counts[bisect_left(self.buckets, value)] += 1
+            self.count += 1
+            self.sum += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the q-quantile from bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ServeError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for bound, n in zip(self.buckets, self.counts):
+            cumulative += n
+            if cumulative >= rank:
+                return bound
+        return self.max
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": {
+                str(b): n for b, n in zip(self.buckets, self.counts)
+            } | {"+Inf": self.counts[-1]},
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics and JSON export."""
+
+    def __init__(self, label: str = "serve") -> None:
+        self.label = label
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind, *args):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, self._lock, *args)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ServeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, buckets)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "label": self.label,
+                "metrics": {
+                    name: m.as_dict()
+                    for name, m in sorted(self._metrics.items())
+                },
+            }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsRegistry":
+        """Rebuild a registry exported by :meth:`to_json` (scrape-side)."""
+        try:
+            data = json.loads(text)
+            registry = cls(data["label"])
+            for name, m in data["metrics"].items():
+                if m["type"] == "counter":
+                    registry.counter(name).value = int(m["value"])
+                elif m["type"] == "gauge":
+                    registry.gauge(name).set(m["value"])
+                elif m["type"] == "histogram":
+                    bounds = tuple(
+                        float(b) for b in m["buckets"] if b != "+Inf"
+                    )
+                    hist = registry.histogram(name, bounds or
+                                              DEFAULT_LATENCY_BUCKETS)
+                    hist.counts = [m["buckets"][str(b)] for b in hist.buckets]
+                    hist.counts.append(m["buckets"]["+Inf"])
+                    hist.count = int(m["count"])
+                    hist.sum = float(m["sum"])
+                    hist.min = float(m["min"])
+                    hist.max = float(m["max"])
+                else:
+                    raise ServeError(f"unknown metric type {m['type']!r}")
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ServeError(f"malformed metrics JSON: {exc}") from exc
+        return registry
+
+    def to_profile(self, label: str | None = None) -> Profile:
+        """Project latency histograms onto a TAU-style routine profile.
+
+        Every histogram whose name ends in ``_seconds`` becomes a routine
+        (calls = observation count, inclusive time = observation sum), so
+        service overheads sit next to ``transport_generation`` in one
+        merged report.
+        """
+        from ..profiling.timers import RoutineStats
+
+        profile = Profile(label if label is not None else self.label)
+        with self._lock:
+            for name, m in sorted(self._metrics.items()):
+                if isinstance(m, Histogram) and name.endswith("_seconds"):
+                    if m.count == 0:
+                        continue
+                    routine = name[: -len("_seconds")]
+                    profile.routines[routine] = RoutineStats(
+                        routine, calls=m.count, total_seconds=m.sum
+                    )
+        return profile

@@ -1,0 +1,371 @@
+"""Persistent multiprocessing workers that amortize library construction.
+
+Each worker is a long-lived process with a private task queue and a shared
+result queue.  On its first job for a given library fingerprint it builds
+the library — or loads it from the shared on-disk
+:class:`~repro.serve.cache.LibraryCache` — and keeps it in memory, so
+every subsequent compatible job pays only transport time.  This is the
+paper's offload model applied to scheduling: the build is the fixed cost,
+the resident library is the bank, and the batcher keeps the bank full.
+
+Failure handling reuses :mod:`repro.resilience` semantics: a worker that
+dies mid-job surfaces as a ``crash`` event carrying the in-flight job, the
+pool respawns the worker (fresh incarnation, empty library memory), and
+the service requeues the job under its
+:class:`~repro.resilience.recovery.RetryPolicy`.  Because every job is
+deterministic in its spec alone, a rerun after a crash is bit-identical to
+an undisturbed run — the same invariant checkpoint/restart guarantees
+within a single simulation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as stdlib_queue
+import time
+from dataclasses import dataclass
+from time import perf_counter
+
+from ..errors import ServeError
+from .cache import CacheOutcome, LibraryCache
+from .jobs import JobResult, JobSpec
+from .queue import QueuedJob
+
+__all__ = ["PoolEvent", "WorkerPool"]
+
+#: Exit code used by the fault-injection hard exit (distinguishable from a
+#: genuine interpreter death in test assertions).
+CRASH_EXIT_CODE = 23
+
+_HEARTBEAT_S = 0.25
+
+
+def _resolve_context(start_method: str | None) -> mp.context.BaseContext:
+    if start_method is not None:
+        return mp.get_context(start_method)
+    # fork keeps worker startup in the low-millisecond range; fall back to
+    # spawn where fork is unavailable (all worker args are picklable).
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_main(
+    worker_id: int,
+    task_q: "mp.Queue",
+    result_q: "mp.Queue",
+    cache_dir: str | None,
+    heartbeat_s: float,
+) -> None:
+    """Worker loop: build-or-load library once per fingerprint, serve jobs."""
+    libraries: dict = {}
+    cache = LibraryCache(cache_dir) if cache_dir else None
+    result_q.put(("ready", worker_id, os.getpid()))
+    while True:
+        try:
+            msg = task_q.get(timeout=heartbeat_s)
+        except stdlib_queue.Empty:
+            result_q.put(("heartbeat", worker_id))
+            continue
+        if msg is None:
+            result_q.put(("stopped", worker_id))
+            return
+        spec_dict, attempt = msg
+        spec = JobSpec.from_dict(spec_dict)
+        result_q.put(("started", worker_id, spec.job_id))
+        if attempt <= spec.fault_crash_attempts:
+            # Injected mid-job crash: die without flushing anything, the
+            # worst case short of corrupting state (which os._exit cannot).
+            os._exit(CRASH_EXIT_CODE)
+        t0 = perf_counter()
+        try:
+            fp = spec.library_fingerprint()
+            if fp in libraries:
+                library = libraries[fp]
+                outcome = CacheOutcome(fp, "memory")
+            elif cache is not None:
+                library, outcome = cache.get_or_build(
+                    spec.model, spec.library_config()
+                )
+            else:
+                from ..data.library import build_library
+
+                tb = perf_counter()
+                library = build_library(spec.model, spec.library_config())
+                outcome = CacheOutcome(
+                    fp, "built", build_seconds=perf_counter() - tb
+                )
+            libraries[fp] = library
+
+            from ..transport.simulation import Simulation
+
+            result = Simulation(library, spec.to_settings()).run()
+            job_result = JobResult.from_simulation(
+                spec,
+                result,
+                worker_id=worker_id,
+                attempts=attempt,
+                build_seconds=outcome.build_seconds,
+                library_source=outcome.source,
+            )
+            job_result.service_seconds = perf_counter() - t0
+            result_q.put(("done", worker_id, spec.job_id, job_result.to_dict()))
+        except Exception as exc:  # noqa: BLE001 — worker must never die silently
+            result_q.put(
+                (
+                    "error",
+                    worker_id,
+                    spec.job_id,
+                    f"{type(exc).__name__}: {exc}",
+                    perf_counter() - t0,
+                )
+            )
+
+
+@dataclass
+class PoolEvent:
+    """One observable worker transition, consumed by the service loop.
+
+    ``kind`` is one of ``done`` (payload: :class:`JobResult`), ``error``
+    (payload: message string; job carries the failed dispatch), or
+    ``crash`` (payload: ``None``; job is the in-flight dispatch to requeue,
+    or ``None`` if the worker died idle).
+    """
+
+    kind: str
+    worker_id: int
+    job: QueuedJob | None = None
+    result: JobResult | None = None
+    message: str = ""
+    service_seconds: float = 0.0
+
+
+class _WorkerHandle:
+    __slots__ = (
+        "worker_id", "process", "task_q", "incarnation", "state",
+        "current", "dispatched_at", "last_seen", "pid",
+    )
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.process = None
+        self.task_q = None
+        self.incarnation = 0
+        self.state = "new"  # new | starting | idle | busy | stopped
+        self.current: QueuedJob | None = None
+        self.dispatched_at = 0.0
+        self.last_seen = time.monotonic()
+        self.pid: int | None = None
+
+
+class WorkerPool:
+    """A fixed-size set of persistent simulation workers."""
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        *,
+        cache_dir: str | None = None,
+        start_method: str | None = None,
+        heartbeat_s: float = _HEARTBEAT_S,
+    ) -> None:
+        if n_workers < 1:
+            raise ServeError("WorkerPool needs n_workers >= 1")
+        self.n_workers = n_workers
+        self.cache_dir = cache_dir
+        self.heartbeat_s = heartbeat_s
+        self._ctx = _resolve_context(start_method)
+        self._result_q: "mp.Queue" = self._ctx.Queue()
+        self._workers: dict[int, _WorkerHandle] = {
+            wid: _WorkerHandle(wid) for wid in range(n_workers)
+        }
+        self._started = False
+        self._stopping = False
+
+    # -- Lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise ServeError("pool already started")
+        self._started = True
+        for handle in self._workers.values():
+            self._spawn(handle)
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        handle.incarnation += 1
+        handle.task_q = self._ctx.Queue()
+        handle.process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                handle.worker_id,
+                handle.task_q,
+                self._result_q,
+                self.cache_dir,
+                self.heartbeat_s,
+            ),
+            daemon=True,
+            name=f"repro-serve-worker-{handle.worker_id}",
+        )
+        handle.process.start()
+        handle.pid = handle.process.pid
+        handle.state = "starting"
+        handle.current = None
+        handle.last_seen = time.monotonic()
+
+    def stop(self, *, graceful: bool = True, timeout_s: float = 10.0) -> None:
+        """Shut the pool down.
+
+        Graceful stop sends each worker a sentinel and joins it — in-flight
+        jobs finish first because the sentinel queues behind them.  The
+        non-graceful path terminates processes outright.
+        """
+        self._stopping = True
+        if graceful:
+            for handle in self._workers.values():
+                if handle.process is not None and handle.process.is_alive():
+                    handle.task_q.put(None)
+            deadline = time.monotonic() + timeout_s
+            for handle in self._workers.values():
+                if handle.process is not None:
+                    handle.process.join(
+                        max(0.0, deadline - time.monotonic())
+                    )
+        for handle in self._workers.values():
+            proc = handle.process
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+            if handle.task_q is not None:
+                handle.task_q.cancel_join_thread()
+            handle.state = "stopped"
+        self._result_q.cancel_join_thread()
+
+    # -- Dispatch ------------------------------------------------------------
+
+    def idle_workers(self) -> list[int]:
+        return [
+            wid
+            for wid, h in self._workers.items()
+            if h.state in ("idle", "starting") and h.current is None
+        ]
+
+    def in_flight(self) -> int:
+        return sum(1 for h in self._workers.values() if h.current is not None)
+
+    def dispatch(self, worker_id: int, job: QueuedJob) -> None:
+        handle = self._workers[worker_id]
+        if handle.current is not None:
+            raise ServeError(
+                f"worker {worker_id} already has job "
+                f"{handle.current.spec.job_id} in flight"
+            )
+        handle.current = job
+        handle.dispatched_at = time.monotonic()
+        handle.state = "busy"
+        handle.task_q.put((job.spec.to_dict(), job.attempt))
+
+    # -- Event collection ----------------------------------------------------
+
+    def poll(self, timeout: float = 0.1) -> list[PoolEvent]:
+        """Drain worker messages (blocking up to ``timeout`` for the first)
+        and detect crashed workers; crashed busy workers are respawned and
+        their in-flight job returned for requeue."""
+        events: list[PoolEvent] = []
+        block = True
+        while True:
+            try:
+                msg = self._result_q.get(
+                    timeout=timeout if block else 0.0
+                )
+            except stdlib_queue.Empty:
+                break
+            block = False
+            events_from_msg = self._handle_message(msg)
+            if events_from_msg is not None:
+                events.append(events_from_msg)
+        events.extend(self._reap_crashes())
+        return events
+
+    def _handle_message(self, msg: tuple) -> PoolEvent | None:
+        kind, worker_id = msg[0], msg[1]
+        handle = self._workers[worker_id]
+        handle.last_seen = time.monotonic()
+        if kind == "ready":
+            handle.state = "idle" if handle.current is None else "busy"
+            return None
+        if kind == "heartbeat":
+            return None
+        if kind == "started":
+            return None
+        if kind == "stopped":
+            handle.state = "stopped"
+            return None
+        if kind == "done":
+            _, _, job_id, result_dict = msg
+            job = self._finish(handle, job_id)
+            result = JobResult.from_dict(result_dict)
+            return PoolEvent(
+                "done",
+                worker_id,
+                job=job,
+                result=result,
+                service_seconds=result.service_seconds,
+            )
+        if kind == "error":
+            _, _, job_id, message, service_s = msg
+            job = self._finish(handle, job_id)
+            return PoolEvent(
+                "error", worker_id, job=job, message=message,
+                service_seconds=service_s,
+            )
+        raise ServeError(f"unknown worker message kind {kind!r}")
+
+    def _finish(self, handle: _WorkerHandle, job_id: str) -> QueuedJob | None:
+        job = handle.current
+        if job is not None and job.spec.job_id != job_id:
+            raise ServeError(
+                f"worker {handle.worker_id} finished {job_id} but "
+                f"{job.spec.job_id} was in flight"
+            )
+        handle.current = None
+        handle.state = "idle"
+        return job
+
+    def _reap_crashes(self) -> list[PoolEvent]:
+        events: list[PoolEvent] = []
+        if self._stopping:
+            return events
+        for handle in self._workers.values():
+            proc = handle.process
+            if proc is None or proc.is_alive() or handle.state == "stopped":
+                continue
+            lost = handle.current
+            events.append(PoolEvent("crash", handle.worker_id, job=lost))
+            self._spawn(handle)
+        return events
+
+    # -- Health --------------------------------------------------------------
+
+    def health(self) -> dict[int, dict]:
+        """Liveness/heartbeat snapshot per worker."""
+        now = time.monotonic()
+        return {
+            wid: {
+                "alive": bool(h.process is not None and h.process.is_alive()),
+                "state": h.state,
+                "pid": h.pid,
+                "incarnation": h.incarnation,
+                "last_seen_s": now - h.last_seen,
+                "in_flight": None
+                if h.current is None
+                else h.current.spec.job_id,
+            }
+            for wid, h in sorted(self._workers.items())
+        }
+
+    def alive_count(self) -> int:
+        return sum(
+            1
+            for h in self._workers.values()
+            if h.process is not None and h.process.is_alive()
+        )

@@ -1,0 +1,103 @@
+"""Batcher: fingerprint affinity, age fallback, utilization accounting."""
+
+import time
+
+from repro.serve import Batcher, JobSpec
+from repro.serve.queue import QueuedJob
+
+
+def queued(job_id, *, library_seed=1, priority=0):
+    spec = JobSpec(job_id=job_id, library_seed=library_seed, priority=priority)
+    return QueuedJob(spec, attempt=1, enqueued_at=time.monotonic())
+
+
+class TestAffinity:
+    def test_cold_worker_gets_oldest_job(self):
+        b = Batcher()
+        b.add(queued("a", library_seed=1))
+        b.add(queued("b", library_seed=2))
+        job, hit = b.take_for(0)
+        assert job.spec.job_id == "a"
+        assert not hit  # cold worker: no warm library yet
+
+    def test_warm_worker_prefers_matching_fingerprint(self):
+        b = Batcher()
+        b.add(queued("a1", library_seed=1))
+        b.add(queued("b1", library_seed=2))
+        b.add(queued("a2", library_seed=1))
+        first, _ = b.take_for(0)  # takes a1, worker 0 is now warm on seed 1
+        assert first.spec.job_id == "a1"
+        second, hit = b.take_for(0)
+        assert second.spec.job_id == "a2"  # skips b1: affinity
+        assert hit
+        third, hit = b.take_for(0)
+        assert third.spec.job_id == "b1"  # falls back to remaining work
+        assert not hit
+
+    def test_two_workers_partition_by_fingerprint(self):
+        b = Batcher()
+        for i in range(2):
+            b.add(queued(f"x{i}", library_seed=1))
+            b.add(queued(f"y{i}", library_seed=2))
+        (j0, _), (j1, _) = b.take_for(0), b.take_for(1)
+        assert j0.spec.job_id == "x0"
+        assert j1.spec.job_id == "y0"  # oldest job not matching worker 0
+        assert b.take_for(0)[0].spec.job_id == "x1"
+        assert b.take_for(1)[0].spec.job_id == "y1"
+        assert b.take_for(0) is None
+
+    def test_group_bookkeeping(self):
+        b = Batcher()
+        assert len(b) == 0
+        b.add(queued("a", library_seed=1))
+        b.add(queued("b", library_seed=2))
+        assert len(b) == 2
+        assert b.group_count == 2
+        b.take_for(0)
+        assert len(b) == 1
+
+
+class TestUtilization:
+    def test_done_accounting(self):
+        b = Batcher()
+        b.add(queued("a", library_seed=1))
+        b.take_for(3)
+        b.note_done(3, busy_seconds=1.5)
+        util = b.utilization()[3]
+        assert util.jobs_done == 1
+        assert util.busy_seconds == 1.5
+        assert util.dispatches == 1
+        assert util.affinity_rate == 0.0
+
+    def test_affinity_rate_counts_warm_dispatches(self):
+        b = Batcher()
+        for i in range(3):
+            b.add(queued(f"j{i}", library_seed=1))
+        for _ in range(3):
+            b.take_for(0)
+            b.note_done(0, busy_seconds=0.1)
+        util = b.utilization()[0]
+        assert util.dispatches == 3
+        assert util.affinity_hits == 2  # first was cold, rest warm
+        assert util.affinity_rate == 2 / 3
+
+    def test_respawned_worker_forgets_library(self):
+        b = Batcher()
+        b.add(queued("a", library_seed=1))
+        b.take_for(0)
+        b.note_done(0, busy_seconds=0.1)
+        b.forget_worker_library(0)
+        b.add(queued("b", library_seed=1))
+        _, hit = b.take_for(0)
+        assert not hit  # fresh incarnation must rebuild/reload
+
+    def test_utilization_dict_shape(self):
+        b = Batcher()
+        b.add(queued("a"))
+        b.take_for(0)
+        b.note_done(0, busy_seconds=0.2)
+        (row,) = b.utilization_dict()
+        assert row["worker_id"] == 0
+        assert row["jobs_done"] == 1
+        assert 0.0 <= row["utilization"]
+        assert set(row) >= {"busy_seconds", "affinity_rate", "fingerprint"}

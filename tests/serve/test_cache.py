@@ -1,0 +1,79 @@
+"""LibraryCache: build-once semantics, atomic publish, corruption recovery."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.data import LibraryConfig, library_fingerprint
+from repro.errors import ServeError
+from repro.serve import LibraryCache
+
+TINY = LibraryConfig.tiny()
+
+
+class TestGetOrBuild:
+    def test_miss_builds_then_hit_loads(self, tmp_path):
+        cache = LibraryCache(tmp_path)
+        lib1, first = cache.get_or_build("hm-small", TINY)
+        assert first.source == "built"
+        assert first.build_seconds > 0
+        lib2, second = cache.get_or_build("hm-small", TINY)
+        assert second.source == "disk-cache"
+        assert second.build_seconds == 0.0
+        assert lib2.names == lib1.names
+        np.testing.assert_array_equal(lib2["U238"].xs, lib1["U238"].xs)
+
+    def test_fingerprint_keys_distinguish_configs(self, tmp_path):
+        cache = LibraryCache(tmp_path)
+        cache.get_or_build("hm-small", TINY)
+        _, other = cache.get_or_build("hm-small", TINY.with_seed(9))
+        assert other.source == "built"
+        assert library_fingerprint("hm-small", TINY) in cache
+        assert library_fingerprint("hm-small", TINY.with_seed(9)) in cache
+
+    def test_corrupt_cache_file_is_rebuilt(self, tmp_path):
+        cache = LibraryCache(tmp_path)
+        _, first = cache.get_or_build("hm-small", TINY)
+        path = cache.path_for(first.fingerprint)
+        path.write_bytes(b"not a real npz")
+        lib, outcome = cache.get_or_build("hm-small", TINY)
+        assert outcome.source == "built"
+        assert len(lib) == 43
+
+    def test_no_lockfile_left_behind(self, tmp_path):
+        cache = LibraryCache(tmp_path)
+        cache.get_or_build("hm-small", TINY)
+        assert not list(tmp_path.glob("*.lock"))
+        assert not list(tmp_path.glob("*.tmp-*"))
+
+    def test_bad_timeout_rejected(self, tmp_path):
+        with pytest.raises(ServeError):
+            LibraryCache(tmp_path, build_timeout_s=0)
+
+
+def _race_worker(directory, barrier, out_q):
+    cache = LibraryCache(directory)
+    barrier.wait()
+    _, outcome = cache.get_or_build("hm-small", LibraryConfig.tiny())
+    out_q.put(outcome.source)
+
+
+class TestCrossProcess:
+    def test_concurrent_processes_build_exactly_once(self, tmp_path):
+        """Two processes racing on a cold cache: one builds, one loads."""
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        barrier = ctx.Barrier(2)
+        out_q = ctx.Queue()
+        procs = [
+            ctx.Process(target=_race_worker, args=(str(tmp_path), barrier, out_q))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        sources = sorted(out_q.get(timeout=60) for _ in procs)
+        for p in procs:
+            p.join(timeout=10)
+        assert sources == ["built", "disk-cache"]

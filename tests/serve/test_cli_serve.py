@@ -1,0 +1,139 @@
+"""The service CLI trio (submit/serve/status) end to end, via main(argv)."""
+
+import json
+
+from repro.cli import main as sim_main
+from repro.serve import JobSpec
+from repro.serve.service import read_spool_pending, spool_status
+
+RUN_FLAGS = ["--pincell", "--particles", "24", "--batches", "2",
+             "--inactive", "0"]
+
+
+class TestSubmit:
+    def test_submit_writes_pending_spec(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        rc = sim_main(["submit", "--spool", spool, *RUN_FLAGS,
+                       "--job-id", "s1", "--priority", "2"])
+        assert rc == 0
+        assert "submitted s1" in capsys.readouterr().out
+        (spec,) = read_spool_pending(spool)
+        assert spec.job_id == "s1"
+        assert spec.priority == 2
+        assert spec.settings["n_particles"] == 24
+        assert spec.settings["pincell"] is True
+        assert spec.submitted_at is not None
+
+    def test_duplicate_job_id_fails(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert sim_main(["submit", "--spool", spool, "--job-id", "dup"]) == 0
+        rc = sim_main(["submit", "--spool", spool, "--job-id", "dup"])
+        assert rc == 1
+        assert "already spooled" in capsys.readouterr().err
+
+
+class TestServeAndStatus:
+    def test_spool_lifecycle(self, tmp_path, capsys):
+        """submit N -> serve -> status: results filed, metrics exported."""
+        spool = str(tmp_path / "spool")
+        cache = str(tmp_path / "cache")
+        for i in range(3):
+            assert sim_main(["submit", "--spool", spool, *RUN_FLAGS,
+                             "--seed", "5", "--job-id", f"job{i}"]) == 0
+        capsys.readouterr()
+
+        rc = sim_main(["serve", "--spool", spool, "--workers", "2",
+                       "--cache", cache])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served 3 jobs" in out
+        assert "3 done" in out
+
+        status = spool_status(spool)
+        assert status["counts"] == {"pending": 0, "done": 3, "failed": 0}
+        assert len(status["results"]) == 3
+        # All three shared a fingerprint: exactly one build in the metrics.
+        metrics = status["metrics"]["metrics"]["metrics"]
+        assert metrics["library_builds"]["value"] == 1
+        assert metrics["jobs_completed"]["value"] == 3
+
+        rc = sim_main(["status", "--spool", spool])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 pending, 3 done, 0 failed" in out
+        assert "cache hit rate" in out
+
+        rc = sim_main(["status", "--spool", spool, "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"]["done"] == 3
+
+    def test_serve_jobs_file_with_json_output(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.jsonl"
+        spec = JobSpec(job_id="f1", settings={
+            "n_particles": 24, "n_inactive": 0, "n_active": 2,
+            "seed": 5, "mode": "event", "pincell": True,
+        })
+        jobs.write_text(spec.to_json() + "\n")
+        rc = sim_main(["serve", "--jobs", str(jobs), "--workers", "1",
+                       "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        (result,) = doc["results"]
+        assert result["job_id"] == "f1"
+        assert result["status"] == "done"
+        assert len(result["k_collision"]) == 2
+        assert "cache_hit_rate" in doc["metrics"]["metrics"]
+        assert doc["workers"][0]["jobs_done"] == 1
+
+    def test_serve_json_array_input(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.json"
+        specs = [JobSpec(job_id=f"a{i}", settings={
+            "n_particles": 16, "n_inactive": 0, "n_active": 1,
+            "mode": "event", "pincell": True,
+        }).to_dict() for i in range(2)]
+        jobs.write_text(json.dumps(specs))
+        rc = sim_main(["serve", "--jobs", str(jobs), "--workers", "1"])
+        assert rc == 0
+        assert "served 2 jobs" in capsys.readouterr().out
+
+    def test_serve_empty_spool_fails(self, tmp_path, capsys):
+        rc = sim_main(["serve", "--spool", str(tmp_path / "nothing")])
+        assert rc == 1
+        assert "no jobs" in capsys.readouterr().err
+
+    def test_serve_malformed_jobs_file_fails(self, tmp_path, capsys):
+        jobs = tmp_path / "bad.jsonl"
+        jobs.write_text('{"job_id": "x", "bogus_field": 1}\n')
+        rc = sim_main(["serve", "--jobs", str(jobs)])
+        assert rc == 1
+        assert "cannot read jobs" in capsys.readouterr().err
+
+    def test_failed_job_sets_exit_code_and_files_failure(
+        self, tmp_path, capsys
+    ):
+        jobs = tmp_path / "jobs.jsonl"
+        spec = JobSpec(job_id="bad1", settings={
+            "mode": "delta", "tally_power": True,
+            "n_particles": 8, "n_active": 1,
+        })
+        jobs.write_text(spec.to_json() + "\n")
+        rc = sim_main(["serve", "--jobs", str(jobs), "--workers", "1"])
+        assert rc == 1
+        assert "failed" in capsys.readouterr().out
+
+    def test_status_on_untouched_spool(self, tmp_path, capsys):
+        rc = sim_main(["status", "--spool", str(tmp_path / "fresh")])
+        assert rc == 0
+        assert "0 pending, 0 done, 0 failed" in capsys.readouterr().out
+
+
+class TestPriorityOrdering:
+    def test_higher_priority_spooled_jobs_serve_first(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        sim_main(["submit", "--spool", spool, "--job-id", "low",
+                  "--priority", "0"])
+        sim_main(["submit", "--spool", spool, "--job-id", "high",
+                  "--priority", "9"])
+        specs = read_spool_pending(spool)
+        assert [s.job_id for s in specs] == ["high", "low"]

@@ -1,0 +1,118 @@
+"""JobSpec/JobResult: JSON round trip, validation, fingerprints."""
+
+import pytest
+
+from repro.data import LibraryConfig, library_fingerprint
+from repro.errors import JobError
+from repro.resilience.checkpoint import settings_fingerprint
+from repro.serve import JobResult, JobSpec
+from repro.transport import Settings, Simulation
+
+SETTINGS = {
+    "n_particles": 30,
+    "n_inactive": 0,
+    "n_active": 2,
+    "seed": 11,
+    "mode": "event",
+    "pincell": True,
+}
+
+
+class TestJobSpec:
+    def test_json_round_trip_is_exact(self):
+        spec = JobSpec(
+            job_id="rt1", settings=dict(SETTINGS), priority=3,
+            deadline_s=12.5, submitted_at=1722945600.123456,
+        )
+        again = JobSpec.from_json(spec.to_json())
+        assert again == spec
+
+    def test_generated_ids_are_unique(self):
+        assert JobSpec().job_id != JobSpec().job_id
+
+    def test_unknown_settings_key_rejected(self):
+        with pytest.raises(JobError, match="unknown settings keys"):
+            JobSpec(settings={"n_partcles": 10})
+
+    def test_checkpoint_settings_are_not_job_settings(self):
+        with pytest.raises(JobError, match="checkpoint_every"):
+            JobSpec(settings={"checkpoint_every": 2})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(JobError, match="unknown job spec fields"):
+            JobSpec.from_dict({"job_id": "x", "nope": 1})
+
+    def test_bad_fidelity_rejected(self):
+        with pytest.raises(JobError, match="fidelity"):
+            JobSpec(fidelity="huge")
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(JobError, match="not valid JSON"):
+            JobSpec.from_json("{nope")
+
+    def test_to_settings_reconstructs_exactly(self):
+        spec = JobSpec(settings=dict(SETTINGS))
+        assert spec.to_settings() == Settings(**SETTINGS)
+
+    def test_settings_fingerprint_matches_checkpoint_subsystem(self):
+        spec = JobSpec(settings=dict(SETTINGS))
+        assert spec.settings_fingerprint() == settings_fingerprint(
+            Settings(**SETTINGS)
+        )
+
+    def test_library_fingerprint_keys_on_model_and_config(self):
+        base = JobSpec(settings=dict(SETTINGS))
+        assert base.library_fingerprint() == library_fingerprint(
+            "hm-small", LibraryConfig.tiny()
+        )
+        other_model = JobSpec(model="hm-large", settings=dict(SETTINGS))
+        other_seed = JobSpec(library_seed=7, settings=dict(SETTINGS))
+        fps = {
+            base.library_fingerprint(),
+            other_model.library_fingerprint(),
+            other_seed.library_fingerprint(),
+        }
+        assert len(fps) == 3
+
+    def test_scheduling_fields_do_not_change_fingerprints(self):
+        a = JobSpec(job_id="a", settings=dict(SETTINGS), priority=9)
+        b = JobSpec(job_id="b", settings=dict(SETTINGS), deadline_s=1.0)
+        assert a.settings_fingerprint() == b.settings_fingerprint()
+        assert a.library_fingerprint() == b.library_fingerprint()
+
+
+class TestJobResult:
+    def test_from_simulation_carries_exact_traces(self, small_library):
+        spec = JobSpec(job_id="payload", settings=dict(SETTINGS))
+        result = Simulation(small_library, spec.to_settings()).run()
+        payload = JobResult.from_simulation(spec, result, worker_id=2)
+        assert payload.k_collision == result.statistics.k_collision
+        assert payload.k_track == result.statistics.k_track
+        assert payload.entropy == result.statistics.entropy
+        assert payload.k_effective == result.k_effective.mean
+        assert payload.counters == result.counters.as_dict()
+        assert payload.status == "done"
+        assert payload.worker_id == 2
+
+    def test_json_round_trip_preserves_float_bits(self, small_library):
+        spec = JobSpec(job_id="bits", settings=dict(SETTINGS))
+        result = Simulation(small_library, spec.to_settings()).run()
+        payload = JobResult.from_simulation(spec, result)
+        again = JobResult.from_json(payload.to_json())
+        assert again.k_collision == payload.k_collision
+        assert again.k_absorption == payload.k_absorption
+        assert again.k_track == payload.k_track
+        assert again.entropy == payload.entropy
+        assert again.to_dict() == payload.to_dict()
+
+    def test_failure_result(self):
+        spec = JobSpec(job_id="boom", settings=dict(SETTINGS))
+        failed = JobResult.failure(spec, "it broke", attempts=3)
+        assert failed.status == "failed"
+        assert failed.error == "it broke"
+        assert failed.attempts == 3
+        assert JobResult.from_json(failed.to_json()).error == "it broke"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(JobError, match="unknown job result fields"):
+            JobResult.from_dict({"job_id": "x", "bogus": 1})

@@ -1,0 +1,120 @@
+"""MetricsRegistry: counters/gauges/histograms, JSON, Profile projection."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.profiling.timers import Profile
+from repro.serve import MetricsRegistry
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert reg.counter("jobs") is c  # get-or-create
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ServeError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_set_and_add(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(7)
+        g.add(-2)
+        assert g.value == 5.0
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ServeError, match="already registered"):
+            reg.gauge("x")
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.counts == [1, 2, 1, 1]  # last is +Inf overflow
+        assert h.sum == pytest.approx(56.05)
+        assert h.min == 0.05 and h.max == 50.0
+
+    def test_quantile_upper_bound(self):
+        h = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in [0.05] * 9 + [5.0]:
+            h.observe(v)
+        assert h.quantile(0.5) == 0.1
+        assert h.quantile(0.99) == 10.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ServeError):
+            MetricsRegistry().histogram("bad", buckets=(1.0, 0.1))
+
+
+class TestExport:
+    def test_json_round_trip(self):
+        reg = MetricsRegistry("svc")
+        reg.counter("jobs").inc(3)
+        reg.gauge("depth").set(2.5)
+        h = reg.histogram("wait_seconds", buckets=(0.01, 0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        again = MetricsRegistry.from_json(reg.to_json())
+        assert again.as_dict() == reg.as_dict()
+
+    def test_export_is_valid_json_document(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        doc = json.loads(reg.to_json())
+        assert doc["metrics"]["a"] == {"type": "counter", "value": 1}
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ServeError):
+            MetricsRegistry.from_json("{}")
+
+    def test_to_profile_projects_second_histograms(self):
+        reg = MetricsRegistry("svc")
+        h = reg.histogram("service_seconds")
+        h.observe(1.0)
+        h.observe(2.0)
+        reg.histogram("empty_seconds")  # zero observations: omitted
+        reg.counter("jobs").inc()  # not a histogram: omitted
+        profile = reg.to_profile()
+        assert set(profile.routines) == {"service"}
+        assert profile.routines["service"].calls == 2
+        assert profile.routines["service"].total_seconds == pytest.approx(3.0)
+
+    def test_profile_merges_with_transport_profile(self):
+        reg = MetricsRegistry("svc")
+        reg.histogram("dispatch_overhead_seconds").observe(0.25)
+        transport = Profile("sim")
+        transport.record("transport_generation", 4.75)
+        merged = transport.merge(reg.to_profile(), label="combined")
+        assert merged.fraction("dispatch_overhead") == pytest.approx(0.05)
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_updates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        h = reg.histogram("lat_seconds")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+                h.observe(0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+        assert h.count == 4000

@@ -1,0 +1,98 @@
+"""JobQueue: priority order, FIFO fairness, bounded backpressure."""
+
+import threading
+
+import pytest
+
+from repro.errors import QueueFullError, ServeError
+from repro.serve import JobQueue, JobSpec
+
+
+def spec(job_id, priority=0):
+    return JobSpec(job_id=job_id, priority=priority)
+
+
+class TestOrdering:
+    def test_higher_priority_dequeues_first(self):
+        q = JobQueue(capacity=8)
+        q.put(spec("low", priority=0))
+        q.put(spec("high", priority=5))
+        q.put(spec("mid", priority=2))
+        order = [q.get(timeout=0).spec.job_id for _ in range(3)]
+        assert order == ["high", "mid", "low"]
+
+    def test_fifo_within_a_priority(self):
+        q = JobQueue(capacity=8)
+        for i in range(5):
+            q.put(spec(f"j{i}", priority=1))
+        order = [q.get(timeout=0).spec.job_id for _ in range(5)]
+        assert order == [f"j{i}" for i in range(5)]
+
+    def test_requeue_jumps_to_front_of_its_priority(self):
+        q = JobQueue(capacity=8)
+        q.put(spec("first", priority=1))
+        q.put(spec("second", priority=1))
+        q.put(spec("urgent", priority=9))
+        q.put(spec("recovered", priority=1), attempt=2, front=True)
+        order = [(item.spec.job_id, item.attempt) for item in
+                 (q.get(timeout=0) for _ in range(4))]
+        assert order == [("urgent", 1), ("recovered", 2),
+                         ("first", 1), ("second", 1)]
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_typed_retry_after(self):
+        q = JobQueue(capacity=2)
+        q.retry_after_hint = 2.5
+        q.put(spec("a"))
+        q.put(spec("b"))
+        with pytest.raises(QueueFullError) as err:
+            q.put(spec("c"))
+        assert err.value.retry_after_s == 2.5
+        assert "retry" in str(err.value)
+        assert len(q) == 2  # the rejected job was not partially admitted
+
+    def test_recovery_requeue_is_exempt_from_capacity(self):
+        q = JobQueue(capacity=1)
+        q.put(spec("a"))
+        q.put(spec("recovered"), attempt=2, front=True)  # must not raise
+        assert len(q) == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ServeError):
+            JobQueue(capacity=0)
+
+
+class TestLifecycle:
+    def test_get_timeout_returns_none(self):
+        q = JobQueue(capacity=2)
+        assert q.get(timeout=0.01) is None
+
+    def test_closed_queue_rejects_put_but_drains(self):
+        q = JobQueue(capacity=4)
+        q.put(spec("a"))
+        q.close()
+        with pytest.raises(ServeError, match="closed"):
+            q.put(spec("b"))
+        assert q.get(timeout=0).spec.job_id == "a"
+        assert q.get(timeout=0) is None  # closed and empty: no waiting
+
+    def test_get_blocks_until_put_from_another_thread(self):
+        q = JobQueue(capacity=2)
+        got = []
+
+        def consumer():
+            got.append(q.get(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        q.put(spec("late"))
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert got[0].spec.job_id == "late"
+
+    def test_enqueued_at_is_stamped(self):
+        q = JobQueue(capacity=2)
+        q.put(spec("t"))
+        item = q.get(timeout=0)
+        assert item.enqueued_at > 0

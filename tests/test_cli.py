@@ -1,9 +1,94 @@
 """Tests for the two command-line entry points."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main as sim_main
 from repro.experiments.cli import main as exp_main
+
+
+class TestArgumentParsing:
+    """Pure parser coverage: every subcommand, no simulation spawned."""
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.mode == "event"
+        assert args.model == "hm-small"
+        assert args.library_cache is None
+        assert args.json_output is False
+
+    def test_run_service_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--library-cache", "xs/", "--json"]
+        )
+        assert args.library_cache == "xs/"
+        assert args.json_output is True
+
+    def test_checkpoint_requires_dir(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["checkpoint"])
+        capsys.readouterr()
+
+    def test_checkpoint_and_resume_flags(self):
+        ck = build_parser().parse_args(
+            ["checkpoint", "--dir", "ck", "--every", "3"]
+        )
+        assert ck.checkpoint_dir == "ck"
+        assert ck.checkpoint_every == 3
+        rs = build_parser().parse_args(["resume", "--dir", "ck"])
+        assert rs.checkpoint_dir == "ck"
+
+    def test_submit_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "--spool", "sp", "--priority", "4",
+             "--deadline", "30", "--job-id", "j1", "--pincell"]
+        )
+        assert args.command == "submit"
+        assert args.spool == "sp"
+        assert args.priority == 4
+        assert args.deadline == 30.0
+        assert args.job_id == "j1"
+        assert args.pincell is True
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--spool", "sp", "--workers", "4",
+             "--cache", "xs/", "--capacity", "8", "--max-attempts", "2"]
+        )
+        assert args.command == "serve"
+        assert (args.workers, args.capacity, args.max_attempts) == (4, 8, 2)
+        assert args.cache == "xs/"
+
+    def test_serve_requires_spool_or_jobs(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+        capsys.readouterr()
+
+    def test_serve_spool_and_jobs_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--spool", "a", "--jobs", "b"]
+            )
+        capsys.readouterr()
+
+    def test_status_flags(self):
+        args = build_parser().parse_args(["status", "--spool", "sp", "--json"])
+        assert args.command == "status"
+        assert args.json_output is True
+
+    def test_legacy_bare_form_maps_to_run(self, capsys):
+        """``repro-sim --pincell`` (no subcommand) parses as ``run`` — via
+        main(), which owns the rewrite."""
+        with pytest.raises(SystemExit):
+            # Direct parse without the rewrite must fail...
+            build_parser().parse_args(["--pincell"])
+        capsys.readouterr()
+        # ...but main() rewrites and only then parses (bad flag -> exit 2).
+        with pytest.raises(SystemExit) as err:
+            sim_main(["--pincell", "--no-such-flag"])
+        assert err.value.code == 2
+        capsys.readouterr()
 
 
 class TestReproSim:
@@ -41,6 +126,51 @@ class TestReproSim:
         )
         assert rc == 1
         assert "no checkpoint found" in capsys.readouterr().err
+
+    def test_resume_refuses_different_physics(self, tmp_path, capsys):
+        """The settings fingerprint refuses resume under changed physics
+        instead of silently breaking bit-identical resume."""
+        common = ["--pincell", "--particles", "40", "--batches", "2",
+                  "--inactive", "1", "--dir", str(tmp_path)]
+        assert sim_main(["checkpoint", *common, "--every", "1",
+                         "--seed", "3"]) == 0
+        capsys.readouterr()
+        rc = sim_main(["resume", *common, "--seed", "4"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "checkpoint error" in err
+        assert "fingerprint" in err
+
+    def test_run_json_emits_jobresult_payload(self, capsys):
+        rc = sim_main(
+            ["run", "--pincell", "--particles", "40", "--batches", "2",
+             "--inactive", "0", "--seed", "3", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "done"
+        assert payload["mode"] == "event"
+        assert len(payload["k_collision"]) == 2
+        assert payload["settings_fingerprint"]
+        assert payload["library_fingerprint"]
+        # The same flags through the JobSpec model give the same payload.
+        from repro.serve import JobSpec
+
+        spec = JobSpec(settings={
+            "n_particles": 40, "n_inactive": 0, "n_active": 2,
+            "seed": 3, "mode": "event", "pincell": True,
+        })
+        assert payload["settings_fingerprint"] == spec.settings_fingerprint()
+        assert payload["library_fingerprint"] == spec.library_fingerprint()
+
+    def test_run_library_cache_hits_on_second_run(self, tmp_path, capsys):
+        cache = str(tmp_path / "xs-cache")
+        args = ["run", "--pincell", "--particles", "40", "--batches", "2",
+                "--inactive", "0", "--library-cache", cache]
+        assert sim_main(args) == 0
+        assert "built and cached" in capsys.readouterr().out
+        assert sim_main(args) == 0
+        assert "cache hit" in capsys.readouterr().out
 
     def test_pincell_run(self, capsys):
         rc = sim_main(
