@@ -117,11 +117,9 @@ class SabTable:
         for branchy physics.
         """
         energies = np.asarray(energies, dtype=np.float64)
-        rows = np.clip(
-            np.searchsorted(self.e_in, energies, side="right") - 1,
-            0,
-            self.e_in.size - 1,
-        )
+        rows = np.searchsorted(self.e_in, energies, side="right") - 1
+        np.minimum(rows, self.e_in.size - 1, out=rows)
+        np.maximum(rows, 0, out=rows)
         j = np.minimum((np.asarray(xi1) * self.n_out).astype(np.int64), self.n_out - 1)
         k = np.minimum((np.asarray(xi2) * self.n_mu).astype(np.int64), self.n_mu - 1)
         return self.e_out[rows, j], self.mu[rows, j, k]

@@ -56,6 +56,15 @@ class SoALibrary:
         All cross sections concatenated, shape ``(N_REACTIONS, total_points)``.
     awr, nu0, fissionable:
         Per-nuclide scalars as dense arrays.
+    has_sab, sab_cutoff, watt_a, watt_b, has_urr, urr_emin, urr_emax:
+        Per-nuclide metadata side-tables.  The event loop's collision stages
+        index these with *arrays of chosen nuclide ids*, so per-particle
+        questions like "does my target have an S(alpha, beta) table, and am I
+        below its cutoff?" are single gathers instead of Python loops over
+        the library.
+    sab_tables:
+        Per-nuclide S(alpha, beta) table references (``None`` where absent),
+        so kernels can reach a table by dense id without name lookups.
     """
 
     def __init__(self, library: NuclideLibrary) -> None:
@@ -67,6 +76,21 @@ class SoALibrary:
         self.awr = np.array([n.awr for n in library])
         self.nu0 = np.array([n.nu0 for n in library])
         self.fissionable = np.array([n.fissionable for n in library])
+        self.has_sab = np.array([n.has_sab for n in library], dtype=bool)
+        self.sab_tables = [
+            library.sab[n.name] if n.has_sab else None for n in library
+        ]
+        self.sab_cutoff = np.array(
+            [
+                library.sab[n.name].cutoff if n.has_sab else 0.0
+                for n in library
+            ]
+        )
+        self.watt_a = np.array([n.watt_a for n in library])
+        self.watt_b = np.array([n.watt_b for n in library])
+        self.has_urr = np.array([n.has_urr for n in library], dtype=bool)
+        self.urr_emin = np.array([n.urr_emin for n in library])
+        self.urr_emax = np.array([n.urr_emax for n in library])
 
     @property
     def n_nuclides(self) -> int:
@@ -85,6 +109,13 @@ class SoALibrary:
             + self.awr.nbytes
             + self.nu0.nbytes
             + self.fissionable.nbytes
+            + self.has_sab.nbytes
+            + self.sab_cutoff.nbytes
+            + self.watt_a.nbytes
+            + self.watt_b.nbytes
+            + self.has_urr.nbytes
+            + self.urr_emin.nbytes
+            + self.urr_emax.nbytes
         )
 
     def micro_xs_gather(

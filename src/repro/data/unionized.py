@@ -78,8 +78,10 @@ class UnionizedGrid:
 
     def search_many(self, energies: np.ndarray) -> np.ndarray:
         """Vectorized union-grid search for a bank of energies."""
-        u = np.searchsorted(self.energy, energies, side="right") - 1
-        return np.clip(u, 0, self.n_union - 2)
+        u = self.energy.searchsorted(energies, side="right") - 1
+        np.minimum(u, self.energy.size - 2, out=u)
+        np.maximum(u, 0, out=u)
+        return u
 
     def nuclide_index(self, nuclide_id: int, union_index: int) -> int:
         """Gather the precomputed per-nuclide interval for a union point."""

@@ -118,15 +118,14 @@ class URRTable:
         """
         energies = np.asarray(energies, dtype=np.float64)
         xis = np.asarray(xis, dtype=np.float64)
-        bands = np.clip(
-            np.searchsorted(self.band_edges, energies, side="right") - 1,
-            0,
-            self.n_bands - 1,
-        )
+        cdf = self.cdf
+        bands = self.band_edges.searchsorted(energies, side="right") - 1
+        np.minimum(bands, cdf.shape[0] - 1, out=bands)
+        np.maximum(bands, 0, out=bands)
         # Column = count of CDF entries <= xi, computed branch-free.
-        row_cdf = self.cdf[bands]  # (n, n_cols) gather
-        cols = np.sum(row_cdf < xis[:, None], axis=1)
-        cols = np.minimum(cols, self.n_cols - 1)
+        row_cdf = cdf[bands]  # (n, n_cols) gather
+        cols = np.add.reduce(row_cdf < xis[:, None], axis=1, dtype=np.intp)
+        np.minimum(cols, cdf.shape[1] - 1, out=cols)
         return self.factors[:, bands, cols]
 
     @property
@@ -171,7 +170,7 @@ def build_urr_table(
     pdf_norm = np.diff(np.concatenate([np.zeros((n_bands, 1)), cdf], axis=1), axis=1)
     mean = np.sum(factors * pdf_norm[None], axis=2, keepdims=True)
     factors /= mean
-    np.clip(factors, 1e-3, None, out=factors)
+    np.maximum(factors, 1e-3, out=factors)
     if not fissionable:
         factors[Reaction.FISSION] = 1.0
     # TOTAL must stay consistent: recompute below in the lookup layer; here

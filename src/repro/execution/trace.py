@@ -82,10 +82,10 @@ def trace_offload(
     if stats.iterations == 0:
         raise ExecutionError("empty queue trace — run a generation first")
     trace = OffloadTrace(
-        bank_sizes=list(stats.lookup_counts),
+        bank_sizes=[int(v) for v in stats.lookup_counts],
         banking_s=[], transfer_s=[], compute_s=[], fixed_s=[],
     )
-    for n in stats.lookup_counts:
+    for n in trace.bank_sizes:
         trace.banking_s.append(model.banking_time_host(n))
         trace.transfer_s.append(model.transfer_time(n))
         trace.compute_s.append(model.mic_compute_time(n))

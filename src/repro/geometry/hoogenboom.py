@@ -308,8 +308,12 @@ class FastCoreGeometry:
         # Assembly indices in the 19x19 core lattice.
         ax = np.floor((x + self.half_core) / ASSEMBLY_PITCH).astype(np.int64)
         ay = np.floor((y + self.half_core) / ASSEMBLY_PITCH).astype(np.int64)
-        np.clip(ax, 0, CORE_SIZE - 1, out=ax)
-        np.clip(ay, 0, CORE_SIZE - 1, out=ay)
+        # minimum/maximum instead of integer np.clip: same values, but
+        # avoids np.iinfo bound construction on every call.
+        np.minimum(ax, CORE_SIZE - 1, out=ax)
+        np.maximum(ax, 0, out=ax)
+        np.minimum(ay, CORE_SIZE - 1, out=ay)
+        np.maximum(ay, 0, out=ay)
         px_, py_ = ax - 1, ay - 1
         fueled = (
             in_active
@@ -326,8 +330,10 @@ class FastCoreGeometry:
             half_a = 0.5 * ASSEMBLY_PITCH
             ix = np.floor((lx + half_a) / PIN_PITCH).astype(np.int64)
             iy = np.floor((ly + half_a) / PIN_PITCH).astype(np.int64)
-            np.clip(ix, 0, N_PINS - 1, out=ix)
-            np.clip(iy, 0, N_PINS - 1, out=iy)
+            np.minimum(ix, N_PINS - 1, out=ix)
+            np.maximum(ix, 0, out=ix)
+            np.minimum(iy, N_PINS - 1, out=iy)
+            np.maximum(iy, 0, out=iy)
             ex = lx + half_a - (ix + 0.5) * PIN_PITCH
             ey = ly + half_a - (iy + 0.5) * PIN_PITCH
             r2 = ex * ex + ey * ey
@@ -419,8 +425,8 @@ class FastCoreGeometry:
                 self._wall_distance(ey, uf[:, 1], 0.5 * PIN_PITCH),
             )
             is_gt = self.gt_map[
-                np.clip(iy.astype(np.int64), 0, N_PINS - 1),
-                np.clip(ix.astype(np.int64), 0, N_PINS - 1),
+                np.minimum(np.maximum(iy.astype(np.int64), 0), N_PINS - 1),
+                np.minimum(np.maximum(ix.astype(np.int64), 0), N_PINS - 1),
             ]
             r_in = np.where(is_gt, GT_INNER_RADIUS, FUEL_RADIUS)
             r_out = np.where(is_gt, GT_CLAD_RADIUS, CLAD_RADIUS)
@@ -441,16 +447,22 @@ class FastCoreGeometry:
     @staticmethod
     def _wall_distance(coord: np.ndarray, du: np.ndarray, half: float) -> np.ndarray:
         """Distance to symmetric walls at +/- half along one axis."""
-        with np.errstate(divide="ignore", invalid="ignore"):
-            wall = np.where(du > 0, half, -half)
-            d = (wall - coord) / du
-        return np.where((np.abs(du) < 1e-12) | (d <= 1e-12), INFINITY, d)
+        d = np.full(du.shape, INFINITY)
+        # copysign picks the wall the particle is heading toward (du == +0
+        # lanes disagree with the old where(du > 0, ...) form, but those are
+        # masked to INFINITY anyway).  Masked divide: lanes with
+        # |du| < 1e-12 keep INFINITY, so no errstate guard is needed.
+        np.divide(
+            np.copysign(half, du) - coord, du, out=d,
+            where=np.abs(du) >= 1e-12,
+        )
+        return np.where(d <= 1e-12, INFINITY, d)
 
     @staticmethod
     def _plane_distance(coord: np.ndarray, du: np.ndarray, plane: float) -> np.ndarray:
-        with np.errstate(divide="ignore", invalid="ignore"):
-            d = (plane - coord) / du
-        return np.where((np.abs(du) < 1e-12) | (d <= 1e-12), INFINITY, d)
+        d = np.full(du.shape, INFINITY)
+        np.divide(plane - coord, du, out=d, where=np.abs(du) >= 1e-12)
+        return np.where(d <= 1e-12, INFINITY, d)
 
 
 def _cyl_distance(ex: np.ndarray, ey: np.ndarray, u: np.ndarray, r) -> np.ndarray:

@@ -49,8 +49,9 @@ class Material:
                 raise GeometryError(
                     f"material {self.name!r}: invalid density for {nuc}"
                 )
-        self._resolved: tuple[np.ndarray, np.ndarray] | None = None
-        self._resolved_lib: NuclideLibrary | None = None
+        # resolve() memo: id(library) -> (library, ids, rho).  The strong
+        # library reference keeps the id stable for the cache's lifetime.
+        self._resolved: dict[int, tuple[NuclideLibrary, np.ndarray, np.ndarray]] = {}
 
     @property
     def n_nuclides(self) -> int:
@@ -61,11 +62,14 @@ class Material:
     def resolve(self, library: NuclideLibrary) -> tuple[np.ndarray, np.ndarray]:
         """Dense ``(nuclide_ids, atom_densities)`` arrays aligned to a library.
 
-        Cached per library instance; the transport kernels call this once and
-        then operate on plain arrays.
+        Memoized per library instance (every library ever resolved against,
+        not just the most recent one), so the transport kernels and the
+        XS-engine material plans can call this on every stage of every cycle
+        and always hit the cache.
         """
-        if self._resolved is not None and self._resolved_lib is library:
-            return self._resolved
+        hit = self._resolved.get(id(library))
+        if hit is not None:
+            return hit[1], hit[2]
         try:
             ids = np.array(
                 [library.index(name) for name in self.densities], dtype=np.int64
@@ -76,9 +80,8 @@ class Material:
                 f"missing from library {library.model!r}"
             ) from None
         rho = np.array(list(self.densities.values()), dtype=np.float64)
-        self._resolved = (ids, rho)
-        self._resolved_lib = library
-        return self._resolved
+        self._resolved[id(library)] = (library, ids, rho)
+        return ids, rho
 
 
 def make_fuel(model: str = "hm-small", enrichment_scale: float = 1.0) -> Material:

@@ -86,8 +86,8 @@ def watt_spectrum_many(
         s, xi1 = prn_array(s)
         s, xi2 = prn_array(s)
         states[pending] = s
-        x = -np.log(np.clip(xi1, 1e-300, None))
-        y = -np.log(np.clip(xi2, 1e-300, None))
+        x = -np.log(np.maximum(xi1, 1e-300))
+        y = -np.log(np.maximum(xi2, 1e-300))
         accept = (y - m * (x + 1.0)) ** 2 <= b * ell * x
         out[pending[accept]] = ell * x[accept]
         pending = pending[~accept]

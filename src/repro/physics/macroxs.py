@@ -25,15 +25,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.library import NuclideLibrary
+from ..data.nuclide import NU_THERMAL_SLOPE, Nuclide
+from ..data.sab import SabTable
 from ..data.soa import AoSLibrary, SoALibrary
 from ..data.unionized import UnionizedGrid
+from ..data.urr import URRTable
 from ..errors import PhysicsError
 from ..geometry.materials import Material
 from ..rng.lcg import RandomStream, prn_array
 from ..types import N_REACTIONS, Reaction
 from ..work import WorkCounters
 
-__all__ = ["MacroXS", "XSCalculator"]
+__all__ = ["MacroXS", "MaterialPlan", "XSCalculator"]
 
 #: Bytes touched per nuclide per lookup: two grid points x (energy + four
 #: cross sections) x 8 bytes.  Feeds the memory-bound roofline estimate.
@@ -57,6 +60,95 @@ class MacroXS:
     @property
     def absorption(self) -> float:
         return self.capture + self.fission
+
+
+class MaterialPlan:
+    """Precomputed per-material metadata for the banked kernels.
+
+    Everything the hot loop would otherwise recompute per call — dense
+    nuclide ids, densities, flat-array offsets, and which nuclides carry
+    S(alpha, beta) / URR tables — resolved once and cached on the
+    :class:`XSCalculator` (see :meth:`XSCalculator.material_plan`).
+
+    Attributes
+    ----------
+    ids, rho:
+        Dense nuclide ids and aligned atom densities (``Material.resolve``).
+    offsets:
+        ``soa.offsets[ids]`` — start of each material nuclide's grid in the
+        flat SoA arrays, so fused gathers are ``offsets[:, None] + local``.
+    nuclides:
+        The material's :class:`Nuclide` objects in id order (non-union grid
+        searches, scalar fallbacks).
+    fissionable, nu0:
+        Per-material-nuclide scalars gathered from the SoA side-tables.
+    sab_entries:
+        ``(k, table, cutoff)`` for each nuclide with an S(alpha, beta)
+        table, in material (accumulation/RNG) order ``k``.
+    urr_entries:
+        ``(k, table)`` for each nuclide with an unresolved-resonance
+        probability table, in material order ``k``.
+    """
+
+    __slots__ = (
+        "material",
+        "ids",
+        "ids_col",
+        "rho",
+        "n_nuclides",
+        "offsets",
+        "offsets_col",
+        "nuclides",
+        "fissionable",
+        "any_fissionable",
+        "nu0",
+        "nu0_fissionable",
+        "sab_entries",
+        "urr_entries",
+        "urr_emin",
+        "urr_emax",
+        "union_rowoff_col",
+    )
+
+    def __init__(self, calc: XSCalculator, material: Material) -> None:
+        ids, rho = material.resolve(calc.library)
+        self.material = material
+        self.ids = ids
+        self.ids_col = ids[:, None]
+        self.rho = rho
+        self.n_nuclides = int(ids.shape[0])
+        soa = calc.soa
+        self.offsets = soa.offsets[ids]
+        self.offsets_col = self.offsets[:, None]
+        self.nuclides: list[Nuclide] = [calc.library[int(i)] for i in ids]
+        self.fissionable = soa.fissionable[ids]
+        self.any_fissionable = bool(self.fissionable.any())
+        self.nu0 = soa.nu0[ids]
+        self.nu0_fissionable = self.nu0[self.fissionable]
+        self.sab_entries: list[tuple[int, SabTable, float]] = []
+        self.urr_entries: list[tuple[int, URRTable]] = []
+        for k, nuc in enumerate(self.nuclides):
+            if nuc.has_sab:
+                nid = int(ids[k])
+                self.sab_entries.append(
+                    (k, soa.sab_tables[nid], float(soa.sab_cutoff[nid]))
+                )
+            if nuc.has_urr:
+                self.urr_entries.append((k, calc.library.urr[nuc.name]))
+        # Fused-containment bounds for the URR nuclides (one vectorized
+        # range check per bank instead of a ``contains`` call per nuclide).
+        self.urr_emin = np.array([t.emin for _, t in self.urr_entries])
+        self.urr_emax = np.array([t.emax for _, t in self.urr_entries])
+        # Flat row offsets into the union index matrix, so the hot gather is
+        # a single ``take`` out of the raveled matrix instead of 2-D fancy
+        # indexing (same elements, lower dispatch cost).
+        if calc.union is not None:
+            n_union = calc.union.indices.shape[1]
+            self.union_rowoff_col = (
+                ids.astype(np.int64) * n_union
+            )[:, None]
+        else:
+            self.union_rowoff_col = None
 
 
 class XSCalculator:
@@ -96,6 +188,40 @@ class XSCalculator:
         self.layout = layout
         self.soa = SoALibrary(library)
         self.aos = AoSLibrary(library) if layout == "aos" else None
+        # id(material) -> MaterialPlan; the plan's material reference keeps
+        # the id stable for the cache's lifetime.
+        self._plans: dict[int, MaterialPlan] = {}
+        self._union_indices_flat = (
+            union.indices.ravel() if union is not None else None
+        )
+
+    def material_plan(self, material: Material) -> MaterialPlan:
+        """Cached :class:`MaterialPlan` for a material (built on first use)."""
+        plan = self._plans.get(id(material))
+        if plan is None:
+            plan = MaterialPlan(self, material)
+            self._plans[id(material)] = plan
+        return plan
+
+    def _local_indices(
+        self, plan: MaterialPlan, energies: np.ndarray
+    ) -> np.ndarray:
+        """Interval indices within each material nuclide's own grid.
+
+        Shape ``(n_nuclides_in_material, N)``.  With a union grid this is a
+        single search plus one fused 2-D gather out of the index matrix;
+        without one it falls back to per-nuclide binary searches.
+        """
+        if self.union is not None:
+            u = self.union.search_many(energies)
+            flat = plan.union_rowoff_col + u[None, :]
+            return self._union_indices_flat.take(flat)
+        local = np.empty(
+            (plan.n_nuclides, energies.shape[0]), dtype=np.int64
+        )
+        for k, nuc in enumerate(plan.nuclides):
+            local[k] = nuc.find_index_many(energies)
+        return local
 
     # ------------------------------------------------------------------
     # Scalar (history-based) path
@@ -201,43 +327,75 @@ class XSCalculator:
         ``capture``, ``fission``.
         """
         energies = np.asarray(energies, dtype=np.float64)
-        ids, rho = material.resolve(self.library)
-        n_nuc = ids.shape[0]
+        plan = self.material_plan(material)
+        rho = plan.rho
+        n_nuc = plan.n_nuclides
         n = energies.shape[0]
-        if self.union is not None:
-            u = self.union.search_many(energies)
-        total = np.zeros(n)
-        elastic = np.zeros(n)
-        capture = np.zeros(n)
-        fission = np.zeros(n)
-        nu_fission = np.zeros(n)
-        gather = (
-            self.soa.micro_xs_gather
-            if self.layout == "soa"
-            else self.aos.micro_xs_gather
-        )
-        for k in range(n_nuc):
-            nid = int(ids[k])
-            nuc = self.library[nid]
-            if self.union is not None:
-                idx = self.union.indices[nid, u]
-            else:
-                idx = nuc.find_index_many(energies)
-            micro = gather(nid, energies, idx)  # (N_REACTIONS, N)
-            m_el = micro[Reaction.ELASTIC]
-            m_cap = micro[Reaction.CAPTURE]
-            m_fis = micro[Reaction.FISSION]
-            if self.use_sab and nuc.has_sab:
-                sab = self.library.sab[nuc.name]
-                mask = energies < sab.cutoff
+        local = self._local_indices(plan, energies)  # (n_nuc, N)
+        if self.layout == "soa":
+            # Fused gather: one (n_nuc, N) take per quantity instead of
+            # n_nuc small per-nuclide gathers.  Element-wise arithmetic is
+            # identical to the per-nuclide micro_xs_gather form
+            # ((1 - f) * lo + f * hi per point), so results stay bit-equal.
+            soa = self.soa
+            idx = plan.offsets_col + local
+            idx1 = idx + 1
+            e0 = soa.energy.take(idx)
+            e1 = soa.energy.take(idx1)
+            den = np.subtract(e1, e0, out=e1)
+            f = np.subtract(energies[None, :], e0, out=e0)
+            f /= den
+            np.clip(f, 0.0, 1.0, out=f)
+            g = np.subtract(1.0, f, out=den)
+            row = soa.xs[Reaction.ELASTIC]
+            m_el_mat = row.take(idx)
+            m_el_mat *= g
+            hi = row.take(idx1)
+            hi *= f
+            m_el_mat += hi
+            row = soa.xs[Reaction.CAPTURE]
+            m_cap_mat = row.take(idx)
+            m_cap_mat *= g
+            hi = row.take(idx1)
+            hi *= f
+            m_cap_mat += hi
+            row = soa.xs[Reaction.FISSION]
+            m_fis_mat = row.take(idx)
+            m_fis_mat *= g
+            hi = row.take(idx1)
+            hi *= f
+            m_fis_mat += hi
+        else:
+            # AoS ablation: keep the per-nuclide strided gathers (that cost
+            # is the point of the layout comparison) but share the fused
+            # correction/accumulation code below.
+            m_el_mat = np.empty((n_nuc, n))
+            m_cap_mat = np.empty((n_nuc, n))
+            m_fis_mat = np.empty((n_nuc, n))
+            for k in range(n_nuc):
+                micro = self.aos.micro_xs_gather(
+                    int(plan.ids[k]), energies, local[k]
+                )
+                m_el_mat[k] = micro[Reaction.ELASTIC]
+                m_cap_mat[k] = micro[Reaction.CAPTURE]
+                m_fis_mat[k] = micro[Reaction.FISSION]
+        # S(alpha, beta) substitution (no RNG) and URR factor sampling (RNG
+        # draws in material order k, exactly the scalar path's draw order).
+        # The two nuclide sets are disjoint, so the split loops touch
+        # different rows and commute with the old interleaved form.
+        if self.use_sab:
+            for k, sab, cutoff in plan.sab_entries:
+                mask = energies < cutoff
                 if mask.any():
-                    m_el = m_el.copy()
-                    m_el[mask] = sab.thermal_xs(energies[mask])
+                    m_el_mat[k, mask] = sab.thermal_xs(energies[mask])
                     if counters:
                         counters.sab_samples += int(mask.sum())
-            if self.use_urr and nuc.has_urr:
-                table = self.library.urr[nuc.name]
-                mask = np.asarray(table.contains(energies))
+        if self.use_urr and plan.urr_entries:
+            in_range = (energies[None, :] >= plan.urr_emin[:, None]) & (
+                energies[None, :] < plan.urr_emax[:, None]
+            )
+            for i, (k, table) in enumerate(plan.urr_entries):
+                mask = in_range[i]
                 if mask.any():
                     if rng_states is None:
                         raise PhysicsError(
@@ -246,25 +404,65 @@ class XSCalculator:
                     new_states, xi = prn_array(rng_states[mask])
                     rng_states[mask] = new_states
                     factors = table.sample_factors_many(energies[mask], xi)
-                    m_el = m_el.copy()
-                    m_cap = m_cap.copy()
-                    m_fis = m_fis.copy()
-                    m_el[mask] *= factors[Reaction.ELASTIC]
-                    m_cap[mask] *= factors[Reaction.CAPTURE]
-                    m_fis[mask] *= factors[Reaction.FISSION]
+                    m_el_mat[k, mask] *= factors[Reaction.ELASTIC]
+                    m_cap_mat[k, mask] *= factors[Reaction.CAPTURE]
+                    m_fis_mat[k, mask] *= factors[Reaction.FISSION]
                     if counters:
                         counters.urr_samples += int(mask.sum())
                         counters.rn_draws += int(mask.sum())
-            m_tot = m_el + m_cap + m_fis
-            contrib = rho[k] * m_tot
-            total += contrib
-            elastic += rho[k] * m_el
-            capture += rho[k] * m_cap
-            fission += rho[k] * m_fis
-            if nuc.fissionable:
-                nu_fission += rho[k] * m_fis * nuc.nu(energies)
+        # Per-nuclide accumulation in material order: float sums must happen
+        # in the scalar path's order to stay bit-identical (no matmul/BLAS
+        # reductions here, by design).  ``np.add.reduce`` over axis 0 of a
+        # C-order (n_nuc, N) array is a strided reduction that accumulates
+        # row-by-row in exactly that order — except when N == 1, where the
+        # reduction is contiguous and NumPy switches to pairwise summation,
+        # so that case keeps the explicit loop.
+        nu_e = NU_THERMAL_SLOPE * energies
+        if n == 1:
+            total = np.zeros(n)
+            elastic = np.zeros(n)
+            capture = np.zeros(n)
+            fission = np.zeros(n)
+            nu_fission = np.zeros(n)
+            buf = np.empty(n)
+            for k in range(n_nuc):
+                m_el = m_el_mat[k]
+                m_cap = m_cap_mat[k]
+                m_fis = m_fis_mat[k]
+                np.add(m_el, m_cap, out=buf)
+                buf += m_fis
+                buf *= rho[k]
+                total += buf
+                if per_nuclide_total is not None:
+                    per_nuclide_total[k] = buf
+                m_el *= rho[k]
+                elastic += m_el
+                m_cap *= rho[k]
+                capture += m_cap
+                m_fis *= rho[k]
+                fission += m_fis
+                if plan.fissionable[k]:
+                    nu_fission += m_fis * (plan.nu0[k] + nu_e)
+        else:
+            rho_col = rho[:, None]
+            contrib = m_el_mat + m_cap_mat
+            contrib += m_fis_mat
+            contrib *= rho_col
+            total = np.add.reduce(contrib, axis=0)
             if per_nuclide_total is not None:
-                per_nuclide_total[k] = contrib
+                per_nuclide_total[:n_nuc] = contrib
+            m_el_mat *= rho_col
+            elastic = np.add.reduce(m_el_mat, axis=0)
+            m_cap_mat *= rho_col
+            capture = np.add.reduce(m_cap_mat, axis=0)
+            m_fis_mat *= rho_col
+            fission = np.add.reduce(m_fis_mat, axis=0)
+            if plan.any_fissionable:
+                nu_mat = m_fis_mat[plan.fissionable]
+                nu_mat *= plan.nu0_fissionable[:, None] + nu_e[None, :]
+                nu_fission = np.add.reduce(nu_mat, axis=0)
+            else:
+                nu_fission = np.zeros(n)
         if counters:
             counters.lookups += n
             counters.nuclide_iterations += n * n_nuc
@@ -340,31 +538,35 @@ class XSCalculator:
         so history and event runs attribute collisions identically.
         """
         energies = np.atleast_1d(np.asarray(energies, dtype=np.float64))
-        ids, rho = material.resolve(self.library)
-        n_nuc = ids.shape[0]
+        plan = self.material_plan(material)
+        n_nuc = plan.n_nuclides
         n = energies.shape[0]
-        if self.union is not None:
-            u = self.union.search_many(energies)
-        out = np.empty((n_nuc, n))
-        for k in range(n_nuc):
-            nid = int(ids[k])
-            nuc = self.library[nid]
-            if self.union is not None:
-                idx = self.union.indices[nid, u]
-            else:
-                idx = nuc.find_index_many(energies)
-            micro = self.soa.micro_xs_gather(nid, energies, idx)
-            row = micro[reaction].copy()
-            if (
-                reaction == Reaction.ELASTIC
-                and self.use_sab
-                and nuc.has_sab
-            ):
-                sab = self.library.sab[nuc.name]
-                mask = energies < sab.cutoff
+        # Fused SoA gather of the one requested reaction row across all the
+        # material's nuclides at once (always SoA — attribution is shared
+        # infrastructure, not part of the layout ablation).
+        local = self._local_indices(plan, energies)
+        idx = plan.offsets_col + local
+        idx1 = idx + 1
+        soa = self.soa
+        e0 = soa.energy.take(idx)
+        e1 = soa.energy.take(idx1)
+        den = np.subtract(e1, e0, out=e1)
+        f = np.subtract(energies[None, :], e0, out=e0)
+        f /= den
+        np.clip(f, 0.0, 1.0, out=f)
+        g = np.subtract(1.0, f, out=den)
+        row = soa.xs[reaction]
+        out = row.take(idx)
+        out *= g
+        hi = row.take(idx1)
+        hi *= f
+        out += hi
+        if reaction == Reaction.ELASTIC and self.use_sab:
+            for k, sab, cutoff in plan.sab_entries:
+                mask = energies < cutoff
                 if mask.any():
-                    row[mask] = sab.thermal_xs(energies[mask])
-            out[k] = rho[k] * row
+                    out[k, mask] = sab.thermal_xs(energies[mask])
+        out *= plan.rho[:, None]
         if counters:
             counters.nuclide_iterations += n * n_nuc
             counters.bytes_read += n * n_nuc * BYTES_PER_NUCLIDE_LOOKUP

@@ -67,7 +67,7 @@ def isotropic_direction_many(xi1: np.ndarray, xi2: np.ndarray) -> np.ndarray:
     """Vectorized isotropic directions, shape ``(n, 3)``."""
     mu = 2.0 * np.asarray(xi1) - 1.0
     phi = 2.0 * np.pi * np.asarray(xi2)
-    s = np.sqrt(np.clip(1.0 - mu * mu, 0.0, None))
+    s = np.sqrt(np.maximum(1.0 - mu * mu, 0.0))
     return np.column_stack([s * np.cos(phi), s * np.sin(phi), mu])
 
 
@@ -97,9 +97,9 @@ def rotate_direction_many(
     mu = np.asarray(mu, dtype=np.float64)
     phi = np.asarray(phi, dtype=np.float64)
     ux, uy, uz = u[:, 0], u[:, 1], u[:, 2]
-    s = np.sqrt(np.clip(1.0 - mu * mu, 0.0, None))
+    s = np.sqrt(np.maximum(1.0 - mu * mu, 0.0))
     cos_phi, sin_phi = np.cos(phi), np.sin(phi)
-    a = np.sqrt(np.clip(1.0 - uz * uz, 1e-30, None))
+    a = np.sqrt(np.maximum(1.0 - uz * uz, 1e-30))
     polar = a < 1e-10
     vx = mu * ux + s * (ux * uz * cos_phi - uy * sin_phi) / a
     vy = mu * uy + s * (uy * uz * cos_phi + ux * sin_phi) / a

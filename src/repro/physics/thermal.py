@@ -100,13 +100,13 @@ def free_gas_scatter_many(
     awr = np.broadcast_to(np.asarray(awr, dtype=np.float64), (n,))
 
     vn = np.sqrt(energies)[:, None] * np.asarray(directions, dtype=np.float64)
-    g = -np.log(np.clip(xi[:, 0], 1e-300, None)) - np.log(
-        np.clip(xi[:, 1], 1e-300, None)
+    g = -np.log(np.maximum(xi[:, 0], 1e-300)) - np.log(
+        np.maximum(xi[:, 1], 1e-300)
     ) * np.cos(0.5 * np.pi * xi[:, 2]) ** 2
     vt_speed = np.sqrt(kt / awr * g)
     mu_t = 2.0 * xi[:, 3] - 1.0
     phi_t = 2.0 * np.pi * xi[:, 4]
-    s = np.sqrt(np.clip(1.0 - mu_t * mu_t, 0.0, None))
+    s = np.sqrt(np.maximum(1.0 - mu_t * mu_t, 0.0))
     vt = vt_speed[:, None] * np.column_stack(
         [s * np.cos(phi_t), s * np.sin(phi_t), mu_t]
     )
@@ -115,10 +115,10 @@ def free_gas_scatter_many(
     speed_rel = np.linalg.norm(v_rel, axis=1)
     mu_c = 2.0 * xi[:, 5] - 1.0
     phi_c = 2.0 * np.pi * xi[:, 6]
-    sc = np.sqrt(np.clip(1.0 - mu_c * mu_c, 0.0, None))
+    sc = np.sqrt(np.maximum(1.0 - mu_c * mu_c, 0.0))
     omega = np.column_stack([sc * np.cos(phi_c), sc * np.sin(phi_c), mu_c])
     vn_out = v_cm + (awr / (awr + 1.0))[:, None] * speed_rel[:, None] * omega
     e_out = np.einsum("ij,ij->i", vn_out, vn_out)
-    e_out = np.clip(e_out, 1e-30, None)
+    e_out = np.maximum(e_out, 1e-30)
     dir_out = vn_out / np.sqrt(e_out)[:, None]
     return e_out, dir_out

@@ -61,6 +61,8 @@ DEFAULT_SEED = 1
 _NORM = 1.0 / float(1 << LCG_MOD_BITS)
 
 _U64_MASK = np.uint64(LCG_MASK)
+_U64_MULT = np.uint64(LCG_MULT)
+_U64_INC = np.uint64(LCG_INC)
 
 
 def lcg_next(seed: int) -> int:
@@ -178,8 +180,9 @@ def prn_array(states: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     Returns ``(new_states, uniforms)``; ``states`` is not modified.
     """
     states = np.asarray(states, dtype=np.uint64)
-    with np.errstate(over="ignore"):
-        new = (np.uint64(LCG_MULT) * states + np.uint64(LCG_INC)) & _U64_MASK
+    # uint64 *array* arithmetic wraps silently in NumPy (only scalar ops
+    # warn), so no errstate guard is needed on this hot path.
+    new = (_U64_MULT * states + _U64_INC) & _U64_MASK
     return new, new.astype(np.float64) * _NORM
 
 

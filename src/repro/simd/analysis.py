@@ -14,8 +14,16 @@ from __future__ import annotations
 
 import math
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
-__all__ = ["queue_lane_efficiency", "divergence_loss"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..transport.events import EventLoopStats
+
+__all__ = [
+    "queue_lane_efficiency",
+    "divergence_loss",
+    "lane_utilization_report",
+]
 
 
 def queue_lane_efficiency(queue_sizes: Iterable[int], width: int = 16) -> float:
@@ -57,3 +65,36 @@ def divergence_loss(
         raise ValueError("branch fractions exceed 1")
     # Masked execution issues every branch across all lanes.
     return total / len(fractions)
+
+
+def lane_utilization_report(
+    stats: EventLoopStats, width: int = 16
+) -> dict:
+    """Per-stage lane utilization from an event loop's queue trace.
+
+    Combines :meth:`EventLoopStats.summary` occupancy statistics with
+    :func:`queue_lane_efficiency` for each stage, so one call answers
+    "how full were the SIMD lanes in each stage of this run?".
+
+    Returns ``{"iterations", "width", "stages": {stage: {"mean", "min",
+    "max", "total", "lane_efficiency"}}}``.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    summary = stats.summary()
+    counts_by_stage = {
+        "lookup": stats.lookup_counts,
+        "collision": stats.collision_counts,
+        "crossing": stats.crossing_counts,
+    }
+    stages = {}
+    for name, occ in summary["stages"].items():
+        stages[name] = dict(occ)
+        stages[name]["lane_efficiency"] = queue_lane_efficiency(
+            counts_by_stage[name], width=width
+        )
+    return {
+        "iterations": summary["iterations"],
+        "width": width,
+        "stages": stages,
+    }

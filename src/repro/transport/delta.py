@@ -37,7 +37,12 @@ from ..geometry.hoogenboom import PIN_PITCH
 from ..physics.collision import select_channel_many
 from ..rng.lcg import prn_array
 from .context import TransportContext
-from .events import _collide_survival_stage, _fission_stage, _scatter_stage
+from .events import (
+    _collide_survival_stage,
+    _fission_stage,
+    _group_by_value,
+    _scatter_stage,
+)
 from .particle import FissionBank, ParticleBank
 from .tally import GlobalTallies
 
@@ -159,7 +164,7 @@ def run_generation_delta(
         bank.rng_state[alive] = states
         counters.rn_draws += alive.size
         counters.flights += alive.size
-        d = -np.log(np.clip(xi, _TINY, None)) / sig_maj
+        d = -np.log(np.maximum(xi, _TINY)) / sig_maj
         bank.position[alive] += d[:, None] * bank.direction[alive]
 
         # ---- Boundaries: fold (reflective pincell) or leak (vacuum box).
@@ -179,11 +184,11 @@ def run_generation_delta(
         bank.material[inside] = mats[mats >= 0]
 
         # ---- Real cross sections at tentative collision points.
-        for mid in np.unique(bank.material[inside]):
-            grp = inside[bank.material[inside] == mid]
+        for mid, pos in _group_by_value(bank.material[inside]):
+            grp = inside[pos]
             states = bank.rng_state[grp]
             res = calc.banked(
-                ctx.material(int(mid)), bank.energy[grp],
+                ctx.material(mid), bank.energy[grp],
                 rng_states=states, counters=counters,
             )
             bank.rng_state[grp] = states

@@ -49,19 +49,62 @@ _TINY = 1.0e-300
 
 class EventLoopStats:
     """Per-stage particle counts — the queue-occupancy profile of the event
-    loop (used to study lane utilization / divergence)."""
+    loop (used to study lane utilization / divergence).
+
+    Backed by one amortized-doubling ``(3, capacity)`` int64 array rather
+    than unbounded Python lists; ``lookup_counts`` / ``collision_counts`` /
+    ``crossing_counts`` are zero-copy views of the recorded prefix.
+    """
+
+    _STAGES = ("lookup", "collision", "crossing")
 
     def __init__(self) -> None:
         self.iterations = 0
-        self.lookup_counts: list[int] = []
-        self.collision_counts: list[int] = []
-        self.crossing_counts: list[int] = []
+        self._counts = np.zeros((3, 16), dtype=np.int64)
 
     def record(self, n_lookup: int, n_collision: int, n_crossing: int) -> None:
-        self.iterations += 1
-        self.lookup_counts.append(n_lookup)
-        self.collision_counts.append(n_collision)
-        self.crossing_counts.append(n_crossing)
+        i = self.iterations
+        if i >= self._counts.shape[1]:
+            grown = np.zeros((3, 2 * self._counts.shape[1]), dtype=np.int64)
+            grown[:, :i] = self._counts
+            self._counts = grown
+        self._counts[0, i] = n_lookup
+        self._counts[1, i] = n_collision
+        self._counts[2, i] = n_crossing
+        self.iterations = i + 1
+
+    @property
+    def lookup_counts(self) -> np.ndarray:
+        return self._counts[0, : self.iterations]
+
+    @property
+    def collision_counts(self) -> np.ndarray:
+        return self._counts[1, : self.iterations]
+
+    @property
+    def crossing_counts(self) -> np.ndarray:
+        return self._counts[2, : self.iterations]
+
+    def summary(self) -> dict:
+        """Per-stage occupancy statistics over the recorded cycles.
+
+        Returns ``{"iterations": n, "stages": {name: {"mean", "min",
+        "max", "total"}}}`` — the inputs to the lane-utilization analysis
+        (:func:`repro.simd.analysis.lane_utilization_report`).
+        """
+        stages: dict[str, dict[str, float | int]] = {}
+        for row, name in enumerate(self._STAGES):
+            counts = self._counts[row, : self.iterations]
+            if counts.size:
+                stages[name] = {
+                    "mean": float(counts.mean()),
+                    "min": int(counts.min()),
+                    "max": int(counts.max()),
+                    "total": int(counts.sum()),
+                }
+            else:
+                stages[name] = {"mean": 0.0, "min": 0, "max": 0, "total": 0}
+        return {"iterations": self.iterations, "stages": stages}
 
 
 def _sample_index_many(weights: np.ndarray, xi: np.ndarray) -> np.ndarray:
@@ -70,6 +113,26 @@ def _sample_index_many(weights: np.ndarray, xi: np.ndarray) -> np.ndarray:
     target = xi * cum[-1]
     idx = np.sum(cum <= target[None, :], axis=0)
     return np.minimum(idx, weights.shape[0] - 1)
+
+
+def _group_by_value(values: np.ndarray):
+    """Yield ``(value, positions)`` for each distinct value, via one stable
+    argsort instead of ``np.unique`` plus a boolean scan per value.
+
+    ``positions`` index into ``values`` and are ascending within each group
+    (stable sort), and groups come out in ascending value order — exactly
+    the iteration order of the ``np.unique`` + mask idiom it replaces, so
+    RNG consumption order is unchanged.
+    """
+    if values.size == 0:
+        return
+    order = np.argsort(values, kind="stable")
+    sorted_vals = values[order]
+    boundaries = np.flatnonzero(sorted_vals[1:] != sorted_vals[:-1]) + 1
+    start = 0
+    for end in [*boundaries.tolist(), sorted_vals.size]:
+        yield int(sorted_vals[start]), order[start:end]
+        start = end
 
 
 def run_generation_event(
@@ -105,18 +168,29 @@ def run_generation_event(
     sigma_f = np.zeros(n)
     nu_sigma_f = np.zeros(n)
 
-    while True:
-        alive_idx = np.nonzero(bank.alive)[0]
-        if alive_idx.size == 0:
-            break
+    # Compacted live-index bank: starts as the full bank and shrinks
+    # monotonically as particles die, so no stage ever rescans dead lanes
+    # (the remapping strategy of the GPU event-based literature; the
+    # per-cycle ``np.nonzero(bank.alive)`` full-bank scan is gone).
+    live = np.arange(n, dtype=np.int64)
 
-        # ---- Stage 1: banked cross-section lookups, grouped by material.
+    while True:
+        # Compact: drop lanes that died last cycle.  ``live`` stays sorted,
+        # so the filtered view equals ``np.nonzero(bank.alive)[0]`` without
+        # touching the dead part of the bank.
+        live = live[bank.alive[live]]
+        if live.size == 0:
+            break
+        alive_idx = live
+
+        # ---- Stage 1: banked cross-section lookups, grouped by material
+        # via one stable argsort dispatch (same group order as np.unique).
         mats = ctx.fast.locate_many(bank.position[alive_idx])
         bank.material[alive_idx] = mats
         # (Source particles start inside; crossings already resolved escapes.)
-        for mid in np.unique(mats):
-            grp = alive_idx[mats == mid]
-            material = ctx.material(int(mid))
+        for mid, pos in _group_by_value(mats):
+            grp = alive_idx[pos]
+            material = ctx.material(mid)
             states = bank.rng_state[grp]
             res = calc.banked(
                 material, bank.energy[grp], rng_states=states, counters=counters
@@ -132,28 +206,26 @@ def run_generation_event(
         bank.rng_state[alive_idx] = states
         counters.rn_draws += alive_idx.size
         counters.flights += alive_idx.size
-        d_coll = -np.log(np.clip(xi, _TINY, None)) / sigma_t[alive_idx]
-        d_bound = ctx.fast.distance_many(
-            bank.position[alive_idx], bank.direction[alive_idx]
-        )
+        # Gather each per-particle column once; every consumer below reads
+        # the compacted copy instead of re-running the fancy index.
+        pos = bank.position[alive_idx]
+        dirs = bank.direction[alive_idx]
+        w = bank.weight[alive_idx]
+        d_coll = -np.log(np.maximum(xi, _TINY)) / sigma_t[alive_idx]
+        d_bound = ctx.fast.distance_many(pos, dirs)
         crossing = d_bound < d_coll
         d = np.where(crossing, d_bound, d_coll)
-        tallies.score_track_many(
-            bank.weight[alive_idx], d, nu_sigma_f[alive_idx]
-        )
+        tallies.score_track_many(w, d, nu_sigma_f[alive_idx])
         if power is not None:
             power.score_track_many(
-                bank.position[alive_idx]
-                + 0.5 * d[:, None] * bank.direction[alive_idx],
-                bank.weight[alive_idx],
+                pos + 0.5 * d[:, None] * dirs,
+                w,
                 d,
                 sigma_f[alive_idx],
             )
         if spectrum is not None:
-            spectrum.score_track_many(
-                bank.energy[alive_idx], bank.weight[alive_idx], d
-            )
-        bank.position[alive_idx] += d[:, None] * bank.direction[alive_idx]
+            spectrum.score_track_many(bank.energy[alive_idx], w, d)
+        bank.position[alive_idx] = pos + d[:, None] * dirs
 
         cross_idx = alive_idx[crossing]
         coll_idx = alive_idx[~crossing]
@@ -289,13 +361,6 @@ def _collide_survival_stage(
         bank.alive[rl[~survive]] = False
 
 
-def _grouped(bank: ParticleBank, idx: np.ndarray):
-    """Yield (material_id, subset_of_idx) for each material present."""
-    mats = bank.material[idx]
-    for mid in np.unique(mats):
-        yield int(mid), idx[mats == mid]
-
-
 def _fission_stage(
     ctx: TransportContext,
     bank: ParticleBank,
@@ -308,7 +373,9 @@ def _fission_stage(
     Watt energies — per material group."""
     calc = ctx.calculator
     counters = ctx.counters
-    for mid, grp in _grouped(bank, fis):
+    soa = calc.soa
+    for mid, pos in _group_by_value(bank.material[fis]):
+        grp = fis[pos]
         material = ctx.material(mid)
         ids, _ = material.resolve(ctx.library)
         weights = calc.attribution_weights(
@@ -318,7 +385,7 @@ def _fission_stage(
         which = _sample_index_many(weights, xi_nuc)
         nuclide_ids = ids[which]
         nu_bar = (
-            calc.soa.nu0[nuclide_ids] + NU_THERMAL_SLOPE * bank.energy[grp]
+            soa.nu0[nuclide_ids] + NU_THERMAL_SLOPE * bank.energy[grp]
         ) * bank.weight[grp]
         states, xi_nu = prn_array(states)
         bank.rng_state[grp] = states
@@ -334,9 +401,10 @@ def _fission_stage(
                 break
             # Watt parameters are library-wide constants (all nuclides carry
             # the defaults), so one batched sampler covers the whole group.
-            nuc0 = ctx.library[int(nuclide_ids[0])]
+            nid0 = int(nuclide_ids[0])
             e_birth, new_states = watt_spectrum_many(
-                nuc0.watt_a, nuc0.watt_b, bank.rng_state[sub]
+                float(soa.watt_a[nid0]), float(soa.watt_b[nid0]),
+                bank.rng_state[sub],
             )
             bank.rng_state[sub] = new_states
             fission_bank.add_many(
@@ -349,10 +417,11 @@ def _scatter_stage(ctx: TransportContext, bank: ParticleBank, sct: np.ndarray) -
     sub-banks (S(alpha, beta), free-gas, target-at-rest)."""
     calc = ctx.calculator
     counters = ctx.counters
+    soa = calc.soa
     chosen = np.empty(sct.size, dtype=np.int64)  # global nuclide ids
-    pos_in_sct = {int(j): i for i, j in enumerate(sct)}
 
-    for mid, grp in _grouped(bank, sct):
+    for mid, pos in _group_by_value(bank.material[sct]):
+        grp = sct[pos]
         material = ctx.material(mid)
         ids, _ = material.resolve(ctx.library)
         weights = calc.attribution_weights(
@@ -362,26 +431,15 @@ def _scatter_stage(ctx: TransportContext, bank: ParticleBank, sct: np.ndarray) -
         bank.rng_state[grp] = states
         counters.rn_draws += grp.size
         which = _sample_index_many(weights, xi_nuc)
-        sel = ids[which]
-        for local, j in enumerate(grp):
-            chosen[pos_in_sct[int(j)]] = sel[local]
+        chosen[pos] = ids[which]
 
     energies = bank.energy[sct]
-    has_sab = np.array(
-        [
-            calc.use_sab and ctx.library[int(nid)].has_sab
-            for nid in chosen
-        ]
-    )
-    sab_cut = np.array(
-        [
-            ctx.library.sab[ctx.library[int(nid)].name].cutoff
-            if calc.use_sab and ctx.library[int(nid)].has_sab
-            else 0.0
-            for nid in chosen
-        ]
-    )
-    sab_mask = has_sab & (energies < sab_cut)
+    # Per-target metadata as gathers out of the SoA side-tables — no
+    # Python loop over the chosen nuclides.
+    if calc.use_sab:
+        sab_mask = soa.has_sab[chosen] & (energies < soa.sab_cutoff[chosen])
+    else:
+        sab_mask = np.zeros(sct.size, dtype=bool)
     fg_mask = (~sab_mask) & (energies < ctx.free_gas_cutoff)
     fast_mask = ~(sab_mask | fg_mask)
 
@@ -400,7 +458,7 @@ def _scatter_stage(ctx: TransportContext, bank: ParticleBank, sct: np.ndarray) -
         # group by nuclide id to stay general.
         for nid in np.unique(nids):
             m = nids == nid
-            table = ctx.library.sab[ctx.library[int(nid)].name]
+            table = soa.sab_tables[int(nid)]
             e_out, mu = table.sample_many(
                 bank.energy[idx[m]], xi1[m], xi2[m]
             )

@@ -117,7 +117,7 @@ class ParticleBank:
         bank.rng_state[:] = states
         mu = 2.0 * xi1 - 1.0
         phi = 2.0 * np.pi * xi2
-        s = np.sqrt(np.clip(1.0 - mu * mu, 0.0, None))
+        s = np.sqrt(np.maximum(1.0 - mu * mu, 0.0))
         bank.direction[:, 0] = s * np.cos(phi)
         bank.direction[:, 1] = s * np.sin(phi)
         bank.direction[:, 2] = mu
@@ -193,21 +193,30 @@ class FissionBank:
     contents are identical whether histories were tracked one at a time
     (history loop) or in vectorized stages (event loop), which bank sites in
     a different raw order.
+
+    Storage is chunked: each ``add_many`` appends whole arrays (the event
+    loop banks a vector of sites per call), so banking is O(1) Python work
+    per call instead of a per-site loop; reads concatenate and apply the
+    canonical ordering.
     """
 
     def __init__(self) -> None:
-        self._positions: list[np.ndarray] = []
-        self._energies: list[float] = []
-        self._parents: list[int] = []
-        self._seqs: list[int] = []
+        self._pos_chunks: list[np.ndarray] = []
+        self._energy_chunks: list[np.ndarray] = []
+        self._parent_chunks: list[np.ndarray] = []
+        self._seq_chunks: list[np.ndarray] = []
+        self._n = 0
 
     def add(
         self, position: np.ndarray, energy: float, parent: int = 0, seq: int = 0
     ) -> None:
-        self._positions.append(np.asarray(position, dtype=np.float64).copy())
-        self._energies.append(float(energy))
-        self._parents.append(int(parent))
-        self._seqs.append(int(seq))
+        self._pos_chunks.append(
+            np.asarray(position, dtype=np.float64).reshape(1, 3).copy()
+        )
+        self._energy_chunks.append(np.array([float(energy)]))
+        self._parent_chunks.append(np.array([int(parent)], dtype=np.int64))
+        self._seq_chunks.append(np.array([int(seq)], dtype=np.int64))
+        self._n += 1
 
     def add_many(
         self,
@@ -216,30 +225,39 @@ class FissionBank:
         parents: np.ndarray | None = None,
         seq: int = 0,
     ) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
         n = positions.shape[0]
+        if n == 0:
+            return
         if parents is None:
             parents = np.zeros(n, dtype=np.int64)
-        for p, e, par in zip(positions, energies, parents):
-            self.add(p, e, int(par), seq)
+        self._pos_chunks.append(positions.copy())
+        self._energy_chunks.append(
+            np.asarray(energies, dtype=np.float64).copy()
+        )
+        self._parent_chunks.append(np.asarray(parents, dtype=np.int64).copy())
+        self._seq_chunks.append(np.full(n, int(seq), dtype=np.int64))
+        self._n += n
 
     def __len__(self) -> int:
-        return len(self._positions)
+        return self._n
 
     def _order(self) -> np.ndarray:
-        key = np.array(self._parents) * 1_000_000 + np.array(self._seqs)
-        return np.argsort(key, kind="stable")
+        parents = np.concatenate(self._parent_chunks)
+        seqs = np.concatenate(self._seq_chunks)
+        return np.argsort(parents * 1_000_000 + seqs, kind="stable")
 
     @property
     def positions(self) -> np.ndarray:
-        if not self._positions:
+        if self._n == 0:
             return np.empty((0, 3))
-        return np.vstack(self._positions)[self._order()]
+        return np.concatenate(self._pos_chunks, axis=0)[self._order()]
 
     @property
     def energies(self) -> np.ndarray:
-        if not self._energies:
+        if self._n == 0:
             return np.empty(0)
-        return np.array(self._energies)[self._order()]
+        return np.concatenate(self._energy_chunks)[self._order()]
 
     def sample_source(
         self, n: int, rng: np.random.Generator

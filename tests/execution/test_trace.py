@@ -40,7 +40,7 @@ class TestTrace:
     def test_one_offload_per_iteration(self, stats, model):
         trace = trace_offload(stats, model)
         assert trace.n_iterations == stats.iterations
-        assert trace.bank_sizes == stats.lookup_counts
+        assert trace.bank_sizes == list(stats.lookup_counts)
 
     def test_total_positive_and_decomposes(self, stats, model):
         trace = trace_offload(stats, model)

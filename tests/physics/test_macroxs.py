@@ -179,3 +179,80 @@ class TestAttribution:
         sab = small_library.sab["H1"]
         expected = rho[h_pos] * sab.thermal_xs(1e-9)
         assert w[h_pos, 0] == pytest.approx(float(expected), rel=1e-12)
+
+
+class TestBankedEdgeCases:
+    """Degenerate bank sizes and full-physics parity for the fused kernels."""
+
+    def test_empty_bank(self, calc, fuel):
+        states = np.empty(0, dtype=np.uint64)
+        res = calc.banked(fuel, np.empty(0), rng_states=states)
+        for key in ("total", "elastic", "capture", "fission", "nu_fission"):
+            assert res[key].shape == (0,)
+
+    def test_empty_bank_counters_and_attribution(self, calc, fuel):
+        c = WorkCounters()
+        calc.banked(fuel, np.empty(0), rng_states=np.empty(0, dtype=np.uint64),
+                    counters=c)
+        assert c.lookups == 0
+        w = calc.attribution_weights(fuel, np.empty(0), Reaction.ELASTIC)
+        assert w.shape == (fuel.n_nuclides, 0)
+
+    def test_single_particle_matches_scalar(self, calc, fuel, water):
+        for mat in (fuel, water):
+            for e in (1e-9, 1e-6, 2e-2, 1.0, 10.0):
+                states = particle_seeds(1, np.array([3], dtype=np.uint64)).copy()
+                res = calc.banked(mat, np.array([e]), rng_states=states)
+                st = RandomStream(
+                    seed=int(particle_seeds(1, np.array([3], dtype=np.uint64))[0])
+                )
+                xs = calc.scalar(mat, e, st)
+                assert res["total"][0] == pytest.approx(xs.total, rel=1e-12)
+                assert res["elastic"][0] == pytest.approx(xs.elastic, rel=1e-12)
+                assert res["capture"][0] == pytest.approx(xs.capture, rel=1e-12)
+                assert res["fission"][0] == pytest.approx(xs.fission, rel=1e-12)
+                # The banked path must advance the lone stream exactly as
+                # the scalar path did (URR draws only inside table ranges).
+                assert int(states[0]) == st.seed
+
+    @pytest.mark.parametrize("n", [1, 2, 7, 33, 256])
+    def test_parity_with_sab_and_urr_across_bank_sizes(
+        self, small_library, small_union, fuel, water, n
+    ):
+        calc = XSCalculator(
+            small_library, small_union, use_sab=True, use_urr=True
+        )
+        rng = np.random.default_rng(n)
+        energies = np.exp(rng.uniform(np.log(1e-10), np.log(15.0), n))
+        for mat in (fuel, water):
+            states = particle_seeds(9, np.arange(n, dtype=np.uint64)).copy()
+            res = calc.banked(mat, energies, rng_states=states)
+            for j in range(n):
+                st = RandomStream(
+                    seed=int(
+                        particle_seeds(9, np.array([j], dtype=np.uint64))[0]
+                    )
+                )
+                xs = calc.scalar(mat, float(energies[j]), st)
+                assert res["total"][j] == pytest.approx(xs.total, rel=1e-12)
+                assert res["nu_fission"][j] == pytest.approx(
+                    xs.nu_fission, rel=1e-12
+                )
+                assert int(states[j]) == st.seed
+
+    def test_per_nuclide_total_matches_total(self, calc, fuel):
+        n = 40
+        energies = np.geomspace(1e-9, 10.0, n)
+        states = particle_seeds(2, np.arange(n, dtype=np.uint64)).copy()
+        per = np.empty((fuel.n_nuclides, n))
+        res = calc.banked(
+            fuel, energies, rng_states=states, per_nuclide_total=per
+        )
+        np.testing.assert_allclose(per.sum(axis=0), res["total"], rtol=1e-12)
+        assert (per >= 0).all()
+
+    def test_plan_cached_per_material(self, calc, fuel):
+        plan_a = calc.material_plan(fuel)
+        plan_b = calc.material_plan(fuel)
+        assert plan_a is plan_b
+        assert plan_a.n_nuclides == fuel.n_nuclides

@@ -138,3 +138,58 @@ class TestEventLoopStats:
         )
         eff = queue_lane_efficiency(stats.lookup_counts, width=16)
         assert 0.0 < eff <= 1.0
+
+
+class TestEventLoopStatsArrays:
+    """Array-backed storage: growth, views, and the summary() contract."""
+
+    def test_array_backed_growth(self):
+        stats = EventLoopStats()
+        for i in range(100):  # forces several capacity doublings
+            stats.record(100 - i, (100 - i) // 2, (100 - i) - (100 - i) // 2)
+        assert stats.iterations == 100
+        assert isinstance(stats.lookup_counts, np.ndarray)
+        assert stats.lookup_counts.dtype == np.int64
+        assert stats.lookup_counts.shape == (100,)
+        assert stats.lookup_counts[0] == 100
+        assert stats.lookup_counts[-1] == 1
+
+    def test_summary_statistics(self):
+        stats = EventLoopStats()
+        stats.record(10, 6, 4)
+        stats.record(4, 1, 3)
+        s = stats.summary()
+        assert s["iterations"] == 2
+        assert s["stages"]["lookup"] == {
+            "mean": 7.0, "min": 4, "max": 10, "total": 14,
+        }
+        assert s["stages"]["collision"]["total"] == 7
+        assert s["stages"]["crossing"]["max"] == 4
+
+    def test_summary_empty(self):
+        s = EventLoopStats().summary()
+        assert s["iterations"] == 0
+        assert s["stages"]["lookup"]["total"] == 0
+
+    def test_lane_utilization_report(self):
+        from repro.simd.analysis import lane_utilization_report
+
+        stats = EventLoopStats()
+        stats.record(32, 20, 12)
+        stats.record(16, 10, 6)
+        stats.record(3, 2, 1)
+        report = lane_utilization_report(stats, width=16)
+        assert report["iterations"] == 3
+        assert report["width"] == 16
+        look = report["stages"]["lookup"]
+        # 32 + 16 + 3 active over 32 + 16 + 16 issued slots.
+        assert look["lane_efficiency"] == pytest.approx(51 / 64)
+        assert look["total"] == 51
+        for stage in report["stages"].values():
+            assert 0.0 < stage["lane_efficiency"] <= 1.0
+
+    def test_lane_utilization_report_rejects_bad_width(self):
+        from repro.simd.analysis import lane_utilization_report
+
+        with pytest.raises(ValueError):
+            lane_utilization_report(EventLoopStats(), width=0)

@@ -127,3 +127,64 @@ class TestFullSimulation:
         assert te.collision == pytest.approx(th.collision, rel=1e-12)
         assert te.n_leaks == th.n_leaks
         assert len(bh) == len(be)
+
+
+class TestSurvivalBiasingEquivalence:
+    """Implicit capture restructures every collision (weight reduction,
+    expected fission sites, conditional roulette) — the compacted/sorted
+    event loop must still mirror the history protocol draw for draw."""
+
+    def test_tallies_identical(self, small_library, union):
+        (_, th, _), (_, te, _) = run_both(
+            small_library, union, survival_biasing=True
+        )
+        assert te.collision == pytest.approx(th.collision, rel=1e-12)
+        assert te.absorption == pytest.approx(th.absorption, rel=1e-12)
+        assert te.track_length == pytest.approx(th.track_length, rel=1e-12)
+        assert te.n_leaks == th.n_leaks
+
+    def test_fission_banks_identical(self, small_library, union):
+        (_, _, bh), (_, _, be) = run_both(
+            small_library, union, survival_biasing=True
+        )
+        assert len(bh) == len(be)
+        # Surviving particles accumulate many more flights than analog ones,
+        # so last-ulp scalar-vs-vector libm differences can reach ~1e-14 cm
+        # on near-zero coordinates; atol covers those (domain is ~±200 cm).
+        np.testing.assert_allclose(
+            bh.positions, be.positions, rtol=1e-12, atol=1e-12
+        )
+        np.testing.assert_allclose(bh.energies, be.energies, rtol=1e-12)
+
+    def test_work_counters_identical(self, small_library, union):
+        (ch, _, _), (ce, _, _) = run_both(
+            small_library, union, survival_biasing=True
+        )
+        assert ch.counters.as_dict() == ce.counters.as_dict()
+
+
+class TestSabUrrOnEquivalence:
+    """Both branchy physics treatments explicitly enabled, across bank
+    sizes that exercise full lanes, partial lanes, and single particles."""
+
+    @pytest.mark.parametrize("n", [1, 17, 60, 128])
+    def test_tallies_identical_across_bank_sizes(
+        self, small_library, union, n
+    ):
+        (_, th, _), (_, te, _) = run_both(
+            small_library, union, n=n, use_sab=True, use_urr=True
+        )
+        assert te.collision == pytest.approx(th.collision, rel=1e-12)
+        assert te.absorption == pytest.approx(th.absorption, rel=1e-12)
+        assert te.track_length == pytest.approx(th.track_length, rel=1e-12)
+
+    @pytest.mark.parametrize("n", [1, 17, 60])
+    def test_counters_and_banks_identical(self, small_library, union, n):
+        (ch, _, bh), (ce, _, be) = run_both(
+            small_library, union, n=n, use_sab=True, use_urr=True
+        )
+        assert ch.counters.as_dict() == ce.counters.as_dict()
+        assert ch.counters.sab_samples > 0 or n == 1
+        assert len(bh) == len(be)
+        np.testing.assert_allclose(bh.positions, be.positions, rtol=1e-12)
+        np.testing.assert_allclose(bh.energies, be.energies, rtol=1e-12)
