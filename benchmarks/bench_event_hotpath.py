@@ -1,7 +1,9 @@
 """Event-loop hot-path bench: compacted sorted-bank transport vs baseline.
 
-One full ``run_generation_event`` generation on the H.M. full-core
-configuration recorded in ``baselines/event_hotpath.json``.  Three checks:
+One full event-backend generation — resolved through the transport
+backend registry (``get_backend("event")``), the same route the
+simulation driver takes — on the H.M. full-core configuration recorded
+in ``baselines/event_hotpath.json``.  Three checks:
 
 * **Physics fingerprint** — the generation's collision/track-length tallies
   and fission-site count must match the recorded baseline bitwise-tightly
@@ -23,8 +25,8 @@ from time import perf_counter
 import numpy as np
 import pytest
 
+from repro.transport.backends import get_backend
 from repro.transport.context import TransportContext
-from repro.transport.events import run_generation_event
 from repro.transport.tally import GlobalTallies
 
 BASELINE = json.loads(
@@ -65,6 +67,7 @@ def test_event_hotpath_generation(tiny_small, union_small, benchmark):
     cfg = BASELINE["config"]
     pos, en = source(cfg["n_particles"], cfg["source_seed"])
     best = {"gen": float("inf")}
+    backend = get_backend("event")
 
     def run():
         ctx = TransportContext.create(
@@ -75,7 +78,7 @@ def test_event_hotpath_generation(tiny_small, union_small, benchmark):
         )
         tallies = GlobalTallies()
         t0 = perf_counter()
-        bank = run_generation_event(ctx, pos, en, tallies, 1.0, 0)
+        bank = backend.run_generation(ctx, pos, en, tallies, 1.0, 0)
         best["gen"] = min(best["gen"], perf_counter() - t0)
         best["fingerprint"] = (
             tallies.collision, tallies.track_length, len(bank)

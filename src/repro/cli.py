@@ -44,7 +44,7 @@ from .data.io import load_library, save_library
 from .errors import CheckpointError, JobError, QueueFullError
 from .resilience.checkpoint import DEFAULT_CADENCE, latest_checkpoint
 from .resilience.recovery import RetryPolicy
-from .transport import Settings, Simulation
+from .transport import Settings, Simulation, available_backends
 
 __all__ = ["main"]
 
@@ -58,10 +58,11 @@ def _simulation_args() -> argparse.ArgumentParser:
                    choices=["hm-small", "hm-large"])
     p.add_argument("--pincell", action="store_true",
                    help="reflected pin cell instead of the full core")
-    p.add_argument("--mode", default="event",
-                   choices=["history", "event", "delta"],
-                   help="transport algorithm: scalar history loop, "
-                   "vectorized event loop, or Woodcock delta tracking")
+    p.add_argument("--mode", "--backend", dest="mode", default="event",
+                   choices=list(available_backends()),
+                   help="transport backend from the registry: scalar "
+                   "history loop, vectorized event loop, or Woodcock "
+                   "delta tracking (--backend is an alias)")
     p.add_argument("--particles", type=int, default=500)
     p.add_argument("--batches", type=int, default=5,
                    help="active batches")

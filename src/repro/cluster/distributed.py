@@ -31,10 +31,9 @@ import numpy as np
 
 from ..data.library import NuclideLibrary
 from ..errors import ClusterError
+from ..execution.context import ExecutionContext
 from ..resilience.faults import FaultPlan
 from ..resilience.recovery import RetryPolicy, redistribute_slice
-from ..transport.events import run_generation_event
-from ..transport.history import run_generation_history
 from ..transport.simulation import Settings, Simulation
 from ..transport.tally import BatchStatistics, GlobalTallies
 from .simcomm import FabricModel, SimulatedComm
@@ -95,6 +94,14 @@ class DistributedSimulation:
         # paper's runs; sharing the context models that replication).
         self._driver = Simulation(library, settings)
         self.ctx = self._driver.ctx
+        # Ranks run transport through the registry backend named by the
+        # settings; the ExecutionContext also carries the resilience hooks.
+        self._ec = ExecutionContext.create(
+            transport=self.ctx,
+            backend=settings.mode,
+            fault_plan=fault_plan,
+            retry_policy=self.retry_policy,
+        )
 
     def _rank_slices(self, n: int, n_ranks: int | None = None) -> list[slice]:
         """Contiguous particle slices per rank (OpenMC's static split)."""
@@ -111,9 +118,7 @@ class DistributedSimulation:
 
     def run(self) -> DistributedResult:
         s = self.settings
-        run_generation = (
-            run_generation_history if s.mode == "history" else run_generation_event
-        )
+        ec = self._ec
         stats = BatchStatistics(n_inactive=s.n_inactive)
         positions, energies = self._driver.initial_source(s.n_particles)
         initial_slices = self._rank_slices(s.n_particles)
@@ -145,9 +150,8 @@ class DistributedSimulation:
                     # before it reaches any collective.
                     dead_slice = sl
                     continue
-                tallies = GlobalTallies()
-                bank = run_generation(
-                    self.ctx,
+                tallies = ec.new_tallies()
+                bank = ec.run_generation(
                     positions[sl],
                     energies[sl],
                     tallies,
@@ -170,9 +174,8 @@ class DistributedSimulation:
                 n_lost = dead_slice.stop - dead_slice.start
                 recovery_time += self.comm.fabric.message_time(n_lost * 32.0)
                 for host, sub in redistribute_slice(dead_slice, survivors):
-                    tallies = GlobalTallies()
-                    bank = run_generation(
-                        self.ctx,
+                    tallies = ec.new_tallies()
+                    bank = ec.run_generation(
                         positions[sub],
                         energies[sub],
                         tallies,
@@ -193,38 +196,29 @@ class DistributedSimulation:
             per_rank = {rank: GlobalTallies() for rank in alive}
             bank_counts = {rank: 0 for rank in alive}
             for _, tallies, bank, rank in units:
-                merged = per_rank[rank]
-                arr = merged.as_array() + tallies.as_array()
-                per_rank[rank] = GlobalTallies.from_array(arr)
+                per_rank[rank].merge_from(tallies)
                 bank_counts[rank] += len(bank)
             reduced, _ = self.comm.allreduce_sum(
                 [per_rank[rank].as_array() for rank in alive]
             )
             global_tallies = GlobalTallies.from_array(reduced)
-            bank_positions = [u[2].positions for u in units if len(u[2])]
+
+            # Global bank merge: sites carry global parent ids, so the
+            # canonical (parent, seq) ordering reproduces the serial run's
+            # bank regardless of which rank produced which slice.
+            merged = ec.merge_banks([u[2] for u in units])
             stats.record(
                 global_tallies,
                 self._driver.mesh.entropy(
-                    np.vstack(bank_positions)
-                    if bank_positions
-                    else np.empty((0, 3))
+                    merged.positions if len(merged) else np.empty((0, 3))
                 ),
             )
 
             # Bank rebalancing traffic + global resample.
             self.comm.exchange_bank([bank_counts[rank] for rank in alive])
-            if not bank_positions:
+            if len(merged) == 0:
                 raise ClusterError("fission source died out")
-            merged_pos = np.vstack(bank_positions)
-            merged_en = np.concatenate(
-                [u[2].energies for u in units if len(u[2])]
-            )
             # Resample exactly as the serial driver does (same RNG).
-            from ..transport.particle import FissionBank
-
-            merged = FissionBank()
-            for p, e in zip(merged_pos, merged_en):
-                merged.add(p, e)
             positions, energies = merged.sample_source(
                 s.n_particles, self._driver._source_rng
             )

@@ -1,22 +1,33 @@
-"""Execution models: offload, native, and symmetric (paper §II-B)."""
+"""Execution models: offload, native, and symmetric (paper §II-B).
 
+Each model is a cost model (pricing) plus a scheduler (execution): the
+schedulers receive an :class:`~repro.execution.context.ExecutionContext`
+carrying a transport backend selected by name from the registry, so no
+execution model imports transport loop functions.
+"""
+
+from .context import ExecutionContext
 from .loadbalance import AdaptiveAlphaController, alpha_split, equal_split
-from .native import ACTIVE_TALLY_SURCHARGE, NativeModel, alpha
-from .offload import OFFLOAD_FIXED_S, OffloadCostModel
-from .symmetric import NODE_SYNC_S, SymmetricNode
+from .native import ACTIVE_TALLY_SURCHARGE, NativeModel, NativeScheduler, alpha
+from .offload import OFFLOAD_FIXED_S, OffloadCostModel, OffloadScheduler
+from .symmetric import NODE_SYNC_S, SymmetricNode, SymmetricScheduler
 from .trace import OffloadTrace, trace_offload
 
 __all__ = [
+    "ExecutionContext",
     "AdaptiveAlphaController",
     "alpha_split",
     "equal_split",
     "ACTIVE_TALLY_SURCHARGE",
     "NativeModel",
+    "NativeScheduler",
     "alpha",
     "OFFLOAD_FIXED_S",
     "OffloadCostModel",
+    "OffloadScheduler",
     "NODE_SYNC_S",
     "SymmetricNode",
+    "SymmetricScheduler",
     "OffloadTrace",
     "trace_offload",
 ]

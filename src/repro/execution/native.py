@@ -10,12 +10,16 @@ Fig. 4's CPU-vs-MIC comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..machine.kernels import TransportCostModel, WorkPerParticle
 from ..machine.memory import library_nuclides, max_particles
 from ..machine.spec import DeviceSpec
 
-__all__ = ["NativeModel", "alpha"]
+if TYPE_CHECKING:
+    from .context import ExecutionContext
+
+__all__ = ["NativeModel", "NativeScheduler", "alpha"]
 
 #: Active batches also score tallies at every collision/flight; with only
 #: the default global tallies this is a small surcharge (the paper finds
@@ -71,6 +75,45 @@ class NativeModel:
 
     def lookup_fraction(self) -> float:
         return self._cost.lookup_fraction()
+
+
+@dataclass
+class NativeScheduler:
+    """Native-mode scheduler: the whole generation runs on one device.
+
+    The thinnest possible schedule — one backend call through the
+    :class:`~repro.execution.context.ExecutionContext` — with the optional
+    :class:`NativeModel` attached purely to *price* what was run.  No
+    transport imports: the backend arrives inside the context.
+    """
+
+    model: NativeModel | None = None
+
+    def run_generation(
+        self,
+        ec: "ExecutionContext",
+        positions,
+        energies,
+        tallies,
+        k_norm: float = 1.0,
+        first_id: int = 0,
+        power=None,
+        spectrum=None,
+    ):
+        """Transport one generation on the single device."""
+        return ec.run_generation(
+            positions, energies, tallies, k_norm, first_id,
+            power=power, spectrum=spectrum,
+        )
+
+    def modelled_batch_time(
+        self, n_particles: int, active: bool = False
+    ) -> float | None:
+        """Cost-model batch time for what was just executed (None without
+        a model)."""
+        if self.model is None:
+            return None
+        return self.model.batch_time(n_particles, active)
 
 
 def alpha(

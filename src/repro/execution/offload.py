@@ -42,8 +42,9 @@ from ..machine.spec import DeviceSpec
 if TYPE_CHECKING:
     from ..resilience.faults import FaultPlan
     from ..resilience.recovery import RetryPolicy
+    from .context import ExecutionContext
 
-__all__ = ["OffloadCostModel"]
+__all__ = ["OffloadCostModel", "OffloadScheduler"]
 
 #: Host-side streaming-write bandwidth for banking base state [B/s].
 _HOST_BANK_WRITE_BW = 36.0e9
@@ -193,6 +194,12 @@ class OffloadCostModel:
                 lo = mid
         return hi
 
+    def priced_trace(self, ec: "ExecutionContext"):
+        """Price the context's recorded queue trace through this model —
+        the per-iteration offload costs the generation just executed would
+        have paid on real hardware (see :mod:`repro.execution.trace`)."""
+        return ec.offload_trace(self)
+
     def normalized_ratios(self, n_particles: int) -> dict[str, float]:
         """Fig. 3's quantities: each cost over the host generation time."""
         gen = self.host_generation_time(n_particles)
@@ -207,3 +214,42 @@ class OffloadCostModel:
             ) / gen,
             "host_xs_compute": self.host_lookup_time(n_particles) / gen,
         }
+
+
+@dataclass
+class OffloadScheduler:
+    """Offload-mode scheduler: bank on the host, compute on the device.
+
+    Execution-wise the banked backend *is* the offload pipeline — each
+    event cycle's lookup queue is one bank shipment — so the schedule is a
+    single backend call through the
+    :class:`~repro.execution.context.ExecutionContext`; with stats
+    recording enabled, the run leaves behind the queue trace that
+    :meth:`priced_trace` prices through the attached
+    :class:`OffloadCostModel` (including the fault plan / retry policy the
+    context injected).  No transport imports.
+    """
+
+    model: OffloadCostModel | None = None
+
+    def run_generation(
+        self,
+        ec: "ExecutionContext",
+        positions,
+        energies,
+        tallies,
+        k_norm: float = 1.0,
+        first_id: int = 0,
+        power=None,
+        spectrum=None,
+    ):
+        """Transport one generation through the backend."""
+        return ec.run_generation(
+            positions, energies, tallies, k_norm, first_id,
+            power=power, spectrum=spectrum,
+        )
+
+    def priced_trace(self, ec: "ExecutionContext"):
+        """Offload pricing for the generations recorded so far (uses the
+        scheduler's model, falling back to the context's cost model)."""
+        return ec.offload_trace(self.model)

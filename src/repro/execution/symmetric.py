@@ -12,6 +12,7 @@ of the cluster-scaling experiments (Figs. 6-7).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..errors import ExecutionError
 from ..machine.kernels import TransportCostModel, WorkPerParticle
@@ -19,7 +20,10 @@ from ..machine.memory import library_nuclides
 from ..machine.spec import DeviceSpec
 from .loadbalance import alpha_split, equal_split
 
-__all__ = ["SymmetricNode"]
+if TYPE_CHECKING:
+    from .context import ExecutionContext
+
+__all__ = ["SymmetricNode", "SymmetricScheduler"]
 
 #: Per-batch synchronization + tally-reduction cost within a node [s].
 NODE_SYNC_S = 0.1
@@ -110,3 +114,77 @@ class SymmetricNode:
         for cost in self._mic_costs:
             rate += cost.calculation_rate(per)
         return rate
+
+
+@dataclass
+class SymmetricScheduler:
+    """Symmetric-mode scheduler: the generation is split statically across
+    the node's ranks (host + MICs), each rank transports its contiguous
+    slice through the backend, and per-rank tallies and banks are reduced
+    at the batch barrier.
+
+    Because particle RNG streams are keyed by *global* particle id
+    (``first_id`` + slice offset) and the fission bank's canonical
+    ``(parent, seq)`` ordering is split-invariant, the merged bank and
+    work counters are bit-identical to an unsplit run of the same
+    backend; tally floats agree to summation-order tolerance (per-rank
+    partial sums are merged at the barrier) — Table III's execution
+    model without giving up the equivalence contract.  No transport
+    imports: slices run and merge through the
+    :class:`~repro.execution.context.ExecutionContext`.
+    """
+
+    node: SymmetricNode | None = None
+    #: Rank count when no :class:`SymmetricNode` cost model is attached.
+    n_ranks: int = 2
+
+    @property
+    def ranks(self) -> int:
+        return self.node.n_ranks if self.node is not None else self.n_ranks
+
+    def run_generation(
+        self,
+        ec: "ExecutionContext",
+        positions,
+        energies,
+        tallies,
+        k_norm: float = 1.0,
+        first_id: int = 0,
+        power=None,
+        spectrum=None,
+    ):
+        """Transport one generation split across the node's ranks; merge
+        per-rank tallies (in rank order) and banks into the caller's."""
+        if self.ranks < 1:
+            raise ExecutionError("symmetric scheduler needs >= 1 rank")
+        n = positions.shape[0]
+        merged_bank = ec.new_bank()
+        parts = []
+        start = 0
+        for count in equal_split(n, self.ranks):
+            sl = slice(start, start + count)
+            start += count
+            if count == 0:
+                continue
+            rank_tallies = ec.new_tallies()
+            bank = ec.run_generation(
+                positions[sl], energies[sl], rank_tallies,
+                k_norm, first_id + sl.start,
+                power=power, spectrum=spectrum,
+            )
+            parts.append(rank_tallies)
+            merged_bank.absorb(bank)
+        ec.merge_tallies(tallies, parts)
+        return merged_bank
+
+    def modelled_batch_time(
+        self,
+        n_particles: int,
+        strategy: str = "equal",
+        alpha: float | None = None,
+    ) -> float | None:
+        """Cost-model node batch time for what was just executed (None
+        without a :class:`SymmetricNode`)."""
+        if self.node is None:
+            return None
+        return self.node.batch_time(n_particles, strategy, alpha)

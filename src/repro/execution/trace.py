@@ -3,21 +3,29 @@
 The analytic offload model (:mod:`repro.execution.offload`) prices a bank of
 N particles; the *executable* event loop tells us what N actually is on
 every iteration of a real generation (banks shrink as histories die — the
-:class:`repro.transport.events.EventLoopStats` queue trace).  This module
+:class:`repro.transport.stats.TransportStats` queue trace).  This module
 joins the two: replaying a measured queue trace through the offload cost
 model yields the per-iteration and total offload costs a real
 bank-and-offload implementation of that generation would have paid,
 including the fixed-overhead amplification caused by shrinking banks — the
 effect behind Fig. 3's "bank at least 10,000 particles" advice.
+
+The stats object is duck-typed (``iterations`` + ``lookup_counts``), so
+this module has **no transport imports** — the supported route here is
+:meth:`repro.execution.context.ExecutionContext.offload_trace`, which
+hands over the trace its own backend recorded.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..errors import ExecutionError
-from ..transport.events import EventLoopStats
 from .offload import OFFLOAD_FIXED_S, OffloadCostModel
+
+if TYPE_CHECKING:
+    from ..transport.stats import TransportStats
 
 __all__ = ["OffloadTrace", "trace_offload"]
 
@@ -71,13 +79,15 @@ class OffloadTrace:
 
 
 def trace_offload(
-    stats: EventLoopStats, model: OffloadCostModel
+    stats: "TransportStats", model: OffloadCostModel
 ) -> OffloadTrace:
-    """Price a measured event-loop queue trace through the offload model.
+    """Price a measured queue trace through the offload model.
 
-    Each event-loop iteration's lookup queue is one offload: the bank is
+    Each recorded dispatch's lookup queue is one offload: the bank is
     written on the host, shipped over PCIe, and computed on the MIC, plus
-    the fixed per-offload runtime overhead.
+    the fixed per-offload runtime overhead.  ``stats`` is any object with
+    ``iterations`` and ``lookup_counts`` (a
+    :class:`~repro.transport.stats.TransportStats` from either backend).
     """
     if stats.iterations == 0:
         raise ExecutionError("empty queue trace — run a generation first")

@@ -17,9 +17,12 @@ from .lcg import (
     skip_ahead,
     skip_ahead_array,
 )
+from .sampling import sample_index, sample_index_many
 from .streams import Partition, ScalarRandR, VectorStreams, fill_uniform
 
 __all__ = [
+    "sample_index",
+    "sample_index_many",
     "DEFAULT_SEED",
     "LCG_MASK",
     "LCG_MULT",

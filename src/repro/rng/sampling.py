@@ -1,0 +1,39 @@
+"""Discrete CDF sampling with scalar and banked entry points.
+
+Both transport schedules pick a nuclide from unnormalized attribution
+weights the same way: build the cumulative sum and locate one uniform
+variate in it.  The history path does this one particle at a time
+(:func:`sample_index`); the event path does it for a whole bank at once
+(:func:`sample_index_many`).  Keeping the two entry points side by side in
+one module is what guarantees they implement the *same* discrete
+distribution — any change to the tie-breaking or degenerate-weight rules
+lands in both schedules simultaneously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_index", "sample_index_many"]
+
+
+def sample_index(weights: np.ndarray, xi: float) -> int:
+    """CDF-sample an index from unnormalized ``weights`` (scalar path)."""
+    cum = np.cumsum(weights)
+    if cum[-1] <= 0.0:
+        return int(np.argmax(weights))
+    k = int(np.searchsorted(cum, xi * cum[-1], side="right"))
+    return min(k, weights.shape[0] - 1)
+
+
+def sample_index_many(weights: np.ndarray, xi: np.ndarray) -> np.ndarray:
+    """Vectorized CDF sampling (banked path).
+
+    ``weights`` is ``(n_choices, n_particles)``; ``xi`` is one uniform per
+    particle.  Index ``j`` of the result is distributed exactly as
+    ``sample_index(weights[:, j], xi[j])`` for positive total weight.
+    """
+    cum = np.cumsum(weights, axis=0)
+    target = xi * cum[-1]
+    idx = np.sum(cum <= target[None, :], axis=0)
+    return np.minimum(idx, weights.shape[0] - 1)

@@ -1,13 +1,16 @@
-"""Lane-utilization analysis of the event-based transport loop.
+"""Lane-utilization analysis of a transport run's queue trace.
 
 As a generation drains, the event queues shrink; once a queue holds fewer
 particles than the vector width (or a non-multiple), trailing lanes idle.
-:func:`queue_lane_efficiency` converts the event loop's per-stage queue
-occupancies (:class:`repro.transport.events.EventLoopStats`) into the lane
-efficiency a ``width``-lane machine would achieve — the quantitative form
-of the paper's observation that banking needs *large* banks (Fig. 3's
-">10,000 particles" crossover has a lane-utilization component as well as a
-PCIe one).
+:func:`queue_lane_efficiency` converts the per-stage queue occupancies
+(:class:`repro.transport.stats.TransportStats`, recorded by *either*
+backend — per event cycle on the banked schedule, per particle history on
+the scalar one) into the lane efficiency a ``width``-lane machine would
+achieve — the quantitative form of the paper's observation that banking
+needs *large* banks (Fig. 3's ">10,000 particles" crossover has a
+lane-utilization component as well as a PCIe one).  Run on a history
+trace, the report shows what vectorizing *those* histories as-is would
+waste — the divergence the event schedule exists to absorb.
 """
 
 from __future__ import annotations
@@ -17,7 +20,7 @@ from collections.abc import Iterable
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..transport.events import EventLoopStats
+    from ..transport.stats import TransportStats
 
 __all__ = [
     "queue_lane_efficiency",
@@ -68,13 +71,14 @@ def divergence_loss(
 
 
 def lane_utilization_report(
-    stats: EventLoopStats, width: int = 16
+    stats: "TransportStats", width: int = 16
 ) -> dict:
-    """Per-stage lane utilization from an event loop's queue trace.
+    """Per-stage lane utilization from a transport run's queue trace.
 
-    Combines :meth:`EventLoopStats.summary` occupancy statistics with
-    :func:`queue_lane_efficiency` for each stage, so one call answers
-    "how full were the SIMD lanes in each stage of this run?".
+    Combines :meth:`~repro.transport.stats.TransportStats.summary`
+    occupancy statistics with :func:`queue_lane_efficiency` for each
+    stage, so one call answers "how full were the SIMD lanes in each
+    stage of this run?" — for either backend's trace.
 
     Returns ``{"iterations", "width", "stages": {stage: {"mean", "min",
     "max", "total", "lane_efficiency"}}}``.

@@ -34,16 +34,18 @@ import numpy as np
 from ..errors import PhysicsError
 from ..geometry.hoogenboom import ACTIVE_HALF_HEIGHT as _HALF_Z
 from ..geometry.hoogenboom import PIN_PITCH
-from ..physics.collision import select_channel_many
 from ..rng.lcg import prn_array
+from ..types import CollisionChannel
 from .context import TransportContext
-from .events import (
-    _collide_survival_stage,
-    _fission_stage,
-    _group_by_value,
-    _scatter_stage,
-)
 from .particle import FissionBank, ParticleBank
+from .stages import (
+    COLLISION,
+    FISSION,
+    SCATTER,
+    SURVIVAL,
+    SigmaTables,
+    group_by_value,
+)
 from .tally import GlobalTallies
 
 __all__ = ["MajorantXS", "run_generation_delta", "fold_reflective"]
@@ -148,10 +150,7 @@ def run_generation_delta(
     pincell = ctx.fast.pincell
     half = 0.5 * PIN_PITCH
 
-    sigma_t = np.zeros(n)
-    sigma_c = np.zeros(n)
-    sigma_f = np.zeros(n)
-    nu_sigma_f = np.zeros(n)
+    sig = SigmaTables.zeros(n)
 
     while True:
         alive = np.nonzero(bank.alive)[0]
@@ -184,7 +183,7 @@ def run_generation_delta(
         bank.material[inside] = mats[mats >= 0]
 
         # ---- Real cross sections at tentative collision points.
-        for mid, pos in _group_by_value(bank.material[inside]):
+        for mid, pos in group_by_value(bank.material[inside]):
             grp = inside[pos]
             states = bank.rng_state[grp]
             res = calc.banked(
@@ -192,16 +191,16 @@ def run_generation_delta(
                 rng_states=states, counters=counters,
             )
             bank.rng_state[grp] = states
-            sigma_t[grp] = res["total"]
-            sigma_c[grp] = res["capture"]
-            sigma_f[grp] = res["fission"]
-            nu_sigma_f[grp] = res["nu_fission"]
+            sig.total[grp] = res["total"]
+            sig.capture[grp] = res["capture"]
+            sig.fission[grp] = res["fission"]
+            sig.nu_fission[grp] = res["nu_fission"]
 
         # ---- Accept/reject: real vs virtual collision (one draw).
         states, xi_acc = prn_array(bank.rng_state[inside])
         bank.rng_state[inside] = states
         counters.rn_draws += inside.size
-        ratio = sigma_t[inside] / majorant(bank.energy[inside])
+        ratio = sig.total[inside] / majorant(bank.energy[inside])
         if np.any(ratio > 1.0 + 1e-9):
             raise PhysicsError(
                 "majorant violated — increase the safety factor"
@@ -212,43 +211,35 @@ def run_generation_delta(
             continue
 
         tallies.score_collision_many(
-            bank.weight[real], nu_sigma_f[real], sigma_t[real]
+            bank.weight[real], sig.nu_fission[real], sig.total[real]
         )
         counters.collisions += real.size
 
         if ctx.survival_biasing:
-            _collide_survival_stage(
+            SURVIVAL.banked(
                 ctx, bank, real, tallies, fission_bank, k_norm,
-                particle_ids, sigma_t, sigma_c, sigma_f, nu_sigma_f,
+                particle_ids, sig,
             )
             continue
 
-        states, xi_ch = prn_array(bank.rng_state[real])
-        bank.rng_state[real] = states
-        counters.rn_draws += real.size
-        channels = select_channel_many(
-            sigma_t[real], sigma_c[real], sigma_f[real], xi_ch
-        )
-        from ..types import CollisionChannel
+        channels = COLLISION.banked(ctx, bank, real, sig)
 
         cap = real[channels == int(CollisionChannel.CAPTURE)]
         if cap.size:
             tallies.score_absorption_many(
-                bank.weight[cap], nu_sigma_f[cap], sigma_c[cap] + sigma_f[cap]
+                bank.weight[cap], sig.nu_fission[cap], sig.absorption(cap)
             )
             bank.alive[cap] = False
         fis = real[channels == int(CollisionChannel.FISSION)]
         if fis.size:
             tallies.score_absorption_many(
-                bank.weight[fis], nu_sigma_f[fis], sigma_c[fis] + sigma_f[fis]
+                bank.weight[fis], sig.nu_fission[fis], sig.absorption(fis)
             )
             counters.fissions += fis.size
-            _fission_stage(ctx, bank, fis, fission_bank, k_norm, particle_ids)
+            FISSION.banked(ctx, bank, fis, fission_bank, k_norm, particle_ids)
             bank.alive[fis] = False
         sct = real[channels == int(CollisionChannel.SCATTER)]
         if sct.size:
-            _scatter_stage(ctx, bank, sct)
-            low = sct[bank.energy[sct] < ctx.energy_cutoff]
-            bank.energy[low] = ctx.energy_cutoff
+            SCATTER.banked(ctx, bank, sct)
 
     return fission_bank

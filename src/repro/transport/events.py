@@ -1,9 +1,10 @@
-r"""Event-based (banked) transport: vectorized kernels over particle banks.
+r"""Event-based (banked) transport: the banked schedule over the stage kernels.
 
 The algorithm of Brown & Martin that the paper's micro-benchmarks
 prototype, carried to a full implementation: instead of following one
 history at a time, *all* live particles advance together through a cycle of
-homogeneous stages, each a vectorized kernel over the bank's SoA arrays:
+homogeneous stages, each the **banked apply** of a shared
+:class:`~repro.transport.stages.StageKernel`:
 
 1. **XS lookup** — group the bank by material and apply the banked
    Algorithm 1 (:meth:`repro.physics.macroxs.XSCalculator.banked`) to each
@@ -17,122 +18,48 @@ homogeneous stages, each a vectorized kernel over the bank's SoA arrays:
    (S(alpha, beta) / free-gas / target-at-rest), exactly the
    gather-scatter-compress structure the paper prescribes for conditionals.
 
-Every particle's random-number stream is consumed in exactly the order of
-the history-based protocol (see :mod:`repro.transport.history`), so a
-history run and an event run with the same seed produce identical particle
-histories, tallies, and fission banks — the strongest possible correctness
-check for the restructured control flow.
+The physics lives in :mod:`repro.transport.stages`; this module is only the
+*schedule* — the compacted live-index loop that decides when each kernel
+runs.  Every particle's random-number stream is consumed in exactly the
+order of the history-based protocol (see :mod:`repro.transport.history`),
+so a history run and an event run with the same seed produce identical
+particle histories, tallies, and fission banks — the strongest possible
+correctness check for the restructured control flow.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..constants import SURFACE_NUDGE
-from ..data.nuclide import NU_THERMAL_SLOPE
-from ..physics.collision import select_channel_many
-from ..physics.fission import WATT_A, WATT_B, sample_nu_many, watt_spectrum_many
-from ..physics.scattering import elastic_scatter_many, rotate_direction_many
-from ..physics.thermal import free_gas_scatter_many
-from ..rng.lcg import prn_array
-from ..types import CollisionChannel, Reaction
+from ..rng.sampling import sample_index_many as _sample_index_many  # noqa: F401  (compat)
+from ..types import CollisionChannel
 from .context import TransportContext
 from .meshtally import PowerTally
 from .particle import FissionBank, ParticleBank
 from .spectrum import SpectrumTally
+from .stages import (
+    COLLISION,
+    CROSSING,
+    FISSION,
+    FLIGHT,
+    SCATTER,
+    SURVIVAL,
+    XS_LOOKUP,
+    SigmaTables,
+    group_by_value,
+)
+from .stats import TransportStats
 from .tally import GlobalTallies
 
 __all__ = ["run_generation_event", "EventLoopStats"]
 
-_TINY = 1.0e-300
+#: Backward-compatible alias: the event loop's stats class is now the
+#: schedule-agnostic :class:`repro.transport.stats.TransportStats`.
+EventLoopStats = TransportStats
 
-
-class EventLoopStats:
-    """Per-stage particle counts — the queue-occupancy profile of the event
-    loop (used to study lane utilization / divergence).
-
-    Backed by one amortized-doubling ``(3, capacity)`` int64 array rather
-    than unbounded Python lists; ``lookup_counts`` / ``collision_counts`` /
-    ``crossing_counts`` are zero-copy views of the recorded prefix.
-    """
-
-    _STAGES = ("lookup", "collision", "crossing")
-
-    def __init__(self) -> None:
-        self.iterations = 0
-        self._counts = np.zeros((3, 16), dtype=np.int64)
-
-    def record(self, n_lookup: int, n_collision: int, n_crossing: int) -> None:
-        i = self.iterations
-        if i >= self._counts.shape[1]:
-            grown = np.zeros((3, 2 * self._counts.shape[1]), dtype=np.int64)
-            grown[:, :i] = self._counts
-            self._counts = grown
-        self._counts[0, i] = n_lookup
-        self._counts[1, i] = n_collision
-        self._counts[2, i] = n_crossing
-        self.iterations = i + 1
-
-    @property
-    def lookup_counts(self) -> np.ndarray:
-        return self._counts[0, : self.iterations]
-
-    @property
-    def collision_counts(self) -> np.ndarray:
-        return self._counts[1, : self.iterations]
-
-    @property
-    def crossing_counts(self) -> np.ndarray:
-        return self._counts[2, : self.iterations]
-
-    def summary(self) -> dict:
-        """Per-stage occupancy statistics over the recorded cycles.
-
-        Returns ``{"iterations": n, "stages": {name: {"mean", "min",
-        "max", "total"}}}`` — the inputs to the lane-utilization analysis
-        (:func:`repro.simd.analysis.lane_utilization_report`).
-        """
-        stages: dict[str, dict[str, float | int]] = {}
-        for row, name in enumerate(self._STAGES):
-            counts = self._counts[row, : self.iterations]
-            if counts.size:
-                stages[name] = {
-                    "mean": float(counts.mean()),
-                    "min": int(counts.min()),
-                    "max": int(counts.max()),
-                    "total": int(counts.sum()),
-                }
-            else:
-                stages[name] = {"mean": 0.0, "min": 0, "max": 0, "total": 0}
-        return {"iterations": self.iterations, "stages": stages}
-
-
-def _sample_index_many(weights: np.ndarray, xi: np.ndarray) -> np.ndarray:
-    """Vectorized CDF sampling: ``weights`` is (n_choices, n_particles)."""
-    cum = np.cumsum(weights, axis=0)
-    target = xi * cum[-1]
-    idx = np.sum(cum <= target[None, :], axis=0)
-    return np.minimum(idx, weights.shape[0] - 1)
-
-
-def _group_by_value(values: np.ndarray):
-    """Yield ``(value, positions)`` for each distinct value, via one stable
-    argsort instead of ``np.unique`` plus a boolean scan per value.
-
-    ``positions`` index into ``values`` and are ascending within each group
-    (stable sort), and groups come out in ascending value order — exactly
-    the iteration order of the ``np.unique`` + mask idiom it replaces, so
-    RNG consumption order is unchanged.
-    """
-    if values.size == 0:
-        return
-    order = np.argsort(values, kind="stable")
-    sorted_vals = values[order]
-    boundaries = np.flatnonzero(sorted_vals[1:] != sorted_vals[:-1]) + 1
-    start = 0
-    for end in [*boundaries.tolist(), sorted_vals.size]:
-        yield int(sorted_vals[start]), order[start:end]
-        start = end
+#: Backward-compatible alias for the material-dispatch primitive, which now
+#: lives with the kernels it dispatches.
+_group_by_value = group_by_value
 
 
 def run_generation_event(
@@ -142,7 +69,7 @@ def run_generation_event(
     tallies: GlobalTallies,
     k_norm: float = 1.0,
     first_id: int = 0,
-    stats: EventLoopStats | None = None,
+    stats: TransportStats | None = None,
     power: PowerTally | None = None,
     spectrum: SpectrumTally | None = None,
 ) -> FissionBank:
@@ -152,7 +79,6 @@ def run_generation_event(
     (same tallies, same fission bank, same RNG streams); returns the
     next-generation fission bank.
     """
-    calc = ctx.calculator
     counters = ctx.counters
     fission_bank = FissionBank()
 
@@ -162,11 +88,8 @@ def run_generation_event(
     tallies.source_weight += float(n)
     counters.rn_draws += 2 * n
 
-    # Per-particle storage refreshed by the lookup stage each cycle.
-    sigma_t = np.zeros(n)
-    sigma_c = np.zeros(n)
-    sigma_f = np.zeros(n)
-    nu_sigma_f = np.zeros(n)
+    # Per-particle sigma side-tables refreshed by the lookup stage each cycle.
+    sig = SigmaTables.zeros(n)
 
     # Compacted live-index bank: starts as the full bank and shrinks
     # monotonically as particles die, so no stage ever rescans dead lanes
@@ -183,45 +106,18 @@ def run_generation_event(
             break
         alive_idx = live
 
-        # ---- Stage 1: banked cross-section lookups, grouped by material
-        # via one stable argsort dispatch (same group order as np.unique).
-        mats = ctx.fast.locate_many(bank.position[alive_idx])
-        bank.material[alive_idx] = mats
-        # (Source particles start inside; crossings already resolved escapes.)
-        for mid, pos in _group_by_value(mats):
-            grp = alive_idx[pos]
-            material = ctx.material(mid)
-            states = bank.rng_state[grp]
-            res = calc.banked(
-                material, bank.energy[grp], rng_states=states, counters=counters
-            )
-            bank.rng_state[grp] = states
-            sigma_t[grp] = res["total"]
-            sigma_c[grp] = res["capture"]
-            sigma_f[grp] = res["fission"]
-            nu_sigma_f[grp] = res["nu_fission"]
+        # ---- Stage 1: banked cross-section lookups.
+        XS_LOOKUP.banked(ctx, bank, alive_idx, sig)
 
         # ---- Stage 2: sample collision distances; ray-trace; advance.
-        states, xi = prn_array(bank.rng_state[alive_idx])
-        bank.rng_state[alive_idx] = states
-        counters.rn_draws += alive_idx.size
-        counters.flights += alive_idx.size
-        # Gather each per-particle column once; every consumer below reads
-        # the compacted copy instead of re-running the fancy index.
-        pos = bank.position[alive_idx]
-        dirs = bank.direction[alive_idx]
-        w = bank.weight[alive_idx]
-        d_coll = -np.log(np.maximum(xi, _TINY)) / sigma_t[alive_idx]
-        d_bound = ctx.fast.distance_many(pos, dirs)
-        crossing = d_bound < d_coll
-        d = np.where(crossing, d_bound, d_coll)
-        tallies.score_track_many(w, d, nu_sigma_f[alive_idx])
+        pos, dirs, w, d, crossing = FLIGHT.banked(ctx, bank, alive_idx, sig)
+        tallies.score_track_many(w, d, sig.nu_fission[alive_idx])
         if power is not None:
             power.score_track_many(
                 pos + 0.5 * d[:, None] * dirs,
                 w,
                 d,
-                sigma_f[alive_idx],
+                sig.fission[alive_idx],
             )
         if spectrum is not None:
             spectrum.score_track_many(bank.energy[alive_idx], w, d)
@@ -234,51 +130,30 @@ def run_generation_event(
 
         # ---- Stage 3: surface crossings — nudge past, resolve escapes.
         if cross_idx.size:
-            bank.position[cross_idx] += (
-                SURFACE_NUDGE * bank.direction[cross_idx]
-            )
-            after = ctx.fast.locate_many(bank.position[cross_idx])
-            escaped = cross_idx[after < 0]
-            # Escapes are rare (outer box only): scalar BC handling keeps
-            # bit-parity with the history loop.
-            for j in escaped:
-                p_new, u_new, alive = ctx.handle_escape(
-                    bank.position[j], bank.direction[j]
-                )
-                if alive:
-                    bank.position[j] = p_new
-                    bank.direction[j] = u_new
-                else:
-                    tallies.n_leaks += 1
-                    bank.alive[j] = False
+            CROSSING.banked(ctx, bank, cross_idx, tallies)
 
         # ---- Stage 4: collisions.
         if coll_idx.size == 0:
             continue
         tallies.score_collision_many(
-            bank.weight[coll_idx], nu_sigma_f[coll_idx], sigma_t[coll_idx]
+            bank.weight[coll_idx], sig.nu_fission[coll_idx], sig.total[coll_idx]
         )
         counters.collisions += coll_idx.size
 
         if ctx.survival_biasing:
-            _collide_survival_stage(
+            SURVIVAL.banked(
                 ctx, bank, coll_idx, tallies, fission_bank, k_norm,
-                particle_ids, sigma_t, sigma_c, sigma_f, nu_sigma_f,
+                particle_ids, sig,
             )
             continue
 
-        states, xi_ch = prn_array(bank.rng_state[coll_idx])
-        bank.rng_state[coll_idx] = states
-        counters.rn_draws += coll_idx.size
-        channels = select_channel_many(
-            sigma_t[coll_idx], sigma_c[coll_idx], sigma_f[coll_idx], xi_ch
-        )
+        channels = COLLISION.banked(ctx, bank, coll_idx, sig)
 
         # Capture: absorb and terminate.
         cap = coll_idx[channels == int(CollisionChannel.CAPTURE)]
         if cap.size:
             tallies.score_absorption_many(
-                bank.weight[cap], nu_sigma_f[cap], sigma_c[cap] + sigma_f[cap]
+                bank.weight[cap], sig.nu_fission[cap], sig.absorption(cap)
             )
             bank.alive[cap] = False
 
@@ -286,216 +161,15 @@ def run_generation_event(
         fis = coll_idx[channels == int(CollisionChannel.FISSION)]
         if fis.size:
             tallies.score_absorption_many(
-                bank.weight[fis], nu_sigma_f[fis], sigma_c[fis] + sigma_f[fis]
+                bank.weight[fis], sig.nu_fission[fis], sig.absorption(fis)
             )
             counters.fissions += fis.size
-            _fission_stage(ctx, bank, fis, fission_bank, k_norm, particle_ids)
+            FISSION.banked(ctx, bank, fis, fission_bank, k_norm, particle_ids)
             bank.alive[fis] = False
 
-        # Scatter: pick nuclide, apply kinematics.
+        # Scatter: pick nuclide, apply kinematics (clamp included).
         sct = coll_idx[channels == int(CollisionChannel.SCATTER)]
         if sct.size:
-            _scatter_stage(ctx, bank, sct)
-            low = sct[bank.energy[sct] < ctx.energy_cutoff]
-            bank.energy[low] = ctx.energy_cutoff
+            SCATTER.banked(ctx, bank, sct)
 
     return fission_bank
-
-
-def _collide_survival_stage(
-    ctx: TransportContext,
-    bank: ParticleBank,
-    coll: np.ndarray,
-    tallies: GlobalTallies,
-    fission_bank: FissionBank,
-    k_norm: float,
-    particle_ids: np.ndarray,
-    sigma_t: np.ndarray,
-    sigma_c: np.ndarray,
-    sigma_f: np.ndarray,
-    nu_sigma_f: np.ndarray,
-) -> None:
-    """Vectorized implicit-capture collision stage, mirroring the history
-    loop's survival protocol draw for draw (site count, per-site Watt,
-    scatter sequence, conditional roulette)."""
-    counters = ctx.counters
-    w = bank.weight[coll]
-    sig_a = sigma_c[coll] + sigma_f[coll]
-    absorbed = w * sig_a / sigma_t[coll]
-    tallies.score_absorption_many(absorbed, nu_sigma_f[coll], sig_a)
-
-    # Expected fission sites (no nuclide attribution: nu Sigma_f is already
-    # the material aggregate, and Watt parameters are library constants).
-    states, xi_nu = prn_array(bank.rng_state[coll])
-    bank.rng_state[coll] = states
-    counters.rn_draws += coll.size
-    nu_bar = w * nu_sigma_f[coll] / sigma_t[coll]
-    n_sites = sample_nu_many(nu_bar, k_norm, xi_nu)
-    counters.fissions += int((n_sites > 0).sum())
-    max_sites = int(n_sites.max()) if n_sites.size else 0
-    for s in range(max_sites):
-        sub = coll[n_sites > s]
-        if sub.size == 0:
-            break
-        e_birth, new_states = watt_spectrum_many(
-            WATT_A, WATT_B, bank.rng_state[sub]
-        )
-        bank.rng_state[sub] = new_states
-        fission_bank.add_many(
-            bank.position[sub], e_birth, particle_ids[sub], seq=s
-        )
-
-    bank.weight[coll] = w * (1.0 - sig_a / sigma_t[coll])
-    _scatter_stage(ctx, bank, coll)
-    low = coll[bank.energy[coll] < ctx.energy_cutoff]
-    bank.energy[low] = ctx.energy_cutoff
-
-    # Russian roulette on the reduced weights.
-    rl = coll[bank.weight[coll] < ctx.weight_cutoff]
-    if rl.size:
-        states, xi = prn_array(bank.rng_state[rl])
-        bank.rng_state[rl] = states
-        counters.rn_draws += rl.size
-        survive = xi < bank.weight[rl] / ctx.weight_survival
-        bank.weight[rl[survive]] = ctx.weight_survival
-        bank.alive[rl[~survive]] = False
-
-
-def _fission_stage(
-    ctx: TransportContext,
-    bank: ParticleBank,
-    fis: np.ndarray,
-    fission_bank: FissionBank,
-    k_norm: float,
-    particle_ids: np.ndarray,
-) -> None:
-    """Vectorized fission processing: nuclide attribution, site counts,
-    Watt energies — per material group."""
-    calc = ctx.calculator
-    counters = ctx.counters
-    soa = calc.soa
-    for mid, pos in _group_by_value(bank.material[fis]):
-        grp = fis[pos]
-        material = ctx.material(mid)
-        ids, _ = material.resolve(ctx.library)
-        weights = calc.attribution_weights(
-            material, bank.energy[grp], Reaction.FISSION, counters
-        )
-        states, xi_nuc = prn_array(bank.rng_state[grp])
-        which = _sample_index_many(weights, xi_nuc)
-        nuclide_ids = ids[which]
-        nu_bar = (
-            soa.nu0[nuclide_ids] + NU_THERMAL_SLOPE * bank.energy[grp]
-        ) * bank.weight[grp]
-        states, xi_nu = prn_array(states)
-        bank.rng_state[grp] = states
-        counters.rn_draws += 2 * grp.size
-        n_sites = sample_nu_many(nu_bar, k_norm, xi_nu)
-
-        # Per-site Watt draws, peeled one site-index at a time so each
-        # parent stream advances exactly as in the scalar loop.
-        max_sites = int(n_sites.max()) if n_sites.size else 0
-        for s in range(max_sites):
-            sub = grp[n_sites > s]
-            if sub.size == 0:
-                break
-            # Watt parameters are library-wide constants (all nuclides carry
-            # the defaults), so one batched sampler covers the whole group.
-            nid0 = int(nuclide_ids[0])
-            e_birth, new_states = watt_spectrum_many(
-                float(soa.watt_a[nid0]), float(soa.watt_b[nid0]),
-                bank.rng_state[sub],
-            )
-            bank.rng_state[sub] = new_states
-            fission_bank.add_many(
-                bank.position[sub], e_birth, particle_ids[sub], seq=s
-            )
-
-
-def _scatter_stage(ctx: TransportContext, bank: ParticleBank, sct: np.ndarray) -> None:
-    """Vectorized scattering: nuclide attribution then the three kinematics
-    sub-banks (S(alpha, beta), free-gas, target-at-rest)."""
-    calc = ctx.calculator
-    counters = ctx.counters
-    soa = calc.soa
-    chosen = np.empty(sct.size, dtype=np.int64)  # global nuclide ids
-
-    for mid, pos in _group_by_value(bank.material[sct]):
-        grp = sct[pos]
-        material = ctx.material(mid)
-        ids, _ = material.resolve(ctx.library)
-        weights = calc.attribution_weights(
-            material, bank.energy[grp], Reaction.ELASTIC, counters
-        )
-        states, xi_nuc = prn_array(bank.rng_state[grp])
-        bank.rng_state[grp] = states
-        counters.rn_draws += grp.size
-        which = _sample_index_many(weights, xi_nuc)
-        chosen[pos] = ids[which]
-
-    energies = bank.energy[sct]
-    # Per-target metadata as gathers out of the SoA side-tables — no
-    # Python loop over the chosen nuclides.
-    if calc.use_sab:
-        sab_mask = soa.has_sab[chosen] & (energies < soa.sab_cutoff[chosen])
-    else:
-        sab_mask = np.zeros(sct.size, dtype=bool)
-    fg_mask = (~sab_mask) & (energies < ctx.free_gas_cutoff)
-    fast_mask = ~(sab_mask | fg_mask)
-
-    # --- S(alpha, beta) sub-bank (bound thermal scattering).
-    if sab_mask.any():
-        idx = sct[sab_mask]
-        nids = chosen[sab_mask]
-        states = bank.rng_state[idx]
-        states, xi1 = prn_array(states)
-        states, xi2 = prn_array(states)
-        states, xi_phi = prn_array(states)
-        bank.rng_state[idx] = states
-        counters.rn_draws += 3 * idx.size
-        counters.sab_samples += idx.size
-        # All S(a,b) nuclides in a group share a table in practice (H1);
-        # group by nuclide id to stay general.
-        for nid in np.unique(nids):
-            m = nids == nid
-            table = soa.sab_tables[int(nid)]
-            e_out, mu = table.sample_many(
-                bank.energy[idx[m]], xi1[m], xi2[m]
-            )
-            bank.direction[idx[m]] = rotate_direction_many(
-                bank.direction[idx[m]], mu, 2.0 * np.pi * xi_phi[m]
-            )
-            bank.energy[idx[m]] = e_out
-
-    # --- Free-gas sub-bank (thermal motion, no bound table).
-    if fg_mask.any():
-        idx = sct[fg_mask]
-        nids = chosen[fg_mask]
-        states = bank.rng_state[idx]
-        xi = np.empty((idx.size, 7))
-        for c in range(7):
-            states, xi[:, c] = prn_array(states)
-        bank.rng_state[idx] = states
-        counters.rn_draws += 7 * idx.size
-        awr = calc.soa.awr[nids]
-        e_out, dir_out = free_gas_scatter_many(
-            bank.energy[idx], bank.direction[idx], awr, ctx.temperature, xi
-        )
-        bank.energy[idx] = e_out
-        bank.direction[idx] = dir_out
-
-    # --- Target-at-rest elastic sub-bank.
-    if fast_mask.any():
-        idx = sct[fast_mask]
-        nids = chosen[fast_mask]
-        states = bank.rng_state[idx]
-        states, xi_mu = prn_array(states)
-        states, xi_phi = prn_array(states)
-        bank.rng_state[idx] = states
-        counters.rn_draws += 2 * idx.size
-        awr = calc.soa.awr[nids]
-        e_out, mu_lab = elastic_scatter_many(bank.energy[idx], awr, xi_mu)
-        bank.direction[idx] = rotate_direction_many(
-            bank.direction[idx], mu_lab, 2.0 * np.pi * xi_phi
-        )
-        bank.energy[idx] = e_out

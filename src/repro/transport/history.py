@@ -1,9 +1,11 @@
-r"""History-based transport: one thread of execution per particle history.
+r"""History-based transport: the scalar schedule over the stage kernels.
 
 This is OpenMC's algorithm and the paper's baseline: each particle is tracked
 from birth (a fission site) to death (absorption, leakage, or energy
 cutoff), with every decision driven by the particle's private random-number
-stream.
+stream.  The physics lives in :mod:`repro.transport.stages`; this module is
+only the *schedule* — the per-particle while-loop that decides when each
+kernel's **scalar apply** runs.
 
 **The RNG protocol.**  The event-based loop (:mod:`repro.transport.events`)
 must consume each particle's stream in *exactly* the same order so the two
@@ -27,37 +29,33 @@ algorithms produce identical histories.  The canonical order, per particle:
       per-site Watt draws, then the scatter sequence of (d), then 1
       roulette draw only if the reduced weight fell below the cutoff.
 
-Any change here must be mirrored in the event loop (and vice versa); the
-equivalence tests in ``tests/transport/test_equivalence.py`` enforce it.
+Any change to this protocol lands in the stage kernels, which both
+schedules share; the equivalence tests in
+``tests/transport/test_equivalence.py`` enforce bit-parity.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..physics.collision import select_channel
-from ..physics.fission import WATT_A, WATT_B, sample_nu, watt_spectrum
-from ..physics.scattering import elastic_scatter, rotate_direction
-from ..physics.thermal import free_gas_scatter
-from ..types import CollisionChannel, Reaction
+from ..types import CollisionChannel
 from .context import TransportContext
 from .meshtally import PowerTally
 from .particle import FissionBank, Particle
 from .spectrum import SpectrumTally
+from .stages import (
+    COLLISION,
+    CROSSING,
+    FISSION,
+    FLIGHT,
+    SCATTER,
+    SURVIVAL,
+    XS_LOOKUP,
+)
+from .stats import TransportStats
 from .tally import GlobalTallies
 
 __all__ = ["transport_history", "run_generation_history"]
-
-_TINY = 1.0e-300
-
-
-def _sample_index(weights: np.ndarray, xi: float) -> int:
-    """CDF-sample an index from unnormalized weights."""
-    cum = np.cumsum(weights)
-    if cum[-1] <= 0.0:
-        return int(np.argmax(weights))
-    k = int(np.searchsorted(cum, xi * cum[-1], side="right"))
-    return min(k, weights.shape[0] - 1)
 
 
 def transport_history(
@@ -68,11 +66,20 @@ def transport_history(
     k_norm: float = 1.0,
     power: PowerTally | None = None,
     spectrum: SpectrumTally | None = None,
+    stats: TransportStats | None = None,
 ) -> None:
-    """Track one particle to death, scoring tallies and banking fission sites."""
-    calc = ctx.calculator
+    """Track one particle to death, scoring tallies and banking fission sites.
+
+    With ``stats``, records one row per history: the number of segments
+    (lookups/flights), collisions, and crossings this particle saw — the
+    per-history divergence profile that banking has to absorb.  Column
+    totals match the event schedule's per-cycle rows exactly.
+    """
     stream = particle.stream
     counters = ctx.counters
+    n_lookup = 0
+    n_collision = 0
+    n_crossing = 0
 
     while particle.alive:
         mat_id = ctx.material_id_at(particle.position)
@@ -83,14 +90,11 @@ def transport_history(
         material = ctx.material(mat_id)
 
         # (a) Cross-section lookup (Algorithm 1) — the bottleneck kernel.
-        xs = calc.scalar(material, particle.energy, stream, counters)
+        xs = XS_LOOKUP.scalar(ctx, material, particle.energy, stream)
+        n_lookup += 1
 
         # (b) Distance to collision (Eq. 1) vs distance to boundary.
-        xi_dist = stream.prn()
-        d_coll = -np.log(max(xi_dist, _TINY)) / xs.total
-        d_bound = ctx.boundary_distance(particle.position, particle.direction)
-        counters.rn_draws += 1
-        counters.flights += 1
+        d_coll, d_bound = FLIGHT.scalar(ctx, particle, xs)
 
         d_move = min(d_bound, d_coll)
         if power is not None:
@@ -106,20 +110,8 @@ def transport_history(
         if d_bound < d_coll:
             # (c) Surface crossing: move past the surface and relocate.
             tallies.score_track(particle.weight, d_bound, xs.nu_fission)
-            particle.position = ctx.nudge(
-                particle.position + d_bound * particle.direction,
-                particle.direction,
-            )
-            if ctx.material_id_at(particle.position) < 0:
-                p_new, u_new, alive = ctx.handle_escape(
-                    particle.position, particle.direction
-                )
-                if not alive:
-                    tallies.n_leaks += 1
-                    particle.alive = False
-                else:
-                    particle.position = p_new
-                    particle.direction = u_new
+            CROSSING.scalar(ctx, particle, tallies, d_bound)
+            n_crossing += 1
             continue
 
         # (d) Collision.
@@ -127,37 +119,18 @@ def transport_history(
         particle.position = particle.position + d_coll * particle.direction
         tallies.score_collision(particle.weight, xs.nu_fission, xs.total)
         counters.collisions += 1
+        n_collision += 1
 
         if ctx.survival_biasing:
             # (e) Implicit capture: no channel draw; expected fission sites
             # banked, weight reduced by the survival probability, always
             # scatter, roulette below the weight cutoff.
-            w = particle.weight
-            absorbed = w * xs.absorption / xs.total
-            tallies.score_absorption(absorbed, xs.nu_fission, xs.absorption)
-            nu_bar = w * xs.nu_fission / xs.total
-            n_sites = sample_nu(nu_bar, k_norm, stream.prn())
-            counters.rn_draws += 1
-            if n_sites:
-                counters.fissions += 1
-            for s in range(n_sites):
-                e_birth = watt_spectrum(WATT_A, WATT_B, stream)
-                fission_bank.add(particle.position, e_birth, particle.id, s)
-            particle.weight = w * (1.0 - xs.absorption / xs.total)
-            _do_scatter(particle, ctx, material)
-            if particle.energy < ctx.energy_cutoff:
-                particle.energy = ctx.energy_cutoff
-            if particle.weight < ctx.weight_cutoff:
-                xi = stream.prn()
-                counters.rn_draws += 1
-                if xi < particle.weight / ctx.weight_survival:
-                    particle.weight = ctx.weight_survival
-                else:
-                    particle.alive = False
+            SURVIVAL.scalar(
+                ctx, particle, material, xs, tallies, fission_bank, k_norm
+            )
             continue
 
-        channel = select_channel(xs, stream.prn())
-        counters.rn_draws += 1
+        channel = COLLISION.scalar(ctx, xs, stream)
 
         if channel == CollisionChannel.CAPTURE:
             tallies.score_absorption(
@@ -170,60 +143,13 @@ def transport_history(
                 particle.weight, xs.nu_fission, xs.absorption
             )
             counters.fissions += 1
-            weights = calc.attribution_weights(
-                material, particle.energy, Reaction.FISSION, counters
-            )[:, 0]
-            k = _sample_index(weights, stream.prn())
-            ids, _ = material.resolve(ctx.library)
-            nuc = ctx.library[int(ids[k])]
-            nu_bar = float(nuc.nu(particle.energy)) * particle.weight
-            n_sites = sample_nu(nu_bar, k_norm, stream.prn())
-            counters.rn_draws += 2
-            for s in range(n_sites):
-                e_birth = watt_spectrum(nuc.watt_a, nuc.watt_b, stream)
-                fission_bank.add(particle.position, e_birth, particle.id, s)
-            particle.alive = False
+            FISSION.scalar(ctx, particle, material, fission_bank, k_norm)
 
-        else:  # SCATTER
-            _do_scatter(particle, ctx, material)
-            if particle.energy < ctx.energy_cutoff:
-                particle.energy = ctx.energy_cutoff
+        else:  # SCATTER (clamp included in the kernel)
+            SCATTER.scalar(ctx, particle, material)
 
-
-def _do_scatter(particle: Particle, ctx: TransportContext, material) -> None:
-    """The shared scatter sequence: 1 draw for the nuclide, then S(a,b) /
-    free-gas / target-at-rest kinematics (see the RNG protocol above)."""
-    calc = ctx.calculator
-    stream = particle.stream
-    counters = ctx.counters
-    weights = calc.attribution_weights(
-        material, particle.energy, Reaction.ELASTIC, counters
-    )[:, 0]
-    k = _sample_index(weights, stream.prn())
-    counters.rn_draws += 1
-    ids, _ = material.resolve(ctx.library)
-    nuc = ctx.library[int(ids[k])]
-    sab = ctx.library.sab.get(nuc.name) if calc.use_sab else None
-    if sab is not None and particle.energy < sab.cutoff:
-        e_out, mu = sab.sample(particle.energy, stream.prn(), stream.prn())
-        phi = 2.0 * np.pi * stream.prn()
-        particle.direction = rotate_direction(particle.direction, mu, phi)
-        particle.energy = e_out
-        counters.rn_draws += 3
-        counters.sab_samples += 1
-    elif particle.energy < ctx.free_gas_cutoff:
-        e_out, new_dir = free_gas_scatter(
-            particle.energy, particle.direction, nuc.awr, ctx.temperature, stream
-        )
-        particle.energy = e_out
-        particle.direction = new_dir
-        counters.rn_draws += 7
-    else:
-        e_out, mu = elastic_scatter(particle.energy, nuc.awr, stream.prn())
-        phi = 2.0 * np.pi * stream.prn()
-        particle.direction = rotate_direction(particle.direction, mu, phi)
-        particle.energy = e_out
-        counters.rn_draws += 2
+    if stats is not None:
+        stats.record(n_lookup, n_collision, n_crossing)
 
 
 def run_generation_history(
@@ -233,6 +159,7 @@ def run_generation_history(
     tallies: GlobalTallies,
     k_norm: float = 1.0,
     first_id: int = 0,
+    stats: TransportStats | None = None,
     power: PowerTally | None = None,
     spectrum: SpectrumTally | None = None,
 ) -> FissionBank:
@@ -240,7 +167,9 @@ def run_generation_history(
 
     Returns the fission bank for the next generation.  ``first_id`` offsets
     the particle ids (and hence their RNG streams) so successive batches
-    draw from disjoint stream ranges.
+    draw from disjoint stream ranges.  ``stats`` records one row per
+    history (vs one row per cycle on the event schedule); column totals
+    agree across backends.
     """
     bank = FissionBank()
     n = positions.shape[0]
@@ -250,5 +179,7 @@ def run_generation_history(
             first_id + i, positions[i], float(energies[i]), ctx.master_seed
         )
         ctx.counters.rn_draws += 2
-        transport_history(particle, ctx, tallies, bank, k_norm, power, spectrum)
+        transport_history(
+            particle, ctx, tallies, bank, k_norm, power, spectrum, stats
+        )
     return bank

@@ -239,6 +239,21 @@ class FissionBank:
         self._seq_chunks.append(np.full(n, int(seq), dtype=np.int64))
         self._n += n
 
+    def absorb(self, other: "FissionBank") -> None:
+        """Append every site of ``other`` (chunk references, no copies).
+
+        Because all reads apply the canonical ``(parent, seq)`` ordering
+        and parents are *global* particle ids, absorbing per-rank or
+        per-slice banks in any order reproduces the serial run's bank
+        exactly — the primitive behind the symmetric scheduler's and the
+        distributed driver's bank merges.
+        """
+        self._pos_chunks.extend(other._pos_chunks)
+        self._energy_chunks.extend(other._energy_chunks)
+        self._parent_chunks.extend(other._parent_chunks)
+        self._seq_chunks.extend(other._seq_chunks)
+        self._n += other._n
+
     def __len__(self) -> int:
         return self._n
 

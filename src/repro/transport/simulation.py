@@ -40,10 +40,9 @@ from ..resilience.checkpoint import (
 )
 from ..resilience.faults import FaultPlan, SimulatedCrash
 from ..work import WorkCounters
+from .backends import available_backends, get_backend
 from .context import TransportContext
 from .entropy import EntropyMesh
-from .events import run_generation_event
-from .history import run_generation_history
 from .meshtally import PowerTally
 from .tally import BatchStatistics, GlobalTallies, TallyResult
 
@@ -54,9 +53,11 @@ __all__ = ["Settings", "SimulationResult", "Simulation"]
 class Settings:
     """Simulation controls.
 
-    ``mode`` selects the transport algorithm: ``"history"`` (scalar,
-    OpenMC-style), ``"event"`` (banked, vectorized), or ``"delta"``
-    (Woodcock delta tracking against a majorant cross section).
+    ``mode`` selects the transport backend by registry name
+    (:func:`repro.transport.backends.available_backends`): ``"history"``
+    (scalar, OpenMC-style), ``"event"`` (banked, vectorized), or
+    ``"delta"`` (Woodcock delta tracking against a majorant cross
+    section).
     """
 
     n_particles: int = 1000
@@ -80,8 +81,11 @@ class Settings:
     checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
-        if self.mode not in ("history", "event", "delta"):
-            raise ExecutionError(f"unknown transport mode {self.mode!r}")
+        if self.mode not in available_backends():
+            raise ExecutionError(
+                f"unknown transport mode {self.mode!r}; "
+                f"available: {', '.join(available_backends())}"
+            )
         if self.n_particles < 1 or self.n_active < 1:
             raise ExecutionError("need n_particles >= 1 and n_active >= 1")
         if self.checkpoint_every < 0:
@@ -322,19 +326,9 @@ class Simulation:
         """
         s = self.settings
         n_batches = s.n_inactive + s.n_active
-        if s.mode == "history":
-            run_generation = run_generation_history
-        elif s.mode == "event":
-            run_generation = run_generation_event
-        else:  # delta
-            from .delta import MajorantXS, run_generation_delta
-
-            majorant = MajorantXS(self.ctx)
-
-            def run_generation(ctx, pos, en, tallies, k_norm, first_id, power=None):
-                return run_generation_delta(
-                    ctx, pos, en, tallies, k_norm, first_id, majorant=majorant
-                )
+        # One backend instance for the whole run, so per-run caches (the
+        # delta majorant) are built once and reused across batches.
+        backend = get_backend(s.mode)
 
         power: PowerTally | None = None
         if s.tally_power:
@@ -363,7 +357,7 @@ class Simulation:
             k_norm = stats.running_k()
             active = batch >= s.n_inactive
             with self.timers.timer("transport_generation"):
-                bank = run_generation(
+                bank = backend.run_generation(
                     self.ctx,
                     positions,
                     energies,

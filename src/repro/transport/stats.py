@@ -1,0 +1,80 @@
+"""Unified per-stage transport statistics for both schedules.
+
+:class:`TransportStats` records how many particles each stage processed per
+*dispatch* — one row per event-loop cycle on the banked schedule, one row
+per particle history on the scalar schedule.  Under the same seed the two
+schedules execute the same physics work in a different order, so the
+**column totals agree exactly** between backends (same flights, collisions
+and crossings), while the row structure exposes each schedule's shape:
+event rows shrink as the generation drains (the lane-utilization story),
+history rows show the per-history divergence that banking has to absorb.
+
+``EventLoopStats`` remains as a backward-compatible alias in
+:mod:`repro.transport.events`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TransportStats"]
+
+
+class TransportStats:
+    """Per-stage particle counts — the queue-occupancy profile of a
+    transport schedule (used to study lane utilization / divergence).
+
+    Backed by one amortized-doubling ``(3, capacity)`` int64 array rather
+    than unbounded Python lists; ``lookup_counts`` / ``collision_counts`` /
+    ``crossing_counts`` are zero-copy views of the recorded prefix.
+    """
+
+    _STAGES = ("lookup", "collision", "crossing")
+
+    def __init__(self) -> None:
+        self.iterations = 0
+        self._counts = np.zeros((3, 16), dtype=np.int64)
+
+    def record(self, n_lookup: int, n_collision: int, n_crossing: int) -> None:
+        i = self.iterations
+        if i >= self._counts.shape[1]:
+            grown = np.zeros((3, 2 * self._counts.shape[1]), dtype=np.int64)
+            grown[:, :i] = self._counts
+            self._counts = grown
+        self._counts[0, i] = n_lookup
+        self._counts[1, i] = n_collision
+        self._counts[2, i] = n_crossing
+        self.iterations = i + 1
+
+    @property
+    def lookup_counts(self) -> np.ndarray:
+        return self._counts[0, : self.iterations]
+
+    @property
+    def collision_counts(self) -> np.ndarray:
+        return self._counts[1, : self.iterations]
+
+    @property
+    def crossing_counts(self) -> np.ndarray:
+        return self._counts[2, : self.iterations]
+
+    def summary(self) -> dict:
+        """Per-stage occupancy statistics over the recorded dispatches.
+
+        Returns ``{"iterations": n, "stages": {name: {"mean", "min",
+        "max", "total"}}}`` — the inputs to the lane-utilization analysis
+        (:func:`repro.simd.analysis.lane_utilization_report`).
+        """
+        stages: dict[str, dict[str, float | int]] = {}
+        for row, name in enumerate(self._STAGES):
+            counts = self._counts[row, : self.iterations]
+            if counts.size:
+                stages[name] = {
+                    "mean": float(counts.mean()),
+                    "min": int(counts.min()),
+                    "max": int(counts.max()),
+                    "total": int(counts.sum()),
+                }
+            else:
+                stages[name] = {"mean": 0.0, "min": 0, "max": 0, "total": 0}
+        return {"iterations": self.iterations, "stages": stages}

@@ -125,6 +125,19 @@ class GlobalTallies:
         t.n_leaks = int(nl)
         return t
 
+    def merge_from(self, other: "GlobalTallies") -> None:
+        """Accumulate another partial tally into this one (rank/slice
+        reduction).  All fields are sums, so merging is exact and
+        order-independent up to float addition order — schedulers that need
+        bit-parity with a serial run must merge in rank order."""
+        self.collision += other.collision
+        self.absorption += other.absorption
+        self.track_length += other.track_length
+        self.source_weight += other.source_weight
+        self.n_collisions += other.n_collisions
+        self.n_absorptions += other.n_absorptions
+        self.n_leaks += other.n_leaks
+
 
 @dataclass
 class TallyResult:

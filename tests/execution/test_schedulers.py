@@ -1,0 +1,224 @@
+"""Cross-backend equivalence under every execution model.
+
+The schedulers (native, offload, symmetric) are *schedules over a
+backend*: whichever backend an :class:`ExecutionContext` carries, the
+scheduler must preserve the history/event equivalence contract —
+tally floats to the summation-order tolerance (rel 1e-12, the same
+contract as ``tests/transport/test_equivalence.py``), work counters,
+bank contents, and queue-trace column totals exactly.  The symmetric
+split must additionally be **bit-identical** to the unsplit run of the
+same backend (global-id RNG keying + canonical bank ordering), and the
+equivalence must survive a mid-run crash + checkpoint resume.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.unionized import UnionizedGrid
+from repro.execution import (
+    ExecutionContext,
+    NativeScheduler,
+    OffloadScheduler,
+    SymmetricScheduler,
+)
+from repro.execution.offload import OffloadCostModel
+from repro.machine.presets import JLSE_HOST, MIC_7120A, PCIE_GEN2_X16
+from repro.resilience import FaultKind, FaultPlan, SimulatedCrash, latest_checkpoint
+from repro.transport import Settings, Simulation
+from repro.transport.context import TransportContext
+
+
+SCHEDULERS = {
+    "native": lambda: NativeScheduler(),
+    "offload": lambda: OffloadScheduler(),
+    "symmetric": lambda: SymmetricScheduler(n_ranks=3),
+}
+
+
+@pytest.fixture(scope="module")
+def union(small_library):
+    return UnionizedGrid(small_library)
+
+
+def source(n, seed=5):
+    rng = np.random.default_rng(seed)
+    pos = np.column_stack(
+        [
+            rng.uniform(-0.3, 0.3, n),
+            rng.uniform(-0.3, 0.3, n),
+            rng.uniform(-150, 150, n),
+        ]
+    )
+    return pos, np.full(n, 1.0)
+
+
+def run_scheduled(small_library, union, backend, scheduler, n=60):
+    ctx = TransportContext.create(
+        small_library, pincell=True, union=union, master_seed=7
+    )
+    ec = ExecutionContext.create(
+        transport=ctx, backend=backend, record_stats=True
+    )
+    tallies = ec.new_tallies()
+    pos, en = source(n)
+    bank = scheduler.run_generation(ec, pos, en, tallies, 1.0, 0)
+    return ctx, ec, tallies, bank
+
+
+class TestHistoryEventEquivalence:
+    """Satellite contract: history vs event fingerprints under each model."""
+
+    @pytest.mark.parametrize("name", sorted(SCHEDULERS))
+    def test_tallies_counters_and_banks(self, small_library, union, name):
+        ch, eh, th, bh = run_scheduled(
+            small_library, union, "history", SCHEDULERS[name]()
+        )
+        ce, ee, te, be = run_scheduled(
+            small_library, union, "event", SCHEDULERS[name]()
+        )
+        # Tally floats: identical game, different summation order.
+        assert te.collision == pytest.approx(th.collision, rel=1e-12)
+        assert te.absorption == pytest.approx(th.absorption, rel=1e-12)
+        assert te.track_length == pytest.approx(th.track_length, rel=1e-12)
+        # Integer fingerprints: exact.
+        assert te.n_collisions == th.n_collisions
+        assert te.n_leaks == th.n_leaks
+        assert ch.counters.as_dict() == ce.counters.as_dict()
+        # Fission banks: same sites in the same canonical order.
+        assert len(bh) == len(be)
+        np.testing.assert_allclose(
+            bh.positions, be.positions, rtol=1e-12, atol=1e-12
+        )
+        np.testing.assert_allclose(bh.energies, be.energies, rtol=1e-12)
+
+    @pytest.mark.parametrize("name", sorted(SCHEDULERS))
+    def test_queue_trace_column_totals(self, small_library, union, name):
+        """Both backends record the same total work per stage, whatever
+        the schedule chops it into."""
+        _, eh, _, _ = run_scheduled(
+            small_library, union, "history", SCHEDULERS[name]()
+        )
+        _, ee, _, _ = run_scheduled(
+            small_library, union, "event", SCHEDULERS[name]()
+        )
+        for col in ("lookup_counts", "collision_counts", "crossing_counts"):
+            assert int(getattr(eh.stats, col).sum()) == int(
+                getattr(ee.stats, col).sum()
+            )
+
+
+class TestSymmetricSplitInvariance:
+    @pytest.mark.parametrize("backend", ["history", "event"])
+    @pytest.mark.parametrize("n_ranks", [2, 4])
+    def test_split_bit_identical_to_unsplit(
+        self, small_library, union, backend, n_ranks
+    ):
+        """Same backend, split vs unsplit: banks and counters are exactly
+        equal — RNG streams are keyed by global particle id and the bank's
+        (parent, seq) ordering is split-invariant.  Tally floats see one
+        more partial-sum reassociation (per-rank accumulate, then merge),
+        so they carry the usual summation-order tolerance."""
+        c1, _, t1, b1 = run_scheduled(
+            small_library, union, backend, NativeScheduler()
+        )
+        c2, _, t2, b2 = run_scheduled(
+            small_library, union, backend,
+            SymmetricScheduler(n_ranks=n_ranks),
+        )
+        assert t1.collision == pytest.approx(t2.collision, rel=1e-12)
+        assert t1.absorption == pytest.approx(t2.absorption, rel=1e-12)
+        assert t1.track_length == pytest.approx(t2.track_length, rel=1e-12)
+        assert t1.n_collisions == t2.n_collisions
+        assert c1.counters.as_dict() == c2.counters.as_dict()
+        assert len(b1) == len(b2)
+        np.testing.assert_array_equal(b1.positions, b2.positions)
+        np.testing.assert_array_equal(b1.energies, b2.energies)
+
+    def test_uneven_split_covers_every_particle(self, small_library, union):
+        """61 particles over 3 ranks: remainder slices still partition."""
+        c1, _, _, b1 = run_scheduled(
+            small_library, union, "event", NativeScheduler(), n=61
+        )
+        c2, _, _, b2 = run_scheduled(
+            small_library, union, "event",
+            SymmetricScheduler(n_ranks=3), n=61,
+        )
+        assert c1.counters.as_dict() == c2.counters.as_dict()
+        np.testing.assert_array_equal(b1.energies, b2.energies)
+
+
+class TestOffloadPricing:
+    def test_priced_trace_from_either_backend(self, small_library, union):
+        model = OffloadCostModel(
+            JLSE_HOST, MIC_7120A, PCIE_GEN2_X16, "hm-small"
+        )
+        scheduler = OffloadScheduler(model=model)
+        totals = {}
+        for backend in ("history", "event"):
+            ctx = TransportContext.create(
+                small_library, pincell=True, union=union, master_seed=7
+            )
+            ec = ExecutionContext.create(
+                transport=ctx, backend=backend, record_stats=True
+            )
+            pos, en = source(50)
+            scheduler.run_generation(ec, pos, en, ec.new_tallies(), 1.0, 0)
+            trace = scheduler.priced_trace(ec)
+            assert trace.n_iterations == ec.stats.iterations
+            assert trace.total_s > 0
+            totals[backend] = sum(trace.bank_sizes)
+        # Same lookups overall, so the same banked-particle total is priced.
+        assert totals["history"] == totals["event"]
+
+    def test_priced_trace_requires_stats(self, small_library, union):
+        ctx = TransportContext.create(
+            small_library, pincell=True, union=union, master_seed=7
+        )
+        ec = ExecutionContext.create(transport=ctx, backend="event")
+        with pytest.raises(ValueError, match="record_stats"):
+            ec.offload_trace(
+                OffloadCostModel(JLSE_HOST, MIC_7120A, PCIE_GEN2_X16,
+                                 "hm-small")
+            )
+
+
+class TestEquivalenceSurvivesResume:
+    """The history/event contract holds through a crash + resume."""
+
+    BASE = dict(n_particles=60, n_inactive=1, n_active=3, pincell=True,
+                seed=11)
+
+    def _crashed_resumed(self, library, tmp_path, mode):
+        settings = Settings(
+            **self.BASE, mode=mode,
+            checkpoint_every=1, checkpoint_dir=str(tmp_path / mode),
+        )
+        plan = FaultPlan.single(FaultKind.MID_BATCH_KILL, batch=2)
+        with pytest.raises(SimulatedCrash):
+            Simulation(library, settings).run(fault_plan=plan)
+        ckpt = latest_checkpoint(tmp_path / mode)
+        assert ckpt is not None
+        return Simulation(library, settings).run(resume_from=ckpt)
+
+    def test_history_vs_event_after_resume(self, small_library, tmp_path):
+        rh = self._crashed_resumed(small_library, tmp_path, "history")
+        re_ = self._crashed_resumed(small_library, tmp_path, "event")
+        assert re_.statistics.k_collision == pytest.approx(
+            rh.statistics.k_collision, rel=1e-12
+        )
+        assert re_.statistics.k_absorption == pytest.approx(
+            rh.statistics.k_absorption, rel=1e-12
+        )
+        assert re_.statistics.entropy == pytest.approx(
+            rh.statistics.entropy, rel=1e-12
+        )
+        assert re_.counters.as_dict() == rh.counters.as_dict()
+
+    @pytest.mark.parametrize("mode", ["history", "event"])
+    def test_resume_matches_uninterrupted(self, small_library, tmp_path, mode):
+        reference = Simulation(
+            small_library, Settings(**self.BASE, mode=mode)
+        ).run()
+        resumed = self._crashed_resumed(small_library, tmp_path, mode)
+        assert resumed.statistics.k_collision == reference.statistics.k_collision
+        assert resumed.counters.as_dict() == reference.counters.as_dict()

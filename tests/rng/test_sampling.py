@@ -1,0 +1,74 @@
+"""Scalar vs banked CDF sampling: one discrete distribution, two entry
+points.  The history loop calls :func:`sample_index` per particle; the
+event loop calls :func:`sample_index_many` per bank.  Equivalence here is
+what lets the two schedules draw identical nuclides from identical RNG
+streams."""
+
+import numpy as np
+import pytest
+
+from repro.rng import sample_index, sample_index_many
+
+
+def test_scalar_basic():
+    w = np.array([1.0, 3.0, 6.0])
+    assert sample_index(w, 0.05) == 0  # cdf: 0.1, 0.4, 1.0
+    assert sample_index(w, 0.25) == 1
+    assert sample_index(w, 0.95) == 2
+
+
+def test_scalar_boundaries():
+    w = np.array([1.0, 1.0])
+    # xi*total exactly on a cumsum edge takes the *next* bin (side="right").
+    assert sample_index(w, 0.5) == 1
+    assert sample_index(w, 0.0) == 0
+    # xi -> 1 stays in range.
+    assert sample_index(w, 1.0) == 1
+
+
+def test_scalar_degenerate_weights():
+    assert sample_index(np.array([0.0, 0.0, 0.0]), 0.7) == 0
+    assert sample_index(np.array([0.0, 2.0, 0.0]), 0.99) == 1
+
+
+def test_banked_matches_scalar_exhaustively():
+    rng = np.random.default_rng(3)
+    n_choices, n_particles = 5, 400
+    weights = rng.random((n_choices, n_particles))
+    weights[rng.random((n_choices, n_particles)) < 0.2] = 0.0
+    # Keep totals positive (the documented banked-path domain).
+    weights[0, weights.sum(axis=0) == 0.0] = 1.0
+    xi = rng.random(n_particles)
+    banked = sample_index_many(weights, xi)
+    scalar = np.array(
+        [sample_index(weights[:, j], xi[j]) for j in range(n_particles)]
+    )
+    np.testing.assert_array_equal(banked, scalar)
+
+
+def test_banked_edge_xi():
+    w = np.tile(np.array([[2.0], [2.0]]), (1, 3))
+    xi = np.array([0.0, 0.5, 1.0])
+    np.testing.assert_array_equal(
+        sample_index_many(w, xi), [0, 1, 1]
+    )
+
+
+def test_single_choice():
+    assert sample_index(np.array([4.2]), 0.9) == 0
+    np.testing.assert_array_equal(
+        sample_index_many(np.array([[4.2, 4.2]]), np.array([0.1, 0.9])),
+        [0, 0],
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_distribution_proportional_to_weights(seed):
+    rng = np.random.default_rng(seed)
+    w = np.array([1.0, 2.0, 7.0])
+    xi = rng.random(20_000)
+    counts = np.bincount(
+        sample_index_many(np.tile(w[:, None], (1, xi.size)), xi),
+        minlength=3,
+    )
+    np.testing.assert_allclose(counts / xi.size, w / w.sum(), atol=0.02)

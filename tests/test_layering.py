@@ -1,0 +1,48 @@
+"""The layering lint itself must pass, and must actually catch violations."""
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_layering  # noqa: E402
+
+
+def test_repo_layering_clean():
+    assert check_layering.check() == []
+
+
+def test_cli_exit_code_zero():
+    assert check_layering.main() == 0
+
+
+def test_detects_upward_import():
+    tree = ast.parse("from ..execution.native import NativeModel\n")
+    mods = [m for _, m in check_layering.runtime_imports(
+        tree, "repro.transport")]
+    assert mods == ["repro.execution.native"]
+    assert check_layering._in_layer(mods[0], "repro.execution")
+
+
+def test_type_checking_imports_exempt():
+    src = (
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from ..transport.stats import TransportStats\n"
+        "from ..errors import ExecutionError\n"
+    )
+    tree = ast.parse(src)
+    mods = [m for _, m in check_layering.runtime_imports(
+        tree, "repro.execution")]
+    assert "repro.transport.stats" not in mods
+    assert "repro.errors" in mods
+    assert "typing" in mods
+
+
+def test_relative_import_resolution():
+    tree = ast.parse("from . import context\nfrom .stats import T\n")
+    mods = sorted(m for _, m in check_layering.runtime_imports(
+        tree, "repro.transport"))
+    assert mods == ["repro.transport", "repro.transport.stats"]

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Import-cycle lint for the stage-kernel layering contract.
+
+Two rules, enforced over the AST (``TYPE_CHECKING``-guarded imports are
+annotation-only and exempt):
+
+1. **The kernel layer imports nothing above it.**  ``transport/stages.py``
+   holds the physics shared by every transport schedule; it may import
+   physics, data, RNG, and its transport siblings, but never the layers
+   that *drive* it (``execution``, ``serve``, ``cluster``, ``simd``,
+   ``machine``, ``profiling``, ``resilience``).  An upward import here
+   would re-create the cycle the stage-kernel refactor removed.
+
+2. **Execution models know no transport.**  The scheduler/cost-model files
+   (``execution/native.py``, ``offload.py``, ``symmetric.py``,
+   ``trace.py``) receive their backend through an
+   ``ExecutionContext``; a direct ``repro.transport`` import would couple
+   a model to one schedule.  (``execution/context.py`` is the sanctioned
+   adapter and is exempt.)
+
+Run from the repo root::
+
+    python tools/check_layering.py
+
+Exits non-zero listing every violation as ``path:line: message``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+#: Layers above transport: forbidden anywhere in the kernel layer.
+UPWARD_LAYERS = (
+    "repro.execution",
+    "repro.serve",
+    "repro.cluster",
+    "repro.simd",
+    "repro.machine",
+    "repro.profiling",
+    "repro.resilience",
+)
+
+STAGE_FILES = {
+    SRC / "repro" / "transport" / "stages.py": "repro.transport",
+}
+
+EXECUTION_MODEL_FILES = {
+    SRC / "repro" / "execution" / name: "repro.execution"
+    for name in ("native.py", "offload.py", "symmetric.py", "trace.py")
+}
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def runtime_imports(tree: ast.Module, package: str):
+    """Yield ``(lineno, absolute_module)`` for every runtime import.
+
+    Relative imports are resolved against ``package`` (the importing
+    module's package); imports inside ``if TYPE_CHECKING:`` bodies are
+    skipped — they never execute.
+    """
+    guarded: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and _is_type_checking(node.test):
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    guarded.add(id(sub))
+    for node in ast.walk(tree):
+        if id(node) in guarded:
+            continue
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                parts = package.split(".")
+                base = parts[: len(parts) - (node.level - 1)]
+                mod = ".".join(base + ([node.module] if node.module else []))
+            else:
+                mod = node.module or ""
+            yield node.lineno, mod
+
+
+def _in_layer(module: str, layer: str) -> bool:
+    return module == layer or module.startswith(layer + ".")
+
+
+def check() -> list[str]:
+    errors: list[str] = []
+    for path, package in STAGE_FILES.items():
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, mod in runtime_imports(tree, package):
+            for layer in UPWARD_LAYERS:
+                if _in_layer(mod, layer):
+                    errors.append(
+                        f"{path.relative_to(REPO)}:{lineno}: kernel layer "
+                        f"imports upward layer {mod!r}"
+                    )
+    for path, package in EXECUTION_MODEL_FILES.items():
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, mod in runtime_imports(tree, package):
+            if _in_layer(mod, "repro.transport"):
+                errors.append(
+                    f"{path.relative_to(REPO)}:{lineno}: execution model "
+                    f"imports {mod!r} directly (route through "
+                    f"ExecutionContext)"
+                )
+    return errors
+
+
+def main() -> int:
+    missing = [
+        p for p in (*STAGE_FILES, *EXECUTION_MODEL_FILES) if not p.exists()
+    ]
+    if missing:
+        for p in missing:
+            print(f"layering lint: missing file {p}", file=sys.stderr)
+        return 2
+    errors = check()
+    for err in errors:
+        print(err, file=sys.stderr)
+    if errors:
+        print(f"layering lint: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("layering lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
