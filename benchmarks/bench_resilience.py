@@ -7,7 +7,20 @@ is supposed to be cheap insurance, not a second workload.  The suite times
 the raw save/load path on a production-sized state (1e4 particles) and
 then measures the end-to-end overhead inside a real checkpointed run via
 the driver's own profile.
+
+A regression gate (pattern from ``bench_event_hotpath``) pins the raw
+save+restore cost against ``baselines/resilience.json``: times are
+normalized by a serialization-shaped calibration kernel (pack + hash, the
+dominant CPU cost of a checkpoint write) so the gate is portable across
+CI hosts, and the bench fails if the normalized ratio regresses more than
+``gate_factor`` (25%) over the committed baseline.
 """
+
+import hashlib
+import io
+import json
+from pathlib import Path
+from time import perf_counter
 
 import numpy as np
 import pytest
@@ -21,6 +34,30 @@ from repro.resilience.checkpoint import (
 from repro.transport import Settings, Simulation
 
 N_PARTICLES = 10_000
+
+BASELINE = json.loads(
+    (Path(__file__).parent / "baselines" / "resilience.json").read_text()
+)
+
+
+def calibration_time() -> float:
+    """Serialization-shaped kernel (npz pack + SHA-256), identical to the
+    one used when the baseline was recorded, so ratios are comparable
+    across machines."""
+    rng = np.random.default_rng(0)
+    arrays = {
+        "positions": rng.normal(size=(N_PARTICLES, 3)),
+        "energies": rng.uniform(1e-5, 2.0, N_PARTICLES),
+    }
+    best = float("inf")
+    for _ in range(3):
+        t0 = perf_counter()
+        for _ in range(5):
+            buf = io.BytesIO()
+            np.savez(buf, **arrays)
+            hashlib.sha256(buf.getvalue()).hexdigest()
+        best = min(best, perf_counter() - t0)
+    return best
 
 
 @pytest.fixture(scope="module")
@@ -55,6 +92,36 @@ def test_checkpoint_restore(benchmark, big_state, tmp_path):
     path = save_checkpoint(big_state, tmp_path / "bench.rpk")
     loaded = benchmark(load_checkpoint, path)
     assert loaded.batches_done == big_state.batches_done
+
+
+def test_save_restore_regression_gate(big_state, tmp_path):
+    """The raw round trip, normalized by the calibration kernel, must not
+    regress more than 25% over the committed baseline."""
+    path = tmp_path / "gate.rpk"
+    save = restore = float("inf")
+    for _ in range(5):
+        t0 = perf_counter()
+        save_checkpoint(big_state, path)
+        save = min(save, perf_counter() - t0)
+        t0 = perf_counter()
+        loaded = load_checkpoint(path)
+        restore = min(restore, perf_counter() - t0)
+    assert loaded.batches_done == big_state.batches_done
+
+    cal = calibration_time()
+    ratio = (save + restore) / cal
+    recorded = BASELINE["baseline"]
+    print(
+        f"\nresilience round trip: save {save * 1e3:.2f} ms + restore "
+        f"{restore * 1e3:.2f} ms (ratio {ratio:.2f}, calibration "
+        f"{cal * 1e3:.2f} ms); recorded ratio {recorded['ratio']:.2f}"
+    )
+    gate = BASELINE["gate_factor"] * recorded["ratio"]
+    assert ratio <= gate, (
+        f"checkpoint round trip regressed: normalized ratio {ratio:.2f} "
+        f"exceeds gate {gate:.2f} (recorded ratio {recorded['ratio']:.2f} "
+        f"+ 25%)"
+    )
 
 
 class TestOverheadBudget:

@@ -1,0 +1,110 @@
+"""Supervision overhead bench: watching a run must cost < 5% of it.
+
+The supervisor observes each batch through ``Simulation``'s ``on_batch``
+hook — an EMA rate update, a heartbeat, and a deadline check per batch.
+That is the whole in-process cost of supervision, so it is measured where
+it accrues: every callback invocation inside a real supervised run is
+timed and summed, then compared against the run's own transport profile
+(the same in-run budget pattern as ``bench_resilience``, immune to the
+wall-clock noise of comparing two separate runs).  The budget is 5%; the
+measured cost is orders of magnitude below it.  A micro-bench documents
+the per-batch cost in absolute terms.
+"""
+
+from time import perf_counter
+
+import pytest
+
+from repro.supervise import SupervisionPolicy, Supervisor
+from repro.transport import Settings, Simulation
+
+
+def _settings():
+    return Settings(
+        n_particles=300,
+        n_inactive=1,
+        n_active=4,
+        pincell=True,
+        mode="event",
+        seed=7,
+    )
+
+
+def test_supervision_overhead_under_5pct_of_batch_time(tiny_small):
+    """Acceptance: full supervision (health + deadline) on every batch
+    costs < 5% of the transport time it watches — and changes nothing
+    about the physics."""
+    supervisor = Supervisor(
+        n_ranks=1, policy=SupervisionPolicy(batch_deadline_s=3600.0)
+    )
+    inner = supervisor.batch_callback()
+    spent = {"seconds": 0.0, "calls": 0}
+
+    def on_batch(batch, seconds, n_particles):
+        t0 = perf_counter()
+        inner(batch, seconds, n_particles)
+        spent["seconds"] += perf_counter() - t0
+        spent["calls"] += 1
+
+    supervised = Simulation(tiny_small, _settings()).run(on_batch=on_batch)
+    plain = Simulation(tiny_small, _settings()).run()
+
+    transport = supervised.profile.routines["transport_generation"]
+    fraction = spent["seconds"] / transport.total_seconds
+    print(
+        f"\nsupervision overhead: {spent['seconds'] * 1e6:.1f} us across "
+        f"{spent['calls']} batches vs {transport.total_seconds * 1e3:.1f} ms "
+        f"of transport ({100 * fraction:.4f}% of batch wall time)"
+    )
+    assert spent["calls"] == 5  # 1 inactive + 4 active
+    assert supervisor.report()["batches"] == 5
+    # The observer sees timing only — identical trajectories, bitwise.
+    assert supervised.statistics.k_collision == plain.statistics.k_collision
+    assert supervised.statistics.entropy == plain.statistics.entropy
+    assert fraction < 0.05
+
+
+def test_batch_callback_microcost(benchmark):
+    """Per-batch absolute cost: one observation through the callback
+    (rate EMA + heartbeat + deadline check) is microseconds — invisible
+    next to any real transport batch."""
+    supervisor = Supervisor(
+        n_ranks=1, policy=SupervisionPolicy(batch_deadline_s=3600.0)
+    )
+    on_batch = supervisor.batch_callback()
+    counter = iter(range(10_000_000))
+
+    def observe():
+        on_batch(next(counter), 0.01, 1000)
+
+    benchmark(observe)
+    report = supervisor.report()
+    assert report["health"][0]["status"] == "healthy"
+    assert report["batches"] > 0
+    assert benchmark.stats["mean"] < 1e-3  # well under a millisecond
+    print(
+        f"\nbatch callback: {benchmark.stats['mean'] * 1e6:.2f} us/observation"
+    )
+
+
+def test_deadline_check_is_flat_over_many_batches(tiny_small):
+    """The supervisor's bookkeeping is O(1) per batch — a long run pays
+    the same per-batch cost as a short one."""
+    supervisor = Supervisor(
+        n_ranks=1, policy=SupervisionPolicy(batch_deadline_s=3600.0)
+    )
+    on_batch = supervisor.batch_callback()
+    for batch in range(5_000):
+        on_batch(batch, 0.01, 1000)
+    t0 = perf_counter()
+    for batch in range(5_000, 10_000):
+        on_batch(batch, 0.01, 1000)
+    second_half = perf_counter() - t0
+    per_batch = second_half / 5_000
+    print(f"\nsteady-state callback cost: {per_batch * 1e6:.2f} us/batch")
+    assert per_batch < 1e-4
+    assert supervisor.report()["batches"] == 10_000
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

@@ -23,9 +23,55 @@ Quickstart::
     result = Simulation(library, Settings(n_particles=500, pincell=True,
                                           mode="event")).run()
     print(result.k_effective)
+
+Every error the package raises derives from :class:`ReproError`, and the
+full typed hierarchy is importable from here:
+
+======================== =====================================================
+Error                    Raised when
+======================== =====================================================
+``ReproError``           (base class — catch-all for the package)
+``GeometryError``        a particle can't be located / model inconsistent
+``DataError``            nuclear-data construction or lookup failed
+``PhysicsError``         a physics routine received an unphysical state
+``MachineModelError``    the device/cost model was misconfigured
+``ExecutionError``       an execution model was misconfigured
+``ClusterError``         the simulated cluster was used incorrectly
+``CommunicationError``   a collective received malformed buffers
+``CheckpointError``      a checkpoint failed to write/read/validate
+``FaultInjectionError``  a fault plan was configured inconsistently
+``SupervisionError``     the supervision layer was misused
+``DeadlineExceededError`` an operation overran its deadline/budget
+``DegradedRunError``     eviction would drop below the policy's rank floor
+``ServeError``           the simulation service was misused
+``JobError``             a job spec/result was malformed
+``QueueFullError``       the job queue rejected a submission (backpressure)
+``WorkerCrashError``     a worker died with a job in flight
+``PoisonedJobError``     a job was quarantined by the circuit breaker
+======================== =====================================================
 """
 
 from .data import LibraryConfig, NuclideLibrary, UnionizedGrid, build_library
+from .errors import (
+    CheckpointError,
+    ClusterError,
+    CommunicationError,
+    DataError,
+    DeadlineExceededError,
+    DegradedRunError,
+    ExecutionError,
+    FaultInjectionError,
+    GeometryError,
+    JobError,
+    MachineModelError,
+    PhysicsError,
+    PoisonedJobError,
+    QueueFullError,
+    ReproError,
+    ServeError,
+    SupervisionError,
+    WorkerCrashError,
+)
 from .geometry import build_hm_geometry, build_pincell_geometry
 from .transport import Settings, Simulation, SimulationResult, TransportContext
 from .work import WorkCounters
@@ -44,5 +90,24 @@ __all__ = [
     "SimulationResult",
     "TransportContext",
     "WorkCounters",
+    # Typed error hierarchy (see the table in the module docstring).
+    "ReproError",
+    "GeometryError",
+    "DataError",
+    "PhysicsError",
+    "MachineModelError",
+    "ExecutionError",
+    "ClusterError",
+    "CommunicationError",
+    "CheckpointError",
+    "FaultInjectionError",
+    "SupervisionError",
+    "DeadlineExceededError",
+    "DegradedRunError",
+    "ServeError",
+    "JobError",
+    "QueueFullError",
+    "WorkerCrashError",
+    "PoisonedJobError",
     "__version__",
 ]

@@ -41,7 +41,12 @@ from pathlib import Path
 
 from .data import LibraryConfig, build_library
 from .data.io import load_library, save_library
-from .errors import CheckpointError, JobError, QueueFullError
+from .errors import (
+    CheckpointError,
+    DeadlineExceededError,
+    JobError,
+    QueueFullError,
+)
 from .resilience.checkpoint import DEFAULT_CADENCE, latest_checkpoint
 from .resilience.recovery import RetryPolicy
 from .transport import Settings, Simulation, available_backends
@@ -77,6 +82,13 @@ def _simulation_args() -> argparse.ArgumentParser:
                    help="strip S(alpha,beta) (paper's vectorized config)")
     p.add_argument("--no-urr", action="store_true",
                    help="strip URR probability tables")
+    p.add_argument("--supervise", action="store_true",
+                   help="attach an in-flight supervisor: per-batch health "
+                   "observations and a supervision report at the end")
+    p.add_argument("--batch-deadline-s", type=float, default=None,
+                   metavar="S", dest="batch_deadline_s",
+                   help="abort (typed, exit 1) if any single batch takes "
+                   "longer than S seconds (implies --supervise)")
     return p
 
 
@@ -149,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "queue drains)")
     sv.add_argument("--max-attempts", type=int, default=3,
                     help="attempts per job across worker crashes")
+    sv.add_argument("--drain-deadline-s", type=float, default=None,
+                    metavar="S", dest="drain_deadline_s",
+                    help="abort (typed, exit 1) if the drain is still "
+                    "running after S seconds")
     sv.add_argument("--json", action="store_true", dest="json_output",
                     help="emit all results + metrics as one JSON document")
 
@@ -232,7 +248,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     settings = _build_settings(args)
     sim = Simulation(library, settings)
 
+    supervisor = None
+    if getattr(args, "supervise", False) or (
+        getattr(args, "batch_deadline_s", None) is not None
+    ):
+        from .supervise import SupervisionPolicy, Supervisor
+
+        supervisor = Supervisor(
+            n_ranks=1,
+            policy=SupervisionPolicy(
+                batch_deadline_s=args.batch_deadline_s
+            ),
+        )
+
     try:
+        on_batch = (
+            supervisor.batch_callback() if supervisor is not None else None
+        )
         if args.command == "resume":
             ckpt = latest_checkpoint(args.checkpoint_dir)
             if ckpt is None:
@@ -241,13 +273,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 return 1
             if not quiet:
                 print(f"resuming from {ckpt}")
-            result = sim.run(resume_from=ckpt)
+            result = sim.run(resume_from=ckpt, on_batch=on_batch)
         else:
-            result = sim.run()
+            result = sim.run(on_batch=on_batch)
     except CheckpointError as exc:
         # Most commonly: resuming under different physics flags — the
         # settings fingerprint refuses rather than silently diverging.
         print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 1
+    except DeadlineExceededError as exc:
+        # A batch overran --batch-deadline-s: a typed abort, not a hang.
+        print(f"deadline exceeded: {exc}", file=sys.stderr)
         return 1
 
     if json_output:
@@ -280,6 +316,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"work: {c.lookups:,} lookups, {c.collisions:,} collisions, "
           f"{c.fissions:,} fissions, {c.urr_samples:,} URR samples, "
           f"{c.sab_samples:,} S(a,b) samples")
+    if supervisor is not None:
+        report = supervisor.report()
+        health = report["health"][0]
+        rate = health["rate"]
+        print(f"supervision: {report['batches']} batches observed, "
+              f"status {health['status']}"
+              + (f", smoothed rate {rate:,.0f} n/s" if rate else "")
+              + f", {report['retries']} retries, "
+              f"{len(report['evicted'])} evictions")
     if result.power is not None:
         norm = result.power.normalized_power()
         print(f"assembly power peaking factor = {norm.max():.2f} "
@@ -360,11 +405,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache,
         capacity=args.capacity,
         retry_policy=RetryPolicy(max_attempts=args.max_attempts),
+        drain_deadline_s=args.drain_deadline_s,
     )
     try:
         results = service.run(specs)
     except QueueFullError as exc:  # pragma: no cover - run() feeds politely
         print(f"queue rejected jobs: {exc}", file=sys.stderr)
+        return 1
+    except DeadlineExceededError as exc:
+        print(f"drain deadline exceeded: {exc}", file=sys.stderr)
         return 1
     finally:
         service.shutdown()

@@ -26,6 +26,7 @@ backoff, re-shipped source sites, and a shrunken communicator).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -81,12 +82,16 @@ class DistributedSimulation:
         fabric: FabricModel | None = None,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        supervisor=None,
     ) -> None:
         if n_ranks < 1:
             raise ClusterError("need at least one rank")
         self.settings = settings
         self.n_ranks = n_ranks
-        self.comm = SimulatedComm(n_ranks, fabric)
+        self.supervisor = supervisor
+        # A supervisor with a communication budget meters every collective.
+        budget = getattr(supervisor, "comm_budget", None)
+        self.comm = SimulatedComm(n_ranks, fabric, budget=budget)
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy or RetryPolicy()
         # One Simulation provides source sampling and a shared context
@@ -127,8 +132,11 @@ class DistributedSimulation:
         failed_ranks: list[int] = []
         recovery_time = 0.0
 
+        supervisor = self.supervisor
         id_offset = 0
         for batch_idx in range(s.n_inactive + s.n_active):
+            if supervisor is not None:
+                supervisor.begin_batch()
             k_norm = stats.running_k()
             slices = self._rank_slices(s.n_particles, len(alive))
             crashed = (
@@ -151,6 +159,7 @@ class DistributedSimulation:
                     dead_slice = sl
                     continue
                 tallies = ec.new_tallies()
+                t0 = perf_counter()
                 bank = ec.run_generation(
                     positions[sl],
                     energies[sl],
@@ -158,10 +167,21 @@ class DistributedSimulation:
                     k_norm=k_norm,
                     first_id=id_offset + sl.start,
                 )
+                if supervisor is not None:
+                    supervisor.observe_batch(
+                        rank, batch_idx, perf_counter() - t0,
+                        sl.stop - sl.start,
+                    )
                 units.append((sl.start, tallies, bank, rank))
 
             if crashed is not None:
                 survivors = [r for r in alive if r != crashed]
+                if supervisor is not None:
+                    # DegradedRunError at the policy floor, typed eviction
+                    # event otherwise.
+                    survivors = supervisor.evict(
+                        crashed, batch=batch_idx, reason="crash"
+                    )
                 if not survivors:
                     raise ClusterError(
                         f"rank {crashed} crashed and no survivors remain"
@@ -170,6 +190,8 @@ class DistributedSimulation:
                 # re-run the lost slice, keyed by the same global ids.
                 policy = self.retry_policy
                 recovery_time += policy.stall_timeout_s + policy.delay_s(1)
+                if supervisor is not None:
+                    supervisor.note_retry()
                 # Re-ship the dead slice's source sites (pos + energy).
                 n_lost = dead_slice.stop - dead_slice.start
                 recovery_time += self.comm.fabric.message_time(n_lost * 32.0)
@@ -223,6 +245,15 @@ class DistributedSimulation:
                 s.n_particles, self._driver._source_rng
             )
             self.comm.bcast(positions)
+
+            if supervisor is not None:
+                # Chronic stragglers leave the topology *between* batches
+                # (their current batch already merged — no work is lost).
+                evicted = supervisor.finish_batch(batch_idx)
+                if evicted:
+                    alive = [r for r in alive if r not in evicted]
+                    failed_ranks.extend(evicted)
+                    self.comm = self.comm.shrink(len(alive))
 
         return DistributedResult(
             statistics=stats,

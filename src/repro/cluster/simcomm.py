@@ -52,23 +52,43 @@ class SimulatedComm:
     paths run end-to-end) and return the modelled wall time alongside.
     """
 
-    def __init__(self, n_ranks: int, fabric: FabricModel | None = None) -> None:
+    def __init__(
+        self,
+        n_ranks: int,
+        fabric: FabricModel | None = None,
+        budget=None,
+    ) -> None:
         if n_ranks < 1:
             raise ClusterError("need at least one rank")
         self.n_ranks = n_ranks
         self.fabric = fabric or FabricModel()
         #: Accumulated modelled communication time [s].
         self.comm_time = 0.0
+        #: Optional :class:`repro.supervise.Budget`: every collective's
+        #: modelled time is charged against it, so a run whose
+        #: communication exceeds its allowance fails with a typed
+        #: :class:`~repro.errors.DeadlineExceededError` at the collective
+        #: that crossed the line.  Charging is deterministic — modelled
+        #: costs, not wall clock.
+        self.budget = budget
+
+    def _charge(self, seconds: float, what: str) -> float:
+        """Accrue modelled time (and spend the budget, when attached)."""
+        self.comm_time += seconds
+        if self.budget is not None:
+            self.budget.spend(seconds, what)
+        return seconds
 
     def shrink(self, n_survivors: int) -> "SimulatedComm":
         """A survivors-only communicator after rank failure (the ULFM
         ``MPI_Comm_shrink`` analogue).  Accumulated communication time
-        carries over so a recovered run reports one contiguous total."""
+        (and any attached budget) carries over so a recovered run reports
+        one contiguous total."""
         if not 1 <= n_survivors <= self.n_ranks:
             raise CommunicationError(
                 f"cannot shrink {self.n_ranks} ranks to {n_survivors}"
             )
-        out = SimulatedComm(n_survivors, self.fabric)
+        out = SimulatedComm(n_survivors, self.fabric, budget=self.budget)
         out.comm_time = self.comm_time
         return out
 
@@ -112,7 +132,7 @@ class SimulatedComm:
         t = 2.0 * self.fabric.tree_collective_time(
             self.n_ranks, result.nbytes
         )
-        self.comm_time += t
+        self._charge(t, "allreduce_sum")
         return result, t
 
     def reduce_sum(self, per_rank: list[np.ndarray]) -> tuple[np.ndarray, float]:
@@ -120,14 +140,14 @@ class SimulatedComm:
         arrays = self._check(per_rank)
         result = np.sum(arrays, axis=0)
         t = self.fabric.tree_collective_time(self.n_ranks, result.nbytes)
-        self.comm_time += t
+        self._charge(t, "reduce_sum")
         return result, t
 
     def bcast(self, value: np.ndarray) -> tuple[np.ndarray, float]:
         """Broadcast from the root."""
         value = np.asarray(value, dtype=np.float64)
         t = self.fabric.tree_collective_time(self.n_ranks, value.nbytes)
-        self.comm_time += t
+        self._charge(t, "bcast")
         return value, t
 
     def exchange_bank(
@@ -150,5 +170,5 @@ class SimulatedComm:
         mean = sum(site_counts) / self.n_ranks
         moved = sum(max(0.0, c - mean) for c in site_counts)
         t = self.fabric.message_time(moved * site_bytes)
-        self.comm_time += t
+        self._charge(t, "exchange_bank")
         return t

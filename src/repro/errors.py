@@ -43,6 +43,38 @@ class FaultInjectionError(ReproError):
     """A fault-injection plan was configured or queried inconsistently."""
 
 
+class SupervisionError(ReproError):
+    """The supervision layer was misconfigured or misused (bad policy
+    thresholds, evicting an unknown rank, negative budget spend)."""
+
+
+class DeadlineExceededError(SupervisionError):
+    """An operation overran its deadline or exhausted its time budget.
+
+    Raised by :class:`repro.supervise.Deadline`/:class:`~repro.supervise.
+    Budget` and by the layers they wrap: simulated-fabric collectives, PCIe
+    bank shipments aborted at the retry policy's stall timeout, and the
+    serve drain loop.  ``deadline_s`` is the allowance that was exceeded and
+    ``elapsed_s`` the time actually consumed (when known).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        deadline_s: float | None = None,
+        elapsed_s: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s
+
+
+class DegradedRunError(SupervisionError):
+    """Graceful degradation hit its floor: evicting one more rank would
+    leave fewer survivors than the supervision policy's ``min_ranks``."""
+
+
 class ServeError(ReproError):
     """The simulation service was configured or used incorrectly."""
 
@@ -66,3 +98,19 @@ class QueueFullError(ServeError):
 
 class WorkerCrashError(ServeError):
     """A worker process died while a job was in flight."""
+
+
+class PoisonedJobError(ServeError):
+    """A job crashed its worker on every attempt and has been quarantined.
+
+    The circuit breaker trips after ``crashes`` consecutive worker deaths
+    with this job in flight; the pool stops respawning workers *for this
+    job* (the pool itself stays healthy) and the service records the
+    quarantine as a typed failure in the :class:`~repro.serve.jobs.
+    JobResult`.
+    """
+
+    def __init__(self, message: str, *, job_id: str = "", crashes: int = 0) -> None:
+        super().__init__(message)
+        self.job_id = job_id
+        self.crashes = int(crashes)

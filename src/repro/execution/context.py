@@ -62,6 +62,10 @@ class ExecutionContext:
     retry_policy: RetryPolicy | None = None
     #: When present, every generation records per-dispatch stage counts.
     stats: TransportStats | None = None
+    #: In-flight watchdog (:class:`repro.supervise.Supervisor`).  Schedulers
+    #: feed it per-rank batch observations and honour its evictions; ``None``
+    #: means unsupervised (the historical behaviour, zero overhead).
+    supervisor: object | None = None
 
     @classmethod
     def create(
@@ -75,6 +79,7 @@ class ExecutionContext:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         record_stats: bool = False,
+        supervisor: object | None = None,
         **transport_kwargs,
     ) -> "ExecutionContext":
         """Build a context from a library (or an existing transport context)
@@ -107,6 +112,7 @@ class ExecutionContext:
             fault_plan=fault_plan,
             retry_policy=retry_policy,
             stats=TransportStats() if record_stats else None,
+            supervisor=supervisor,
         )
 
     # -- Transport ---------------------------------------------------------------

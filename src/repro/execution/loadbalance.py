@@ -78,6 +78,12 @@ class AdaptiveAlphaController:
     smoothing: float = 0.5
     alpha: float | None = None
     history: list[float] = field(default_factory=list)
+    #: A measured ratio this far from the smoothed alpha (either direction)
+    #: is a *regime change* — a device throttled, was evicted-and-replaced,
+    #: or lost a co-tenant — not batch noise.  The EMA would take
+    #: ~log2(shift)/smoothing batches to catch up; snapping to the measured
+    #: ratio re-converges the split within two batches instead.
+    shift_factor: float = 2.0
 
     def split(self, n_total: int) -> tuple[int, int]:
         """Current per-rank assignment (equal until a measurement lands)."""
@@ -92,6 +98,15 @@ class AdaptiveAlphaController:
             raise ExecutionError("rates must be positive")
         measured = cpu_rate / mic_rate
         if self.alpha is None:
+            self.alpha = measured
+        elif (
+            self.shift_factor > 1.0
+            and not (
+                self.alpha / self.shift_factor
+                <= measured
+                <= self.alpha * self.shift_factor
+            )
+        ):
             self.alpha = measured
         else:
             self.alpha = (

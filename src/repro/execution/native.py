@@ -100,11 +100,31 @@ class NativeScheduler:
         power=None,
         spectrum=None,
     ):
-        """Transport one generation on the single device."""
-        return ec.run_generation(
+        """Transport one generation on the single device.
+
+        With a supervisor on the context, the generation is observed as
+        rank 0 (there is only the one device) and checked against the
+        policy's batch deadline — native mode has nothing to degrade *to*,
+        so supervision here is monitoring plus a typed abort."""
+        supervisor = getattr(ec, "supervisor", None)
+        if supervisor is None:
+            return ec.run_generation(
+                positions, energies, tallies, k_norm, first_id,
+                power=power, spectrum=spectrum,
+            )
+        from time import perf_counter
+
+        batch = supervisor.begin_batch()
+        t0 = perf_counter()
+        bank = ec.run_generation(
             positions, energies, tallies, k_norm, first_id,
             power=power, spectrum=spectrum,
         )
+        seconds = perf_counter() - t0
+        supervisor.observe_batch(0, batch, seconds, positions.shape[0])
+        supervisor.enforce_deadline(seconds, what=f"native batch {batch}")
+        supervisor.finish_batch(batch)
+        return bank
 
     def modelled_batch_time(
         self, n_particles: int, active: bool = False

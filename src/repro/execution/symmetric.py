@@ -12,13 +12,15 @@ of the cluster-scaling experiments (Figs. 6-7).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 from ..errors import ExecutionError
 from ..machine.kernels import TransportCostModel, WorkPerParticle
 from ..machine.memory import library_nuclides
 from ..machine.spec import DeviceSpec
-from .loadbalance import alpha_split, equal_split
+from ..resilience.recovery import redistribute_slice
+from .loadbalance import AdaptiveAlphaController, alpha_split, equal_split
 
 if TYPE_CHECKING:
     from .context import ExecutionContext
@@ -137,6 +139,10 @@ class SymmetricScheduler:
     node: SymmetricNode | None = None
     #: Rank count when no :class:`SymmetricNode` cost model is attached.
     n_ranks: int = 2
+    #: When supervised and exactly two ranks survive, the split follows the
+    #: controller's measured alpha instead of the equal split, so the load
+    #: balance re-converges after an eviction or a mid-run rate shift.
+    alpha_controller: AdaptiveAlphaController | None = None
 
     @property
     def ranks(self) -> int:
@@ -154,9 +160,20 @@ class SymmetricScheduler:
         spectrum=None,
     ):
         """Transport one generation split across the node's ranks; merge
-        per-rank tallies (in rank order) and banks into the caller's."""
+        per-rank tallies (in rank order) and banks into the caller's.
+
+        With a supervisor on the context, the split covers only the alive
+        ranks, an injected rank crash triggers in-batch eviction and slice
+        redistribution, and chronic stragglers are evicted between batches
+        (see :meth:`_run_supervised`).
+        """
         if self.ranks < 1:
             raise ExecutionError("symmetric scheduler needs >= 1 rank")
+        if getattr(ec, "supervisor", None) is not None:
+            return self._run_supervised(
+                ec, positions, energies, tallies, k_norm, first_id,
+                power, spectrum,
+            )
         n = positions.shape[0]
         merged_bank = ec.new_bank()
         parts = []
@@ -176,6 +193,99 @@ class SymmetricScheduler:
             merged_bank.absorb(bank)
         ec.merge_tallies(tallies, parts)
         return merged_bank
+
+    # -- Supervised path ---------------------------------------------------------
+
+    def _alive_split(self, n: int, alive: list[int]) -> list[int]:
+        """Particle counts per alive rank, in ``alive`` order."""
+        if self.alpha_controller is not None and len(alive) == 2:
+            n_mic, n_cpu = self.alpha_controller.split(n)
+            return [n_mic, n_cpu]
+        return equal_split(n, len(alive))
+
+    def _run_supervised(
+        self, ec, positions, energies, tallies, k_norm, first_id,
+        power, spectrum,
+    ):
+        """One supervised generation: split over the alive ranks, evict an
+        injected crash victim mid-batch and redistribute its global-id
+        slice over the survivors, observe per-rank rates, and evict
+        chronic stragglers for subsequent batches.
+
+        Every slice keeps its *global* first id, so the histories run are
+        exactly the fault-free run's histories regardless of which rank
+        transports them: banks and work counters stay bit-identical to a
+        fault-free run of the surviving topology.  Sub-slices are sorted
+        by global start before the merge so a given run's reduction order
+        is itself deterministic.
+        """
+        sup = ec.supervisor
+        batch = sup.begin_batch()
+        alive = sup.alive
+        n = positions.shape[0]
+        assignments: list[tuple[int, slice]] = []
+        start = 0
+        for rank, count in zip(alive, self._alive_split(n, alive)):
+            assignments.append((rank, slice(start, start + count)))
+            start += count
+        victim = (
+            ec.fault_plan.crashed_rank(batch)
+            if ec.fault_plan is not None
+            else None
+        )
+        if victim is not None and victim in alive:
+            survivors = sup.evict(victim, batch=batch, reason="crash")
+            dead = [sl for r, sl in assignments if r == victim]
+            assignments = [(r, sl) for r, sl in assignments if r != victim]
+            for dead_slice in dead:
+                assignments.extend(redistribute_slice(dead_slice, survivors))
+        assignments.sort(key=lambda pair: pair[1].start)
+
+        merged_bank = ec.new_bank()
+        parts = []
+        per_rank: dict[int, list] = {}
+        batch_t0 = perf_counter()
+        for rank, sl in assignments:
+            count = sl.stop - sl.start
+            if count == 0:
+                continue
+            rank_tallies = ec.new_tallies()
+            t0 = perf_counter()
+            bank = ec.run_generation(
+                positions[sl], energies[sl], rank_tallies,
+                k_norm, first_id + sl.start,
+                power=power, spectrum=spectrum,
+            )
+            seconds = perf_counter() - t0
+            parts.append(rank_tallies)
+            merged_bank.absorb(bank)
+            acc = per_rank.setdefault(rank, [0.0, 0])
+            acc[0] += seconds
+            acc[1] += count
+        for rank in sorted(per_rank):
+            seconds, count = per_rank[rank]
+            sup.observe_batch(rank, batch, seconds, count)
+        self._refit_alpha(sup.alive, per_rank)
+        sup.enforce_deadline(
+            perf_counter() - batch_t0, what=f"symmetric batch {batch}"
+        )
+        sup.finish_batch(batch)
+        ec.merge_tallies(tallies, parts)
+        return merged_bank
+
+    def _refit_alpha(self, alive: list[int], per_rank: dict) -> None:
+        """Feed measured per-rank rates into the alpha controller (two
+        surviving ranks only — alpha is a MIC/CPU pair ratio)."""
+        if self.alpha_controller is None or len(alive) != 2:
+            return
+        mic, cpu = alive
+        if mic not in per_rank or cpu not in per_rank:
+            return
+        mic_s, mic_n = per_rank[mic]
+        cpu_s, cpu_n = per_rank[cpu]
+        if mic_s <= 0 or cpu_s <= 0 or mic_n == 0 or cpu_n == 0:
+            return
+        self.alpha_controller.observe(cpu_n / cpu_s, mic_n / mic_s)
 
     def modelled_batch_time(
         self,

@@ -37,6 +37,7 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    Info,
     MetricsRegistry,
 )
 from .pool import PoolEvent, WorkerPool
@@ -61,6 +62,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Info",
     "MetricsRegistry",
     "PoolEvent",
     "WorkerPool",

@@ -143,7 +143,7 @@ class JobResult:
     """
 
     job_id: str
-    status: str = "done"  # done | failed | expired
+    status: str = "done"  # done | failed | expired | poisoned
     mode: str = ""
     n_particles: int = 0
     n_batches: int = 0

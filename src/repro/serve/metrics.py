@@ -23,7 +23,7 @@ from bisect import bisect_left
 from ..errors import ServeError
 from ..profiling.timers import Profile
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+__all__ = ["Counter", "Gauge", "Histogram", "Info", "MetricsRegistry",
            "DEFAULT_LATENCY_BUCKETS"]
 
 #: Upper bounds (seconds) spanning IPC dispatch (~ms) to multi-minute jobs.
@@ -131,6 +131,40 @@ class Histogram:
         }
 
 
+class Info:
+    """Structured non-numeric state (Prometheus info-metric style).
+
+    Carries a JSON-serializable document — the circuit breaker's per-job
+    quarantine state, build metadata — that counters and gauges cannot
+    express.  ``set`` replaces the whole document atomically; scrapers get
+    a deep copy so registry state cannot be mutated from outside."""
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self._value: dict = {}
+
+    def set(self, value: dict) -> None:
+        try:
+            encoded = json.dumps(value)
+        except (TypeError, ValueError) as exc:
+            raise ServeError(
+                f"info {self.name}: value is not JSON-serializable: {exc}"
+            ) from exc
+        with self._lock:
+            self._value = json.loads(encoded)
+
+    @property
+    def value(self) -> dict:
+        # ``set`` replaces the document reference atomically, so a lockless
+        # read is safe — and the registry's ``as_dict`` calls this while
+        # already holding the shared (non-reentrant) lock.
+        return json.loads(json.dumps(self._value))
+
+    def as_dict(self) -> dict:
+        return {"type": "info", "value": self.value}
+
+
 class MetricsRegistry:
     """Named metrics with get-or-create semantics and JSON export."""
 
@@ -163,6 +197,9 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get_or_create(name, Histogram, buckets)
 
+    def info(self, name: str) -> Info:
+        return self._get_or_create(name, Info)
+
     def __contains__(self, name: str) -> bool:
         with self._lock:
             return name in self._metrics
@@ -191,6 +228,8 @@ class MetricsRegistry:
                     registry.counter(name).value = int(m["value"])
                 elif m["type"] == "gauge":
                     registry.gauge(name).set(m["value"])
+                elif m["type"] == "info":
+                    registry.info(name).set(m["value"])
                 elif m["type"] == "histogram":
                     bounds = tuple(
                         float(b) for b in m["buckets"] if b != "+Inf"

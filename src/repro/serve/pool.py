@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from time import perf_counter
 
 from ..errors import ServeError
+from ..supervise.circuit import CircuitBreaker
 from .cache import CacheOutcome, LibraryCache
 from .jobs import JobResult, JobSpec
 from .queue import QueuedJob
@@ -127,9 +128,11 @@ class PoolEvent:
     """One observable worker transition, consumed by the service loop.
 
     ``kind`` is one of ``done`` (payload: :class:`JobResult`), ``error``
-    (payload: message string; job carries the failed dispatch), or
-    ``crash`` (payload: ``None``; job is the in-flight dispatch to requeue,
-    or ``None`` if the worker died idle).
+    (payload: message string; job carries the failed dispatch), ``crash``
+    (payload: ``None``; job is the in-flight dispatch to requeue, or
+    ``None`` if the worker died idle), or ``poisoned`` (the crashed job's
+    circuit tripped — quarantine it instead of requeueing; ``message``
+    carries the crash streak).
     """
 
     kind: str
@@ -168,12 +171,21 @@ class WorkerPool:
         cache_dir: str | None = None,
         start_method: str | None = None,
         heartbeat_s: float = _HEARTBEAT_S,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if n_workers < 1:
             raise ServeError("WorkerPool needs n_workers >= 1")
         self.n_workers = n_workers
         self.cache_dir = cache_dir
         self.heartbeat_s = heartbeat_s
+        #: Consecutive worker-death counter per job id: a job that keeps
+        #: killing its worker is *poison*, not unlucky, and respawn-and-
+        #: requeue would loop on it forever.  With a retry budget narrower
+        #: than the threshold (3), budget exhaustion fires first and the
+        #: job fails as a plain crash casualty; the breaker bounds the
+        #: case where the budget is wide enough to keep feeding the
+        #: poison back to fresh workers.
+        self.breaker = breaker or CircuitBreaker()
         self._ctx = _resolve_context(start_method)
         self._result_q: "mp.Queue" = self._ctx.Queue()
         self._workers: dict[int, _WorkerHandle] = {
@@ -304,6 +316,7 @@ class WorkerPool:
             _, _, job_id, result_dict = msg
             job = self._finish(handle, job_id)
             result = JobResult.from_dict(result_dict)
+            self.breaker.record_success(job_id)
             return PoolEvent(
                 "done",
                 worker_id,
@@ -340,7 +353,26 @@ class WorkerPool:
             if proc is None or proc.is_alive() or handle.state == "stopped":
                 continue
             lost = handle.current
-            events.append(PoolEvent("crash", handle.worker_id, job=lost))
+            if lost is None:
+                events.append(PoolEvent("crash", handle.worker_id))
+            else:
+                streak = self.breaker.record_failure(lost.spec.job_id)
+                if self.breaker.is_open(lost.spec.job_id):
+                    events.append(
+                        PoolEvent(
+                            "poisoned",
+                            handle.worker_id,
+                            job=lost,
+                            message=(
+                                f"worker died {streak} consecutive times "
+                                f"with this job in flight"
+                            ),
+                        )
+                    )
+                else:
+                    events.append(
+                        PoolEvent("crash", handle.worker_id, job=lost)
+                    )
             self._spawn(handle)
         return events
 

@@ -27,8 +27,14 @@ import time
 from collections import deque
 from pathlib import Path
 
-from ..errors import JobError, QueueFullError, ServeError
+from ..errors import (
+    JobError,
+    PoisonedJobError,
+    QueueFullError,
+    ServeError,
+)
 from ..resilience.recovery import RetryPolicy
+from ..supervise.deadline import Deadline
 from .batching import Batcher
 from .jobs import JobResult, JobSpec
 from .metrics import MetricsRegistry
@@ -59,6 +65,7 @@ class SimulationService:
         retry_policy: RetryPolicy | None = None,
         metrics: MetricsRegistry | None = None,
         start_method: str | None = None,
+        drain_deadline_s: float | None = None,
     ) -> None:
         self.queue = JobQueue(capacity)
         self.batcher = Batcher()
@@ -67,6 +74,11 @@ class SimulationService:
         )
         self.metrics = metrics or MetricsRegistry("serve")
         self.retry_policy = retry_policy or RetryPolicy()
+        #: Wall-clock bound on one :meth:`run` drain; ``None`` = unbounded.
+        #: Overrun raises a typed :class:`~repro.errors.
+        #: DeadlineExceededError` instead of hanging a caller forever on a
+        #: wedged pool.
+        self.drain_deadline_s = drain_deadline_s
         self.results: dict[str, JobResult] = {}
         self._order: list[str] = []
         self._wait_s: dict[str, float] = {}
@@ -76,14 +88,15 @@ class SimulationService:
         # a complete (zeroed) metrics document.
         for name in (
             "jobs_submitted", "jobs_completed", "jobs_failed",
-            "jobs_expired", "jobs_requeued", "worker_crashes",
-            "queue_rejections", "library_builds", "library_disk_hits",
-            "library_memory_hits",
+            "jobs_expired", "jobs_requeued", "jobs_poisoned",
+            "worker_crashes", "queue_rejections", "library_builds",
+            "library_disk_hits", "library_memory_hits",
         ):
             self.metrics.counter(name)
         for name in ("queue_depth", "in_flight", "workers_alive",
-                     "cache_hit_rate"):
+                     "cache_hit_rate", "circuits_open"):
             self.metrics.gauge(name)
+        self.metrics.info("circuit_breaker").set(self.pool.breaker.as_dict())
         for name in ("queue_wait_seconds", "service_seconds",
                      "build_seconds", "dispatch_overhead_seconds"):
             self.metrics.histogram(name)
@@ -135,6 +148,11 @@ class SimulationService:
         exactly once, as done, failed, or expired.
         """
         backlog = deque(specs or [])
+        deadline = (
+            Deadline(self.drain_deadline_s, label="serve drain")
+            if self.drain_deadline_s is not None
+            else None
+        )
         self.start()
         while (
             backlog
@@ -142,6 +160,11 @@ class SimulationService:
             or len(self.batcher)
             or self.pool.in_flight()
         ):
+            if deadline is not None:
+                deadline.check(
+                    f"draining {len(self.queue)} queued / "
+                    f"{self.pool.in_flight()} in-flight job(s)"
+                )
             while backlog:
                 try:
                     self.submit(backlog[0])
@@ -253,6 +276,30 @@ class SimulationService:
             )
             self.batcher.note_done(event.worker_id, event.service_seconds)
             self.metrics.counter("jobs_failed").inc()
+        elif event.kind == "poisoned":
+            # The job's circuit tripped: quarantine it as a typed failure
+            # and move on — the pool already respawned the worker, and no
+            # further attempts will be dispatched for this spec.
+            self.metrics.counter("worker_crashes").inc()
+            self.batcher.forget_worker_library(event.worker_id)
+            job = event.job
+            self.batcher.note_done(event.worker_id)
+            error = PoisonedJobError(
+                f"job {job.spec.job_id} quarantined: {event.message}",
+                job_id=job.spec.job_id,
+                crashes=self.pool.breaker.failures(job.spec.job_id),
+            )
+            self._record(
+                JobResult.failure(
+                    job.spec,
+                    f"{type(error).__name__}: {error}",
+                    status="poisoned",
+                    worker_id=event.worker_id,
+                    attempts=job.attempt,
+                )
+            )
+            self.metrics.counter("jobs_poisoned").inc()
+            self._export_breaker()
         elif event.kind == "crash":
             self.metrics.counter("worker_crashes").inc()
             self.batcher.forget_worker_library(event.worker_id)
@@ -286,6 +333,12 @@ class SimulationService:
                 f"work in the dispatch path"
             )
         self.results[result.job_id] = result
+
+    def _export_breaker(self) -> None:
+        """Mirror circuit-breaker state into the metrics registry."""
+        state = self.pool.breaker.as_dict()
+        self.metrics.gauge("circuits_open").set(len(state["open"]))
+        self.metrics.info("circuit_breaker").set(state)
 
     def _update_cache_hit_rate(self) -> None:
         builds = self.metrics.counter("library_builds").value

@@ -1,0 +1,24 @@
+"""In-flight supervision: health monitoring, deadlines, degradation.
+
+Layering: this package sits *beside* the execution and serve layers, not
+above them — it imports only :mod:`repro.errors` (pure bookkeeping), and
+the layers being supervised call into it.  ``tools/check_layering.py``
+enforces that no transport/execution/serve/cluster module is imported
+from here.
+"""
+
+from .circuit import CircuitBreaker
+from .deadline import Budget, Deadline
+from .health import HealthMonitor, RankStatus
+from .supervisor import SupervisionEvent, SupervisionPolicy, Supervisor
+
+__all__ = [
+    "Budget",
+    "CircuitBreaker",
+    "Deadline",
+    "HealthMonitor",
+    "RankStatus",
+    "SupervisionEvent",
+    "SupervisionPolicy",
+    "Supervisor",
+]

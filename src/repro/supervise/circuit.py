@@ -1,0 +1,89 @@
+"""A consecutive-failure circuit breaker keyed by arbitrary ids.
+
+The serve pool's crash-recovery loop (respawn the worker, requeue the job)
+is the right response to a *flaky* failure and exactly the wrong response
+to a *poison* one: a job that deterministically kills its worker would be
+respawned forever, burning a worker slot per attempt.  The breaker bounds
+that loop with the standard circuit pattern: ``threshold`` consecutive
+failures on one key trips the key's circuit **open**; a success while
+still closed resets the streak.  The same shape serves rank supervision —
+a rank that straggles N consecutive batches trips its circuit and is
+evicted.
+
+The breaker is bookkeeping only (no clock, no half-open probation): state
+is a pure function of the record_* call sequence, so a replayed run trips
+identically.  Thread-safe: the serve service mutates it from its loop
+while scrapers export it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import SupervisionError
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Per-key consecutive-failure counter with an open/closed circuit."""
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 1:
+            raise SupervisionError(
+                f"CircuitBreaker needs threshold >= 1, got {threshold}"
+            )
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        self._failures: dict[str, int] = {}
+        self._open: set[str] = set()
+
+    def record_failure(self, key: str) -> int:
+        """Count one failure; returns the key's consecutive-failure streak.
+
+        The circuit for ``key`` trips open when the streak reaches the
+        threshold (and stays open — a poisoned key does not heal).
+        """
+        with self._lock:
+            count = self._failures.get(key, 0) + 1
+            self._failures[key] = count
+            if count >= self.threshold:
+                self._open.add(key)
+            return count
+
+    def record_success(self, key: str) -> None:
+        """A success on a still-closed circuit resets the streak."""
+        with self._lock:
+            if key not in self._open:
+                self._failures.pop(key, None)
+
+    def is_open(self, key: str) -> bool:
+        with self._lock:
+            return key in self._open
+
+    def allow(self, key: str) -> bool:
+        """Whether work keyed by ``key`` may still be dispatched."""
+        return not self.is_open(key)
+
+    def failures(self, key: str) -> int:
+        with self._lock:
+            return self._failures.get(key, 0)
+
+    def open_keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._open)
+
+    def as_dict(self) -> dict:
+        """Exportable state: threshold plus every tracked key's circuit."""
+        with self._lock:
+            return {
+                "threshold": self.threshold,
+                "open": sorted(self._open),
+                "keys": {
+                    key: {
+                        "consecutive_failures": count,
+                        "state": "open" if key in self._open else "closed",
+                    }
+                    for key, count in sorted(self._failures.items())
+                },
+            }

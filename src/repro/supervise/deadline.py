@@ -1,0 +1,113 @@
+"""Deadline and budget primitives: typed, clock-agnostic time bounds.
+
+Two shapes cover every supervised operation in the system:
+
+* :class:`Deadline` — a fixed allowance measured against a *clock* (wall
+  clock by default, an injectable callable in tests and modelled-time
+  callers).  ``check()`` raises :class:`~repro.errors.DeadlineExceededError`
+  once the allowance is spent; ``remaining()`` feeds poll timeouts so a
+  loop converges on its bound instead of overshooting it.
+* :class:`Budget` — a consumable allowance of *charged* seconds with no
+  clock at all.  Callers ``spend()`` modelled costs explicitly (a fabric
+  collective's tree time, a PCIe shipment), which keeps enforcement
+  bit-deterministic: the same run charges the same costs in the same order
+  on any machine.
+
+Both raise typed errors carrying the allowance and the overrun, so a
+caller can distinguish "the batch barrier hung" from a physics failure and
+route it into retry / eviction instead of aborting the run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import DeadlineExceededError, SupervisionError
+
+__all__ = ["Budget", "Deadline"]
+
+
+class Deadline:
+    """A fixed time allowance measured against an injectable clock."""
+
+    def __init__(
+        self,
+        seconds: float,
+        *,
+        label: str = "operation",
+        clock=time.monotonic,
+    ) -> None:
+        if seconds < 0:
+            raise SupervisionError(
+                f"deadline for {label!r} must be >= 0, got {seconds}"
+            )
+        self.seconds = float(seconds)
+        self.label = label
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left (clamped at zero) — the natural poll timeout."""
+        return max(0.0, self.seconds - self.elapsed())
+
+    def expired(self) -> bool:
+        return self.elapsed() > self.seconds
+
+    def check(self, what: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the allowance is spent."""
+        elapsed = self.elapsed()
+        if elapsed > self.seconds:
+            detail = f" while {what}" if what else ""
+            raise DeadlineExceededError(
+                f"{self.label} exceeded its {self.seconds:g}s deadline"
+                f"{detail} ({elapsed:.3f}s elapsed)",
+                deadline_s=self.seconds,
+                elapsed_s=elapsed,
+            )
+
+
+class Budget:
+    """A consumable allowance of explicitly charged (modelled) seconds.
+
+    There is no clock: callers charge costs with :meth:`spend`, so a
+    deterministic run enforces the same bound identically on every
+    machine.  The charge that crosses the line is *included* in
+    ``spent`` — the error reports exactly how far over the run went.
+    """
+
+    def __init__(self, total_s: float, *, label: str = "budget") -> None:
+        if total_s < 0:
+            raise SupervisionError(
+                f"budget {label!r} must be >= 0, got {total_s}"
+            )
+        self.total_s = float(total_s)
+        self.label = label
+        self.spent = 0.0
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.total_s - self.spent)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spent > self.total_s
+
+    def spend(self, seconds: float, what: str = "") -> float:
+        """Charge ``seconds``; raise once the total allowance is crossed."""
+        if seconds < 0:
+            raise SupervisionError(
+                f"budget {self.label!r}: negative charge {seconds}"
+            )
+        self.spent += float(seconds)
+        if self.spent > self.total_s:
+            detail = f" on {what}" if what else ""
+            raise DeadlineExceededError(
+                f"{self.label} exhausted its {self.total_s:g}s allowance"
+                f"{detail} ({self.spent:.6g}s charged)",
+                deadline_s=self.total_s,
+                elapsed_s=self.spent,
+            )
+        return self.spent

@@ -1,0 +1,196 @@
+"""Per-rank health tracking: batch rates, heartbeats, and classification.
+
+The monitor ingests two observation streams and nothing else:
+
+* :meth:`HealthMonitor.record` — one entry per (rank, batch) with the
+  rank's wall/modelled seconds and particle count, folded into an
+  exponentially smoothed calculation rate (the paper observes the rate
+  "varies little between batches", so the EMA settles fast);
+* :meth:`HealthMonitor.heartbeat` — a liveness timestamp on an explicit
+  caller-supplied clock.
+
+Classification is a **pure function of the observations**: a rank is a
+``STRAGGLER`` when the fastest rank's smoothed rate exceeds its own by
+more than ``straggler_factor``, and ``DEAD`` when it was explicitly marked
+(eviction, injected crash) or its heartbeat is older than
+``heartbeat_timeout_s`` at the queried ``now``.  No hidden wall-clock
+reads — the same observation sequence classifies identically on any
+machine, which is what lets supervision tests (and degraded-run replays)
+be deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from ..errors import SupervisionError
+
+__all__ = ["HealthMonitor", "RankStatus"]
+
+
+class RankStatus(enum.Enum):
+    """The three states a supervised rank can be in."""
+
+    HEALTHY = "healthy"
+    STRAGGLER = "straggler"
+    DEAD = "dead"
+
+
+class _RankState:
+    __slots__ = ("rate", "batches", "last_batch", "last_seen",
+                 "consecutive_straggles", "dead")
+
+    def __init__(self) -> None:
+        self.rate: float | None = None
+        self.batches = 0
+        self.last_batch = -1
+        self.last_seen: float | None = None
+        self.consecutive_straggles = 0
+        self.dead = False
+
+
+class HealthMonitor:
+    """Tracks per-rank batch rates and heartbeats; classifies each rank."""
+
+    def __init__(
+        self,
+        ranks: int | Iterable[int],
+        *,
+        straggler_factor: float = 4.0,
+        heartbeat_timeout_s: float | None = None,
+        smoothing: float = 0.5,
+    ) -> None:
+        rank_ids = (
+            list(range(ranks)) if isinstance(ranks, int) else list(ranks)
+        )
+        if not rank_ids:
+            raise SupervisionError("HealthMonitor needs at least one rank")
+        if straggler_factor <= 1.0:
+            raise SupervisionError(
+                f"straggler_factor must be > 1, got {straggler_factor}"
+            )
+        if not 0.0 < smoothing <= 1.0:
+            raise SupervisionError(
+                f"smoothing must be in (0, 1], got {smoothing}"
+            )
+        self.straggler_factor = straggler_factor
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.smoothing = smoothing
+        self._ranks: dict[int, _RankState] = {
+            r: _RankState() for r in rank_ids
+        }
+
+    def _state(self, rank: int) -> _RankState:
+        try:
+            return self._ranks[rank]
+        except KeyError:
+            raise SupervisionError(f"unknown rank {rank}") from None
+
+    # -- Observations -------------------------------------------------------------
+
+    def record(
+        self, rank: int, batch: int, seconds: float, n_particles: int
+    ) -> float:
+        """Fold one batch observation into the rank's smoothed rate."""
+        state = self._state(rank)
+        if seconds < 0 or n_particles < 0:
+            raise SupervisionError(
+                f"rank {rank}: negative batch observation "
+                f"({seconds=}, {n_particles=})"
+            )
+        rate = n_particles / seconds if seconds > 0 else float("inf")
+        if state.rate is None:
+            state.rate = rate
+        else:
+            state.rate = (
+                self.smoothing * rate + (1.0 - self.smoothing) * state.rate
+            )
+        state.batches += 1
+        state.last_batch = max(state.last_batch, batch)
+        return state.rate
+
+    def heartbeat(self, rank: int, now: float) -> None:
+        """Record a liveness signal at caller-clock time ``now``."""
+        self._state(rank).last_seen = now
+
+    def mark_dead(self, rank: int) -> None:
+        """Declare a rank dead (eviction, injected crash)."""
+        self._state(rank).dead = True
+
+    # -- Classification -----------------------------------------------------------
+
+    def rate(self, rank: int) -> float | None:
+        """The rank's smoothed calculation rate (None before any batch)."""
+        return self._state(rank).rate
+
+    def _best_rate(self) -> float | None:
+        rates = [
+            s.rate
+            for s in self._ranks.values()
+            if not s.dead and s.rate is not None
+        ]
+        return max(rates) if rates else None
+
+    def classify(self, rank: int, now: float | None = None) -> RankStatus:
+        """Deterministic status from the recorded observations alone."""
+        state = self._state(rank)
+        if state.dead:
+            return RankStatus.DEAD
+        if (
+            self.heartbeat_timeout_s is not None
+            and now is not None
+            and state.last_seen is not None
+            and now - state.last_seen > self.heartbeat_timeout_s
+        ):
+            return RankStatus.DEAD
+        best = self._best_rate()
+        if (
+            best is not None
+            and state.rate is not None
+            and state.rate * self.straggler_factor < best
+        ):
+            return RankStatus.STRAGGLER
+        return RankStatus.HEALTHY
+
+    def statuses(self, now: float | None = None) -> dict[int, RankStatus]:
+        return {r: self.classify(r, now) for r in sorted(self._ranks)}
+
+    def update_straggles(self, now: float | None = None) -> dict[int, int]:
+        """Advance per-rank consecutive-straggler counters by one batch.
+
+        Call once per completed batch, after every rank's observation has
+        been recorded; returns the updated counters.  A batch spent
+        straggling increments the counter, a healthy batch resets it —
+        chronic straggling (``evict_after`` consecutive batches) is the
+        supervisor's eviction trigger.
+        """
+        counts: dict[int, int] = {}
+        for rank in sorted(self._ranks):
+            state = self._ranks[rank]
+            if state.dead:
+                continue
+            if self.classify(rank, now) is RankStatus.STRAGGLER:
+                state.consecutive_straggles += 1
+            else:
+                state.consecutive_straggles = 0
+            counts[rank] = state.consecutive_straggles
+        return counts
+
+    def consecutive_straggles(self, rank: int) -> int:
+        return self._state(rank).consecutive_straggles
+
+    # -- Export -------------------------------------------------------------------
+
+    def summary(self, now: float | None = None) -> dict:
+        """Per-rank health document (rates, statuses, straggle streaks)."""
+        return {
+            rank: {
+                "status": self.classify(rank, now).value,
+                "rate": state.rate,
+                "batches": state.batches,
+                "last_batch": state.last_batch,
+                "consecutive_straggles": state.consecutive_straggles,
+            }
+            for rank, state in sorted(self._ranks.items())
+        }

@@ -314,6 +314,7 @@ class Simulation:
         *,
         resume_from=None,
         fault_plan: FaultPlan | None = None,
+        on_batch=None,
     ) -> SimulationResult:
         """Run the power iteration, optionally resuming from a checkpoint.
 
@@ -323,6 +324,13 @@ class Simulation:
         deterministic failures (a scheduled ``MID_BATCH_KILL`` raises
         :class:`~repro.resilience.faults.SimulatedCrash` after the batch's
         transport but before any state is recorded — the worst-case loss).
+
+        ``on_batch(batch, seconds, n_particles)`` is called after each
+        batch's transport with the batch index and its wall time — the
+        supervision hook (:meth:`repro.supervise.Supervisor.batch_callback`
+        builds one).  The observer sees timing only, never tallies or
+        banks, so it cannot perturb the physics; an observer that raises
+        (a batch deadline) aborts the run with its typed error.
         """
         s = self.settings
         n_batches = s.n_inactive + s.n_active
@@ -356,6 +364,7 @@ class Simulation:
             tallies = GlobalTallies()
             k_norm = stats.running_k()
             active = batch >= s.n_inactive
+            batch_t0 = time.perf_counter()
             with self.timers.timer("transport_generation"):
                 bank = backend.run_generation(
                     self.ctx,
@@ -365,6 +374,10 @@ class Simulation:
                     k_norm=k_norm,
                     first_id=id_offset,
                     power=power if active else None,
+                )
+            if on_batch is not None:
+                on_batch(
+                    batch, time.perf_counter() - batch_t0, s.n_particles
                 )
             if fault_plan is not None and fault_plan.kills_at(batch):
                 # The process dies with a full generation transported but

@@ -34,6 +34,13 @@ class TransportStats:
     def __init__(self) -> None:
         self.iterations = 0
         self._counts = np.zeros((3, 16), dtype=np.int64)
+        #: Aborted-and-reissued operations (stalled PCIe shipments re-sent
+        #: under a retry policy) — recovery work, not physics work.
+        self.retries = 0
+
+    def record_retries(self, n: int = 1) -> None:
+        """Count ``n`` aborted-and-reissued operations for this run."""
+        self.retries += int(n)
 
     def record(self, n_lookup: int, n_collision: int, n_crossing: int) -> None:
         i = self.iterations
@@ -77,4 +84,8 @@ class TransportStats:
                 }
             else:
                 stages[name] = {"mean": 0.0, "min": 0, "max": 0, "total": 0}
-        return {"iterations": self.iterations, "stages": stages}
+        return {
+            "iterations": self.iterations,
+            "retries": self.retries,
+            "stages": stages,
+        }

@@ -94,3 +94,53 @@ class TestAdaptiveAlpha:
         ctrl = AdaptiveAlphaController(p_mic=1, p_cpu=1)
         with pytest.raises(ExecutionError):
             ctrl.observe(0.0, 100.0)
+
+
+class TestRateShift:
+    """Satellite: a mid-run regime change (device throttles 4x at batch k)
+    snaps alpha to the measured ratio instead of EMA-crawling to it — the
+    split re-converges within two batches."""
+
+    def test_four_x_shift_converges_within_two_batches(self):
+        ctrl = AdaptiveAlphaController(p_mic=1, p_cpu=1, smoothing=0.5)
+        for _ in range(6):
+            ctrl.observe(cpu_rate=4000.0, mic_rate=6600.0)
+        settled = ctrl.alpha
+        assert settled == pytest.approx(4000 / 6600, rel=1e-2)
+        # Batch k: the MIC throttles 4x — the measured ratio quadruples,
+        # far outside the shift window, so alpha snaps to it immediately.
+        shifted = ctrl.observe(cpu_rate=4000.0, mic_rate=1650.0)
+        true_alpha = 4000 / 1650
+        assert shifted == pytest.approx(true_alpha)
+        # Batch k+1 confirms the new regime; the split is converged.
+        again = ctrl.observe(cpu_rate=4000.0, mic_rate=1650.0)
+        assert again == pytest.approx(true_alpha, rel=1e-6)
+        n_mic, n_cpu = ctrl.split(100_000)
+        assert n_cpu / n_mic == pytest.approx(true_alpha, rel=1e-3)
+
+    def test_ema_alone_would_not_converge_in_two_batches(self):
+        """The control case motivating the snap: with the shift detector
+        off, two post-shift batches still sit far from the new ratio."""
+        ctrl = AdaptiveAlphaController(
+            p_mic=1, p_cpu=1, smoothing=0.5, shift_factor=1.0
+        )
+        for _ in range(6):
+            ctrl.observe(4000.0, 6600.0)
+        for _ in range(2):
+            ctrl.observe(4000.0, 1650.0)
+        true_alpha = 4000 / 1650
+        assert abs(ctrl.alpha - true_alpha) / true_alpha > 0.15
+
+    def test_in_window_noise_still_smooths(self):
+        """Ordinary batch noise (well inside the 2x window) keeps the EMA
+        behaviour — the snap only fires on regime changes."""
+        ctrl = AdaptiveAlphaController(p_mic=1, p_cpu=1, smoothing=0.5)
+        ctrl.observe(1000.0, 1000.0)  # alpha = 1.0
+        a = ctrl.observe(1100.0, 1000.0)  # measured 1.1: in-window
+        assert a == pytest.approx(0.5 * 1.1 + 0.5 * 1.0)
+
+    def test_shift_down_also_snaps(self):
+        ctrl = AdaptiveAlphaController(p_mic=1, p_cpu=1, smoothing=0.5)
+        ctrl.observe(1000.0, 1000.0)  # alpha = 1.0
+        a = ctrl.observe(250.0, 1000.0)  # CPU throttles 4x
+        assert a == pytest.approx(0.25)

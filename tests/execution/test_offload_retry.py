@@ -1,0 +1,122 @@
+"""PCIe stall recovery through the offload scheduler.
+
+An injected ``TRANSFER_STALL`` makes the bank shipment hang past the retry
+policy's stall timeout; the runtime aborts the shipment (typed
+``DeadlineExceededError``, before any transport runs) and re-issues it
+under ``with_retry``.  Exactly one attempt executes real transport, so the
+retried run is **bit-identical** to an unstalled one, and the re-issue
+count lands in ``TransportStats.retries`` (plus the supervisor's tally
+when one is attached).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.unionized import UnionizedGrid
+from repro.execution import ExecutionContext, OffloadScheduler
+from repro.resilience import FaultKind, FaultPlan
+from repro.resilience.recovery import RetryPolicy
+from repro.supervise import SupervisionPolicy, Supervisor
+from repro.transport.context import TransportContext
+
+STALL = FaultPlan.single(
+    FaultKind.TRANSFER_STALL, batch=1, magnitude=5.0
+)
+
+
+@pytest.fixture(scope="module")
+def union(small_library):
+    return UnionizedGrid(small_library)
+
+
+def source(n, seed=5):
+    rng = np.random.default_rng(seed)
+    pos = np.column_stack(
+        [
+            rng.uniform(-0.3, 0.3, n),
+            rng.uniform(-0.3, 0.3, n),
+            rng.uniform(-150, 150, n),
+        ]
+    )
+    return pos, np.full(n, 1.0)
+
+
+def run_offload(
+    library, union, *, n_batches=3, n=48,
+    fault_plan=None, retry_policy=None, supervisor=None,
+):
+    ctx = TransportContext.create(
+        library, pincell=True, union=union, master_seed=7
+    )
+    ec = ExecutionContext.create(
+        transport=ctx, backend="event", record_stats=True,
+        fault_plan=fault_plan, retry_policy=retry_policy,
+        supervisor=supervisor,
+    )
+    scheduler = OffloadScheduler()
+    tallies = ec.new_tallies()
+    pos, en = source(n)
+    banks = []
+    for _ in range(n_batches):
+        bank = scheduler.run_generation(ec, pos, en, tallies, 1.0, 0)
+        banks.append(bank)
+        pos, en = bank.positions.copy(), bank.energies.copy()
+    return ctx, ec, tallies, banks
+
+
+class TestStallRetry:
+    def test_retried_run_bit_identical_to_unstalled(
+        self, small_library, union
+    ):
+        c1, e1, t1, b1 = run_offload(small_library, union)
+        c2, e2, t2, b2 = run_offload(
+            small_library, union,
+            fault_plan=STALL, retry_policy=RetryPolicy(),
+        )
+        # One rank, one attempt of real transport: everything is exact.
+        assert c1.counters.as_dict() == c2.counters.as_dict()
+        assert t1.collision == t2.collision
+        assert t1.absorption == t2.absorption
+        assert t1.track_length == t2.track_length
+        assert t1.n_collisions == t2.n_collisions
+        for bank1, bank2 in zip(b1, b2):
+            np.testing.assert_array_equal(bank1.positions, bank2.positions)
+            np.testing.assert_array_equal(bank1.energies, bank2.energies)
+
+    def test_retry_count_lands_in_transport_stats(
+        self, small_library, union
+    ):
+        _, ec, _, _ = run_offload(
+            small_library, union,
+            fault_plan=STALL, retry_policy=RetryPolicy(),
+        )
+        assert ec.stats.retries == 1
+        assert ec.stats.summary()["retries"] == 1
+
+    def test_unstalled_run_records_no_retries(self, small_library, union):
+        _, ec, _, _ = run_offload(small_library, union)
+        assert ec.stats.retries == 0
+        assert ec.stats.summary()["retries"] == 0
+
+    def test_supervisor_counts_the_reissue(self, small_library, union):
+        sup = Supervisor(
+            n_ranks=1, policy=SupervisionPolicy(straggler_factor=1.0e9)
+        )
+        run_offload(
+            small_library, union,
+            fault_plan=STALL, retry_policy=RetryPolicy(), supervisor=sup,
+        )
+        assert sup.retries == 1
+        assert sup.report()["retries"] == 1
+
+    def test_stall_without_policy_runs_plain(self, small_library, union):
+        """No retry policy: the execution path ignores the stall (its cost
+        lives in the offload cost model's transfer pricing)."""
+        c1, _, t1, b1 = run_offload(small_library, union)
+        c2, ec, t2, b2 = run_offload(
+            small_library, union, fault_plan=STALL
+        )
+        assert ec.stats.retries == 0
+        assert c1.counters.as_dict() == c2.counters.as_dict()
+        assert t1.collision == t2.collision
+        np.testing.assert_array_equal(b1[-1].energies, b2[-1].energies)

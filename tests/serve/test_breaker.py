@@ -1,0 +1,153 @@
+"""Circuit-breaker acceptance: poison jobs are quarantined, not looped.
+
+A job whose spec deterministically kills its worker would, under plain
+respawn-and-requeue, burn one fresh worker per attempt forever (or until
+the retry budget intervenes).  The pool's :class:`CircuitBreaker` trips
+after three consecutive worker deaths with the same job in flight: the job
+comes back as a typed-``PoisonedJobError`` failure (status ``poisoned``),
+the pool stays healthy, the remaining jobs complete bit-identically, and
+the breaker state is visible in the metrics registry.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import PoisonedJobError, ServeError
+from repro.resilience.recovery import RetryPolicy
+from repro.serve import JobSpec, SimulationService
+from repro.transport import Settings, Simulation
+
+
+def job_settings(seed):
+    return {
+        "n_particles": 24,
+        "n_inactive": 0,
+        "n_active": 2,
+        "seed": seed,
+        "mode": "event",
+        "pincell": True,
+    }
+
+
+@pytest.fixture(scope="module")
+def quarantined(tmp_path_factory):
+    """One service run: a poison job (crashes every attempt) among healthy
+    jobs, with a retry budget wide enough that only the breaker can stop
+    the loop."""
+    specs = [
+        JobSpec(job_id="healthy0", settings=job_settings(1)),
+        JobSpec(
+            job_id="poison", settings=job_settings(1),
+            fault_crash_attempts=99,
+        ),
+        JobSpec(job_id="healthy1", settings=job_settings(2)),
+    ]
+    service = SimulationService(
+        n_workers=2,
+        cache_dir=str(tmp_path_factory.mktemp("xs-cache")),
+        retry_policy=RetryPolicy(max_attempts=6),
+    )
+    results = service.run(specs)
+    alive_before_shutdown = service.pool.alive_count()
+    service.shutdown()
+    return service, results, alive_before_shutdown
+
+
+@pytest.fixture(scope="module")
+def direct_traces():
+    from repro.data import LibraryConfig, build_library
+
+    library = build_library("hm-small", LibraryConfig.tiny())
+    return {
+        seed: Simulation(library, Settings(**job_settings(seed))).run()
+        for seed in (1, 2)
+    }
+
+
+class TestQuarantine:
+    def test_three_consecutive_crashes_trip_the_breaker(self, quarantined):
+        service, results, _ = quarantined
+        poisoned = next(r for r in results if r.job_id == "poison")
+        assert poisoned.status == "poisoned"
+        assert poisoned.attempts == 3
+        assert "PoisonedJobError" in poisoned.error
+        assert "3 consecutive times" in poisoned.error
+        assert service.pool.breaker.is_open("poison")
+        assert service.pool.breaker.failures("poison") == 3
+
+    def test_first_two_crashes_were_ordinary_requeues(self, quarantined):
+        service, _, _ = quarantined
+        assert service.metrics.counter("jobs_requeued").value == 2
+        assert service.metrics.counter("worker_crashes").value == 3
+
+    def test_pool_stays_healthy(self, quarantined):
+        service, _, alive_before_shutdown = quarantined
+        assert alive_before_shutdown == service.pool.n_workers
+        assert service.pool.in_flight() == 0
+
+    def test_remaining_jobs_complete_bit_identical(
+        self, quarantined, direct_traces
+    ):
+        _, results, _ = quarantined
+        for job_id, seed in (("healthy0", 1), ("healthy1", 2)):
+            result = next(r for r in results if r.job_id == job_id)
+            stats = direct_traces[seed].statistics
+            assert result.status == "done", job_id
+            assert result.k_collision == stats.k_collision, job_id
+            assert result.k_absorption == stats.k_absorption, job_id
+            assert result.entropy == stats.entropy, job_id
+
+    def test_drain_contract_holds(self, quarantined):
+        service, results, _ = quarantined
+        assert sorted(r.job_id for r in results) == [
+            "healthy0", "healthy1", "poison",
+        ]
+        assert len(service.queue) == 0
+        assert service.pool.in_flight() == 0
+
+
+class TestBreakerMetrics:
+    def test_breaker_state_exported_through_registry(self, quarantined):
+        service, _, _ = quarantined
+        doc = json.loads(service.metrics.to_json())
+        assert doc["metrics"]["jobs_poisoned"]["value"] == 1
+        assert doc["metrics"]["circuits_open"]["value"] == 1
+        breaker = doc["metrics"]["circuit_breaker"]["value"]
+        assert breaker["open"] == ["poison"]
+        assert breaker["keys"]["poison"]["state"] == "open"
+        assert breaker["keys"]["poison"]["consecutive_failures"] == 3
+
+    def test_healthy_jobs_never_touch_the_breaker_export(self, quarantined):
+        service, _, _ = quarantined
+        state = service.pool.breaker.as_dict()
+        assert "healthy0" not in state["keys"]
+        assert "healthy1" not in state["keys"]
+
+
+class TestPoisonedJobError:
+    def test_error_carries_job_id_and_crash_count(self):
+        err = PoisonedJobError("job j quarantined", job_id="j", crashes=3)
+        assert err.job_id == "j"
+        assert err.crashes == 3
+        assert isinstance(err, ServeError)
+
+
+class TestNarrowBudgetStillWins:
+    def test_retry_budget_fires_before_the_breaker(self):
+        """With max_attempts=2 the budget exhausts at the second crash —
+        one below the breaker threshold — so the job fails the ordinary
+        way (the pre-breaker behaviour is preserved)."""
+        service = SimulationService(
+            n_workers=1, retry_policy=RetryPolicy(max_attempts=2)
+        )
+        spec = JobSpec(
+            job_id="doomed", settings=job_settings(1),
+            fault_crash_attempts=99,
+        )
+        (result,) = service.run([spec])
+        service.shutdown()
+        assert result.status == "failed"
+        assert "retry budget" in result.error
+        assert not service.pool.breaker.is_open("doomed")
+        assert service.metrics.counter("jobs_poisoned").value == 0

@@ -58,11 +58,42 @@ class TestHistogram:
             MetricsRegistry().histogram("bad", buckets=(1.0, 0.1))
 
 
+class TestInfo:
+    def test_set_replaces_the_whole_document(self):
+        info = MetricsRegistry().info("breaker")
+        assert info.value == {}
+        info.set({"open": ["j1"], "threshold": 3})
+        info.set({"open": []})
+        assert info.value == {"open": []}
+
+    def test_scrapers_get_a_copy(self):
+        info = MetricsRegistry().info("breaker")
+        doc = {"open": ["j1"]}
+        info.set(doc)
+        doc["open"].append("j2")  # caller's mutation is invisible
+        snapshot = info.value
+        snapshot["open"].append("j3")  # scraper's mutation too
+        assert info.value == {"open": ["j1"]}
+
+    def test_non_json_value_rejected(self):
+        with pytest.raises(ServeError, match="JSON"):
+            MetricsRegistry().info("bad").set({"obj": object()})
+
+    def test_registry_export_includes_info(self):
+        reg = MetricsRegistry()
+        reg.info("breaker").set({"open": ["x"]})
+        doc = json.loads(reg.to_json())
+        assert doc["metrics"]["breaker"] == {
+            "type": "info", "value": {"open": ["x"]},
+        }
+
+
 class TestExport:
     def test_json_round_trip(self):
         reg = MetricsRegistry("svc")
         reg.counter("jobs").inc(3)
         reg.gauge("depth").set(2.5)
+        reg.info("breaker").set({"open": ["j"], "threshold": 3})
         h = reg.histogram("wait_seconds", buckets=(0.01, 0.1, 1.0))
         h.observe(0.05)
         h.observe(0.5)

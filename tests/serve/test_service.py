@@ -173,6 +173,24 @@ class TestBackpressure:
         service.shutdown()
 
 
+class TestDrainDeadline:
+    def test_overrunning_drain_raises_typed_error(self):
+        from repro.errors import DeadlineExceededError
+
+        service = SimulationService(n_workers=1, drain_deadline_s=1.0e-6)
+        with pytest.raises(DeadlineExceededError, match="serve drain"):
+            service.run([JobSpec(job_id="slow", settings=job_settings(1))])
+        service.shutdown(graceful=False)
+
+    def test_generous_deadline_drains_normally(self):
+        service = SimulationService(n_workers=1, drain_deadline_s=300.0)
+        (result,) = service.run(
+            [JobSpec(job_id="ok", settings=job_settings(1))]
+        )
+        service.shutdown()
+        assert result.status == "done"
+
+
 class TestFailurePaths:
     def test_retry_budget_exhaustion_fails_the_job(self):
         service = SimulationService(

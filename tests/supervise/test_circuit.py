@@ -1,0 +1,81 @@
+"""CircuitBreaker: consecutive-failure counting and open circuits."""
+
+import pytest
+
+from repro.errors import SupervisionError
+from repro.supervise import CircuitBreaker
+
+
+class TestTripping:
+    def test_trips_at_threshold(self):
+        b = CircuitBreaker(threshold=3)
+        assert b.record_failure("job") == 1
+        assert b.record_failure("job") == 2
+        assert not b.is_open("job")
+        assert b.record_failure("job") == 3
+        assert b.is_open("job")
+        assert not b.allow("job")
+
+    def test_keys_are_independent(self):
+        b = CircuitBreaker(threshold=2)
+        b.record_failure("a")
+        b.record_failure("a")
+        b.record_failure("b")
+        assert b.is_open("a")
+        assert not b.is_open("b")
+        assert b.open_keys() == ["a"]
+
+    def test_success_resets_a_closed_streak(self):
+        b = CircuitBreaker(threshold=3)
+        b.record_failure("flaky")
+        b.record_failure("flaky")
+        b.record_success("flaky")
+        assert b.failures("flaky") == 0
+        # The streak must be *consecutive* to trip.
+        b.record_failure("flaky")
+        assert not b.is_open("flaky")
+
+    def test_open_circuit_never_heals(self):
+        b = CircuitBreaker(threshold=1)
+        b.record_failure("poison")
+        b.record_success("poison")
+        assert b.is_open("poison")
+        assert b.failures("poison") == 1
+
+    def test_state_is_a_pure_function_of_the_call_sequence(self):
+        calls = [("f", "x"), ("f", "x"), ("s", "x"), ("f", "x"),
+                 ("f", "x"), ("f", "y")]
+
+        def replay():
+            b = CircuitBreaker(threshold=2)
+            for kind, key in calls:
+                (b.record_failure if kind == "f" else b.record_success)(key)
+            return b.as_dict()
+
+        assert replay() == replay()
+
+    def test_threshold_validation(self):
+        with pytest.raises(SupervisionError):
+            CircuitBreaker(threshold=0)
+
+
+class TestExport:
+    def test_as_dict_carries_every_tracked_circuit(self):
+        b = CircuitBreaker(threshold=2)
+        b.record_failure("bad")
+        b.record_failure("bad")
+        b.record_failure("meh")
+        state = b.as_dict()
+        assert state["threshold"] == 2
+        assert state["open"] == ["bad"]
+        assert state["keys"]["bad"] == {
+            "consecutive_failures": 2, "state": "open",
+        }
+        assert state["keys"]["meh"]["state"] == "closed"
+
+    def test_as_dict_is_json_serializable(self):
+        import json
+
+        b = CircuitBreaker()
+        b.record_failure("j")
+        json.dumps(b.as_dict())

@@ -1,0 +1,99 @@
+"""Deadline (clocked) and Budget (charged) primitives."""
+
+import pytest
+
+from repro.errors import DeadlineExceededError, SupervisionError
+from repro.supervise import Budget, Deadline
+
+
+class FakeClock:
+    """An injectable monotonic clock the test advances by hand."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestDeadline:
+    def test_elapsed_and_remaining_follow_the_clock(self):
+        clock = FakeClock()
+        d = Deadline(10.0, clock=clock)
+        clock.advance(3.0)
+        assert d.elapsed() == pytest.approx(3.0)
+        assert d.remaining() == pytest.approx(7.0)
+        assert not d.expired()
+
+    def test_check_raises_typed_error_with_allowance_and_overrun(self):
+        clock = FakeClock()
+        d = Deadline(1.0, label="batch barrier", clock=clock)
+        d.check()  # within allowance: no-op
+        clock.advance(2.5)
+        assert d.expired()
+        with pytest.raises(DeadlineExceededError) as err:
+            d.check("waiting on rank 2")
+        assert err.value.deadline_s == 1.0
+        assert err.value.elapsed_s == pytest.approx(2.5)
+        assert "batch barrier" in str(err.value)
+        assert "waiting on rank 2" in str(err.value)
+
+    def test_remaining_clamps_at_zero(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        clock.advance(5.0)
+        assert d.remaining() == 0.0
+
+    def test_negative_allowance_rejected(self):
+        with pytest.raises(SupervisionError):
+            Deadline(-0.1)
+
+    def test_deadline_is_an_error_subclass_of_supervision(self):
+        assert issubclass(DeadlineExceededError, SupervisionError)
+
+
+class TestBudget:
+    def test_spend_accumulates_and_reports_remaining(self):
+        b = Budget(1.0)
+        b.spend(0.25)
+        b.spend(0.5)
+        assert b.spent == pytest.approx(0.75)
+        assert b.remaining == pytest.approx(0.25)
+        assert not b.exhausted
+
+    def test_crossing_charge_is_included_and_typed(self):
+        b = Budget(1.0, label="comm budget")
+        b.spend(0.9)
+        with pytest.raises(DeadlineExceededError) as err:
+            b.spend(0.3, "allreduce_sum")
+        # The charge that crossed the line is in the total the error reports.
+        assert b.spent == pytest.approx(1.2)
+        assert b.exhausted
+        assert b.remaining == 0.0
+        assert err.value.deadline_s == 1.0
+        assert err.value.elapsed_s == pytest.approx(1.2)
+        assert "allreduce_sum" in str(err.value)
+
+    def test_no_clock_means_replay_deterministic(self):
+        """Two budgets fed the same charges fail at the same charge."""
+        charges = [0.4, 0.4, 0.4]
+
+        def drain():
+            b = Budget(1.0)
+            for i, c in enumerate(charges):
+                try:
+                    b.spend(c)
+                except DeadlineExceededError:
+                    return i, b.spent
+            return None, b.spent
+
+        assert drain() == drain() == (2, pytest.approx(1.2))
+
+    def test_validation(self):
+        with pytest.raises(SupervisionError):
+            Budget(-1.0)
+        with pytest.raises(SupervisionError):
+            Budget(1.0).spend(-0.5)

@@ -1,0 +1,136 @@
+"""HealthMonitor: rate smoothing, classification, heartbeats, streaks."""
+
+import pytest
+
+from repro.errors import SupervisionError
+from repro.supervise import HealthMonitor, RankStatus
+
+
+class TestRates:
+    def test_first_record_sets_rate(self):
+        m = HealthMonitor(2)
+        assert m.rate(0) is None
+        assert m.record(0, 0, seconds=2.0, n_particles=100) == 50.0
+        assert m.rate(0) == 50.0
+
+    def test_rate_is_exponentially_smoothed(self):
+        m = HealthMonitor(1, smoothing=0.5)
+        m.record(0, 0, 1.0, 100)  # 100 n/s
+        rate = m.record(0, 1, 1.0, 200)  # measured 200 n/s
+        assert rate == pytest.approx(150.0)
+
+    def test_identical_observations_converge(self):
+        m = HealthMonitor(1)
+        for batch in range(10):
+            m.record(0, batch, 1.0, 64)
+        assert m.rate(0) == pytest.approx(64.0)
+
+    def test_negative_observation_rejected(self):
+        m = HealthMonitor(1)
+        with pytest.raises(SupervisionError):
+            m.record(0, 0, -1.0, 10)
+        with pytest.raises(SupervisionError):
+            m.record(0, 0, 1.0, -10)
+
+    def test_unknown_rank_rejected(self):
+        with pytest.raises(SupervisionError, match="unknown rank"):
+            HealthMonitor(2).record(5, 0, 1.0, 10)
+
+
+class TestClassification:
+    def test_all_healthy_when_rates_comparable(self):
+        m = HealthMonitor(3, straggler_factor=4.0)
+        for rank, rate in enumerate((100, 80, 120)):
+            m.record(rank, 0, 1.0, rate)
+        assert all(
+            s is RankStatus.HEALTHY for s in m.statuses().values()
+        )
+
+    def test_straggler_is_relative_to_the_fastest_rank(self):
+        """Max-based comparison works even with only two ranks (a median
+        would mask the straggler in a pair)."""
+        m = HealthMonitor(2, straggler_factor=4.0)
+        m.record(0, 0, 1.0, 1000)
+        m.record(1, 0, 1.0, 100)  # 10x slower than the best
+        assert m.classify(0) is RankStatus.HEALTHY
+        assert m.classify(1) is RankStatus.STRAGGLER
+
+    def test_factor_boundary_is_strict(self):
+        m = HealthMonitor(2, straggler_factor=4.0)
+        m.record(0, 0, 1.0, 400)
+        m.record(1, 0, 1.0, 100)  # exactly 4x: not yet a straggler
+        assert m.classify(1) is RankStatus.HEALTHY
+
+    def test_mark_dead_wins_over_everything(self):
+        m = HealthMonitor(2)
+        m.record(0, 0, 1.0, 100)
+        m.mark_dead(0)
+        assert m.classify(0) is RankStatus.DEAD
+
+    def test_dead_rank_excluded_from_best_rate(self):
+        m = HealthMonitor(2, straggler_factor=2.0)
+        m.record(0, 0, 1.0, 1000)
+        m.record(1, 0, 1.0, 100)
+        m.mark_dead(0)
+        # With the fast rank dead, the survivor is the best rank.
+        assert m.classify(1) is RankStatus.HEALTHY
+
+    def test_validation(self):
+        with pytest.raises(SupervisionError):
+            HealthMonitor(0)
+        with pytest.raises(SupervisionError):
+            HealthMonitor(2, straggler_factor=1.0)
+        with pytest.raises(SupervisionError):
+            HealthMonitor(2, smoothing=0.0)
+
+
+class TestHeartbeats:
+    def test_stale_heartbeat_classifies_dead(self):
+        m = HealthMonitor(2, heartbeat_timeout_s=5.0)
+        m.heartbeat(0, now=10.0)
+        m.heartbeat(1, now=14.0)
+        statuses = m.statuses(now=16.0)
+        assert statuses[0] is RankStatus.DEAD  # 6s silent
+        assert statuses[1] is RankStatus.HEALTHY  # 2s silent
+
+    def test_no_timeout_means_no_heartbeat_deaths(self):
+        m = HealthMonitor(1)
+        m.heartbeat(0, now=0.0)
+        assert m.classify(0, now=1.0e9) is RankStatus.HEALTHY
+
+
+class TestStraggleStreaks:
+    def test_consecutive_straggles_accumulate_and_reset(self):
+        m = HealthMonitor(2, straggler_factor=2.0)
+        m.record(0, 0, 1.0, 1000)
+        m.record(1, 0, 1.0, 100)
+        assert m.update_straggles() == {0: 0, 1: 1}
+        m.record(0, 1, 1.0, 1000)
+        m.record(1, 1, 1.0, 100)
+        assert m.update_straggles() == {0: 0, 1: 2}
+        # Rank 1 recovers: a healthy batch resets the streak.
+        for batch in range(2, 8):
+            m.record(0, batch, 1.0, 1000)
+            m.record(1, batch, 1.0, 1000)
+        assert m.update_straggles()[1] == 0
+
+    def test_dead_ranks_drop_out_of_streak_accounting(self):
+        m = HealthMonitor(2, straggler_factor=2.0)
+        m.record(0, 0, 1.0, 1000)
+        m.record(1, 0, 1.0, 100)
+        m.mark_dead(1)
+        assert 1 not in m.update_straggles()
+
+
+class TestSummary:
+    def test_summary_is_a_complete_per_rank_document(self):
+        m = HealthMonitor(2, straggler_factor=2.0)
+        m.record(0, 0, 1.0, 1000)
+        m.record(1, 0, 1.0, 100)
+        doc = m.summary()
+        assert sorted(doc) == [0, 1]
+        assert doc[0]["status"] == "healthy"
+        assert doc[1]["status"] == "straggler"
+        assert doc[0]["rate"] == 1000.0
+        assert doc[0]["batches"] == 1
+        assert doc[0]["last_batch"] == 0

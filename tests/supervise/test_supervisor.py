@@ -1,0 +1,177 @@
+"""Supervisor: policy validation, eviction, deadlines, and the report."""
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    DegradedRunError,
+    SupervisionError,
+)
+from repro.supervise import SupervisionPolicy, Supervisor
+
+
+class TestPolicy:
+    def test_defaults_are_valid(self):
+        SupervisionPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"evict_after": 0},
+            {"min_ranks": 0},
+            {"batch_deadline_s": 0.0},
+            {"heartbeat_timeout_s": -1.0},
+            {"comm_budget_s": 0.0},
+        ],
+    )
+    def test_invalid_thresholds_rejected(self, kwargs):
+        with pytest.raises(SupervisionError):
+            SupervisionPolicy(**kwargs)
+
+
+class TestEviction:
+    def test_evict_removes_rank_and_records_event(self):
+        sup = Supervisor(n_ranks=3)
+        sup.begin_batch()
+        survivors = sup.evict(1, reason="crash")
+        assert survivors == [0, 2]
+        assert sup.alive == [0, 2]
+        assert sup.evicted == [1]
+        (event,) = sup.events
+        assert (event.batch, event.rank, event.action, event.reason) == (
+            0, 1, "evict", "crash",
+        )
+
+    def test_evicting_unknown_rank_is_a_usage_error(self):
+        sup = Supervisor(n_ranks=2)
+        with pytest.raises(SupervisionError, match="not in alive set"):
+            sup.evict(7)
+
+    def test_eviction_below_floor_raises_degraded(self):
+        sup = Supervisor(
+            n_ranks=2, policy=SupervisionPolicy(min_ranks=2)
+        )
+        with pytest.raises(DegradedRunError, match="policy floor"):
+            sup.evict(0, reason="crash")
+        # The failed eviction must not have mutated the topology.
+        assert sup.alive == [0, 1]
+        assert sup.evicted == []
+
+    def test_last_rank_cannot_be_evicted(self):
+        sup = Supervisor(n_ranks=1)
+        with pytest.raises(DegradedRunError):
+            sup.evict(0)
+
+
+class TestStragglerEviction:
+    def test_chronic_straggler_evicted_after_streak(self):
+        policy = SupervisionPolicy(straggler_factor=2.0, evict_after=2)
+        sup = Supervisor(n_ranks=2, policy=policy)
+        for batch in range(2):
+            sup.begin_batch()
+            sup.observe_batch(0, batch, 1.0, 1000)
+            sup.observe_batch(1, batch, 1.0, 100)
+            evicted = sup.finish_batch(batch)
+        assert evicted == [1]
+        assert sup.alive == [0]
+        assert sup.events[-1].reason == "straggler"
+
+    def test_one_bad_batch_is_forgiven(self):
+        policy = SupervisionPolicy(straggler_factor=2.0, evict_after=2)
+        sup = Supervisor(n_ranks=2, policy=policy)
+        sup.begin_batch()
+        sup.observe_batch(0, 0, 1.0, 1000)
+        sup.observe_batch(1, 0, 1.0, 100)
+        assert sup.finish_batch(0) == []
+        # Recovery: many healthy batches wash the smoothed rate back up.
+        for batch in range(1, 8):
+            sup.begin_batch()
+            sup.observe_batch(0, batch, 1.0, 1000)
+            sup.observe_batch(1, batch, 1.0, 1000)
+            assert sup.finish_batch(batch) == []
+        assert sup.alive == [0, 1]
+
+
+class TestHeartbeats:
+    def test_silent_rank_evicted_on_heartbeat_timeout(self):
+        policy = SupervisionPolicy(heartbeat_timeout_s=5.0)
+        sup = Supervisor(n_ranks=2, policy=policy)
+        sup.monitor.heartbeat(0, now=100.0)
+        sup.monitor.heartbeat(1, now=90.0)
+        assert sup.check_heartbeats(now=100.0) == [1]
+        assert sup.alive == [0]
+        assert sup.events[-1].reason == "heartbeat"
+
+
+class TestDeadlines:
+    def test_enforce_deadline_raises_typed_error(self):
+        policy = SupervisionPolicy(batch_deadline_s=1.0)
+        sup = Supervisor(n_ranks=1, policy=policy)
+        sup.enforce_deadline(0.5)  # under: no-op
+        with pytest.raises(DeadlineExceededError) as err:
+            sup.enforce_deadline(2.0, what="batch 3")
+        assert err.value.deadline_s == 1.0
+        assert err.value.elapsed_s == 2.0
+        assert "batch 3" in str(err.value)
+
+    def test_no_deadline_means_no_enforcement(self):
+        Supervisor(n_ranks=1).enforce_deadline(1.0e9)
+
+    def test_batch_callback_observes_and_enforces(self):
+        policy = SupervisionPolicy(batch_deadline_s=1.0)
+        sup = Supervisor(n_ranks=1, policy=policy)
+        on_batch = sup.batch_callback()
+        on_batch(0, 0.1, 50)
+        on_batch(1, 0.2, 50)
+        assert sup.batch == 1
+        assert sup.monitor.rate(0) is not None
+        with pytest.raises(DeadlineExceededError):
+            on_batch(2, 5.0, 50)
+
+
+class TestCommBudget:
+    def test_policy_budget_materializes_on_the_supervisor(self):
+        sup = Supervisor(
+            n_ranks=2, policy=SupervisionPolicy(comm_budget_s=0.5)
+        )
+        assert sup.comm_budget is not None
+        sup.comm_budget.spend(0.2, "allreduce_sum")
+        assert sup.report()["comm_budget_spent_s"] == pytest.approx(0.2)
+
+    def test_no_budget_by_default(self):
+        sup = Supervisor(n_ranks=2)
+        assert sup.comm_budget is None
+        assert sup.report()["comm_budget_spent_s"] is None
+
+
+class TestReport:
+    def test_report_is_a_complete_run_document(self):
+        sup = Supervisor(n_ranks=3)
+        for batch in range(2):
+            sup.begin_batch()
+            for rank in range(3):
+                sup.observe_batch(rank, batch, 1.0, 100)
+            sup.finish_batch(batch)
+        sup.evict(2, reason="crash")
+        sup.note_retry()
+        report = sup.report()
+        assert report["batches"] == 2
+        assert report["alive"] == [0, 1]
+        assert report["evicted"] == [2]
+        assert report["retries"] == 1
+        assert report["events"] == [
+            {"batch": 1, "rank": 2, "action": "evict", "reason": "crash"}
+        ]
+        assert report["health"][2]["status"] == "dead"
+
+    def test_report_is_json_serializable(self):
+        import json
+
+        sup = Supervisor(n_ranks=2)
+        sup.begin_batch()
+        sup.observe_batch(0, 0, 1.0, 10)
+        json.dumps(sup.report())
+
+    def test_n_ranks_validation(self):
+        with pytest.raises(SupervisionError):
+            Supervisor(n_ranks=0)

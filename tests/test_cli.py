@@ -72,6 +72,22 @@ class TestArgumentParsing:
             )
         capsys.readouterr()
 
+    def test_supervise_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--supervise", "--batch-deadline-s", "2.5"]
+        )
+        assert args.supervise is True
+        assert args.batch_deadline_s == 2.5
+        bare = build_parser().parse_args(["run"])
+        assert bare.supervise is False
+        assert bare.batch_deadline_s is None
+
+    def test_serve_drain_deadline_flag(self):
+        args = build_parser().parse_args(
+            ["serve", "--jobs", "j.jsonl", "--drain-deadline-s", "30"]
+        )
+        assert args.drain_deadline_s == 30.0
+
     def test_status_flags(self):
         args = build_parser().parse_args(["status", "--spool", "sp", "--json"])
         assert args.command == "status"
@@ -181,6 +197,34 @@ class TestReproSim:
         out = capsys.readouterr().out
         assert "k-effective" in out
         assert "calculation rate" in out
+
+    def test_supervised_run_reports_health(self, capsys):
+        rc = sim_main(
+            ["run", "--pincell", "--particles", "40", "--batches", "2",
+             "--inactive", "1", "--supervise"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "k-effective" in out
+        assert "supervision: 3 batches observed, status healthy" in out
+
+    def test_batch_deadline_implies_supervision_and_aborts(self, capsys):
+        """An impossible per-batch deadline turns into a typed abort
+        (exit 1), not a hang or a stack trace."""
+        rc = sim_main(
+            ["run", "--pincell", "--particles", "40", "--batches", "2",
+             "--inactive", "0", "--batch-deadline-s", "1e-9"]
+        )
+        assert rc == 1
+        assert "deadline exceeded" in capsys.readouterr().err
+
+    def test_generous_batch_deadline_runs_clean(self, capsys):
+        rc = sim_main(
+            ["run", "--pincell", "--particles", "40", "--batches", "2",
+             "--inactive", "0", "--batch-deadline-s", "300"]
+        )
+        assert rc == 0
+        assert "supervision:" in capsys.readouterr().out
 
     def test_delta_mode(self, capsys):
         rc = sim_main(

@@ -46,3 +46,48 @@ def test_relative_import_resolution():
     mods = sorted(m for _, m in check_layering.runtime_imports(
         tree, "repro.transport"))
     assert mods == ["repro.transport", "repro.transport.stats"]
+
+
+def test_supervise_rule_flags_transport_import(tmp_path):
+    """A supervise module importing transport internals is a violation."""
+    pkg = tmp_path / "supervise"
+    pkg.mkdir()
+    (pkg / "bad.py").write_text(
+        "from ..transport.stats import TransportStats\n"
+    )
+    errors = check_layering._check_package(
+        pkg, "repro.supervise", check_layering.SUPERVISE_FORBIDDEN,
+        "supervision layer imports supervised layer",
+    )
+    assert len(errors) == 1
+    assert "repro.transport.stats" in errors[0]
+
+
+def test_resilience_rule_flags_execution_import(tmp_path):
+    pkg = tmp_path / "resilience"
+    pkg.mkdir()
+    (pkg / "bad.py").write_text(
+        "from ..execution.native import NativeModel\n"
+    )
+    errors = check_layering._check_package(
+        pkg, "repro.resilience", check_layering.RESILIENCE_FORBIDDEN,
+        "resilience primitive imports execution model",
+    )
+    assert len(errors) == 1
+    assert "repro.execution.native" in errors[0]
+
+
+def test_supervise_package_is_a_leaf():
+    """The real supervise package imports none of the supervised layers
+    (and, transitively stricter: nothing outside errors + stdlib)."""
+    for path in sorted(check_layering.SUPERVISE_DIR.glob("*.py")):
+        tree = ast.parse(path.read_text())
+        for _, mod in check_layering.runtime_imports(
+            tree, "repro.supervise"
+        ):
+            if mod.startswith("repro.") and not mod.startswith(
+                "repro.supervise"
+            ):
+                assert mod == "repro.errors", (
+                    f"{path.name} imports {mod}"
+                )

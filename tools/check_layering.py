@@ -18,6 +18,16 @@ annotation-only and exempt):
    a model to one schedule.  (``execution/context.py`` is the sanctioned
    adapter and is exempt.)
 
+3. **Supervision is a leaf.**  ``repro.supervise`` is pure bookkeeping
+   that the supervised layers call *into*; an import of transport,
+   execution, serve, or cluster internals from it would invert that
+   direction (and instantly create a cycle, since all four import it).
+
+4. **Resilience stays below execution.**  ``repro.resilience`` primitives
+   (fault plans, retry policies, checkpoints) are consumed *by* the
+   execution/cluster layers; importing an execution model from resilience
+   would let recovery policy reach into scheduling.
+
 Run from the repo root::
 
     python tools/check_layering.py
@@ -53,6 +63,28 @@ EXECUTION_MODEL_FILES = {
     SRC / "repro" / "execution" / name: "repro.execution"
     for name in ("native.py", "offload.py", "symmetric.py", "trace.py")
 }
+
+#: The supervision package may import nothing from the layers it watches.
+SUPERVISE_DIR = SRC / "repro" / "supervise"
+SUPERVISE_FORBIDDEN = (
+    "repro.transport",
+    "repro.execution",
+    "repro.serve",
+    "repro.cluster",
+)
+
+#: Resilience primitives sit below the execution models that consume them.
+RESILIENCE_DIR = SRC / "repro" / "resilience"
+RESILIENCE_FORBIDDEN = ("repro.execution",)
+
+
+def _rel(path: Path) -> Path:
+    """Repo-relative for readable messages; absolute paths from outside
+    the repo (the lint's own tests run on tmp fixtures) pass through."""
+    try:
+        return path.relative_to(REPO)
+    except ValueError:
+        return path
 
 
 def _is_type_checking(test: ast.expr) -> bool:
@@ -104,7 +136,7 @@ def check() -> list[str]:
             for layer in UPWARD_LAYERS:
                 if _in_layer(mod, layer):
                     errors.append(
-                        f"{path.relative_to(REPO)}:{lineno}: kernel layer "
+                        f"{_rel(path)}:{lineno}: kernel layer "
                         f"imports upward layer {mod!r}"
                     )
     for path, package in EXECUTION_MODEL_FILES.items():
@@ -112,16 +144,43 @@ def check() -> list[str]:
         for lineno, mod in runtime_imports(tree, package):
             if _in_layer(mod, "repro.transport"):
                 errors.append(
-                    f"{path.relative_to(REPO)}:{lineno}: execution model "
+                    f"{_rel(path)}:{lineno}: execution model "
                     f"imports {mod!r} directly (route through "
                     f"ExecutionContext)"
                 )
+    errors.extend(_check_package(
+        SUPERVISE_DIR, "repro.supervise", SUPERVISE_FORBIDDEN,
+        "supervision layer imports supervised layer",
+    ))
+    errors.extend(_check_package(
+        RESILIENCE_DIR, "repro.resilience", RESILIENCE_FORBIDDEN,
+        "resilience primitive imports execution model",
+    ))
+    return errors
+
+
+def _check_package(
+    directory: Path, package: str, forbidden: tuple[str, ...], label: str
+) -> list[str]:
+    """Apply a forbidden-layer rule to every module in a package."""
+    errors: list[str] = []
+    for path in sorted(directory.glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, mod in runtime_imports(tree, package):
+            for layer in forbidden:
+                if _in_layer(mod, layer):
+                    errors.append(
+                        f"{_rel(path)}:{lineno}: {label} "
+                        f"{mod!r}"
+                    )
     return errors
 
 
 def main() -> int:
     missing = [
-        p for p in (*STAGE_FILES, *EXECUTION_MODEL_FILES) if not p.exists()
+        p for p in (*STAGE_FILES, *EXECUTION_MODEL_FILES,
+                    SUPERVISE_DIR, RESILIENCE_DIR)
+        if not p.exists()
     ]
     if missing:
         for p in missing:
