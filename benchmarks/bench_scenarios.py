@@ -1,0 +1,68 @@
+"""Scenario bench: the canned-scenario x backend calculation-rate matrix.
+
+Smoke-level (no committed baseline yet — see ROADMAP item 3): every
+canned scenario runs one tiny generation on every registered backend,
+printing the paper's calculation-rate metric per cell.  What *is* gated
+here is the declarative layer's own overhead: document load + validation
++ compilation down to a ``JobSpec`` must stay in single-digit
+milliseconds — the roof layer may not tax the run path it lowers onto.
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scenarios.py -q -s
+"""
+
+from time import perf_counter
+
+import pytest
+
+from repro.scenarios import canned_scenario_names, compile_scenario, load_scenario
+from repro.transport import available_backends
+
+#: One tiny generation per cell keeps the full matrix CI-sized.
+RUN = dict(fidelity="tiny", particles=100, inactive=0, active=1)
+
+#: Compile must stay this many times cheaper than even a tiny generation.
+COMPILE_BUDGET_S = 0.05
+
+_libraries: dict = {}
+
+
+def _library_for(compiled):
+    """Share built libraries across cells (keyed by fingerprint)."""
+    key = compiled.job_spec().library_fingerprint()
+    if key not in _libraries:
+        _libraries[key] = compiled.build_library()
+    return _libraries[key]
+
+
+@pytest.mark.parametrize("name", canned_scenario_names())
+def test_compile_overhead_is_negligible(name):
+    t0 = perf_counter()
+    compiled = load_scenario(name)
+    spec = compiled.job_spec()
+    elapsed = perf_counter() - t0
+    print(f"\ncompile {name}: {elapsed * 1e3:.2f} ms "
+          f"(fingerprint {spec.scenario_fingerprint[:12]})")
+    assert elapsed < COMPILE_BUDGET_S
+
+
+@pytest.mark.parametrize("backend", sorted(available_backends()))
+@pytest.mark.parametrize("name", canned_scenario_names())
+def test_scenario_backend_matrix(name, backend):
+    compiled = compile_scenario(
+        load_scenario(name).spec.with_overrides(
+            backend=backend,
+            # Delta tracking scores no track-length tallies; the matrix
+            # compares transport rates, so strip the power request
+            # uniformly.
+            tallies=("k-effective", "entropy"),
+            **RUN,
+        )
+    )
+    result = compiled.build_simulation(_library_for(compiled)).run()
+    print(f"\n{name:>14} x {backend:<8} "
+          f"{result.calculation_rate:>10,.0f} n/s   "
+          f"k={result.k_effective.mean:.4f}")
+    assert result.n_particles == RUN["particles"]
+    assert result.counters.collisions > 0

@@ -48,6 +48,8 @@ Error                    Raised when
 ``QueueFullError``       the job queue rejected a submission (backpressure)
 ``WorkerCrashError``     a worker died with a job in flight
 ``PoisonedJobError``     a job was quarantined by the circuit breaker
+``ScenarioError``        a scenario document failed validation/compilation
+``SuiteError``           a case-suite document was malformed
 ======================== =====================================================
 """
 
@@ -68,7 +70,9 @@ from .errors import (
     PoisonedJobError,
     QueueFullError,
     ReproError,
+    ScenarioError,
     ServeError,
+    SuiteError,
     SupervisionError,
     WorkerCrashError,
 )
@@ -109,5 +113,7 @@ __all__ = [
     "QueueFullError",
     "WorkerCrashError",
     "PoisonedJobError",
+    "ScenarioError",
+    "SuiteError",
     "__version__",
 ]

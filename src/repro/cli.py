@@ -8,12 +8,22 @@ Subcommands::
     repro-sim submit --spool jobs/ --pincell --particles 500
     repro-sim serve --spool jobs/ --workers 4 --cache xs-cache/
     repro-sim status --spool jobs/
+    repro-sim scenario validate --all          # check every canned document
+    repro-sim scenario run hm-full-core        # canned name or a JSON path
+    repro-sim suite expand hm-tiny-sweep --json | repro-sim serve --jobs -
 
 The bare legacy form (``repro-sim --pincell ...``) still works and is
 equivalent to ``repro-sim run ...``.  ``resume`` must be given the same
 physics flags as the original run — checkpoints carry a settings
 fingerprint and refuse to resume under different physics (the
 bit-identical-resume guarantee would silently break otherwise).
+
+``scenario`` and ``suite`` drive the declarative layer
+(:mod:`repro.scenarios`): ``scenario validate|compile|run`` check, lower,
+and execute one document (canned scenarios are addressable by bare name);
+``suite expand`` prints a sweep's job specs (``--json`` emits JSON lines
+that pipe straight into ``serve --jobs -``) and ``suite submit`` spools
+them for a later ``serve``.
 
 The service trio works against a file spool: ``submit`` drops a
 :class:`~repro.serve.jobs.JobSpec` into ``SPOOL/pending``, ``serve`` drains
@@ -53,7 +63,19 @@ from .transport import Settings, Simulation, available_backends
 
 __all__ = ["main"]
 
-_SUBCOMMANDS = ("run", "checkpoint", "resume", "serve", "submit", "status")
+_SUBCOMMANDS = ("run", "checkpoint", "resume", "serve", "submit", "status",
+                "scenario", "suite")
+
+
+def _backend_name(value: str) -> str:
+    """Argparse type for ``--mode``/``--backend``: validate against the
+    live backend registry so the error names what is actually available."""
+    if value not in available_backends():
+        raise argparse.ArgumentTypeError(
+            f"unknown transport backend {value!r}; available backends: "
+            f"{', '.join(available_backends())}"
+        )
+    return value
 
 
 def _simulation_args() -> argparse.ArgumentParser:
@@ -64,10 +86,10 @@ def _simulation_args() -> argparse.ArgumentParser:
     p.add_argument("--pincell", action="store_true",
                    help="reflected pin cell instead of the full core")
     p.add_argument("--mode", "--backend", dest="mode", default="event",
-                   choices=list(available_backends()),
-                   help="transport backend from the registry: scalar "
-                   "history loop, vectorized event loop, or Woodcock "
-                   "delta tracking (--backend is an alias)")
+                   type=_backend_name, metavar="BACKEND",
+                   help="transport backend from the registry "
+                   "(e.g. scalar history loop, vectorized event loop, "
+                   "Woodcock delta tracking; --backend is an alias)")
     p.add_argument("--particles", type=int, default=500)
     p.add_argument("--batches", type=int, default=5,
                    help="active batches")
@@ -171,6 +193,55 @@ def build_parser() -> argparse.ArgumentParser:
     st = sub.add_parser("status", help="report a spool's progress")
     st.add_argument("--spool", required=True, metavar="DIR")
     st.add_argument("--json", action="store_true", dest="json_output")
+
+    sc = sub.add_parser("scenario",
+                        help="validate / compile / run a declarative "
+                        "scenario document")
+    scsub = sc.add_subparsers(dest="scenario_command", required=True)
+    scv = scsub.add_parser("validate",
+                           help="schema-check a document (all findings "
+                           "at once)")
+    scv.add_argument("source", nargs="?", metavar="NAME_OR_PATH",
+                     help="canned scenario name or JSON/YAML path")
+    scv.add_argument("--all", action="store_true", dest="validate_all",
+                     help="validate every canned scenario and suite")
+    scc = scsub.add_parser("compile",
+                           help="lower a document to its runnable "
+                           "configuration")
+    scc.add_argument("source", metavar="NAME_OR_PATH")
+    scc.add_argument("--json", action="store_true", dest="json_output",
+                     help="emit the compiled job spec as JSON")
+    scr = scsub.add_parser("run", help="compile and run a scenario")
+    scr.add_argument("source", metavar="NAME_OR_PATH")
+    scr.add_argument("--fidelity", default=None,
+                     choices=["tiny", "default"],
+                     help="override the document's library fidelity")
+    scr.add_argument("--particles", type=int, default=None)
+    scr.add_argument("--batches", type=int, default=None,
+                     help="override active batches")
+    scr.add_argument("--inactive", type=int, default=None)
+    scr.add_argument("--seed", type=int, default=None)
+    scr.add_argument("--backend", default=None, type=_backend_name,
+                     metavar="BACKEND",
+                     help="override the document's transport backend")
+    scr.add_argument("--json", action="store_true", dest="json_output",
+                     help="emit the result as JSON (the JobResult payload)")
+
+    su = sub.add_parser("suite",
+                        help="expand / submit a case-suite sweep")
+    susub = su.add_subparsers(dest="suite_command", required=True)
+    sue = susub.add_parser("expand",
+                           help="expand a sweep to its cases "
+                           "(fingerprint-affine order)")
+    sue.add_argument("source", metavar="NAME_OR_PATH",
+                     help="canned suite name or JSON/YAML path")
+    sue.add_argument("--json", action="store_true", dest="json_output",
+                     help="emit job specs as JSON lines "
+                     "(pipe into 'serve --jobs -')")
+    sus = susub.add_parser("submit",
+                           help="spool every case of a sweep")
+    sus.add_argument("source", metavar="NAME_OR_PATH")
+    sus.add_argument("--spool", required=True, metavar="DIR")
     return p
 
 
@@ -478,6 +549,169 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- scenario / suite ---------------------------------------------------------
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .errors import ScenarioError
+    from .scenarios import (
+        canned_scenario_names,
+        canned_suite_names,
+        compile_scenario,
+        load_scenario,
+        load_suite,
+    )
+
+    if args.scenario_command == "validate":
+        if not args.validate_all and not args.source:
+            print("scenario validate: give a NAME_OR_PATH or --all",
+                  file=sys.stderr)
+            return 2
+        failures = 0
+        sources = ([args.source] if args.source else
+                   list(canned_scenario_names()))
+        for source in sources:
+            try:
+                compiled = load_scenario(source)
+            except ScenarioError as exc:
+                print(f"FAIL {source}\n{exc}", file=sys.stderr)
+                failures += 1
+            else:
+                print(f"ok   {compiled.name}  "
+                      f"fingerprint={compiled.fingerprint[:16]}")
+        if args.validate_all:
+            for name in canned_suite_names():
+                try:
+                    suite = load_suite(name)
+                except ScenarioError as exc:
+                    print(f"FAIL suite {name}\n{exc}", file=sys.stderr)
+                    failures += 1
+                else:
+                    print(f"ok   suite {suite.suite_id}  "
+                          f"cases={suite.n_cases()}")
+        return 1 if failures else 0
+
+    try:
+        compiled = load_scenario(args.source)
+    except ScenarioError as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.scenario_command == "run":
+        overrides = {
+            key: value for key, value in (
+                ("fidelity", args.fidelity),
+                ("particles", args.particles),
+                ("active", args.batches),
+                ("inactive", args.inactive),
+                ("seed", args.seed),
+                ("backend", args.backend),
+            ) if value is not None
+        }
+        if overrides:
+            try:
+                compiled = compile_scenario(
+                    compiled.spec.with_overrides(**overrides)
+                )
+            except ScenarioError as exc:
+                print(f"scenario error: {exc}", file=sys.stderr)
+                return 1
+
+    if args.scenario_command == "compile":
+        spec = compiled.job_spec(job_id=f"scenario-{compiled.name}")
+        if args.json_output:
+            print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+            return 0
+        s = compiled.settings
+        config = compiled.library_config()
+        print(f"scenario {compiled.name}  "
+              f"fingerprint={compiled.fingerprint}")
+        print(f"library: model={compiled.spec.model} "
+              f"fidelity={compiled.spec.fidelity} seed={config.seed} "
+              f"temperature={config.temperature} K")
+        print(f"geometry: "
+              f"{'pin cell' if s.pincell else 'full core'}"
+              + (f", {len(s.core_pattern)}x{len(s.core_pattern)} "
+                 f"custom footprint" if s.core_pattern else "")
+              + f", boron {s.boron_ppm} ppm")
+        print(f"run: {s.n_inactive}+{s.n_active} batches x "
+              f"{s.n_particles} particles, seed {s.seed}, "
+              f"backend {s.mode}")
+        print(f"physics: sab={s.use_sab} urr={s.use_urr} "
+              f"union_grid={s.use_union_grid} "
+              f"survival_biasing={s.survival_biasing} "
+              f"tally_power={s.tally_power}")
+        if s.fuel_overrides:
+            print(f"fuel overrides: {len(s.fuel_overrides)} nuclides "
+                  "(explicit isotopics)")
+        return 0
+
+    # scenario run
+    quiet = args.json_output
+    library = compiled.build_library()
+    if not quiet:
+        print(f"scenario {compiled.name}: built library "
+              f"{library.model} ({len(library)} nuclides)")
+    result = compiled.build_simulation(library).run()
+    if args.json_output:
+        from .serve.jobs import JobResult
+
+        spec = compiled.job_spec(job_id=f"scenario-{compiled.name}")
+        print(JobResult.from_simulation(spec, result).to_json(indent=2))
+        return 0
+    print(f"mode: {result.mode}  ({result.n_batches} batches x "
+          f"{result.n_particles} particles)")
+    print(f"k-effective (combined)  = {result.k_effective}")
+    print(f"calculation rate        = {result.calculation_rate:,.0f} n/s")
+    if result.power is not None:
+        norm = result.power.normalized_power()
+        print(f"assembly power peaking factor = {norm.max():.2f}")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from .errors import ScenarioError
+    from .scenarios import load_suite
+
+    try:
+        suite = load_suite(args.source)
+        cases = suite.expand()
+    except ScenarioError as exc:
+        print(f"suite error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.suite_command == "expand":
+        if args.json_output:
+            for case in cases:
+                print(case.job.to_json())
+            return 0
+        print(f"suite {suite.suite_id}: {len(cases)} cases over axes "
+              f"{', '.join(suite.axes) or '(none)'}")
+        last_fp = None
+        for case in cases:
+            fp = case.job.library_fingerprint()
+            marker = "* " if fp != last_fp else "  "
+            print(f"  {marker}{case.case_id}  library={fp[:12]}")
+            last_fp = fp
+        n_groups = len({c.job.library_fingerprint() for c in cases})
+        print(f"{n_groups} distinct library build(s) "
+              "(* marks each group; order is cache-affine)")
+        return 0
+
+    # suite submit
+    from .serve.service import submit_to_spool
+
+    try:
+        for case in cases:
+            submit_to_spool(args.spool, case.job)
+    except JobError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"submitted {len(cases)} cases of suite {suite.suite_id} "
+          f"-> {args.spool}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Legacy flat form: "repro-sim --pincell ..." means "run".
@@ -492,6 +726,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
+    if args.command == "suite":
+        return _cmd_suite(args)
     return _cmd_run(args)
 
 

@@ -114,3 +114,21 @@ class PoisonedJobError(ServeError):
         super().__init__(message)
         self.job_id = job_id
         self.crashes = int(crashes)
+
+
+class ScenarioError(ReproError):
+    """A scenario document failed validation or compilation.
+
+    ``errors`` carries every individual finding as a ``"path: message"``
+    string (e.g. ``"materials.fuel.enrichment_scale: must be > 0"``), so a
+    user fixes a whole document in one round trip instead of one field per
+    run.
+    """
+
+    def __init__(self, message: str, *, errors: tuple = ()) -> None:
+        super().__init__(message)
+        self.errors = tuple(errors)
+
+
+class SuiteError(ScenarioError):
+    """A case-suite document (sweep axes, base scenario) was malformed."""

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..constants import INFINITY
+from ..errors import GeometryError
 from .csg import BoundaryBox, Cell, Geometry, Halfspace, RectLattice, Universe
 from .materials import Material, make_cladding, make_fuel, make_water
 from .surfaces import ZCylinder, ZPlane
@@ -44,7 +45,11 @@ __all__ = [
     "ACTIVE_HALF_HEIGHT",
     "BOX_HALF_HEIGHT",
     "GUIDE_TUBE_POSITIONS",
+    "CORE_PATTERNS",
     "hm_core_pattern",
+    "smr_core_pattern",
+    "pattern_from_rows",
+    "pattern_to_rows",
     "HMModel",
     "build_hm_geometry",
     "build_pincell_geometry",
@@ -104,6 +109,66 @@ def hm_core_pattern() -> np.ndarray:
     return pattern
 
 
+def smr_core_pattern() -> np.ndarray:
+    """7x7 boolean map of a 37-assembly small-modular-core footprint.
+
+    The same stepped-corner construction as :func:`hm_core_pattern`, at the
+    footprint of an integral PWR (37 seventeen-by-seventeen assemblies, the
+    NuScale-class core size): each corner loses 3 positions (49 - 12 = 37).
+    """
+    pattern = np.ones((7, 7), dtype=bool)
+    cut = [2, 1]
+    for k, c in enumerate(cut):
+        pattern[k, :c] = False
+        pattern[k, 7 - c:] = False
+        pattern[6 - k, :c] = False
+        pattern[6 - k, 7 - c:] = False
+    assert int(pattern.sum()) == 37
+    return pattern
+
+
+#: Named core footprints a scenario (or ``Settings.core_pattern``) may pick
+#: by name instead of spelling out lattice rows.
+CORE_PATTERNS: dict = {
+    "hm-241": hm_core_pattern,
+    "smr-37": smr_core_pattern,
+}
+
+
+def pattern_from_rows(rows) -> np.ndarray:
+    """Parse a declarative core lattice: rows of ``F`` (fuel assembly) and
+    ``W`` (water reflector) characters, square, at least one assembly."""
+    rows = [str(r) for r in rows]
+    n = len(rows)
+    if n < 1:
+        raise GeometryError("core pattern needs at least one row")
+    for i, row in enumerate(rows):
+        if len(row) != n:
+            raise GeometryError(
+                f"core pattern must be square: row {i} has {len(row)} "
+                f"columns, want {n}"
+            )
+        bad = set(row) - {"F", "W"}
+        if bad:
+            raise GeometryError(
+                f"core pattern row {i}: unknown characters "
+                f"{sorted(bad)} (want 'F' fuel or 'W' water)"
+            )
+    pattern = np.array(
+        [[ch == "F" for ch in row] for row in rows], dtype=bool
+    )
+    if not pattern.any():
+        raise GeometryError("core pattern has no fuel assemblies")
+    return pattern
+
+
+def pattern_to_rows(pattern: np.ndarray) -> tuple[str, ...]:
+    """Inverse of :func:`pattern_from_rows` (canonical row strings)."""
+    return tuple(
+        "".join("F" if cell else "W" for cell in row) for row in pattern
+    )
+
+
 @dataclass
 class HMModel:
     """A built Hoogenboom-Martin model: geometry + material registry."""
@@ -148,6 +213,10 @@ def _pin_universe(
 def build_hm_geometry(
     model: str = "hm-small",
     boron_ppm: float = 600.0,
+    *,
+    pattern: np.ndarray | None = None,
+    enrichment_scale: float = 1.0,
+    fuel_overrides=(),
 ) -> HMModel:
     """Construct the full-core CSG model.
 
@@ -157,8 +226,18 @@ def build_hm_geometry(
         ``"hm-small"`` (34-nuclide fuel) or ``"hm-large"`` (320 nuclides);
         only the fuel composition differs — geometry is identical, exactly
         as in the paper.
+    pattern:
+        Boolean assembly footprint (square); ``None`` uses the canonical
+        241-assembly Hoogenboom-Martin map.  The core lattice is the
+        pattern plus a one-assembly reflector ring; assembly internals
+        (17x17 pins, guide tubes) are common to every footprint.
+    enrichment_scale, fuel_overrides:
+        Forwarded to :func:`~repro.geometry.materials.make_fuel` — the
+        scenario system's handles on fuel composition.
     """
-    fuel = make_fuel(model)
+    fuel = make_fuel(
+        model, enrichment_scale=enrichment_scale, overrides=fuel_overrides
+    )
     clad = make_cladding()
     water = make_water(boron_ppm)
 
@@ -185,19 +264,23 @@ def build_hm_geometry(
     )
     assembly = Universe("assembly", [Cell("assembly/lat", [], pin_lattice)])
 
-    # Core: 19x19 assembly lattice (17x17 pattern + reflector ring).
-    pattern = hm_core_pattern()
+    # Core: (n+2)x(n+2) assembly lattice (n x n pattern + reflector ring);
+    # the H.M. footprint gives the canonical 19x19.
+    if pattern is None:
+        pattern = hm_core_pattern()
+    n_pattern = pattern.shape[0]
+    core_size = n_pattern + 2
     core_rows: list[list[Universe]] = []
-    for iy in range(CORE_SIZE):
+    for iy in range(core_size):
         row = []
-        for ix in range(CORE_SIZE):
+        for ix in range(core_size):
             py, px = iy - 1, ix - 1
-            if 0 <= py < 17 and 0 <= px < 17 and pattern[py, px]:
+            if 0 <= py < n_pattern and 0 <= px < n_pattern and pattern[py, px]:
                 row.append(assembly)
             else:
                 row.append(water_u)
         core_rows.append(row)
-    half_core = 0.5 * CORE_SIZE * ASSEMBLY_PITCH
+    half_core = 0.5 * core_size * ASSEMBLY_PITCH
     core_lattice = RectLattice(
         "core-lattice",
         lower_left=(-half_core, -half_core),
@@ -230,10 +313,16 @@ def build_hm_geometry(
 
 
 def build_pincell_geometry(
-    model: str = "hm-small", boron_ppm: float = 600.0
+    model: str = "hm-small",
+    boron_ppm: float = 600.0,
+    *,
+    enrichment_scale: float = 1.0,
+    fuel_overrides=(),
 ) -> HMModel:
     """A single reflected pin cell — the workhorse for fast eigenvalue tests."""
-    fuel = make_fuel(model)
+    fuel = make_fuel(
+        model, enrichment_scale=enrichment_scale, overrides=fuel_overrides
+    )
     clad = make_cladding()
     water = make_water(boron_ppm)
     pin = _pin_universe("pin", FUEL_RADIUS, CLAD_RADIUS, fuel, clad, water)
@@ -265,10 +354,16 @@ class FastCoreGeometry:
     Python analogue of restructuring data/control flow for SIMD.
     """
 
-    def __init__(self, pincell: bool = False) -> None:
+    def __init__(
+        self, pincell: bool = False, pattern: np.ndarray | None = None
+    ) -> None:
         self.pincell = pincell
-        self.half_core = 0.5 * CORE_SIZE * ASSEMBLY_PITCH
-        self.pattern = hm_core_pattern()
+        self.pattern = hm_core_pattern() if pattern is None else pattern
+        #: Assembly footprint size (17 for H.M.) and the enclosing core
+        #: lattice (footprint + reflector ring, 19 for H.M.).
+        self.n_pattern = int(self.pattern.shape[0])
+        self.core_size = self.n_pattern + 2
+        self.half_core = 0.5 * self.core_size * ASSEMBLY_PITCH
         gt = np.zeros((N_PINS, N_PINS), dtype=bool)
         for (iy, ix) in GUIDE_TUBE_POSITIONS | {INSTRUMENT_TUBE}:
             gt[iy, ix] = True
@@ -305,19 +400,20 @@ class FastCoreGeometry:
         )
         in_active = np.abs(z) <= ACTIVE_HALF_HEIGHT
 
-        # Assembly indices in the 19x19 core lattice.
+        # Assembly indices in the core lattice (19x19 for H.M.).
         ax = np.floor((x + self.half_core) / ASSEMBLY_PITCH).astype(np.int64)
         ay = np.floor((y + self.half_core) / ASSEMBLY_PITCH).astype(np.int64)
         # minimum/maximum instead of integer np.clip: same values, but
         # avoids np.iinfo bound construction on every call.
-        np.minimum(ax, CORE_SIZE - 1, out=ax)
+        np.minimum(ax, self.core_size - 1, out=ax)
         np.maximum(ax, 0, out=ax)
-        np.minimum(ay, CORE_SIZE - 1, out=ay)
+        np.minimum(ay, self.core_size - 1, out=ay)
         np.maximum(ay, 0, out=ay)
         px_, py_ = ax - 1, ay - 1
+        n_pat = self.n_pattern
         fueled = (
             in_active
-            & (px_ >= 0) & (px_ < 17) & (py_ >= 0) & (py_ < 17)
+            & (px_ >= 0) & (px_ < n_pat) & (py_ >= 0) & (py_ < n_pat)
         )
         fueled[fueled] = self.pattern[py_[fueled], px_[fueled]]
 
@@ -409,8 +505,12 @@ class FastCoreGeometry:
         # Pin walls and cylinders, only inside fueled assemblies.
         px_ = ax.astype(np.int64) - 1
         py_ = ay.astype(np.int64) - 1
+        n_pat = self.n_pattern
         in_active = np.abs(z) <= ACTIVE_HALF_HEIGHT
-        fueled = in_active & (px_ >= 0) & (px_ < 17) & (py_ >= 0) & (py_ < 17)
+        fueled = (
+            in_active
+            & (px_ >= 0) & (px_ < n_pat) & (py_ >= 0) & (py_ < n_pat)
+        )
         fueled[fueled] = self.pattern[py_[fueled], px_[fueled]]
         if fueled.any():
             half_a = 0.5 * ASSEMBLY_PITCH

@@ -84,13 +84,23 @@ class Material:
         return ids, rho
 
 
-def make_fuel(model: str = "hm-small", enrichment_scale: float = 1.0) -> Material:
+def make_fuel(
+    model: str = "hm-small",
+    enrichment_scale: float = 1.0,
+    overrides=(),
+) -> Material:
     """Hoogenboom-Martin UO2 fuel with the model's full nuclide census.
 
     Major uranium/oxygen densities follow ~10.3 g/cc UO2; the actinide and
     fission-product inventory carries trace densities so every nuclide's
     cross-section table participates in the lookup loop (what the paper's
     H.M. Small/Large distinction is about: 34 vs 320 nuclides per lookup).
+
+    ``overrides`` is a sequence of ``(nuclide, number_density)`` pairs
+    applied after the census densities — the scenario system's channel for
+    explicit isotopics (a MOX loading, a depleted inventory) without
+    leaving the synthetic builder.  Every named nuclide must be in the
+    model's census: an override cannot add data the library will not hold.
     """
     names = fuel_nuclide_names(model)
     densities: dict[str, float] = {
@@ -111,6 +121,14 @@ def make_fuel(model: str = "hm-small", enrichment_scale: float = 1.0) -> Materia
             densities[name] = 1.0e-7 * (1.0 + (i % 7))
     # Oxygen in UO2 (stoichiometric 2x the heavy-metal density).
     densities["O16"] = 4.6e-2
+    census = set(densities)
+    for nuc, rho in overrides:
+        if nuc not in census:
+            raise GeometryError(
+                f"fuel override names {nuc!r}, which is not in the "
+                f"{model!r} nuclide census"
+            )
+        densities[nuc] = float(rho)
     return Material(name=f"fuel ({model})", densities=densities)
 
 

@@ -1,0 +1,67 @@
+"""repro.scenarios — declarative blueprints, case suites, canned scenarios.
+
+The scenario system turns a plain JSON/YAML document into everything the
+rest of the package runs, in three layers (DESIGN.md §13):
+
+* :mod:`repro.scenarios.schema` — the document schema and total validator
+  (every problem reported at once, with document paths), plus the
+  canonical-form SHA-256 fingerprint;
+* :mod:`repro.scenarios.compiler` — pure lowering into
+  ``LibraryConfig``/``Settings``/``Simulation``/``JobSpec``; the canned
+  Hoogenboom-Martin scenario compiles bit-identically to the historical
+  hard-coded configuration;
+* :mod:`repro.scenarios.suite` — parameter sweeps expanding to service
+  job batches with stable case IDs in fingerprint-affine order.
+
+Canned documents ship under ``repro/scenarios/data/`` and are addressable
+by bare name::
+
+    from repro.scenarios import load_scenario
+    result = load_scenario("hm-full-core").build_simulation().run()
+"""
+
+from .compiler import (
+    DATA_DIR,
+    CompiledScenario,
+    canned_scenario_names,
+    canned_scenario_path,
+    compile_scenario,
+    load_scenario,
+    load_scenario_document,
+)
+from .schema import (
+    GEOMETRY_KINDS,
+    SOURCE_KINDS,
+    TALLY_KINDS,
+    ScenarioSpec,
+    scenario_fingerprint,
+    validate_scenario,
+)
+from .suite import (
+    SWEEP_AXES,
+    Case,
+    CaseSuite,
+    canned_suite_names,
+    load_suite,
+)
+
+__all__ = [
+    "DATA_DIR",
+    "GEOMETRY_KINDS",
+    "SOURCE_KINDS",
+    "SWEEP_AXES",
+    "TALLY_KINDS",
+    "Case",
+    "CaseSuite",
+    "CompiledScenario",
+    "ScenarioSpec",
+    "canned_scenario_names",
+    "canned_scenario_path",
+    "canned_suite_names",
+    "compile_scenario",
+    "load_scenario",
+    "load_scenario_document",
+    "load_suite",
+    "scenario_fingerprint",
+    "validate_scenario",
+]

@@ -1,0 +1,294 @@
+"""Scenario compilation: validated documents → runnable configuration.
+
+:func:`compile_scenario` lowers a :class:`~repro.scenarios.schema.ScenarioSpec`
+into the exact objects the rest of the system runs —
+:class:`~repro.data.library.LibraryConfig`,
+:class:`~repro.transport.simulation.Settings`, a ready
+:class:`~repro.transport.simulation.Simulation`, or a self-contained
+:class:`~repro.serve.jobs.JobSpec` for the service.  Lowering is pure
+translation, never physics: a default-valued scenario compiles to
+default-valued ``Settings``, so the canned Hoogenboom-Martin scenario is
+*bit-identical* to the historical hard-coded configuration (the test suite
+pins this per backend).
+
+The named-pattern rule matters for that guarantee: ``"hm-241"`` lowers to an
+*empty* ``core_pattern`` — the geometry builder's own default H.M. footprint
+— rather than spelling out 19 rows, so the compiled settings fingerprint
+equals the legacy one exactly.
+
+Canned scenarios live as JSON documents under ``repro/scenarios/data/`` and
+are addressable by bare name everywhere a path is accepted
+(:func:`load_scenario`).  YAML documents load too when PyYAML is installed;
+the dependency is optional and gated.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from ..data.library import LibraryConfig, NuclideLibrary, build_library
+from ..errors import ReproError, ScenarioError
+from ..geometry.hoogenboom import CORE_PATTERNS, pattern_to_rows
+from ..geometry.materials import fuel_nuclide_names
+from ..serve.jobs import JobSpec
+from ..transport.simulation import Settings, Simulation
+from .schema import ScenarioSpec, validate_scenario
+
+__all__ = [
+    "CompiledScenario",
+    "compile_scenario",
+    "load_scenario",
+    "load_scenario_document",
+    "canned_scenario_names",
+    "canned_scenario_path",
+    "DATA_DIR",
+]
+
+#: Directory holding the canned scenario/suite documents shipped with the
+#: package.
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+#: Settings fields a JobSpec may carry (mirrors ``repro.serve.jobs``).
+_JOB_SETTINGS_FIELDS = tuple(
+    name for name in Settings.__dataclass_fields__
+    if name not in ("checkpoint_every", "checkpoint_dir")
+)
+
+
+def _lower_core_pattern(spec: ScenarioSpec) -> tuple:
+    """The ``Settings.core_pattern`` value for a spec.
+
+    ``hm-241`` (and an unset pattern) lower to ``()`` — the builder's own
+    default — preserving bit-identity with pre-scenario configurations.
+    Other named patterns expand to their row strings; explicit rows pass
+    through unchanged.
+    """
+    if spec.core_pattern_rows:
+        return spec.core_pattern_rows
+    if spec.core_pattern_name and spec.core_pattern_name != "hm-241":
+        return pattern_to_rows(CORE_PATTERNS[spec.core_pattern_name]())
+    return ()
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """A scenario lowered to runnable configuration.
+
+    ``settings`` is complete — a worker given ``job_spec()`` reconstructs
+    it exactly — and ``fingerprint`` is the scenario-document fingerprint
+    (:func:`~repro.scenarios.schema.scenario_fingerprint`), stamped into
+    every job the scenario produces.
+    """
+
+    spec: ScenarioSpec
+    settings: Settings
+    fingerprint: str
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    # -- Library ------------------------------------------------------------
+
+    def library_config(self) -> LibraryConfig:
+        config = (
+            LibraryConfig.tiny(seed=self._library_seed)
+            if self.spec.fidelity == "tiny"
+            else LibraryConfig(seed=self._library_seed)
+        )
+        if self.spec.library_temperature is not None:
+            config = replace(
+                config, temperature=self.spec.library_temperature
+            )
+        return config
+
+    @property
+    def _library_seed(self) -> int:
+        seed = self.spec.library_seed
+        return JobSpec.__dataclass_fields__["library_seed"].default \
+            if seed is None else seed
+
+    def build_library(self) -> NuclideLibrary:
+        return build_library(self.spec.model, self.library_config())
+
+    # -- Direct execution ---------------------------------------------------
+
+    def build_simulation(
+        self, library: NuclideLibrary | None = None
+    ) -> Simulation:
+        """A ready-to-run :class:`Simulation` (building the library if one
+        isn't supplied)."""
+        if library is None:
+            library = self.build_library()
+        return Simulation(library, self.settings)
+
+    # -- Service execution --------------------------------------------------
+
+    def job_settings(self) -> dict:
+        """The spec's ``Settings`` as a JobSpec-compatible dict.
+
+        Tuple-valued fields are emitted as lists — the JSON-native form —
+        so a spec equals its own JSON round trip; ``Settings`` normalizes
+        them back on reconstruction.
+        """
+        out = {}
+        for name in _JOB_SETTINGS_FIELDS:
+            value = getattr(self.settings, name)
+            if isinstance(value, tuple):
+                value = [
+                    list(v) if isinstance(v, tuple) else v for v in value
+                ]
+            out[name] = value
+        return out
+
+    def job_spec(
+        self,
+        *,
+        job_id: str | None = None,
+        case_id: str = "",
+        suite_id: str = "",
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> JobSpec:
+        """A self-contained service job for this scenario."""
+        kwargs = dict(
+            model=self.spec.model,
+            fidelity=self.spec.fidelity,
+            library_seed=self._library_seed,
+            library_temperature=self.spec.library_temperature,
+            settings=self.job_settings(),
+            priority=priority,
+            deadline_s=deadline_s,
+            case_id=case_id,
+            suite_id=suite_id,
+            scenario_fingerprint=self.fingerprint,
+        )
+        if job_id is not None:
+            kwargs["job_id"] = job_id
+        return JobSpec(**kwargs)
+
+
+def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
+    """Lower a validated spec to runnable configuration.
+
+    Wraps any configuration-layer rejection (``Settings`` cross-checks the
+    schema cannot express) into a :class:`ScenarioError` naming the
+    scenario.
+    """
+    if spec.fuel_number_densities:
+        # The builder enforces this too, but at library-build time deep in
+        # a worker; checking against the model census here turns a bad
+        # isotopic into a compile-time error with the scenario's name on it.
+        census = set(fuel_nuclide_names(spec.model)) | {"O16"}
+        unknown = [
+            nuc for nuc, _ in spec.fuel_number_densities
+            if nuc not in census
+        ]
+        if unknown:
+            raise ScenarioError(
+                f"scenario {spec.name!r}: fuel number_densities name "
+                f"nuclides outside the {spec.model!r} census: "
+                f"{', '.join(unknown)}",
+                errors=tuple(
+                    f"materials.fuel.number_densities.{n}: not in census"
+                    for n in unknown
+                ),
+            )
+    try:
+        settings = Settings(
+            n_particles=spec.particles,
+            n_inactive=spec.inactive,
+            n_active=spec.active,
+            seed=spec.seed,
+            mode=spec.backend,
+            pincell=(spec.geometry_kind == "pincell"),
+            use_sab=spec.use_sab,
+            use_urr=spec.use_urr,
+            use_union_grid=spec.use_union_grid,
+            survival_biasing=spec.survival_biasing,
+            tally_power="power" in spec.tallies,
+            boron_ppm=spec.boron_ppm,
+            enrichment_scale=spec.enrichment_scale,
+            fuel_overrides=spec.fuel_number_densities,
+            core_pattern=_lower_core_pattern(spec),
+            source_watt_a=spec.watt_a,
+            source_watt_b=spec.watt_b,
+        )
+    except ScenarioError:
+        raise
+    except ReproError as exc:
+        raise ScenarioError(
+            f"scenario {spec.name!r} does not compile: {exc}"
+        ) from exc
+    return CompiledScenario(
+        spec=spec, settings=settings, fingerprint=spec.fingerprint()
+    )
+
+
+# -- Document loading ----------------------------------------------------------
+
+
+def canned_scenario_names() -> tuple:
+    """Names of the scenarios shipped under ``repro/scenarios/data/``."""
+    return tuple(
+        sorted(p.stem for p in DATA_DIR.glob("*.json")
+               if not p.stem.startswith("suite-"))
+    )
+
+
+def canned_scenario_path(name: str) -> Path:
+    """Path of a canned scenario by bare name."""
+    path = DATA_DIR / f"{name}.json"
+    if not path.is_file():
+        raise ScenarioError(
+            f"unknown canned scenario {name!r}; available: "
+            f"{', '.join(canned_scenario_names())}"
+        )
+    return path
+
+
+def load_scenario_document(source) -> tuple:
+    """Resolve ``source`` (canned name, path, or mapping) to
+    ``(document, label)`` without validating it."""
+    if isinstance(source, dict):
+        return source, "<inline>"
+    text_path = Path(str(source))
+    if not text_path.suffix and "/" not in str(source):
+        text_path = canned_scenario_path(str(source))
+    if not text_path.is_file():
+        raise ScenarioError(f"scenario file not found: {text_path}")
+    text = text_path.read_text()
+    if text_path.suffix in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            raise ScenarioError(
+                f"{text_path} is YAML but PyYAML is not installed; "
+                "convert the document to JSON"
+            ) from exc
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ScenarioError(
+                f"{text_path} is not valid YAML: {exc}"
+            ) from exc
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(
+                f"{text_path} is not valid JSON: {exc}"
+            ) from exc
+    return data, str(text_path)
+
+
+def load_scenario(source) -> CompiledScenario:
+    """Load, validate, and compile a scenario.
+
+    ``source`` may be a canned scenario name (``"hm-full-core"``), a path
+    to a JSON/YAML document, or an already-parsed mapping.
+    """
+    data, label = load_scenario_document(source)
+    return compile_scenario(validate_scenario(data, label=label))

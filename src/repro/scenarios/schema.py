@@ -1,0 +1,419 @@
+"""Declarative scenario documents: schema, validation, fingerprints.
+
+A *scenario* is a complete, human-writable description of one reactor
+calculation — nuclide census, lattice footprint, material isotopics and
+temperatures, thermal/unresolved physics flags, source spectrum, tally
+requests, and run controls — as a plain JSON/YAML document.  The schema is
+deliberately small: every field maps onto a knob the synthetic library
+builders and :class:`~repro.transport.simulation.Settings` already expose,
+so a validated scenario always compiles (:mod:`repro.scenarios.compiler`)
+into the exact configuration objects the rest of the system runs.
+
+Validation is *total*: :func:`validate_scenario` walks the whole document,
+collects every finding as a ``"path: message"`` string, and raises one
+:class:`~repro.errors.ScenarioError` carrying all of them — a user fixes a
+document in one round trip.  Unknown keys are errors (typo safety), and
+every value is type- and range-checked before compilation sees it.
+
+The canonical form (:meth:`ScenarioSpec.to_canonical_dict`) makes two
+documents that mean the same thing hash the same:
+:func:`scenario_fingerprint` is a SHA-256 over that form, and is stamped
+into every :class:`~repro.serve.jobs.JobSpec` a scenario produces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+
+from ..errors import ScenarioError
+from ..geometry.hoogenboom import CORE_PATTERNS, pattern_from_rows
+from ..transport.backends import available_backends
+
+__all__ = [
+    "GEOMETRY_KINDS",
+    "SOURCE_KINDS",
+    "TALLY_KINDS",
+    "ScenarioSpec",
+    "validate_scenario",
+    "scenario_fingerprint",
+]
+
+GEOMETRY_KINDS = ("full-core", "pincell")
+SOURCE_KINDS = ("watt-fission",)
+TALLY_KINDS = ("k-effective", "entropy", "power")
+_MODELS = ("hm-small", "hm-large")
+_FIDELITIES = ("tiny", "default")
+
+
+# -- Validation plumbing -------------------------------------------------------
+
+
+class _Errors:
+    """Collects ``path: message`` findings across one validation pass."""
+
+    def __init__(self) -> None:
+        self.items: list[str] = []
+
+    def add(self, path: str, message: str) -> None:
+        self.items.append(f"{path}: {message}" if path else message)
+
+    def raise_if_any(self, label: str) -> None:
+        if self.items:
+            raise ScenarioError(
+                f"invalid scenario {label}: {len(self.items)} problem(s)\n"
+                + "\n".join(f"  - {item}" for item in self.items),
+                errors=tuple(self.items),
+            )
+
+
+def _join(path: str, key: str) -> str:
+    return f"{path}.{key}" if path else key
+
+
+class _Section:
+    """A mapping view that records unknown keys and typed lookups."""
+
+    def __init__(self, data: dict, path: str, errors: _Errors) -> None:
+        self.data = data if isinstance(data, dict) else {}
+        self.path = path
+        self.errors = errors
+        self._seen: set[str] = set()
+        if data is not None and not isinstance(data, dict):
+            errors.add(path, f"must be a mapping, got {type(data).__name__}")
+
+    def section(self, key: str) -> "_Section":
+        self._seen.add(key)
+        return _Section(self.data.get(key, {}), _join(self.path, key),
+                        self.errors)
+
+    def get(self, key: str, kind, default, *, choices=None, minimum=None,
+            exclusive_minimum=None, required=False):
+        """Typed scalar lookup; records a finding and returns ``default``
+        on any mismatch."""
+        self._seen.add(key)
+        path = _join(self.path, key)
+        if key not in self.data:
+            if required:
+                self.errors.add(path, "is required")
+            return default
+        value = self.data[key]
+        if kind is float and isinstance(value, int) and not isinstance(
+            value, bool
+        ):
+            value = float(value)
+        if kind is int and isinstance(value, bool):
+            self.errors.add(path, "must be an integer, got a boolean")
+            return default
+        if not isinstance(value, kind):
+            want = kind.__name__ if not isinstance(kind, tuple) else "/".join(
+                k.__name__ for k in kind
+            )
+            self.errors.add(
+                path, f"must be {want}, got {type(value).__name__}"
+            )
+            return default
+        if choices is not None and value not in choices:
+            self.errors.add(
+                path,
+                f"must be one of {', '.join(map(str, choices))}; "
+                f"got {value!r}",
+            )
+            return default
+        if minimum is not None and value < minimum:
+            self.errors.add(path, f"must be >= {minimum}, got {value}")
+            return default
+        if exclusive_minimum is not None and value <= exclusive_minimum:
+            self.errors.add(
+                path, f"must be > {exclusive_minimum}, got {value}"
+            )
+            return default
+        return value
+
+    def raw(self, key: str):
+        self._seen.add(key)
+        return self.data.get(key)
+
+    def check_unknown(self) -> None:
+        for key in sorted(set(self.data) - self._seen):
+            self.errors.add(
+                _join(self.path, key), "unknown key (typo? see the schema)"
+            )
+
+
+# -- The validated spec --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A fully validated scenario document, in canonical form.
+
+    Construction goes through :func:`validate_scenario` (or the
+    :func:`~repro.scenarios.compiler.load_scenario` loader); every field
+    is normalized, so two specs are equal iff they describe the same
+    calculation — and then they share a :func:`scenario_fingerprint`.
+    """
+
+    name: str
+    title: str = ""
+    description: str = ""
+    model: str = "hm-small"
+    fidelity: str = "default"
+    library_seed: int | None = None
+    library_temperature: float | None = None
+    geometry_kind: str = "full-core"
+    #: Named footprint (``hm-241``, ``smr-37``) or empty when explicit
+    #: rows (or the default H.M. map) are used.
+    core_pattern_name: str = ""
+    #: Explicit lattice rows (``F``/``W``); empty means "use the name",
+    #: or the canonical H.M. footprint when the name is empty too.
+    core_pattern_rows: tuple = ()
+    enrichment_scale: float = 1.0
+    #: Sorted ``(nuclide, number_density)`` pairs overriding fuel census
+    #: densities [atoms/barn-cm].
+    fuel_number_densities: tuple = ()
+    boron_ppm: float = 600.0
+    use_sab: bool = True
+    use_urr: bool = True
+    use_union_grid: bool = True
+    survival_biasing: bool = False
+    source_kind: str = "watt-fission"
+    watt_a: float = 0.988
+    watt_b: float = 2.249
+    tallies: tuple = ("k-effective", "entropy")
+    particles: int = 500
+    inactive: int = 2
+    active: int = 5
+    seed: int = 1
+    backend: str = "event"
+
+    def to_canonical_dict(self) -> dict:
+        """JSON-safe canonical form (the fingerprint input)."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = [list(v) if isinstance(v, tuple) else v
+                         for v in value]
+            out[f.name] = value
+        return out
+
+    def fingerprint(self) -> str:
+        return scenario_fingerprint(self)
+
+    def with_overrides(self, **kw) -> "ScenarioSpec":
+        """A copy with dataclass fields replaced (sweep expansion uses
+        this); values are re-checked by re-validating the result."""
+        import dataclasses
+
+        return dataclasses.replace(self, **kw)
+
+
+def scenario_fingerprint(spec: ScenarioSpec) -> str:
+    """SHA-256 over the canonical scenario form.
+
+    Two documents with the same meaning — regardless of key order,
+    JSON vs YAML, or int-vs-float spellings — share a fingerprint.
+    """
+    blob = json.dumps(spec.to_canonical_dict(), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+# -- The validator -------------------------------------------------------------
+
+
+def validate_scenario(data: dict, *, label: str = "document") -> ScenarioSpec:
+    """Validate a raw scenario document into a :class:`ScenarioSpec`.
+
+    Raises :class:`~repro.errors.ScenarioError` listing *every* finding.
+    """
+    errors = _Errors()
+    if not isinstance(data, dict):
+        errors.add("", f"scenario must be a mapping, got "
+                       f"{type(data).__name__}")
+        errors.raise_if_any(label)
+
+    root = _Section(data, "", errors)
+
+    meta = root.section("scenario")
+    name = meta.get("name", str, "", required=True)
+    title = meta.get("title", str, "")
+    description = meta.get("description", str, "")
+    meta.check_unknown()
+    if name and not all(
+        ch.isalnum() or ch in "-_." for ch in name
+    ):
+        errors.add("scenario.name",
+                   "must use only letters, digits, '-', '_', '.'")
+
+    model = root.get("model", str, "hm-small", choices=_MODELS)
+    fidelity = root.get("fidelity", str, "default", choices=_FIDELITIES)
+
+    library = root.section("library")
+    library_seed = library.get("seed", int, None, minimum=0)
+    library_temperature = library.get(
+        "temperature", float, None, exclusive_minimum=0.0
+    )
+    library.check_unknown()
+
+    geometry = root.section("geometry")
+    geometry_kind = geometry.get(
+        "kind", str, "full-core", choices=GEOMETRY_KINDS
+    )
+    pattern_value = geometry.raw("core_pattern")
+    core_pattern_name = ""
+    core_pattern_rows: tuple = ()
+    if pattern_value is not None:
+        if geometry_kind == "pincell":
+            errors.add("geometry.core_pattern",
+                       "does not apply to pincell geometry")
+        elif isinstance(pattern_value, str):
+            if pattern_value in CORE_PATTERNS:
+                core_pattern_name = pattern_value
+            else:
+                errors.add(
+                    "geometry.core_pattern",
+                    f"unknown named pattern {pattern_value!r}; available: "
+                    f"{', '.join(sorted(CORE_PATTERNS))} (or explicit rows)",
+                )
+        elif isinstance(pattern_value, list):
+            try:
+                pattern_from_rows(pattern_value)
+            except Exception as exc:
+                errors.add("geometry.core_pattern", str(exc))
+            else:
+                core_pattern_rows = tuple(str(r) for r in pattern_value)
+        else:
+            errors.add(
+                "geometry.core_pattern",
+                "must be a pattern name or a list of 'F'/'W' row strings",
+            )
+    geometry.check_unknown()
+
+    materials = root.section("materials")
+    fuel = materials.section("fuel")
+    enrichment_scale = fuel.get(
+        "enrichment_scale", float, 1.0, exclusive_minimum=0.0
+    )
+    densities_raw = fuel.raw("number_densities")
+    fuel_number_densities: tuple = ()
+    if densities_raw is not None:
+        if not isinstance(densities_raw, dict):
+            errors.add("materials.fuel.number_densities",
+                       "must be a mapping of nuclide -> atoms/barn-cm")
+        else:
+            pairs = []
+            for nuc in sorted(densities_raw):
+                rho = densities_raw[nuc]
+                path = f"materials.fuel.number_densities.{nuc}"
+                if isinstance(rho, bool) or not isinstance(
+                    rho, (int, float)
+                ):
+                    errors.add(path, "density must be a number")
+                elif not (rho > 0.0):
+                    errors.add(path, f"density must be > 0, got {rho}")
+                else:
+                    pairs.append((str(nuc), float(rho)))
+            fuel_number_densities = tuple(pairs)
+    fuel.check_unknown()
+    moderator = materials.section("moderator")
+    boron_ppm = moderator.get("boron_ppm", float, 600.0, minimum=0.0)
+    moderator.check_unknown()
+    materials.check_unknown()
+
+    physics = root.section("physics")
+    use_sab = physics.get("sab", bool, True)
+    use_urr = physics.get("urr", bool, True)
+    use_union_grid = physics.get("union_grid", bool, True)
+    survival_biasing = physics.get("survival_biasing", bool, False)
+    physics.check_unknown()
+
+    source = root.section("source")
+    source_kind = source.get("kind", str, "watt-fission",
+                             choices=SOURCE_KINDS)
+    watt_a = source.get("watt_a", float, 0.988, exclusive_minimum=0.0)
+    watt_b = source.get("watt_b", float, 2.249, exclusive_minimum=0.0)
+    source.check_unknown()
+
+    tallies_raw = root.raw("tallies")
+    tallies: tuple = ("k-effective", "entropy")
+    if tallies_raw is not None:
+        if not isinstance(tallies_raw, list):
+            errors.add("tallies", "must be a list of tally names")
+        else:
+            seen = []
+            for i, t in enumerate(tallies_raw):
+                if t not in TALLY_KINDS:
+                    errors.add(
+                        f"tallies[{i}]",
+                        f"unknown tally {t!r}; available: "
+                        f"{', '.join(TALLY_KINDS)}",
+                    )
+                elif t not in seen:
+                    seen.append(t)
+            # k-effective and entropy are always scored; keep a canonical
+            # order so equal requests fingerprint equally.
+            tallies = tuple(
+                t for t in TALLY_KINDS
+                if t in ("k-effective", "entropy") or t in seen
+            )
+
+    run = root.section("run")
+    particles = run.get("particles", int, 500, minimum=1)
+    inactive = run.get("inactive", int, 2, minimum=0)
+    active = run.get("active", int, 5, minimum=1)
+    seed = run.get("seed", int, 1, minimum=0)
+    backend = run.get("backend", str, "event")
+    run.check_unknown()
+    if backend not in available_backends():
+        errors.add(
+            "run.backend",
+            f"unknown transport backend {backend!r}; available: "
+            f"{', '.join(available_backends())}",
+        )
+
+    root.check_unknown()
+
+    # Cross-field constraints (mirror Settings' own guards, but with
+    # document paths and all-at-once reporting).
+    if backend == "delta":
+        if "power" in tallies:
+            errors.add(
+                "tallies",
+                "the delta backend scores no track-length tallies; drop "
+                "'power' or pick the history/event backend",
+            )
+        if not use_union_grid:
+            errors.add("physics.union_grid",
+                       "delta tracking requires the union grid")
+
+    errors.raise_if_any(label if not name else f"{label} ({name!r})")
+    return ScenarioSpec(
+        name=name,
+        title=title,
+        description=description,
+        model=model,
+        fidelity=fidelity,
+        library_seed=library_seed,
+        library_temperature=library_temperature,
+        geometry_kind=geometry_kind,
+        core_pattern_name=core_pattern_name,
+        core_pattern_rows=core_pattern_rows,
+        enrichment_scale=enrichment_scale,
+        fuel_number_densities=fuel_number_densities,
+        boron_ppm=boron_ppm,
+        use_sab=use_sab,
+        use_urr=use_urr,
+        use_union_grid=use_union_grid,
+        survival_biasing=survival_biasing,
+        source_kind=source_kind,
+        watt_a=watt_a,
+        watt_b=watt_b,
+        tallies=tallies,
+        particles=particles,
+        inactive=inactive,
+        active=active,
+        seed=seed,
+        backend=backend,
+    )

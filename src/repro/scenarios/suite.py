@@ -1,0 +1,319 @@
+"""Case suites: parameter sweeps over a base scenario.
+
+A *suite* document names a base scenario and a set of **axes** — named
+parameters with a list of values each — and expands to the cartesian
+product of those values.  Every case is a full scenario document (the base
+with the axis values written into their schema paths), re-validated and
+compiled independently, so a case can never reach the service in a state
+the scenario schema would have rejected.
+
+Two properties matter downstream:
+
+* **Stable case IDs.**  ``<suite>:<axis>=<value>,...`` with axes in sorted
+  name order — independent of axis declaration order, stable across
+  re-expansions, and usable verbatim as a service job ID.
+* **Fingerprint-affine ordering.**  Expanded cases are grouped by library
+  fingerprint (first-occurrence group order, submission order within a
+  group), so consecutive submissions hit the service's library cache and
+  worker affinity instead of thrashing rebuilds.  Axes that don't touch
+  the library (backend, boron, seeds, ...) share one build no matter how
+  many cases they span.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import SuiteError
+from ..serve.jobs import JobSpec
+from .compiler import (
+    DATA_DIR,
+    CompiledScenario,
+    compile_scenario,
+    load_scenario_document,
+)
+from .schema import ScenarioSpec, validate_scenario
+
+__all__ = [
+    "SWEEP_AXES",
+    "Case",
+    "CaseSuite",
+    "load_suite",
+    "canned_suite_names",
+]
+
+#: Sweepable axes: axis name → path into the scenario document.
+SWEEP_AXES = {
+    "model": ("model",),
+    "fidelity": ("fidelity",),
+    "temperature": ("library", "temperature"),
+    "library_seed": ("library", "seed"),
+    "enrichment_scale": ("materials", "fuel", "enrichment_scale"),
+    "boron_ppm": ("materials", "moderator", "boron_ppm"),
+    "sab": ("physics", "sab"),
+    "urr": ("physics", "urr"),
+    "survival_biasing": ("physics", "survival_biasing"),
+    "backend": ("run", "backend"),
+    "particles": ("run", "particles"),
+    "inactive": ("run", "inactive"),
+    "active": ("run", "active"),
+    "seed": ("run", "seed"),
+}
+
+#: Expansion guard: a sweep larger than this is almost certainly a typo'd
+#: axis, and the service queue should not find out the hard way.
+MAX_CASES = 4096
+
+_SUITE_PREFIX = "suite-"
+
+
+def _slug_value(value) -> str:
+    """A filesystem- and queue-safe rendering of one axis value."""
+    text = value if isinstance(value, str) else json.dumps(value)
+    return "".join(
+        ch if (ch.isalnum() or ch in "-_.") else "-" for ch in text
+    )
+
+
+def _set_path(document: dict, path: tuple, value) -> None:
+    node = document
+    for key in path[:-1]:
+        node = node.setdefault(key, {})
+        if not isinstance(node, dict):
+            raise SuiteError(
+                f"cannot override {'.'.join(path)}: "
+                f"{key!r} is not a mapping in the base scenario"
+            )
+    node[path[-1]] = value
+
+
+@dataclass(frozen=True)
+class Case:
+    """One expanded case: its identity, axis values, and compiled form."""
+
+    case_id: str
+    #: Axis name → value for this case (sorted by axis name).
+    overrides: dict
+    compiled: CompiledScenario
+    job: JobSpec
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        return self.compiled.spec
+
+
+class CaseSuite:
+    """A validated sweep definition, ready to expand.
+
+    Build one with :func:`load_suite` (canned name, path, or mapping) or
+    directly from a parsed document with :meth:`from_document`.
+    """
+
+    def __init__(
+        self,
+        *,
+        suite_id: str,
+        title: str = "",
+        description: str = "",
+        base_document: dict,
+        axes: dict,
+        priority: int = 0,
+        label: str = "<inline>",
+    ) -> None:
+        self.suite_id = suite_id
+        self.title = title
+        self.description = description
+        self.base_document = base_document
+        #: Axis name → tuple of values, in document order (expansion
+        #: nesting order; case IDs sort axes independently of it).
+        self.axes = {k: tuple(v) for k, v in axes.items()}
+        self.priority = priority
+        self.label = label
+        self._validate()
+
+    # -- Validation ----------------------------------------------------------
+
+    def _validate(self) -> None:
+        problems = []
+        if not self.suite_id:
+            problems.append("suite.id: is required")
+        elif not all(
+            ch.isalnum() or ch in "-_." for ch in self.suite_id
+        ):
+            problems.append(
+                "suite.id: must use only letters, digits, '-', '_', '.'"
+            )
+        for name, values in self.axes.items():
+            if name not in SWEEP_AXES:
+                problems.append(
+                    f"axes.{name}: unknown axis; sweepable axes are "
+                    f"{', '.join(sorted(SWEEP_AXES))}"
+                )
+                continue
+            if not values:
+                problems.append(f"axes.{name}: needs at least one value")
+            if any(isinstance(v, (dict, list)) for v in values):
+                problems.append(f"axes.{name}: values must be scalars")
+            if len(set(map(repr, values))) != len(values):
+                problems.append(f"axes.{name}: contains duplicate values")
+        size = self.n_cases()
+        if size > MAX_CASES:
+            problems.append(
+                f"axes: sweep expands to {size} cases "
+                f"(limit {MAX_CASES})"
+            )
+        if problems:
+            raise SuiteError(
+                f"invalid suite {self.label}: {len(problems)} problem(s)\n"
+                + "\n".join(f"  - {p}" for p in problems),
+                errors=tuple(problems),
+            )
+        # The base document must itself be a valid scenario; axis values
+        # are checked per-case at expansion (each case re-validates).
+        validate_scenario(
+            copy.deepcopy(self.base_document),
+            label=f"{self.label} base scenario",
+        )
+
+    def n_cases(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= max(len(values), 1)
+        return n
+
+    # -- Expansion -----------------------------------------------------------
+
+    def case_id_for(self, overrides: dict) -> str:
+        """The stable ID of the case with these axis values."""
+        if not overrides:
+            return f"{self.suite_id}:base"
+        slug = ",".join(
+            f"{name}={_slug_value(overrides[name])}"
+            for name in sorted(overrides)
+        )
+        return f"{self.suite_id}:{slug}"
+
+    def expand(self) -> list:
+        """All cases, in fingerprint-affine submission order.
+
+        Cases are generated in cartesian-product order (first declared
+        axis outermost), then stably regrouped so that cases sharing a
+        library fingerprint are consecutive — the order ``submit`` sends
+        them to the service.
+        """
+        names = list(self.axes)
+        combos = itertools.product(*(self.axes[n] for n in names)) \
+            if names else iter([()])
+        cases = []
+        for combo in combos:
+            overrides = dict(sorted(zip(names, combo)))
+            document = copy.deepcopy(self.base_document)
+            for name, value in overrides.items():
+                _set_path(document, SWEEP_AXES[name], value)
+            case_id = self.case_id_for(overrides)
+            try:
+                compiled = compile_scenario(
+                    validate_scenario(document, label=case_id)
+                )
+            except SuiteError:
+                raise
+            except Exception as exc:
+                raise SuiteError(
+                    f"suite {self.suite_id!r}: case {case_id} is "
+                    f"invalid: {exc}"
+                ) from exc
+            job = compiled.job_spec(
+                job_id=case_id,
+                case_id=case_id,
+                suite_id=self.suite_id,
+                priority=self.priority,
+            )
+            cases.append(Case(
+                case_id=case_id, overrides=overrides,
+                compiled=compiled, job=job,
+            ))
+        # Stable regroup by library fingerprint: first occurrence fixes
+        # the group's position; order within a group is preserved.
+        groups: dict = {}
+        for case in cases:
+            groups.setdefault(case.job.library_fingerprint(), []).append(
+                case
+            )
+        return [case for group in groups.values() for case in group]
+
+    def job_specs(self) -> list:
+        return [case.job for case in self.expand()]
+
+    # -- Construction --------------------------------------------------------
+
+    @classmethod
+    def from_document(
+        cls, data: dict, *, label: str = "<inline>"
+    ) -> "CaseSuite":
+        if not isinstance(data, dict):
+            raise SuiteError(
+                f"suite {label}: document must be a mapping, got "
+                f"{type(data).__name__}"
+            )
+        known = {"suite", "scenario", "axes", "priority"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SuiteError(
+                f"suite {label}: unknown keys {unknown} "
+                f"(expected {sorted(known)})"
+            )
+        meta = data.get("suite", {})
+        if not isinstance(meta, dict):
+            raise SuiteError(f"suite {label}: 'suite' must be a mapping")
+        scenario_ref = data.get("scenario")
+        if scenario_ref is None:
+            raise SuiteError(f"suite {label}: 'scenario' is required")
+        base_document, _ = load_scenario_document(scenario_ref)
+        axes = data.get("axes", {})
+        if not isinstance(axes, dict) or not all(
+            isinstance(v, list) for v in axes.values()
+        ):
+            raise SuiteError(
+                f"suite {label}: 'axes' must map axis names to value lists"
+            )
+        priority = data.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise SuiteError(f"suite {label}: 'priority' must be an integer")
+        return cls(
+            suite_id=str(meta.get("id", "")),
+            title=str(meta.get("title", "")),
+            description=str(meta.get("description", "")),
+            base_document=base_document,
+            axes=axes,
+            priority=priority,
+            label=label,
+        )
+
+
+def canned_suite_names() -> tuple:
+    """Names of the suites shipped under ``repro/scenarios/data/``."""
+    return tuple(sorted(
+        p.stem[len(_SUITE_PREFIX):]
+        for p in DATA_DIR.glob(f"{_SUITE_PREFIX}*.json")
+    ))
+
+
+def load_suite(source) -> CaseSuite:
+    """Load a suite from a canned name, a path, or a parsed mapping."""
+    if isinstance(source, dict):
+        return CaseSuite.from_document(source)
+    path = Path(str(source))
+    if not path.suffix and "/" not in str(source):
+        canned = DATA_DIR / f"{_SUITE_PREFIX}{source}.json"
+        if not canned.is_file():
+            raise SuiteError(
+                f"unknown canned suite {source!r}; available: "
+                f"{', '.join(canned_suite_names())}"
+            )
+        path = canned
+    data, label = load_scenario_document(path)
+    return CaseSuite.from_document(data, label=label)

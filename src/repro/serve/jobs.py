@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 import uuid
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields, replace
 
 from ..data.library import LibraryConfig, library_fingerprint
 from ..errors import JobError, ReproError
@@ -60,6 +60,10 @@ class JobSpec:
     model: str = "hm-small"
     fidelity: str = "tiny"
     library_seed: int = 20150525
+    #: Library data temperature [K]; ``None`` keeps the fidelity preset's
+    #: default.  Distinct temperatures are distinct library fingerprints
+    #: (Doppler sweeps rebuild the data, as they must).
+    library_temperature: float | None = None
     settings: dict = field(default_factory=dict)
     priority: int = 0
     deadline_s: float | None = None
@@ -67,6 +71,13 @@ class JobSpec:
     submitted_at: float | None = None
     #: Crash injection: workers ``os._exit`` mid-job on attempts <= this.
     fault_crash_attempts: int = 0
+    #: Scenario provenance (set by ``repro.scenarios``): which case of
+    #: which suite produced this job, and the fingerprint of the scenario
+    #: document it compiled from.  Purely descriptive — never consulted by
+    #: workers, so legacy specs (empty strings) behave identically.
+    case_id: str = ""
+    suite_id: str = ""
+    scenario_fingerprint: str = ""
 
     def __post_init__(self) -> None:
         if self.fidelity not in _FIDELITIES:
@@ -87,9 +98,14 @@ class JobSpec:
         return Settings(**self.settings)
 
     def library_config(self) -> LibraryConfig:
-        if self.fidelity == "tiny":
-            return LibraryConfig.tiny(seed=self.library_seed)
-        return LibraryConfig(seed=self.library_seed)
+        config = (
+            LibraryConfig.tiny(seed=self.library_seed)
+            if self.fidelity == "tiny"
+            else LibraryConfig(seed=self.library_seed)
+        )
+        if self.library_temperature is not None:
+            config = replace(config, temperature=self.library_temperature)
+        return config
 
     # -- Fingerprints --------------------------------------------------------
 
@@ -158,6 +174,10 @@ class JobResult:
     counters: dict = field(default_factory=dict)
     settings_fingerprint: str = ""
     library_fingerprint: str = ""
+    #: Scenario provenance, copied verbatim from the spec.
+    case_id: str = ""
+    suite_id: str = ""
+    scenario_fingerprint: str = ""
     #: Service accounting.
     worker_id: int = -1
     attempts: int = 1
@@ -196,6 +216,9 @@ class JobResult:
             counters=result.counters.as_dict(),
             settings_fingerprint=spec.settings_fingerprint(),
             library_fingerprint=spec.library_fingerprint(),
+            case_id=spec.case_id,
+            suite_id=spec.suite_id,
+            scenario_fingerprint=spec.scenario_fingerprint,
             worker_id=worker_id,
             attempts=attempts,
             build_seconds=build_seconds,
@@ -219,6 +242,9 @@ class JobResult:
             status=status,
             settings_fingerprint=settings_fp,
             library_fingerprint=spec.library_fingerprint(),
+            case_id=spec.case_id,
+            suite_id=spec.suite_id,
+            scenario_fingerprint=spec.scenario_fingerprint,
             worker_id=worker_id,
             attempts=attempts,
             error=error,

@@ -24,6 +24,7 @@ from ..geometry.hoogenboom import (
     HMModel,
     build_hm_geometry,
     build_pincell_geometry,
+    pattern_from_rows,
 )
 from ..physics.macroxs import XSCalculator
 from ..work import WorkCounters
@@ -85,13 +86,35 @@ class TransportContext:
         master_seed: int = 1,
         layout: str = "soa",
         survival_biasing: bool = False,
+        boron_ppm: float = 600.0,
+        enrichment_scale: float = 1.0,
+        fuel_overrides=(),
+        core_pattern=(),
     ) -> "TransportContext":
-        """Build a context for the library's own model (small/large)."""
-        model = (
-            build_pincell_geometry(library.model)
-            if pincell
-            else build_hm_geometry(library.model)
-        )
+        """Build a context for the library's own model (small/large).
+
+        ``boron_ppm``, ``enrichment_scale``, ``fuel_overrides``, and
+        ``core_pattern`` are the scenario system's material/lattice knobs;
+        the defaults reproduce the canonical Hoogenboom-Martin model
+        bit-for-bit.  ``core_pattern`` (rows of ``F``/``W``) only applies
+        to full-core geometry.
+        """
+        pattern = pattern_from_rows(core_pattern) if core_pattern else None
+        if pincell:
+            model = build_pincell_geometry(
+                library.model,
+                boron_ppm,
+                enrichment_scale=enrichment_scale,
+                fuel_overrides=fuel_overrides,
+            )
+        else:
+            model = build_hm_geometry(
+                library.model,
+                boron_ppm,
+                pattern=pattern,
+                enrichment_scale=enrichment_scale,
+                fuel_overrides=fuel_overrides,
+            )
         calculator = XSCalculator(
             library, union, use_sab=use_sab, use_urr=use_urr, layout=layout
         )
@@ -100,7 +123,7 @@ class TransportContext:
             library=library,
             union=union,
             calculator=calculator,
-            fast=FastCoreGeometry(pincell=pincell),
+            fast=FastCoreGeometry(pincell=pincell, pattern=pattern),
             use_fast_geometry=use_fast_geometry,
             master_seed=master_seed,
             survival_biasing=survival_biasing,

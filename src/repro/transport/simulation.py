@@ -26,9 +26,9 @@ from ..errors import ExecutionError
 from ..geometry.hoogenboom import (
     ACTIVE_HALF_HEIGHT,
     ASSEMBLY_PITCH,
-    CORE_SIZE,
     MAT_FUEL,
     PIN_PITCH,
+    pattern_from_rows,
 )
 from ..profiling.timers import Profile, TimerRegistry
 from ..resilience.checkpoint import (
@@ -75,6 +75,20 @@ class Settings:
     survival_biasing: bool = False
     #: Accumulate an assembly-resolved power map over active batches.
     tally_power: bool = False
+    #: Soluble-boron concentration of the moderator [ppm].
+    boron_ppm: float = 600.0
+    #: Scale factor on the U-235 fuel density (enrichment sweeps).
+    enrichment_scale: float = 1.0
+    #: Explicit fuel isotopics: ``(nuclide, number_density)`` pairs applied
+    #: over the model census (the scenario system's MOX/depletion channel).
+    fuel_overrides: tuple = ()
+    #: Declarative core footprint: rows of ``F``/``W`` characters, square.
+    #: Empty means the canonical 241-assembly Hoogenboom-Martin map.
+    #: Ignored for pin-cell runs.
+    core_pattern: tuple = ()
+    #: Watt fission-spectrum parameters of the initial guess source.
+    source_watt_a: float = 0.988
+    source_watt_b: float = 2.249
     #: Write a checkpoint every N recorded batches (0 disables).
     checkpoint_every: int = 0
     #: Directory receiving checkpoint files (required when checkpointing).
@@ -88,6 +102,29 @@ class Settings:
             )
         if self.n_particles < 1 or self.n_active < 1:
             raise ExecutionError("need n_particles >= 1 and n_active >= 1")
+        # JSON round-trips deliver lists; canonicalize to tuples so frozen
+        # Settings compare (and fingerprint) identically either way.
+        object.__setattr__(
+            self,
+            "fuel_overrides",
+            tuple((str(n), float(r)) for n, r in self.fuel_overrides),
+        )
+        object.__setattr__(
+            self, "core_pattern", tuple(str(r) for r in self.core_pattern)
+        )
+        if not (self.boron_ppm >= 0.0):
+            raise ExecutionError("boron_ppm must be >= 0")
+        if not (self.enrichment_scale > 0.0):
+            raise ExecutionError("enrichment_scale must be > 0")
+        for nuc, rho in self.fuel_overrides:
+            if not (rho > 0.0):
+                raise ExecutionError(
+                    f"fuel override {nuc!r} needs a positive density"
+                )
+        if self.core_pattern:
+            # Parse eagerly: a malformed lattice should fail at Settings
+            # construction, not batches later inside a worker.
+            pattern_from_rows(self.core_pattern)
         if self.checkpoint_every < 0:
             raise ExecutionError("checkpoint_every must be >= 0")
         if self.checkpoint_every > 0 and not self.checkpoint_dir:
@@ -177,12 +214,16 @@ class Simulation:
                 use_fast_geometry=settings.use_fast_geometry,
                 master_seed=settings.seed,
                 survival_biasing=settings.survival_biasing,
+                boron_ppm=settings.boron_ppm,
+                enrichment_scale=settings.enrichment_scale,
+                fuel_overrides=settings.fuel_overrides,
+                core_pattern=settings.core_pattern,
             )
         self.ctx = context
+        # Core extent comes from the context's geometry, so custom lattice
+        # footprints (scenarios) get a matching mesh and source region.
         half = (
-            0.5 * PIN_PITCH
-            if settings.pincell
-            else 0.5 * CORE_SIZE * ASSEMBLY_PITCH
+            0.5 * PIN_PITCH if settings.pincell else self.ctx.fast.half_core
         )
         self.mesh = EntropyMesh(
             lower=(-half, -half, -ACTIVE_HALF_HEIGHT),
@@ -202,7 +243,7 @@ class Simulation:
         if self.settings.pincell:
             half, zmax = 0.5 * PIN_PITCH, ACTIVE_HALF_HEIGHT
         else:
-            half, zmax = 0.5 * CORE_SIZE * ASSEMBLY_PITCH, ACTIVE_HALF_HEIGHT
+            half, zmax = self.ctx.fast.half_core, ACTIVE_HALF_HEIGHT
         positions = np.empty((n, 3))
         filled = 0
         while filled < n:
@@ -218,7 +259,10 @@ class Simulation:
             take = min(int(ok.sum()), n - filled)
             positions[filled : filled + take] = cand[ok][:take]
             filled += take
-        energies = self._watt_numpy(n, rng)
+        energies = self._watt_numpy(
+            n, rng, a=self.settings.source_watt_a,
+            b=self.settings.source_watt_b,
+        )
         return positions, energies
 
     @staticmethod
@@ -344,7 +388,13 @@ class Simulation:
                 half = 0.5 * PIN_PITCH
                 power = PowerTally(shape=(1, 1), half_width=half)
             else:
-                power = PowerTally()
+                # One mesh cell per assembly footprint position; the H.M.
+                # default reproduces PowerTally's canonical 17x17 mesh.
+                n_pat = self.ctx.fast.n_pattern
+                power = PowerTally(
+                    shape=(n_pat, n_pat),
+                    half_width=0.5 * n_pat * ASSEMBLY_PITCH,
+                )
 
         if resume_from is not None:
             state, stats = self._restore(resume_from, power)

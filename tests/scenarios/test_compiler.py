@@ -1,0 +1,169 @@
+"""Scenario compilation: canned documents, bit-identity, job lowering.
+
+The headline acceptance test: the canned Hoogenboom-Martin scenario,
+compiled through the declarative layer, produces *bit-identical* tallies to
+the historical hard-coded ``Settings`` path — on every registered transport
+backend.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.data import LibraryConfig, build_library
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    CompiledScenario,
+    canned_scenario_names,
+    compile_scenario,
+    load_scenario,
+    validate_scenario,
+)
+from repro.transport import Settings, Simulation, available_backends
+
+
+@pytest.fixture(scope="module")
+def tiny_library():
+    return build_library("hm-small", LibraryConfig.tiny())
+
+
+class TestCannedScenarios:
+    def test_all_four_ship_and_compile(self):
+        names = canned_scenario_names()
+        assert names == (
+            "c5g7-mox", "hm-full-core", "shield-slab", "smr-core"
+        )
+        for name in names:
+            compiled = load_scenario(name)
+            assert isinstance(compiled, CompiledScenario)
+            assert compiled.name == name
+            assert len(compiled.fingerprint) == 64
+
+    def test_unknown_canned_name_lists_available(self):
+        with pytest.raises(ScenarioError, match="hm-full-core"):
+            load_scenario("hm-small-core")
+
+    def test_hm_compiles_to_exactly_default_settings(self):
+        # The bit-identity contract at the configuration level: the canned
+        # H.M. document lowers to the same frozen Settings a hard-coded
+        # call would build — not approximately, *exactly* (the named
+        # "hm-241" pattern lowers to the builder's own default).
+        compiled = load_scenario("hm-full-core")
+        assert compiled.settings == Settings(
+            n_particles=1000, n_inactive=2, n_active=5, seed=1,
+            mode="event",
+        )
+        assert compiled.settings.core_pattern == ()
+
+    def test_smr_uses_named_pattern_and_hot_library(self):
+        compiled = load_scenario("smr-core")
+        assert len(compiled.settings.core_pattern) == 7
+        assert compiled.library_config().temperature == 565.0
+        assert compiled.settings.tally_power is True
+
+    def test_c5g7_overrides_stay_inside_census(self):
+        compiled = load_scenario("c5g7-mox")
+        nuclides = [n for n, _ in compiled.settings.fuel_overrides]
+        assert "Pu239" in nuclides and "U238" in nuclides
+        # Ordered by nuclide name (canonical form), not document order.
+        assert nuclides == sorted(nuclides)
+
+    def test_shield_slab_is_survival_biased_single_assembly(self):
+        compiled = load_scenario("shield-slab")
+        assert compiled.settings.survival_biasing is True
+        assert compiled.settings.boron_ppm == 2500.0
+        assert sum(
+            row.count("F") for row in compiled.settings.core_pattern
+        ) == 1
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("backend", sorted(available_backends()))
+    def test_canned_hm_matches_hard_coded_path(self, backend,
+                                               tiny_library):
+        """One generation on each registered backend: the scenario layer
+        may not perturb a single bit of the tally payload."""
+        compiled = compile_scenario(
+            load_scenario("hm-full-core").spec.with_overrides(
+                fidelity="tiny", particles=60, inactive=0, active=1,
+                backend=backend,
+            )
+        )
+        via_scenario = compiled.build_simulation(tiny_library).run()
+        hard_coded = Simulation(tiny_library, Settings(
+            n_particles=60, n_inactive=0, n_active=1, seed=1,
+            mode=backend,
+        )).run()
+        assert list(via_scenario.statistics.k_collision) == list(
+            hard_coded.statistics.k_collision
+        )
+        assert list(via_scenario.statistics.k_absorption) == list(
+            hard_coded.statistics.k_absorption
+        )
+        assert list(via_scenario.statistics.k_track) == list(
+            hard_coded.statistics.k_track
+        )
+        assert list(via_scenario.entropy_trace) == list(
+            hard_coded.entropy_trace
+        )
+        assert via_scenario.counters.as_dict() == \
+            hard_coded.counters.as_dict()
+
+
+class TestJobLowering:
+    def test_job_spec_is_self_contained(self):
+        compiled = load_scenario("smr-core")
+        job = compiled.job_spec(case_id="c1", suite_id="s1")
+        # A worker reconstructs the exact Settings from the spec alone.
+        assert job.to_settings() == compiled.settings
+        assert job.library_config() == compiled.library_config()
+        assert job.scenario_fingerprint == compiled.fingerprint
+        assert (job.case_id, job.suite_id) == ("c1", "s1")
+
+    def test_job_spec_round_trips_exactly(self):
+        for name in canned_scenario_names():
+            job = load_scenario(name).job_spec(job_id=f"j-{name}")
+            assert type(job).from_json(job.to_json()) == job
+
+    def test_doppler_temperature_moves_library_fingerprint(self):
+        base = load_scenario("hm-full-core")
+        hot = compile_scenario(
+            base.spec.with_overrides(library_temperature=900.0)
+        )
+        assert hot.job_spec().library_fingerprint() != \
+            base.job_spec().library_fingerprint()
+        # ...while a pure-transport knob does not.
+        boron = compile_scenario(
+            base.spec.with_overrides(boron_ppm=1200.0)
+        )
+        assert boron.job_spec().library_fingerprint() == \
+            base.job_spec().library_fingerprint()
+
+    def test_non_census_isotopic_fails_at_compile(self):
+        spec = validate_scenario({
+            "scenario": {"name": "bad-mox"},
+            "materials": {"fuel": {"number_densities": {"Th232": 1e-3}}},
+        })
+        with pytest.raises(ScenarioError, match="Th232"):
+            compile_scenario(spec)
+
+    def test_compile_wraps_settings_rejections(self):
+        # Constraints only Settings can see surface as ScenarioError
+        # naming the scenario, not as a bare ExecutionError.
+        spec = validate_scenario({"scenario": {"name": "t"}})
+        bad = dataclasses.replace(spec, particles=0)
+        with pytest.raises(ScenarioError, match="'t' does not compile"):
+            compile_scenario(bad)
+
+
+class TestEndToEnd:
+    def test_shield_slab_runs_and_is_deeply_subcritical(self, tiny_library):
+        compiled = compile_scenario(
+            load_scenario("shield-slab").spec.with_overrides(
+                fidelity="tiny", particles=80, inactive=0, active=2,
+            )
+        )
+        result = compiled.build_simulation(tiny_library).run()
+        # One assembly in a borated slab: far below critical.
+        assert result.k_effective.mean < 0.8
+        assert result.counters.collisions > 0

@@ -1,0 +1,144 @@
+"""Scenario schema: total validation, canonical form, fingerprints."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import ScenarioSpec, scenario_fingerprint, validate_scenario
+
+
+def minimal(**extra):
+    doc = {"scenario": {"name": "t"}}
+    doc.update(extra)
+    return doc
+
+
+class TestValidation:
+    def test_minimal_document_gets_defaults(self):
+        spec = validate_scenario(minimal())
+        assert spec.name == "t"
+        assert spec.model == "hm-small"
+        assert spec.boron_ppm == 600.0
+        assert spec.enrichment_scale == 1.0
+        assert spec.backend == "event"
+        assert spec.tallies == ("k-effective", "entropy")
+        assert spec.core_pattern_name == ""
+        assert spec.core_pattern_rows == ()
+
+    def test_name_is_required(self):
+        with pytest.raises(ScenarioError, match="scenario.name: is required"):
+            validate_scenario({})
+
+    def test_all_problems_reported_at_once(self):
+        doc = {
+            "scenario": {"name": "bad/name"},
+            "model": "hm-huge",
+            "materials": {"moderator": {"boron_ppm": -5}},
+            "run": {"particles": 0, "backend": "warp"},
+            "physics": {"sab": "yes"},
+        }
+        with pytest.raises(ScenarioError) as err:
+            validate_scenario(doc)
+        paths = [e.split(":")[0] for e in err.value.errors]
+        assert "scenario.name" in paths
+        assert "model" in paths
+        assert "materials.moderator.boron_ppm" in paths
+        assert "run.particles" in paths
+        assert "run.backend" in paths
+        assert "physics.sab" in paths
+        assert len(err.value.errors) == 6
+
+    def test_unknown_keys_are_typo_errors(self):
+        doc = minimal(materials={"fuel": {"enrichment_scal": 1.1}})
+        doc["runn"] = {}
+        with pytest.raises(ScenarioError) as err:
+            validate_scenario(doc)
+        text = str(err.value)
+        assert "materials.fuel.enrichment_scal: unknown key" in text
+        assert "runn: unknown key" in text
+
+    def test_unknown_backend_error_names_available(self):
+        with pytest.raises(ScenarioError, match="history"):
+            validate_scenario(minimal(run={"backend": "warp"}))
+
+    def test_unknown_named_pattern_lists_alternatives(self):
+        doc = minimal(geometry={"core_pattern": "donut"})
+        with pytest.raises(ScenarioError, match="hm-241.*smr-37|smr-37"):
+            validate_scenario(doc)
+
+    def test_explicit_pattern_rows_validated(self):
+        doc = minimal(geometry={"core_pattern": ["FW", "WWW"]})
+        with pytest.raises(ScenarioError, match="geometry.core_pattern"):
+            validate_scenario(doc)
+
+    def test_pattern_rejected_for_pincell(self):
+        doc = minimal(
+            geometry={"kind": "pincell", "core_pattern": "smr-37"}
+        )
+        with pytest.raises(ScenarioError, match="does not apply to pincell"):
+            validate_scenario(doc)
+
+    def test_delta_cross_constraints(self):
+        doc = minimal(
+            run={"backend": "delta"},
+            tallies=["k-effective", "power"],
+            physics={"union_grid": False},
+        )
+        with pytest.raises(ScenarioError) as err:
+            validate_scenario(doc)
+        text = str(err.value)
+        assert "track-length" in text
+        assert "union grid" in text
+
+    def test_bad_number_density_reports_nuclide_path(self):
+        doc = minimal(
+            materials={"fuel": {"number_densities": {"U235": -1.0}}}
+        )
+        with pytest.raises(
+            ScenarioError, match="number_densities.U235"
+        ):
+            validate_scenario(doc)
+
+    def test_tally_order_is_canonical(self):
+        a = validate_scenario(minimal(tallies=["power", "entropy",
+                                               "k-effective"]))
+        b = validate_scenario(minimal(tallies=["k-effective", "power"]))
+        assert a.tallies == b.tallies == ("k-effective", "entropy", "power")
+
+
+class TestFingerprint:
+    def test_equivalent_documents_share_a_fingerprint(self):
+        # Key order, int-vs-float spellings, and explicit defaults must
+        # not perturb the canonical form.
+        a = validate_scenario({
+            "scenario": {"name": "t"},
+            "run": {"particles": 500, "seed": 1},
+            "materials": {"moderator": {"boron_ppm": 600}},
+        })
+        b = validate_scenario({
+            "materials": {"moderator": {"boron_ppm": 600.0}},
+            "scenario": {"name": "t"},
+        })
+        assert scenario_fingerprint(a) == scenario_fingerprint(b)
+
+    def test_physics_changes_move_the_fingerprint(self):
+        base = validate_scenario(minimal())
+        for doc in (
+            minimal(materials={"moderator": {"boron_ppm": 601.0}}),
+            minimal(run={"seed": 2}),
+            minimal(physics={"sab": False}),
+            minimal(library={"temperature": 565.0}),
+        ):
+            assert validate_scenario(doc).fingerprint() != base.fingerprint()
+
+    def test_fingerprint_is_stable_across_round_trip(self):
+        spec = validate_scenario(minimal(
+            geometry={"core_pattern": ["WFW", "FFF", "WFW"]},
+            materials={"fuel": {"number_densities": {"U235": 1.0e-3}}},
+        ))
+        assert isinstance(spec, ScenarioSpec)
+        again = validate_scenario({
+            "scenario": {"name": "t"},
+            "geometry": {"core_pattern": ["WFW", "FFF", "WFW"]},
+            "materials": {"fuel": {"number_densities": {"U235": 1.0e-3}}},
+        })
+        assert again.fingerprint() == spec.fingerprint()

@@ -1,0 +1,151 @@
+"""Case suites: expansion, stable IDs, fingerprint-affine ordering."""
+
+import pytest
+
+from repro.errors import ScenarioError, SuiteError
+from repro.scenarios import CaseSuite, canned_suite_names, load_suite
+
+
+def suite_doc(axes=None, **extra):
+    doc = {
+        "suite": {"id": "sw"},
+        "scenario": {
+            "scenario": {"name": "base"},
+            "fidelity": "tiny",
+            "run": {"particles": 50, "inactive": 0, "active": 1},
+        },
+        "axes": axes if axes is not None else {},
+    }
+    doc.update(extra)
+    return doc
+
+
+class TestExpansion:
+    def test_cartesian_product_with_stable_sorted_ids(self):
+        suite = load_suite(suite_doc({
+            "boron_ppm": [300.0, 900.0],
+            "backend": ["history", "event"],
+        }))
+        cases = suite.expand()
+        assert len(cases) == 4
+        ids = {c.case_id for c in cases}
+        assert "sw:backend=history,boron_ppm=300.0" in ids
+        assert "sw:backend=event,boron_ppm=900.0" in ids
+        # IDs never contain path separators (they double as job IDs and
+        # spool file names).
+        assert all("/" not in c.case_id for c in cases)
+
+    def test_ids_independent_of_axis_declaration_order(self):
+        a = load_suite(suite_doc({
+            "boron_ppm": [300.0], "backend": ["event"],
+        })).expand()
+        b = load_suite(suite_doc({
+            "backend": ["event"], "boron_ppm": [300.0],
+        })).expand()
+        assert [c.case_id for c in a] == [c.case_id for c in b]
+
+    def test_no_axes_expands_to_single_base_case(self):
+        cases = load_suite(suite_doc()).expand()
+        assert [c.case_id for c in cases] == ["sw:base"]
+
+    def test_axis_values_land_in_compiled_settings(self):
+        cases = load_suite(suite_doc({
+            "enrichment_scale": [0.9, 1.1],
+        })).expand()
+        assert sorted(
+            c.compiled.settings.enrichment_scale for c in cases
+        ) == [0.9, 1.1]
+        for c in cases:
+            assert c.job.settings["enrichment_scale"] == \
+                c.overrides["enrichment_scale"]
+
+    def test_fingerprint_affine_ordering(self):
+        # temperature touches the library; backend/boron do not.  All
+        # same-library cases must be consecutive, first-occurrence group
+        # order.
+        suite = load_suite(suite_doc({
+            "temperature": [293.6, 600.0],
+            "backend": ["history", "event"],
+            "boron_ppm": [300.0, 900.0],
+        }))
+        cases = suite.expand()
+        assert len(cases) == 8
+        fps = [c.job.library_fingerprint() for c in cases]
+        assert len(set(fps)) == 2
+        # Consecutive grouping: the fingerprint sequence changes exactly
+        # once across the whole expansion.
+        changes = sum(
+            1 for i in range(1, len(fps)) if fps[i] != fps[i - 1]
+        )
+        assert changes == 1
+
+    def test_jobs_carry_suite_provenance(self):
+        suite = load_suite(suite_doc({"seed": [1, 2]}, priority=3))
+        for case in suite.expand():
+            assert case.job.suite_id == "sw"
+            assert case.job.case_id == case.case_id
+            assert case.job.job_id == case.case_id
+            assert case.job.priority == 3
+            assert case.job.scenario_fingerprint == \
+                case.compiled.fingerprint
+
+    def test_per_case_fingerprints_differ(self):
+        cases = load_suite(suite_doc({"boron_ppm": [300.0, 900.0]})).expand()
+        assert cases[0].compiled.fingerprint != cases[1].compiled.fingerprint
+
+
+class TestValidation:
+    def test_unknown_axis_rejected_with_alternatives(self):
+        with pytest.raises(SuiteError, match="boron_ppm"):
+            load_suite(suite_doc({"boron": [300.0]}))
+
+    def test_duplicate_axis_values_rejected(self):
+        with pytest.raises(SuiteError, match="duplicate"):
+            load_suite(suite_doc({"seed": [1, 1]}))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SuiteError, match="at least one value"):
+            load_suite(suite_doc({"seed": []}))
+
+    def test_expansion_size_guard(self):
+        with pytest.raises(SuiteError, match="limit"):
+            load_suite(suite_doc({"seed": list(range(5000))}))
+
+    def test_invalid_base_scenario_fails_at_load(self):
+        doc = suite_doc()
+        doc["scenario"]["run"]["backend"] = "warp"
+        with pytest.raises(ScenarioError, match="base scenario"):
+            load_suite(doc)
+
+    def test_invalid_case_names_the_case(self):
+        # The base is fine; one axis value compiles to an invalid case.
+        with pytest.raises(SuiteError, match="boron_ppm=-5"):
+            load_suite(suite_doc({"boron_ppm": [300.0, -5]})).expand()
+
+    def test_unknown_suite_keys_rejected(self):
+        with pytest.raises(SuiteError, match="unknown keys"):
+            load_suite(suite_doc(axess={}))
+
+    def test_suite_id_required(self):
+        doc = suite_doc()
+        doc["suite"] = {}
+        with pytest.raises(SuiteError, match="suite.id"):
+            load_suite(doc)
+
+
+class TestCanned:
+    def test_tiny_sweep_ships_and_expands_to_eight(self):
+        assert "hm-tiny-sweep" in canned_suite_names()
+        suite = load_suite("hm-tiny-sweep")
+        cases = suite.expand()
+        assert len(cases) == 8
+        assert len({c.job.library_fingerprint() for c in cases}) == 2
+        assert all(c.job.fidelity == "tiny" for c in cases)
+
+    def test_unknown_canned_suite_lists_available(self):
+        with pytest.raises(SuiteError, match="hm-tiny-sweep"):
+            load_suite("hm-giant-sweep")
+
+    def test_from_document_rejects_non_mapping(self):
+        with pytest.raises(SuiteError, match="mapping"):
+            CaseSuite.from_document([1, 2])

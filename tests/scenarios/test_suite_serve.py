@@ -1,0 +1,73 @@
+"""Acceptance: a canned sweep through the service builds each library once.
+
+The canned ``hm-tiny-sweep`` expands to 8 cases over 2 distinct library
+fingerprints (two Doppler temperatures; boron and backend axes share
+data).  Run through a single-worker service in fingerprint-affine order,
+the library must be *built* exactly twice — every other case is a cache
+hit — and every result must carry its scenario provenance.
+"""
+
+import pytest
+
+from repro.scenarios import load_suite
+from repro.serve import SimulationService
+
+
+@pytest.fixture(scope="module")
+def swept(tmp_path_factory):
+    suite = load_suite("hm-tiny-sweep")
+    cases = suite.expand()
+    service = SimulationService(
+        n_workers=1,
+        cache_dir=str(tmp_path_factory.mktemp("xs-cache")),
+    )
+    try:
+        results = service.run([case.job for case in cases])
+    finally:
+        service.shutdown()
+    return suite, cases, results
+
+
+class TestSuiteThroughService:
+    def test_all_cases_complete(self, swept):
+        _, cases, results = swept
+        assert len(results) == len(cases) == 8
+        assert all(r.status == "done" for r in results)
+
+    def test_library_built_exactly_once_per_fingerprint(self, swept):
+        _, cases, results = swept
+        n_distinct = len({c.job.library_fingerprint() for c in cases})
+        built = [r for r in results if r.library_source == "built"]
+        assert n_distinct == 2
+        assert len(built) == n_distinct
+        # The builds hit distinct fingerprints (no double build, no miss).
+        assert len({r.library_fingerprint for r in built}) == n_distinct
+
+    def test_results_carry_scenario_provenance(self, swept):
+        suite, cases, results = swept
+        by_id = {c.case_id: c for c in cases}
+        for r in results:
+            case = by_id[r.case_id]
+            assert r.job_id == r.case_id
+            assert r.suite_id == suite.suite_id
+            assert r.scenario_fingerprint == case.compiled.fingerprint
+
+    def test_backend_pairs_preserve_equivalence(self, swept):
+        # Within each (temperature, boron) point the sweep runs both
+        # bit-comparable backends: the service must preserve the
+        # repo's history/event equivalence contract (rel 1e-12, the
+        # same tolerance tests/transport/test_equivalence.py pins)
+        # case for case.
+        _, cases, results = swept
+        by_id = {r.case_id: r for r in results}
+        points = {}
+        for case in cases:
+            key = (case.overrides["temperature"],
+                   case.overrides["boron_ppm"])
+            points.setdefault(key, []).append(by_id[case.case_id])
+        assert len(points) == 4
+        for pair in points.values():
+            a, b = pair
+            assert a.k_collision == pytest.approx(b.k_collision,
+                                                  rel=1e-12)
+            assert a.entropy == pytest.approx(b.entropy, rel=1e-12)

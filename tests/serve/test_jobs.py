@@ -116,3 +116,58 @@ class TestJobResult:
     def test_unknown_field_rejected(self):
         with pytest.raises(JobError, match="unknown job result fields"):
             JobResult.from_dict({"job_id": "x", "bogus": 1})
+
+
+class TestScenarioProvenance:
+    """Provenance fields ride along without touching the physics payload."""
+
+    PROVENANCE = {
+        "case_id": "sweep:boron_ppm=612.300000000001,backend=event",
+        "suite_id": "sweep",
+        "scenario_fingerprint": "ab" * 32,
+    }
+
+    def test_spec_round_trips_provenance_exactly(self):
+        spec = JobSpec(
+            job_id="prov", settings=dict(SETTINGS), priority=2,
+            library_temperature=565.125, **self.PROVENANCE,
+        )
+        again = JobSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.case_id == self.PROVENANCE["case_id"]
+        assert again.suite_id == "sweep"
+        assert again.scenario_fingerprint == "ab" * 32
+        # Exact-float round trip still holds with provenance present.
+        assert again.library_temperature == 565.125
+
+    def test_provenance_does_not_change_fingerprints(self):
+        plain = JobSpec(job_id="a", settings=dict(SETTINGS))
+        tagged = JobSpec(job_id="b", settings=dict(SETTINGS),
+                         **self.PROVENANCE)
+        assert plain.settings_fingerprint() == tagged.settings_fingerprint()
+        assert plain.library_fingerprint() == tagged.library_fingerprint()
+
+    def test_library_temperature_changes_library_fingerprint(self):
+        plain = JobSpec(job_id="a", settings=dict(SETTINGS))
+        doppler = JobSpec(job_id="b", settings=dict(SETTINGS),
+                          library_temperature=900.0)
+        assert plain.library_fingerprint() != doppler.library_fingerprint()
+        assert plain.settings_fingerprint() == doppler.settings_fingerprint()
+
+    def test_results_copy_provenance_from_spec(self, small_library):
+        spec = JobSpec(job_id="prov2", settings=dict(SETTINGS),
+                       **self.PROVENANCE)
+        result = Simulation(small_library, spec.to_settings()).run()
+        done = JobResult.from_simulation(spec, result)
+        failed = JobResult.failure(spec, "boom")
+        for payload in (done, failed):
+            assert payload.case_id == self.PROVENANCE["case_id"]
+            assert payload.suite_id == "sweep"
+            assert payload.scenario_fingerprint == "ab" * 32
+        again = JobResult.from_json(done.to_json())
+        assert again.case_id == done.case_id
+        assert again.scenario_fingerprint == done.scenario_fingerprint
+
+    def test_legacy_spec_without_provenance_defaults_empty(self):
+        spec = JobSpec.from_dict({"job_id": "old", "settings": dict(SETTINGS)})
+        assert spec.case_id == spec.suite_id == spec.scenario_fingerprint == ""

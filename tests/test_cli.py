@@ -280,3 +280,98 @@ class TestReproExperiments:
 
         with pytest.raises(ReproError):
             exp_main(["run", "fig99"])
+
+
+class TestScenarioCli:
+    """The declarative verbs: scenario validate/compile/run, suite
+    expand/submit, and the registry-aware backend error."""
+
+    def test_unknown_backend_error_names_registry(self, capsys):
+        from repro.transport import available_backends
+
+        with pytest.raises(SystemExit) as err:
+            sim_main(["run", "--backend", "warp"])
+        assert err.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "unknown transport backend 'warp'" in stderr
+        assert "available backends" in stderr
+        for name in available_backends():
+            assert name in stderr
+
+    def test_scenario_and_suite_parse(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "hm-full-core", "--fidelity", "tiny",
+             "--backend", "history", "--json"]
+        )
+        assert (args.command, args.scenario_command) == ("scenario", "run")
+        assert args.backend == "history"
+        args = build_parser().parse_args(
+            ["suite", "expand", "hm-tiny-sweep", "--json"]
+        )
+        assert (args.command, args.suite_command) == ("suite", "expand")
+
+    def test_validate_all_canned_documents(self, capsys):
+        assert sim_main(["scenario", "validate", "--all"]) == 0
+        out = capsys.readouterr().out
+        for name in ("hm-full-core", "c5g7-mox", "smr-core",
+                     "shield-slab"):
+            assert f"ok   {name}" in out
+        assert "ok   suite hm-tiny-sweep" in out
+
+    def test_validate_bad_document_lists_all_findings(self, tmp_path,
+                                                      capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({
+            "scenario": {"name": "nope"},
+            "model": "hm-huge",
+            "run": {"particles": 0},
+        }))
+        assert sim_main(["scenario", "validate", str(bad)]) == 1
+        stderr = capsys.readouterr().err
+        assert "model" in stderr and "run.particles" in stderr
+
+    def test_compile_json_is_a_loadable_job_spec(self, capsys):
+        from repro.serve import JobSpec
+
+        assert sim_main(["scenario", "compile", "smr-core", "--json"]) == 0
+        spec = JobSpec.from_dict(json.loads(capsys.readouterr().out))
+        assert spec.settings["boron_ppm"] == 200.0
+        assert spec.library_temperature == 565.0
+        assert len(spec.scenario_fingerprint) == 64
+        spec.to_settings()  # reconstructs without error
+
+    def test_scenario_run_with_overrides(self, capsys):
+        rc = sim_main([
+            "scenario", "run", "hm-full-core", "--fidelity", "tiny",
+            "--particles", "40", "--batches", "1", "--inactive", "0",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "k-effective" in out
+
+    def test_suite_expand_json_pipes_into_serve(self, capsys):
+        from repro.serve import JobSpec
+
+        assert sim_main(["suite", "expand", "hm-tiny-sweep", "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        specs = [JobSpec.from_json(line) for line in lines]
+        assert len(specs) == 8
+        assert all(s.suite_id == "hm-tiny-sweep" for s in specs)
+        # Fingerprint-affine: same-library cases are consecutive.
+        fps = [s.library_fingerprint() for s in specs]
+        assert sum(
+            1 for i in range(1, len(fps)) if fps[i] != fps[i - 1]
+        ) == len(set(fps)) - 1
+
+    def test_suite_submit_spools_every_case(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        rc = sim_main(["suite", "submit", "hm-tiny-sweep",
+                       "--spool", str(spool)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "submitted 8 cases" in out
+        assert len(list((spool / "pending").glob("*.json"))) == 8
+
+    def test_unknown_canned_scenario_fails_cleanly(self, capsys):
+        assert sim_main(["scenario", "compile", "no-such-core"]) == 1
+        assert "hm-full-core" in capsys.readouterr().err

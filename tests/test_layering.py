@@ -91,3 +91,32 @@ def test_supervise_package_is_a_leaf():
                 assert mod == "repro.errors", (
                     f"{path.name} imports {mod}"
                 )
+
+
+def test_scenarios_roof_rule_flags_core_import(tmp_path):
+    """Rule 5 machinery: a core-module import of repro.scenarios is a
+    violation, and the CLI's own import is exempt."""
+    # The real tree is clean...
+    assert check_layering._check_scenarios_roof() == []
+    # ...and the detector recognizes the forbidden import shape.
+    tree = ast.parse("from .scenarios import load_scenario\n")
+    mods = [m for _, m in check_layering.runtime_imports(tree, "repro")]
+    assert mods == ["repro.scenarios"]
+    assert check_layering._in_layer(mods[0], "repro.scenarios")
+
+
+def test_scenarios_package_imports_no_roof_peers():
+    """Scenarios may import downward (transport, serve, data, geometry)
+    but never execution/cluster/simd/machine — it lowers documents onto
+    the run path, it does not schedule."""
+    forbidden = ("repro.execution", "repro.cluster", "repro.simd",
+                 "repro.machine")
+    for path in sorted(check_layering.SCENARIOS_DIR.glob("*.py")):
+        tree = ast.parse(path.read_text())
+        for _, mod in check_layering.runtime_imports(
+            tree, "repro.scenarios"
+        ):
+            for layer in forbidden:
+                assert not check_layering._in_layer(mod, layer), (
+                    f"{path.name} imports {mod}"
+                )

@@ -28,6 +28,12 @@ annotation-only and exempt):
    execution/cluster layers; importing an execution model from resilience
    would let recovery policy reach into scheduling.
 
+5. **Scenarios sit on top.**  ``repro.scenarios`` is the declarative
+   front door — it lowers documents *onto* transport and serve, and only
+   the CLI may import it.  A core module importing scenarios would turn
+   the one-way compilation pipeline (document → Settings/JobSpec) into a
+   cycle and couple physics to the document schema.
+
 Run from the repo root::
 
     python tools/check_layering.py
@@ -76,6 +82,10 @@ SUPERVISE_FORBIDDEN = (
 #: Resilience primitives sit below the execution models that consume them.
 RESILIENCE_DIR = SRC / "repro" / "resilience"
 RESILIENCE_FORBIDDEN = ("repro.execution",)
+
+#: The scenario layer is a roof, not a floor: only the CLI imports it.
+SCENARIOS_DIR = SRC / "repro" / "scenarios"
+SCENARIOS_IMPORTERS = (SRC / "repro" / "cli.py",)
 
 
 def _rel(path: Path) -> Path:
@@ -156,6 +166,24 @@ def check() -> list[str]:
         RESILIENCE_DIR, "repro.resilience", RESILIENCE_FORBIDDEN,
         "resilience primitive imports execution model",
     ))
+    errors.extend(_check_scenarios_roof())
+    return errors
+
+
+def _check_scenarios_roof() -> list[str]:
+    """Rule 5: no core module imports ``repro.scenarios`` (CLI excepted)."""
+    errors: list[str] = []
+    for path in sorted((SRC / "repro").rglob("*.py")):
+        if SCENARIOS_DIR in path.parents or path in SCENARIOS_IMPORTERS:
+            continue
+        package = ".".join(path.relative_to(SRC).parent.parts) or "repro"
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, mod in runtime_imports(tree, package):
+            if _in_layer(mod, "repro.scenarios"):
+                errors.append(
+                    f"{_rel(path)}:{lineno}: core module imports the "
+                    f"scenario roof layer {mod!r} (only the CLI may)"
+                )
     return errors
 
 
@@ -179,7 +207,7 @@ def _check_package(
 def main() -> int:
     missing = [
         p for p in (*STAGE_FILES, *EXECUTION_MODEL_FILES,
-                    SUPERVISE_DIR, RESILIENCE_DIR)
+                    SUPERVISE_DIR, RESILIENCE_DIR, SCENARIOS_DIR)
         if not p.exists()
     ]
     if missing:
