@@ -1,0 +1,177 @@
+"""Gateway bench: open-loop load through the front tier, with a gate.
+
+Two questions about the gateway's own cost — the tier is pure
+orchestration (admission, hashing, routing, caching), so its overhead
+must vanish next to transport, exactly as dispatch does inside the
+service and checkpointing does inside a run:
+
+* **Open-loop throughput** — 1000+ jobs streamed through a 4-shard
+  gateway over :class:`~repro.gateway.SyntheticService` workers (the
+  protocol-compatible stand-in that fabricates results without
+  transport), so the wall time *is* the orchestration cost: admission,
+  cache lookups, ring hashing, pump hops, event fan-in.  A regression
+  gate (pattern from ``bench_resilience``) pins the drain time against
+  ``baselines/gateway.json``, normalized by a hash-shaped calibration
+  kernel (SHA-256 over spec-sized JSON documents — the same CPU shape
+  as cache keys and ring points) so the gate is portable across hosts.
+* **Overhead budget on real transport** — through real workers on a
+  tiny pin-cell job, the tier's ``dispatch_overhead_seconds`` must stay
+  **< 5% of worker service time** (the acceptance bound: the gateway is
+  supposed to be free next to the physics).
+
+Per-job sojourn (submit -> done) is folded into a fixed-bucket
+:class:`~repro.serve.metrics.Histogram` and reported as p50/p99 — the
+open-loop analogue of the service bench's jobs/s line.
+"""
+
+import hashlib
+import json
+import threading
+from pathlib import Path
+from time import perf_counter
+
+from repro.gateway import Gateway, SyntheticService
+from repro.serve import JobSpec
+from repro.serve.metrics import Histogram
+
+SETTINGS = {
+    "n_particles": 24,
+    "n_inactive": 0,
+    "n_active": 2,
+    "mode": "event",
+    "pincell": True,
+}
+
+N_JOBS = 1024
+N_SHARDS = 4
+#: Distinct physics identities: enough that the result cache and the
+#: in-flight coalescer both see realistic (not degenerate) traffic.
+N_DISTINCT = 256
+
+BASELINE = json.loads(
+    (Path(__file__).parent / "baselines" / "gateway.json").read_text()
+)
+
+
+def make_specs(n, prefix, *, distinct=N_DISTINCT):
+    return [
+        JobSpec(
+            job_id=f"{prefix}{i:04d}",
+            settings={**SETTINGS, "seed": i % distinct},
+        )
+        for i in range(n)
+    ]
+
+
+def calibration_time() -> float:
+    """Hash-shaped kernel: SHA-256 over N_JOBS spec-sized JSON docs, the
+    dominant CPU shape of the gateway's cache keys and ring points.
+    Identical to the kernel used when the baseline was recorded."""
+    docs = [
+        json.dumps(
+            {"settings": {**SETTINGS, "seed": i}, "job_id": f"cal{i}"},
+            sort_keys=True,
+        ).encode()
+        for i in range(N_JOBS)
+    ]
+    best = float("inf")
+    for _ in range(3):
+        t0 = perf_counter()
+        for _ in range(20):
+            for doc in docs:
+                hashlib.sha256(doc).hexdigest()
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+def open_loop_drain(specs):
+    """Run every spec through a synthetic gateway; returns (seconds,
+    sojourn histogram, gateway)."""
+    gw = Gateway(
+        N_SHARDS,
+        workers_per_shard=2,
+        capacity=N_JOBS,
+        max_class_share=1.0,
+        service_factory=SyntheticService,
+    )
+    sojourn = Histogram("sojourn_seconds", threading.Lock())
+    submitted: dict[str, float] = {}
+
+    import asyncio
+
+    async def drive():
+        async for event in gw.stream(specs, deadline_s=120):
+            if event["kind"] != "done":
+                continue
+            t0 = submitted.get(event["job_id"])
+            if t0 is not None:
+                sojourn.observe(perf_counter() - t0)
+
+    # Open loop: stamp submit times as the stream feeder admits them.
+    original_submit = gw.submit
+
+    def stamped_submit(spec):
+        submitted[spec.job_id] = perf_counter()
+        return original_submit(spec)
+
+    gw.submit = stamped_submit
+    t0 = perf_counter()
+    with gw:
+        asyncio.run(drive())
+    seconds = perf_counter() - t0
+    assert len(gw.results) == len(specs)
+    assert all(r.status == "done" for r in gw.results.values())
+    return seconds, sojourn, gw
+
+
+def test_open_loop_throughput_regression_gate():
+    """1k+ jobs through 4 synthetic shards: the normalized drain time
+    must not regress more than 25% over the committed baseline."""
+    seconds = float("inf")
+    for round_no in range(3):
+        t, sojourn, gw = open_loop_drain(
+            make_specs(N_JOBS, f"ol{round_no}-")
+        )
+        seconds = min(seconds, t)
+
+    cal = calibration_time()
+    ratio = seconds / cal
+    recorded = BASELINE["baseline"]
+    counters = gw.counters
+    print(
+        f"\ngateway open loop: {N_JOBS} jobs in {seconds:.2f}s "
+        f"({N_JOBS / seconds:.0f} jobs/s; {counters['cache_hits']} cache "
+        f"hits, {counters['coalesced']} coalesced), sojourn p50 "
+        f"{sojourn.quantile(0.5) * 1e3:.0f} ms / p99 "
+        f"{sojourn.quantile(0.99) * 1e3:.0f} ms; ratio {ratio:.2f} vs "
+        f"recorded {recorded['ratio']:.2f} (calibration {cal * 1e3:.0f} ms)"
+    )
+    gate = BASELINE["gate_factor"] * recorded["ratio"]
+    assert ratio <= gate, (
+        f"gateway drain regressed: normalized ratio {ratio:.2f} exceeds "
+        f"gate {gate:.2f} (recorded ratio {recorded['ratio']:.2f} + 25%)"
+    )
+
+
+def test_dispatch_overhead_under_5pct_on_real_transport(tmp_path):
+    """The acceptance bound: gateway dispatch < 5% of service time."""
+    specs = [
+        JobSpec(job_id=f"real{i}", settings={**SETTINGS, "seed": i})
+        for i in range(2)
+    ]
+    gw = Gateway(
+        1, workers_per_shard=1, cache_dir=str(tmp_path / "libs")
+    )
+    with gw:
+        results = gw.run(specs, deadline_s=90)
+    assert all(r.status == "done" for r in results)
+    agg = gw.metrics_summary()["aggregate"]
+    fraction = agg["dispatch_overhead_fraction"]
+    print(
+        f"\ngateway dispatch overhead: "
+        f"{agg['dispatch_overhead_seconds'] * 1e3:.1f} ms over "
+        f"{agg['service_seconds']:.2f}s of service time "
+        f"({100 * fraction:.2f}% — budget 5%)"
+    )
+    assert agg["service_seconds"] > 0
+    assert fraction < 0.05

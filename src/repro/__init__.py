@@ -49,6 +49,8 @@ Error                    Raised when
 ``WorkerCrashError``     a worker died with a job in flight
 ``PoisonedJobError``     a job was quarantined by the circuit breaker
 ``ScenarioError``        a scenario document failed validation/compilation
+``GatewayError``         the gateway tier was configured/used incorrectly
+``ShardQuarantinedError`` no routable shard remains (all quarantined)
 ``SuiteError``           a case-suite document was malformed
 ======================== =====================================================
 """
@@ -63,6 +65,7 @@ from .errors import (
     DegradedRunError,
     ExecutionError,
     FaultInjectionError,
+    GatewayError,
     GeometryError,
     JobError,
     MachineModelError,
@@ -72,6 +75,7 @@ from .errors import (
     ReproError,
     ScenarioError,
     ServeError,
+    ShardQuarantinedError,
     SuiteError,
     SupervisionError,
     WorkerCrashError,
@@ -115,5 +119,7 @@ __all__ = [
     "PoisonedJobError",
     "ScenarioError",
     "SuiteError",
+    "GatewayError",
+    "ShardQuarantinedError",
     "__version__",
 ]

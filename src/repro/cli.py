@@ -11,6 +11,10 @@ Subcommands::
     repro-sim scenario validate --all          # check every canned document
     repro-sim scenario run hm-full-core        # canned name or a JSON path
     repro-sim suite expand hm-tiny-sweep --json | repro-sim serve --jobs -
+    repro-sim suite expand hm-tiny-sweep --json \
+        | repro-sim gateway submit --jobs - --shards 2
+    repro-sim gateway serve --spool jobs/ --shards 2
+    repro-sim gateway status --spool jobs/
 
 The bare legacy form (``repro-sim --pincell ...``) still works and is
 equivalent to ``repro-sim run ...``.  ``resume`` must be given the same
@@ -24,6 +28,14 @@ and execute one document (canned scenarios are addressable by bare name);
 ``suite expand`` prints a sweep's job specs (``--json`` emits JSON lines
 that pipe straight into ``serve --jobs -``) and ``suite submit`` spools
 them for a later ``serve``.
+
+``gateway`` is the sharded front tier (:mod:`repro.gateway`): ``gateway
+serve``/``gateway submit`` drain jobs through N node-local services with
+fingerprint-affine routing, admission control, and a result cache
+(``--result-cache DIR`` persists it, so resubmitting an identical sweep
+is answered without running a single simulation); ``gateway status``
+reports the tier's counters, cache economics, and per-shard health from
+the state document a previous drain wrote.
 
 The service trio works against a file spool: ``submit`` drops a
 :class:`~repro.serve.jobs.JobSpec` into ``SPOOL/pending``, ``serve`` drains
@@ -64,7 +76,7 @@ from .transport import Settings, Simulation, available_backends
 __all__ = ["main"]
 
 _SUBCOMMANDS = ("run", "checkpoint", "resume", "serve", "submit", "status",
-                "scenario", "suite")
+                "scenario", "suite", "gateway")
 
 
 def _backend_name(value: str) -> str:
@@ -242,6 +254,69 @@ def build_parser() -> argparse.ArgumentParser:
                            help="spool every case of a sweep")
     sus.add_argument("source", metavar="NAME_OR_PATH")
     sus.add_argument("--spool", required=True, metavar="DIR")
+
+    gw = sub.add_parser("gateway",
+                        help="drain jobs through the sharded service tier "
+                        "(admission control, fingerprint-affine routing, "
+                        "result cache)")
+    gwsub = gw.add_subparsers(dest="gateway_command", required=True)
+
+    def _gateway_opts(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--shards", type=int, default=2,
+                            help="node-local service shards")
+        parser.add_argument("--workers-per-shard", type=int, default=1,
+                            dest="workers_per_shard")
+        parser.add_argument("--cache", metavar="DIR", default=None,
+                            help="library cache root (one subtree per "
+                            "shard)")
+        parser.add_argument("--result-cache", metavar="DIR", default=None,
+                            dest="result_cache",
+                            help="persist the result cache on disk: "
+                            "identical resubmissions are answered without "
+                            "simulating")
+        parser.add_argument("--capacity", type=int, default=256,
+                            help="gateway-wide in-flight admission bound")
+        parser.add_argument("--max-class-share", type=float, default=0.5,
+                            dest="max_class_share", metavar="FRAC",
+                            help="fairness cap: one priority class may "
+                            "hold at most FRAC of capacity")
+        parser.add_argument("--deadline-s", type=float, default=None,
+                            metavar="S", dest="deadline_s",
+                            help="abort (typed, exit 1) if the drain "
+                            "overruns S seconds")
+        parser.add_argument("--stream", action="store_true",
+                            help="print per-batch progress events to "
+                            "stderr as they arrive")
+        parser.add_argument("--json", action="store_true",
+                            dest="json_output",
+                            help="emit results + gateway metrics as one "
+                            "JSON document")
+
+    gws = gwsub.add_parser("serve",
+                           help="drain a spool (or a jobs file) through "
+                           "the gateway; file results back")
+    gwsrc = gws.add_mutually_exclusive_group(required=True)
+    gwsrc.add_argument("--spool", metavar="DIR",
+                       help="process the spool's pending jobs; results "
+                       "and gateway.json land back in it")
+    gwsrc.add_argument("--jobs", metavar="FILE",
+                       help="JSON-lines (or JSON array) of job specs; "
+                       "'-' reads stdin")
+    _gateway_opts(gws)
+
+    gwm = gwsub.add_parser("submit",
+                           help="one-shot: run a jobs file through the "
+                           "gateway and print the results")
+    gwm.add_argument("--jobs", required=True, metavar="FILE",
+                     help="JSON-lines (or JSON array) of job specs; '-' "
+                     "reads stdin")
+    _gateway_opts(gwm)
+
+    gwt = gwsub.add_parser("status",
+                           help="report gateway state from a spool's "
+                           "gateway.json")
+    gwt.add_argument("--spool", required=True, metavar="DIR")
+    gwt.add_argument("--json", action="store_true", dest="json_output")
     return p
 
 
@@ -537,16 +612,154 @@ def _cmd_status(args: argparse.Namespace) -> int:
     print(f"spool {status['root']}: {counts['pending']} pending, "
           f"{counts['done']} done, {counts['failed']} failed")
     for r in status["results"]:
-        print(f"  {r['job_id']}: k-eff={r['k_effective']:.5f} "
-              f"+/- {r['k_std_err']:.5f}  worker={r['worker_id']} "
-              f"attempts={r['attempts']} library={r['library_source']}")
+        line = (f"  {r['job_id']}: k-eff={r['k_effective']:.5f} "
+                f"+/- {r['k_std_err']:.5f}  worker={r['worker_id']} "
+                f"attempts={r['attempts']} library={r['library_source']}")
+        if r.get("suite_id"):
+            line += f"  suite={r['suite_id']} case={r['case_id']}"
+        print(line)
     metrics = status.get("metrics")
     if metrics:
         m = metrics["metrics"]["metrics"]
-        print(f"last service: {m['jobs_completed']['value']} completed, "
-              f"cache hit rate {100 * m['cache_hit_rate']['value']:.0f}%, "
-              f"{m['worker_crashes']['value']} crashes recovered")
+        line = (f"last service: {m['jobs_completed']['value']} completed, "
+                f"cache hit rate {100 * m['cache_hit_rate']['value']:.0f}%, "
+                f"{m['worker_crashes']['value']} crashes recovered")
+        if "retry_after_s" in status:
+            line += f", retry-after hint {status['retry_after_s']:.2f}s"
+        print(line)
     return 0
+
+
+# -- gateway ------------------------------------------------------------------
+
+
+def _cmd_gateway_status(args: argparse.Namespace) -> int:
+    path = Path(args.spool) / "gateway.json"
+    if not path.exists():
+        print(f"no gateway state at {path}", file=sys.stderr)
+        return 1
+    doc = json.loads(path.read_text())
+    if args.json_output:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    g = doc["gateway"]
+    agg = doc["aggregate"]
+    c = g["counters"]
+    quarantined = g["quarantined"]
+    print(f"gateway: {g['n_shards']} shard(s) x "
+          f"{g['workers_per_shard']} worker(s), quarantined "
+          f"{quarantined if quarantined else 'none'}")
+    print(f"jobs: {c['submitted']} submitted, {c['completed']} completed "
+          f"({c['cache_hits']} from result cache), {c['failed']} failed, "
+          f"{c['poisoned']} poisoned, {c['requeued']} requeued")
+    rc = g["result_cache"]
+    print(f"result cache: {rc['entries']} entries, {rc['hits']} hits / "
+          f"{rc['misses']} misses ({100 * rc['hit_rate']:.0f}%)")
+    print(f"libraries: {agg['library_builds']} built, "
+          f"{agg['library_disk_hits']} disk hits, "
+          f"{agg['library_memory_hits']} memory hits")
+    print(f"dispatch overhead: "
+          f"{100 * agg['dispatch_overhead_fraction']:.2f}% of service time")
+    print(f"admission: retry-after hint "
+          f"{g['admission']['retry_after_s']:.2f}s")
+    for shard_id, health in sorted(g["health"].items(),
+                                   key=lambda kv: int(kv[0])):
+        rate = health["rate"]
+        print(f"  shard {shard_id}: {health['status']}, "
+              f"{health['batches']} batches observed"
+              + (f", {rate:,.0f} n/s smoothed" if rate else ""))
+    return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    if args.gateway_command == "status":
+        return _cmd_gateway_status(args)
+
+    import asyncio
+
+    from .gateway import Gateway, ResultCache
+    from .serve.service import read_spool_pending, write_spool_result
+
+    spool = getattr(args, "spool", None)
+    if spool:
+        specs = read_spool_pending(spool)
+    else:
+        try:
+            specs = _read_job_specs(args.jobs)
+        except (OSError, json.JSONDecodeError, JobError) as exc:
+            print(f"cannot read jobs: {exc}", file=sys.stderr)
+            return 1
+    if not specs:
+        print("no jobs for the gateway", file=sys.stderr)
+        return 1
+
+    gateway = Gateway(
+        args.shards,
+        workers_per_shard=args.workers_per_shard,
+        capacity=args.capacity,
+        max_class_share=args.max_class_share,
+        cache_dir=args.cache,
+        result_cache=(
+            ResultCache(args.result_cache) if args.result_cache else None
+        ),
+    )
+
+    async def _drain() -> None:
+        async for event in gateway.stream(specs,
+                                          deadline_s=args.deadline_s):
+            if args.stream and event["kind"] == "progress":
+                print(f"progress shard={event['shard']} "
+                      f"job={event['job_id']} batch={event['batch']} "
+                      f"({event['n_particles']} particles in "
+                      f"{event['seconds']:.3f}s)", file=sys.stderr)
+
+    try:
+        with gateway:
+            asyncio.run(_drain())
+    except DeadlineExceededError as exc:
+        print(f"drain deadline exceeded: {exc}", file=sys.stderr)
+        return 1
+    results = gateway.ordered_results()
+    summary = gateway.metrics_summary()
+
+    if spool:
+        for result in results:
+            write_spool_result(spool, result)
+        state_path = Path(spool) / "gateway.json"
+        state_path.write_text(
+            json.dumps(summary, indent=2, sort_keys=True, default=str)
+        )
+
+    failed = [r for r in results if r.status != "done"]
+    if args.json_output:
+        print(json.dumps(
+            {
+                "results": [r.to_dict() for r in results],
+                "gateway": summary,
+            },
+            indent=2, sort_keys=True, default=str,
+        ))
+        return 1 if failed else 0
+    for r in results:
+        shard = gateway._job_shard.get(r.job_id, -1)
+        source = r.library_source or "-"
+        line = (f"{r.job_id}: {r.status}  shard="
+                f"{'cache' if source == 'result-cache' else shard} "
+                f"library={source}")
+        if r.status == "done":
+            line += f"  k-eff={r.k_effective:.5f} +/- {r.k_std_err:.5f}"
+        else:
+            line += f"  error={r.error}"
+        print(line)
+    c = gateway.counters
+    rc = summary["gateway"]["result_cache"]
+    print(f"\ngateway: {len(results)} jobs over {args.shards} shard(s), "
+          f"{c['completed']} done ({c['cache_hits']} from result cache, "
+          f"{100 * rc['hit_rate']:.0f}% hit rate), "
+          f"{c['failed'] + c['poisoned']} failed/poisoned, "
+          f"{c['quarantines']} shard quarantine(s), "
+          f"{summary['aggregate']['library_builds']} library build(s)")
+    return 1 if failed else 0
 
 
 # -- scenario / suite ---------------------------------------------------------
@@ -730,6 +943,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenario(args)
     if args.command == "suite":
         return _cmd_suite(args)
+    if args.command == "gateway":
+        return _cmd_gateway(args)
     return _cmd_run(args)
 
 

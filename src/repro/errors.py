@@ -116,6 +116,25 @@ class PoisonedJobError(ServeError):
         self.crashes = int(crashes)
 
 
+class GatewayError(ReproError):
+    """The gateway tier was configured or used incorrectly (no routable
+    shard, duplicate submission, submitting to a stopped gateway)."""
+
+
+class ShardQuarantinedError(GatewayError):
+    """A shard was quarantined (sick-shard circuit tripped or an operator
+    eviction) while work was being routed to it.
+
+    Routing never raises this for *new* work — the consistent-hash ring
+    deterministically remaps around quarantined shards — but it surfaces
+    when quarantine would leave the gateway with no shard at all.
+    """
+
+    def __init__(self, message: str, *, shard_id: int = -1) -> None:
+        super().__init__(message)
+        self.shard_id = int(shard_id)
+
+
 class ScenarioError(ReproError):
     """A scenario document failed validation or compilation.
 

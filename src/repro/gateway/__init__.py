@@ -1,0 +1,32 @@
+"""repro.gateway — sharded async service tier over the serve subsystem.
+
+The gateway is the roof of the service stack: an asyncio front tier that
+accepts :class:`~repro.serve.jobs.JobSpec` submissions and routes them to
+N node-local shards (each a full
+:class:`~repro.serve.service.SimulationService`), adding what a single
+service cannot provide — cluster-wide admission control with per-class
+fairness, fingerprint-affine consistent-hash placement, a result cache
+answering repeat physics byte-identically without transport, and
+shard-granular supervision (throughput health, poison-to-quarantine
+promotion, deterministic re-routing of evicted work).
+
+Layering: the gateway sits *above* ``repro.serve`` and
+``repro.supervise`` and below nothing — only the CLI may import it.
+"""
+
+from .admission import AdmissionController
+from .gateway import Gateway
+from .results import ResultCache
+from .routing import HashRing
+from .shard import GatewayShard, ShardEvent
+from .synthetic import SyntheticService
+
+__all__ = [
+    "AdmissionController",
+    "Gateway",
+    "GatewayShard",
+    "HashRing",
+    "ResultCache",
+    "ShardEvent",
+    "SyntheticService",
+]

@@ -1,0 +1,532 @@
+"""The gateway: admission → cache → ring → shards, with supervision.
+
+:class:`Gateway` is the front tier over N node-local
+:class:`~repro.gateway.shard.GatewayShard`\\ s.  A submitted
+:class:`~repro.serve.jobs.JobSpec` passes through four stations:
+
+1. **Admission** (:class:`~repro.gateway.admission.AdmissionController`)
+   — bounded in-flight occupancy with per-class fairness; rejection is a
+   typed :class:`~repro.errors.QueueFullError` carrying the adaptive
+   retry-after hint.
+2. **Result cache** (:class:`~repro.gateway.results.ResultCache`) — a
+   spec whose physics identity was already computed resolves immediately,
+   with a payload byte-identical to recomputation and zero transport.
+   Identical physics *in flight* coalesces: the first spec per cache key
+   becomes the leader and runs; followers park and resolve from the
+   cache the moment the leader's result lands.
+3. **Routing** (:class:`~repro.gateway.routing.HashRing`) — placement by
+   library fingerprint, so each XS library is built on exactly one shard
+   and the single-builder lockfile election stays node-local.
+4. **A shard** — whose pump thread feeds its service and reports results
+   and per-batch progress back on the shared outbox.
+
+Supervision runs shard-granular, reusing the supervise-tier primitives
+one level up: per-shard throughput EMAs in a
+:class:`~repro.supervise.health.HealthMonitor` (shards as ranks, fed by
+worker progress events), and a
+:class:`~repro.supervise.circuit.CircuitBreaker` that promotes repeated
+*poisoned-job* verdicts on one shard into a **sick-shard** quarantine:
+the shard is evicted, its unfinished jobs re-route deterministically
+around the ring (front of their priority class, capacity-exempt), and
+its fingerprints' next builds land on the surviving shards.  The last
+healthy shard is never quarantined — degraded service beats none, the
+supervise tier's graceful-degradation rule.
+
+The async surface (:meth:`run_async`, :meth:`stream`) is cooperative
+feeding over the same synchronous core: backlog feeding yields on
+backpressure for exactly the advertised retry-after, and every cache
+hit, completion, and per-batch progress report is one event in the
+stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue as _queue
+from collections import deque
+from pathlib import Path
+
+from ..errors import GatewayError, JobError, QueueFullError
+from ..serve.jobs import JobResult, JobSpec
+from ..supervise.circuit import CircuitBreaker
+from ..supervise.deadline import Deadline
+from ..supervise.health import HealthMonitor
+from .admission import AdmissionController
+from .results import ResultCache
+from .routing import HashRing
+from .shard import GatewayShard, ShardEvent
+
+__all__ = ["Gateway"]
+
+#: Aggregate counters rolled up across shard services.
+_AGGREGATE_COUNTERS = (
+    "jobs_completed", "jobs_failed", "jobs_poisoned", "jobs_requeued",
+    "worker_crashes", "library_builds", "library_disk_hits",
+    "library_memory_hits",
+)
+
+_IDLE_SLEEP_S = 0.005
+
+
+class Gateway:
+    """Sharded async service tier with admission, affinity, and caching."""
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        *,
+        workers_per_shard: int = 1,
+        capacity: int = 256,
+        max_class_share: float = 0.5,
+        cache_dir: str | None = None,
+        result_cache: ResultCache | None = None,
+        shard_capacity: int = 64,
+        breaker_threshold: int = 2,
+        start_method: str | None = None,
+        service_factory=None,
+    ) -> None:
+        if n_shards < 1:
+            raise GatewayError(f"need at least one shard, got {n_shards}")
+        self.n_shards = n_shards
+        self.workers_per_shard = workers_per_shard
+        self.outbox: "_queue.Queue[ShardEvent]" = _queue.Queue()
+        self.shards: dict[int, GatewayShard] = {
+            i: GatewayShard(
+                i,
+                self.outbox,
+                n_workers=workers_per_shard,
+                # Per-shard cache subtree: the LibraryCache lockfile
+                # election is a *node-local* protocol, and the shard is
+                # the gateway's node.
+                cache_dir=(
+                    str(Path(cache_dir) / f"shard-{i}") if cache_dir else None
+                ),
+                capacity=shard_capacity,
+                start_method=start_method,
+                service_factory=service_factory,
+            )
+            for i in range(n_shards)
+        }
+        self.ring = HashRing(self.shards)
+        self.admission = AdmissionController(
+            capacity,
+            max_class_share=max_class_share,
+            slots=n_shards * workers_per_shard,
+        )
+        # `is not None`, not truthiness: an empty ResultCache is len()==0
+        # and must still be honored (it may carry a disk directory).
+        self.result_cache = (
+            result_cache if result_cache is not None else ResultCache()
+        )
+        self.health = HealthMonitor(list(self.shards))
+        #: Poison-promotion breaker, keyed ``shard-<id>``: ``threshold``
+        #: consecutive poisoned jobs on one shard trip quarantine.
+        self.breaker = CircuitBreaker(threshold=breaker_threshold)
+        self.quarantined: set[int] = set()
+        self.results: dict[str, JobResult] = {}
+        self._specs: dict[str, JobSpec] = {}
+        self._order: list[str] = []
+        self._outstanding: set[str] = set()
+        self._admitted_class: dict[str, str] = {}
+        self._job_shard: dict[str, int] = {}
+        #: In-flight leader per cache key, and the followers parked on it.
+        self._inflight: dict[str, str] = {}
+        self._waiters: dict[str, list[str]] = {}
+        #: Events produced gateway-side (cache hits) awaiting the next poll.
+        self._local_events: deque[dict] = deque()
+        self.counters = {
+            "submitted": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "completed": 0,
+            "failed": 0,
+            "poisoned": 0,
+            "requeued": 0,
+            "quarantines": 0,
+            "quarantines_skipped": 0,
+        }
+        self._started = False
+
+    # -- Lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        for shard_id, shard in self.shards.items():
+            if shard_id not in self.quarantined:
+                shard.start()
+        self._started = True
+
+    def shutdown(self, *, graceful: bool = True) -> None:
+        for shard_id, shard in self.shards.items():
+            if shard_id in self.quarantined:
+                continue  # already stopped by eviction
+            shard.stop(graceful=graceful)
+        self._started = False
+
+    def __enter__(self) -> "Gateway":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(graceful=not any(exc))
+
+    # -- Submission ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> str:
+        """Admit, cache-check, and route one job; returns its id.
+
+        Raises :class:`QueueFullError` (typed, with the adaptive
+        retry-after) when admission rejects, :class:`JobError` on a
+        duplicate id.
+        """
+        if spec.job_id in self._specs:
+            raise JobError(f"duplicate job id {spec.job_id!r}")
+        cls = self.admission.admit(spec)
+        self._specs[spec.job_id] = spec
+        self._order.append(spec.job_id)
+        self.counters["submitted"] += 1
+
+        cached = self.result_cache.get(spec)
+        if cached is not None:
+            # Resolved at the front door: no shard, no slot held.
+            self.admission.release(cls)
+            self.results[spec.job_id] = cached
+            self.counters["cache_hits"] += 1
+            self.counters["completed"] += 1
+            self._local_events.append(
+                {
+                    "kind": "done",
+                    "job_id": spec.job_id,
+                    "status": cached.status,
+                    "shard": -1,
+                    "cached": True,
+                }
+            )
+            return spec.job_id
+
+        self._admitted_class[spec.job_id] = cls
+        self._outstanding.add(spec.job_id)
+        key = self.result_cache.key_for(spec)
+        if key in self._inflight:
+            # Coalesce: the same physics is already running somewhere in
+            # the tier.  Park behind the leader; the cache answers when
+            # its result lands.  The slot stays held — a parked job is
+            # still admitted occupancy.
+            self._waiters.setdefault(key, []).append(spec.job_id)
+            self.counters["coalesced"] += 1
+            return spec.job_id
+        self._inflight[key] = spec.job_id
+        self._route(spec, front=False)
+        return spec.job_id
+
+    def _route(self, spec: JobSpec, *, front: bool) -> None:
+        shard_id = self.ring.shard_for(
+            spec.library_fingerprint(), excluded=self.quarantined
+        )
+        self._job_shard[spec.job_id] = shard_id
+        self.shards[shard_id].submit(spec, front=front)
+
+    # -- Event pump ----------------------------------------------------------
+
+    def poll(self, timeout: float = 0.05) -> list[dict]:
+        """Process pending shard events; returns them in arrival order.
+
+        Blocks up to ``timeout`` only when nothing is immediately ready.
+        Event documents: ``{"kind": "progress", "shard", "job_id",
+        "worker_id", "batch", "seconds", "n_particles"}`` and ``{"kind":
+        "done", "job_id", "status", "shard", "cached"}``.
+        """
+        self.start()
+        events: list[dict] = []
+        while self._local_events:
+            events.append(self._local_events.popleft())
+        block = timeout if not events else 0.0
+        while True:
+            try:
+                raw = self.outbox.get(timeout=block)
+            except _queue.Empty:
+                break
+            block = 0.0
+            handled = self._handle(raw)
+            if handled is not None:
+                events.append(handled)
+            while self._local_events:
+                events.append(self._local_events.popleft())
+        return events
+
+    def _handle(self, event: ShardEvent) -> dict | None:
+        if event.kind == "progress":
+            worker_id, job_id, batch, seconds, n_particles = event.progress
+            # Shards are the supervised ranks: every batch completed by
+            # any of a shard's workers feeds that shard's throughput EMA.
+            self.health.record(event.shard_id, batch, seconds, n_particles)
+            return {
+                "kind": "progress",
+                "shard": event.shard_id,
+                "job_id": job_id,
+                "worker_id": worker_id,
+                "batch": batch,
+                "seconds": seconds,
+                "n_particles": n_particles,
+            }
+
+        result = event.result
+        if result.job_id in self.results:
+            # A completion racing an eviction can be reported by both the
+            # dying shard's flush and the surviving shard's rerun; the
+            # payloads are bit-identical, so first report wins.
+            return None
+        self.results[result.job_id] = result
+        self._outstanding.discard(result.job_id)
+        cls = self._admitted_class.pop(result.job_id, None)
+        if cls is not None:
+            self.admission.release(cls)
+
+        shard_key = f"shard-{event.shard_id}"
+        spec = self._specs.get(result.job_id)
+        key = self.result_cache.key_for(spec) if spec is not None else None
+        if key is not None and self._inflight.get(key) == result.job_id:
+            del self._inflight[key]
+        if result.status == "done":
+            self.counters["completed"] += 1
+            self.admission.note_service(result.service_seconds)
+            self.breaker.record_success(shard_key)
+            if spec is not None:
+                self.result_cache.put(spec, result)
+            if key is not None:
+                self._resolve_waiters(key)
+        elif result.status == "poisoned":
+            self.counters["poisoned"] += 1
+            # Poison promotion: a job that deterministically kills this
+            # shard's workers may be the job's fault once — but a streak
+            # indicts the shard.
+            self.breaker.record_failure(shard_key)
+            if (
+                self.breaker.is_open(shard_key)
+                and event.shard_id not in self.quarantined
+            ):
+                self.quarantine_shard(event.shard_id)
+        else:
+            self.counters["failed"] += 1
+        if result.status != "done" and key is not None:
+            self._promote_waiter(key)
+
+        return {
+            "kind": "done",
+            "job_id": result.job_id,
+            "status": result.status,
+            "shard": event.shard_id,
+            "cached": False,
+        }
+
+    def _resolve_waiters(self, key: str) -> None:
+        """Serve every follower parked on ``key`` from the fresh cache."""
+        for waiter_id in self._waiters.pop(key, []):
+            cached = self.result_cache.get(self._specs[waiter_id])
+            if cached is None:  # cache raced an eviction: rerun instead
+                self._inflight[key] = waiter_id
+                self._route(self._specs[waiter_id], front=True)
+                continue
+            self.results[waiter_id] = cached
+            self._outstanding.discard(waiter_id)
+            cls = self._admitted_class.pop(waiter_id, None)
+            if cls is not None:
+                self.admission.release(cls)
+            self.counters["cache_hits"] += 1
+            self.counters["completed"] += 1
+            self._local_events.append(
+                {
+                    "kind": "done",
+                    "job_id": waiter_id,
+                    "status": cached.status,
+                    "shard": -1,
+                    "cached": True,
+                }
+            )
+
+    def _promote_waiter(self, key: str) -> None:
+        """The leader for ``key`` failed: its followers must not hang.
+
+        The first parked follower becomes the new leader and actually
+        runs (front of its class — it has already waited its turn); the
+        rest stay parked behind it.
+        """
+        waiters = self._waiters.get(key)
+        if not waiters:
+            self._waiters.pop(key, None)
+            return
+        new_leader = waiters.pop(0)
+        if not waiters:
+            del self._waiters[key]
+        self._inflight[key] = new_leader
+        self._route(self._specs[new_leader], front=True)
+
+    # -- Quarantine ----------------------------------------------------------
+
+    def quarantine_shard(self, shard_id: int) -> bool:
+        """Evict a shard and re-route its unfinished jobs; False if skipped.
+
+        The minimum-one-shard floor: quarantining the only healthy shard
+        would turn a sick service into no service, so the request is
+        counted and refused instead.
+        """
+        if shard_id in self.quarantined:
+            return False
+        if len(self.quarantined) + 1 >= self.n_shards:
+            self.counters["quarantines_skipped"] += 1
+            return False
+        self.quarantined.add(shard_id)
+        self.health.mark_dead(shard_id)
+        self.counters["quarantines"] += 1
+        healthy = self.n_shards - len(self.quarantined)
+        self.admission.slots = healthy * self.workers_per_shard
+        leftovers = self.shards[shard_id].evict()
+        for spec in leftovers:
+            if spec.job_id in self.results:
+                continue
+            self.counters["requeued"] += 1
+            self._route(spec, front=True)
+        return True
+
+    # -- Draining ------------------------------------------------------------
+
+    def unresolved(self) -> int:
+        """Jobs admitted but not yet resolved anywhere in the tier."""
+        return len(self._outstanding)
+
+    def drain(self, *, deadline_s: float | None = None) -> None:
+        """Block until every submitted job has a result."""
+        deadline = (
+            Deadline(deadline_s, label="gateway drain")
+            if deadline_s is not None
+            else None
+        )
+        while self.unresolved():
+            if deadline is not None:
+                deadline.check(
+                    f"draining {self.unresolved()} unresolved job(s)"
+                )
+            self.poll(timeout=0.05)
+
+    def ordered_results(self) -> list[JobResult]:
+        """Results for every resolved job, in submission order."""
+        return [
+            self.results[job_id]
+            for job_id in self._order
+            if job_id in self.results
+        ]
+
+    # -- Async front tier ----------------------------------------------------
+
+    async def run_async(
+        self,
+        specs: list[JobSpec],
+        *,
+        deadline_s: float | None = None,
+    ) -> list[JobResult]:
+        """Submit ``specs`` (yielding on backpressure) and drain them all."""
+        results = []
+        async for event in self.stream(specs, deadline_s=deadline_s):
+            if event["kind"] == "done":
+                results.append(self.results[event["job_id"]])
+        ordered = {r.job_id: r for r in results}
+        return [ordered[s.job_id] for s in specs if s.job_id in ordered]
+
+    async def stream(
+        self,
+        specs: list[JobSpec],
+        *,
+        deadline_s: float | None = None,
+    ):
+        """Async event stream: submit ``specs``, yield every event.
+
+        Yields the :meth:`poll` event documents — per-batch ``progress``
+        and per-job ``done`` (cache hits included) — until every spec in
+        this call has resolved.  Backpressure is cooperative: when
+        admission rejects, the feeder sleeps the advertised retry-after
+        and lets other coroutines run.
+        """
+        self.start()
+        backlog = deque(specs)
+        wanted = {s.job_id for s in specs}
+        done = 0
+        deadline = (
+            Deadline(deadline_s, label="gateway stream")
+            if deadline_s is not None
+            else None
+        )
+        while backlog or done < len(wanted):
+            if deadline is not None:
+                deadline.check(
+                    f"{len(wanted) - done} job(s) unresolved"
+                )
+            while backlog:
+                try:
+                    self.submit(backlog[0])
+                except QueueFullError as exc:
+                    await asyncio.sleep(
+                        min(exc.retry_after_s, 0.25)
+                    )
+                    break
+                backlog.popleft()
+            events = self.poll(timeout=0.0)
+            if not events:
+                await asyncio.sleep(_IDLE_SLEEP_S)
+                continue
+            for event in events:
+                if (
+                    event["kind"] == "done"
+                    and event["job_id"] in wanted
+                ):
+                    done += 1
+                yield event
+
+    def run(
+        self,
+        specs: list[JobSpec],
+        *,
+        deadline_s: float | None = None,
+    ) -> list[JobResult]:
+        """Synchronous wrapper over :meth:`run_async`."""
+        return asyncio.run(
+            self.run_async(specs, deadline_s=deadline_s)
+        )
+
+    # -- Observability -------------------------------------------------------
+
+    def metrics_summary(self) -> dict:
+        """Gateway counters + supervision state + per-shard summaries."""
+        aggregate = {name: 0 for name in _AGGREGATE_COUNTERS}
+        overhead_sum = 0.0
+        service_sum = 0.0
+        shards = {}
+        for shard_id, shard in self.shards.items():
+            metrics = shard.service.metrics
+            for name in _AGGREGATE_COUNTERS:
+                aggregate[name] += metrics.counter(name).value
+            overhead_sum += metrics.histogram(
+                "dispatch_overhead_seconds"
+            ).sum
+            service_sum += metrics.histogram("service_seconds").sum
+            shards[str(shard_id)] = shard.metrics_summary()
+        aggregate["dispatch_overhead_seconds"] = overhead_sum
+        aggregate["service_seconds"] = service_sum
+        aggregate["dispatch_overhead_fraction"] = (
+            overhead_sum / service_sum if service_sum else 0.0
+        )
+        return {
+            "gateway": {
+                "n_shards": self.n_shards,
+                "workers_per_shard": self.workers_per_shard,
+                "quarantined": sorted(self.quarantined),
+                "unresolved": self.unresolved(),
+                "counters": dict(self.counters),
+                "admission": self.admission.snapshot(),
+                "result_cache": self.result_cache.stats(),
+                "breaker": self.breaker.as_dict(),
+                "health": self.health.summary(),
+            },
+            "aggregate": aggregate,
+            "shards": shards,
+        }

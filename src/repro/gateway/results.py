@@ -1,0 +1,202 @@
+"""Fingerprint+spec result cache: identical jobs answered without transport.
+
+Heavy traffic repeats itself — the same canned scenario, the same sweep
+resubmitted, the same curriculum job from a thousand clients.  Because a
+:class:`~repro.serve.jobs.JobSpec`'s payload is a pure function of its
+physics identity (the serve invariant, tested since PR 2), the gateway
+can legally answer a repeat from a cache: the key is
+:meth:`JobSpec.cache_key` (SHA-256 over the canonical identity document)
+and the value is the completed :class:`~repro.serve.jobs.JobResult` as
+exact-float JSON, so a hit is **byte-identical in its physics payload**
+to recomputation (``payload_json`` equality; the determinism tests prove
+it).
+
+Mechanics:
+
+* **LRU memory tier** with an optional ``max_entries`` bound; eviction is
+  strict least-recently-used (hits refresh recency).
+* **Optional disk tier** — one ``<key>.json`` per entry, published
+  atomically (temp file + ``os.replace``, the library cache's pattern),
+  so a cache directory survives process restarts and is shared by
+  consecutive CLI invocations.  Memory eviction never deletes disk
+  entries; the directory is the durable tier.
+* **First insert wins.**  Concurrent ``put`` of the same key (two shards
+  completing identical specs in flight simultaneously) dedups under the
+  lock; the stored payloads are bit-identical anyway, so either is valid.
+* **Only ``done`` results are cacheable.**  Failed, expired, and
+  poisoned results are refused — a poisoned job must trip the breaker on
+  every resubmission, never be replayed from cache.
+
+On a hit the cached payload is re-stamped with the *requesting* spec's
+scheduling identity (job id, scenario provenance) and marked
+``library_source="result-cache"`` with zeroed service accounting —
+physics from the cache, bookkeeping from this submission.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from ..errors import GatewayError
+from ..serve.jobs import JobResult, JobSpec
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Thread-safe spec-keyed cache of completed job results."""
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        *,
+        max_entries: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise GatewayError(
+                f"max_entries must be >= 1 when set, got {max_entries}"
+            )
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        #: key -> stored result dict, in LRU order (last = most recent).
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.rejected = 0
+
+    @staticmethod
+    def key_for(spec: JobSpec) -> str:
+        return spec.cache_key()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[str]:
+        """Keys in LRU order, oldest first (eviction order)."""
+        with self._lock:
+            return list(self._entries)
+
+    # -- Lookup --------------------------------------------------------------
+
+    def get(self, spec: JobSpec) -> JobResult | None:
+        """The cached result for ``spec``'s physics, or ``None`` on miss."""
+        key = self.key_for(spec)
+        with self._lock:
+            stored = self._entries.get(key)
+            if stored is not None:
+                self._entries.move_to_end(key)
+            elif self.directory is not None:
+                stored = self._load_disk(key)
+                if stored is not None:
+                    self._entries[key] = stored
+                    self._evict_over_bound()
+            if stored is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            data = dict(stored)
+        # Re-stamp scheduling identity outside the lock: the physics
+        # payload is the cached bytes, the bookkeeping is this request's.
+        data.update(
+            job_id=spec.job_id,
+            case_id=spec.case_id,
+            suite_id=spec.suite_id,
+            scenario_fingerprint=spec.scenario_fingerprint,
+            worker_id=-1,
+            attempts=1,
+            wait_seconds=0.0,
+            service_seconds=0.0,
+            build_seconds=0.0,
+            library_source="result-cache",
+        )
+        return JobResult.from_dict(data)
+
+    # -- Insert --------------------------------------------------------------
+
+    def put(self, spec: JobSpec, result: JobResult) -> bool:
+        """Cache ``result`` under ``spec``'s key; returns whether stored.
+
+        Refuses non-``done`` results (poison must stay poisonous) and
+        dedups concurrent inserts of the same key (first wins).
+        """
+        if result.status != "done":
+            self.rejected += 1
+            return False
+        key = self.key_for(spec)
+        payload = result.to_json()
+        with self._lock:
+            if key in self._entries:
+                return False
+            if (
+                self.directory is not None
+                and self._disk_path(key).exists()
+            ):
+                return False
+            self._entries[key] = json.loads(payload)
+            self.insertions += 1
+            if self.directory is not None:
+                self._write_disk(key, payload)
+            self._evict_over_bound()
+        return True
+
+    # -- Internals -----------------------------------------------------------
+
+    def _evict_over_bound(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def _disk_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def _load_disk(self, key: str) -> dict | None:
+        path = self._disk_path(key)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            # A torn file cannot happen under the atomic publish, but a
+            # cache must never become a source of failure.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _write_disk(self, key: str, payload: str) -> None:
+        path = self._disk_path(key)
+        tmp = path.with_name(f"{path.stem}.tmp-{os.getpid()}")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+
+    # -- Observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "insertions": self.insertions,
+                "evictions": self.evictions,
+                "rejected": self.rejected,
+                "directory": (
+                    str(self.directory) if self.directory else None
+                ),
+            }

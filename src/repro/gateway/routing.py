@@ -1,0 +1,100 @@
+"""Consistent-hash routing of library fingerprints onto shards.
+
+The gateway's sharding invariant: **all jobs needing the same XS library
+land on the same shard**, so the library is built once, node-locally
+(the :class:`~repro.serve.cache.LibraryCache` single-builder lockfile
+election never crosses a shard boundary) and every worker on that shard
+serves the fingerprint from warm memory or local disk.
+
+A :class:`HashRing` gives that affinity the two properties a service tier
+needs:
+
+* **Determinism.**  Placement is a pure function of the shard set and the
+  key — SHA-256 points on a 64-bit ring, no clocks, no randomness — so
+  two gateways (or a gateway and a test) agree on every assignment.
+* **Minimal disruption.**  When a shard is quarantined, only the keys
+  that lived on it move (deterministically, to the next point on the
+  ring); every other fingerprint keeps its warm shard.  This is why
+  quarantine costs one shard's worth of rebuilt libraries, not a full
+  reshuffle.
+
+``replicas`` virtual nodes per shard smooth the split (the classic
+consistent-hashing trick); 64 keeps the worst shard within a few tens of
+percent of fair share, plenty for fingerprint-granular placement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable
+
+from ..errors import GatewayError, ShardQuarantinedError
+
+__all__ = ["HashRing"]
+
+
+def _point(text: str) -> int:
+    """A stable 64-bit position on the ring."""
+    return int.from_bytes(
+        hashlib.sha256(text.encode()).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over integer shard IDs."""
+
+    def __init__(self, shard_ids: Iterable[int], *, replicas: int = 64) -> None:
+        ids = list(shard_ids)
+        if not ids:
+            raise GatewayError("HashRing needs at least one shard")
+        if len(set(ids)) != len(ids):
+            raise GatewayError(f"duplicate shard ids in {ids}")
+        if replicas < 1:
+            raise GatewayError(f"replicas must be >= 1, got {replicas}")
+        self.shard_ids = tuple(sorted(ids))
+        self.replicas = replicas
+        points = [
+            (_point(f"shard-{shard}:replica-{r}"), shard)
+            for shard in self.shard_ids
+            for r in range(replicas)
+        ]
+        points.sort()
+        self._points = points
+        self._keys = [p for p, _ in points]
+
+    def shard_for(
+        self, key: str, *, excluded: frozenset[int] | set[int] = frozenset()
+    ) -> int:
+        """The shard owning ``key``, skipping ``excluded`` shards.
+
+        Walking the ring past excluded points is what makes quarantine
+        remapping deterministic *and* minimal: a key whose owner is
+        healthy never moves, a key whose owner is excluded lands on the
+        next healthy point clockwise.
+        """
+        alive = [s for s in self.shard_ids if s not in excluded]
+        if not alive:
+            raise ShardQuarantinedError(
+                f"no routable shard: all of {list(self.shard_ids)} excluded"
+            )
+        start = bisect_right(self._keys, _point(key)) % len(self._points)
+        for offset in range(len(self._points)):
+            _, shard = self._points[(start + offset) % len(self._points)]
+            if shard not in excluded:
+                return shard
+        raise GatewayError("unreachable: ring walk found no shard")
+
+    def assignments(
+        self,
+        keys: Iterable[str],
+        *,
+        excluded: frozenset[int] | set[int] = frozenset(),
+    ) -> dict[int, list[str]]:
+        """Shard → keys placement preview (diagnostics and tests)."""
+        placement: dict[int, list[str]] = {
+            s: [] for s in self.shard_ids if s not in excluded
+        }
+        for key in keys:
+            placement[self.shard_for(key, excluded=excluded)].append(key)
+        return placement

@@ -18,6 +18,7 @@ boundaries without perturbing the physics payload.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import uuid
 from dataclasses import asdict, dataclass, field, fields, replace
@@ -36,6 +37,18 @@ _ALLOWED_SETTINGS = frozenset(
 ) - {"checkpoint_every", "checkpoint_dir"}
 
 _FIDELITIES = ("tiny", "default")
+
+#: Fields that define a job's *physics identity* — everything a worker
+#: consults to produce the payload, and nothing it doesn't.  Job IDs,
+#: priorities, deadlines, and scenario provenance are scheduling metadata:
+#: including them would fragment the result cache across identical physics.
+_IDENTITY_FIELDS = (
+    "model",
+    "fidelity",
+    "library_seed",
+    "library_temperature",
+    "settings",
+)
 
 
 def _new_job_id() -> str:
@@ -116,6 +129,20 @@ class JobSpec:
     def library_fingerprint(self) -> str:
         """Cache/affinity key: determines the built library bit-for-bit."""
         return library_fingerprint(self.model, self.library_config())
+
+    def cache_key(self) -> str:
+        """Result-cache key: SHA-256 over the canonical physics identity.
+
+        Two specs share a key exactly when a worker would produce
+        bit-identical payloads for both — same library (model, fidelity,
+        seed, temperature) and same transport settings.  Scheduling
+        metadata never contributes, so resubmitting a job under a new ID
+        (or from a different suite) still hits the cache.
+        """
+        doc = {name: getattr(self, name) for name in _IDENTITY_FIELDS}
+        return hashlib.sha256(
+            json.dumps(doc, sort_keys=True).encode()
+        ).hexdigest()
 
     # -- JSON round trip -----------------------------------------------------
 
@@ -249,6 +276,40 @@ class JobResult:
             attempts=attempts,
             error=error,
         )
+
+    #: The deterministic physics payload: exactly the fields that are a
+    #: pure function of the spec (service accounting — worker IDs, waits,
+    #: wall times — varies run to run and is excluded).  This is the
+    #: surface the bit-identical guarantees quantify over.
+    PAYLOAD_FIELDS = (
+        "status",
+        "mode",
+        "n_particles",
+        "n_batches",
+        "k_effective",
+        "k_std_err",
+        "k_collision",
+        "k_absorption",
+        "k_track",
+        "entropy",
+        "counters",
+        "settings_fingerprint",
+        "library_fingerprint",
+    )
+
+    def payload_dict(self) -> dict:
+        """The deterministic physics payload as a plain dict."""
+        return {name: getattr(self, name) for name in self.PAYLOAD_FIELDS}
+
+    def payload_json(self) -> str:
+        """Canonical exact-float JSON of the payload.
+
+        Python's ``json`` emits shortest-repr floats that parse back
+        bit-identically, so two results are physics-equal iff these
+        strings are byte-equal — the comparison the gateway's result
+        cache and the determinism tests use.
+        """
+        return json.dumps(self.payload_dict(), sort_keys=True)
 
     # -- JSON round trip -----------------------------------------------------
 

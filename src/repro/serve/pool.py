@@ -100,7 +100,21 @@ def _worker_main(
 
             from ..transport.simulation import Simulation
 
-            result = Simulation(library, spec.to_settings()).run()
+            def on_batch(
+                batch: int, seconds: float, n_particles: int,
+                _job_id: str = spec.job_id,
+            ) -> None:
+                # Per-batch progress for streaming observers: timing only
+                # (the PR 5 observer contract), so it cannot perturb
+                # physics no matter what the gateway does with it.
+                result_q.put(
+                    ("progress", worker_id, _job_id, batch, seconds,
+                     n_particles)
+                )
+
+            result = Simulation(library, spec.to_settings()).run(
+                on_batch=on_batch
+            )
             job_result = JobResult.from_simulation(
                 spec,
                 result,
@@ -130,9 +144,11 @@ class PoolEvent:
     ``kind`` is one of ``done`` (payload: :class:`JobResult`), ``error``
     (payload: message string; job carries the failed dispatch), ``crash``
     (payload: ``None``; job is the in-flight dispatch to requeue, or
-    ``None`` if the worker died idle), or ``poisoned`` (the crashed job's
+    ``None`` if the worker died idle), ``poisoned`` (the crashed job's
     circuit tripped — quarantine it instead of requeueing; ``message``
-    carries the crash streak).
+    carries the crash streak), or ``progress`` (one transport batch
+    finished; ``progress`` carries ``(job_id, batch, seconds,
+    n_particles)``).
     """
 
     kind: str
@@ -141,6 +157,8 @@ class PoolEvent:
     result: JobResult | None = None
     message: str = ""
     service_seconds: float = 0.0
+    #: ``progress`` events only: (job_id, batch, seconds, n_particles).
+    progress: tuple | None = None
 
 
 class _WorkerHandle:
@@ -309,6 +327,12 @@ class WorkerPool:
             return None
         if kind == "started":
             return None
+        if kind == "progress":
+            _, _, job_id, batch, seconds, n_particles = msg
+            return PoolEvent(
+                "progress", worker_id,
+                progress=(job_id, batch, seconds, n_particles),
+            )
         if kind == "stopped":
             handle.state = "stopped"
             return None

@@ -84,6 +84,14 @@ class SimulationService:
         self._wait_s: dict[str, float] = {}
         self._started = False
         self._mean_service_s = 0.0
+        #: Results recorded since the last :meth:`take_fresh_results` —
+        #: the incremental completion feed a long-running driver (the
+        #: gateway shard pump) consumes between :meth:`step` calls.
+        self._fresh: list[JobResult] = []
+        #: Per-batch progress observer, ``f(worker_id, job_id, batch,
+        #: seconds, n_particles)`` — the PR 5 ``on_batch`` contract bridged
+        #: out of the worker processes.  Timing only; never tallies.
+        self.on_progress = None
         # Pre-register the export surface so an idle service still reports
         # a complete (zeroed) metrics document.
         for name in (
@@ -96,6 +104,9 @@ class SimulationService:
         for name in ("queue_depth", "in_flight", "workers_alive",
                      "cache_hit_rate", "circuits_open"):
             self.metrics.gauge(name)
+        self.metrics.gauge("retry_after_seconds").set(
+            self.queue.retry_after_hint
+        )
         self.metrics.info("circuit_breaker").set(self.pool.breaker.as_dict())
         for name in ("queue_wait_seconds", "service_seconds",
                      "build_seconds", "dispatch_overhead_seconds"):
@@ -103,8 +114,13 @@ class SimulationService:
 
     # -- Submission ----------------------------------------------------------
 
-    def submit(self, spec: JobSpec) -> str:
-        """Admit one job; raises :class:`QueueFullError` at capacity."""
+    def submit(self, spec: JobSpec, *, front: bool = False) -> str:
+        """Admit one job; raises :class:`QueueFullError` at capacity.
+
+        ``front=True`` is the recovery path (capacity-exempt, enters ahead
+        of its priority class): the gateway uses it to requeue jobs pulled
+        back from an evicted shard, mirroring the pool's own crash requeue.
+        """
         if spec.submitted_at is None:
             import dataclasses
 
@@ -112,7 +128,7 @@ class SimulationService:
         if spec.job_id in self.results or spec.job_id in self._order:
             raise JobError(f"duplicate job id {spec.job_id!r}")
         try:
-            self.queue.put(spec)
+            self.queue.put(spec, front=front)
         except QueueFullError:
             self.metrics.counter("queue_rejections").inc()
             raise
@@ -154,12 +170,7 @@ class SimulationService:
             else None
         )
         self.start()
-        while (
-            backlog
-            or len(self.queue)
-            or len(self.batcher)
-            or self.pool.in_flight()
-        ):
+        while backlog or self.outstanding():
             if deadline is not None:
                 deadline.check(
                     f"draining {len(self.queue)} queued / "
@@ -172,11 +183,35 @@ class SimulationService:
                     break
                 backlog.popleft()
             self._tick()
+        self._fresh.clear()
         return [self.results[job_id] for job_id in self._order
                 if job_id in self.results]
 
     def run_until_drained(self) -> list[JobResult]:
         return self.run([])
+
+    def outstanding(self) -> int:
+        """Jobs admitted but not yet resolved (queued, staged, in flight)."""
+        return len(self.queue) + len(self.batcher) + self.pool.in_flight()
+
+    def step(self) -> list[JobResult]:
+        """One incremental scheduling round; returns newly recorded results.
+
+        The long-running-driver API: where :meth:`run` owns the whole
+        drain, ``step`` advances the loop exactly one tick (stage,
+        dispatch, collect — blocking at most the poll interval) so an
+        outer scheduler (a gateway shard pump) can interleave feeding,
+        supervision, and completion forwarding at its own cadence.
+        """
+        self.start()
+        self._tick()
+        return self.take_fresh_results()
+
+    def take_fresh_results(self) -> list[JobResult]:
+        """Results recorded since the last take (completion order)."""
+        fresh = self._fresh
+        self._fresh = []
+        return fresh
 
     def _tick(self) -> None:
         """One scheduling round: stage, dispatch, collect."""
@@ -242,6 +277,10 @@ class SimulationService:
         return dispatched
 
     def _handle_event(self, event: PoolEvent) -> None:
+        if event.kind == "progress":
+            if self.on_progress is not None:
+                self.on_progress(event.worker_id, *event.progress)
+            return
         if event.kind == "done":
             result = event.result
             result.wait_seconds = self._wait_s.pop(result.job_id, 0.0)
@@ -333,6 +372,7 @@ class SimulationService:
                 f"work in the dispatch path"
             )
         self.results[result.job_id] = result
+        self._fresh.append(result)
 
     def _export_breaker(self) -> None:
         """Mirror circuit-breaker state into the metrics registry."""
@@ -360,6 +400,9 @@ class SimulationService:
         )
         self.queue.retry_after_hint = max(
             0.05, self._mean_service_s / self.pool.n_workers
+        )
+        self.metrics.gauge("retry_after_seconds").set(
+            self.queue.retry_after_hint
         )
 
     # -- Observability -------------------------------------------------------
@@ -452,10 +495,26 @@ def spool_status(root: str | Path) -> dict:
                     "worker_id": result.worker_id,
                     "attempts": result.attempts,
                     "library_source": result.library_source,
+                    # Scenario provenance (PR 6): which case of which
+                    # suite, and the document fingerprint it compiled
+                    # from.  Empty strings for ad-hoc jobs.
+                    "case_id": result.case_id,
+                    "suite_id": result.suite_id,
+                    "scenario_fingerprint": result.scenario_fingerprint,
                 }
             )
     status: dict = {"root": str(root), "counts": counts, "results": results}
     metrics_path = root / "metrics.json"
     if metrics_path.exists():
         status["metrics"] = json.loads(metrics_path.read_text())
+        # Surface the adaptive backpressure hint (what a rejected client
+        # would be told to wait) at the top level, where shell callers
+        # expect it — the nested metrics document keeps the raw gauge.
+        try:
+            status["retry_after_s"] = (
+                status["metrics"]["metrics"]["metrics"]
+                ["retry_after_seconds"]["value"]
+            )
+        except (KeyError, TypeError):
+            pass
     return status

@@ -1,0 +1,122 @@
+"""Admission control: bounded occupancy, class fairness, adaptive hints."""
+
+import pytest
+
+from repro.errors import GatewayError, QueueFullError
+from repro.gateway.admission import AdmissionController
+from repro.serve.jobs import JobSpec
+
+
+def spec(priority=0, **kwargs):
+    return JobSpec(priority=priority, **kwargs)
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(GatewayError, match="capacity"):
+            AdmissionController(0)
+
+    def test_rejects_bad_share(self):
+        with pytest.raises(GatewayError, match="max_class_share"):
+            AdmissionController(4, max_class_share=0.0)
+        with pytest.raises(GatewayError, match="max_class_share"):
+            AdmissionController(4, max_class_share=1.5)
+
+    def test_rejects_bad_slots(self):
+        with pytest.raises(GatewayError, match="slots"):
+            AdmissionController(4, slots=0)
+
+
+class TestCapacity:
+    def test_admits_until_capacity(self):
+        ctl = AdmissionController(3, max_class_share=1.0)
+        for _ in range(3):
+            ctl.admit(spec())
+        with pytest.raises(QueueFullError, match="at capacity") as exc:
+            ctl.admit(spec())
+        assert exc.value.retry_after_s > 0
+        assert ctl.in_flight == 3
+
+    def test_release_reopens_capacity(self):
+        ctl = AdmissionController(1, max_class_share=1.0)
+        cls = ctl.admit(spec())
+        ctl.release(cls)
+        assert ctl.in_flight == 0
+        ctl.admit(spec())  # does not raise
+
+    def test_unbalanced_release_is_typed(self):
+        ctl = AdmissionController(2)
+        with pytest.raises(GatewayError, match="no slot held"):
+            ctl.release("priority-0")
+
+
+class TestClassFairness:
+    def test_one_class_cannot_fill_the_gateway(self):
+        ctl = AdmissionController(4, max_class_share=0.5)
+        assert ctl.class_cap == 2
+        ctl.admit(spec(priority=5))
+        ctl.admit(spec(priority=5))
+        with pytest.raises(QueueFullError, match="fairness cap") as exc:
+            ctl.admit(spec(priority=5))
+        assert "priority-5" in str(exc.value)
+        # Another class still admits into the reserved headroom.
+        ctl.admit(spec(priority=0))
+        ctl.admit(spec(priority=0))
+        assert ctl.in_flight == 4
+
+    def test_class_token_round_trip(self):
+        ctl = AdmissionController(4, max_class_share=0.5)
+        cls = ctl.admit(spec(priority=3))
+        assert cls == "priority-3"
+        ctl.admit(spec(priority=3))
+        ctl.release(cls)
+        ctl.admit(spec(priority=3))  # freed its own class's slot
+
+    def test_cap_never_below_one(self):
+        ctl = AdmissionController(2, max_class_share=0.1)
+        assert ctl.class_cap == 1
+        ctl.admit(spec())
+
+
+class TestRetryAfter:
+    def test_ema_divided_by_slots(self):
+        ctl = AdmissionController(8, slots=4)
+        ctl.note_service(2.0)
+        assert ctl.retry_after_s == pytest.approx(0.5)
+        # EMA folds new observations at alpha=0.3.
+        ctl.note_service(4.0)
+        assert ctl.retry_after_s == pytest.approx(
+            (0.3 * 4.0 + 0.7 * 2.0) / 4
+        )
+
+    def test_floor(self):
+        ctl = AdmissionController(8, slots=100)
+        ctl.note_service(1e-6)
+        assert ctl.retry_after_s == 0.05
+
+    def test_nonpositive_observations_ignored(self):
+        ctl = AdmissionController(8)
+        ctl.note_service(0.0)
+        ctl.note_service(-1.0)
+        assert ctl.retry_after_s == 1.0  # the initial default
+
+    def test_rejection_carries_current_hint(self):
+        ctl = AdmissionController(1, max_class_share=1.0, slots=2)
+        ctl.note_service(3.0)
+        ctl.admit(spec())
+        with pytest.raises(QueueFullError) as exc:
+            ctl.admit(spec())
+        assert exc.value.retry_after_s == pytest.approx(1.5)
+
+
+class TestSnapshot:
+    def test_snapshot_reflects_state(self):
+        ctl = AdmissionController(4, max_class_share=0.5, slots=2)
+        ctl.admit(spec(priority=1))
+        ctl.admit(spec(priority=0))
+        snap = ctl.snapshot()
+        assert snap["capacity"] == 4
+        assert snap["in_flight"] == 2
+        assert snap["class_cap"] == 2
+        assert snap["per_class"] == {"priority-0": 1, "priority-1": 1}
+        assert snap["slots"] == 2

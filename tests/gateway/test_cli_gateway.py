@@ -1,0 +1,106 @@
+"""The gateway CLI verbs (serve/submit/status) end to end, via main(argv)."""
+
+import json
+
+from repro.cli import main as sim_main
+from repro.serve.jobs import JobSpec
+from repro.serve.service import spool_status, submit_to_spool
+
+TINY = {"n_particles": 24, "n_inactive": 0, "n_active": 2,
+        "mode": "event", "pincell": True}
+
+
+def write_jobs(path, specs):
+    path.write_text("".join(s.to_json() + "\n" for s in specs))
+    return str(path)
+
+
+def tiny_spec(job_id, seed=5):
+    return JobSpec(job_id=job_id, settings=dict(TINY, seed=seed))
+
+
+class TestGatewaySubmit:
+    def test_one_shot_json_document(self, tmp_path, capsys):
+        jobs = write_jobs(tmp_path / "jobs.jsonl", [
+            tiny_spec("g1", seed=5), tiny_spec("g2", seed=5),
+        ])
+        rc = sim_main(["gateway", "submit", "--jobs", jobs,
+                       "--shards", "1", "--cache", str(tmp_path / "libs"),
+                       "--deadline-s", "110", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [r["job_id"] for r in doc["results"]] == ["g1", "g2"]
+        assert all(r["status"] == "done" for r in doc["results"])
+        gw = doc["gateway"]["gateway"]
+        assert gw["counters"]["completed"] == 2
+        # Identical physics: the second job came from the result cache.
+        assert gw["counters"]["cache_hits"] == 1
+        assert doc["gateway"]["aggregate"]["library_builds"] == 1
+
+    def test_result_cache_dir_answers_resubmission(self, tmp_path, capsys):
+        """Two invocations sharing --result-cache: the second runs zero
+        simulations and returns byte-identical physics."""
+        flags = ["--shards", "1", "--cache", str(tmp_path / "libs"),
+                 "--result-cache", str(tmp_path / "rc"),
+                 "--deadline-s", "110", "--json"]
+        jobs1 = write_jobs(tmp_path / "j1.jsonl", [tiny_spec("cold")])
+        assert sim_main(["gateway", "submit", "--jobs", jobs1, *flags]) == 0
+        cold = json.loads(capsys.readouterr().out)
+
+        jobs2 = write_jobs(tmp_path / "j2.jsonl", [tiny_spec("warm")])
+        assert sim_main(["gateway", "submit", "--jobs", jobs2, *flags]) == 0
+        warm = json.loads(capsys.readouterr().out)
+
+        assert warm["gateway"]["gateway"]["counters"]["cache_hits"] == 1
+        assert warm["gateway"]["aggregate"]["jobs_completed"] == 0
+        assert warm["results"][0]["library_source"] == "result-cache"
+        payload = {k: warm["results"][0][k]
+                   for k in ("k_effective", "k_collision", "entropy",
+                             "counters")}
+        reference = {k: cold["results"][0][k]
+                     for k in ("k_effective", "k_collision", "entropy",
+                               "counters")}
+        assert json.dumps(payload, sort_keys=True) == json.dumps(
+            reference, sort_keys=True)
+
+    def test_empty_jobs_file_fails(self, tmp_path, capsys):
+        jobs = tmp_path / "empty.jsonl"
+        jobs.write_text("")
+        rc = sim_main(["gateway", "submit", "--jobs", str(jobs)])
+        assert rc == 1
+        assert "no jobs" in capsys.readouterr().err
+
+
+class TestGatewayServeAndStatus:
+    def test_spool_round_trip(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        for i in range(2):
+            submit_to_spool(spool, tiny_spec(f"sp{i}", seed=5))
+        rc = sim_main(["gateway", "serve", "--spool", spool,
+                       "--shards", "1", "--cache", str(tmp_path / "libs"),
+                       "--deadline-s", "110"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 jobs over 1 shard(s)" in out
+
+        status = spool_status(spool)
+        assert status["counts"] == {"pending": 0, "done": 2, "failed": 0}
+
+        rc = sim_main(["gateway", "status", "--spool", spool])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gateway: 1 shard(s)" in out
+        assert "result cache:" in out
+        assert "shard 0: healthy" in out
+
+        rc = sim_main(["gateway", "status", "--spool", spool, "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["gateway"]["counters"]["completed"] == 2
+        assert doc["aggregate"]["library_builds"] == 1
+        assert doc["gateway"]["quarantined"] == []
+
+    def test_status_without_state_fails(self, tmp_path, capsys):
+        rc = sim_main(["gateway", "status", "--spool", str(tmp_path)])
+        assert rc == 1
+        assert "no gateway state" in capsys.readouterr().err

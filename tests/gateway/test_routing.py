@@ -1,0 +1,78 @@
+"""HashRing: deterministic, balanced-enough, minimally disruptive."""
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway.routing import HashRing
+
+KEYS = [f"fingerprint-{i:04x}" for i in range(256)]
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(GatewayError, match="at least one shard"):
+            HashRing([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(GatewayError, match="duplicate"):
+            HashRing([0, 1, 0])
+
+    def test_rejects_bad_replicas(self):
+        with pytest.raises(GatewayError, match="replicas"):
+            HashRing([0], replicas=0)
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        a = HashRing([0, 1, 2])
+        b = HashRing([2, 0, 1])  # construction order is irrelevant
+        for key in KEYS:
+            assert a.shard_for(key) == b.shard_for(key)
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing([7])
+        assert all(ring.shard_for(k) == 7 for k in KEYS)
+
+    def test_every_shard_gets_keys(self):
+        """64 replicas keep a 3-shard split far from degenerate."""
+        ring = HashRing([0, 1, 2])
+        placement = ring.assignments(KEYS)
+        assert set(placement) == {0, 1, 2}
+        for keys in placement.values():
+            assert len(keys) >= len(KEYS) // 10
+
+    def test_affinity_is_stable_per_key(self):
+        ring = HashRing([0, 1, 2, 3])
+        assert all(
+            ring.shard_for(k) == ring.shard_for(k) for k in KEYS
+        )
+
+
+class TestExclusion:
+    def test_excluding_one_shard_moves_only_its_keys(self):
+        """Quarantine is minimal: surviving placements never change."""
+        ring = HashRing([0, 1, 2])
+        before = {k: ring.shard_for(k) for k in KEYS}
+        after = {k: ring.shard_for(k, excluded={1}) for k in KEYS}
+        for key in KEYS:
+            if before[key] != 1:
+                assert after[key] == before[key]
+            else:
+                assert after[key] in (0, 2)
+
+    def test_remap_is_deterministic(self):
+        ring = HashRing([0, 1, 2])
+        a = [ring.shard_for(k, excluded={2}) for k in KEYS]
+        b = [ring.shard_for(k, excluded={2}) for k in KEYS]
+        assert a == b
+
+    def test_all_excluded_raises(self):
+        ring = HashRing([0, 1])
+        with pytest.raises(GatewayError, match="no routable shard"):
+            ring.shard_for("key", excluded={0, 1})
+
+    def test_assignments_skip_excluded(self):
+        ring = HashRing([0, 1, 2])
+        placement = ring.assignments(KEYS, excluded={0})
+        assert set(placement) == {1, 2}
+        assert sum(len(v) for v in placement.values()) == len(KEYS)

@@ -4,7 +4,11 @@ import json
 
 from repro.cli import main as sim_main
 from repro.serve import JobSpec
-from repro.serve.service import read_spool_pending, spool_status
+from repro.serve.service import (
+    read_spool_pending,
+    spool_status,
+    submit_to_spool,
+)
 
 RUN_FLAGS = ["--pincell", "--particles", "24", "--batches", "2",
              "--inactive", "0"]
@@ -121,6 +125,44 @@ class TestServeAndStatus:
         rc = sim_main(["serve", "--jobs", str(jobs), "--workers", "1"])
         assert rc == 1
         assert "failed" in capsys.readouterr().out
+
+    def test_status_round_trips_provenance_and_retry_hint(
+        self, tmp_path, capsys
+    ):
+        """Scenario provenance survives spool -> serve -> status, and the
+        adaptive retry-after hint surfaces at the top level of the JSON."""
+        spool = str(tmp_path / "spool")
+        submit_to_spool(spool, JobSpec(
+            job_id="prov1",
+            settings={"n_particles": 24, "n_inactive": 0, "n_active": 2,
+                      "seed": 5, "mode": "event", "pincell": True},
+            case_id="hm0p5-t293", suite_id="hm-tiny-sweep",
+            scenario_fingerprint="deadbeef" * 8,
+        ))
+        assert sim_main(["serve", "--spool", spool, "--workers", "1",
+                         "--cache", str(tmp_path / "cache")]) == 0
+        capsys.readouterr()
+
+        status = spool_status(spool)
+        (entry,) = status["results"]
+        assert entry["case_id"] == "hm0p5-t293"
+        assert entry["suite_id"] == "hm-tiny-sweep"
+        assert entry["scenario_fingerprint"] == "deadbeef" * 8
+        assert status["retry_after_s"] > 0
+
+        rc = sim_main(["status", "--spool", spool, "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        (entry,) = doc["results"]
+        assert entry["case_id"] == "hm0p5-t293"
+        assert entry["suite_id"] == "hm-tiny-sweep"
+        assert doc["retry_after_s"] > 0
+
+        rc = sim_main(["status", "--spool", spool])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "suite=hm-tiny-sweep case=hm0p5-t293" in out
+        assert "retry-after hint" in out
 
     def test_status_on_untouched_spool(self, tmp_path, capsys):
         rc = sim_main(["status", "--spool", str(tmp_path / "fresh")])

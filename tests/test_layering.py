@@ -105,6 +105,43 @@ def test_scenarios_roof_rule_flags_core_import(tmp_path):
     assert check_layering._in_layer(mods[0], "repro.scenarios")
 
 
+def test_gateway_roof_rule_flags_core_import(tmp_path):
+    """Rule 6 machinery: the gateway tier is a roof — only the CLI may
+    import it, and the generic roof checker catches everything else."""
+    # The real tree is clean...
+    assert check_layering._check_roof(
+        check_layering.GATEWAY_DIR, "repro.gateway",
+        check_layering.GATEWAY_IMPORTERS,
+        "core module imports the gateway roof layer",
+    ) == []
+    # ...and the detector recognizes the forbidden import shape.
+    core = tmp_path / "core.py"
+    core.write_text("from .gateway import Gateway\n")
+    errors = check_layering._check_roof(
+        check_layering.GATEWAY_DIR, "repro.gateway",
+        check_layering.GATEWAY_IMPORTERS,
+        "core module imports the gateway roof layer",
+        search_files=[core], package_of=lambda p: "repro",
+    )
+    assert len(errors) == 1
+    assert "repro.gateway" in errors[0]
+
+
+def test_gateway_package_imports_nothing_below_serve():
+    """The gateway composes serve + supervise surfaces only: it must not
+    reach into scenarios, transport, execution, cluster, simd, or
+    machine — placement and caching sit strictly above the service."""
+    for path in sorted(check_layering.GATEWAY_DIR.glob("*.py")):
+        tree = ast.parse(path.read_text())
+        for _, mod in check_layering.runtime_imports(
+            tree, "repro.gateway"
+        ):
+            for layer in check_layering.GATEWAY_FORBIDDEN:
+                assert not check_layering._in_layer(mod, layer), (
+                    f"{path.name} imports {mod}"
+                )
+
+
 def test_scenarios_package_imports_no_roof_peers():
     """Scenarios may import downward (transport, serve, data, geometry)
     but never execution/cluster/simd/machine — it lowers documents onto

@@ -34,6 +34,13 @@ annotation-only and exempt):
    the one-way compilation pipeline (document → Settings/JobSpec) into a
    cycle and couple physics to the document schema.
 
+6. **The gateway is a roof over serve/supervise.**  ``repro.gateway``
+   orchestrates node-local services; only the CLI may import it (a serve
+   or supervise module importing the tier that drives it would be an
+   instant cycle), and the gateway itself may touch only the job/service
+   surface — never transport, execution, cluster, simd, or machine
+   internals, which it must reach exclusively through ``repro.serve``.
+
 Run from the repo root::
 
     python tools/check_layering.py
@@ -86,6 +93,20 @@ RESILIENCE_FORBIDDEN = ("repro.execution",)
 #: The scenario layer is a roof, not a floor: only the CLI imports it.
 SCENARIOS_DIR = SRC / "repro" / "scenarios"
 SCENARIOS_IMPORTERS = (SRC / "repro" / "cli.py",)
+
+#: The gateway tier is likewise a roof (rule 6): nothing below it may
+#: import it, and it may only reach the layers beneath it through the
+#: serve/supervise surface — never the physics or hardware layers.
+GATEWAY_DIR = SRC / "repro" / "gateway"
+GATEWAY_IMPORTERS = (SRC / "repro" / "cli.py",)
+GATEWAY_FORBIDDEN = (
+    "repro.scenarios",
+    "repro.transport",
+    "repro.execution",
+    "repro.cluster",
+    "repro.simd",
+    "repro.machine",
+)
 
 
 def _rel(path: Path) -> Path:
@@ -167,22 +188,57 @@ def check() -> list[str]:
         "resilience primitive imports execution model",
     ))
     errors.extend(_check_scenarios_roof())
+    errors.extend(_check_roof(
+        GATEWAY_DIR, "repro.gateway", GATEWAY_IMPORTERS,
+        "core module imports the gateway roof layer",
+    ))
+    errors.extend(_check_package(
+        GATEWAY_DIR, "repro.gateway", GATEWAY_FORBIDDEN,
+        "gateway tier reaches below the serve surface into",
+    ))
     return errors
 
 
 def _check_scenarios_roof() -> list[str]:
     """Rule 5: no core module imports ``repro.scenarios`` (CLI excepted)."""
+    return _check_roof(
+        SCENARIOS_DIR, "repro.scenarios", SCENARIOS_IMPORTERS,
+        "core module imports the scenario roof layer",
+    )
+
+
+def _check_roof(
+    roof_dir: Path,
+    roof_package: str,
+    allowed_importers: tuple[Path, ...],
+    label: str,
+    *,
+    search_files=None,
+    package_of=None,
+) -> list[str]:
+    """A roof layer may be imported only by its allowed importers.
+
+    ``search_files``/``package_of`` let tests point the checker at a
+    synthetic tree; by default it walks the real ``src/repro``.
+    """
+    if search_files is None:
+        search_files = sorted((SRC / "repro").rglob("*.py"))
+    if package_of is None:
+        def package_of(path):
+            return ".".join(
+                path.relative_to(SRC).parent.parts
+            ) or "repro"
     errors: list[str] = []
-    for path in sorted((SRC / "repro").rglob("*.py")):
-        if SCENARIOS_DIR in path.parents or path in SCENARIOS_IMPORTERS:
+    for path in search_files:
+        if roof_dir in path.parents or path in allowed_importers:
             continue
-        package = ".".join(path.relative_to(SRC).parent.parts) or "repro"
+        package = package_of(path)
         tree = ast.parse(path.read_text(), filename=str(path))
         for lineno, mod in runtime_imports(tree, package):
-            if _in_layer(mod, "repro.scenarios"):
+            if _in_layer(mod, roof_package):
                 errors.append(
-                    f"{_rel(path)}:{lineno}: core module imports the "
-                    f"scenario roof layer {mod!r} (only the CLI may)"
+                    f"{_rel(path)}:{lineno}: {label} {mod!r} "
+                    f"(only the CLI may)"
                 )
     return errors
 
@@ -207,7 +263,8 @@ def _check_package(
 def main() -> int:
     missing = [
         p for p in (*STAGE_FILES, *EXECUTION_MODEL_FILES,
-                    SUPERVISE_DIR, RESILIENCE_DIR, SCENARIOS_DIR)
+                    SUPERVISE_DIR, RESILIENCE_DIR, SCENARIOS_DIR,
+                    GATEWAY_DIR)
         if not p.exists()
     ]
     if missing:
