@@ -300,6 +300,56 @@ class XSCalculator:
     # Banked (event-based) path: inner nuclide loop, vectorized particles
     # ------------------------------------------------------------------
 
+    def apply_corrections(
+        self,
+        plan: MaterialPlan,
+        energies: np.ndarray,
+        m_el_mat: np.ndarray,
+        m_cap_mat: np.ndarray,
+        m_fis_mat: np.ndarray,
+        *,
+        rng_states: np.ndarray | None = None,
+        counters: WorkCounters | None = None,
+    ) -> None:
+        """S(alpha, beta) substitution (no RNG) and URR factor sampling
+        (RNG draws in material order ``k``, exactly the scalar path's draw
+        order), applied **in place** to the ``(n_nuc, N)`` micro matrices.
+
+        The two nuclide sets are disjoint, so the split loops touch
+        different rows and commute with the old interleaved form.  Shared by
+        the NumPy banked path and the compiled-kernel path
+        (:mod:`repro.transport.jit`), which brackets it between its gather
+        and accumulate kernels — corrections have one implementation, so
+        the two paths cannot drift.
+        """
+        if self.use_sab:
+            for k, sab, cutoff in plan.sab_entries:
+                mask = energies < cutoff
+                if mask.any():
+                    m_el_mat[k, mask] = sab.thermal_xs(energies[mask])
+                    if counters:
+                        counters.sab_samples += int(mask.sum())
+        if self.use_urr and plan.urr_entries:
+            in_range = (energies[None, :] >= plan.urr_emin[:, None]) & (
+                energies[None, :] < plan.urr_emax[:, None]
+            )
+            for i, (k, table) in enumerate(plan.urr_entries):
+                mask = in_range[i]
+                if mask.any():
+                    if rng_states is None:
+                        raise PhysicsError(
+                            "banked URR sampling requires rng_states"
+                        )
+                    new_states, xi = prn_array(rng_states[mask])
+                    rng_states[mask] = new_states
+                    factors = table.sample_factors_many(energies[mask], xi)
+                    m_el_mat[k, mask] *= factors[Reaction.ELASTIC]
+                    m_cap_mat[k, mask] *= factors[Reaction.CAPTURE]
+                    m_fis_mat[k, mask] *= factors[Reaction.FISSION]
+                    if counters:
+                        counters.urr_samples += int(mask.sum())
+                        counters.rn_draws += int(mask.sum())
+
     def banked(
         self,
         material: Material,
@@ -379,37 +429,10 @@ class XSCalculator:
                 m_el_mat[k] = micro[Reaction.ELASTIC]
                 m_cap_mat[k] = micro[Reaction.CAPTURE]
                 m_fis_mat[k] = micro[Reaction.FISSION]
-        # S(alpha, beta) substitution (no RNG) and URR factor sampling (RNG
-        # draws in material order k, exactly the scalar path's draw order).
-        # The two nuclide sets are disjoint, so the split loops touch
-        # different rows and commute with the old interleaved form.
-        if self.use_sab:
-            for k, sab, cutoff in plan.sab_entries:
-                mask = energies < cutoff
-                if mask.any():
-                    m_el_mat[k, mask] = sab.thermal_xs(energies[mask])
-                    if counters:
-                        counters.sab_samples += int(mask.sum())
-        if self.use_urr and plan.urr_entries:
-            in_range = (energies[None, :] >= plan.urr_emin[:, None]) & (
-                energies[None, :] < plan.urr_emax[:, None]
-            )
-            for i, (k, table) in enumerate(plan.urr_entries):
-                mask = in_range[i]
-                if mask.any():
-                    if rng_states is None:
-                        raise PhysicsError(
-                            "banked URR sampling requires rng_states"
-                        )
-                    new_states, xi = prn_array(rng_states[mask])
-                    rng_states[mask] = new_states
-                    factors = table.sample_factors_many(energies[mask], xi)
-                    m_el_mat[k, mask] *= factors[Reaction.ELASTIC]
-                    m_cap_mat[k, mask] *= factors[Reaction.CAPTURE]
-                    m_fis_mat[k, mask] *= factors[Reaction.FISSION]
-                    if counters:
-                        counters.urr_samples += int(mask.sum())
-                        counters.rn_draws += int(mask.sum())
+        self.apply_corrections(
+            plan, energies, m_el_mat, m_cap_mat, m_fis_mat,
+            rng_states=rng_states, counters=counters,
+        )
         # Per-nuclide accumulation in material order: float sums must happen
         # in the scalar path's order to stay bit-identical (no matmul/BLAS
         # reductions here, by design).  ``np.add.reduce`` over axis 0 of a

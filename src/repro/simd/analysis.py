@@ -81,7 +81,14 @@ def lane_utilization_report(
     stage of this run?" — for either backend's trace.
 
     Returns ``{"iterations", "width", "stages": {stage: {"mean", "min",
-    "max", "total", "lane_efficiency"}}}``.
+    "max", "total", "lane_efficiency"}}, "gather": {"mean_stride",
+    "strides"}}``.  The ``gather`` section is the union-grid
+    gather-locality profile recorded by the event schedule
+    (:meth:`~repro.transport.stats.TransportStats.record_gather_indices`):
+    ``mean_stride`` is the mean absolute index stride between consecutive
+    XS-lookup gathers — near-sequential (≈1) under the energy-sorted bank
+    policy, on the order of the union-grid size without it — or ``None``
+    when no gather stream was recorded (history trace, no union grid).
     """
     if width <= 0:
         raise ValueError("width must be positive")
@@ -101,4 +108,5 @@ def lane_utilization_report(
         "iterations": summary["iterations"],
         "width": width,
         "stages": stages,
+        "gather": summary["gather"],
     }

@@ -37,10 +37,41 @@ class TransportStats:
         #: Aborted-and-reissued operations (stalled PCIe shipments re-sent
         #: under a retry policy) — recovery work, not physics work.
         self.retries = 0
+        #: Gather-locality accumulators: sum of |stride| between consecutive
+        #: union-grid gather indices, and the number of strides observed.
+        #: Recorded by the event schedule in the order the XS-lookup stage
+        #: actually walks the bank, so the energy-sorted bank policy is
+        #: directly observable (mean stride collapses toward ~0-1) instead
+        #: of inferred from wall time.
+        self._gather_stride_sum = 0
+        self._gather_stride_n = 0
 
     def record_retries(self, n: int = 1) -> None:
         """Count ``n`` aborted-and-reissued operations for this run."""
         self.retries += int(n)
+
+    def record_gather_indices(self, indices: np.ndarray) -> None:
+        """Accumulate the stride profile of one union-grid gather stream.
+
+        ``indices`` are the grid intervals a lookup dispatch gathers from,
+        in dispatch order.  A fully energy-sorted bank yields near-zero
+        strides (sequential walks of the grid); an unsorted bank yields
+        strides on the order of the grid size.
+        """
+        indices = np.asarray(indices)
+        if indices.size < 2:
+            return
+        strides = np.abs(np.diff(indices.astype(np.int64)))
+        self._gather_stride_sum += int(strides.sum())
+        self._gather_stride_n += strides.size
+
+    @property
+    def gather_mean_stride(self) -> float | None:
+        """Mean absolute union-grid gather stride, or ``None`` when no
+        gather stream was recorded (history schedule, no union grid)."""
+        if self._gather_stride_n == 0:
+            return None
+        return self._gather_stride_sum / self._gather_stride_n
 
     def record(self, n_lookup: int, n_collision: int, n_crossing: int) -> None:
         i = self.iterations
@@ -88,4 +119,8 @@ class TransportStats:
             "iterations": self.iterations,
             "retries": self.retries,
             "stages": stages,
+            "gather": {
+                "mean_stride": self.gather_mean_stride,
+                "strides": self._gather_stride_n,
+            },
         }

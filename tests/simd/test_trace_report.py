@@ -71,6 +71,60 @@ def test_trace_granularity_per_backend(traces):
     assert int(se.lookup_counts[-1]) < 80  # the bank drains
 
 
+def test_gather_metric_absent_on_history_trace(traces):
+    """The history schedule records no gather stream: the report says so
+    explicitly rather than inventing a locality number."""
+    _, sh = traces["history"]
+    report = lane_utilization_report(sh, width=16)
+    assert report["gather"]["mean_stride"] is None
+    assert report["gather"]["strides"] == 0
+
+
+def test_gather_metric_present_on_event_trace(traces):
+    _, se = traces["event"]
+    report = lane_utilization_report(se, width=16)
+    assert report["gather"]["strides"] > 0
+    assert report["gather"]["mean_stride"] >= 0.0
+
+
+def test_energy_sorting_shrinks_gather_stride(small_library):
+    """The point of the energy-sorted bank: consecutive union-grid gathers
+    become near-sequential, so the mean index stride collapses versus the
+    unsorted schedule's random walk across the grid."""
+    union = UnionizedGrid(small_library)
+    strides = {}
+    for policy in ("none", "energy"):
+        ctx = TransportContext.create(
+            small_library, pincell=True, union=union, master_seed=7
+        )
+        rng = np.random.default_rng(5)
+        n = 80
+        pos = np.column_stack(
+            [rng.uniform(-0.3, 0.3, n), rng.uniform(-0.3, 0.3, n),
+             rng.uniform(-150, 150, n)]
+        )
+        stats = TransportStats()
+        backend = get_backend("event")
+        backend.sort_policy = policy
+        backend.run_generation(
+            ctx, pos, np.ones(n), GlobalTallies(), 1.0, 0, stats=stats
+        )
+        strides[policy] = lane_utilization_report(stats)["gather"][
+            "mean_stride"
+        ]
+    assert strides["energy"] < strides["none"] / 10
+
+
+def test_record_gather_indices_degenerate():
+    """Streams shorter than two indices contribute no strides."""
+    stats = TransportStats()
+    stats.record_gather_indices(np.array([], dtype=np.int64))
+    stats.record_gather_indices(np.array([42]))
+    assert stats.gather_mean_stride is None
+    stats.record_gather_indices(np.array([5, 8, 2]))
+    assert stats.gather_mean_stride == pytest.approx((3 + 6) / 2)
+
+
 def test_wider_lanes_hurt_the_drained_event_tail(traces):
     """Fig. 3's mechanism in miniature: the event trace's lane efficiency
     falls as the vector width grows, because the late-generation tail

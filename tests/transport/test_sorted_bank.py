@@ -1,0 +1,178 @@
+"""The energy-sorted event bank: sort/unsort round-trip bit-identity.
+
+The ``"energy"`` sort policy reorders only the lookup/flight super-stage's
+*processing* order; every per-particle result is scattered back by
+absolute bank index and the flight stage's gathered outputs are restored
+via the inverse permutation before any accumulation.  These tests pin the
+whole contract: a sorted run reproduces the unsorted run's banks exactly —
+tally bits, RNG stream consumption, fission-bank append order — across
+bank sizes including the degenerate n=0/1 cases, plus the stability of
+the ``group_by_value`` dispatch primitive it leans on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.unionized import UnionizedGrid
+from repro.transport.backends import EventBackend, get_backend
+from repro.transport.context import TransportContext
+from repro.transport.events import SORT_POLICIES, run_generation_event
+from repro.transport.stages import group_by_value
+from repro.transport.tally import GlobalTallies
+
+
+@pytest.fixture(scope="module")
+def union(small_library):
+    return UnionizedGrid(small_library)
+
+
+def source(n, seed=5):
+    rng = np.random.default_rng(seed)
+    pos = np.column_stack(
+        [
+            rng.uniform(-0.3, 0.3, n),
+            rng.uniform(-0.3, 0.3, n),
+            rng.uniform(-150, 150, n),
+        ]
+    )
+    return pos, np.full(n, 1.0)
+
+
+def run_policy(small_library, union, sort_policy, n=60, **kw):
+    ctx = TransportContext.create(
+        small_library, pincell=True, union=union, master_seed=7, **kw
+    )
+    pos, en = source(n)
+    tallies = GlobalTallies()
+    bank = run_generation_event(
+        ctx, pos, en, tallies, 1.0, 0, sort_policy=sort_policy
+    )
+    return ctx, tallies, bank
+
+
+class TestGroupByValueStability:
+    """The material-dispatch primitive must be *stable*: positions
+    ascending within each group, groups in ascending value order — the
+    invariant that makes per-group RNG consumption order-independent of
+    how the bank was permuted upstream."""
+
+    def test_positions_ascending_within_groups(self):
+        values = np.array([2, 0, 1, 2, 0, 2, 1, 0])
+        groups = dict(
+            (v, pos.tolist()) for v, pos in group_by_value(values)
+        )
+        assert groups == {0: [1, 4, 7], 1: [2, 6], 2: [0, 3, 5]}
+
+    def test_group_order_ascending(self):
+        values = np.array([5, 3, 9, 3, 5])
+        order = [v for v, _ in group_by_value(values)]
+        assert order == sorted(order) == [3, 5, 9]
+
+    def test_matches_unique_mask_idiom(self):
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 7, size=200)
+        via_group = {v: pos for v, pos in group_by_value(values)}
+        for v in np.unique(values):
+            np.testing.assert_array_equal(
+                via_group[int(v)], np.flatnonzero(values == v)
+            )
+
+    @pytest.mark.parametrize("n", [0, 1])
+    def test_degenerate_sizes(self, n):
+        values = np.arange(n)
+        groups = list(group_by_value(values))
+        assert len(groups) == n
+        if n:
+            v, pos = groups[0]
+            assert v == 0 and pos.tolist() == [0]
+
+    def test_group_sets_invariant_under_permutation(self):
+        """Permuting the bank permutes positions, but each group's *set*
+        of bank indices — hence its RNG streams — is unchanged once
+        mapped back through the permutation (the sorted-bank argument)."""
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 5, size=64)
+        perm = rng.permutation(64)
+        base = {v: set(pos.tolist()) for v, pos in group_by_value(values)}
+        permuted = {
+            v: set(perm[pos].tolist())
+            for v, pos in group_by_value(values[perm])
+        }
+        assert base == permuted
+
+
+class TestSortPolicyValidation:
+    def test_policies_tuple(self):
+        assert SORT_POLICIES == ("none", "energy")
+
+    def test_unknown_policy_rejected(self, small_library, union):
+        ctx = TransportContext.create(
+            small_library, pincell=True, union=union, master_seed=7
+        )
+        pos, en = source(4)
+        with pytest.raises(ValueError, match="sort_policy"):
+            run_generation_event(
+                ctx, pos, en, GlobalTallies(), sort_policy="entropy"
+            )
+
+    def test_event_backend_accepts_policy(self):
+        assert EventBackend().sort_policy == "none"
+        assert EventBackend(sort_policy="energy").sort_policy == "energy"
+        assert get_backend("event").sort_policy == "none"
+
+
+class TestSortedRoundTrip:
+    """Sorted vs unsorted event runs: everything identical, to the bit."""
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 17, 60, 128])
+    def test_tallies_bit_identical_across_bank_sizes(
+        self, small_library, union, n
+    ):
+        _, tn, _ = run_policy(small_library, union, "none", n=n)
+        _, te, _ = run_policy(small_library, union, "energy", n=n)
+        # Bitwise equality, not approx: the inverse permutation restores
+        # the exact float summation order.
+        assert te.collision == tn.collision
+        assert te.absorption == tn.absorption
+        assert te.track_length == tn.track_length
+        assert te.n_collisions == tn.n_collisions
+        assert te.n_leaks == tn.n_leaks
+
+    @pytest.mark.parametrize("n", [0, 1, 17, 60])
+    def test_rng_stream_consumption_identical(self, small_library, union, n):
+        """Equal work counters (rn_draws above all) prove each particle's
+        private stream was consumed draw-for-draw identically."""
+        cn, _, _ = run_policy(small_library, union, "none", n=n)
+        ce, _, _ = run_policy(small_library, union, "energy", n=n)
+        assert cn.counters.as_dict() == ce.counters.as_dict()
+
+    @pytest.mark.parametrize("n", [1, 17, 60, 128])
+    def test_fission_bank_append_order_identical(
+        self, small_library, union, n
+    ):
+        bn = run_policy(small_library, union, "none", n=n)[2]
+        be = run_policy(small_library, union, "energy", n=n)[2]
+        assert len(bn) == len(be)
+        # Raw append order, not just canonical order: the sorted schedule
+        # forms its fission sub-bank from the same ascending live indices.
+        np.testing.assert_array_equal(bn.positions, be.positions)
+        np.testing.assert_array_equal(bn.energies, be.energies)
+
+    def test_round_trip_with_survival_biasing(self, small_library, union):
+        cn, tn, bn = run_policy(
+            small_library, union, "none", survival_biasing=True
+        )
+        ce, te, be = run_policy(
+            small_library, union, "energy", survival_biasing=True
+        )
+        assert te.collision == tn.collision
+        assert te.track_length == tn.track_length
+        assert cn.counters.as_dict() == ce.counters.as_dict()
+        np.testing.assert_array_equal(bn.energies, be.energies)
+
+    def test_round_trip_without_union_grid(self, small_library):
+        """The policy is grid-agnostic: per-nuclide searches sort too."""
+        _, tn, bn = run_policy(small_library, None, "none", n=30)
+        _, te, be = run_policy(small_library, None, "energy", n=30)
+        assert te.collision == tn.collision
+        np.testing.assert_array_equal(bn.energies, be.energies)

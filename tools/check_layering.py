@@ -41,6 +41,13 @@ annotation-only and exempt):
    surface — never transport, execution, cluster, simd, or machine
    internals, which it must reach exclusively through ``repro.serve``.
 
+7. **The compiled-kernel tier sits beside the stages.**  Every module of
+   ``transport/jit/`` is kernel-layer code like ``stages.py`` — physics,
+   data, RNG, and transport siblings only, never the driving layers.  The
+   jit tier is swapped in *by* backends; an upward import from it would
+   couple the compiled kernels to a scheduler and re-create the cycle
+   rule 1 exists to prevent.
+
 Run from the repo root::
 
     python tools/check_layering.py
@@ -71,6 +78,10 @@ UPWARD_LAYERS = (
 STAGE_FILES = {
     SRC / "repro" / "transport" / "stages.py": "repro.transport",
 }
+
+#: Rule 7: the compiled-kernel tier is kernel-layer code — same upward
+#: import ban as the stages, applied to every module in the package.
+JIT_DIR = SRC / "repro" / "transport" / "jit"
 
 EXECUTION_MODEL_FILES = {
     SRC / "repro" / "execution" / name: "repro.execution"
@@ -180,6 +191,10 @@ def check() -> list[str]:
                     f"ExecutionContext)"
                 )
     errors.extend(_check_package(
+        JIT_DIR, "repro.transport.jit", UPWARD_LAYERS,
+        "kernel layer imports upward layer",
+    ))
+    errors.extend(_check_package(
         SUPERVISE_DIR, "repro.supervise", SUPERVISE_FORBIDDEN,
         "supervision layer imports supervised layer",
     ))
@@ -263,7 +278,7 @@ def _check_package(
 def main() -> int:
     missing = [
         p for p in (*STAGE_FILES, *EXECUTION_MODEL_FILES,
-                    SUPERVISE_DIR, RESILIENCE_DIR, SCENARIOS_DIR,
+                    JIT_DIR, SUPERVISE_DIR, RESILIENCE_DIR, SCENARIOS_DIR,
                     GATEWAY_DIR)
         if not p.exists()
     ]
