@@ -1,0 +1,139 @@
+"""Rebalance bench: static equal split vs work-stealing on an imbalanced
+fleet (ISSUE 9 satellite 5).
+
+Two halves:
+
+* A deterministic modelled comparison on the ``mixed-gpu-node`` fleet
+  (A100 + MI250X + Max 1550 + EPYC host — four devices, ~6x rate spread):
+  pricing the :class:`~repro.execution.rebalance.WorkStealingRebalancer`'s
+  actual ``plan()`` output through the per-device cost models must beat
+  the equal split by a wide margin, and the converged plan must equal the
+  rate-proportional :func:`~repro.execution.loadbalance.fleet_split`.
+
+* A planning-cost regression gate (pattern from ``bench_resilience``):
+  ``plan()`` is pure-Python bookkeeping that runs at every batch barrier,
+  so its cost is pinned against ``baselines/rebalance.json``, normalized
+  by a Python-shaped calibration kernel so the ratio is portable across
+  CI hosts.  The bench fails if the normalized ratio regresses more than
+  ``gate_factor`` (25%) over the committed baseline.
+"""
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+from repro.cluster.topology import fleet_by_name
+from repro.execution.rebalance import WorkStealingRebalancer
+from repro.execution.symmetric import NODE_SYNC_S, FleetNode
+
+N_PARTICLES = 1_000_000
+PLAN_RANKS = 8
+
+BASELINE = json.loads(
+    (Path(__file__).parent / "baselines" / "rebalance.json").read_text()
+)
+
+
+def calibration_time() -> float:
+    """Python-shaped kernel (list build + sort + reduce), identical to the
+    one used when the baseline was recorded, so ratios are comparable
+    across machines."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = perf_counter()
+        for _ in range(200):
+            xs = [(i * 2654435761) % 1000003 for i in range(500)]
+            xs.sort()
+            sum(xs)
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+def _plan_counts(node: FleetNode, n: int) -> tuple[list[int], dict]:
+    """Per-rank counts from the rebalancer's converged plan (true modelled
+    rates fed in, as the health monitor's EMA would after warm-up)."""
+    rebal = WorkStealingRebalancer()
+    rates = node.device_rates(n)
+    plan = rebal.plan(0, n, list(range(node.n_ranks)), rates)
+    counts = [0] * node.n_ranks
+    for rank, sl in plan:
+        counts[rank] += sl.stop - sl.start
+    return counts, rebal.summary()
+
+
+def _batch_time(node: FleetNode, counts: list[int]) -> float:
+    times = [
+        cost.batch_time(count)
+        for cost, count in zip(node._costs, counts)
+        if count > 0
+    ]
+    return max(times) + NODE_SYNC_S
+
+
+def test_work_stealing_beats_equal_split_on_imbalanced_fleet():
+    """The converged steal plan, priced through the device cost models,
+    must beat the static equal split on a >= 3-device imbalanced fleet."""
+    node = FleetNode(fleet_by_name("mixed-gpu-node"), "hm-large")
+    assert node.n_ranks >= 3
+    counts, summary = _plan_counts(node, N_PARTICLES)
+    assert sum(counts) == N_PARTICLES
+    t_equal = node.batch_time(N_PARTICLES, "equal")
+    t_ws = _batch_time(node, counts)
+    speedup = t_equal / t_ws
+    print(
+        f"\nmixed-gpu-node, {N_PARTICLES:,} particles: equal "
+        f"{N_PARTICLES / t_equal:,.0f} n/s, work-stealing "
+        f"{N_PARTICLES / t_ws:,.0f} n/s ({speedup:.2f}x); "
+        f"{summary['particles_moved']:,} particles stolen in "
+        f"{summary['steals']} moves"
+    )
+    assert speedup > 2.0
+    # Converged plan == the rate-proportional split (Eq. 3, N-way).
+    assert counts == node.fleet_counts(N_PARTICLES, "rate")
+    # Steals flow off the slow devices, and the host (slowest, last
+    # rank) is always a donor.
+    assert summary["particles_moved"] > 0
+    donors = {ev.split("->")[0] for ev in summary["pairs"]}
+    assert str(node.n_ranks - 1) in donors
+
+
+def test_equal_rates_plan_is_noop():
+    """With equal measured rates the plan is the equal split — no steal
+    traffic, so a balanced fleet pays nothing for the rebalancer."""
+    rebal = WorkStealingRebalancer()
+    plan = rebal.plan(0, N_PARTICLES, list(range(4)), [5.0] * 4)
+    assert [sl.stop - sl.start for _, sl in plan] == [250_000] * 4
+    assert rebal.events == []
+
+
+def _plan_time() -> float:
+    """Best-of timing of the pure-Python per-barrier planning cost."""
+    alive = list(range(PLAN_RANKS))
+    rates = [1.0 + 0.35 * ((i * 7) % PLAN_RANKS) for i in range(PLAN_RANKS)]
+    best = float("inf")
+    for _ in range(5):
+        t0 = perf_counter()
+        for _ in range(200):
+            WorkStealingRebalancer().plan(0, N_PARTICLES, alive, rates)
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+def test_plan_cost_regression_gate():
+    """Per-barrier planning cost, normalized by the calibration kernel,
+    must not regress more than 25% over the committed baseline."""
+    plan_s = _plan_time()
+    cal = calibration_time()
+    ratio = plan_s / cal
+    recorded = BASELINE["baseline"]
+    print(
+        f"\nrebalance plan: {plan_s / 200 * 1e6:.1f} us/plan over "
+        f"{PLAN_RANKS} ranks (ratio {ratio:.3f}, calibration "
+        f"{cal * 1e3:.2f} ms); recorded ratio {recorded['ratio']:.3f}"
+    )
+    gate = BASELINE["gate_factor"] * recorded["ratio"]
+    assert ratio <= gate, (
+        f"rebalance plan cost regressed: normalized ratio {ratio:.3f} "
+        f"exceeds gate {gate:.3f} (recorded ratio "
+        f"{recorded['ratio']:.3f} + 25%)"
+    )

@@ -76,7 +76,7 @@ from .transport import Settings, Simulation, available_backends
 __all__ = ["main"]
 
 _SUBCOMMANDS = ("run", "checkpoint", "resume", "serve", "submit", "status",
-                "scenario", "suite", "gateway")
+                "scenario", "suite", "gateway", "fleet")
 
 
 def _backend_name(value: str) -> str:
@@ -88,6 +88,27 @@ def _backend_name(value: str) -> str:
             f"{', '.join(available_backends())}"
         )
     return value
+
+
+def _device_list(value: str) -> list[str]:
+    """Argparse type for ``--devices``: comma-separated preset device
+    names (or one fleet preset name), validated against the live device
+    registry so the error names what is actually available."""
+    from .cluster.topology import FLEET_PRESETS
+    from .machine.presets import DEVICE_PRESETS, available_devices
+
+    names = [v.strip() for v in value.split(",") if v.strip()]
+    if len(names) == 1 and names[0] in FLEET_PRESETS:
+        return list(FLEET_PRESETS[names[0]])
+    unknown = [n for n in names if n not in DEVICE_PRESETS]
+    if not names or unknown:
+        bad = unknown[0] if unknown else value
+        raise argparse.ArgumentTypeError(
+            f"unknown device {bad!r}; available devices: "
+            f"{', '.join(available_devices())}; fleet presets: "
+            f"{', '.join(sorted(FLEET_PRESETS))}"
+        )
+    return names
 
 
 def _simulation_args() -> argparse.ArgumentParser:
@@ -147,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
                      "library construction")
     run.add_argument("--json", action="store_true", dest="json_output",
                      help="emit the result as JSON (the JobResult payload)")
+    run.add_argument("--devices", type=_device_list, default=None,
+                     metavar="DEV[,DEV...]",
+                     help="project the run onto a heterogeneous device "
+                     "fleet (preset device names or one fleet preset): "
+                     "prints per-device modelled rates and the equal vs "
+                     "rate-balanced node rates after the run")
 
     ck = sub.add_parser("checkpoint", parents=[shared],
                         help="run with periodic checkpoints")
@@ -317,6 +344,23 @@ def build_parser() -> argparse.ArgumentParser:
                            "gateway.json")
     gwt.add_argument("--spool", required=True, metavar="DIR")
     gwt.add_argument("--json", action="store_true", dest="json_output")
+
+    fl = sub.add_parser("fleet",
+                        help="heterogeneous device fleets: list presets, "
+                        "model a fleet's load balance")
+    flsub = fl.add_subparsers(dest="fleet_command", required=True)
+    flsub.add_parser("devices",
+                     help="list the preset device registry")
+    flr = flsub.add_parser("report",
+                           help="modelled fleet report: per-device rates, "
+                           "equal vs rate-balanced split")
+    flr.add_argument("--devices", type=_device_list, required=True,
+                     metavar="DEV[,DEV...]",
+                     help="preset device names (or one fleet preset name)")
+    flr.add_argument("--model", default="hm-large",
+                     choices=["hm-small", "hm-large"])
+    flr.add_argument("--particles", type=int, default=100_000)
+    flr.add_argument("--json", action="store_true", dest="json_output")
     return p
 
 
@@ -482,6 +526,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"{ck_stats.total_seconds * 1e3:.1f} ms total "
                   f"({100 * result.profile.fraction('checkpoint_write'):.2f}% "
                   f"of profiled time)")
+    if getattr(args, "devices", None):
+        _print_fleet_projection(
+            _fleet_projection(args.devices, args.model, args.particles)
+        )
     return 0
 
 
@@ -925,6 +973,78 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- fleet --------------------------------------------------------------------
+
+
+def _fleet_projection(device_names: list[str], model: str,
+                      n_particles: int) -> dict:
+    """Modelled fleet load-balance document for ``fleet report`` and the
+    ``run --devices`` trailer."""
+    from .execution.symmetric import FleetNode
+    from .machine.presets import fleet_from_names
+
+    fleet = FleetNode(fleet_from_names(device_names), model)
+    rates = fleet.device_rates(n_particles)
+    equal = fleet.calculation_rate(n_particles, "equal")
+    balanced = fleet.calculation_rate(n_particles, "rate")
+    counts = fleet.fleet_counts(n_particles, "rate")
+    return {
+        "devices": [
+            {
+                "name": d.name,
+                "class": d.class_key,
+                "rate": rate,
+                "balanced_share": count,
+            }
+            for d, rate, count in zip(fleet.devices, rates, counts)
+        ],
+        "particles": n_particles,
+        "model": model,
+        "equal_rate": equal,
+        "balanced_rate": balanced,
+        "ideal_rate": fleet.ideal_rate(n_particles),
+        "speedup": balanced / equal if equal > 0 else None,
+    }
+
+
+def _print_fleet_projection(doc: dict) -> None:
+    print(f"\nfleet projection ({doc['model']}, "
+          f"{doc['particles']:,} particles/batch):")
+    for dev in doc["devices"]:
+        print(f"  {dev['name']:24s} [{dev['class']:8s}] "
+              f"{dev['rate']:12,.0f} n/s  "
+              f"balanced share {dev['balanced_share']:,}")
+    print(f"  equal split     = {doc['equal_rate']:12,.0f} n/s")
+    print(f"  rate balanced   = {doc['balanced_rate']:12,.0f} n/s "
+          f"({doc['speedup']:.2f}x equal)")
+    print(f"  ideal (no sync) = {doc['ideal_rate']:12,.0f} n/s")
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .machine.presets import DEVICE_PRESETS, available_devices
+
+    if args.fleet_command == "devices":
+        seen = {}
+        for name in available_devices():
+            dev = DEVICE_PRESETS[name]
+            seen.setdefault(dev.name, []).append(name)
+        for full_name, names in sorted(seen.items()):
+            dev = DEVICE_PRESETS[full_name]
+            aliases = [n for n in names if n != full_name]
+            alias = f" (alias: {', '.join(aliases)})" if aliases else ""
+            print(f"{full_name:24s} [{dev.class_key:8s}] "
+                  f"{dev.cores:4d} cores x {dev.threads_per_core:3d} thr, "
+                  f"{dev.dram_bw_gbps:7.1f} GB/s, "
+                  f"{dev.mem_gb:6.1f} GB{alias}")
+        return 0
+    doc = _fleet_projection(args.devices, args.model, args.particles)
+    if getattr(args, "json_output", False):
+        print(json.dumps(doc, indent=2))
+    else:
+        _print_fleet_projection(doc)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Legacy flat form: "repro-sim --pincell ..." means "run".
@@ -945,6 +1065,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_suite(args)
     if args.command == "gateway":
         return _cmd_gateway(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     return _cmd_run(args)
 
 

@@ -3,9 +3,20 @@
 from .distributed import DistributedResult, DistributedSimulation
 from .scaling import ScalePoint, strong_scaling, weak_scaling
 from .simcomm import FabricModel, SimulatedComm
-from .topology import JLSE, STAMPEDE, ClusterTopology, NodeConfig
+from .topology import (
+    FLEET_PRESETS,
+    JLSE,
+    STAMPEDE,
+    ClusterTopology,
+    NodeConfig,
+    available_fleets,
+    fleet_by_name,
+)
 
 __all__ = [
+    "FLEET_PRESETS",
+    "available_fleets",
+    "fleet_by_name",
     "DistributedResult",
     "DistributedSimulation",
     "ScalePoint",

@@ -52,9 +52,8 @@ def _node_for(
     model: str,
     work: WorkPerParticle | None,
 ) -> SymmetricNode:
-    cfg = topology.node(mics_per_node)
-    mics = [cfg.mic] * cfg.mics_per_node if cfg.mic else []
-    return SymmetricNode(cfg.host, mics, model, work)
+    devices = topology.node(mics_per_node).devices
+    return SymmetricNode(devices[-1], devices[:-1], model, work)
 
 
 def _batch_time(

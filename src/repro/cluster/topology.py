@@ -1,8 +1,13 @@
-"""Cluster topologies: Stampede (TACC) and JLSE as the paper used them.
+"""Cluster topologies: Stampede (TACC) and JLSE as the paper used them,
+plus named GPU-era device fleets.
 
 Stampede: 2 x E5-2680 hosts with FDR InfiniBand; 1,024 nodes carry one
 SE10P Xeon Phi and 384 nodes carry two (the reason Fig. 6's 2-MIC curve
 stops short of 2^10 nodes, which the paper asks the reader to note).
+
+:data:`FLEET_PRESETS` names ordered heterogeneous device fleets (the
+follow-on literature's node shapes — CPU + N GPUs) resolvable through
+:func:`fleet_by_name`, with the registry-error convention on a miss.
 """
 
 from __future__ import annotations
@@ -10,11 +15,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ClusterError
-from ..machine.presets import JLSE_HOST, MIC_7120A, MIC_SE10P, STAMPEDE_HOST
+from ..machine.presets import (
+    JLSE_HOST,
+    MIC_7120A,
+    MIC_SE10P,
+    STAMPEDE_HOST,
+    fleet_from_names,
+)
 from ..machine.spec import DeviceSpec
 from .simcomm import FabricModel
 
-__all__ = ["NodeConfig", "ClusterTopology", "STAMPEDE", "JLSE"]
+__all__ = [
+    "NodeConfig",
+    "ClusterTopology",
+    "STAMPEDE",
+    "JLSE",
+    "FLEET_PRESETS",
+    "fleet_by_name",
+    "available_fleets",
+]
 
 
 @dataclass(frozen=True)
@@ -30,6 +49,13 @@ class NodeConfig:
             raise ClusterError("negative MIC count")
         if self.mics_per_node > 0 and self.mic is None:
             raise ClusterError("MIC count set but no MIC device")
+
+    @property
+    def devices(self) -> list[DeviceSpec]:
+        """The node's ordered device fleet (accelerators first, host
+        last — the :class:`~repro.execution.symmetric.FleetNode` order)."""
+        accels = [self.mic] * self.mics_per_node if self.mic else []
+        return [*accels, self.host]
 
 
 @dataclass(frozen=True)
@@ -80,3 +106,33 @@ JLSE = ClusterTopology(
     max_nodes_1mic=3,
     max_nodes_2mic=3,
 )
+
+#: Named device fleets (ordered, host last), by preset device name.
+FLEET_PRESETS: dict[str, tuple[str, ...]] = {
+    "jlse-node": ("mic-7120a", "mic-7120a", "jlse-host"),
+    "stampede-node": ("mic-se10p", "stampede-host"),
+    "a100-node": ("a100", "a100", "epyc-host"),
+    "mi250x-node": ("mi250x", "mi250x", "mi250x", "mi250x", "epyc-host"),
+    "max1550-node": ("max1550", "max1550", "epyc-host"),
+    "mixed-gpu-node": ("a100", "mi250x", "max1550", "epyc-host"),
+}
+
+
+def available_fleets() -> list[str]:
+    """Sorted names of every preset fleet."""
+    return sorted(FLEET_PRESETS)
+
+
+def fleet_by_name(name: str) -> list[DeviceSpec]:
+    """Resolve a named fleet to its ordered device list.
+
+    Unknown names raise :class:`ClusterError` listing the live registry.
+    """
+    try:
+        names = FLEET_PRESETS[name]
+    except KeyError:
+        raise ClusterError(
+            f"unknown fleet {name!r}; available fleets: "
+            f"{', '.join(available_fleets())}"
+        ) from None
+    return fleet_from_names(names)

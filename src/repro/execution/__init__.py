@@ -7,17 +7,29 @@ execution model imports transport loop functions.
 """
 
 from .context import ExecutionContext
-from .loadbalance import AdaptiveAlphaController, alpha_split, equal_split
+from .loadbalance import (
+    AdaptiveAlphaController,
+    alpha_split,
+    alpha_split_counts,
+    equal_split,
+    fleet_split,
+)
 from .native import ACTIVE_TALLY_SURCHARGE, NativeModel, NativeScheduler, alpha
 from .offload import OFFLOAD_FIXED_S, OffloadCostModel, OffloadScheduler
-from .symmetric import NODE_SYNC_S, SymmetricNode, SymmetricScheduler
+from .rebalance import StealEvent, WorkStealingRebalancer
+from .symmetric import NODE_SYNC_S, FleetNode, SymmetricNode, SymmetricScheduler
 from .trace import OffloadTrace, trace_offload
 
 __all__ = [
     "ExecutionContext",
     "AdaptiveAlphaController",
     "alpha_split",
+    "alpha_split_counts",
     "equal_split",
+    "fleet_split",
+    "StealEvent",
+    "WorkStealingRebalancer",
+    "FleetNode",
     "ACTIVE_TALLY_SURCHARGE",
     "NativeModel",
     "NativeScheduler",

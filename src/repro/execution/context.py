@@ -66,6 +66,12 @@ class ExecutionContext:
     #: feed it per-rank batch observations and honour its evictions; ``None``
     #: means unsupervised (the historical behaviour, zero overhead).
     supervisor: object | None = None
+    #: Work-stealing rebalancer
+    #: (:class:`repro.execution.rebalance.WorkStealingRebalancer`).  Only
+    #: consulted on the supervised path: each batch's assignment is
+    #: re-planned from the supervisor's per-rank EMA rates; ``None`` keeps
+    #: the static split.
+    rebalancer: object | None = None
 
     @classmethod
     def create(
@@ -80,6 +86,7 @@ class ExecutionContext:
         retry_policy: RetryPolicy | None = None,
         record_stats: bool = False,
         supervisor: object | None = None,
+        rebalancer: object | None = None,
         **transport_kwargs,
     ) -> "ExecutionContext":
         """Build a context from a library (or an existing transport context)
@@ -113,6 +120,7 @@ class ExecutionContext:
             retry_policy=retry_policy,
             stats=TransportStats() if record_stats else None,
             supervisor=supervisor,
+            rebalancer=rebalancer,
         )
 
     # -- Transport ---------------------------------------------------------------

@@ -19,15 +19,30 @@ for the per-rank particle counts (Eq. 3):
 §V sketches the runtime-adaptive variant — start at :math:`\alpha = 1/p`
 equivalently an equal split, measure each rank's rate on the first batch,
 and rebalance — implemented here as :class:`AdaptiveAlphaController`.
+
+:func:`fleet_split` generalizes Eq. 3 to an ordered fleet of N
+heterogeneous devices: rank :math:`i` with rate weight :math:`w_i`
+receives :math:`n_i = \mathrm{round}(n\, w_i / \sum_j w_j)`, with the
+first positive-weight rank absorbing the rounding remainder.  Eq. 3 is
+the N=2 special case: for weights ``[1.0, alpha]`` the denominator
+accumulates to exactly ``1 + alpha`` and the two counts are bit-identical
+to :func:`alpha_split`'s ``(n_mic, n_cpu)``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..errors import ExecutionError
 
-__all__ = ["alpha_split", "equal_split", "AdaptiveAlphaController"]
+__all__ = [
+    "alpha_split",
+    "alpha_split_counts",
+    "equal_split",
+    "fleet_split",
+    "AdaptiveAlphaController",
+]
 
 
 def equal_split(n_total: int, p: int) -> list[int]:
@@ -54,14 +69,91 @@ def alpha_split(
     if alpha <= 0:
         raise ExecutionError("alpha must be positive")
     if p_mic == 0:
-        return 0, n_total // p_cpu
+        # Degenerate CPU-only split: first-rank count of the equal split
+        # (ceil rather than the old silent floor, so no rank sits idle on
+        # a dropped remainder).
+        return 0, equal_split(n_total, p_cpu)[0]
+    if p_cpu == 0:
+        return equal_split(n_total, p_mic)[0], 0
     denom = p_mic + p_cpu * alpha
     n_cpu = int(round(n_total * alpha / denom))
-    if p_cpu == 0:
-        n_cpu = 0
+    # Rounding can overshoot the population when alpha is extreme and
+    # p_cpu large; clamp so no count goes negative.
+    n_cpu = min(n_cpu, n_total // p_cpu)
     # MIC ranks take exactly the rest (integer-exact total).
     n_mic = (n_total - p_cpu * n_cpu) // p_mic
     return n_mic, n_cpu
+
+
+def alpha_split_counts(
+    n_total: int, p_mic: int, p_cpu: int, alpha: float
+) -> tuple[list[int], list[int]]:
+    """Eq. (3) with explicit per-rank counts that sum *exactly* to
+    ``n_total``.
+
+    The scalar :func:`alpha_split` returns one count per device class and
+    (for ``p_mic > 1``) floors away the remainder; this variant keeps the
+    same CPU count (bit-identical to :func:`alpha_split`'s general branch)
+    and spreads the exact MIC-side remainder over the MIC ranks
+    equal-split style.  Degenerate classes (``p_mic == 0`` or
+    ``p_cpu == 0``) fall back to :func:`equal_split` of the live class.
+    Returns ``(mic_counts, cpu_counts)``.
+    """
+    if p_mic < 0 or p_cpu < 0 or p_mic + p_cpu == 0:
+        raise ExecutionError("invalid rank counts")
+    if alpha <= 0:
+        raise ExecutionError("alpha must be positive")
+    if p_mic == 0:
+        return [], equal_split(n_total, p_cpu)
+    if p_cpu == 0:
+        return equal_split(n_total, p_mic), []
+    _, n_cpu = alpha_split(n_total, p_mic, p_cpu, alpha)
+    return equal_split(n_total - p_cpu * n_cpu, p_mic), [n_cpu] * p_cpu
+
+
+def fleet_split(n_total: int, weights: Sequence[float]) -> list[int]:
+    """Rate-proportional split of ``n_total`` particles over an ordered
+    fleet (Eq. 3 generalized to N heterogeneous devices).
+
+    ``weights`` are per-rank calculation rates (any positive scale);
+    zero-weight ranks receive zero particles.  Counts are non-negative and
+    sum exactly to ``n_total``: every rank except the *anchor* (the first
+    positive-weight rank) gets ``round(n_total * w_i / sum(w))`` and the
+    anchor absorbs the remainder — for two ranks with weights
+    ``[1.0, alpha]`` this reproduces :func:`alpha_split`'s
+    ``(n_mic, n_cpu)`` bit-for-bit (same float expression, same rounding).
+    If rounding overshoots, counts are decremented deterministically
+    (largest count first, ties to the lowest rank) until the anchor is
+    whole.
+    """
+    if n_total < 0:
+        raise ExecutionError("negative particle count")
+    if not weights:
+        raise ExecutionError("need at least one rank")
+    if any(w < 0 for w in weights):
+        raise ExecutionError("negative rate weight")
+    total = 0.0
+    for w in weights:
+        total += w
+    if total <= 0:
+        raise ExecutionError("need at least one positive rate weight")
+    anchor = next(i for i, w in enumerate(weights) if w > 0)
+    counts = [0] * len(weights)
+    assigned = 0
+    for i, w in enumerate(weights):
+        if i == anchor or w == 0:
+            continue
+        counts[i] = int(round(n_total * w / total))
+        assigned += counts[i]
+    counts[anchor] = n_total - assigned
+    while counts[anchor] < 0:
+        donor = max(
+            (i for i in range(len(counts)) if i != anchor and counts[i] > 0),
+            key=lambda i: (counts[i], -i),
+        )
+        counts[donor] -= 1
+        counts[anchor] += 1
+    return counts
 
 
 @dataclass

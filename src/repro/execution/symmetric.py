@@ -1,12 +1,16 @@
-"""The symmetric execution model: host + MIC ranks under MPI.
+"""The symmetric execution model: an ordered device fleet under MPI.
 
-One binary per architecture, launched together; work is split statically.
-The batch barrier means the node's batch time is the *maximum* over its
-ranks — the load-imbalance mechanism behind Table III's "Original" column —
-plus a per-batch synchronization/reduction cost.
+One binary per architecture, launched together; work is split across the
+fleet.  The batch barrier means the node's batch time is the *maximum*
+over its ranks — the load-imbalance mechanism behind Table III's
+"Original" column — plus a per-batch synchronization/reduction cost.
 
-This model produces Table III directly and is the per-node building block
-of the cluster-scaling experiments (Figs. 6-7).
+:class:`FleetNode` is the general form (N heterogeneous devices, equal /
+rate-proportional / explicit-weight splits); :class:`SymmetricNode` keeps
+the paper's host+MICs view on top of it (Eq. 3's two-class alpha split,
+bit-identical to the pre-fleet implementation).  This model produces
+Table III directly and is the per-node building block of the
+cluster-scaling experiments (Figs. 6-7).
 """
 
 from __future__ import annotations
@@ -20,42 +24,151 @@ from ..machine.kernels import TransportCostModel, WorkPerParticle
 from ..machine.memory import library_nuclides
 from ..machine.spec import DeviceSpec
 from ..resilience.recovery import redistribute_slice
-from .loadbalance import AdaptiveAlphaController, alpha_split, equal_split
+from .loadbalance import (
+    AdaptiveAlphaController,
+    alpha_split_counts,
+    equal_split,
+    fleet_split,
+)
 
 if TYPE_CHECKING:
     from .context import ExecutionContext
 
-__all__ = ["SymmetricNode", "SymmetricScheduler"]
+__all__ = ["FleetNode", "SymmetricNode", "SymmetricScheduler"]
 
 #: Per-batch synchronization + tally-reduction cost within a node [s].
 NODE_SYNC_S = 0.1
 
 
 @dataclass
-class SymmetricNode:
-    """One compute node running symmetric mode.
+class FleetNode:
+    """One compute node running symmetric mode over an ordered fleet of
+    N heterogeneous devices.
 
-    ``mics`` may be empty (CPU-only node), hold one MIC (most Stampede
-    nodes) or two (JLSE and 384 Stampede nodes).
+    Split strategies: ``"equal"`` (OpenMC default), ``"rate"``
+    (rate-proportional :func:`~repro.execution.loadbalance.fleet_split`
+    over each device's modelled rate at its equal share — Eq. 3
+    generalized), or ``"weights"`` (explicit rate weights).
     """
 
-    host: DeviceSpec
-    mics: list[DeviceSpec]
+    devices: list[DeviceSpec]
     model: str
     work: WorkPerParticle | None = None
 
     def __post_init__(self) -> None:
+        if not self.devices:
+            raise ExecutionError("fleet needs at least one device")
         if self.work is None:
             self.work = WorkPerParticle.hm_reference()
         n_nuc = library_nuclides(self.model)
-        self._host_cost = TransportCostModel(self.host, n_nuc, self.work)
-        self._mic_costs = [
-            TransportCostModel(m, n_nuc, self.work) for m in self.mics
+        self._costs = [
+            TransportCostModel(d, n_nuc, self.work) for d in self.devices
         ]
 
     @property
     def n_ranks(self) -> int:
-        return 1 + len(self.mics)
+        return len(self.devices)
+
+    # -- Assignments ----------------------------------------------------------------
+
+    def device_rates(self, n_particles: int) -> list[float]:
+        """Modelled per-device rates at an equal share of ``n_particles``
+        (occupancy effects included) — the ``"rate"`` strategy's weights."""
+        per = max(n_particles // self.n_ranks, 1)
+        return [cost.calculation_rate(per) for cost in self._costs]
+
+    def _counts(
+        self,
+        n_particles: int,
+        strategy: str,
+        alpha: float | None = None,
+        weights: "list[float] | None" = None,
+    ) -> list[int]:
+        """Per-rank particle counts in fleet order."""
+        if strategy == "equal":
+            return equal_split(n_particles, self.n_ranks)
+        if strategy == "rate":
+            return fleet_split(n_particles, self.device_rates(n_particles))
+        if strategy == "weights":
+            if weights is None:
+                raise ExecutionError("weights strategy requires weights")
+            return fleet_split(n_particles, weights)
+        raise ExecutionError(f"unknown split strategy {strategy!r}")
+
+    def fleet_counts(
+        self,
+        n_particles: int,
+        strategy: str = "equal",
+        alpha: float | None = None,
+        weights: "list[float] | None" = None,
+    ) -> list[int]:
+        """Public per-rank assignment in fleet order."""
+        return self._counts(n_particles, strategy, alpha, weights)
+
+    # -- Timing ---------------------------------------------------------------------
+
+    def batch_time(
+        self,
+        n_particles: int,
+        strategy: str = "equal",
+        alpha: float | None = None,
+        weights: "list[float] | None" = None,
+    ) -> float:
+        """Node batch time: barrier max over ranks, plus node sync."""
+        counts = self._counts(n_particles, strategy, alpha, weights)
+        times = [
+            cost.batch_time(count)
+            for cost, count in zip(self._costs, counts)
+            if count > 0
+        ]
+        if not times:
+            times = [self._costs[0].batch_time(0)]
+        return max(times) + NODE_SYNC_S
+
+    def calculation_rate(
+        self,
+        n_particles: int,
+        strategy: str = "equal",
+        alpha: float | None = None,
+        weights: "list[float] | None" = None,
+    ) -> float:
+        """Node calculation rate [n/s] (Table III's entries)."""
+        t = self.batch_time(n_particles, strategy, alpha, weights)
+        return n_particles / t if t > 0 else 0.0
+
+    def ideal_rate(self, n_particles: int) -> float:
+        """Sum of isolated device rates — the paper's 'ideal' reference."""
+        per = n_particles // self.n_ranks
+        return sum(cost.calculation_rate(per) for cost in self._costs)
+
+
+class SymmetricNode(FleetNode):
+    """The paper's host+MICs node as a two-class view of a fleet.
+
+    ``mics`` may be empty (CPU-only node), hold one MIC (most Stampede
+    nodes) or two (JLSE and 384 Stampede nodes).  Fleet rank order is
+    ``[*mics, host]`` — MIC ranks first, host last, matching the
+    historical split shapes.
+    """
+
+    def __init__(
+        self,
+        host: DeviceSpec,
+        mics: list[DeviceSpec],
+        model: str,
+        work: WorkPerParticle | None = None,
+    ) -> None:
+        self.host = host
+        self.mics = list(mics)
+        super().__init__([*self.mics, host], model, work)
+
+    @property
+    def _host_cost(self) -> TransportCostModel:
+        return self._costs[-1]
+
+    @property
+    def _mic_costs(self) -> list[TransportCostModel]:
+        return self._costs[:-1]
 
     # -- Assignments ----------------------------------------------------------------
 
@@ -68,62 +181,32 @@ class SymmetricNode:
         (Eq. 3 static balancing, requires ``alpha``).
         Returns ``(per_mic_counts, host_count)``.
         """
-        if strategy == "equal":
-            parts = equal_split(n_particles, self.n_ranks)
-            return parts[: len(self.mics)], parts[-1]
+        counts = self._counts(n_particles, strategy, alpha)
+        return counts[:-1], counts[-1]
+
+    def _counts(
+        self,
+        n_particles: int,
+        strategy: str,
+        alpha: float | None = None,
+        weights: "list[float] | None" = None,
+    ) -> list[int]:
         if strategy == "alpha":
             if alpha is None:
                 raise ExecutionError("alpha strategy requires alpha")
-            n_mic, n_cpu = alpha_split(
+            mic_counts, cpu_counts = alpha_split_counts(
                 n_particles, len(self.mics), 1, alpha
             )
-            return [n_mic] * len(self.mics), n_cpu
-        raise ExecutionError(f"unknown split strategy {strategy!r}")
-
-    # -- Timing ---------------------------------------------------------------------
-
-    def batch_time(
-        self,
-        n_particles: int,
-        strategy: str = "equal",
-        alpha: float | None = None,
-    ) -> float:
-        """Node batch time: barrier max over ranks, plus node sync."""
-        if not self.mics:
-            return self._host_cost.batch_time(n_particles) + NODE_SYNC_S
-        mic_counts, host_count = self.split(n_particles, strategy, alpha)
-        times = [self._host_cost.batch_time(host_count)]
-        times += [
-            cost.batch_time(n)
-            for cost, n in zip(self._mic_costs, mic_counts)
-        ]
-        return max(times) + NODE_SYNC_S
-
-    def calculation_rate(
-        self,
-        n_particles: int,
-        strategy: str = "equal",
-        alpha: float | None = None,
-    ) -> float:
-        """Node calculation rate [n/s] (Table III's entries)."""
-        t = self.batch_time(n_particles, strategy, alpha)
-        return n_particles / t if t > 0 else 0.0
-
-    def ideal_rate(self, n_particles: int) -> float:
-        """Sum of isolated device rates — the paper's 'ideal' reference."""
-        per = n_particles // self.n_ranks
-        rate = self._host_cost.calculation_rate(per)
-        for cost in self._mic_costs:
-            rate += cost.calculation_rate(per)
-        return rate
+            return [*mic_counts, cpu_counts[0]]
+        return super()._counts(n_particles, strategy, alpha, weights)
 
 
 @dataclass
 class SymmetricScheduler:
-    """Symmetric-mode scheduler: the generation is split statically across
-    the node's ranks (host + MICs), each rank transports its contiguous
-    slice through the backend, and per-rank tallies and banks are reduced
-    at the batch barrier.
+    """Symmetric-mode scheduler: the generation is split across the
+    node's ranks, each rank transports its contiguous slice through the
+    backend, and per-rank tallies and banks are reduced at the batch
+    barrier.
 
     Because particle RNG streams are keyed by *global* particle id
     (``first_id`` + slice offset) and the fission bank's canonical
@@ -134,10 +217,16 @@ class SymmetricScheduler:
     model without giving up the equivalence contract.  No transport
     imports: slices run and merge through the
     :class:`~repro.execution.context.ExecutionContext`.
+
+    With a supervisor *and* a work-stealing rebalancer on the context,
+    each batch's assignment is re-planned from the health monitor's EMA
+    rates (see :mod:`repro.execution.rebalance`); slices keep their
+    global ids, so the bit-identity contract above carries over to
+    rebalanced runs versus a static run of the same final assignment.
     """
 
-    node: SymmetricNode | None = None
-    #: Rank count when no :class:`SymmetricNode` cost model is attached.
+    node: FleetNode | None = None
+    #: Rank count when no :class:`FleetNode` cost model is attached.
     n_ranks: int = 2
     #: When supervised and exactly two ranks survive, the split follows the
     #: controller's measured alpha instead of the equal split, so the load
@@ -203,6 +292,23 @@ class SymmetricScheduler:
             return [n_mic, n_cpu]
         return equal_split(n, len(alive))
 
+    def _plan_assignments(
+        self, ec, batch: int, n: int, alive: list[int]
+    ) -> list[tuple[int, slice]]:
+        """Per-batch ``(rank, slice)`` assignment: the work-stealing plan
+        when a rebalancer rides on the context, else the static split."""
+        rebal = getattr(ec, "rebalancer", None)
+        if rebal is not None:
+            monitor = getattr(ec.supervisor, "monitor", None)
+            rates = rebal.resolve_rates(alive, monitor)
+            return rebal.plan(batch, n, alive, rates)
+        assignments: list[tuple[int, slice]] = []
+        start = 0
+        for rank, count in zip(alive, self._alive_split(n, alive)):
+            assignments.append((rank, slice(start, start + count)))
+            start += count
+        return assignments
+
     def _run_supervised(
         self, ec, positions, energies, tallies, k_norm, first_id,
         power, spectrum,
@@ -223,11 +329,7 @@ class SymmetricScheduler:
         batch = sup.begin_batch()
         alive = sup.alive
         n = positions.shape[0]
-        assignments: list[tuple[int, slice]] = []
-        start = 0
-        for rank, count in zip(alive, self._alive_split(n, alive)):
-            assignments.append((rank, slice(start, start + count)))
-            start += count
+        assignments = self._plan_assignments(ec, batch, n, alive)
         victim = (
             ec.fault_plan.crashed_rank(batch)
             if ec.fault_plan is not None
@@ -294,7 +396,7 @@ class SymmetricScheduler:
         alpha: float | None = None,
     ) -> float | None:
         """Cost-model node batch time for what was just executed (None
-        without a :class:`SymmetricNode`)."""
+        without a :class:`FleetNode`)."""
         if self.node is None:
             return None
         return self.node.batch_time(n_particles, strategy, alpha)

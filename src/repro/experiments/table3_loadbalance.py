@@ -9,9 +9,10 @@ same split.
 
 from __future__ import annotations
 
+from ..cluster.topology import fleet_by_name
 from ..execution.loadbalance import AdaptiveAlphaController
 from ..execution.native import NativeModel
-from ..execution.symmetric import SymmetricNode
+from ..execution.symmetric import FleetNode, SymmetricNode
 from ..machine.presets import JLSE_HOST, MIC_7120A
 from .common import ExperimentResult, Scale, register
 
@@ -67,6 +68,25 @@ def run(scale: Scale) -> ExperimentResult:
             "paper balanced": PAPER["CPU + 2 MIC (balanced)"],
         },
     ]
+
+    # Modern-fleet extension (ROADMAP item 4): the same equal-vs-balanced
+    # comparison on GPU-era nodes, with the N-way rate-proportional split
+    # in place of the two-class alpha.  No paper anchors — these rows are
+    # the model's projection of Table III onto today's hardware.
+    for fleet_name in ("a100-node", "mixed-gpu-node"):
+        fleet = FleetNode(fleet_by_name(fleet_name), "hm-large")
+        n_modern = 10 * N  # modern fleets starve below ~1e5/device
+        rows.append(
+            {
+                "hardware": f"{fleet_name} ({fleet.n_ranks} devices)",
+                "original [n/s]": fleet.calculation_rate(n_modern, "equal"),
+                "load balanced [n/s]": fleet.calculation_rate(
+                    n_modern, "rate"
+                ),
+                "paper original": None,
+                "paper balanced": None,
+            }
+        )
 
     # Adaptive alpha (paper §V): converges to the static value from
     # measured batch rates.

@@ -28,12 +28,25 @@ from .occupancy import batch_overhead_s, occupancy_factor, thread_utilization
 from .pcie import PCIeLink
 from .power import POWER_MODELS, PowerModel, energy_per_particle, power_model_for
 from .presets import (
+    DEVICE_PRESETS,
+    EPYC_HOST,
+    GPU_A100,
+    GPU_MAX1550,
+    GPU_MI250X,
     JLSE_HOST,
+    LINK_PRESETS,
     MIC_7120A,
     MIC_SE10P,
+    NVLINK3,
     PCIE_GEN2_X16,
+    PCIE_GEN4_X16,
     STAMPEDE_HOST,
+    XE_LINK,
+    available_devices,
+    available_links,
     device_by_name,
+    fleet_from_names,
+    link_by_name,
 )
 from .roofline import KernelProfile, compute_time, kernel_time, memory_time
 from .spec import DeviceSpec
@@ -62,12 +75,25 @@ __all__ = [
     "PowerModel",
     "energy_per_particle",
     "power_model_for",
+    "DEVICE_PRESETS",
+    "EPYC_HOST",
+    "GPU_A100",
+    "GPU_MAX1550",
+    "GPU_MI250X",
     "JLSE_HOST",
+    "LINK_PRESETS",
     "MIC_7120A",
     "MIC_SE10P",
+    "NVLINK3",
     "PCIE_GEN2_X16",
+    "PCIE_GEN4_X16",
     "STAMPEDE_HOST",
+    "XE_LINK",
+    "available_devices",
+    "available_links",
     "device_by_name",
+    "fleet_from_names",
+    "link_by_name",
     "KernelProfile",
     "compute_time",
     "kernel_time",

@@ -48,14 +48,17 @@ __all__ = [
 #: pair + derived-type header).
 _MISSES_PER_NUCLIDE = 2.0
 
-#: DRAM access latency [s].
-_MISS_LATENCY = {"ooo": 90.0e-9, "in_order": 300.0e-9}
+#: DRAM access latency [s].  GPUs see full HBM latency (~400 cycles) on
+#: every dependent gather — latency hiding comes from warp occupancy, not
+#: from the cache hierarchy.
+_MISS_LATENCY = {"ooo": 90.0e-9, "in_order": 300.0e-9, "gpu": 350.0e-9}
 
 #: Effective memory-level parallelism per thread in the history-mode nuclide
 #: loop (OoO cores overlap a little; in-order cores rely on SMT, already
 #: reflected in running 4 threads/core).  Calibrated against Fig. 2's ~10x
-#: and Table III's host rate.
-_HISTORY_MLP = {"ooo": 0.72, "in_order": 0.55}
+#: and Table III's host rate.  The GPU value is per resident *warp*:
+#: coalesced 32-lane gathers retire multiple outstanding lines per warp.
+_HISTORY_MLP = {"ooo": 0.72, "in_order": 0.55, "gpu": 2.4}
 
 #: Banked-mode lookup profile per (particle, nuclide) iteration: ~10 flops
 #: of interpolation against ~80 gathered bytes, >90% vectorized.
@@ -65,7 +68,7 @@ _BANKED_BYTES_PER_NUCLIDE = 80.0
 
 def history_nuclide_seconds(device: DeviceSpec) -> float:
     """Per-thread seconds per (particle, nuclide) history-mode iteration."""
-    key = "ooo" if device.out_of_order else "in_order"
+    key = device.class_key
     mlp = device.history_mlp if device.history_mlp is not None else _HISTORY_MLP[key]
     return _MISSES_PER_NUCLIDE * _MISS_LATENCY[key] / mlp
 
@@ -111,8 +114,10 @@ def lookup_rate(
 # ---------------------------------------------------------------------------
 
 #: Naive per-sample per-thread seconds: library RNG call + scalar log/div.
-#: Calibrated to Table I (CPU: 412 s, MIC: 8,243 s at 1e11 samples).
-_NAIVE_SAMPLE_SECONDS = {"ooo": 132.0e-9, "in_order": 10.06e-6}
+#: Calibrated to Table I (CPU: 412 s, MIC: 8,243 s at 1e11 samples).  The
+#: GPU figure is per resident warp on a divergent scalar path (SIMT pays
+#: the MIC's in-order penalty lane-serialized).
+_NAIVE_SAMPLE_SECONDS = {"ooo": 132.0e-9, "in_order": 10.06e-6, "gpu": 2.4e-6}
 
 #: Streamed bytes per sample for the vector implementations (R read + X
 #: read + D write, float32 as in Algorithm 4).
@@ -125,6 +130,9 @@ _STREAM_EFFICIENCY = {
     ("ooo", "optimized2"): 0.56,
     ("in_order", "optimized1"): 0.645,
     ("in_order", "optimized2"): 0.625,
+    # HBM sustains a high fraction of peak on coalesced unit-stride streams.
+    ("gpu", "optimized1"): 0.80,
+    ("gpu", "optimized2"): 0.78,
 }
 
 
@@ -140,11 +148,14 @@ def distance_sampling_time(
     ``threads`` defaults to the paper's configurations (32 on the host,
     122 on the MIC) when left unset and the device matches those classes.
     """
-    key = "ooo" if device.out_of_order else "in_order"
+    key = device.class_key
     samples = n * iters
     if impl == "naive":
         if threads is None:
-            threads = 32 if device.out_of_order else 122
+            if key == "gpu":
+                threads = device.threads
+            else:
+                threads = 32 if device.out_of_order else 122
         return samples * _NAIVE_SAMPLE_SECONDS[key] / threads
     if impl in ("optimized1", "optimized2"):
         bw = device.dram_bw_gbps * 1.0e9 * _STREAM_EFFICIENCY[(key, impl)]
@@ -190,21 +201,23 @@ class WorkPerParticle:
 #: branchy).  Cycle counts calibrated with the lookup constants against
 #: Table III's anchor rates; converting through each device's clock also
 #: captures the Stampede host's slower cores.
-_FLIGHT_CYCLES = {"ooo": 142_800.0, "in_order": 260_000.0}
+#: GPU cycle counts are per resident *warp*: the branchy geometry walk
+#: runs lane-divergent (each warp is effectively serialized to its worst
+#: lane), so one warp-flight costs far more cycles than one OoO-core
+#: flight — throughput comes from thousands of resident warps.
+_FLIGHT_CYCLES = {"ooo": 142_800.0, "in_order": 260_000.0, "gpu": 600_000.0}
 
 #: Per-collision physics cost [cycles] per thread (channel/nuclide
 #: sampling, kinematics, S(a,b)/URR branches).
-_COLLISION_CYCLES = {"ooo": 85_000.0, "in_order": 178_000.0}
+_COLLISION_CYCLES = {"ooo": 85_000.0, "in_order": 178_000.0, "gpu": 400_000.0}
 
 
 def _flight_seconds(device: DeviceSpec) -> float:
-    key = "ooo" if device.out_of_order else "in_order"
-    return _FLIGHT_CYCLES[key] / (device.clock_ghz * 1.0e9)
+    return _FLIGHT_CYCLES[device.class_key] / (device.clock_ghz * 1.0e9)
 
 
 def _collision_seconds(device: DeviceSpec) -> float:
-    key = "ooo" if device.out_of_order else "in_order"
-    return _COLLISION_CYCLES[key] / (device.clock_ghz * 1.0e9)
+    return _COLLISION_CYCLES[device.class_key] / (device.clock_ghz * 1.0e9)
 
 
 @dataclass(frozen=True)

@@ -34,11 +34,21 @@ def thread_utilization(n_items: int, n_threads: int) -> float:
     return n_items / (n_threads * math.ceil(n_items / n_threads))
 
 
+#: Fixed per-batch cost per hardware thread [s]: thread-team launch + bank
+#: sync + local reduction.  In-order cores pay extra; GPUs amortize a
+#: single kernel launch over thousands of resident warps, so the per-warp
+#: share is microseconds (an A100-class device still pays ~14 ms/batch).
+_BATCH_OVERHEAD_PER_THREAD = {
+    "ooo": 100.0e-6,
+    "in_order": 180.0e-6,
+    "gpu": 2.0e-6,
+}
+
+
 def batch_overhead_s(device: DeviceSpec) -> float:
     """Fixed per-batch cost [s]: thread-team launch + bank sync + local
     reduction.  Scales with thread count; in-order cores pay extra."""
-    per_thread = 100.0e-6 if device.out_of_order else 180.0e-6
-    return device.threads * per_thread
+    return device.threads * _BATCH_OVERHEAD_PER_THREAD[device.class_key]
 
 
 def occupancy_factor(device: DeviceSpec, n_particles: int) -> float:

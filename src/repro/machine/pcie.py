@@ -1,4 +1,4 @@
-"""PCIe transfer model for the offload execution path.
+"""Transfer-link model for the offload execution path.
 
 Offload costs in the paper (Table II, Fig. 3) are latency + bandwidth
 amortization: each offload pays a fixed launch/latency cost plus bytes over
@@ -6,6 +6,11 @@ an effective bandwidth.  Two bandwidths are distinguished, as the paper's
 measurements imply: the per-iteration *bank* path (particle records through
 the offload runtime, ~1.3 GB/s effective) and the *bulk* initialization path
 for the persistent energy grid ("approximately 1 second for every 5 GB").
+
+The same latency + two-bandwidth shape covers the GPU-era links
+(PCIe Gen4, NVLink, Xe Link): only the constants change, so the fleet
+presets in :mod:`repro.machine.presets` reuse :class:`PCIeLink` with a
+``name`` for registry lookup.
 """
 
 from __future__ import annotations
@@ -24,6 +29,8 @@ class PCIeLink:
     latency_s: float
     bank_bandwidth_gbps: float
     bulk_bandwidth_gbps: float
+    #: Registry name (``""`` for anonymous links built in tests).
+    name: str = ""
 
     def __post_init__(self) -> None:
         if self.latency_s < 0:

@@ -16,10 +16,23 @@ measurements, and are then held fixed across every experiment:
 JLSE nodes: 2 x Xeon E5-2687W (8 cores each, 3.4 GHz, AVX) + 2 x Xeon Phi
 7120a (61 cores, 1.238 GHz, 512-bit).  Stampede nodes: 2 x Xeon E5-2680
 (2.7 GHz) + Xeon Phi SE10P (61 cores, 1.1 GHz, 8 GB).
+
+The GPU-era presets are *modelled analogues* of published parts
+(A100-SXM, MI250X GCD, Data Center GPU Max 1550 stack, dual-socket EPYC
+host): core/clock/bandwidth/capacity figures come from spec sheets
+(e.g. the A100 preset's peak f64 rate works out to the published
+9.7 TFLOP/s), while the per-warp kernel constants are calibrated loosely
+so the transport model lands in the literature's ballpark — a modern GPU
+several times a modern host on large batches, but starved below ~1e4
+particles, reproducing the paper's Fig. 5 crossover shape at today's
+scale.  Every preset is reachable by name (plus a short alias) through
+:func:`device_by_name`, which lists the live registry on a miss — the
+same convention as the transport backend registry.
 """
 
 from __future__ import annotations
 
+from ..errors import MachineModelError
 from .pcie import PCIeLink
 from .spec import DeviceSpec
 
@@ -28,8 +41,21 @@ __all__ = [
     "MIC_7120A",
     "STAMPEDE_HOST",
     "MIC_SE10P",
+    "EPYC_HOST",
+    "GPU_A100",
+    "GPU_MI250X",
+    "GPU_MAX1550",
     "PCIE_GEN2_X16",
+    "PCIE_GEN4_X16",
+    "NVLINK3",
+    "XE_LINK",
+    "DEVICE_PRESETS",
+    "LINK_PRESETS",
     "device_by_name",
+    "available_devices",
+    "fleet_from_names",
+    "link_by_name",
+    "available_links",
 ]
 
 #: JLSE host: dual-socket E5-2687W — 16 cores / 32 threads, AVX-256,
@@ -97,6 +123,82 @@ MIC_SE10P = DeviceSpec(
     smt_latency_factor=3.2,
 )
 
+# ---------------------------------------------------------------------------
+# GPU-era fleet devices (modelled analogues; see module docstring)
+# ---------------------------------------------------------------------------
+
+#: Modern dual-socket EPYC-class host: 2 x 64 Zen3 cores, AVX2, 8-channel
+#: DDR4-3200 per socket (~410 GB/s aggregate STREAM).
+EPYC_HOST = DeviceSpec(
+    name="epyc-host-2x7763",
+    cores=128,
+    threads_per_core=2,
+    clock_ghz=2.45,
+    vector_bits=256,
+    dram_bw_gbps=410.0,
+    mem_gb=512.0,
+    out_of_order=True,
+    issue_width=2.0,
+    gather_efficiency=0.55,
+    smt_latency_factor=1.25,
+    kind="cpu",
+)
+
+#: A100-SXM-class GPU: 108 SMs x up to 64 resident warps, 32 f64 lanes per
+#: warp (108 * 1.41 GHz * 32 * 2 = the published 9.7 TF f64), HBM2e.
+GPU_A100 = DeviceSpec(
+    name="gpu-a100-sxm",
+    cores=108,
+    threads_per_core=64,
+    clock_ghz=1.41,
+    vector_bits=2048,
+    dram_bw_gbps=1555.0,
+    mem_gb=40.0,
+    out_of_order=False,
+    issue_width=2.0,
+    gather_efficiency=0.35,
+    smt_latency_factor=8.0,
+    kind="gpu",
+)
+
+#: One MI250X GCD: 110 CUs, 32-wide f64 wavefront math pipes
+#: (110 * 1.7 GHz * 32 * 2 ~ the published 23.9 TF / 2 per GCD), HBM2e.
+GPU_MI250X = DeviceSpec(
+    name="gpu-mi250x-gcd",
+    cores=110,
+    threads_per_core=32,
+    clock_ghz=1.7,
+    vector_bits=2048,
+    dram_bw_gbps=1638.0,
+    mem_gb=64.0,
+    out_of_order=False,
+    issue_width=2.0,
+    gather_efficiency=0.35,
+    smt_latency_factor=8.0,
+    kind="gpu",
+)
+
+#: One Data Center GPU Max 1550 stack: 64 Xe-cores, 64 resident
+#: sub-groups each, HBM2e.
+GPU_MAX1550 = DeviceSpec(
+    name="gpu-max1550-stack",
+    cores=64,
+    threads_per_core=64,
+    clock_ghz=1.3,
+    vector_bits=2048,
+    dram_bw_gbps=1638.0,
+    mem_gb=64.0,
+    out_of_order=False,
+    issue_width=2.0,
+    gather_efficiency=0.35,
+    smt_latency_factor=8.0,
+    kind="gpu",
+)
+
+# ---------------------------------------------------------------------------
+# Transfer links
+# ---------------------------------------------------------------------------
+
 #: PCIe 2.0 x16 as the offload path sees it.  The *effective* bank-transfer
 #: bandwidth is calibrated to Table II (496 MB in 460 ms, 2.84 GB in
 #: 2,210 ms -> ~1.3 GB/s including offload runtime overheads); the
@@ -106,11 +208,109 @@ PCIE_GEN2_X16 = PCIeLink(
     latency_s=50.0e-6,
     bank_bandwidth_gbps=1.3,
     bulk_bandwidth_gbps=5.0,
+    name="pcie-gen2-x16",
 )
 
-_ALL = {d.name: d for d in (JLSE_HOST, MIC_7120A, STAMPEDE_HOST, MIC_SE10P)}
+#: PCIe 4.0 x16: ~32 GB/s raw; effective bank path through a pinned-memory
+#: staging runtime, bulk DMA close to wire rate.
+PCIE_GEN4_X16 = PCIeLink(
+    latency_s=10.0e-6,
+    bank_bandwidth_gbps=12.0,
+    bulk_bandwidth_gbps=25.0,
+    name="pcie-gen4-x16",
+)
+
+#: NVLink 3 (A100-class): 12 links x 25 GB/s per direction.
+NVLINK3 = PCIeLink(
+    latency_s=5.0e-6,
+    bank_bandwidth_gbps=80.0,
+    bulk_bandwidth_gbps=250.0,
+    name="nvlink3",
+)
+
+#: Xe Link bridge (Max-series) / Infinity-Fabric-class bridge.
+XE_LINK = PCIeLink(
+    latency_s=8.0e-6,
+    bank_bandwidth_gbps=40.0,
+    bulk_bandwidth_gbps=120.0,
+    name="xe-link",
+)
+
+# ---------------------------------------------------------------------------
+# Registries (full names + short aliases)
+# ---------------------------------------------------------------------------
+
+_DEVICES = (
+    JLSE_HOST,
+    MIC_7120A,
+    STAMPEDE_HOST,
+    MIC_SE10P,
+    EPYC_HOST,
+    GPU_A100,
+    GPU_MI250X,
+    GPU_MAX1550,
+)
+
+_DEVICE_ALIASES = {
+    "jlse-host": JLSE_HOST,
+    "mic-7120a": MIC_7120A,
+    "stampede-host": STAMPEDE_HOST,
+    "mic-se10p": MIC_SE10P,
+    "epyc-host": EPYC_HOST,
+    "a100": GPU_A100,
+    "mi250x": GPU_MI250X,
+    "max1550": GPU_MAX1550,
+}
+
+#: Every preset device reachable by name: full names plus short aliases.
+DEVICE_PRESETS: dict[str, DeviceSpec] = {
+    **{d.name: d for d in _DEVICES},
+    **_DEVICE_ALIASES,
+}
+
+#: Every preset transfer link by name.
+LINK_PRESETS: dict[str, PCIeLink] = {
+    link.name: link
+    for link in (PCIE_GEN2_X16, PCIE_GEN4_X16, NVLINK3, XE_LINK)
+}
+
+
+def available_devices() -> list[str]:
+    """Sorted names (and aliases) of every preset device."""
+    return sorted(DEVICE_PRESETS)
 
 
 def device_by_name(name: str) -> DeviceSpec:
-    """Look up a preset device by its full name."""
-    return _ALL[name]
+    """Look up a preset device by full name or alias.
+
+    Unknown names raise :class:`MachineModelError` listing the live
+    registry (the transport backend registry-error convention).
+    """
+    try:
+        return DEVICE_PRESETS[name]
+    except KeyError:
+        raise MachineModelError(
+            f"unknown device {name!r}; available devices: "
+            f"{', '.join(available_devices())}"
+        ) from None
+
+
+def fleet_from_names(names: "list[str] | tuple[str, ...]") -> list[DeviceSpec]:
+    """Resolve an ordered device fleet from preset names/aliases."""
+    return [device_by_name(n) for n in names]
+
+
+def available_links() -> list[str]:
+    """Sorted names of every preset transfer link."""
+    return sorted(LINK_PRESETS)
+
+
+def link_by_name(name: str) -> PCIeLink:
+    """Look up a preset transfer link by name (registry-error on a miss)."""
+    try:
+        return LINK_PRESETS[name]
+    except KeyError:
+        raise MachineModelError(
+            f"unknown link {name!r}; available links: "
+            f"{', '.join(available_links())}"
+        ) from None

@@ -7,6 +7,14 @@ arguments rest on: core/thread counts, clock, vector width, memory bandwidth
 and capacity, and whether the core is out-of-order (the MIC's in-order
 pipeline is why its *scalar* performance is poor and why Knights Landing's
 OoO cores are projected to give ~3x in §V).
+
+GPU-era devices map onto the same parameters (the follow-on literature's
+fleets of heterogeneous accelerators): ``cores`` are SMs/CUs/Xe-cores,
+``threads_per_core`` the resident warps per SM whose oversubscription hides
+HBM latency (the occupancy-era analogue of the MIC's 4-way SMT),
+``vector_bits`` the warp/wavefront width (32 f64 lanes = 2048 bits), and
+``dram_bw_gbps`` the HBM bandwidth.  ``kind = "gpu"`` selects the GPU
+column of the kernel-model constants via :attr:`class_key`.
 """
 
 from __future__ import annotations
@@ -64,22 +72,37 @@ class DeviceSpec:
     smt_latency_factor: float = 1.25
     #: Effective per-thread memory-level parallelism in latency-serialized
     #: (history-mode) lookup chains; None selects the class default
-    #: (0.72 OoO / 0.55 in-order) in the kernel model.
+    #: (0.72 OoO / 0.55 in-order / 2.4 GPU) in the kernel model.
     history_mlp: float | None = None
+    #: Device class: ``""`` (derive cpu/mic from ``out_of_order``, the
+    #: 2013-era behaviour), or an explicit ``"cpu"`` / ``"mic"`` / ``"gpu"``.
+    #: GPUs get their own kernel-constant column — in-order per thread but
+    #: with massive warp-level latency hiding and HBM streams.
+    kind: str = ""
 
     def __post_init__(self) -> None:
         if self.cores < 1 or self.threads_per_core < 1:
             raise MachineModelError(f"{self.name}: invalid core/thread counts")
         if self.clock_ghz <= 0 or self.dram_bw_gbps <= 0 or self.mem_gb <= 0:
             raise MachineModelError(f"{self.name}: invalid rates/capacities")
-        if self.vector_bits not in (128, 256, 512):
+        if self.vector_bits not in (128, 256, 512, 1024, 2048):
             raise MachineModelError(f"{self.name}: unsupported vector width")
+        if self.kind not in ("", "cpu", "mic", "gpu"):
+            raise MachineModelError(f"{self.name}: unknown device kind {self.kind!r}")
 
     # -- Derived quantities -------------------------------------------------------
 
     @property
+    def class_key(self) -> str:
+        """Kernel-constant column: ``"ooo"``, ``"in_order"``, or ``"gpu"``."""
+        if self.kind == "gpu":
+            return "gpu"
+        return "ooo" if self.out_of_order else "in_order"
+
+    @property
     def threads(self) -> int:
-        """Total hardware threads."""
+        """Total hardware threads (for GPUs: resident warps, the
+        latency-hiding occupancy unit)."""
         return self.cores * self.threads_per_core
 
     def vector_lanes(self, precision: str = "f64") -> int:

@@ -76,14 +76,23 @@ def with_retry(
 
 
 def redistribute_slice(
-    dead: slice, survivors: list[int]
+    dead: slice, survivors: list[int], weights: "list[float] | None" = None
 ) -> list[tuple[int, slice]]:
-    """Split a dead rank's particle slice contiguously across survivors.
+    """Split a released particle slice contiguously across survivors.
 
     Returns ``(survivor_rank, sub_slice)`` pairs in ascending particle-id
-    order, covering ``dead`` exactly once.  Survivors earlier in the list
-    receive the remainder particles (the same static split the initial
-    decomposition uses).
+    order, covering ``dead`` exactly once.  With ``weights=None`` (the
+    rank-loss recovery path) the split is even, survivors earlier in the
+    list receiving the remainder particles — the same static split the
+    initial decomposition uses.  With ``weights`` (one non-negative rate
+    weight per survivor — the work-stealing rebalance path) the split is
+    proportional by largest remainder: floors first, then one extra
+    particle per largest fractional part (ties to the earlier survivor);
+    zero-weight survivors receive nothing.
+
+    Because every particle's RNG stream is a function of its global id
+    alone, either split re-runs the exact histories the releasing rank
+    would have produced.
     """
     if not survivors:
         raise ClusterError("no surviving ranks to redistribute onto")
@@ -93,11 +102,33 @@ def redistribute_slice(
     if n == 0:
         return []
     k = len(survivors)
-    base, rem = divmod(n, k)
+    if weights is None:
+        base, rem = divmod(n, k)
+        counts = [base + (1 if i < rem else 0) for i in range(k)]
+    else:
+        if len(weights) != k:
+            raise ClusterError(
+                f"{len(weights)} weights for {k} survivors"
+            )
+        if any(w < 0 for w in weights):
+            raise ClusterError("negative redistribution weight")
+        total = 0.0
+        for w in weights:
+            total += w
+        if total <= 0:
+            raise ClusterError("need at least one positive weight")
+        shares = [n * w / total for w in weights]
+        counts = [int(share) for share in shares]
+        leftover = n - sum(counts)
+        order = sorted(
+            (i for i in range(k) if weights[i] > 0),
+            key=lambda i: (-(shares[i] - counts[i]), i),
+        )
+        for i in order[:leftover]:
+            counts[i] += 1
     out: list[tuple[int, slice]] = []
     start = dead.start
-    for i, rank in enumerate(survivors):
-        count = base + (1 if i < rem else 0)
+    for rank, count in zip(survivors, counts):
         if count == 0:
             continue
         out.append((rank, slice(start, start + count)))

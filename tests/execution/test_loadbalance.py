@@ -1,12 +1,17 @@
-"""Tests for Eq. 3 load balancing and the adaptive alpha controller."""
+"""Tests for Eq. 3 load balancing, its N-way fleet generalization, and
+the adaptive alpha controller."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ExecutionError
 from repro.execution.loadbalance import (
     AdaptiveAlphaController,
     alpha_split,
+    alpha_split_counts,
     equal_split,
+    fleet_split,
 )
 
 
@@ -58,6 +63,175 @@ class TestAlphaSplit:
             alpha_split(100, 0, 0, 0.5)
         with pytest.raises(ExecutionError):
             alpha_split(100, 1, 1, -0.1)
+
+    def test_no_cpus(self):
+        """p_cpu == 0 degenerate branch: everything goes to the MICs."""
+        n_mic, n_cpu = alpha_split(1001, 2, 0, 0.62)
+        assert n_cpu == 0
+        assert n_mic == equal_split(1001, 2)[0] == 501
+
+    def test_no_mics_takes_ceil_not_floor(self):
+        """p_mic == 0 branch uses the equal split's first-rank (ceil)
+        count, so no particle is silently dropped."""
+        n_mic, n_cpu = alpha_split(1001, 0, 2, 0.62)
+        assert (n_mic, n_cpu) == (0, 501)
+
+    def test_extreme_alpha_clamps_instead_of_negative_mic(self):
+        """Rounding with an extreme alpha and many CPU ranks used to
+        drive the MIC count negative; the clamp keeps it at zero."""
+        n_mic, n_cpu = alpha_split(8, 1, 9, 10.0)
+        assert (n_mic, n_cpu) == (8, 0)
+        assert n_mic >= 0 and n_cpu >= 0
+
+    @given(
+        n=st.integers(min_value=0, max_value=10**7),
+        p_mic=st.integers(min_value=0, max_value=6),
+        p_cpu=st.integers(min_value=0, max_value=6),
+        alpha=st.floats(min_value=1e-3, max_value=1e3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_never_negative_and_never_overcommits(
+        self, n, p_mic, p_cpu, alpha
+    ):
+        if p_mic + p_cpu == 0:
+            return
+        n_mic, n_cpu = alpha_split(n, p_mic, p_cpu, alpha)
+        assert n_mic >= 0 and n_cpu >= 0
+        if p_mic > 0 and p_cpu > 0:
+            assert p_mic * n_mic + p_cpu * n_cpu <= n
+        elif p_mic == 0:
+            # Degenerate class: first-rank (ceil) count of the equal split.
+            assert n_cpu == equal_split(n, p_cpu)[0]
+        else:
+            assert n_mic == equal_split(n, p_mic)[0]
+
+
+class TestAlphaSplitCounts:
+    def test_sums_exactly(self):
+        """Unlike scalar alpha_split (which floors the per-MIC count),
+        the per-rank counts always sum to exactly n_total."""
+        mic_counts, cpu_counts = alpha_split_counts(1_000_003, 3, 2, 0.62)
+        assert sum(mic_counts) + sum(cpu_counts) == 1_000_003
+        assert len(mic_counts) == 3 and len(cpu_counts) == 2
+
+    def test_cpu_count_bit_identical_to_scalar(self):
+        for n, alpha in [(10_000_000, 0.62), (999_999, 1.7), (12345, 0.3)]:
+            _, n_cpu = alpha_split(n, 2, 3, alpha)
+            _, cpu_counts = alpha_split_counts(n, 2, 3, alpha)
+            assert cpu_counts == [n_cpu] * 3
+
+    def test_mic_remainder_spread_equal_split_style(self):
+        mic_counts, _ = alpha_split_counts(1_000_001, 3, 1, 0.62)
+        assert max(mic_counts) - min(mic_counts) <= 1
+        assert mic_counts == sorted(mic_counts, reverse=True)
+
+    def test_degenerate_classes(self):
+        assert alpha_split_counts(10, 0, 3, 0.5) == ([], [4, 3, 3])
+        assert alpha_split_counts(10, 3, 0, 0.5) == ([4, 3, 3], [])
+
+    @given(
+        n=st.integers(min_value=0, max_value=10**7),
+        p_mic=st.integers(min_value=1, max_value=6),
+        p_cpu=st.integers(min_value=1, max_value=6),
+        alpha=st.floats(min_value=1e-3, max_value=1e3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_rounding_invariant(self, n, p_mic, p_cpu, alpha):
+        """The satellite's rounding invariant: per-rank counts are
+        non-negative and sum to exactly n_total, for any alpha."""
+        mic_counts, cpu_counts = alpha_split_counts(n, p_mic, p_cpu, alpha)
+        assert all(c >= 0 for c in (*mic_counts, *cpu_counts))
+        assert sum(mic_counts) + sum(cpu_counts) == n
+
+
+class TestFleetSplit:
+    def test_n2_bit_identical_to_alpha_split_paper_example(self):
+        """Eq. 3 is the N=2 special case: weights [1, alpha] reproduce
+        alpha_split bit-for-bit (same float expression, same rounding)."""
+        n_mic, n_cpu = alpha_split(10_000_000, 1, 1, 0.62)
+        assert fleet_split(10_000_000, [1.0, 0.62]) == [n_mic, n_cpu]
+        assert fleet_split(10_000_000, [1.0, 0.62]) == [6_172_840, 3_827_160]
+
+    @given(
+        n=st.integers(min_value=0, max_value=10**7),
+        alpha=st.floats(min_value=1e-3, max_value=1e3),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_n2_bit_identity_sweep(self, n, alpha):
+        n_mic, n_cpu = alpha_split(n, 1, 1, alpha)
+        if n_mic < 0:  # pragma: no cover - clamped away in alpha_split
+            return
+        assert fleet_split(n, [1.0, alpha]) == [n_mic, n_cpu]
+
+    def test_scale_invariant(self):
+        """Weights are rates on any scale; only ratios matter."""
+        w = [4050.0, 6641.0, 1234.5]
+        assert fleet_split(10**6, w) == fleet_split(
+            10**6, [x / 4050.0 for x in w]
+        )
+
+    def test_proportionality(self):
+        counts = fleet_split(1_000_000, [1.0, 2.0, 3.0])
+        assert sum(counts) == 1_000_000
+        assert counts[1] / counts[0] == pytest.approx(2.0, rel=1e-4)
+        assert counts[2] / counts[0] == pytest.approx(3.0, rel=1e-4)
+
+    def test_zero_weight_rank_gets_nothing(self):
+        counts = fleet_split(1000, [1.0, 0.0, 1.0])
+        assert counts[1] == 0
+        assert sum(counts) == 1000
+
+    def test_zero_weight_anchor_skipped(self):
+        """The anchor (remainder absorber) is the first *positive* rank."""
+        counts = fleet_split(7, [0.0, 1.0, 1.0])
+        assert counts[0] == 0
+        assert sum(counts) == 7
+
+    def test_single_rank(self):
+        assert fleet_split(42, [3.0]) == [42]
+
+    def test_zero_particles(self):
+        assert fleet_split(0, [1.0, 2.0]) == [0, 0]
+
+    def test_overshoot_decrements_deterministically(self):
+        """When rounding overcommits, counts are walked back from the
+        largest (ties to the lowest rank) until the anchor is whole."""
+        for n in range(1, 200):
+            counts = fleet_split(n, [1e-6, 1.0, 1.0, 1.0])
+            assert all(c >= 0 for c in counts)
+            assert sum(counts) == n
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError):
+            fleet_split(-1, [1.0])
+        with pytest.raises(ExecutionError):
+            fleet_split(10, [])
+        with pytest.raises(ExecutionError):
+            fleet_split(10, [1.0, -0.5])
+        with pytest.raises(ExecutionError):
+            fleet_split(10, [0.0, 0.0])
+
+    @given(
+        n=st.integers(min_value=0, max_value=10**7),
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=1e6),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_rounding_invariant(self, n, weights):
+        """The satellite's rounding invariant, N-way: counts are
+        non-negative, zero-weight ranks idle, and the sum is exact."""
+        if sum(weights) <= 0:
+            with pytest.raises(ExecutionError):
+                fleet_split(n, weights)
+            return
+        counts = fleet_split(n, weights)
+        assert len(counts) == len(weights)
+        assert all(c >= 0 for c in counts)
+        assert sum(counts) == n
+        assert all(c == 0 for c, w in zip(counts, weights) if w == 0)
 
 
 class TestAdaptiveAlpha:

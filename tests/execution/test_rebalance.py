@@ -1,0 +1,327 @@
+"""Work-stealing rebalancer: plan unit tests + on-contract scheduler runs.
+
+The acceptance claims (ISSUE 9): the plan is a pure function of
+``(n, alive, rates)``; with equal rates the rebalanced run is *fully*
+bitwise identical to the static run; with skewed rates the rebalanced
+run's banks and work counters stay bit-identical to an unsplit serial
+run (tallies to the repo's rel 1e-12 summation-order tolerance), because
+every stolen slice keeps its global particle ids; and a mid-run 4x rate
+shift is reflected in the assignment within two batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.execution import (
+    ExecutionContext,
+    NativeScheduler,
+    SymmetricScheduler,
+    WorkStealingRebalancer,
+)
+from repro.execution.loadbalance import equal_split, fleet_split
+from repro.supervise import SupervisionPolicy, Supervisor
+from repro.transport.context import TransportContext
+
+#: Straggler eviction off: these tests exercise rebalancing, not eviction,
+#: and wall-clock noise on tiny slices must not evict anyone.
+LENIENT = SupervisionPolicy(straggler_factor=1.0e9)
+
+
+def _covered(plan):
+    ids = []
+    for _, sl in plan:
+        ids.extend(range(sl.start, sl.stop))
+    return ids
+
+
+class TestPlan:
+    def test_covers_exactly_once_in_global_order(self):
+        plan = WorkStealingRebalancer().plan(
+            0, 1000, [0, 1, 2], [1.0, 1.0, 4.0]
+        )
+        assert _covered(plan) == list(range(1000))
+        starts = [sl.start for _, sl in plan]
+        assert starts == sorted(starts)
+
+    def test_counts_match_fleet_split_targets(self):
+        rates = [1.0, 1.0, 2.0]
+        plan = WorkStealingRebalancer().plan(0, 100, [0, 1, 2], rates)
+        counts = [0, 0, 0]
+        for rank, sl in plan:
+            counts[rank] += sl.stop - sl.start
+        assert counts == fleet_split(100, rates)
+
+    def test_no_rates_runs_equal(self):
+        """First batch (no measurements yet): the static equal split."""
+        rebal = WorkStealingRebalancer()
+        plan = rebal.plan(0, 100, [0, 1, 2], None)
+        assert [sl.stop - sl.start for _, sl in plan] == equal_split(100, 3)
+        assert rebal.events == []
+
+    def test_equal_rates_are_a_noop(self):
+        rebal = WorkStealingRebalancer()
+        plan = rebal.plan(0, 99, [0, 1, 2], [7.0, 7.0, 7.0])
+        assert [sl.stop - sl.start for _, sl in plan] == equal_split(99, 3)
+        assert rebal.events == []
+
+    def test_below_min_move_fraction_is_a_noop(self):
+        """Sub-threshold imbalance is barrier noise — leave the split."""
+        rebal = WorkStealingRebalancer(min_move_fraction=0.10)
+        plan = rebal.plan(0, 1000, [0, 1], [1.0, 1.05])
+        assert [sl.stop - sl.start for _, sl in plan] == [500, 500]
+        assert rebal.events == []
+
+    def test_donors_release_tails_receivers_absorb(self):
+        """Slow ranks keep the *head* of their equal slice; only tails
+        move, so most particles never change rank."""
+        rebal = WorkStealingRebalancer()
+        plan = rebal.plan(3, 100, [0, 1, 2], [1.0, 1.0, 2.0])
+        by_rank = {}
+        for rank, sl in plan:
+            by_rank.setdefault(rank, []).append((sl.start, sl.stop))
+        # Equal base was [34, 33, 33]; targets [25, 25, 50].
+        assert by_rank[0][0] == (0, 25)
+        assert by_rank[1][0] == (34, 59)
+        assert all(ev.batch == 3 for ev in rebal.events)
+        assert {ev.receiver for ev in rebal.events} == {2}
+        assert {ev.donor for ev in rebal.events} == {0, 1}
+        moved = sum(ev.count for ev in rebal.events)
+        assert moved == (34 - 25) + (33 - 25)
+
+    def test_plan_is_deterministic_and_stateless(self):
+        a = WorkStealingRebalancer().plan(0, 12345, [0, 2, 5], [3.0, 1.0, 2.0])
+        b = WorkStealingRebalancer().plan(7, 12345, [0, 2, 5], [3.0, 1.0, 2.0])
+        assert a == b
+
+    def test_alive_subset_uses_alive_ranks_only(self):
+        plan = WorkStealingRebalancer().plan(0, 90, [1, 3], [1.0, 2.0])
+        assert {rank for rank, _ in plan} <= {1, 3}
+        assert _covered(plan) == list(range(90))
+
+    def test_no_alive_ranks_rejected(self):
+        with pytest.raises(ExecutionError):
+            WorkStealingRebalancer().plan(0, 10, [], [1.0])
+
+    def test_summary_aggregates_steal_traffic(self):
+        rebal = WorkStealingRebalancer()
+        rebal.plan(0, 100, [0, 1, 2], [1.0, 1.0, 2.0])
+        rebal.plan(1, 100, [0, 1, 2], [1.0, 1.0, 2.0])
+        s = rebal.summary()
+        assert s["batches"] == 2
+        assert s["steals"] == len(rebal.events)
+        assert s["particles_moved"] == sum(ev.count for ev in rebal.events)
+        assert set(s["pairs"]) == {"0->2", "1->2"}
+
+
+# -- Scheduler integration ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def union(small_library):
+    from repro.data.unionized import UnionizedGrid
+
+    return UnionizedGrid(small_library)
+
+
+def source(n, seed=5):
+    rng = np.random.default_rng(seed)
+    pos = np.column_stack(
+        [
+            rng.uniform(-0.3, 0.3, n),
+            rng.uniform(-0.3, 0.3, n),
+            rng.uniform(-150, 150, n),
+        ]
+    )
+    return pos, np.full(n, 1.0)
+
+
+def run_batches(
+    library, union, scheduler, *, n_batches=3, n=48,
+    supervisor=None, rebalancer=None, on_batch=None,
+):
+    """Run ``n_batches`` event-mode generations, each sourced from the
+    previous bank; ``on_batch(i)`` runs before batch ``i`` (rate shifts)."""
+    ctx = TransportContext.create(
+        library, pincell=True, union=union, master_seed=7
+    )
+    ec = ExecutionContext.create(
+        transport=ctx, backend="event",
+        supervisor=supervisor, rebalancer=rebalancer,
+    )
+    tallies = ec.new_tallies()
+    pos, en = source(n)
+    banks = []
+    for i in range(n_batches):
+        if on_batch is not None:
+            on_batch(i)
+        bank = scheduler.run_generation(ec, pos, en, tallies, 1.0, 0)
+        banks.append(bank)
+        assert len(bank) > 0
+        pos, en = bank.positions.copy(), bank.energies.copy()
+    return ctx, tallies, banks
+
+
+def assert_on_contract(ref, rebalanced):
+    """Banks + counters exact, tallies to summation-order tolerance."""
+    (c1, t1, b1), (c2, t2, b2) = ref, rebalanced
+    assert c1.counters.as_dict() == c2.counters.as_dict()
+    for bank1, bank2 in zip(b1, b2):
+        assert len(bank1) == len(bank2)
+        np.testing.assert_array_equal(bank1.positions, bank2.positions)
+        np.testing.assert_array_equal(bank1.energies, bank2.energies)
+    assert t2.collision == pytest.approx(t1.collision, rel=1e-12)
+    assert t2.absorption == pytest.approx(t1.absorption, rel=1e-12)
+    assert t2.track_length == pytest.approx(t1.track_length, rel=1e-12)
+    assert t2.n_collisions == t1.n_collisions
+    assert t2.n_leaks == t1.n_leaks
+
+
+class TestSupervisedRebalancing:
+    def test_skewed_run_on_contract_with_serial(self, small_library, union):
+        """Rebalanced run (rank 2 measured 4x faster) vs the unsplit
+        serial run: banks and counters bit-identical, tallies 1e-12 —
+        stolen slices keep their global ids."""
+        rates = {0: 100.0, 1: 100.0, 2: 400.0}
+        rebal = WorkStealingRebalancer(rate_source=rates.get)
+        rebalanced = run_batches(
+            small_library, union, SymmetricScheduler(n_ranks=3),
+            supervisor=Supervisor(n_ranks=3, policy=LENIENT),
+            rebalancer=rebal,
+        )
+        serial = run_batches(small_library, union, NativeScheduler())
+        assert_on_contract(serial, rebalanced)
+        assert rebal.summary()["particles_moved"] > 0
+        assert {ev.receiver for ev in rebal.events} == {2}
+
+    def test_skewed_run_on_contract_with_static_final_assignment(
+        self, small_library, union
+    ):
+        """The acceptance criterion verbatim: the work-stealing run vs a
+        static run pinned to the same final assignment (a second
+        rebalancer fed the same fixed rates plans identically, so the
+        'static' reference executes exactly the converged assignment)."""
+        rates = {0: 100.0, 1: 100.0, 2: 400.0}
+        ws = WorkStealingRebalancer(rate_source=rates.get)
+        rebalanced = run_batches(
+            small_library, union, SymmetricScheduler(n_ranks=3),
+            supervisor=Supervisor(n_ranks=3, policy=LENIENT),
+            rebalancer=ws,
+        )
+        static = WorkStealingRebalancer(rate_source=rates.get)
+        pinned = run_batches(
+            small_library, union, SymmetricScheduler(n_ranks=3),
+            supervisor=Supervisor(n_ranks=3, policy=LENIENT),
+            rebalancer=static,
+        )
+        # Same plan both times, and on this static-rate run the contract
+        # is exact equality, not just tolerance.
+        assert ws.events == static.events
+        assert_on_contract(pinned, rebalanced)
+        (_, t1, _), (_, t2, _) = pinned, rebalanced
+        assert (t1.collision, t1.absorption, t1.track_length) == (
+            t2.collision, t2.absorption, t2.track_length
+        )
+
+    def test_equal_rates_fully_bitwise_vs_static_scheduler(
+        self, small_library, union
+    ):
+        """Equal measured rates: the plan *is* the equal split, so the
+        rebalanced run is the static supervised run, bit for bit
+        (tallies included — same partition, same merge order)."""
+        rebal = WorkStealingRebalancer(rate_source=lambda rank: 250.0)
+        rebalanced = run_batches(
+            small_library, union, SymmetricScheduler(n_ranks=3),
+            supervisor=Supervisor(n_ranks=3, policy=LENIENT),
+            rebalancer=rebal,
+        )
+        static = run_batches(
+            small_library, union, SymmetricScheduler(n_ranks=3),
+            supervisor=Supervisor(n_ranks=3, policy=LENIENT),
+        )
+        assert rebal.events == []
+        assert_on_contract(static, rebalanced)
+        (_, t1, _), (_, t2, _) = static, rebalanced
+        assert (t1.collision, t1.absorption, t1.track_length) == (
+            t2.collision, t2.absorption, t2.track_length
+        )
+
+    def test_monitor_rates_drive_the_plan_without_rate_source(
+        self, small_library, union
+    ):
+        """Without a rate_source the plan reads the supervisor's health
+        monitor EMA; the run completes on-contract with serial."""
+        sup = Supervisor(n_ranks=3, policy=LENIENT)
+        rebalanced = run_batches(
+            small_library, union, SymmetricScheduler(n_ranks=3),
+            supervisor=sup, rebalancer=WorkStealingRebalancer(),
+            n_batches=4,
+        )
+        serial = run_batches(
+            small_library, union, NativeScheduler(), n_batches=4
+        )
+        assert_on_contract(serial, rebalanced)
+        assert sup.report()["batches"] == 4
+
+
+class TestMidRunRateShift:
+    """Satellite 3: a device throttles 4x mid-run; the measured-rate
+    feed (the AdaptiveAlphaController pathway generalized N-way) moves
+    the assignment within two batches, and the run stays on-contract."""
+
+    def test_straggler_slice_reassigned_within_two_batches(
+        self, small_library, union
+    ):
+        rates = {0: 400.0, 1: 400.0, 2: 400.0}
+        rebal = WorkStealingRebalancer(rate_source=rates.get)
+
+        def shift(batch):
+            if batch == 2:  # rank 0 throttles 4x before batch 2
+                rates[0] = 100.0
+
+        rebalanced = run_batches(
+            small_library, union, SymmetricScheduler(n_ranks=3),
+            supervisor=Supervisor(n_ranks=3, policy=LENIENT),
+            rebalancer=rebal, n_batches=4, on_batch=shift,
+        )
+        # Batches 0-1: balanced, no steals.  Batch 2 (first batch at the
+        # new rates, i.e. within one barrier of the shift): rank 0
+        # donates; it never receives.
+        batches_with_steals = sorted({ev.batch for ev in rebal.events})
+        assert batches_with_steals == [2, 3]
+        assert all(
+            ev.donor == 0 for ev in rebal.events if ev.batch == 2
+        )
+        assert all(ev.receiver != 0 for ev in rebal.events)
+        # And the physics is untouched: on-contract with serial.
+        serial = run_batches(
+            small_library, union, NativeScheduler(), n_batches=4
+        )
+        assert_on_contract(serial, rebalanced)
+
+    def test_shift_changes_assignment_not_results(
+        self, small_library, union
+    ):
+        """The same run with and without the shift transports identical
+        histories — partitioning is invisible to the physics."""
+        rates = {0: 400.0, 1: 400.0, 2: 400.0}
+
+        def shift(batch):
+            if batch == 2:
+                rates[0] = 100.0
+
+        shifted = run_batches(
+            small_library, union, SymmetricScheduler(n_ranks=3),
+            supervisor=Supervisor(n_ranks=3, policy=LENIENT),
+            rebalancer=WorkStealingRebalancer(rate_source=rates.get),
+            n_batches=4, on_batch=shift,
+        )
+        steady = run_batches(
+            small_library, union, SymmetricScheduler(n_ranks=3),
+            supervisor=Supervisor(n_ranks=3, policy=LENIENT),
+            rebalancer=WorkStealingRebalancer(
+                rate_source=lambda rank: 400.0
+            ),
+            n_batches=4,
+        )
+        assert_on_contract(steady, shifted)

@@ -83,6 +83,74 @@ class TestRedistributeSlice:
             redistribute_slice(slice(0, 10), survivors=[])
 
 
+class TestWeightedRedistributeSlice:
+    """The work-stealing rebalance path: proportional splitting of a
+    released slice by rate weight (largest-remainder apportionment)."""
+
+    def test_covers_exactly_once_in_order(self):
+        parts = redistribute_slice(
+            slice(100, 200), survivors=[0, 1, 2], weights=[1.0, 2.0, 7.0]
+        )
+        covered = []
+        for _, sub in parts:
+            covered.extend(range(sub.start, sub.stop))
+        assert covered == list(range(100, 200))
+        starts = [sub.start for _, sub in parts]
+        assert starts == sorted(starts)
+
+    def test_proportional_counts(self):
+        parts = redistribute_slice(
+            slice(0, 100), survivors=[3, 5], weights=[1.0, 3.0]
+        )
+        sizes = {rank: sub.stop - sub.start for rank, sub in parts}
+        assert sizes == {3: 25, 5: 75}
+
+    def test_largest_remainder_ties_to_earlier_survivor(self):
+        # 10 particles at weights [1, 1, 1]: floors 3/3/3, one leftover
+        # with equal fractional parts -> earliest survivor.
+        parts = redistribute_slice(
+            slice(0, 10), survivors=[4, 7, 9], weights=[1.0, 1.0, 1.0]
+        )
+        sizes = [sub.stop - sub.start for _, sub in parts]
+        assert sizes == [4, 3, 3]
+
+    def test_zero_weight_survivor_receives_nothing(self):
+        parts = redistribute_slice(
+            slice(0, 9), survivors=[0, 1, 2], weights=[2.0, 0.0, 1.0]
+        )
+        assert {rank for rank, _ in parts} == {0, 2}
+        assert sum(sub.stop - sub.start for _, sub in parts) == 9
+
+    def test_unweighted_path_unchanged_by_weighted_extension(self):
+        """weights=None keeps the original rank-loss recovery behaviour
+        exactly (the bit-identity contract depends on it)."""
+        assert redistribute_slice(
+            slice(30, 60), survivors=[0, 2, 3]
+        ) == redistribute_slice(slice(30, 60), survivors=[0, 2, 3], weights=None)
+
+    def test_validation(self):
+        with pytest.raises(ClusterError, match="weights for"):
+            redistribute_slice(slice(0, 10), survivors=[0, 1], weights=[1.0])
+        with pytest.raises(ClusterError, match="negative"):
+            redistribute_slice(
+                slice(0, 10), survivors=[0, 1], weights=[1.0, -1.0]
+            )
+        with pytest.raises(ClusterError, match="positive weight"):
+            redistribute_slice(
+                slice(0, 10), survivors=[0, 1], weights=[0.0, 0.0]
+            )
+
+    def test_exact_sum_over_many_shapes(self):
+        for n in (1, 2, 7, 97, 1000):
+            for weights in ([0.3, 0.7], [5.0, 1.0, 1.0], [1e-6, 1.0, 1e6]):
+                parts = redistribute_slice(
+                    slice(11, 11 + n),
+                    survivors=list(range(len(weights))),
+                    weights=weights,
+                )
+                assert sum(sub.stop - sub.start for _, sub in parts) == n
+
+
 class TestRankFailureRecovery:
     """A crashed rank's slice is re-run by survivors — results unchanged.
 

@@ -375,3 +375,79 @@ class TestScenarioCli:
     def test_unknown_canned_scenario_fails_cleanly(self, capsys):
         assert sim_main(["scenario", "compile", "no-such-core"]) == 1
         assert "hm-full-core" in capsys.readouterr().err
+
+
+class TestFleetCli:
+    """ISSUE 9 satellites: the device-fleet verbs and the --devices
+    registry-error round trip."""
+
+    def test_devices_flag_parses_comma_list(self):
+        args = build_parser().parse_args(
+            ["run", "--devices", "a100,a100,epyc-host"]
+        )
+        assert args.devices == ["a100", "a100", "epyc-host"]
+
+    def test_devices_flag_expands_fleet_preset(self):
+        from repro.cluster.topology import FLEET_PRESETS
+
+        args = build_parser().parse_args(["run", "--devices", "a100-node"])
+        assert args.devices == list(FLEET_PRESETS["a100-node"])
+
+    def test_unknown_device_error_lists_live_registries(self, capsys):
+        """Satellite 2 round trip: the argparse error names every preset
+        device and fleet (the transport-backend registry convention)."""
+        from repro.cluster.topology import available_fleets
+        from repro.machine.presets import available_devices
+
+        with pytest.raises(SystemExit) as err:
+            build_parser().parse_args(["run", "--devices", "h100,epyc-host"])
+        assert err.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "unknown device 'h100'" in stderr
+        for name in available_devices():
+            assert name in stderr
+        assert "fleet presets" in stderr
+        for name in available_fleets():
+            assert name in stderr
+
+    def test_fleet_devices_lists_every_preset(self, capsys):
+        from repro.machine.presets import DEVICE_PRESETS
+
+        assert sim_main(["fleet", "devices"]) == 0
+        out = capsys.readouterr().out
+        for dev in DEVICE_PRESETS.values():
+            assert dev.name in out
+        assert "(alias: a100)" in out
+
+    def test_fleet_report_json_round_trips(self, capsys):
+        rc = sim_main([
+            "fleet", "report", "--devices", "a100,a100,epyc-host",
+            "--model", "hm-large", "--particles", "1000000", "--json",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [d["class"] for d in doc["devices"]] == ["gpu", "gpu", "ooo"]
+        assert sum(d["balanced_share"] for d in doc["devices"]) == 1_000_000
+        assert doc["balanced_rate"] > 1.5 * doc["equal_rate"]
+        assert doc["speedup"] == pytest.approx(
+            doc["balanced_rate"] / doc["equal_rate"]
+        )
+        assert doc["ideal_rate"] >= doc["balanced_rate"]
+
+    def test_fleet_report_accepts_fleet_preset_name(self, capsys):
+        assert sim_main([
+            "fleet", "report", "--devices", "a100-node", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["devices"]) == 3
+
+    def test_run_with_devices_prints_projection_trailer(self, capsys):
+        rc = sim_main([
+            "run", "--pincell", "--particles", "40", "--inactive", "1",
+            "--batches", "3", "--devices", "a100-node",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet projection" in out
+        assert "rate balanced" in out
+        assert "gpu-a100-sxm" in out

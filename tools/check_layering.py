@@ -85,7 +85,13 @@ JIT_DIR = SRC / "repro" / "transport" / "jit"
 
 EXECUTION_MODEL_FILES = {
     SRC / "repro" / "execution" / name: "repro.execution"
-    for name in ("native.py", "offload.py", "symmetric.py", "trace.py")
+    for name in (
+        "native.py",
+        "offload.py",
+        "rebalance.py",
+        "symmetric.py",
+        "trace.py",
+    )
 }
 
 #: The supervision package may import nothing from the layers it watches.
