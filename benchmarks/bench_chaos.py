@@ -1,0 +1,184 @@
+"""Durability bench: what crash consistency costs, with a gate.
+
+Two questions about PR 10's write-ahead journal, mirroring the gateway
+bench's split between a portable regression gate and an absolute
+acceptance bound:
+
+* **Journaled drain** — the same open-loop synthetic drain as
+  ``bench_gateway``, but with every state transition framed, hashed,
+  and appended to the journal.  The normalized drain time is pinned
+  against ``baselines/chaos.json`` (calibration kernel and gate factor
+  identical to the gateway bench), so the cost of durability itself is
+  under regression control.
+* **Replay budget** — recovery must be cheap enough to be the default
+  restart path: replaying the completed journal into a fresh gateway
+  (scan + digest checks + state rebuild + result restore) must take
+  **< 5% of the sweep's wall time** (the acceptance bound from the
+  issue).  Replay is pure deserialization — if it ever approaches the
+  cost of the work it recovers, the journal has failed its purpose.
+
+Journal fsync stays off here: the bench isolates the framing/hashing
+cost, not the disk's sync latency (the CLI turns fsync on; torn-tail
+safety never depends on it — the scan truncates unsynced garbage).
+"""
+
+import hashlib
+import json
+import shutil
+from pathlib import Path
+from time import perf_counter
+
+from repro.gateway import Gateway, SyntheticService, WriteAheadJournal
+from repro.serve import JobSpec
+
+SETTINGS = {
+    "n_particles": 24,
+    "n_inactive": 0,
+    "n_active": 2,
+    "mode": "event",
+    "pincell": True,
+}
+
+N_JOBS = 512
+N_SHARDS = 2
+N_DISTINCT = 128
+ROUNDS = 3
+
+BASELINE = json.loads(
+    (Path(__file__).parent / "baselines" / "chaos.json").read_text()
+)
+
+
+def make_specs(n, prefix, *, distinct=N_DISTINCT):
+    return [
+        JobSpec(
+            job_id=f"{prefix}{i:04d}",
+            settings={**SETTINGS, "seed": i % distinct},
+        )
+        for i in range(n)
+    ]
+
+
+def calibration_time() -> float:
+    """Same hash-shaped kernel as bench_gateway: SHA-256 over spec-sized
+    JSON documents — also exactly the CPU shape of journal framing."""
+    docs = [
+        json.dumps(
+            {"settings": {**SETTINGS, "seed": i}, "job_id": f"cal{i}"},
+            sort_keys=True,
+        ).encode()
+        for i in range(N_JOBS)
+    ]
+    best = float("inf")
+    for _ in range(3):
+        t0 = perf_counter()
+        for _ in range(20):
+            for doc in docs:
+                hashlib.sha256(doc).hexdigest()
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+def journaled_drain(specs, journal_path):
+    """Drain every spec through a journaled synthetic gateway."""
+    gw = Gateway(
+        N_SHARDS,
+        workers_per_shard=2,
+        capacity=N_JOBS,
+        max_class_share=1.0,
+        service_factory=SyntheticService,
+        journal_path=journal_path,
+    )
+    t0 = perf_counter()
+    with gw:
+        for spec in specs:
+            gw.submit(spec)
+        gw.drain(deadline_s=120)
+    seconds = perf_counter() - t0
+    assert len(gw.results) == len(specs)
+    assert all(r.status == "done" for r in gw.results.values())
+    return seconds, gw
+
+
+def test_journaled_drain_regression_gate(tmp_path):
+    """512 jobs through a journaled 2-shard gateway: the normalized
+    drain time must not regress more than 25% over the baseline."""
+    seconds = float("inf")
+    for round_no in range(ROUNDS):
+        t, gw = journaled_drain(
+            make_specs(N_JOBS, f"jd{round_no}-"),
+            tmp_path / f"r{round_no}.journal",
+        )
+        seconds = min(seconds, t)
+    appended = gw.journal.appended
+
+    cal = calibration_time()
+    ratio = seconds / cal
+    recorded = BASELINE["baseline"]
+    print(
+        f"\njournaled drain: {N_JOBS} jobs in {seconds:.2f}s "
+        f"({N_JOBS / seconds:.0f} jobs/s, {appended} journal records); "
+        f"ratio {ratio:.2f} vs recorded {recorded['ratio']:.2f} "
+        f"(calibration {cal * 1e3:.0f} ms)"
+    )
+    gate = BASELINE["gate_factor"] * recorded["ratio"]
+    assert ratio <= gate, (
+        f"journaled drain regressed: normalized ratio {ratio:.2f} "
+        f"exceeds gate {gate:.2f} (recorded {recorded['ratio']:.2f} + 25%)"
+    )
+
+
+def test_replay_overhead_under_5pct_of_sweep_wall(tmp_path):
+    """The acceptance bound: recovering a completed sweep from its
+    journal costs < 5% of the wall time the sweep itself took.
+
+    The sweep here runs **real transport** (the same tiny pin-cell
+    physics as bench_gateway's overhead test): replay must be cheap
+    relative to the work it spares, and synthetic shards fabricate
+    results so fast that the comparison would measure nothing.
+    """
+    n_jobs, n_distinct = 6, 4
+    specs = [
+        JobSpec(job_id=f"sw{i}", settings={**SETTINGS, "seed": i % n_distinct})
+        for i in range(n_jobs)
+    ]
+    journal = tmp_path / "sweep.journal"
+    gw = Gateway(
+        N_SHARDS,
+        cache_dir=str(tmp_path / "libs"),
+        journal_path=journal,
+    )
+    t0 = perf_counter()
+    with gw:
+        results = gw.run(specs, deadline_s=110)
+    sweep_seconds = perf_counter() - t0
+    assert all(r.status == "done" for r in results)
+    n_records = len(WriteAheadJournal.scan(journal).records)
+
+    replay = float("inf")
+    for round_no in range(ROUNDS):
+        # recover() appends a marker, so each round replays a pristine
+        # copy of the post-sweep journal.
+        copy = tmp_path / f"replay{round_no}.journal"
+        shutil.copyfile(journal, copy)
+        second = Gateway(
+            N_SHARDS,
+            service_factory=SyntheticService,
+            journal_path=copy,
+        )
+        t0 = perf_counter()
+        summary = second.recover()
+        replay = min(replay, perf_counter() - t0)
+        assert summary["restored"] == n_jobs
+        assert summary["requeued"] == 0
+        second.shutdown()
+
+    fraction = replay / sweep_seconds
+    print(
+        f"\njournal replay: {n_records} records, {n_jobs} results "
+        f"restored in {replay * 1e3:.1f} ms — {100 * fraction:.2f}% of "
+        f"the {sweep_seconds:.2f}s sweep (budget 5%)"
+    )
+    assert fraction < 0.05, (
+        f"replay overhead {100 * fraction:.2f}% exceeds the 5% budget"
+    )

@@ -52,14 +52,19 @@ Error                    Raised when
 ``GatewayError``         the gateway tier was configured/used incorrectly
 ``ShardQuarantinedError`` no routable shard remains (all quarantined)
 ``SuiteError``           a case-suite document was malformed
+``JournalError``         the write-ahead journal is corrupt beyond repair
+``CorruptEntryError``    a durable-store entry failed its digest check
+``ChaosError``           a chaos schedule/invariant was violated
 ======================== =====================================================
 """
 
 from .data import LibraryConfig, NuclideLibrary, UnionizedGrid, build_library
 from .errors import (
+    ChaosError,
     CheckpointError,
     ClusterError,
     CommunicationError,
+    CorruptEntryError,
     DataError,
     DeadlineExceededError,
     DegradedRunError,
@@ -68,6 +73,7 @@ from .errors import (
     GatewayError,
     GeometryError,
     JobError,
+    JournalError,
     MachineModelError,
     PhysicsError,
     PoisonedJobError,
@@ -121,5 +127,8 @@ __all__ = [
     "SuiteError",
     "GatewayError",
     "ShardQuarantinedError",
+    "JournalError",
+    "CorruptEntryError",
+    "ChaosError",
     "__version__",
 ]

@@ -1,0 +1,42 @@
+"""repro.chaos — deterministic cross-tier chaos harness.
+
+The resilience tier (:mod:`repro.resilience.faults`) injects faults
+*inside* one simulation: rank crashes, PCIe stalls, mid-batch kills.
+This package injects faults *around* the service stack — the failures a
+deployment actually suffers:
+
+* **gateway kill** between any two write-ahead journal records
+  (:class:`~repro.gateway.journal.WriteAheadJournal`'s ``on_append``
+  tripwire), followed by a cold restart and
+  :meth:`~repro.gateway.gateway.Gateway.recover`;
+* **shard kill** — a shard process drops dead mid-drain, losing any
+  unforwarded results, and the gateway quarantines around it;
+* **disk corruption/truncation** of result-cache entries, exercising
+  the checksummed quarantine path;
+* **spool partial writes** — a torn pending file from a crashed
+  submitter.
+
+Everything is seeded: a :class:`~repro.chaos.schedule.ChaosSchedule` is
+a pure function of its seed (same 63-bit LCG convention as
+:class:`~repro.resilience.faults.FaultPlan`), and the
+:class:`~repro.chaos.runner.ChaosRunner` asserts the durability
+contract after every cycle — **byte-identical final payloads**,
+**at most one journal landing per job**, **no re-routing of landed
+work**, and **strictly monotonic journal sequence numbers** — raising a
+typed :class:`~repro.errors.ChaosError` on any violation.
+
+Layering: chaos is a roof beside the CLI — it may import the gateway,
+serve, resilience, supervise, and scenarios tiers (it kills and
+restarts all of them), and nothing imports chaos except the CLI.
+"""
+
+from .runner import ChaosReport, ChaosRunner
+from .schedule import ChaosEvent, ChaosKind, ChaosSchedule
+
+__all__ = [
+    "ChaosEvent",
+    "ChaosKind",
+    "ChaosReport",
+    "ChaosRunner",
+    "ChaosSchedule",
+]

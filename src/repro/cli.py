@@ -14,7 +14,10 @@ Subcommands::
     repro-sim suite expand hm-tiny-sweep --json \
         | repro-sim gateway submit --jobs - --shards 2
     repro-sim gateway serve --spool jobs/ --shards 2
+    repro-sim gateway serve --spool jobs/ --journal jobs/gateway.journal
     repro-sim gateway status --spool jobs/
+    repro-sim chaos run --sweep                # kill at every boundary
+    repro-sim chaos run --seed 42 --json       # seeded fault schedule
 
 The bare legacy form (``repro-sim --pincell ...``) still works and is
 equivalent to ``repro-sim run ...``.  ``resume`` must be given the same
@@ -35,7 +38,16 @@ fingerprint-affine routing, admission control, and a result cache
 (``--result-cache DIR`` persists it, so resubmitting an identical sweep
 is answered without running a single simulation); ``gateway status``
 reports the tier's counters, cache economics, and per-shard health from
-the state document a previous drain wrote.
+the state document a previous drain wrote.  ``--journal PATH``
+write-ahead journals every gateway transition: restarting the same
+command after a kill replays the journal, restores landed results
+byte-identically, and finishes only the unfinished work.
+
+``chaos`` is the deterministic chaos harness (:mod:`repro.chaos`):
+``chaos run`` drives the canned ``hm-tiny-sweep`` through seeded
+kill/recover cycles — gateway kills at journal boundaries, shard
+kills, disk corruption, torn spool writes — and audits every cycle for
+byte-identical payloads and exactly-once journal landings.
 
 The service trio works against a file spool: ``submit`` drops a
 :class:`~repro.serve.jobs.JobSpec` into ``SPOOL/pending``, ``serve`` drains
@@ -76,7 +88,7 @@ from .transport import Settings, Simulation, available_backends
 __all__ = ["main"]
 
 _SUBCOMMANDS = ("run", "checkpoint", "resume", "serve", "submit", "status",
-                "scenario", "suite", "gateway", "fleet")
+                "scenario", "suite", "gateway", "fleet", "chaos")
 
 
 def _backend_name(value: str) -> str:
@@ -307,6 +319,11 @@ def build_parser() -> argparse.ArgumentParser:
                             dest="max_class_share", metavar="FRAC",
                             help="fairness cap: one priority class may "
                             "hold at most FRAC of capacity")
+        parser.add_argument("--journal", metavar="PATH", default=None,
+                            help="write-ahead journal every state "
+                            "transition to PATH; if PATH already holds "
+                            "records, recover from them first (landed "
+                            "results restore without re-simulating)")
         parser.add_argument("--deadline-s", type=float, default=None,
                             metavar="S", dest="deadline_s",
                             help="abort (typed, exit 1) if the drain "
@@ -344,6 +361,27 @@ def build_parser() -> argparse.ArgumentParser:
                            "gateway.json")
     gwt.add_argument("--spool", required=True, metavar="DIR")
     gwt.add_argument("--json", action="store_true", dest="json_output")
+
+    ch = sub.add_parser("chaos",
+                        help="deterministic chaos harness: kill/recover "
+                        "the service stack and prove byte-identity")
+    chsub = ch.add_subparsers(dest="chaos_command", required=True)
+    chr_ = chsub.add_parser("run",
+                            help="drive the canned hm-tiny-sweep through "
+                            "seeded kill/recover cycles and audit each")
+    chr_.add_argument("--seed", type=int, default=0,
+                      help="chaos schedule seed (pure function of it)")
+    chr_.add_argument("--shards", type=int, default=2)
+    chr_.add_argument("--boundaries", type=int, default=8,
+                      help="journal boundaries the seeded schedule draws "
+                      "faults over")
+    chr_.add_argument("--sweep", action="store_true",
+                      help="ignore the seed: kill the gateway at EVERY "
+                      "journal boundary of a clean run")
+    chr_.add_argument("--workdir", metavar="DIR", default=None,
+                      help="keep journals/caches here (default: a "
+                      "temporary directory)")
+    chr_.add_argument("--json", action="store_true", dest="json_output")
 
     fl = sub.add_parser("fleet",
                         help="heterogeneous device fleets: list presets, "
@@ -578,6 +616,7 @@ def _read_job_specs(source: str) -> list:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve.service import (
         SimulationService,
+        atomic_write_text,
         read_spool_pending,
         write_spool_result,
     )
@@ -616,8 +655,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.spool:
         for result in results:
             write_spool_result(args.spool, result)
-        metrics_path = Path(args.spool) / "metrics.json"
-        metrics_path.write_text(json.dumps(summary, indent=2, default=str))
+        atomic_write_text(
+            Path(args.spool) / "metrics.json",
+            json.dumps(summary, indent=2, default=str),
+        )
 
     failed = [r for r in results if r.status != "done"]
     if args.json_output:
@@ -699,10 +740,35 @@ def _cmd_gateway_status(args: argparse.Namespace) -> int:
           f"{quarantined if quarantined else 'none'}")
     print(f"jobs: {c['submitted']} submitted, {c['completed']} completed "
           f"({c['cache_hits']} from result cache), {c['failed']} failed, "
-          f"{c['poisoned']} poisoned, {c['requeued']} requeued")
+          f"{c['poisoned']} poisoned, {c['requeued']} requeued"
+          + (f", {c['recovered']} recovered from journal"
+             if c.get("recovered") else ""))
+    breaker = g.get("breaker", {})
+    open_keys = breaker.get("open", [])
+    if open_keys or c.get("quarantines") or c.get("quarantines_skipped"):
+        print(f"supervision: sick shards "
+              f"{open_keys if open_keys else 'none'}, "
+              f"{c.get('quarantines', 0)} quarantine(s) "
+              f"({c.get('quarantines_skipped', 0)} refused at the "
+              f"last-shard floor), {agg['jobs_requeued']} shard-level "
+              f"requeue(s), {agg['worker_crashes']} worker crash(es)")
+    for key, circuit in sorted(breaker.get("keys", {}).items()):
+        if circuit["consecutive_failures"] or circuit["state"] == "open":
+            print(f"  {key}: {circuit['state']}, "
+                  f"{circuit['consecutive_failures']} consecutive "
+                  f"poison verdict(s) (threshold "
+                  f"{breaker.get('threshold')})")
     rc = g["result_cache"]
     print(f"result cache: {rc['entries']} entries, {rc['hits']} hits / "
-          f"{rc['misses']} misses ({100 * rc['hit_rate']:.0f}%)")
+          f"{rc['misses']} misses ({100 * rc['hit_rate']:.0f}%)"
+          + (f", {rc['corrupt_entries']} corrupt entr"
+             f"{'y' if rc['corrupt_entries'] == 1 else 'ies'} "
+             f"quarantined" if rc.get("corrupt_entries") else ""))
+    journal = g.get("journal")
+    if journal:
+        print(f"journal: {journal['path']} ({journal['appended']} "
+              f"record(s) appended, next seq {journal['next_seq']}, "
+              f"fsync {'on' if journal['fsync'] else 'off'})")
     print(f"libraries: {agg['library_builds']} built, "
           f"{agg['library_disk_hits']} disk hits, "
           f"{agg['library_memory_hits']} memory hits")
@@ -726,7 +792,11 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     import asyncio
 
     from .gateway import Gateway, ResultCache
-    from .serve.service import read_spool_pending, write_spool_result
+    from .serve.service import (
+        atomic_write_text,
+        read_spool_pending,
+        write_spool_result,
+    )
 
     spool = getattr(args, "spool", None)
     if spool:
@@ -737,10 +807,8 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         except (OSError, json.JSONDecodeError, JobError) as exc:
             print(f"cannot read jobs: {exc}", file=sys.stderr)
             return 1
-    if not specs:
-        print("no jobs for the gateway", file=sys.stderr)
-        return 1
 
+    journal = getattr(args, "journal", None)
     gateway = Gateway(
         args.shards,
         workers_per_shard=args.workers_per_shard,
@@ -750,7 +818,31 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         result_cache=(
             ResultCache(args.result_cache) if args.result_cache else None
         ),
+        journal_path=journal,
+        # The CLI is the operator durability surface: a journal asked
+        # for here must survive a host power cut, not just a SIGKILL.
+        journal_fsync=True,
     )
+
+    recovery = None
+    if journal is not None:
+        path = Path(journal)
+        if path.exists() and path.stat().st_size > 0:
+            # A previous incarnation died here: replay its journal,
+            # restore every landed result verbatim, and re-admit the
+            # unfinished work before accepting anything new.
+            recovery = gateway.recover()
+            print(f"recovered from {journal}: "
+                  f"{recovery['replayed']} record(s) replayed, "
+                  f"{recovery['restored']} result(s) restored, "
+                  f"{recovery['requeued']} job(s) requeued"
+                  + (f", {recovery['truncated_bytes']} torn byte(s) "
+                     f"trimmed" if recovery["truncated_bytes"] else ""),
+                  file=sys.stderr)
+            specs = [s for s in specs if not gateway.has_job(s.job_id)]
+    if not specs and recovery is None:
+        print("no jobs for the gateway", file=sys.stderr)
+        return 1
 
     async def _drain() -> None:
         async for event in gateway.stream(specs,
@@ -764,6 +856,9 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     try:
         with gateway:
             asyncio.run(_drain())
+            # Recovered jobs are not in this invocation's spec list;
+            # the stream does not wait on them, so drain explicitly.
+            gateway.drain(deadline_s=args.deadline_s)
     except DeadlineExceededError as exc:
         print(f"drain deadline exceeded: {exc}", file=sys.stderr)
         return 1
@@ -773,9 +868,9 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     if spool:
         for result in results:
             write_spool_result(spool, result)
-        state_path = Path(spool) / "gateway.json"
-        state_path.write_text(
-            json.dumps(summary, indent=2, sort_keys=True, default=str)
+        atomic_write_text(
+            Path(spool) / "gateway.json",
+            json.dumps(summary, indent=2, sort_keys=True, default=str),
         )
 
     failed = [r for r in results if r.status != "done"]
@@ -808,6 +903,69 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
           f"{c['quarantines']} shard quarantine(s), "
           f"{summary['aggregate']['library_builds']} library build(s)")
     return 1 if failed else 0
+
+
+# -- chaos --------------------------------------------------------------------
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .chaos import ChaosRunner, ChaosSchedule
+    from .errors import ChaosError, JournalError
+
+    def _campaign(workdir: str) -> dict:
+        runner = ChaosRunner(workdir=workdir, n_shards=args.shards)
+        runner.reference()
+        if args.sweep:
+            schedule = ChaosSchedule.kill_every_boundary(
+                runner.n_boundaries
+            )
+        else:
+            schedule = ChaosSchedule.generate(
+                args.seed,
+                args.boundaries,
+                n_shards=args.shards,
+                p_gateway_kill=0.4,
+                p_shard_kill=0.2,
+                p_disk_corrupt=0.15,
+                p_disk_truncate=0.1,
+                p_spool_partial=0.1,
+            )
+        report = runner.run_schedule(schedule)
+        return {
+            "seed": args.seed,
+            "sweep": bool(args.sweep),
+            "boundaries": runner.n_boundaries,
+            "events": len(schedule),
+            "report": report.to_dict(),
+        }
+
+    try:
+        if args.workdir:
+            doc = _campaign(args.workdir)
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                doc = _campaign(tmp)
+    except (ChaosError, JournalError) as exc:
+        print(f"chaos invariant violated: {exc}", file=sys.stderr)
+        return 1
+    if args.json_output:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    r = doc["report"]
+    mode = ("exhaustive kill sweep" if doc["sweep"]
+            else f"seeded schedule (seed {doc['seed']})")
+    print(f"chaos: {mode}, {r['cycles']} cycle(s) over "
+          f"{doc['boundaries']} journal boundaries — all audits passed")
+    print(f"  gateway kills: {len(r['kill_boundaries'])} "
+          f"({r['replayed']} record(s) replayed, {r['restored']} "
+          f"result(s) restored without re-simulation)")
+    print(f"  shard kills: {r['shard_kills']}, disk faults: "
+          f"{r['disk_faults']}, spool faults: {r['spool_faults']}")
+    print("  every cycle ended byte-identical to the uninterrupted "
+          "reference run")
+    return 0
 
 
 # -- scenario / suite ---------------------------------------------------------
@@ -1067,6 +1225,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_gateway(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return _cmd_run(args)
 
 

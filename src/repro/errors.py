@@ -121,6 +121,37 @@ class GatewayError(ReproError):
     shard, duplicate submission, submitting to a stopped gateway)."""
 
 
+class JournalError(GatewayError):
+    """The write-ahead journal is unusable: wrong version header, a
+    sequence-number discontinuity (valid frames spliced or replayed out of
+    order), or an append against a closed journal.
+
+    A *torn tail* — a partially written final record after a crash — is
+    NOT an error: the scan detects it by frame checksum and truncates it.
+    ``JournalError`` marks corruption the framing cannot repair.
+    """
+
+
+class CorruptEntryError(ReproError):
+    """A durable store entry failed its content-digest check on read.
+
+    Raised (and caught) internally by the hardened disk tiers — the
+    gateway result cache and the serve library cache — which respond by
+    *quarantining* the entry (rename to ``*.corrupt``) and counting it,
+    never by crashing a reader.  ``path`` is the offending file.
+    """
+
+    def __init__(self, message: str, *, path: str = "") -> None:
+        super().__init__(message)
+        self.path = str(path)
+
+
+class ChaosError(ReproError):
+    """A chaos schedule/runner was misconfigured, or a chaos invariant
+    (byte-identical recovery, exactly-once landing, monotonic journal
+    sequence) was violated during a run."""
+
+
 class ShardQuarantinedError(GatewayError):
     """A shard was quarantined (sick-shard circuit tripped or an operator
     eviction) while work was being routed to it.

@@ -10,12 +10,20 @@ answering repeat physics byte-identically without transport, and
 shard-granular supervision (throughput health, poison-to-quarantine
 promotion, deterministic re-routing of evicted work).
 
+Durability (PR 10): a ``journal_path``-configured gateway write-ahead
+journals every state transition (:mod:`repro.gateway.journal`) and
+:meth:`~repro.gateway.gateway.Gateway.recover` replays it after a crash
+— landed results restore byte-identically, unfinished work re-admits in
+arrival order, nothing simulates twice.
+
 Layering: the gateway sits *above* ``repro.serve`` and
-``repro.supervise`` and below nothing — only the CLI may import it.
+``repro.supervise`` and below nothing — only the CLI (and the chaos
+harness that kills it) may import it.
 """
 
 from .admission import AdmissionController
 from .gateway import Gateway
+from .journal import JournalRecord, JournalScan, WriteAheadJournal
 from .results import ResultCache
 from .routing import HashRing
 from .shard import GatewayShard, ShardEvent
@@ -26,7 +34,10 @@ __all__ = [
     "Gateway",
     "GatewayShard",
     "HashRing",
+    "JournalRecord",
+    "JournalScan",
     "ResultCache",
     "ShardEvent",
     "SyntheticService",
+    "WriteAheadJournal",
 ]

@@ -80,14 +80,22 @@ class AdmissionController:
 
     # -- Admission -----------------------------------------------------------
 
-    def admit(self, spec: JobSpec) -> str:
+    def admit(self, spec: JobSpec, *, exempt: bool = False) -> str:
         """Take one slot for ``spec``; raises :class:`QueueFullError`.
 
         Returns the class the slot was charged to (the token
-        :meth:`release` must return).
+        :meth:`release` must return).  ``exempt=True`` is the recovery
+        path: journal-replayed jobs were *already admitted once* by the
+        dead incarnation, so they re-enter past the capacity and
+        fairness checks — but still count toward occupancy, keeping the
+        in-flight bound honest for new traffic.
         """
         cls = self.class_of(spec)
         with self._lock:
+            if exempt:
+                self._in_flight += 1
+                self._per_class[cls] = self._per_class.get(cls, 0) + 1
+                return cls
             if self._in_flight >= self.capacity:
                 raise QueueFullError(
                     f"gateway at capacity ({self.capacity} jobs in "

@@ -37,6 +37,19 @@ feeding over the same synchronous core: backlog feeding yields on
 backpressure for exactly the advertised retry-after, and every cache
 hit, completion, and per-batch progress report is one event in the
 stream.
+
+**Durability** (``journal_path=``): every state transition — accepted,
+leader-elected, routed, completed, cache-hit, quarantined — is appended
+to a :class:`~repro.gateway.journal.WriteAheadJournal` *before* the
+in-memory mutation it describes.  A restarted gateway calls
+:meth:`recover`: landed results are restored verbatim from their
+``completed``/``cache-hit`` records (never re-simulated), unfinished
+specs re-admit front-of-class in original-arrival order
+(capacity-exempt — they already held a slot once), and quarantine plus
+circuit-breaker state replays deterministically.  Recovered sweep
+payloads are byte-identical to an uninterrupted run — the physics is a
+pure function of the spec, and the journal guarantees nothing landed
+twice.
 """
 
 from __future__ import annotations
@@ -52,6 +65,7 @@ from ..supervise.circuit import CircuitBreaker
 from ..supervise.deadline import Deadline
 from ..supervise.health import HealthMonitor
 from .admission import AdmissionController
+from .journal import WriteAheadJournal
 from .results import ResultCache
 from .routing import HashRing
 from .shard import GatewayShard, ShardEvent
@@ -84,6 +98,8 @@ class Gateway:
         breaker_threshold: int = 2,
         start_method: str | None = None,
         service_factory=None,
+        journal_path: str | Path | None = None,
+        journal_fsync: bool = False,
     ) -> None:
         if n_shards < 1:
             raise GatewayError(f"need at least one shard, got {n_shards}")
@@ -144,8 +160,20 @@ class Gateway:
             "requeued": 0,
             "quarantines": 0,
             "quarantines_skipped": 0,
+            "recovered": 0,
         }
+        #: Write-ahead journal: every transition lands here before the
+        #: in-memory state mutates (``None`` = volatile gateway).
+        self.journal = (
+            WriteAheadJournal(journal_path, fsync=journal_fsync)
+            if journal_path is not None
+            else None
+        )
         self._started = False
+
+    def _journal_append(self, kind: str, **data) -> None:
+        if self.journal is not None:
+            self.journal.append(kind, **data)
 
     # -- Lifecycle -----------------------------------------------------------
 
@@ -162,6 +190,8 @@ class Gateway:
             if shard_id in self.quarantined:
                 continue  # already stopped by eviction
             shard.stop(graceful=graceful)
+        if self.journal is not None:
+            self.journal.close()
         self._started = False
 
     def __enter__(self) -> "Gateway":
@@ -183,13 +213,24 @@ class Gateway:
         if spec.job_id in self._specs:
             raise JobError(f"duplicate job id {spec.job_id!r}")
         cls = self.admission.admit(spec)
+        # Write-ahead: the acceptance is durable before any state below
+        # reflects it.  A crash between admit() and this append loses
+        # only the (volatile) occupancy count, which dies with us anyway.
+        self._journal_append(
+            "accepted", job_id=spec.job_id, cls=cls, spec=spec.to_dict()
+        )
         self._specs[spec.job_id] = spec
         self._order.append(spec.job_id)
         self.counters["submitted"] += 1
 
         cached = self.result_cache.get(spec)
         if cached is not None:
-            # Resolved at the front door: no shard, no slot held.
+            # Resolved at the front door: no shard, no slot held.  The
+            # record carries the full result so recovery can restore it
+            # even if the cache directory has since been lost.
+            self._journal_append(
+                "cache-hit", job_id=spec.job_id, result=cached.to_dict()
+            )
             self.admission.release(cls)
             self.results[spec.job_id] = cached
             self.counters["cache_hits"] += 1
@@ -216,13 +257,22 @@ class Gateway:
             self._waiters.setdefault(key, []).append(spec.job_id)
             self.counters["coalesced"] += 1
             return spec.job_id
-        self._inflight[key] = spec.job_id
+        self._elect_leader(key, spec.job_id)
         self._route(spec, front=False)
         return spec.job_id
+
+    def _elect_leader(self, key: str, job_id: str) -> None:
+        self._journal_append(
+            "leader-elected", job_id=job_id, key=key
+        )
+        self._inflight[key] = job_id
 
     def _route(self, spec: JobSpec, *, front: bool) -> None:
         shard_id = self.ring.shard_for(
             spec.library_fingerprint(), excluded=self.quarantined
+        )
+        self._journal_append(
+            "routed", job_id=spec.job_id, shard=shard_id, front=front
         )
         self._job_shard[spec.job_id] = shard_id
         self.shards[shard_id].submit(spec, front=front)
@@ -275,8 +325,18 @@ class Gateway:
         if result.job_id in self.results:
             # A completion racing an eviction can be reported by both the
             # dying shard's flush and the surviving shard's rerun; the
-            # payloads are bit-identical, so first report wins.
+            # payloads are bit-identical, so first report wins.  The
+            # dedup sits *before* the journal append, so a journal never
+            # carries two landings for one job — the exactly-once
+            # property the chaos audit checks.
             return None
+        self._journal_append(
+            "completed",
+            job_id=result.job_id,
+            status=result.status,
+            shard=event.shard_id,
+            result=result.to_dict(),
+        )
         self.results[result.job_id] = result
         self._outstanding.discard(result.job_id)
         cls = self._admitted_class.pop(result.job_id, None)
@@ -325,9 +385,12 @@ class Gateway:
         for waiter_id in self._waiters.pop(key, []):
             cached = self.result_cache.get(self._specs[waiter_id])
             if cached is None:  # cache raced an eviction: rerun instead
-                self._inflight[key] = waiter_id
+                self._elect_leader(key, waiter_id)
                 self._route(self._specs[waiter_id], front=True)
                 continue
+            self._journal_append(
+                "cache-hit", job_id=waiter_id, result=cached.to_dict()
+            )
             self.results[waiter_id] = cached
             self._outstanding.discard(waiter_id)
             cls = self._admitted_class.pop(waiter_id, None)
@@ -359,7 +422,7 @@ class Gateway:
         new_leader = waiters.pop(0)
         if not waiters:
             del self._waiters[key]
-        self._inflight[key] = new_leader
+        self._elect_leader(key, new_leader)
         self._route(self._specs[new_leader], front=True)
 
     # -- Quarantine ----------------------------------------------------------
@@ -376,18 +439,169 @@ class Gateway:
         if len(self.quarantined) + 1 >= self.n_shards:
             self.counters["quarantines_skipped"] += 1
             return False
+        leftovers = self.shards[shard_id].evict()
+        requeue = [
+            spec for spec in leftovers if spec.job_id not in self.results
+        ]
+        # One record covers the whole quarantine; the re-routes that
+        # follow journal themselves as ordinary ``routed`` records.
+        self._journal_append(
+            "quarantined",
+            shard=shard_id,
+            requeued=[spec.job_id for spec in requeue],
+        )
         self.quarantined.add(shard_id)
         self.health.mark_dead(shard_id)
         self.counters["quarantines"] += 1
         healthy = self.n_shards - len(self.quarantined)
         self.admission.slots = healthy * self.workers_per_shard
-        leftovers = self.shards[shard_id].evict()
-        for spec in leftovers:
-            if spec.job_id in self.results:
-                continue
+        for spec in requeue:
             self.counters["requeued"] += 1
             self._route(spec, front=True)
         return True
+
+    # -- Crash recovery ------------------------------------------------------
+
+    def has_job(self, job_id: str) -> bool:
+        """Whether this gateway already knows ``job_id`` (recovered,
+        in flight, or resolved) — the CLI's resubmission filter."""
+        return job_id in self._specs or job_id in self.results
+
+    def recover(self) -> dict:
+        """Replay the journal and resume where the dead incarnation died.
+
+        * **Landed results** (``completed``/``cache-hit`` records) are
+          restored verbatim — the payload bytes in :attr:`results` are
+          exactly the ones the previous incarnation journaled, and the
+          work is never re-simulated.
+        * **Unfinished specs** (accepted, no landing) re-admit in their
+          original arrival order, capacity-exempt and front-of-class:
+          they already held a slot and already waited their turn.
+        * **Quarantine and breaker state** replay deterministically —
+          the breaker is a pure function of its record_* sequence, so
+          the restored circuits match the dead gateway's exactly.
+
+        Returns a summary document (``replayed``, ``restored``,
+        ``requeued``, ``truncated_bytes``).  Raises
+        :class:`~repro.errors.GatewayError` when the gateway has no
+        journal, and :class:`~repro.errors.JournalError` on splice-level
+        corruption (a torn tail is repaired silently).
+        """
+        if self.journal is None:
+            raise GatewayError(
+                "recover() needs a journal_path-configured gateway"
+            )
+        if self._specs or self.results:
+            raise GatewayError(
+                "recover() must run on a fresh gateway, before any "
+                "submissions"
+            )
+        scan = self.journal.replay()
+        specs: dict[str, JobSpec] = {}
+        order: list[str] = []
+        landed: dict[str, JobResult] = {}
+        cached_ids: set[str] = set()
+        for record in scan.records:
+            data = record.data
+            if record.kind == "accepted":
+                spec = JobSpec.from_dict(data["spec"])
+                specs[spec.job_id] = spec
+                order.append(spec.job_id)
+            elif record.kind == "completed":
+                landed[data["job_id"]] = JobResult.from_dict(
+                    data["result"]
+                )
+                shard_key = f"shard-{data['shard']}"
+                if data["status"] == "done":
+                    self.breaker.record_success(shard_key)
+                elif data["status"] == "poisoned":
+                    self.counters["poisoned"] += 1
+                    self.breaker.record_failure(shard_key)
+                if data["status"] not in ("done", "poisoned"):
+                    self.counters["failed"] += 1
+            elif record.kind == "cache-hit":
+                landed[data["job_id"]] = JobResult.from_dict(
+                    data["result"]
+                )
+                cached_ids.add(data["job_id"])
+            elif record.kind == "quarantined":
+                shard_id = int(data["shard"])
+                if shard_id in self.quarantined:
+                    continue
+                self.quarantined.add(shard_id)
+                self.health.mark_dead(shard_id)
+                self.counters["quarantines"] += 1
+                self.counters["requeued"] += len(data["requeued"])
+        healthy = self.n_shards - len(self.quarantined)
+        if healthy > 0:
+            self.admission.slots = healthy * self.workers_per_shard
+
+        # Restore the durable picture before journaling anything new.
+        for job_id in order:
+            self._specs[job_id] = specs[job_id]
+            self._order.append(job_id)
+            self.counters["submitted"] += 1
+            result = landed.get(job_id)
+            if result is None:
+                continue
+            self.counters["recovered"] += 1
+            self.results[job_id] = result
+            if job_id in cached_ids:
+                self.counters["cache_hits"] += 1
+                self.counters["completed"] += 1
+            elif result.status == "done":
+                self.counters["completed"] += 1
+                # Re-seed the cache: identical future physics must keep
+                # hitting even if the cache tier itself was volatile.
+                self.result_cache.put(specs[job_id], result)
+
+        pending = [j for j in order if j not in landed]
+        self._journal_append(
+            "recovered",
+            replayed=len(scan.records),
+            restored=len(landed),
+            pending=pending,
+            truncated_bytes=scan.truncated_bytes,
+        )
+
+        # Re-admit survivors: original arrival order, front of class.
+        for job_id in pending:
+            spec = specs[job_id]
+            self.counters["recovered"] += 1
+            cached = self.result_cache.get(spec)
+            if cached is not None:
+                self._journal_append(
+                    "cache-hit", job_id=job_id, result=cached.to_dict()
+                )
+                self.results[job_id] = cached
+                self.counters["cache_hits"] += 1
+                self.counters["completed"] += 1
+                self._local_events.append(
+                    {
+                        "kind": "done",
+                        "job_id": job_id,
+                        "status": cached.status,
+                        "shard": -1,
+                        "cached": True,
+                    }
+                )
+                continue
+            cls = self.admission.admit(spec, exempt=True)
+            self._admitted_class[job_id] = cls
+            self._outstanding.add(job_id)
+            key = self.result_cache.key_for(spec)
+            if key in self._inflight:
+                self._waiters.setdefault(key, []).append(job_id)
+                self.counters["coalesced"] += 1
+                continue
+            self._elect_leader(key, job_id)
+            self._route(spec, front=True)
+        return {
+            "replayed": len(scan.records),
+            "restored": len(landed),
+            "requeued": len(pending),
+            "truncated_bytes": scan.truncated_bytes,
+        }
 
     # -- Draining ------------------------------------------------------------
 
@@ -515,6 +729,14 @@ class Gateway:
         aggregate["dispatch_overhead_fraction"] = (
             overhead_sum / service_sum if service_sum else 0.0
         )
+        journal = None
+        if self.journal is not None:
+            journal = {
+                "path": str(self.journal.path),
+                "next_seq": self.journal.next_seq,
+                "appended": self.journal.appended,
+                "fsync": self.journal.fsync,
+            }
         return {
             "gateway": {
                 "n_shards": self.n_shards,
@@ -526,6 +748,7 @@ class Gateway:
                 "result_cache": self.result_cache.stats(),
                 "breaker": self.breaker.as_dict(),
                 "health": self.health.summary(),
+                "journal": journal,
             },
             "aggregate": aggregate,
             "shards": shards,

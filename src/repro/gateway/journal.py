@@ -1,0 +1,290 @@
+"""Versioned append-only write-ahead journal for the gateway tier.
+
+The gateway's state machine (accepted → routed → completed, plus cache
+hits, leader elections, and quarantines) lives in memory; a killed
+process loses all of it.  The journal makes every transition durable
+*before* the in-memory mutation it describes — the write-ahead rule —
+so a restarted gateway can replay the file and land in exactly the
+state the dead one had journaled:
+
+* jobs whose results landed (a ``completed``/``cache-hit`` record) are
+  restored verbatim, never re-simulated;
+* jobs accepted but unfinished are re-admitted in original-arrival
+  order;
+* quarantine and circuit-breaker state replays deterministically (the
+  breaker is a pure function of its record_* call sequence).
+
+Framing
+-------
+
+The file is line-oriented JSONL with a per-record integrity frame::
+
+    repro-journal v1\\n
+    {length:08d} {sha256hex} {payload-json}\\n
+    {length:08d} {sha256hex} {payload-json}\\n
+    ...
+
+``length`` is the byte length of the JSON payload and ``sha256hex`` its
+SHA-256 — so a **torn tail** (a partially written final frame after a
+crash, the only corruption an append-only file can suffer) is *detected*
+by the frame check and **truncated, not parsed**.  Everything before the
+first bad frame is intact by construction; :meth:`WriteAheadJournal.scan`
+returns it and (with ``repair=True``) trims the file back to the last
+good frame so appends continue cleanly.
+
+Every payload carries a ``seq`` that must increase by exactly one from
+1.  A gap or repeat inside *valid* frames cannot be produced by a crash
+— only by splicing or replaying the file — and raises a typed
+:class:`~repro.errors.JournalError` instead of being repaired.
+
+``on_append`` is the chaos hook: called *after* each record is durably
+written, it lets :mod:`repro.chaos` simulate a process kill between any
+two journal records (raise inside the hook = die with record N on disk
+and record N+1 never written).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import JournalError
+
+__all__ = ["JournalRecord", "JournalScan", "WriteAheadJournal"]
+
+_HEADER = b"repro-journal v1\n"
+#: ``{length:08d} {sha256hex} `` — 8 digits, space, 64 hex chars, space.
+_FRAME_PREFIX_LEN = 8 + 1 + 64 + 1
+_MAX_RECORD_BYTES = 10**8  # an 8-digit length can never claim more
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journaled state transition: a sequence number, a kind, and
+    the kind-specific data document."""
+
+    seq: int
+    kind: str
+    data: dict = field(default_factory=dict)
+
+    def to_payload(self) -> bytes:
+        doc = {"seq": self.seq, "kind": self.kind, **self.data}
+        return json.dumps(doc, sort_keys=True).encode()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "JournalRecord":
+        doc = json.loads(payload.decode())
+        seq = doc.pop("seq")
+        kind = doc.pop("kind")
+        return cls(seq=int(seq), kind=str(kind), data=doc)
+
+
+@dataclass
+class JournalScan:
+    """The result of reading a journal: every intact record, in order,
+    plus how many torn-tail bytes were discarded (0 for a clean file)."""
+
+    path: Path
+    records: list[JournalRecord] = field(default_factory=list)
+    truncated_bytes: int = 0
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1].seq if self.records else 0
+
+    def by_kind(self, kind: str) -> list[JournalRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+
+def _frame(payload: bytes) -> bytes:
+    digest = hashlib.sha256(payload).hexdigest()
+    return b"%08d %s %s\n" % (len(payload), digest.encode(), payload)
+
+
+class WriteAheadJournal:
+    """Append-only, SHA-256-framed journal with torn-tail repair."""
+
+    def __init__(
+        self, path: str | Path, *, fsync: bool = False
+    ) -> None:
+        self.path = Path(path)
+        #: ``fsync=True`` makes every append survive power loss, not just
+        #: process death; the chaos harness models process death only, so
+        #: the default trades the syscall for throughput.
+        self.fsync = fsync
+        #: Post-append observer ``f(record)``; raising inside it models a
+        #: kill *between* journal records (the record is already durable).
+        self.on_append = None
+        self._fh = None
+        self._next_seq = 1
+        self._closed = False
+        self.appended = 0
+
+    # -- Reading ---------------------------------------------------------
+
+    @classmethod
+    def scan(
+        cls, path: str | Path, *, repair: bool = False
+    ) -> JournalScan:
+        """Read every intact record; detect (optionally trim) a torn tail.
+
+        A missing or empty file scans as zero records.  A torn tail —
+        truncated header, bad length digits, short frame, digest
+        mismatch, missing newline, or unparsable JSON at the *end* of
+        the file — stops the scan there; with ``repair=True`` the file
+        is truncated back to the last good frame.  A ``seq`` that does
+        not increase by exactly one across valid frames raises
+        :class:`JournalError` (splice damage, never crash damage).
+        """
+        path = Path(path)
+        if not path.exists():
+            return JournalScan(path=path)
+        data = path.read_bytes()
+        if not data:
+            return JournalScan(path=path)
+        if len(data) < len(_HEADER):
+            # A crash inside the very first write: the whole file is tail.
+            return cls._tear(path, data, 0, repair)
+        if not data.startswith(_HEADER):
+            raise JournalError(
+                f"{path}: not a repro-journal v1 file "
+                f"(header {data[:16]!r})"
+            )
+        scan = JournalScan(path=path)
+        offset = len(_HEADER)
+        expected_seq = 1
+        while offset < len(data):
+            record, frame_len = cls._parse_frame(data, offset)
+            if record is None:
+                torn = cls._tear(path, data, offset, repair)
+                scan.truncated_bytes = torn.truncated_bytes
+                return scan
+            if record.seq != expected_seq:
+                raise JournalError(
+                    f"{path}: sequence discontinuity at byte {offset}: "
+                    f"expected seq {expected_seq}, found {record.seq} "
+                    f"(journal spliced or replayed?)"
+                )
+            scan.records.append(record)
+            expected_seq += 1
+            offset += frame_len
+        return scan
+
+    @staticmethod
+    def _parse_frame(data: bytes, offset: int):
+        """``(record, frame_length)`` at ``offset``, or ``(None, 0)`` if
+        the bytes from here on are a torn tail."""
+        head = data[offset: offset + _FRAME_PREFIX_LEN]
+        if len(head) < _FRAME_PREFIX_LEN:
+            return None, 0
+        length_bytes, digest_bytes = head[:8], head[9:73]
+        if not length_bytes.isdigit() or head[8:9] != b" " \
+                or head[73:74] != b" ":
+            return None, 0
+        length = int(length_bytes)
+        if length > _MAX_RECORD_BYTES:
+            return None, 0
+        start = offset + _FRAME_PREFIX_LEN
+        end = start + length + 1  # payload + newline
+        if end > len(data):
+            return None, 0
+        payload = data[start: end - 1]
+        if data[end - 1: end] != b"\n":
+            return None, 0
+        if hashlib.sha256(payload).hexdigest().encode() != digest_bytes:
+            return None, 0
+        try:
+            record = JournalRecord.from_payload(payload)
+        except (ValueError, KeyError, TypeError):
+            # Digest-valid but unparsable is splice damage, not a tear —
+            # a frame we wrote whole always round-trips.
+            raise JournalError(
+                f"journal frame at byte {offset} has a valid digest but "
+                f"an unparsable payload"
+            ) from None
+        return record, _FRAME_PREFIX_LEN + length + 1
+
+    @staticmethod
+    def _tear(
+        path: Path, data: bytes, good_bytes: int, repair: bool
+    ) -> JournalScan:
+        scan = JournalScan(
+            path=path, truncated_bytes=len(data) - good_bytes
+        )
+        if repair:
+            with open(path, "r+b") as fh:
+                fh.truncate(good_bytes)
+                fh.flush()
+                os.fsync(fh.fileno())
+        return scan
+
+    # -- Appending -------------------------------------------------------
+
+    def replay(self) -> JournalScan:
+        """Scan this journal (repairing any torn tail), position the
+        append cursor after the last good record, and return the scan.
+
+        The recovery entry point: :meth:`repro.gateway.Gateway.recover`
+        replays the returned records, then keeps appending to the same
+        file — sequence numbers continue across incarnations.
+        """
+        scan = self.scan(self.path, repair=True)
+        self._next_seq = scan.last_seq + 1
+        return scan
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise JournalError(f"{self.path}: journal is closed")
+        if self._fh is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists() or \
+            self.path.stat().st_size == 0
+        if not fresh:
+            self.replay()
+        self._fh = open(self.path, "ab")
+        if fresh:
+            self._fh.write(_HEADER)
+            self._flush()
+
+    def append(self, kind: str, **data) -> JournalRecord:
+        """Durably write one record, then fire ``on_append``.
+
+        The record is flushed (and fsynced when configured) *before*
+        the hook runs and before the caller's state mutation — the
+        journal is the commit point.
+        """
+        self._ensure_open()
+        record = JournalRecord(seq=self._next_seq, kind=kind, data=data)
+        self._fh.write(_frame(record.to_payload()))
+        self._flush()
+        self._next_seq += 1
+        self.appended += 1
+        if self.on_append is not None:
+            self.on_append(record)
+        return record
+
+    def _flush(self) -> None:
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._flush()
+            self._fh.close()
+            self._fh = None
+        self._closed = True
+
+    def __enter__(self) -> "WriteAheadJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

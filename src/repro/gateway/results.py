@@ -16,10 +16,18 @@ Mechanics:
 * **LRU memory tier** with an optional ``max_entries`` bound; eviction is
   strict least-recently-used (hits refresh recency).
 * **Optional disk tier** — one ``<key>.json`` per entry, published
-  atomically (temp file + ``os.replace``, the library cache's pattern),
-  so a cache directory survives process restarts and is shared by
-  consecutive CLI invocations.  Memory eviction never deletes disk
-  entries; the directory is the durable tier.
+  atomically (temp file + fsync + ``os.replace``, the library cache's
+  pattern), so a cache directory survives process restarts and is
+  shared by consecutive CLI invocations.  Memory eviction never deletes
+  disk entries; the directory is the durable tier.
+* **Checksummed entries.**  Disk entries are format-2 envelopes —
+  ``{"format": 2, "sha256": ..., "result": {...}}`` with the digest
+  over the canonical result JSON — verified on every read.  A corrupt,
+  truncated, or tampered entry is **quarantined** (renamed to
+  ``<key>.corrupt``, counted in ``corrupt_entries`` via a typed
+  :class:`~repro.errors.CorruptEntryError`) and reported as a miss;
+  readers never crash and never serve damaged bytes.  Legacy format-1
+  entries (bare result JSON) still load.
 * **First insert wins.**  Concurrent ``put`` of the same key (two shards
   completing identical specs in flight simultaneously) dedups under the
   lock; the stored payloads are bit-identical anyway, so either is valid.
@@ -35,16 +43,19 @@ physics from the cache, bookkeeping from this submission.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
 from collections import OrderedDict
 from pathlib import Path
 
-from ..errors import GatewayError
+from ..errors import CorruptEntryError, GatewayError, JobError
 from ..serve.jobs import JobResult, JobSpec
 
 __all__ = ["ResultCache"]
+
+_ENTRY_FORMAT = 2
 
 
 class ResultCache:
@@ -72,6 +83,9 @@ class ResultCache:
         self.insertions = 0
         self.evictions = 0
         self.rejected = 0
+        #: Disk entries that failed their digest/shape check on read and
+        #: were quarantined (renamed ``*.corrupt``) instead of served.
+        self.corrupt_entries = 0
 
     @staticmethod
     def key_for(spec: JobSpec) -> str:
@@ -161,25 +175,101 @@ class ResultCache:
     def _disk_path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    @staticmethod
+    def _result_digest(result: dict) -> str:
+        return hashlib.sha256(
+            json.dumps(result, sort_keys=True).encode()
+        ).hexdigest()
+
     def _load_disk(self, key: str) -> dict | None:
+        """A verified entry's result dict, or ``None`` (miss/quarantined).
+
+        Every failure mode — unreadable file, torn JSON, a digest that
+        does not match the content, a well-formed envelope around the
+        wrong shape — funnels through the same typed
+        :class:`CorruptEntryError` path: quarantine the file, count it,
+        report a miss.  A concurrent reader racing the quarantine rename
+        simply sees the file vanish (also a miss).
+        """
         path = self._disk_path(key)
-        if not path.exists():
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self._quarantine(path, "unreadable entry")
             return None
         try:
-            return json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            # A torn file cannot happen under the atomic publish, but a
-            # cache must never become a source of failure.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            return self._verify_entry(path, text)
+        except CorruptEntryError as exc:
+            self._quarantine(path, str(exc))
             return None
 
+    def _verify_entry(self, path: Path, text: str) -> dict:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CorruptEntryError(
+                f"not valid JSON ({exc})", path=str(path)
+            ) from None
+        if not isinstance(doc, dict):
+            raise CorruptEntryError(
+                f"entry is {type(doc).__name__}, not an object",
+                path=str(path),
+            )
+        if "format" not in doc:
+            # Legacy format-1 entry: bare result JSON, no digest to
+            # check — validate the shape the hard way instead.
+            try:
+                JobResult.from_dict(doc)
+            except JobError as exc:
+                raise CorruptEntryError(
+                    f"legacy entry does not parse as a result ({exc})",
+                    path=str(path),
+                ) from None
+            return doc
+        result = doc.get("result")
+        if doc.get("format") != _ENTRY_FORMAT or not isinstance(
+            result, dict
+        ):
+            raise CorruptEntryError(
+                f"unknown entry format {doc.get('format')!r}",
+                path=str(path),
+            )
+        digest = self._result_digest(result)
+        if digest != doc.get("sha256"):
+            raise CorruptEntryError(
+                f"digest mismatch: stored {doc.get('sha256')!r}, "
+                f"content {digest}",
+                path=str(path),
+            )
+        return result
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Rename a damaged entry out of the ``*.json`` namespace."""
+        del reason  # carried by the CorruptEntryError that led here
+        self.corrupt_entries += 1
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass  # a racing reader already moved or removed it
+
     def _write_disk(self, key: str, payload: str) -> None:
+        result = json.loads(payload)
+        envelope = json.dumps(
+            {
+                "format": _ENTRY_FORMAT,
+                "sha256": self._result_digest(result),
+                "result": result,
+            },
+            sort_keys=True,
+        )
         path = self._disk_path(key)
-        tmp = path.with_name(f"{path.stem}.tmp-{os.getpid()}")
-        tmp.write_text(payload)
+        tmp = path.with_name(f".{path.stem}.tmp-{os.getpid()}")
+        with open(tmp, "w") as fh:
+            fh.write(envelope)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
 
     # -- Observability -------------------------------------------------------
@@ -196,6 +286,7 @@ class ResultCache:
                 "insertions": self.insertions,
                 "evictions": self.evictions,
                 "rejected": self.rejected,
+                "corrupt_entries": self.corrupt_entries,
                 "directory": (
                     str(self.directory) if self.directory else None
                 ),

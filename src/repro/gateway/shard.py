@@ -148,6 +148,23 @@ class GatewayShard:
             self._inbox.clear()
         return leftovers
 
+    def kill(self) -> None:
+        """Chaos primitive: die mid-job, reporting nothing.
+
+        Unlike :meth:`evict` — the orderly quarantine that flushes
+        finished results and hands back leftovers — ``kill`` models a
+        shard process dropping dead: the pump stops, the pool is
+        hard-stopped, and any results sitting unforwarded are *lost*.
+        The pending manifest survives, so a subsequent :meth:`evict`
+        (the gateway's quarantine) still recovers every unfinished spec.
+        """
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.service.take_fresh_results()  # discard, as a crash would
+        self.service.shutdown(graceful=False)
+
     # -- Pump (shard thread) -------------------------------------------------
 
     def _pump(self) -> None:

@@ -12,10 +12,21 @@ lockfile: one builder wins the lock, the rest wait for the published file
 to appear.  A stale lock (builder died mid-build) is bounded by
 ``build_timeout_s`` — waiters fall back to building locally rather than
 hanging, trading one redundant build for liveness.
+
+Reads are **digest-verified** (PR 10): the publisher writes a
+``.sha256`` sidecar over the npz bytes *before* the npz lands, and every
+load re-hashes the file against it.  A mismatch — bit rot, a tampered
+file, a torn write that still unpickles — is **quarantined** (npz
+renamed to ``.corrupt``, sidecar removed, counted through a typed
+:class:`~repro.errors.CorruptEntryError`) and the library is rebuilt;
+readers never crash and never compute on damaged data.  Entries without
+a sidecar (legacy, or the rare sidecar/npz publish race) fall back to
+the unverified load, whose own failure path also quarantines.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from dataclasses import dataclass
@@ -28,11 +39,12 @@ from ..data.library import (
     build_library,
     library_fingerprint,
 )
-from ..errors import DataError, ServeError
+from ..errors import CorruptEntryError, DataError, ServeError
 
 __all__ = ["CacheOutcome", "LibraryCache"]
 
 _SUFFIX = ".npz"
+_DIGEST_SUFFIX = ".sha256"
 
 
 @dataclass(frozen=True)
@@ -58,9 +70,20 @@ class LibraryCache:
         if build_timeout_s <= 0:
             raise ServeError("build_timeout_s must be positive")
         self.build_timeout_s = build_timeout_s
+        #: Cache files that failed digest verification (or failed to
+        #: load at all) and were quarantined instead of used.
+        self.corrupt_entries = 0
 
     def path_for(self, fingerprint: str) -> Path:
         return self.directory / f"lib-{fingerprint[:24]}{_SUFFIX}"
+
+    def digest_path_for(self, fingerprint_or_path) -> Path:
+        path = (
+            fingerprint_or_path
+            if isinstance(fingerprint_or_path, Path)
+            else self.path_for(fingerprint_or_path)
+        )
+        return path.with_suffix(_DIGEST_SUFFIX)
 
     def _lock_for(self, fingerprint: str) -> Path:
         return self.directory / f"lib-{fingerprint[:24]}.lock"
@@ -119,17 +142,58 @@ class LibraryCache:
             return None
         t0 = time.perf_counter()
         try:
+            self._verify_digest(path)
             library = load_library(path)
+        except CorruptEntryError:
+            self._quarantine(path)
+            return None
         except (DataError, OSError, ValueError):
-            # Corrupt or partial file (should be impossible given the atomic
-            # publish, but a cache must never be a source of failure).
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # The file loads past the digest check but not as a library
+            # (legacy entry with no sidecar, or a sidecar-matching write
+            # of garbage).  Same response: quarantine and rebuild — a
+            # cache must never be a source of failure.
+            self._quarantine(path)
             return None
         dt = time.perf_counter() - t0
         return library, CacheOutcome(fp, "disk-cache", load_seconds=dt)
+
+    def _verify_digest(self, path: Path) -> None:
+        """Check ``path`` against its ``.sha256`` sidecar, if present.
+
+        No sidecar = legacy entry (or the publish raced between sidecar
+        and npz): fall through to the load, which has its own failure
+        quarantine.  A present-but-wrong sidecar is typed corruption.
+        """
+        sidecar = self.digest_path_for(path)
+        try:
+            expected = sidecar.read_text().strip()
+        except OSError:
+            return
+        try:
+            actual = hashlib.sha256(path.read_bytes()).hexdigest()
+        except OSError as exc:
+            raise CorruptEntryError(
+                f"cache entry unreadable: {exc}", path=str(path)
+            ) from None
+        if actual != expected:
+            raise CorruptEntryError(
+                f"library cache digest mismatch: sidecar {expected[:16]}…,"
+                f" content {actual[:16]}…",
+                path=str(path),
+            )
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry out of the cache namespace (keeping the
+        bytes for forensics) so the caller rebuilds."""
+        self.corrupt_entries += 1
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass  # racing reader already quarantined it
+        try:
+            self.digest_path_for(path).unlink()
+        except OSError:
+            pass
 
     def _build_and_publish(
         self, model: str, config: LibraryConfig, fp: str, path: Path
@@ -142,6 +206,11 @@ class LibraryCache:
         tmp = path.with_name(f"{path.stem}.tmp-{os.getpid()}{_SUFFIX}")
         try:
             save_library(library, tmp)
+            # Sidecar first (intent), npz last (commit): a crash between
+            # the two leaves a sidecar with no npz — a miss, not a lie.
+            self._publish_digest(path, tmp)
+            with open(tmp, "rb") as fh:
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         finally:
             try:
@@ -149,3 +218,24 @@ class LibraryCache:
             except FileNotFoundError:
                 pass
         return library, CacheOutcome(fp, "built", build_seconds=build_s)
+
+    def _publish_digest(self, path: Path, tmp: Path) -> None:
+        digest = hashlib.sha256(tmp.read_bytes()).hexdigest()
+        sidecar = self.digest_path_for(path)
+        sidecar_tmp = sidecar.with_name(
+            f".{sidecar.name}.tmp-{os.getpid()}"
+        )
+        with open(sidecar_tmp, "w") as fh:
+            fh.write(digest + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(sidecar_tmp, sidecar)
+
+    # -- Observability --------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "directory": str(self.directory),
+            "entries": len(list(self.directory.glob(f"*{_SUFFIX}"))),
+            "corrupt_entries": self.corrupt_entries,
+        }

@@ -43,6 +43,7 @@ from .queue import JobQueue, QueuedJob
 
 __all__ = [
     "SimulationService",
+    "atomic_write_text",
     "read_spool_pending",
     "spool_dirs",
     "spool_status",
@@ -421,6 +422,29 @@ class SimulationService:
 _SPOOL_SUBDIRS = ("pending", "done", "failed")
 
 
+def atomic_write_text(
+    path: str | Path, text: str, *, fsync: bool = True
+) -> Path:
+    """Publish ``text`` at ``path`` all-or-nothing.
+
+    Write to a dot-prefixed temp file in the same directory (invisible
+    to the spool's ``*.json`` globs), flush + fsync, then ``os.replace``
+    — so a reader observes either the complete old file or the complete
+    new file, never a half-record, even across a kill mid-write.
+    """
+    import os
+
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    with open(tmp, "w") as fh:
+        fh.write(text)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
 def spool_dirs(root: str | Path, *, create: bool = False) -> dict[str, Path]:
     root = Path(root)
     dirs = {name: root / name for name in _SPOOL_SUBDIRS}
@@ -440,19 +464,32 @@ def submit_to_spool(root: str | Path, spec: JobSpec) -> Path:
     path = dirs["pending"] / f"{spec.job_id}.json"
     if path.exists():
         raise JobError(f"job {spec.job_id} already spooled at {path}")
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(spec.to_json())
-    tmp.replace(path)
-    return path
+    # Atomic publish: a kill mid-submit leaves an invisible temp file,
+    # never a half-record that would poison a later ``serve --spool``.
+    return atomic_write_text(path, spec.to_json())
 
 
 def read_spool_pending(root: str | Path) -> list[JobSpec]:
-    """Pending specs in service order (priority, then submission time)."""
+    """Pending specs in service order (priority, then submission time).
+
+    A spool is shared mutable state: a record torn by a crashed (or
+    pre-atomic-write) submitter must not poison the whole drain.  Any
+    pending file that does not parse as a spec is quarantined — renamed
+    to ``<job>.corrupt``, out of the ``*.json`` namespace — and skipped.
+    """
+    import os
+
     dirs = spool_dirs(root)
     specs = []
     if dirs["pending"].is_dir():
         for path in sorted(dirs["pending"].glob("*.json")):
-            specs.append(JobSpec.from_json(path.read_text()))
+            try:
+                specs.append(JobSpec.from_json(path.read_text()))
+            except (JobError, OSError):
+                try:
+                    os.replace(path, path.with_suffix(".corrupt"))
+                except OSError:
+                    pass
     specs.sort(
         key=lambda s: (-s.priority, s.submitted_at or 0.0, s.job_id)
     )
@@ -465,9 +502,7 @@ def write_spool_result(root: str | Path, result: JobResult) -> Path:
     dirs = spool_dirs(root, create=True)
     bucket = "done" if result.status == "done" else "failed"
     path = dirs[bucket] / f"{result.job_id}.json"
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(result.to_json(indent=2))
-    tmp.replace(path)
+    atomic_write_text(path, result.to_json(indent=2))
     pending = dirs["pending"] / f"{result.job_id}.json"
     if pending.exists():
         pending.unlink()

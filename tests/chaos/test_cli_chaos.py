@@ -1,0 +1,41 @@
+"""The ``chaos run`` CLI verb: seeded campaigns through main(argv)."""
+
+import json
+
+from repro.cli import main as sim_main
+
+
+class TestChaosRun:
+    # Seed 3 over 6 boundaries draws a compact mixed schedule (two
+    # gateway kills, one disk corrupt, one disk truncate) — every fault
+    # path exercised without the full sweep's cost.
+    FLAGS = ["chaos", "run", "--seed", "3", "--boundaries", "6"]
+
+    def test_seeded_campaign_passes_audits(self, tmp_path, capsys):
+        rc = sim_main([*self.FLAGS, "--workdir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "all audits passed" in out
+        assert "seeded schedule (seed 3)" in out
+
+    def test_json_report_round_trips(self, tmp_path, capsys):
+        rc = sim_main([*self.FLAGS, "--workdir", str(tmp_path), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["seed"] == 3
+        assert doc["sweep"] is False
+        assert doc["events"] == 4
+        report = doc["report"]
+        assert report["cycles"] == 4
+        assert len(report["kill_boundaries"]) == 2
+        assert report["disk_faults"] == 2
+        # Kill cycles replayed journal records on recovery (seed 3's
+        # kills land early in the journal, so work requeues rather than
+        # restores — restored stays a valid, possibly-zero count).
+        assert report["replayed"] > 0
+        assert report["restored"] >= 0
+
+    def test_workdir_keeps_artifacts_for_forensics(self, tmp_path):
+        assert sim_main([*self.FLAGS, "--workdir", str(tmp_path)]) == 0
+        journals = list(tmp_path.glob("*.journal"))
+        assert journals, "chaos cycles should leave their journals behind"

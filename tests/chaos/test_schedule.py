@@ -1,0 +1,78 @@
+"""Chaos schedules: pure functions of their seed, validated shapes."""
+
+import pytest
+
+from repro.chaos import ChaosKind, ChaosSchedule
+from repro.errors import ChaosError
+
+GEN = dict(
+    n_boundaries=20,
+    n_shards=3,
+    p_gateway_kill=0.3,
+    p_shard_kill=0.2,
+    p_disk_corrupt=0.15,
+    p_disk_truncate=0.1,
+    p_spool_partial=0.1,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        assert (
+            ChaosSchedule.generate(77, **GEN).events
+            == ChaosSchedule.generate(77, **GEN).events
+        )
+
+    def test_different_seeds_diverge(self):
+        schedules = {
+            ChaosSchedule.generate(seed, **GEN).events
+            for seed in range(8)
+        }
+        assert len(schedules) > 1
+
+    def test_events_are_ordered_by_boundary(self):
+        schedule = ChaosSchedule.generate(3, **GEN)
+        boundaries = [e.boundary for e in schedule.events]
+        assert boundaries == sorted(boundaries)
+
+    def test_shard_victims_in_range(self):
+        schedule = ChaosSchedule.generate(
+            5, 50, n_shards=3, p_shard_kill=0.8
+        )
+        victims = [
+            e.shard for e in schedule.by_kind(ChaosKind.SHARD_KILL)
+        ]
+        assert victims and all(0 <= v < 3 for v in victims)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", [
+        "p_gateway_kill", "p_shard_kill", "p_disk_corrupt",
+        "p_disk_truncate", "p_spool_partial",
+    ])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_probabilities_must_be_unit_interval(self, name, bad):
+        with pytest.raises(ChaosError, match=name):
+            ChaosSchedule.generate(0, 5, **{name: bad})
+
+    def test_negative_boundaries_refused(self):
+        with pytest.raises(ChaosError, match="n_boundaries"):
+            ChaosSchedule.generate(0, -1)
+
+    def test_single_shard_refused(self):
+        with pytest.raises(ChaosError, match="n_shards"):
+            ChaosSchedule.generate(0, 5, n_shards=1)
+
+    def test_sweep_needs_at_least_one_boundary(self):
+        with pytest.raises(ChaosError, match="n_boundaries"):
+            ChaosSchedule.kill_every_boundary(0)
+
+
+class TestKillEveryBoundary:
+    def test_covers_every_boundary_exactly_once(self):
+        schedule = ChaosSchedule.kill_every_boundary(9)
+        assert schedule.kill_boundaries() == list(range(1, 10))
+        assert len(schedule) == 9
+        assert all(
+            e.kind is ChaosKind.GATEWAY_KILL for e in schedule.events
+        )

@@ -1,0 +1,175 @@
+"""Write-ahead journal framing: torn tails repair, splices refuse.
+
+The contract under test: a crash can only ever produce a *torn tail*
+(a partial final frame), and a torn tail at ANY byte boundary is
+detected and truncated — never parsed, never fatal.  Corruption the
+framing cannot explain by a crash (sequence gaps, digest-valid garbage)
+is a typed :class:`~repro.errors.JournalError`.
+"""
+
+import pytest
+
+from repro.errors import JournalError
+from repro.gateway.journal import (
+    JournalRecord,
+    WriteAheadJournal,
+    _frame,
+)
+
+
+def write_records(path, n=3):
+    journal = WriteAheadJournal(path)
+    records = [
+        journal.append("accepted", job_id=f"job-{i}", payload=i * "x")
+        for i in range(n)
+    ]
+    journal.close()
+    return records
+
+
+class TestAppendScanRoundTrip:
+    def test_empty_and_missing_files_scan_clean(self, tmp_path):
+        missing = WriteAheadJournal.scan(tmp_path / "nope.journal")
+        assert missing.records == [] and missing.truncated_bytes == 0
+        empty = tmp_path / "empty.journal"
+        empty.touch()
+        assert WriteAheadJournal.scan(empty).records == []
+
+    def test_round_trip_preserves_kind_data_and_seq(self, tmp_path):
+        path = tmp_path / "j"
+        written = write_records(path, n=5)
+        scan = WriteAheadJournal.scan(path)
+        assert scan.truncated_bytes == 0
+        assert [r.seq for r in scan.records] == [1, 2, 3, 4, 5]
+        assert scan.records == written
+
+    def test_sequence_continues_across_incarnations(self, tmp_path):
+        path = tmp_path / "j"
+        write_records(path, n=3)
+        second = WriteAheadJournal(path)
+        record = second.append("completed", job_id="late")
+        assert record.seq == 4
+        second.close()
+        scan = WriteAheadJournal.scan(path)
+        assert scan.last_seq == 4
+        assert scan.by_kind("completed")[0].data["job_id"] == "late"
+
+    def test_append_after_close_is_typed(self, tmp_path):
+        journal = WriteAheadJournal(tmp_path / "j")
+        journal.append("accepted", job_id="a")
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.append("accepted", job_id="b")
+
+
+class TestTornTails:
+    def test_torn_at_every_byte_boundary(self, tmp_path):
+        """Truncating a valid journal after ANY byte yields exactly the
+        whole frames before the cut — the strongest framing statement."""
+        path = tmp_path / "j"
+        write_records(path, n=3)
+        data = path.read_bytes()
+        frames = []
+        offset = len(b"repro-journal v1\n")
+        for record in WriteAheadJournal.scan(path).records:
+            offset += len(_frame(record.to_payload()))
+            frames.append(offset)
+        for cut in range(len(data)):
+            torn = tmp_path / "torn"
+            torn.write_bytes(data[:cut])
+            scan = WriteAheadJournal.scan(torn)
+            whole = sum(1 for end in frames if end <= cut)
+            assert len(scan.records) == whole, f"cut at byte {cut}"
+
+    def test_repair_truncates_back_to_last_good_frame(self, tmp_path):
+        path = tmp_path / "j"
+        write_records(path, n=2)
+        clean_size = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(b"00000099 deadbeef-not-a-real-frame")
+        scan = WriteAheadJournal.scan(path, repair=True)
+        assert len(scan.records) == 2
+        assert scan.truncated_bytes > 0
+        assert path.stat().st_size == clean_size
+        # Appends continue cleanly after the repair.
+        journal = WriteAheadJournal(path)
+        assert journal.append("routed", job_id="next").seq == 3
+        journal.close()
+
+    def test_garbage_after_valid_frames_is_a_tail(self, tmp_path):
+        path = tmp_path / "j"
+        write_records(path, n=2)
+        with open(path, "ab") as fh:
+            fh.write(b"\x00\xffbinary junk")
+        scan = WriteAheadJournal.scan(path)
+        assert len(scan.records) == 2
+        assert scan.truncated_bytes == 13
+
+    def test_flipped_payload_byte_stops_the_scan(self, tmp_path):
+        path = tmp_path / "j"
+        write_records(path, n=1)
+        data = bytearray(path.read_bytes())
+        data[-2] ^= 0x01  # inside the only frame's payload
+        path.write_bytes(bytes(data))
+        scan = WriteAheadJournal.scan(path)
+        assert scan.records == []
+        assert scan.truncated_bytes > 0
+
+
+class TestSpliceDamage:
+    def test_wrong_header_is_typed(self, tmp_path):
+        path = tmp_path / "j"
+        path.write_bytes(b"not-a-journal v9\n" + b"x" * 40)
+        with pytest.raises(JournalError, match="not a repro-journal"):
+            WriteAheadJournal.scan(path)
+
+    def test_sequence_gap_is_typed_not_repaired(self, tmp_path):
+        path = tmp_path / "j"
+        header = b"repro-journal v1\n"
+        frames = b"".join(
+            _frame(JournalRecord(seq, "accepted", {}).to_payload())
+            for seq in (1, 3)  # seq 2 spliced out
+        )
+        path.write_bytes(header + frames)
+        with pytest.raises(JournalError, match="discontinuity"):
+            WriteAheadJournal.scan(path)
+
+    def test_digest_valid_unparsable_payload_is_typed(self, tmp_path):
+        path = tmp_path / "j"
+        path.write_bytes(
+            b"repro-journal v1\n" + _frame(b"this is not json")
+        )
+        with pytest.raises(JournalError, match="unparsable"):
+            WriteAheadJournal.scan(path)
+
+
+class TestOnAppendHook:
+    def test_hook_fires_after_the_record_is_durable(self, tmp_path):
+        path = tmp_path / "j"
+        journal = WriteAheadJournal(path)
+        seen = []
+
+        def hook(record):
+            # The record must already be scannable from disk when the
+            # hook (= the chaos kill point) observes it.
+            scan = WriteAheadJournal.scan(path)
+            seen.append((record.seq, scan.last_seq))
+
+        journal.on_append = hook
+        journal.append("accepted", job_id="a")
+        journal.append("routed", job_id="a")
+        journal.close()
+        assert seen == [(1, 1), (2, 2)]
+
+    def test_hook_exception_leaves_the_record_on_disk(self, tmp_path):
+        path = tmp_path / "j"
+        journal = WriteAheadJournal(path)
+
+        def die(record):
+            raise RuntimeError("killed")
+
+        journal.on_append = die
+        with pytest.raises(RuntimeError):
+            journal.append("accepted", job_id="a")
+        journal.close()
+        assert WriteAheadJournal.scan(path).last_seq == 1

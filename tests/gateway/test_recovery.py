@@ -1,0 +1,247 @@
+"""Gateway crash recovery: journal replay restores the durable picture.
+
+These tests drive the journaled gateway with synthetic shards, kill it
+(via the journal's ``on_append`` tripwire — the same mechanism the
+chaos harness uses), and assert the recovery invariants directly:
+landed results restore byte-identically and are never re-simulated,
+unfinished work re-admits in arrival order, and supervision state
+(breaker circuits, quarantine) replays deterministically.
+"""
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway import Gateway, SyntheticService, WriteAheadJournal
+from repro.resilience.faults import SimulatedCrash
+from repro.serve.jobs import JobSpec
+
+TINY = {"n_particles": 24, "n_inactive": 0, "n_active": 2,
+        "mode": "event", "pincell": True}
+
+
+def specs_for(prefix, n, distinct=None):
+    return [
+        JobSpec(job_id=f"{prefix}{i:03d}",
+                settings=dict(TINY, seed=i % (distinct or n)))
+        for i in range(n)
+    ]
+
+
+def journaled_gateway(path, **kwargs):
+    kwargs.setdefault("n_shards", 2)
+    kwargs.setdefault("service_factory", SyntheticService)
+    return Gateway(journal_path=path, **kwargs)
+
+
+def run_all(gateway, specs):
+    for spec in specs:
+        gateway.submit(spec)
+    gateway.drain(deadline_s=30)
+    return {r.job_id: r for r in gateway.ordered_results()}
+
+
+class TestRecoverPreconditions:
+    def test_needs_a_journal(self):
+        gw = Gateway(n_shards=2, service_factory=SyntheticService)
+        with pytest.raises(GatewayError, match="journal"):
+            gw.recover()
+        gw.shutdown()
+
+    def test_refuses_a_used_gateway(self, tmp_path):
+        gw = journaled_gateway(tmp_path / "j")
+        run_all(gw, specs_for("a", 2))
+        with pytest.raises(GatewayError, match="fresh"):
+            gw.recover()
+        gw.shutdown()
+
+    def test_has_job_tracks_specs_and_results(self, tmp_path):
+        gw = journaled_gateway(tmp_path / "j")
+        spec = specs_for("a", 1)[0]
+        assert not gw.has_job(spec.job_id)
+        run_all(gw, [spec])
+        assert gw.has_job(spec.job_id)
+        gw.shutdown()
+
+
+class TestCompletedRunRecovery:
+    def test_restores_everything_without_resimulating(self, tmp_path):
+        path = tmp_path / "j"
+        first = journaled_gateway(path)
+        reference = run_all(first, specs_for("a", 6, distinct=4))
+        first.shutdown()
+
+        second = journaled_gateway(path)
+        summary = second.recover()
+        assert summary["requeued"] == 0
+        assert summary["restored"] == 6
+        # Byte-identical payloads, straight from the journal: the
+        # synthetic shards of the second gateway never ran a job.
+        assert {
+            job_id: r.payload_json()
+            for job_id, r in second.results.items()
+        } == {
+            job_id: r.payload_json()
+            for job_id, r in reference.items()
+        }
+        for shard in second.shards.values():
+            assert shard.service.metrics.counter(
+                "jobs_completed").value == 0
+        assert second.unresolved() == 0
+        second.shutdown()
+
+    def test_counters_match_the_dead_incarnation(self, tmp_path):
+        path = tmp_path / "j"
+        first = journaled_gateway(path)
+        run_all(first, specs_for("a", 6, distinct=4))
+        reference = dict(first.counters)
+        first.shutdown()
+        second = journaled_gateway(path)
+        second.recover()
+        counters = dict(second.counters)
+        # Coalesced is a transient scheduling fact, not journaled
+        # per-follower; everything durable must match exactly.
+        for key in ("submitted", "completed", "cache_hits", "failed",
+                    "poisoned", "requeued", "quarantines"):
+            assert counters[key] == reference[key], key
+        second.shutdown()
+
+    def test_recovered_marker_is_journaled(self, tmp_path):
+        path = tmp_path / "j"
+        first = journaled_gateway(path)
+        run_all(first, specs_for("a", 3))
+        first.shutdown()
+        second = journaled_gateway(path)
+        second.recover()
+        second.shutdown()
+        markers = WriteAheadJournal.scan(path).by_kind("recovered")
+        assert len(markers) == 1
+        assert markers[0].data["restored"] == 3
+        assert markers[0].data["pending"] == []
+
+
+class TestMidRunRecovery:
+    def kill_after(self, path, boundary, specs):
+        """Run until the journal reaches ``boundary`` records, then die."""
+        gw = journaled_gateway(path)
+
+        def tripwire(record):
+            if record.seq == boundary:
+                raise SimulatedCrash(f"die at {boundary}")
+
+        gw.journal.on_append = tripwire
+        with pytest.raises(SimulatedCrash):
+            for spec in specs:
+                gw.submit(spec)
+            gw.drain(deadline_s=30)
+        gw.shutdown(graceful=False)
+
+    def test_pending_work_requeues_in_arrival_order(self, tmp_path):
+        path = tmp_path / "j"
+        specs = specs_for("a", 5)
+        # Die right after the 3rd acceptance journals: jobs a000..a002
+        # accepted, nothing landed.
+        scan_before = None
+        self.kill_after(path, 7, specs)
+        scan_before = WriteAheadJournal.scan(path)
+        accepted = [r.data["job_id"]
+                    for r in scan_before.by_kind("accepted")]
+
+        second = journaled_gateway(path)
+        summary = second.recover()
+        assert summary["requeued"] == len(accepted)
+        # Re-admission preserved original arrival order.
+        assert second._order[: len(accepted)] == accepted
+        for spec in specs:
+            if not second.has_job(spec.job_id):
+                second.submit(spec)
+        second.drain(deadline_s=30)
+        assert sorted(second.results) == [s.job_id for s in specs]
+        second.shutdown()
+
+    def test_landed_results_survive_and_never_rerun(self, tmp_path):
+        path = tmp_path / "j"
+        specs = specs_for("b", 4)
+        reference = {}
+        clean = journaled_gateway(tmp_path / "ref")
+        reference = {
+            job_id: r.payload_json()
+            for job_id, r in run_all(clean, specs).items()
+        }
+        clean.shutdown()
+
+        # A clean run journals 4 jobs * 4 records = 16; die mid-drain.
+        self.kill_after(path, 14, specs)
+        landed_before = {
+            r.data["job_id"]
+            for r in WriteAheadJournal.scan(path).by_kind("completed")
+        }
+        assert 0 < len(landed_before) < 4
+
+        second = journaled_gateway(path)
+        second.recover()
+        for spec in specs:
+            if not second.has_job(spec.job_id):
+                second.submit(spec)
+        second.drain(deadline_s=30)
+        payloads = {
+            job_id: r.payload_json()
+            for job_id, r in second.results.items()
+        }
+        assert payloads == reference
+        # Exactly-once in the journal: one landing per job, ever.
+        landings = {}
+        for record in WriteAheadJournal.scan(path).records:
+            if record.kind in ("completed", "cache-hit"):
+                job_id = record.data["job_id"]
+                landings[job_id] = landings.get(job_id, 0) + 1
+        assert all(n == 1 for n in landings.values())
+        second.shutdown()
+
+    def test_exempt_admission_bypasses_capacity(self, tmp_path):
+        path = tmp_path / "j"
+        specs = specs_for("c", 3)
+        self.kill_after(path, 9, specs)  # 3 accepted, none landed
+        # Recover into a gateway whose admission would refuse 3 jobs.
+        second = journaled_gateway(path, capacity=1)
+        summary = second.recover()
+        assert summary["requeued"] == 3
+        second.drain(deadline_s=30)
+        assert len(second.results) == 3
+        second.shutdown()
+
+
+class TestBreakerAndQuarantineReplay:
+    def test_breaker_state_replays_from_completed_records(self, tmp_path):
+        path = tmp_path / "j"
+        first = journaled_gateway(path)
+        run_all(first, specs_for("a", 4))
+        # Every synthetic job lands "done": the breakers saw successes.
+        assert first.breaker.failures("shard-0") == 0
+        first.shutdown()
+        second = journaled_gateway(path)
+        second.recover()
+        assert second.breaker.as_dict() == first.breaker.as_dict()
+        second.shutdown()
+
+    def test_quarantine_replays_and_excludes_the_shard(self, tmp_path):
+        path = tmp_path / "j"
+        first = journaled_gateway(path, n_shards=3)
+        run_all(first, specs_for("a", 6))
+        assert first.quarantine_shard(1)
+        first.shutdown()
+        second = journaled_gateway(path, n_shards=3)
+        second.recover()
+        assert second.quarantined == {1}
+        assert second.counters["quarantines"] == 1
+        assert second.admission.slots == 2  # healthy shards only
+        # New work routes around the dead shard.
+        extra = specs_for("z", 4)
+        for spec in extra:
+            second.submit(spec)
+        second.drain(deadline_s=30)
+        assert all(
+            second._job_shard[s.job_id] != 1
+            for s in extra
+            if s.job_id in second._job_shard
+        )
+        second.shutdown()

@@ -171,7 +171,9 @@ class TestDiskTier:
         cache.put(s, result)
         (path,) = sorted((tmp_path / "rc").glob("*.json"))
         assert path.stem == s.cache_key()
-        stored = JobResult.from_json(path.read_text())
+        envelope = json.loads(path.read_text())
+        assert envelope["format"] == 2
+        stored = JobResult.from_dict(envelope["result"])
         assert stored.k_effective == result.k_effective
 
     def test_memory_eviction_keeps_disk(self, tmp_path):
@@ -188,12 +190,129 @@ class TestDiskTier:
         (tmp_path / "rc" / f"{s.cache_key()}.json").write_text("{broken")
         assert cache.get(s) is None
 
+    def test_legacy_format1_entry_still_loads(self, tmp_path):
+        s = spec(seed=45)
+        result = done_result(s, k=1.01)
+        cache = ResultCache(tmp_path / "rc")
+        # A pre-checksum cache wrote bare result JSON.
+        (tmp_path / "rc" / f"{s.cache_key()}.json").write_text(
+            result.to_json()
+        )
+        hit = cache.get(s)
+        assert hit is not None
+        assert hit.payload_json() == result.payload_json()
+        assert cache.stats()["corrupt_entries"] == 0
+
     def test_duplicate_put_against_disk_is_refused(self, tmp_path):
         s = spec(seed=51)
         ResultCache(tmp_path / "rc").put(s, done_result(s))
         other = ResultCache(tmp_path / "rc")  # cold memory, warm disk
         assert other.put(s, done_result(s)) is False
         assert other.stats()["insertions"] == 0
+
+
+class TestAdversarialDiskEntries:
+    """Every damaged-entry shape quarantines; none ever raises."""
+
+    def warm_path(self, tmp_path, s):
+        ResultCache(tmp_path / "rc").put(s, done_result(s))
+        return tmp_path / "rc" / f"{s.cache_key()}.json"
+
+    def assert_quarantined(self, tmp_path, s, cache):
+        assert cache.get(s) is None
+        assert cache.corrupt_entries == 1
+        assert cache.stats()["corrupt_entries"] == 1
+        path = tmp_path / "rc" / f"{s.cache_key()}.json"
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        # The quarantined name is out of the cache namespace: the next
+        # lookup is an honest miss, not a crash loop.
+        assert cache.get(s) is None
+
+    def test_truncated_entry(self, tmp_path):
+        s = spec(seed=71)
+        path = self.warm_path(tmp_path, s)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        self.assert_quarantined(tmp_path, s, ResultCache(tmp_path / "rc"))
+
+    def test_flipped_byte_fails_the_digest(self, tmp_path):
+        s = spec(seed=72)
+        path = self.warm_path(tmp_path, s)
+        data = bytearray(path.read_bytes())
+        # Flip one bit inside a float digit of the stored result: the
+        # JSON stays valid, only the checksum can catch it.
+        k_pos = data.find(b'"k_effective"')
+        assert k_pos > 0
+        digit = data.find(b"1", k_pos)
+        data[digit] = ord("2")
+        path.write_bytes(bytes(data))
+        self.assert_quarantined(tmp_path, s, ResultCache(tmp_path / "rc"))
+
+    def test_empty_file(self, tmp_path):
+        s = spec(seed=73)
+        path = self.warm_path(tmp_path, s)
+        path.write_bytes(b"")
+        self.assert_quarantined(tmp_path, s, ResultCache(tmp_path / "rc"))
+
+    def test_wrong_format_number(self, tmp_path):
+        s = spec(seed=74)
+        path = self.warm_path(tmp_path, s)
+        doc = json.loads(path.read_text())
+        doc["format"] = 99
+        path.write_text(json.dumps(doc))
+        self.assert_quarantined(tmp_path, s, ResultCache(tmp_path / "rc"))
+
+    def test_non_object_entry(self, tmp_path):
+        s = spec(seed=75)
+        path = self.warm_path(tmp_path, s)
+        path.write_text('["not", "an", "object"]')
+        self.assert_quarantined(tmp_path, s, ResultCache(tmp_path / "rc"))
+
+    def test_concurrent_reader_during_quarantine(self, tmp_path):
+        """Two cold caches race over one corrupt entry: the loser of the
+        rename sees a vanished file — a miss, never an exception."""
+        s = spec(seed=76)
+        path = self.warm_path(tmp_path, s)
+        path.write_text("{torn")
+        first = ResultCache(tmp_path / "rc")
+        second = ResultCache(tmp_path / "rc")
+        results = []
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def race(cache):
+            barrier.wait()
+            try:
+                results.append(cache.get(s))
+            except Exception as exc:  # the one thing that must not happen
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=race, args=(c,))
+            for c in (first, second)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert results == [None, None]
+        # At least the rename winner counted; the loser either saw the
+        # corrupt bytes too (counted) or found the file already moved
+        # (an ordinary miss) — both are legal, an exception is not.
+        assert 1 <= first.corrupt_entries + second.corrupt_entries <= 2
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_rewrite_after_quarantine_restores_service(self, tmp_path):
+        s = spec(seed=77)
+        path = self.warm_path(tmp_path, s)
+        path.write_text("{torn")
+        cache = ResultCache(tmp_path / "rc")
+        assert cache.get(s) is None
+        assert cache.put(s, done_result(s))
+        assert cache.get(s) is not None
 
 
 class TestStats:

@@ -1,5 +1,6 @@
 """LibraryCache: build-once semantics, atomic publish, corruption recovery."""
 
+import hashlib
 import multiprocessing as mp
 
 import numpy as np
@@ -50,6 +51,71 @@ class TestGetOrBuild:
     def test_bad_timeout_rejected(self, tmp_path):
         with pytest.raises(ServeError):
             LibraryCache(tmp_path, build_timeout_s=0)
+
+
+class TestDigestVerification:
+    """PR 10: every load re-hashes the npz against its .sha256 sidecar."""
+
+    def warm(self, tmp_path):
+        cache = LibraryCache(tmp_path)
+        _, outcome = cache.get_or_build("hm-small", TINY)
+        return cache, cache.path_for(outcome.fingerprint)
+
+    def test_publish_writes_a_matching_sidecar(self, tmp_path):
+        cache, path = self.warm(tmp_path)
+        sidecar = cache.digest_path_for(path)
+        assert sidecar.exists()
+        expected = sidecar.read_text().strip()
+        assert expected == hashlib.sha256(path.read_bytes()).hexdigest()
+
+    def test_mismatched_sidecar_quarantines_and_rebuilds(self, tmp_path):
+        cache, path = self.warm(tmp_path)
+        cache.digest_path_for(path).write_text("0" * 64 + "\n")
+        lib, outcome = cache.get_or_build("hm-small", TINY)
+        assert outcome.source == "built"
+        assert cache.corrupt_entries == 1
+        assert len(lib) == 43
+        # Quarantined bytes kept for forensics, out of the namespace.
+        assert path.with_suffix(".corrupt").exists()
+        # The rebuild republished a now-consistent entry.
+        _, again = cache.get_or_build("hm-small", TINY)
+        assert again.source == "disk-cache"
+        assert cache.corrupt_entries == 1
+
+    def test_bit_rot_in_the_npz_is_caught(self, tmp_path):
+        """The npz may still unpickle after a flipped byte — only the
+        digest catches silent rot."""
+        cache, path = self.warm(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        _, outcome = cache.get_or_build("hm-small", TINY)
+        assert outcome.source == "built"
+        assert cache.corrupt_entries == 1
+
+    def test_missing_sidecar_is_a_legacy_accept(self, tmp_path):
+        cache, path = self.warm(tmp_path)
+        cache.digest_path_for(path).unlink()
+        _, outcome = cache.get_or_build("hm-small", TINY)
+        assert outcome.source == "disk-cache"
+        assert cache.corrupt_entries == 0
+
+    def test_unloadable_corruption_counts_too(self, tmp_path):
+        """Garbage that fails the plain load (no sidecar help needed) is
+        the same typed event in the same counter."""
+        cache, path = self.warm(tmp_path)
+        cache.digest_path_for(path).unlink()
+        path.write_bytes(b"not a real npz")
+        _, outcome = cache.get_or_build("hm-small", TINY)
+        assert outcome.source == "built"
+        assert cache.corrupt_entries == 1
+
+    def test_stats_export(self, tmp_path):
+        cache, path = self.warm(tmp_path)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["corrupt_entries"] == 0
+        assert stats["directory"] == str(tmp_path)
 
 
 def _race_worker(directory, barrier, out_q):

@@ -1,0 +1,76 @@
+"""Spool durability: atomic writes, torn-record quarantine (PR 10).
+
+The spool is the only tier that pre-dates the journal as shared mutable
+state on disk, so it gets the same crash-consistency treatment: every
+write publishes via temp-file + fsync + rename, and the drain path
+quarantines (never parses, never raises on) records a crashed submitter
+tore in half.
+"""
+
+from repro.serve.jobs import JobSpec
+from repro.serve.service import (
+    atomic_write_text,
+    read_spool_pending,
+    spool_dirs,
+    submit_to_spool,
+)
+
+TINY = {"n_particles": 24, "n_inactive": 0, "n_active": 2,
+        "mode": "event", "pincell": True}
+
+
+def spec(i, **kwargs):
+    return JobSpec(job_id=f"sp-{i:02d}", settings=dict(TINY, seed=i),
+                   **kwargs)
+
+
+class TestAtomicWriteText:
+    def test_round_trip(self, tmp_path):
+        path = atomic_write_text(tmp_path / "a.json", '{"k": 1}')
+        assert path.read_text() == '{"k": 1}'
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "a.json", "x")
+        # Temps are dot-prefixed (invisible to *.json globs) and gone.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.json"]
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "a.json"
+        atomic_write_text(path, "old" * 100)
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+
+class TestTornPendingQuarantine:
+    def test_torn_record_is_quarantined_not_fatal(self, tmp_path):
+        """Regression: a half-written pending spec used to raise out of
+        read_spool_pending and poison the whole drain."""
+        spool = tmp_path / "spool"
+        good = [spec(i) for i in range(3)]
+        for s in good:
+            submit_to_spool(spool, s)
+        torn = spool_dirs(spool)["pending"] / "torn.json"
+        torn.write_text(good[0].to_json()[:20])
+
+        pending = read_spool_pending(spool)
+        assert sorted(p.job_id for p in pending) == [s.job_id for s in good]
+        assert not torn.exists()
+        assert torn.with_suffix(".corrupt").exists()
+        # Quarantine is idempotent: the next drain sees a clean spool.
+        assert len(read_spool_pending(spool)) == 3
+
+    def test_empty_pending_file_is_quarantined(self, tmp_path):
+        spool = tmp_path / "spool"
+        submit_to_spool(spool, spec(0))
+        empty = spool_dirs(spool)["pending"] / "empty.json"
+        empty.write_bytes(b"")
+        assert len(read_spool_pending(spool)) == 1
+        assert empty.with_suffix(".corrupt").exists()
+
+    def test_submitted_spec_survives_byte_identical(self, tmp_path):
+        spool = tmp_path / "spool"
+        original = spec(7, priority=5)
+        submit_to_spool(spool, original)
+        (loaded,) = read_spool_pending(spool)
+        assert loaded.settings_fingerprint() == original.settings_fingerprint()
+        assert loaded.priority == 5

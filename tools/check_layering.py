@@ -48,6 +48,13 @@ annotation-only and exempt):
    couple the compiled kernels to a scheduler and re-create the cycle
    rule 1 exists to prevent.
 
+8. **Chaos is a roof beside the CLI.**  ``repro.chaos`` kills and
+   restarts the tiers below it (gateway, serve, scenarios, resilience,
+   supervise) — so it, uniquely, may import the gateway and scenario
+   roofs, but only the CLI may import *it*, and like the gateway it
+   must never reach the physics or hardware layers (transport,
+   execution, cluster, simd, machine) directly.
+
 Run from the repo root::
 
     python tools/check_layering.py
@@ -107,15 +114,36 @@ SUPERVISE_FORBIDDEN = (
 RESILIENCE_DIR = SRC / "repro" / "resilience"
 RESILIENCE_FORBIDDEN = ("repro.execution",)
 
-#: The scenario layer is a roof, not a floor: only the CLI imports it.
+#: The chaos harness (rule 8) is a roof beside the CLI: it may import
+#: the other roofs (it kills and recovers them), only the CLI may
+#: import it, and it never touches the physics/hardware layers.
+CHAOS_DIR = SRC / "repro" / "chaos"
+CHAOS_IMPORTERS = (SRC / "repro" / "cli.py",)
+CHAOS_FORBIDDEN = (
+    "repro.transport",
+    "repro.execution",
+    "repro.cluster",
+    "repro.simd",
+    "repro.machine",
+)
+
+#: The scenario layer is a roof, not a floor: only the CLI (and the
+#: chaos harness, rule 8) imports it.
 SCENARIOS_DIR = SRC / "repro" / "scenarios"
-SCENARIOS_IMPORTERS = (SRC / "repro" / "cli.py",)
+SCENARIOS_IMPORTERS = (
+    SRC / "repro" / "cli.py",
+    *sorted(CHAOS_DIR.glob("*.py")),
+)
 
 #: The gateway tier is likewise a roof (rule 6): nothing below it may
-#: import it, and it may only reach the layers beneath it through the
-#: serve/supervise surface — never the physics or hardware layers.
+#: import it (the CLI and the chaos harness excepted), and it may only
+#: reach the layers beneath it through the serve/supervise surface —
+#: never the physics or hardware layers.
 GATEWAY_DIR = SRC / "repro" / "gateway"
-GATEWAY_IMPORTERS = (SRC / "repro" / "cli.py",)
+GATEWAY_IMPORTERS = (
+    SRC / "repro" / "cli.py",
+    *sorted(CHAOS_DIR.glob("*.py")),
+)
 GATEWAY_FORBIDDEN = (
     "repro.scenarios",
     "repro.transport",
@@ -217,6 +245,14 @@ def check() -> list[str]:
         GATEWAY_DIR, "repro.gateway", GATEWAY_FORBIDDEN,
         "gateway tier reaches below the serve surface into",
     ))
+    errors.extend(_check_roof(
+        CHAOS_DIR, "repro.chaos", CHAOS_IMPORTERS,
+        "core module imports the chaos roof layer",
+    ))
+    errors.extend(_check_package(
+        CHAOS_DIR, "repro.chaos", CHAOS_FORBIDDEN,
+        "chaos harness reaches below the service surface into",
+    ))
     return errors
 
 
@@ -285,7 +321,7 @@ def main() -> int:
     missing = [
         p for p in (*STAGE_FILES, *EXECUTION_MODEL_FILES,
                     JIT_DIR, SUPERVISE_DIR, RESILIENCE_DIR, SCENARIOS_DIR,
-                    GATEWAY_DIR)
+                    GATEWAY_DIR, CHAOS_DIR)
         if not p.exists()
     ]
     if missing:
